@@ -1,0 +1,232 @@
+//! Builder helpers for assembling application models.
+//!
+//! Every Table II application is constructed from the same vocabulary:
+//! *correct groups* (write-group = ground-truth group), *coupled groups*
+//! (one write-group spanning two truth groups — the oversized-cluster
+//! source), *singles* (independently churning settings) and *static keys*
+//! (read-only registry bulk).
+
+use ocasta_trace::{GroupBehavior, KeySpec, NoiseKey, SettingGroup, ValueKind, WorkloadSpec};
+use ocasta_ttkv::Key;
+
+/// Incrementally assembles a [`WorkloadSpec`] and its ground-truth groups.
+#[derive(Debug)]
+pub struct AppBuilder {
+    spec: WorkloadSpec,
+    truth: Vec<Vec<Key>>,
+}
+
+impl AppBuilder {
+    /// Starts a builder for application `app` (the key prefix).
+    pub fn new(app: &'static str) -> Self {
+        let mut spec = WorkloadSpec::new(app);
+        spec.sessions_per_day = 1.5;
+        spec.reads_per_session = 200;
+        AppBuilder {
+            spec,
+            truth: Vec::new(),
+        }
+    }
+
+    /// Sets the expected sessions per day.
+    pub fn sessions_per_day(&mut self, rate: f64) -> &mut Self {
+        self.spec.sessions_per_day = rate;
+        self
+    }
+
+    /// Adds a related group whose write behaviour matches the ground truth
+    /// (will cluster correctly).
+    pub fn correct_group(
+        &mut self,
+        name: &str,
+        keys: Vec<KeySpec>,
+        changes_per_day: f64,
+    ) -> &mut Self {
+        let truth: Vec<Key> = keys.iter().map(|k| self.spec.key(&k.name)).collect();
+        self.truth.push(truth);
+        self.spec
+            .groups
+            .push(SettingGroup::new(name, keys, changes_per_day));
+        self
+    }
+
+    /// Adds a related group with explicit behaviour (e.g. an MRU window).
+    pub fn behavior_group(
+        &mut self,
+        name: &str,
+        keys: Vec<KeySpec>,
+        changes_per_day: f64,
+        behavior: GroupBehavior,
+    ) -> &mut Self {
+        let truth: Vec<Key> = keys.iter().map(|k| self.spec.key(&k.name)).collect();
+        self.truth.push(truth);
+        self.spec
+            .groups
+            .push(SettingGroup::new(name, keys, changes_per_day).with_behavior(behavior));
+        self
+    }
+
+    /// Adds two ground-truth groups that the application *writes together*
+    /// (one preferences-dialog "Apply" flushing both): the clustering will
+    /// merge them into one oversized — incorrect — cluster.
+    pub fn coupled_groups(
+        &mut self,
+        name: &str,
+        half_a: Vec<KeySpec>,
+        half_b: Vec<KeySpec>,
+        changes_per_day: f64,
+    ) -> &mut Self {
+        self.truth
+            .push(half_a.iter().map(|k| self.spec.key(&k.name)).collect());
+        self.truth
+            .push(half_b.iter().map(|k| self.spec.key(&k.name)).collect());
+        let mut keys = half_a;
+        keys.extend(half_b);
+        self.spec
+            .groups
+            .push(SettingGroup::new(name, keys, changes_per_day));
+        self
+    }
+
+    /// Adds an independently churning setting (clusters as a singleton).
+    pub fn single(&mut self, key: KeySpec, writes_per_session: f64) -> &mut Self {
+        self.spec.noise.push(NoiseKey::new(key, writes_per_session));
+        self
+    }
+
+    /// Adds `count` anonymous correct groups of the given size, with rates
+    /// varied deterministically so modification counts (and thus search
+    /// order) differ between clusters.
+    pub fn bulk_correct_groups(
+        &mut self,
+        prefix: &str,
+        count: usize,
+        size: usize,
+        base_changes_per_day: f64,
+    ) -> &mut Self {
+        for i in 0..count {
+            let keys: Vec<KeySpec> = (0..size)
+                .map(|j| KeySpec::new(format!("{prefix}{i:03}/k{j}"), vary_kind(i + j)))
+                .collect();
+            let rate = base_changes_per_day * (0.4 + (i % 7) as f64 * 0.25);
+            self.correct_group(&format!("{prefix}{i:03}"), keys, rate);
+        }
+        self
+    }
+
+    /// Adds `count` anonymous coupled (oversized-producing) group pairs.
+    pub fn bulk_coupled_groups(
+        &mut self,
+        prefix: &str,
+        count: usize,
+        half_size: usize,
+        base_changes_per_day: f64,
+    ) -> &mut Self {
+        for i in 0..count {
+            let half = |tag: &str, i: usize| -> Vec<KeySpec> {
+                (0..half_size)
+                    .map(|j| KeySpec::new(format!("{prefix}{i:03}/{tag}{j}"), vary_kind(i + j)))
+                    .collect()
+            };
+            let rate = base_changes_per_day * (0.4 + (i % 5) as f64 * 0.3);
+            self.coupled_groups(&format!("{prefix}{i:03}"), half("a", i), half("b", i), rate);
+        }
+        self
+    }
+
+    /// Adds `count` anonymous singles with varied churn rates.
+    pub fn bulk_singles(&mut self, prefix: &str, count: usize, base_rate: f64) -> &mut Self {
+        for i in 0..count {
+            let rate = base_rate * (0.3 + (i % 9) as f64 * 0.3);
+            self.single(
+                KeySpec::new(format!("{prefix}{i:03}"), vary_kind(i)),
+                rate,
+            );
+        }
+        self
+    }
+
+    /// Adds read-only registry bulk.
+    pub fn statics(&mut self, count: usize) -> &mut Self {
+        self.spec.static_keys = count;
+        self
+    }
+
+    /// Mutable access to the spec under construction (for behaviours the
+    /// helpers do not cover, e.g. a group key that *also* churns alone).
+    pub fn spec_mut(&mut self) -> &mut WorkloadSpec {
+        &mut self.spec
+    }
+
+    /// Finishes, returning the spec and ground truth.
+    pub fn build(self) -> (WorkloadSpec, Vec<Vec<Key>>) {
+        (self.spec, self.truth)
+    }
+
+    /// The full key path for a relative name (for truth/scenario wiring).
+    pub fn key(&self, name: &str) -> Key {
+        self.spec.key(name)
+    }
+}
+
+/// Deterministically varied value kinds so generated settings look like a
+/// real mix of types.
+fn vary_kind(i: usize) -> ValueKind {
+    match i % 5 {
+        0 => ValueKind::Toggle { initial: i % 2 == 0 },
+        1 => ValueKind::IntRange { min: 0, max: 100 },
+        2 => ValueKind::FloatRange { min: 0.5, max: 4.0 },
+        3 => ValueKind::Choice(vec!["small", "medium", "large"]),
+        _ => ValueKind::PathName { extension: "dat" },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_group_records_truth() {
+        let mut b = AppBuilder::new("app");
+        b.correct_group(
+            "g",
+            vec![
+                KeySpec::new("x", ValueKind::Toggle { initial: true }),
+                KeySpec::new("y", ValueKind::Toggle { initial: true }),
+            ],
+            0.2,
+        );
+        let (spec, truth) = b.build();
+        assert_eq!(spec.groups.len(), 1);
+        assert_eq!(truth, vec![vec![Key::new("app/x"), Key::new("app/y")]]);
+    }
+
+    #[test]
+    fn coupled_groups_split_truth_but_share_write_group() {
+        let mut b = AppBuilder::new("app");
+        b.coupled_groups(
+            "dialog",
+            vec![KeySpec::new("a1", vary_kind(0)), KeySpec::new("a2", vary_kind(1))],
+            vec![KeySpec::new("b1", vary_kind(2)), KeySpec::new("b2", vary_kind(3))],
+            0.2,
+        );
+        let (spec, truth) = b.build();
+        assert_eq!(spec.groups.len(), 1, "one write-group");
+        assert_eq!(spec.groups[0].keys.len(), 4);
+        assert_eq!(truth.len(), 2, "two truth groups");
+    }
+
+    #[test]
+    fn bulk_builders_hit_requested_counts() {
+        let mut b = AppBuilder::new("app");
+        b.bulk_correct_groups("grp", 5, 3, 0.1)
+            .bulk_coupled_groups("cpl", 2, 2, 0.1)
+            .bulk_singles("one", 7, 0.5)
+            .statics(11);
+        let (spec, truth) = b.build();
+        assert_eq!(spec.groups.len(), 7);
+        assert_eq!(truth.len(), 5 + 4);
+        assert_eq!(spec.noise.len(), 7);
+        assert_eq!(spec.key_count(), 5 * 3 + 2 * 4 + 7 + 11);
+    }
+}

@@ -1,0 +1,109 @@
+//! Acrobat Reader (document reader, Linux, PostScript-style preference
+//! file).
+//!
+//! Table II: 751 keys, 120 multi-setting clusters of 550, 95.8% accuracy —
+//! the largest configuration in the study (Figure 1b's auto-complete group
+//! lives here). Hosts errors #15 (menu bar disappears for certain PDFs) and
+//! #16 (find box missing from the tool bar).
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Menu-bar visibility (error #15's offending key).
+pub const MENU_BAR: &str = "acrobat/ui/menu_bar";
+/// Find-box visibility in the tool bar (error #16's offending key).
+pub const FIND_BOX: &str = "acrobat/toolbar/find";
+
+/// Builds the Acrobat Reader model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("acrobat");
+    b.sessions_per_day(2.0);
+    // Figure 1b: the form auto-complete trio.
+    b.correct_group(
+        "autocomplete",
+        vec![
+            KeySpec::new("forms/inline_autocomplete", ValueKind::Toggle { initial: false }),
+            KeySpec::new("forms/record_new_entries", ValueKind::Toggle { initial: true }),
+            KeySpec::new("forms/show_dropdown", ValueKind::Toggle { initial: true }),
+        ],
+        0.08,
+    );
+    // 114 more correct groups (80 pairs, 29 triples, 5 quads) → 115 correct;
+    // 5 coupled dialogs → 5 oversized. 115/120 = 95.8%.
+    b.bulk_correct_groups("view", 80, 2, 0.06);
+    b.bulk_correct_groups("page", 29, 3, 0.05);
+    b.bulk_correct_groups("plugin", 5, 4, 0.04);
+    b.bulk_coupled_groups("dlg", 5, 2, 0.05);
+    // 430 singleton churners, including the two error keys.
+    b.single(KeySpec::new("ui/menu_bar", ValueKind::BiasedToggle { on_prob: 0.97 }), 0.1);
+    b.single(KeySpec::new("toolbar/find", ValueKind::BiasedToggle { on_prob: 0.97 }), 0.08);
+    b.bulk_singles("single", 428, 0.25);
+    b.statics(31);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "acrobat",
+        display_name: "Acrobat Reader",
+        category: "Document Reader",
+        os: OsFlavor::Linux,
+        logger: LoggerKind::File,
+        spec,
+        truth,
+        render,
+        paper_keys: 751,
+        paper_multi_clusters: 120,
+        paper_total_clusters: 550,
+        paper_accuracy: Some(95.8),
+    }
+}
+
+/// Renders the Acrobat window chrome.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("document_pane");
+    shot.add_if(config.get_bool(MENU_BAR).unwrap_or(true), "menu_bar");
+    shot.add_if(config.get_bool(FIND_BOX).unwrap_or(true), "find_box");
+    super::show_settings(
+        &mut shot,
+        config,
+        &[
+            "acrobat/forms/inline_autocomplete",
+            "acrobat/view000/k0",
+            "acrobat/page000/k0",
+            "acrobat/single000",
+            "acrobat/single001",
+        ],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn chrome_elements_follow_flags() {
+        let mut config = ConfigState::new();
+        let shot = render(&config);
+        assert!(shot.contains("menu_bar") && shot.contains("find_box"));
+        config.set(Key::new(MENU_BAR), Value::from(false));
+        config.set(Key::new(FIND_BOX), Value::from(false));
+        let shot = render(&config);
+        assert!(!shot.contains("menu_bar") && !shot.contains("find_box"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 751);
+        assert_eq!(m.spec.groups.len(), 120);
+        assert_eq!(m.spec.noise.len(), 430);
+        // 115 correct truth groups + 10 coupling halves.
+        assert_eq!(m.truth.len(), 125);
+    }
+}

@@ -1,0 +1,96 @@
+//! Chrome Browser (web browser, Linux, JSON preferences file).
+//!
+//! Table II: 35 keys, 1 multi-setting cluster of 34, 100% accuracy.
+//! Hosts errors #13 (bookmark bar missing) and #14 (home button missing).
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Shows the bookmark bar on every tab (error #13's offending key).
+pub const BOOKMARK_BAR: &str = "chrome/bookmark_bar/show_on_all_tabs";
+/// Shows the home button in the toolbar (error #14's offending key).
+pub const HOME_BUTTON: &str = "chrome/browser/show_home_button";
+
+/// Builds the Chrome model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("chrome");
+    b.sessions_per_day(2.0);
+    // The single related pair Ocasta found for Chrome: sync account state.
+    b.correct_group(
+        "sync",
+        vec![
+            KeySpec::new("sync/enabled", ValueKind::Toggle { initial: false }),
+            KeySpec::new("sync/account", ValueKind::PathName { extension: "id" }),
+        ],
+        0.05,
+    );
+    // 33 singleton settings (Chrome's flat JSON preferences churn
+    // independently), including the two error keys.
+    b.single(
+        KeySpec::new("bookmark_bar/show_on_all_tabs", ValueKind::BiasedToggle { on_prob: 0.97 }),
+        0.08,
+    );
+    b.single(
+        KeySpec::new("browser/show_home_button", ValueKind::BiasedToggle { on_prob: 0.97 }),
+        0.08,
+    );
+    b.bulk_singles("pref", 31, 0.1);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "chrome",
+        display_name: "Chrome Browser",
+        category: "Web Browser",
+        os: OsFlavor::Linux,
+        logger: LoggerKind::File,
+        spec,
+        truth,
+        render,
+        paper_keys: 35,
+        paper_multi_clusters: 1,
+        paper_total_clusters: 34,
+        paper_accuracy: Some(100.0),
+    }
+}
+
+/// Renders Chrome's toolbar area.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("tab_strip");
+    shot.add_if(config.get_bool(BOOKMARK_BAR).unwrap_or(true), "bookmark_bar");
+    shot.add_if(config.get_bool(HOME_BUTTON).unwrap_or(true), "home_button");
+    super::show_settings(
+        &mut shot,
+        config,
+        &["chrome/pref000", "chrome/pref001", "chrome/sync/enabled"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn toolbar_elements_follow_flags() {
+        let mut config = ConfigState::new();
+        config.set(Key::new(BOOKMARK_BAR), Value::from(true));
+        config.set(Key::new(HOME_BUTTON), Value::from(false));
+        let shot = render(&config);
+        assert!(shot.contains("bookmark_bar"));
+        assert!(!shot.contains("home_button"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 35);
+        assert_eq!(m.spec.groups.len(), 1);
+        assert_eq!(m.spec.noise.len(), 33);
+    }
+}

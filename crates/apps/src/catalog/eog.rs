@@ -1,0 +1,75 @@
+//! Eye of GNOME (image viewer, Linux GConf).
+//!
+//! Table II: 5 keys, 0 multi-setting clusters of 5 (accuracy N/A).
+//! Hosts error #11: the user cannot print image files.
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Printing backend toggle (error #11's offending key).
+pub const PRINT_ENABLED: &str = "eog/print/enabled";
+
+/// Builds the Eye of GNOME model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("eog");
+    b.sessions_per_day(1.0);
+    b.single(
+        KeySpec::new("print/enabled", ValueKind::BiasedToggle { on_prob: 0.97 }),
+        0.1,
+    );
+    b.bulk_singles("single", 4, 0.4);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "eog",
+        display_name: "Eye of GNOME",
+        category: "Image Viewer",
+        os: OsFlavor::Linux,
+        logger: LoggerKind::GConf,
+        spec,
+        truth,
+        render,
+        paper_keys: 5,
+        paper_multi_clusters: 0,
+        paper_total_clusters: 5,
+        paper_accuracy: None,
+    }
+}
+
+/// Renders the viewer's File menu.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("image_canvas");
+    shot.add_if(
+        config.get_bool(PRINT_ENABLED).unwrap_or(true),
+        "print_menu_item",
+    );
+    super::show_settings(&mut shot, config, &["eog/single000", "eog/single001"]);
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn print_item_follows_flag() {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("print_menu_item"));
+        config.set(Key::new(PRINT_ENABLED), Value::from(false));
+        assert!(!render(&config).contains("print_menu_item"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 5);
+        assert!(m.spec.groups.is_empty());
+        assert_eq!(m.spec.noise.len(), 5);
+    }
+}

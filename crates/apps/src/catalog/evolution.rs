@@ -1,0 +1,149 @@
+//! Evolution Mail (e-mail client, Linux GConf).
+//!
+//! Table II: 183 keys, 18 multi-setting clusters of 65, 38.9% accuracy —
+//! the paper's worst case, caused by preference dialogs flushing several
+//! dependent groups inside one one-second window. Hosts errors #8 (starts
+//! offline), #9 (does not auto-mark read mail — the Figure 1c pair) and
+//! #10 (reply does not start at the top).
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Start in offline mode (error #8's offending key).
+pub const START_OFFLINE: &str = "evolution/offline/start_offline";
+/// Folders to synchronise for offline use — same cluster.
+pub const OFFLINE_SYNC: &str = "evolution/offline/sync_folders";
+/// Auto-mark opened mail as seen (Figure 1c; error #9).
+pub const MARK_SEEN: &str = "evolution/mail/mark_seen";
+/// Delay before marking seen, meaningful only when `mark_seen` (error #9).
+pub const MARK_SEEN_TIMEOUT: &str = "evolution/mail/mark_seen_timeout";
+/// Where the reply cursor starts (error #10's offending key).
+pub const REPLY_STYLE: &str = "evolution/composer/reply_start";
+/// Whether the signature sits above the quote — same cluster.
+pub const SIGNATURE_TOP: &str = "evolution/composer/signature_top";
+
+/// Builds the Evolution model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("evolution");
+    b.sessions_per_day(2.0);
+    // The three error clusters (all correct pairs).
+    b.correct_group(
+        "offline",
+        vec![
+            KeySpec::new("offline/start_offline", ValueKind::BiasedToggle { on_prob: 0.03 }),
+            KeySpec::new("offline/sync_folders", ValueKind::Choice(vec!["inbox", "all", "none"])),
+        ],
+        0.1,
+    );
+    b.correct_group(
+        "mark_seen",
+        vec![
+            KeySpec::new("mail/mark_seen", ValueKind::BiasedToggle { on_prob: 0.97 }),
+            KeySpec::new("mail/mark_seen_timeout", ValueKind::IntRange { min: 500, max: 5000 }),
+        ],
+        0.12,
+    );
+    b.correct_group(
+        "reply",
+        vec![
+            KeySpec::new("composer/reply_start", ValueKind::WeightedChoice(vec![("top", 30), ("bottom", 1)])),
+            KeySpec::new("composer/signature_top", ValueKind::Toggle { initial: true }),
+        ],
+        0.1,
+    );
+    // 4 more correct pairs → 7 correct multi clusters; 11 coupled dialog
+    // flushes → 11 oversized clusters. 7/18 = 38.9%.
+    b.bulk_correct_groups("view", 4, 2, 0.08);
+    b.bulk_coupled_groups("dialog", 11, 2, 0.06);
+    // 47 singleton churners; the rest is static GConf bulk.
+    b.bulk_singles("single", 47, 0.4);
+    b.statics(78);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "evolution",
+        display_name: "Evolution Mail",
+        category: "E-mail Client",
+        os: OsFlavor::Linux,
+        logger: LoggerKind::GConf,
+        spec,
+        truth,
+        render,
+        paper_keys: 183,
+        paper_multi_clusters: 18,
+        paper_total_clusters: 65,
+        paper_accuracy: Some(38.9),
+    }
+}
+
+/// Renders Evolution's main window and composer state.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("folder_list");
+    shot.add_if(
+        config.get_bool(START_OFFLINE).unwrap_or(false),
+        "offline_banner",
+    );
+    let auto_mark = config.get_bool(MARK_SEEN).unwrap_or(true)
+        && config.get_int(MARK_SEEN_TIMEOUT).unwrap_or(1500) >= 0;
+    shot.add_if(auto_mark, "auto_mark_read");
+    shot.add(format!(
+        "reply_cursor:{}",
+        config.get_str(REPLY_STYLE).unwrap_or("top")
+    ));
+    super::show_settings(
+        &mut shot,
+        config,
+        &[SIGNATURE_TOP, OFFLINE_SYNC, "evolution/view000/k0", "evolution/dialog000/a0"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn offline_banner_follows_flag() {
+        let mut config = ConfigState::new();
+        assert!(!render(&config).contains("offline_banner"));
+        config.set(Key::new(START_OFFLINE), Value::from(true));
+        assert!(render(&config).contains("offline_banner"));
+    }
+
+    #[test]
+    fn auto_mark_requires_both_settings_healthy() {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("auto_mark_read"), "defaults are healthy");
+        config.set(Key::new(MARK_SEEN), Value::from(false));
+        config.set(Key::new(MARK_SEEN_TIMEOUT), Value::from(-1));
+        assert!(!render(&config).contains("auto_mark_read"));
+        // Fixing only one of the pair is not enough (error #9's NoClust=N).
+        config.set(Key::new(MARK_SEEN), Value::from(true));
+        assert!(!render(&config).contains("auto_mark_read"));
+        config.set(Key::new(MARK_SEEN_TIMEOUT), Value::from(1500));
+        assert!(render(&config).contains("auto_mark_read"));
+    }
+
+    #[test]
+    fn reply_cursor_is_always_reported() {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("reply_cursor:top"));
+        config.set(Key::new(REPLY_STYLE), Value::from("bottom"));
+        assert!(render(&config).contains("reply_cursor:bottom"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 183);
+        assert_eq!(m.spec.groups.len(), 18);
+        assert_eq!(m.truth.len(), 7 + 22);
+        assert_eq!(m.spec.noise.len(), 47);
+    }
+}

@@ -1,0 +1,167 @@
+//! Windows Explorer (shell, Windows registry).
+//!
+//! Table II: 298 keys, 32 multi-setting clusters of 91, 84.4% accuracy.
+//! Hosts error #4 ("Open with" menu misses applications for `.flv` files —
+//! the list/name split that needs threshold tuning) and error #7 (image
+//! files always open maximized).
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, NoiseKey, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Ordered list of handler names for `.flv` (error #4).
+pub const OPENWITH_LIST: &str = "explorer/openwith/flv/list";
+/// Registered VLC handler (error #4).
+pub const OPENWITH_VLC: &str = "explorer/openwith/flv/app_vlc";
+/// Registered MPlayer handler (error #4).
+pub const OPENWITH_MPLAYER: &str = "explorer/openwith/flv/app_mplayer";
+/// Image-viewer window mode (error #7).
+pub const IMGVIEW_MODE: &str = "explorer/imgview/window_mode";
+/// Image-viewer window geometry (error #7).
+pub const IMGVIEW_GEOMETRY: &str = "explorer/imgview/geometry";
+
+/// Builds the Explorer model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("explorer");
+    b.sessions_per_day(3.0);
+    // Error #4's truth group: the handler list plus the two handler entries.
+    // Registering a handler writes all three together...
+    b.correct_group(
+        "openwith_flv",
+        vec![
+            KeySpec::new(
+                "openwith/flv/list",
+                ValueKind::Choice(vec!["app_vlc,app_mplayer", "app_mplayer,app_vlc"]),
+            ),
+            KeySpec::new("openwith/flv/app_vlc", ValueKind::PathName { extension: "exe" }),
+            KeySpec::new("openwith/flv/app_mplayer", ValueKind::PathName { extension: "exe" }),
+        ],
+        0.1,
+    );
+    // ...but the *list* also changes alone whenever the user picks a handler
+    // (most-recently-used reordering), which is exactly why the default
+    // threshold splits it from the handler entries (§VI-B, error #4).
+    b.spec_mut().noise.push(NoiseKey::new(
+        KeySpec::new(
+            "openwith/flv/list",
+            ValueKind::Choice(vec!["app_vlc,app_mplayer", "app_mplayer,app_vlc"]),
+        ),
+        0.5,
+    ));
+    // Error #7's pair: how the image-viewer window opens.
+    b.correct_group(
+        "imgview",
+        vec![
+            KeySpec::new("imgview/window_mode", ValueKind::WeightedChoice(vec![("normal", 30), ("maximized", 1)])),
+            KeySpec::new("imgview/geometry", ValueKind::Choice(vec!["80,60,800x600", "100,80,1024x768"])),
+        ],
+        0.12,
+    );
+    // 25 more correct pairs → 27 correct multi clusters; 5 coupled dialogs
+    // → 5 oversized. 27/32 = 84.4%.
+    b.bulk_correct_groups("shell", 25, 2, 0.07);
+    b.bulk_coupled_groups("dlg", 5, 2, 0.05);
+    // 58 singleton churners (59 singletons once the list splits off).
+    b.bulk_singles("single", 58, 0.45);
+    b.statics(164);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "explorer",
+        display_name: "Explorer",
+        category: "Windows Shell",
+        os: OsFlavor::Windows,
+        logger: LoggerKind::Registry,
+        spec,
+        truth,
+        render,
+        paper_keys: 298,
+        paper_multi_clusters: 32,
+        paper_total_clusters: 91,
+        paper_accuracy: Some(84.4),
+    }
+}
+
+/// Renders the shell surfaces the two errors manifest in.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("file_pane");
+    // "Open with" for .flv: an entry is usable when it is both named in the
+    // list and registered as a handler key.
+    let list = config.get_str(OPENWITH_LIST).unwrap_or("");
+    let usable = list
+        .split(',')
+        .filter(|name| !name.is_empty())
+        .filter(|name| config.contains(&format!("explorer/openwith/flv/{name}")))
+        .count();
+    shot.add(format!("openwith_flv:{usable}"));
+    // Image viewer launch.
+    let normal = config.get_str(IMGVIEW_MODE).unwrap_or("normal") == "normal"
+        && config.get_str(IMGVIEW_GEOMETRY).unwrap_or("80,60,800x600") != "0,0,full";
+    shot.add(if normal { "image_window:normal" } else { "image_window:maximized" });
+    super::show_settings(
+        &mut shot,
+        config,
+        &["explorer/shell000/k0", "explorer/dlg000/a0", "explorer/single000"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    fn healthy() -> ConfigState {
+        let mut config = ConfigState::new();
+        config.set(Key::new(OPENWITH_LIST), Value::from("app_vlc,app_mplayer"));
+        config.set(Key::new(OPENWITH_VLC), Value::from("vlc.exe"));
+        config.set(Key::new(OPENWITH_MPLAYER), Value::from("mplayer.exe"));
+        config
+    }
+
+    #[test]
+    fn openwith_counts_usable_handlers() {
+        assert!(render(&healthy()).contains("openwith_flv:2"));
+        // Error #4: empty list and deleted handler keys.
+        let mut broken = healthy();
+        broken.set(Key::new(OPENWITH_LIST), Value::from(""));
+        broken.remove(OPENWITH_VLC);
+        broken.remove(OPENWITH_MPLAYER);
+        assert!(render(&broken).contains("openwith_flv:0"));
+        // Restoring only the list does not help (names dangle).
+        let mut list_only = broken.clone();
+        list_only.set(Key::new(OPENWITH_LIST), Value::from("app_vlc,app_mplayer"));
+        assert!(render(&list_only).contains("openwith_flv:0"));
+        // Restoring only one handler without the list does not help either.
+        let mut app_only = broken.clone();
+        app_only.set(Key::new(OPENWITH_VLC), Value::from("vlc.exe"));
+        assert!(render(&app_only).contains("openwith_flv:0"));
+    }
+
+    #[test]
+    fn image_window_needs_both_settings(/* error #7 */) {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("image_window:normal"));
+        config.set(Key::new(IMGVIEW_MODE), Value::from("maximized"));
+        config.set(Key::new(IMGVIEW_GEOMETRY), Value::from("0,0,full"));
+        assert!(render(&config).contains("image_window:maximized"));
+        // One key back is not enough.
+        config.set(Key::new(IMGVIEW_MODE), Value::from("normal"));
+        assert!(render(&config).contains("image_window:maximized"));
+        config.set(Key::new(IMGVIEW_GEOMETRY), Value::from("80,60,800x600"));
+        assert!(render(&config).contains("image_window:normal"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 298);
+        assert_eq!(m.spec.groups.len(), 32);
+        // 27 correct + 10 coupling halves.
+        assert_eq!(m.truth.len(), 37);
+    }
+}

@@ -1,0 +1,94 @@
+//! GNOME Edit / gedit (word processor, Linux GConf).
+//!
+//! Table II: 10 keys, 1 multi-setting cluster of 7, 0% accuracy (its only
+//! multi cluster is oversized). Hosts error #12: the user cannot save any
+//! document.
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// The VFS scheme documents are saved through (error #12's offending key:
+/// a `readonly` scheme breaks every save).
+pub const SAVE_SCHEME: &str = "gedit/filesaver/scheme";
+
+/// Builds the gedit model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("gedit");
+    b.sessions_per_day(1.2);
+    // The lone multi cluster: two *unrelated* settings the preferences
+    // dialog happens to flush together — oversized, hence 0% accuracy.
+    b.coupled_groups(
+        "prefs_dialog",
+        vec![KeySpec::new("view/wrap_mode", ValueKind::Choice(vec!["word", "char", "none"]))],
+        vec![KeySpec::new("editor/tab_width", ValueKind::IntRange { min: 2, max: 8 })],
+        0.15,
+    );
+    // Six independent settings, including the save scheme.
+    b.single(
+        KeySpec::new(
+            "filesaver/scheme",
+            ValueKind::WeightedChoice(vec![("file", 8), ("sftp", 2)]),
+        ),
+        0.1,
+    );
+    b.bulk_singles("single", 5, 0.5);
+    b.statics(2);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "gedit",
+        display_name: "GNOME Edit",
+        category: "Word Processor",
+        os: OsFlavor::Linux,
+        logger: LoggerKind::GConf,
+        spec,
+        truth,
+        render,
+        paper_keys: 10,
+        paper_multi_clusters: 1,
+        paper_total_clusters: 7,
+        paper_accuracy: Some(0.0),
+    }
+}
+
+/// Renders gedit's save dialog availability.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("text_area");
+    let scheme = config.get_str(SAVE_SCHEME).unwrap_or("file");
+    shot.add_if(scheme != "readonly", "save_dialog");
+    super::show_settings(
+        &mut shot,
+        config,
+        &["gedit/view/wrap_mode", "gedit/editor/tab_width", "gedit/single000"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn readonly_scheme_blocks_saving() {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("save_dialog"));
+        config.set(Key::new(SAVE_SCHEME), Value::from("readonly"));
+        assert!(!render(&config).contains("save_dialog"));
+        config.set(Key::new(SAVE_SCHEME), Value::from("sftp"));
+        assert!(render(&config).contains("save_dialog"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 10);
+        assert_eq!(m.spec.groups.len(), 1, "one (oversized) write-group");
+        assert_eq!(m.truth.len(), 2, "two truth singletons under the coupling");
+    }
+}

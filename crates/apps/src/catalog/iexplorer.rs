@@ -1,0 +1,93 @@
+//! Internet Explorer (web browser, Windows registry).
+//!
+//! Table II: 33 keys, 9 multi-setting clusters of 12, 66.7% accuracy.
+//! Hosts error #3: the "disable add-ons" dialog pops up on every launch.
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// When `false`, IE nags about slow add-ons on every start (error #3).
+pub const ADDON_PROMPT_DISABLED: &str = "ie/addons/prompt_disabled";
+/// How often (days) the add-on performance check runs — same cluster.
+pub const ADDON_CHECK_INTERVAL: &str = "ie/addons/check_interval";
+
+/// Builds the Internet Explorer model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("ie");
+    b.sessions_per_day(3.0);
+    // Error #3's cluster.
+    b.correct_group(
+        "addons",
+        vec![
+            KeySpec::new("addons/prompt_disabled", ValueKind::BiasedToggle { on_prob: 0.97 }),
+            KeySpec::new("addons/check_interval", ValueKind::IntRange { min: 1, max: 30 }),
+        ],
+        0.1,
+    );
+    // 5 more correct pairs (6 correct multi clusters) and 3 coupled dialogs
+    // (3 oversized) → 9 multi clusters, 6/9 = 66.7% accurate.
+    b.bulk_correct_groups("zone", 5, 2, 0.09);
+    b.bulk_coupled_groups("dlg", 3, 2, 0.07);
+    b.bulk_singles("single", 3, 0.8);
+    b.statics(6);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "ie",
+        display_name: "Internet Explorer",
+        category: "Web Browser",
+        os: OsFlavor::Windows,
+        logger: LoggerKind::Registry,
+        spec,
+        truth,
+        render,
+        paper_keys: 33,
+        paper_multi_clusters: 9,
+        paper_total_clusters: 12,
+        paper_accuracy: Some(66.7),
+    }
+}
+
+/// Renders the IE launch experience: the add-on nag dialog is the symptom.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("browser_window");
+    shot.add_if(
+        !config.get_bool(ADDON_PROMPT_DISABLED).unwrap_or(true),
+        "addon_popup",
+    );
+    super::show_settings(
+        &mut shot,
+        config,
+        &[ADDON_CHECK_INTERVAL, "ie/zone000/k0", "ie/dlg000/a0", "ie/single000"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn popup_shows_only_when_prompt_enabled() {
+        let mut config = ConfigState::new();
+        assert!(!render(&config).contains("addon_popup"));
+        config.set(Key::new(ADDON_PROMPT_DISABLED), Value::from(false));
+        assert!(render(&config).contains("addon_popup"));
+        config.set(Key::new(ADDON_PROMPT_DISABLED), Value::from(true));
+        assert!(!render(&config).contains("addon_popup"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 33);
+        assert_eq!(m.spec.groups.len(), 9);
+        assert_eq!(m.truth.len(), 6 + 6);
+    }
+}

@@ -1,0 +1,113 @@
+//! The 11 evaluated applications (Table II).
+//!
+//! Each module builds one [`AppModel`](crate::AppModel): its configuration
+//! schema sized to the paper's per-app key counts, ground-truth groups
+//! arranged so the clustering reproduces Table II's correct/oversized
+//! cluster mix, and a render function exposing the visible state the
+//! Table III errors manifest in.
+
+pub mod acrobat;
+pub mod chrome;
+pub mod eog;
+pub mod evolution;
+pub mod explorer;
+pub mod gedit;
+pub mod iexplorer;
+pub mod outlook;
+pub mod paint;
+pub mod wmp;
+pub mod word;
+
+use ocasta_repair::Screenshot;
+use ocasta_ttkv::ConfigState;
+
+use crate::model::AppModel;
+
+/// All 11 application models, in Table II order.
+pub fn all_models() -> Vec<AppModel> {
+    vec![
+        outlook::model(),
+        evolution::model(),
+        iexplorer::model(),
+        chrome::model(),
+        word::model(),
+        gedit::model(),
+        eog::model(),
+        paint::model(),
+        acrobat::model(),
+        explorer::model(),
+        wmp::model(),
+    ]
+}
+
+/// Looks up a model by its key prefix (e.g. `"word"`).
+pub fn model_by_name(name: &str) -> Option<AppModel> {
+    all_models().into_iter().find(|m| m.name == name)
+}
+
+/// Renders a handful of generic visible settings (so rollbacks of unrelated
+/// clusters still change the screen, as they do for real applications, and
+/// the screenshot gallery sees more than one unique image).
+pub(crate) fn show_settings(shot: &mut Screenshot, config: &ConfigState, keys: &[&str]) {
+    for key in keys {
+        if let Some(value) = config.get(key) {
+            shot.add(format!("{}:{}", key.rsplit('/').next().unwrap_or(key), value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_models_with_unique_prefixes() {
+        let models = all_models();
+        assert_eq!(models.len(), 11);
+        let mut names: Vec<_> = models.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11, "duplicate app prefixes");
+    }
+
+    #[test]
+    fn key_counts_match_table2() {
+        for model in all_models() {
+            assert_eq!(
+                model.key_count(),
+                model.paper_keys,
+                "{}: built {} keys, Table II says {}",
+                model.display_name,
+                model.key_count(),
+                model.paper_keys
+            );
+        }
+        let total: usize = all_models().iter().map(|m| m.paper_keys).sum();
+        assert_eq!(total, 1_871, "Table II total keys");
+    }
+
+    #[test]
+    fn paper_cluster_totals_match_table2() {
+        let models = all_models();
+        let multi: usize = models.iter().map(|m| m.paper_multi_clusters).sum();
+        let all: usize = models.iter().map(|m| m.paper_total_clusters).sum();
+        assert_eq!(multi, 255);
+        assert_eq!(all, 1_005);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(model_by_name("acrobat").is_some());
+        assert!(model_by_name("netscape").is_none());
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_nonempty_on_defaults() {
+        for model in all_models() {
+            let empty = ConfigState::new();
+            let a = (model.render)(&empty);
+            let b = (model.render)(&empty);
+            assert_eq!(a, b, "{} render not deterministic", model.name);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! MS Outlook (e-mail client, Windows registry).
+//!
+//! Table II: 182 keys, 33 multi-setting clusters of 82, 97.0% accuracy.
+//! Hosts error #1: the Navigation Panel stops working.
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Key controlling Navigation Panel visibility (error #1's offending key).
+pub const NAVPANE_VISIBLE: &str = "outlook/navpane/visible";
+/// The panel's width — related to visibility (same cluster).
+pub const NAVPANE_WIDTH: &str = "outlook/navpane/width";
+
+/// Builds the Outlook model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("outlook");
+    b.sessions_per_day(2.0);
+    // Error #1's cluster: the navigation pane pair.
+    b.correct_group(
+        "navpane",
+        vec![
+            KeySpec::new("navpane/visible", ValueKind::BiasedToggle { on_prob: 0.97 }),
+            KeySpec::new("navpane/width", ValueKind::IntRange { min: 120, max: 400 }),
+        ],
+        0.1,
+    );
+    // 30 more correct pairs and one correct triple → 32 correct multi
+    // clusters; one coupled dialog → the 33rd (oversized, the 3% inaccuracy).
+    b.bulk_correct_groups("opt", 30, 2, 0.08);
+    b.correct_group(
+        "signature",
+        vec![
+            KeySpec::new("sig/enabled", ValueKind::Toggle { initial: false }),
+            KeySpec::new("sig/file", ValueKind::PathName { extension: "sig" }),
+            KeySpec::new("sig/position", ValueKind::Choice(vec!["top", "bottom"])),
+        ],
+        0.06,
+    );
+    b.coupled_groups(
+        "security_dialog",
+        vec![
+            KeySpec::new("security/zone", ValueKind::Choice(vec!["internet", "restricted"])),
+            KeySpec::new("security/attachments", ValueKind::Toggle { initial: true }),
+        ],
+        vec![
+            KeySpec::new("reading/preview", ValueKind::Toggle { initial: true }),
+            KeySpec::new("reading/mark_delay", ValueKind::IntRange { min: 1, max: 30 }),
+        ],
+        0.05,
+    );
+    // 49 singleton churners, the rest static registry bulk.
+    b.bulk_singles("single", 49, 0.4);
+    b.statics(64);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "outlook",
+        display_name: "MS Outlook",
+        category: "E-mail Client",
+        os: OsFlavor::Windows,
+        logger: LoggerKind::Registry,
+        spec,
+        truth,
+        render,
+        paper_keys: 182,
+        paper_multi_clusters: 33,
+        paper_total_clusters: 82,
+        paper_accuracy: Some(97.0),
+    }
+}
+
+/// Renders Outlook's main window.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("inbox");
+    shot.add_if(
+        config.get_bool(NAVPANE_VISIBLE).unwrap_or(true),
+        "navigation_panel",
+    );
+    super::show_settings(
+        &mut shot,
+        config,
+        &[
+            NAVPANE_WIDTH,
+            "outlook/sig/enabled",
+            "outlook/reading/preview",
+            "outlook/opt000/k0",
+            "outlook/opt001/k0",
+        ],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn navpane_drives_render() {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("navigation_panel"), "visible by default");
+        config.set(Key::new(NAVPANE_VISIBLE), Value::from(false));
+        assert!(!render(&config).contains("navigation_panel"));
+    }
+
+    #[test]
+    fn model_shape_matches_table2_breakdown() {
+        let m = model();
+        assert_eq!(m.key_count(), 182);
+        // 32 correct groups + 1 coupled write-group (2 truth halves).
+        assert_eq!(m.spec.groups.len(), 33);
+        assert_eq!(m.truth.len(), 34);
+        assert_eq!(m.spec.noise.len(), 49);
+    }
+}

@@ -1,0 +1,110 @@
+//! MS Paint (image editor, Windows registry).
+//!
+//! Table II: 66 keys, 2 multi-setting clusters of 8, 50% accuracy.
+//! Hosts error #6: the text tool bar does not pop up automatically when
+//! entering text — an 8-setting cluster whose repair needs several keys
+//! rolled back together (NoClust fails).
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Auto-popup of the text tool bar (error #6).
+pub const TEXTTOOL_AUTO: &str = "paint/texttool/auto_popup";
+/// Tool bar X position; negative values park it off screen (error #6).
+pub const TEXTTOOL_X: &str = "paint/texttool/pos_x";
+/// Tool bar Y position; negative values park it off screen (error #6).
+pub const TEXTTOOL_Y: &str = "paint/texttool/pos_y";
+
+/// Builds the Paint model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("paint");
+    b.sessions_per_day(0.8);
+    // Error #6's size-8 cluster: the text-tool configuration written as one
+    // block whenever the user rearranges the text UI.
+    b.correct_group(
+        "texttool",
+        vec![
+            KeySpec::new("texttool/auto_popup", ValueKind::BiasedToggle { on_prob: 0.97 }),
+            KeySpec::new("texttool/pos_x", ValueKind::IntRange { min: 0, max: 1600 }),
+            KeySpec::new("texttool/pos_y", ValueKind::IntRange { min: 0, max: 1000 }),
+            KeySpec::new("texttool/font", ValueKind::Choice(vec!["arial", "courier", "times"])),
+            KeySpec::new("texttool/size", ValueKind::IntRange { min: 8, max: 72 }),
+            KeySpec::new("texttool/bold", ValueKind::Toggle { initial: false }),
+            KeySpec::new("texttool/italic", ValueKind::Toggle { initial: false }),
+            KeySpec::new("texttool/smooth", ValueKind::Toggle { initial: true }),
+        ],
+        0.12,
+    );
+    // The second multi cluster is an oversized coupling → 1/2 = 50%.
+    b.bulk_coupled_groups("dlg", 1, 2, 0.06);
+    b.bulk_singles("single", 6, 0.5);
+    b.statics(48);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "paint",
+        display_name: "MS Paint",
+        category: "Image Editor",
+        os: OsFlavor::Windows,
+        logger: LoggerKind::Registry,
+        spec,
+        truth,
+        render,
+        paper_keys: 66,
+        paper_multi_clusters: 2,
+        paper_total_clusters: 8,
+        paper_accuracy: Some(50.0),
+    }
+}
+
+/// Renders Paint while the text tool is active.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("canvas");
+    let auto = config.get_bool(TEXTTOOL_AUTO).unwrap_or(true);
+    let on_screen = config.get_int(TEXTTOOL_X).unwrap_or(100) >= 0
+        && config.get_int(TEXTTOOL_Y).unwrap_or(100) >= 0;
+    shot.add_if(auto && on_screen, "text_toolbar");
+    super::show_settings(
+        &mut shot,
+        config,
+        &["paint/texttool/font", "paint/dlg000/a0", "paint/single000"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn toolbar_needs_auto_and_on_screen_position() {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("text_toolbar"), "healthy defaults");
+        // Error #6's injection: auto off *and* parked off screen.
+        config.set(Key::new(TEXTTOOL_AUTO), Value::from(false));
+        config.set(Key::new(TEXTTOOL_X), Value::from(-4000));
+        config.set(Key::new(TEXTTOOL_Y), Value::from(-4000));
+        assert!(!render(&config).contains("text_toolbar"));
+        // Fixing a single key is not enough (NoClust failure).
+        config.set(Key::new(TEXTTOOL_AUTO), Value::from(true));
+        assert!(!render(&config).contains("text_toolbar"));
+        config.set(Key::new(TEXTTOOL_X), Value::from(100));
+        assert!(!render(&config).contains("text_toolbar"));
+        config.set(Key::new(TEXTTOOL_Y), Value::from(100));
+        assert!(render(&config).contains("text_toolbar"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 66);
+        assert_eq!(m.spec.groups.len(), 2);
+        assert_eq!(m.truth[0].len(), 8);
+    }
+}

@@ -1,0 +1,92 @@
+//! Windows Media Player (media player, Windows registry).
+//!
+//! Table II: 165 keys, 21 multi-setting clusters of 41, 90.5% accuracy.
+//! Hosts error #5: captions are not shown while playing video — a size-4
+//! cluster with a single offending key.
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// Caption display toggle (error #5's offending key).
+pub const CAPTIONS_ENABLED: &str = "wmp/captions/enabled";
+
+/// Builds the Windows Media Player model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("wmp");
+    b.sessions_per_day(1.5);
+    // Error #5's size-4 cluster: the caption configuration.
+    b.correct_group(
+        "captions",
+        vec![
+            KeySpec::new("captions/enabled", ValueKind::BiasedToggle { on_prob: 0.97 }),
+            KeySpec::new("captions/style", ValueKind::Choice(vec!["overlay", "below"])),
+            KeySpec::new("captions/size", ValueKind::IntRange { min: 10, max: 32 }),
+            KeySpec::new("captions/lang", ValueKind::Choice(vec!["en", "fr", "es"])),
+        ],
+        0.12,
+    );
+    // 18 more correct pairs → 19 correct; 2 coupled dialogs → 2 oversized.
+    // 19/21 = 90.5%.
+    b.bulk_correct_groups("play", 18, 2, 0.07);
+    b.bulk_coupled_groups("dlg", 2, 2, 0.05);
+    b.bulk_singles("single", 20, 0.5);
+    b.statics(97);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "wmp",
+        display_name: "Windows Media Player",
+        category: "Media Player",
+        os: OsFlavor::Windows,
+        logger: LoggerKind::Registry,
+        spec,
+        truth,
+        render,
+        paper_keys: 165,
+        paper_multi_clusters: 21,
+        paper_total_clusters: 41,
+        paper_accuracy: Some(90.5),
+    }
+}
+
+/// Renders video playback.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("video_frame");
+    shot.add_if(
+        config.get_bool(CAPTIONS_ENABLED).unwrap_or(true),
+        "captions",
+    );
+    super::show_settings(
+        &mut shot,
+        config,
+        &["wmp/captions/style", "wmp/play000/k0", "wmp/single000"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn captions_follow_flag() {
+        let mut config = ConfigState::new();
+        assert!(render(&config).contains("captions"));
+        config.set(Key::new(CAPTIONS_ENABLED), Value::from(false));
+        assert!(!render(&config).contains("captions"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 165);
+        assert_eq!(m.spec.groups.len(), 21);
+        assert_eq!(m.truth[0].len(), 4);
+    }
+}

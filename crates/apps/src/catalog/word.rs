@@ -1,0 +1,154 @@
+//! MS Word (word processor, Windows registry).
+//!
+//! Table II: 143 keys, 18 multi-setting clusters of 110, 100% accuracy.
+//! Hosts error #2: the recently-accessed-documents list disappears — the
+//! paper's flagship multi-setting error (Figure 1a), whose offending keys
+//! span several clusters at default parameters and require threshold/window
+//! tuning to repair.
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{GroupBehavior, KeySpec, OsFlavor, ValueKind};
+use ocasta_ttkv::ConfigState;
+
+use crate::builders::AppBuilder;
+use crate::model::{AppModel, LoggerKind};
+
+/// The `Max Display` setting bounding the MRU list (Figure 1a).
+pub const MRU_MAX: &str = "word/mru/max_display";
+/// Number of MRU item slots (`Item 1` … `Item 7`).
+pub const MRU_SLOTS: usize = 7;
+
+/// The key of MRU item slot `i` (1-based).
+pub fn mru_item(i: usize) -> String {
+    format!("word/mru/item{i}")
+}
+
+/// Builds the Word model.
+pub fn model() -> AppModel {
+    let mut b = AppBuilder::new("word");
+    b.sessions_per_day(2.5);
+    // The Figure 1a MRU window: max_display + 7 item slots. Items rotate on
+    // every document open (frequent, staggered over ~2.5 s); the max changes
+    // rarely. At default clustering parameters the items cluster without the
+    // max — the undersized split behind error #2.
+    // The max never drops below 3, so the first three item slots are always
+    // live: they form the stable multi cluster Ocasta finds at the default
+    // threshold, while slots 4–7 churn in and out (the undersized split).
+    let mut mru_keys = vec![KeySpec::new(
+        "mru/max_display",
+        ValueKind::IntRange { min: 3, max: MRU_SLOTS as i64 },
+    )];
+    for i in 1..=MRU_SLOTS {
+        mru_keys.push(KeySpec::new(
+            format!("mru/item{i}"),
+            ValueKind::PathName { extension: "doc" },
+        ));
+    }
+    b.behavior_group(
+        "mru",
+        mru_keys,
+        0.1,
+        GroupBehavior::MruWindow {
+            span_ms: 2_500,
+            item_updates_per_session: 0.5,
+        },
+    );
+    // 17 ordinary correct pairs → 18 multi clusters in total.
+    b.bulk_correct_groups("fmt", 17, 2, 0.07);
+    // 91 singleton churners (+ the max key splitting off = 92 singletons).
+    b.bulk_singles("single", 91, 0.3);
+    b.statics(10);
+
+    let (spec, truth) = b.build();
+    AppModel {
+        name: "word",
+        display_name: "MS Word",
+        category: "Word Processor",
+        os: OsFlavor::Windows,
+        logger: LoggerKind::Registry,
+        spec,
+        truth,
+        render,
+        paper_keys: 143,
+        paper_multi_clusters: 18,
+        paper_total_clusters: 110,
+        paper_accuracy: Some(100.0),
+    }
+}
+
+/// Renders Word's File menu: the recently-used list length is the visible
+/// symptom of error #2.
+fn render(config: &ConfigState) -> Screenshot {
+    let mut shot = Screenshot::new();
+    shot.add("document_canvas");
+    let max = config.get_int(MRU_MAX).unwrap_or(0).max(0) as usize;
+    let live = (1..=MRU_SLOTS)
+        .take_while(|&i| config.contains(&mru_item(i)))
+        .count();
+    shot.add(format!("recent_documents:{}", live.min(max)));
+    super::show_settings(
+        &mut shot,
+        config,
+        &["word/fmt000/k0", "word/fmt001/k1", "word/fmt002/k0", "word/single000"],
+    );
+    shot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    fn healthy_config() -> ConfigState {
+        let mut config = ConfigState::new();
+        config.set(Key::new(MRU_MAX), Value::from(3));
+        for i in 1..=3 {
+            config.set(Key::new(mru_item(i)), Value::from(format!("doc{i}.doc")));
+        }
+        config
+    }
+
+    #[test]
+    fn recent_list_counts_live_items_up_to_max() {
+        let shot = render(&healthy_config());
+        assert!(shot.contains("recent_documents:3"));
+
+        // Reducing the max hides items even if the slots survive.
+        let mut capped = healthy_config();
+        capped.set(Key::new(MRU_MAX), Value::from(1));
+        assert!(render(&capped).contains("recent_documents:1"));
+
+        // Deleting the items empties the list even with a generous max.
+        let mut empty = healthy_config();
+        for i in 1..=3 {
+            empty.remove(&mru_item(i));
+        }
+        assert!(render(&empty).contains("recent_documents:0"));
+    }
+
+    #[test]
+    fn partial_restore_does_not_fix_error2() {
+        // Error #2's injection: max = 0 and all items deleted. Restoring
+        // only one side leaves the list empty — the NoClust failure mode.
+        let mut broken = ConfigState::new();
+        broken.set(Key::new(MRU_MAX), Value::from(0));
+        assert!(render(&broken).contains("recent_documents:0"));
+
+        let mut only_max = broken.clone();
+        only_max.set(Key::new(MRU_MAX), Value::from(5));
+        assert!(render(&only_max).contains("recent_documents:0"));
+
+        let mut only_items = broken.clone();
+        only_items.set(Key::new(mru_item(1)), Value::from("a.doc"));
+        assert!(render(&only_items).contains("recent_documents:0"));
+    }
+
+    #[test]
+    fn model_shape() {
+        let m = model();
+        assert_eq!(m.key_count(), 143);
+        assert_eq!(m.spec.groups.len(), 18);
+        assert_eq!(m.spec.noise.len(), 91);
+        assert_eq!(m.truth[0].len(), 8, "MRU truth group is the size-8 cluster");
+    }
+}

@@ -1,0 +1,532 @@
+//! The 16 real-world configuration errors of Table III.
+//!
+//! Each scenario bundles the erroneous writes to inject into a recorded
+//! trace, the user trial that makes the symptom visible, the oracle standing
+//! in for the user's screenshot judgement, and the paper's published
+//! metadata (trace, logger, cluster size, whether NoClust can fix it).
+
+use ocasta_repair::{FixOracle, Trial};
+use ocasta_ttkv::{Key, TimeDelta, Timestamp, Ttkv, Value};
+
+use crate::catalog::{self, acrobat, chrome, eog, evolution, explorer, gedit, iexplorer, outlook, paint, wmp, word};
+use crate::model::{AppModel, LoggerKind};
+
+/// One erroneous mutation of a configuration setting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Injection {
+    /// Overwrite the setting with a bad value.
+    Set(Value),
+    /// Delete the setting.
+    Delete,
+}
+
+/// One Table III configuration error.
+#[derive(Debug, Clone)]
+pub struct ErrorScenario {
+    /// Case number (1–16, Table III order).
+    pub id: usize,
+    /// The Table I trace the case was evaluated on.
+    pub trace_name: &'static str,
+    /// Deployment length of that trace, in days.
+    pub trace_days: u64,
+    /// Application model name (key prefix).
+    pub app: &'static str,
+    /// Logger used for the application.
+    pub logger: LoggerKind,
+    /// Table III description.
+    pub description: &'static str,
+    /// The erroneous mutations, applied in one burst.
+    pub injections: Vec<(Key, Injection)>,
+    /// Related settings the application flushes in the same burst with
+    /// their *current* values (misconfigurations happen through preference
+    /// dialogs, which rewrite the whole group — that is why related keys
+    /// keep correlating even across the error).
+    pub companions: Vec<Key>,
+    /// Table IV's average cluster size for this case.
+    pub paper_cluster_size: usize,
+    /// Table IV: can the no-clustering baseline fix it?
+    pub paper_noclust_fixes: bool,
+    /// Whether the paper needed threshold/window tuning (errors #2, #4).
+    pub needs_tuning: bool,
+    /// Modeled wall-clock per trial (calibrated from Table IV's
+    /// time-per-trial; real trials replay GUI scripts and screenshot).
+    pub trial_cost: TimeDelta,
+}
+
+impl ErrorScenario {
+    /// The application model this error lives in.
+    pub fn model(&self) -> AppModel {
+        catalog::model_by_name(self.app).expect("scenario app exists in the catalog")
+    }
+
+    /// The user trial: launch the app the way that exposes the symptom.
+    pub fn trial(&self) -> Trial {
+        let render = self.model().render;
+        Trial::new(self.description, render)
+    }
+
+    /// The screenshot judgement for this error.
+    pub fn oracle(&self) -> FixOracle {
+        match self.id {
+            1 => FixOracle::element_visible("navigation_panel"),
+            2 => FixOracle::new(|shot| {
+                shot.element_with_prefix("recent_documents:")
+                    .and_then(|e| e.rsplit(':').next())
+                    .and_then(|n| n.parse::<i64>().ok())
+                    .is_some_and(|n| n >= 1)
+            }),
+            3 => FixOracle::element_absent("addon_popup"),
+            4 => FixOracle::new(|shot| {
+                shot.element_with_prefix("openwith_flv:")
+                    .and_then(|e| e.rsplit(':').next())
+                    .and_then(|n| n.parse::<i64>().ok())
+                    .is_some_and(|n| n >= 1)
+            }),
+            5 => FixOracle::element_visible("captions"),
+            6 => FixOracle::element_visible("text_toolbar"),
+            7 => FixOracle::element_visible("image_window:normal"),
+            8 => FixOracle::element_absent("offline_banner"),
+            9 => FixOracle::element_visible("auto_mark_read"),
+            10 => FixOracle::element_visible("reply_cursor:top"),
+            11 => FixOracle::element_visible("print_menu_item"),
+            12 => FixOracle::element_visible("save_dialog"),
+            13 => FixOracle::element_visible("bookmark_bar"),
+            14 => FixOracle::element_visible("home_button"),
+            15 => FixOracle::element_visible("menu_bar"),
+            16 => FixOracle::element_visible("find_box"),
+            other => unreachable!("no oracle for scenario {other}"),
+        }
+    }
+
+    /// Applies the erroneous writes to the store in one burst at `at`,
+    /// rewriting companion settings with their pre-error values (the
+    /// dialog-flush behaviour described on [`Self::companions`]).
+    pub fn inject(&self, ttkv: &mut Ttkv, at: Timestamp) {
+        let companion_values: Vec<(Key, Option<Value>)> = self
+            .companions
+            .iter()
+            .map(|k| (k.clone(), ttkv.value_at(k.as_str(), at).cloned()))
+            .collect();
+        for (i, (key, injection)) in self.injections.iter().enumerate() {
+            let t = at + TimeDelta::from_millis(i as u64 * 40);
+            match injection {
+                Injection::Set(value) => ttkv.write(t, key.clone(), value.clone()),
+                Injection::Delete => ttkv.delete(t, key.clone()),
+            }
+        }
+        let base = self.injections.len() as u64;
+        for (i, (key, value)) in companion_values.into_iter().enumerate() {
+            let t = at + TimeDelta::from_millis((base + i as u64) * 40);
+            if let Some(value) = value {
+                ttkv.write(t, key, value);
+            }
+        }
+    }
+
+    /// Writes one *spurious* change burst at `at` — the user's failed manual
+    /// fix attempt (Figure 2b's x-axis). The user walks the preferences
+    /// dialog (flushing the whole group) but ends up back in the erroneous
+    /// state, leaving extra versions for the search to wade through.
+    pub fn spurious_write(&self, ttkv: &mut Ttkv, at: Timestamp, _attempt: u64) {
+        self.inject(ttkv, at);
+    }
+
+    /// The keys the injected error touches.
+    pub fn offending_keys(&self) -> Vec<Key> {
+        self.injections.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Offending keys plus companions: the settings whose feature the error
+    /// breaks. The workload stops touching them once the error is in place
+    /// (a user does not keep adjusting a broken feature).
+    pub fn quarantined_keys(&self) -> Vec<Key> {
+        let mut keys = self.offending_keys();
+        keys.extend(self.companions.iter().cloned());
+        keys
+    }
+}
+
+fn set(key: &str, value: impl Into<Value>) -> (Key, Injection) {
+    (Key::new(key), Injection::Set(value.into()))
+}
+
+fn del(key: &str) -> (Key, Injection) {
+    (Key::new(key), Injection::Delete)
+}
+
+/// All 16 error scenarios, in Table III order.
+pub fn scenarios() -> Vec<ErrorScenario> {
+    let ms = TimeDelta::from_millis;
+    vec![
+        ErrorScenario {
+            id: 1,
+            trace_name: "Windows 7",
+            trace_days: 42,
+            app: "outlook",
+            logger: LoggerKind::Registry,
+            description: "User is unable to use Navigation Panel.",
+            injections: vec![set(outlook::NAVPANE_VISIBLE, false)],
+            companions: vec![Key::new("outlook/navpane/width")],
+            paper_cluster_size: 2,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(2_000),
+        },
+        ErrorScenario {
+            id: 2,
+            trace_name: "Windows 7",
+            trace_days: 42,
+            app: "word",
+            logger: LoggerKind::Registry,
+            description: "User loses the list of recently accessed documents.",
+            injections: {
+                let mut v = vec![set(word::MRU_MAX, 0)];
+                v.extend((1..=word::MRU_SLOTS).map(|i| del(&word::mru_item(i))));
+                v
+            },
+            companions: vec![],
+            paper_cluster_size: 8,
+            paper_noclust_fixes: false,
+            needs_tuning: true,
+            trial_cost: ms(17_000),
+        },
+        ErrorScenario {
+            id: 3,
+            trace_name: "Windows 7",
+            trace_days: 42,
+            app: "ie",
+            logger: LoggerKind::Registry,
+            description: "Dialog to disable add-ons always pops up.",
+            injections: vec![set(iexplorer::ADDON_PROMPT_DISABLED, false)],
+            companions: vec![Key::new(iexplorer::ADDON_CHECK_INTERVAL)],
+            paper_cluster_size: 2,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(18_000),
+        },
+        ErrorScenario {
+            id: 4,
+            trace_name: "Windows Vista",
+            trace_days: 53,
+            app: "explorer",
+            logger: LoggerKind::Registry,
+            description: "\"Open with\" menu does not show installed applications that can open .flv file.",
+            injections: vec![
+                set(explorer::OPENWITH_LIST, ""),
+                del(explorer::OPENWITH_VLC),
+                del(explorer::OPENWITH_MPLAYER),
+            ],
+            companions: vec![],
+            paper_cluster_size: 3,
+            paper_noclust_fixes: false,
+            needs_tuning: true,
+            trial_cost: ms(5_500),
+        },
+        ErrorScenario {
+            id: 5,
+            trace_name: "Windows XP",
+            trace_days: 25,
+            app: "wmp",
+            logger: LoggerKind::Registry,
+            description: "Caption is not shown while playing video.",
+            injections: vec![set(wmp::CAPTIONS_ENABLED, false)],
+            companions: vec![
+                Key::new("wmp/captions/style"),
+                Key::new("wmp/captions/size"),
+                Key::new("wmp/captions/lang"),
+            ],
+            paper_cluster_size: 4,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(5_600),
+        },
+        ErrorScenario {
+            id: 6,
+            trace_name: "Windows XP",
+            trace_days: 25,
+            app: "paint",
+            logger: LoggerKind::Registry,
+            description: "Text tool bar does not pop up automatically when entering text.",
+            injections: vec![
+                set(paint::TEXTTOOL_AUTO, false),
+                set(paint::TEXTTOOL_X, -4000),
+                set(paint::TEXTTOOL_Y, -4000),
+            ],
+            companions: vec![
+                Key::new("paint/texttool/font"),
+                Key::new("paint/texttool/size"),
+                Key::new("paint/texttool/bold"),
+                Key::new("paint/texttool/italic"),
+                Key::new("paint/texttool/smooth"),
+            ],
+            paper_cluster_size: 8,
+            paper_noclust_fixes: false,
+            needs_tuning: false,
+            trial_cost: ms(23_000),
+        },
+        ErrorScenario {
+            id: 7,
+            trace_name: "Windows XP",
+            trace_days: 25,
+            app: "explorer",
+            logger: LoggerKind::Registry,
+            description: "Image files are always opened in a maximized window.",
+            injections: vec![
+                set(explorer::IMGVIEW_MODE, "maximized"),
+                set(explorer::IMGVIEW_GEOMETRY, "0,0,full"),
+            ],
+            companions: vec![],
+            paper_cluster_size: 2,
+            paper_noclust_fixes: false,
+            needs_tuning: false,
+            trial_cost: ms(1_600),
+        },
+        ErrorScenario {
+            id: 8,
+            trace_name: "Linux-1",
+            trace_days: 25,
+            app: "evolution",
+            logger: LoggerKind::GConf,
+            description: "Evolution Mail starts in offline mode unexpectedly.",
+            injections: vec![set(evolution::START_OFFLINE, true)],
+            companions: vec![Key::new(evolution::OFFLINE_SYNC)],
+            paper_cluster_size: 2,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(15_000),
+        },
+        ErrorScenario {
+            id: 9,
+            trace_name: "Linux-1",
+            trace_days: 25,
+            app: "evolution",
+            logger: LoggerKind::GConf,
+            description: "Evolution Mail does not mark read mail automatically.",
+            injections: vec![
+                set(evolution::MARK_SEEN, false),
+                set(evolution::MARK_SEEN_TIMEOUT, -1),
+            ],
+            companions: vec![],
+            paper_cluster_size: 2,
+            paper_noclust_fixes: false,
+            needs_tuning: false,
+            trial_cost: ms(45_000),
+        },
+        ErrorScenario {
+            id: 10,
+            trace_name: "Linux-1",
+            trace_days: 25,
+            app: "evolution",
+            logger: LoggerKind::GConf,
+            description: "Evolution Mail does not start a reply at the top of an e-mail.",
+            injections: vec![set(evolution::REPLY_STYLE, "bottom")],
+            companions: vec![Key::new(evolution::SIGNATURE_TOP)],
+            paper_cluster_size: 2,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(27_000),
+        },
+        ErrorScenario {
+            id: 11,
+            trace_name: "Linux-1",
+            trace_days: 25,
+            app: "eog",
+            logger: LoggerKind::GConf,
+            description: "User is unable to print image files.",
+            injections: vec![set(eog::PRINT_ENABLED, false)],
+            companions: vec![],
+            paper_cluster_size: 1,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(12_000),
+        },
+        ErrorScenario {
+            id: 12,
+            trace_name: "Linux-1",
+            trace_days: 25,
+            app: "gedit",
+            logger: LoggerKind::GConf,
+            description: "User is unable to save any document.",
+            injections: vec![set(gedit::SAVE_SCHEME, "readonly")],
+            companions: vec![],
+            paper_cluster_size: 1,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(10_000),
+        },
+        ErrorScenario {
+            id: 13,
+            trace_name: "Linux-2",
+            trace_days: 84,
+            app: "chrome",
+            logger: LoggerKind::File,
+            description: "Bookmark bar is missing.",
+            injections: vec![set(chrome::BOOKMARK_BAR, false)],
+            companions: vec![],
+            paper_cluster_size: 1,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(5_000),
+        },
+        ErrorScenario {
+            id: 14,
+            trace_name: "Linux-2",
+            trace_days: 84,
+            app: "chrome",
+            logger: LoggerKind::File,
+            description: "Home button is missing from the tool bar.",
+            injections: vec![set(chrome::HOME_BUTTON, false)],
+            companions: vec![],
+            paper_cluster_size: 1,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(4_300),
+        },
+        ErrorScenario {
+            id: 15,
+            trace_name: "Linux-3",
+            trace_days: 46,
+            app: "acrobat",
+            logger: LoggerKind::File,
+            description: "Menu bar disappears for certain PDF document.",
+            injections: vec![set(acrobat::MENU_BAR, false)],
+            companions: vec![],
+            paper_cluster_size: 1,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(3_800),
+        },
+        ErrorScenario {
+            id: 16,
+            trace_name: "Linux-4",
+            trace_days: 64,
+            app: "acrobat",
+            logger: LoggerKind::File,
+            description: "Find box is missing from the tool bar.",
+            injections: vec![set(acrobat::FIND_BOX, false)],
+            companions: vec![],
+            paper_cluster_size: 1,
+            paper_noclust_fixes: true,
+            needs_tuning: false,
+            trial_cost: ms(200),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::ConfigState;
+
+    #[test]
+    fn sixteen_scenarios_in_table3_order() {
+        let all = scenarios();
+        assert_eq!(all.len(), 16);
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.id, i + 1);
+            assert!(!s.injections.is_empty());
+        }
+        // Table IV: exactly 5 cases defeat NoClust.
+        assert_eq!(all.iter().filter(|s| !s.paper_noclust_fixes).count(), 5);
+        // Errors #2 and #4 need tuning.
+        let tuned: Vec<usize> = all.iter().filter(|s| s.needs_tuning).map(|s| s.id).collect();
+        assert_eq!(tuned, vec![2, 4]);
+    }
+
+    #[test]
+    fn every_scenario_app_exists() {
+        for s in scenarios() {
+            let model = s.model();
+            assert_eq!(model.name, s.app);
+        }
+    }
+
+    #[test]
+    fn injections_make_the_symptom_visible() {
+        for s in scenarios() {
+            // Render a healthy-default screen, then apply the injections as
+            // direct config edits: the oracle must flip from fixed to broken.
+            let model = s.model();
+            let healthy = seed_healthy_config(&s);
+            assert!(
+                s.oracle().is_fixed(&(model.render)(&healthy)),
+                "error #{}: healthy state should satisfy the oracle",
+                s.id
+            );
+            let mut broken = healthy.clone();
+            for (key, injection) in &s.injections {
+                match injection {
+                    Injection::Set(v) => {
+                        broken.set(key.clone(), v.clone());
+                    }
+                    Injection::Delete => {
+                        broken.remove(key.as_str());
+                    }
+                }
+            }
+            assert!(
+                !s.oracle().is_fixed(&(model.render)(&broken)),
+                "error #{}: injected state should violate the oracle",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn multi_key_errors_resist_single_key_repair() {
+        for s in scenarios().iter().filter(|s| !s.paper_noclust_fixes) {
+            let model = s.model();
+            let healthy = seed_healthy_config(s);
+            let mut broken = healthy.clone();
+            for (key, injection) in &s.injections {
+                match injection {
+                    Injection::Set(v) => {
+                        broken.set(key.clone(), v.clone());
+                    }
+                    Injection::Delete => {
+                        broken.remove(key.as_str());
+                    }
+                }
+            }
+            // Restore each offending key alone: the symptom must persist.
+            for (key, _) in &s.injections {
+                let mut partial = broken.clone();
+                match healthy.get(key.as_str()) {
+                    Some(v) => {
+                        partial.set(key.clone(), v.clone());
+                    }
+                    None => {
+                        partial.remove(key.as_str());
+                    }
+                }
+                assert!(
+                    !s.oracle().is_fixed(&(model.render)(&partial)),
+                    "error #{}: restoring {} alone should not fix it",
+                    s.id,
+                    key
+                );
+            }
+        }
+    }
+
+    /// A healthy configuration for the scenario's app: defaults plus
+    /// explicit healthy values for the keys the scenarios manipulate.
+    fn seed_healthy_config(s: &ErrorScenario) -> ConfigState {
+        let mut config = ConfigState::new();
+        match s.id {
+            2 => {
+                config.set(Key::new(word::MRU_MAX), Value::from(4));
+                for i in 1..=4 {
+                    config.set(Key::new(word::mru_item(i)), Value::from(format!("d{i}.doc")));
+                }
+            }
+            4 => {
+                config.set(Key::new(explorer::OPENWITH_LIST), Value::from("app_vlc,app_mplayer"));
+                config.set(Key::new(explorer::OPENWITH_VLC), Value::from("vlc.exe"));
+                config.set(Key::new(explorer::OPENWITH_MPLAYER), Value::from("mplayer.exe"));
+            }
+            _ => {}
+        }
+        config
+    }
+}

@@ -1,0 +1,41 @@
+//! # ocasta-apps — the evaluated applications
+//!
+//! Models of the 11 desktop applications the
+//! [Ocasta](https://arxiv.org/abs/1711.04030) paper evaluates (Table II) and
+//! the 16 real-world configuration errors it repairs (Table III).
+//!
+//! An [`AppModel`] combines four things:
+//!
+//! * a configuration schema sized to the paper's per-application key counts;
+//! * a [`ocasta_trace::WorkloadSpec`] describing how the application and its
+//!   user touch those settings (related groups change together, noise keys
+//!   churn, preference dialogs occasionally flush unrelated groups in one
+//!   burst — the oversized-cluster source behind Table II's accuracy);
+//! * ground-truth related-setting groups for accuracy scoring;
+//! * a deterministic render of the visible UI, which the repair tool
+//!   photographs.
+//!
+//! ```
+//! use ocasta_apps::{all_models, scenarios};
+//!
+//! assert_eq!(all_models().len(), 11);
+//! assert_eq!(scenarios().len(), 16);
+//!
+//! let word = ocasta_apps::model_by_name("word").unwrap();
+//! let trace = word.generate_trace(42, 7);
+//! assert!(trace.stats().writes > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builders;
+pub mod catalog;
+mod errors;
+mod model;
+
+pub use builders::AppBuilder;
+pub use catalog::{all_models, model_by_name};
+pub use errors::{scenarios, ErrorScenario, Injection};
+pub use model::{AppModel, LoggerKind};

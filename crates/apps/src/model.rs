@@ -1,0 +1,148 @@
+//! The application model type.
+
+use ocasta_repair::Screenshot;
+use ocasta_trace::{generate, GeneratorConfig, OsFlavor, Trace, WorkloadSpec};
+use ocasta_ttkv::{ConfigState, Key};
+
+/// How the application's configuration store is intercepted (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoggerKind {
+    /// Windows registry API hooking.
+    Registry,
+    /// GConf `LD_PRELOAD` shim.
+    GConf,
+    /// Application-private file with flush diffing.
+    File,
+}
+
+impl std::fmt::Display for LoggerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LoggerKind::Registry => "Registry",
+            LoggerKind::GConf => "GConf",
+            LoggerKind::File => "File",
+        })
+    }
+}
+
+/// A modelled desktop application: its configuration schema, usage workload,
+/// ground-truth setting relationships and rendered UI.
+///
+/// One `AppModel` corresponds to one row of the paper's Table II. The
+/// workload spec drives the trace generator; the truth groups ground the
+/// clustering-accuracy evaluation; the render function gives the repair tool
+/// a deterministic "screen" to photograph.
+#[derive(Debug, Clone)]
+pub struct AppModel {
+    /// Key prefix and identifier (e.g. `"word"`).
+    pub name: &'static str,
+    /// Table II display name (e.g. `"MS Word"`).
+    pub display_name: &'static str,
+    /// Table II category (e.g. `"Word Processor"`).
+    pub category: &'static str,
+    /// Which OS the app ran on in the study.
+    pub os: OsFlavor,
+    /// How its configuration accesses are intercepted.
+    pub logger: LoggerKind,
+    /// Usage behaviour for the trace generator.
+    pub spec: WorkloadSpec,
+    /// Ground-truth related-setting groups (absolute keys). Settings not
+    /// mentioned here are ground-truth singletons.
+    pub truth: Vec<Vec<Key>>,
+    /// Deterministic render of the app's visible state.
+    pub render: fn(&ConfigState) -> Screenshot,
+    /// The paper's Table II `#Keys` for this app (used in reports).
+    pub paper_keys: usize,
+    /// The paper's Table II multi-setting cluster count.
+    pub paper_multi_clusters: usize,
+    /// The paper's Table II total cluster count.
+    pub paper_total_clusters: usize,
+    /// The paper's Table II accuracy (`None` = N/A).
+    pub paper_accuracy: Option<f64>,
+}
+
+impl AppModel {
+    /// Generates this application's usage trace.
+    ///
+    /// `days` and `seed` parameterise the deployment; the same inputs always
+    /// produce the same trace.
+    pub fn generate_trace(&self, days: u64, seed: u64) -> Trace {
+        generate(
+            &GeneratorConfig::new(self.display_name, days, seed),
+            std::slice::from_ref(&self.spec),
+        )
+    }
+
+    /// `true` if `cluster` is *correct* per the paper's conservative
+    /// criterion: every pair of settings in it is dependent, i.e. the
+    /// cluster is contained in one ground-truth group.
+    pub fn cluster_is_correct(&self, cluster: &[Key]) -> bool {
+        if cluster.len() <= 1 {
+            return true;
+        }
+        self.truth
+            .iter()
+            .any(|group| cluster.iter().all(|k| group.contains(k)))
+    }
+
+    /// Total keys in the model (groups + noise + churn + static).
+    pub fn key_count(&self) -> usize {
+        self.spec.key_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_trace::{KeySpec, SettingGroup, ValueKind};
+
+    fn tiny_model() -> AppModel {
+        let mut spec = WorkloadSpec::new("tiny");
+        spec.groups.push(SettingGroup::new(
+            "pair",
+            vec![
+                KeySpec::new("a", ValueKind::Toggle { initial: true }),
+                KeySpec::new("b", ValueKind::Toggle { initial: true }),
+            ],
+            0.5,
+        ));
+        AppModel {
+            name: "tiny",
+            display_name: "Tiny",
+            category: "Test",
+            os: OsFlavor::Linux,
+            logger: LoggerKind::File,
+            spec,
+            truth: vec![vec![Key::new("tiny/a"), Key::new("tiny/b")]],
+            render: |_| Screenshot::new(),
+            paper_keys: 2,
+            paper_multi_clusters: 1,
+            paper_total_clusters: 1,
+            paper_accuracy: Some(100.0),
+        }
+    }
+
+    #[test]
+    fn correctness_criterion() {
+        let model = tiny_model();
+        assert!(model.cluster_is_correct(&[Key::new("tiny/a"), Key::new("tiny/b")]));
+        assert!(model.cluster_is_correct(&[Key::new("tiny/a")]), "singletons are correct");
+        assert!(
+            !model.cluster_is_correct(&[Key::new("tiny/a"), Key::new("tiny/z")]),
+            "a cluster spanning unrelated keys is incorrect"
+        );
+    }
+
+    #[test]
+    fn trace_generation_is_reproducible() {
+        let model = tiny_model();
+        assert_eq!(model.generate_trace(10, 1), model.generate_trace(10, 1));
+    }
+
+    #[test]
+    fn logger_kinds_display() {
+        assert_eq!(LoggerKind::Registry.to_string(), "Registry");
+        assert_eq!(LoggerKind::GConf.to_string(), "GConf");
+        assert_eq!(LoggerKind::File.to_string(), "File");
+    }
+}

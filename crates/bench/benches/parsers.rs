@@ -1,0 +1,56 @@
+//! Configuration-file parser and flush-differ throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocasta::{diff_flush, parse, write, Format, Node};
+
+/// A representative ~N-entry configuration document.
+fn sample_doc(entries: usize) -> Node {
+    let sections: Vec<(String, Node)> = (0..entries / 4)
+        .map(|i| {
+            (
+                format!("section{i:03}"),
+                Node::map([
+                    ("enabled", Node::scalar(i % 2 == 0)),
+                    ("level", Node::scalar(i as i64)),
+                    ("name", Node::scalar(format!("value {i}"))),
+                    ("ratio", Node::scalar(i as f64 / 7.0)),
+                ]),
+            )
+        })
+        .collect();
+    Node::Map(sections)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let doc = sample_doc(400);
+    let mut group = c.benchmark_group("parse");
+    for format in [Format::Json, Format::Xml, Format::Ini, Format::PostScript] {
+        let text = write(format, &doc);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{format}")),
+            &text,
+            |b, text| b.iter(|| parse(format, std::hint::black_box(text)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_flatten_and_diff(c: &mut Criterion) {
+    let before = sample_doc(400);
+    let mut after = sample_doc(400);
+    if let Node::Map(entries) = &mut after {
+        entries.truncate(entries.len() - 5); // a flush that removed a section
+    }
+    c.bench_function("flatten_400_entries", |b| {
+        b.iter(|| std::hint::black_box(&before).flatten())
+    });
+    let flat_before = before.flatten();
+    let flat_after = after.flatten();
+    c.bench_function("diff_flush_400_entries", |b| {
+        b.iter(|| diff_flush(std::hint::black_box(&flat_before), std::hint::black_box(&flat_after)))
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_flatten_and_diff);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Repair-search benchmarks: DFS vs BFS, clustered vs NoClust, and the
+//! sort-on/off ablation (DESIGN.md's ablation of the modification-count
+//! heuristic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocasta::{
+    run_noclust, run_scenario, scenarios, search, singleton_clusters, ClusterParams, FixOracle,
+    Ocasta, ScenarioConfig, Screenshot, SearchConfig, SearchStrategy, Trial,
+};
+
+fn bench_scenario_end_to_end(c: &mut Criterion) {
+    // Error #13 (Chrome) is small and representative: trace generation,
+    // clustering and search all included.
+    let scenario = scenarios().into_iter().find(|s| s.id == 13).unwrap();
+    let mut group = c.benchmark_group("scenario13_end_to_end");
+    group.sample_size(10);
+    for strategy in [SearchStrategy::Dfs, SearchStrategy::Bfs] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                let config = ScenarioConfig {
+                    strategy,
+                    ..ScenarioConfig::default()
+                };
+                b.iter(|| run_scenario(std::hint::black_box(&scenario), &config))
+            },
+        );
+    }
+    group.bench_function("noclust", |b| {
+        let config = ScenarioConfig::default();
+        b.iter(|| run_noclust(std::hint::black_box(&scenario), &config))
+    });
+    group.finish();
+}
+
+fn bench_search_only(c: &mut Criterion) {
+    // Isolate the search: prebuild the store and clustering.
+    let scenario = scenarios().into_iter().find(|s| s.id == 15).unwrap();
+    let config = ScenarioConfig::default();
+    let (store, _inject) = ocasta::prepare_store(&scenario, &config);
+    let clustering = Ocasta::new(ClusterParams::default()).cluster_store(&store);
+    let clusters = clustering.clusters().to_vec();
+    let singles = singleton_clusters(&store);
+    let trial = scenario.trial();
+    let oracle = scenario.oracle();
+    let mut group = c.benchmark_group("search_only_acrobat");
+    group.sample_size(10);
+    group.bench_function("clustered_dfs", |b| {
+        b.iter(|| {
+            search(
+                std::hint::black_box(&store),
+                &clusters,
+                &trial,
+                &oracle,
+                &SearchConfig::default(),
+            )
+        })
+    });
+    group.bench_function("noclust_dfs", |b| {
+        b.iter(|| {
+            search(
+                std::hint::black_box(&store),
+                &singles,
+                &trial,
+                &oracle,
+                &SearchConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_trial_render(c: &mut Criterion) {
+    let trial = Trial::new("render", |config| {
+        let mut shot = Screenshot::new();
+        shot.add_if(config.get_bool("acrobat/ui/menu_bar").unwrap_or(true), "menu_bar");
+        shot
+    });
+    let oracle = FixOracle::element_visible("menu_bar");
+    let config = ocasta::ConfigState::new();
+    c.bench_function("trial_render_and_judge", |b| {
+        b.iter(|| {
+            let shot = trial.run(std::hint::black_box(&config));
+            oracle.is_fixed(&shot)
+        })
+    });
+}
+
+criterion_group!(benches, bench_scenario_end_to_end, bench_search_only, bench_trial_render);
+criterion_main!(benches);

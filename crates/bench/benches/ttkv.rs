@@ -1,0 +1,73 @@
+//! TTKV write/lookup/point-in-time-query throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ocasta::{Key, Timestamp, Ttkv, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn populated_store(keys: usize, writes_per_key: usize) -> Ttkv {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = Ttkv::new();
+    for k in 0..keys {
+        let key = Key::new(format!("app/key{k:05}"));
+        for _ in 0..writes_per_key {
+            let t = Timestamp::from_millis(rng.random_range(0..86_400_000 * 30));
+            store.write(t, key.clone(), Value::from(rng.random_range(0..1_000)));
+        }
+    }
+    store
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttkv_write");
+    for n in [10_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut store = Ttkv::new();
+                for i in 0..n {
+                    store.write(
+                        Timestamp::from_millis(i as u64),
+                        Key::new(format!("app/key{:04}", i % 1000)),
+                        Value::from(i),
+                    );
+                }
+                store
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_value_at(c: &mut Criterion) {
+    let store = populated_store(1_000, 50);
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("ttkv_value_at", |b| {
+        b.iter(|| {
+            let k = format!("app/key{:05}", rng.random_range(0..1_000));
+            let t = Timestamp::from_millis(rng.random_range(0..86_400_000 * 30));
+            std::hint::black_box(store.value_at(&k, t)).cloned()
+        })
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let store = populated_store(1_000, 50);
+    c.bench_function("ttkv_snapshot_1000_keys", |b| {
+        b.iter(|| std::hint::black_box(&store).snapshot_at(Timestamp::from_days(15)))
+    });
+}
+
+fn bench_persist(c: &mut Criterion) {
+    let store = populated_store(500, 20);
+    c.bench_function("ttkv_save", |b| {
+        b.iter(|| std::hint::black_box(&store).save_to_string())
+    });
+    let text = store.save_to_string();
+    c.bench_function("ttkv_load", |b| {
+        b.iter(|| Ttkv::load_from_str(std::hint::black_box(&text)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_writes, bench_value_at, bench_snapshot, bench_persist);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 2 artifact. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::fig2::run());
+}

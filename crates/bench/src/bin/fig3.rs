@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 3 artifact. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::fig3::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 4 artifact. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::fig4::run());
+}

@@ -1,0 +1,16 @@
+//! Regenerates every table and figure of the paper in one run.
+
+fn main() {
+    for (name, output) in [
+        ("table1", ocasta_bench::table1::run()),
+        ("table2", ocasta_bench::table2::run()),
+        ("table3", ocasta_bench::table3::run()),
+        ("table4", ocasta_bench::table4::run()),
+        ("fig2", ocasta_bench::fig2::run()),
+        ("fig3", ocasta_bench::fig3::run()),
+        ("fig4", ocasta_bench::fig4::run()),
+    ] {
+        println!("================ {name} ================");
+        println!("{output}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 artifact. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::table1::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 artifact. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::table3::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table4 artifact. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::table4::run());
+}

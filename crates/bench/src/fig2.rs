@@ -1,0 +1,134 @@
+//! Figure 2 — DFS vs BFS trial counts under three sweeps:
+//! (a) injection age, (b) spurious writes, (c) search time bound.
+
+use ocasta::{
+    run_scenario, ClusterParams, ScenarioConfig, ScenarioOutcome, SearchStrategy,
+};
+
+use crate::render_series;
+
+/// Runs every scenario under `make_config` and returns the mean
+/// trials-to-fix across the fixed cases.
+fn mean_trials(make_config: impl Fn(&ocasta::ErrorScenario) -> ScenarioConfig + Sync) -> f64 {
+    let outcomes = std::sync::Mutex::new(Vec::<ScenarioOutcome>::new());
+    crossbeam::thread::scope(|scope| {
+        for scenario in ocasta::scenarios() {
+            let outcomes = &outcomes;
+            let make_config = &make_config;
+            scope.spawn(move |_| {
+                let config = make_config(&scenario);
+                let outcome = run_scenario(&scenario, &config);
+                outcomes.lock().unwrap().push(outcome);
+            });
+        }
+    })
+    .expect("fig2 workers");
+    let outcomes = outcomes.into_inner().unwrap();
+    let trials: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|o| o.search.trials_to_fix.map(|n| n as f64))
+        .collect();
+    trials.iter().sum::<f64>() / trials.len().max(1) as f64
+}
+
+fn base_config(scenario: &ocasta::ErrorScenario, strategy: SearchStrategy) -> ScenarioConfig {
+    let params = if scenario.needs_tuning {
+        ScenarioConfig::tuned_for(scenario)
+    } else {
+        ClusterParams::default()
+    };
+    ScenarioConfig {
+        strategy,
+        params,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Figure 2a: mean trials vs injection age (days before the end of the
+/// trace), per strategy. The search bound stays at 14 days.
+pub fn by_injection_age(strategy: SearchStrategy) -> Vec<(f64, f64)> {
+    [1u64, 2, 4, 6, 8, 10, 12, 14]
+        .iter()
+        .map(|&age| {
+            let mean = mean_trials(|s| ScenarioConfig {
+                injection_age_days: age,
+                start_bound_days: Some(14),
+                ..base_config(s, strategy)
+            });
+            (age as f64, mean)
+        })
+        .collect()
+}
+
+/// Figure 2b: mean trials vs number of spurious fix attempts after the
+/// injected error.
+pub fn by_spurious_writes(strategy: SearchStrategy) -> Vec<(f64, f64)> {
+    (0u64..=2)
+        .map(|spurious| {
+            let mean = mean_trials(|s| ScenarioConfig {
+                spurious_attempts: spurious,
+                ..base_config(s, strategy)
+            });
+            (spurious as f64, mean)
+        })
+        .collect()
+}
+
+/// Figure 2c: mean trials for an *exhaustive* search as the user's start
+/// bound reaches further into the past. (The y-axis counts all trials in
+/// range, matching the roughly linear growth the paper reports.)
+pub fn by_time_bound(strategy: SearchStrategy) -> Vec<(f64, f64)> {
+    [10u64, 20, 30, 40, 50, 60, 70, 80]
+        .iter()
+        .map(|&bound| {
+            let outcomes = std::sync::Mutex::new(Vec::<f64>::new());
+            crossbeam::thread::scope(|scope| {
+                for scenario in ocasta::scenarios() {
+                    let outcomes = &outcomes;
+                    scope.spawn(move |_| {
+                        let config = ScenarioConfig {
+                            start_bound_days: Some(bound),
+                            ..base_config(&scenario, strategy)
+                        };
+                        let outcome = run_scenario(&scenario, &config);
+                        outcomes
+                            .lock()
+                            .unwrap()
+                            .push(outcome.search.total_trials as f64);
+                    });
+                }
+            })
+            .expect("fig2c workers");
+            let totals = outcomes.into_inner().unwrap();
+            let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
+            (bound as f64, mean)
+        })
+        .collect()
+}
+
+/// Renders all three panels for both strategies.
+pub fn run() -> String {
+    let mut out = String::from("Figure 2: Comparison between DFS and BFS\n\n");
+    for strategy in [SearchStrategy::Bfs, SearchStrategy::Dfs] {
+        out.push_str(&render_series(
+            &format!("2a mean trials vs injection age — {}", strategy.name()),
+            &by_injection_age(strategy),
+        ));
+        out.push('\n');
+    }
+    for strategy in [SearchStrategy::Bfs, SearchStrategy::Dfs] {
+        out.push_str(&render_series(
+            &format!("2b mean trials vs spurious writes — {}", strategy.name()),
+            &by_spurious_writes(strategy),
+        ));
+        out.push('\n');
+    }
+    for strategy in [SearchStrategy::Bfs, SearchStrategy::Dfs] {
+        out.push_str(&render_series(
+            &format!("2c mean exhaustive trials vs time bound — {}", strategy.name()),
+            &by_time_bound(strategy),
+        ));
+        out.push('\n');
+    }
+    out
+}

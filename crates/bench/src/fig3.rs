@@ -1,0 +1,90 @@
+//! Figure 3 — sensitivity of average cluster size to the window size and
+//! the clustering threshold.
+
+use ocasta::{
+    all_models, ClusterParams, Ocasta, PartitionStats, TimePrecision, Ttkv,
+};
+
+use crate::render_series;
+
+/// Days of usage generated per application for the sensitivity sweeps.
+pub const EVAL_DAYS: u64 = 45;
+
+/// Generates each application's store once (the sweeps reuse them).
+pub fn stores() -> Vec<Ttkv> {
+    let out = std::sync::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (i, model) in all_models().into_iter().enumerate() {
+            let out = &out;
+            scope.spawn(move |_| {
+                let trace = model.generate_trace(EVAL_DAYS, 2000 + i as u64);
+                out.lock().unwrap().push(trace.replay(TimePrecision::Seconds));
+            });
+        }
+    })
+    .expect("fig3 workers");
+    out.into_inner().unwrap()
+}
+
+/// Mean multi-cluster size across all apps for one parameter choice.
+fn mean_size(stores: &[Ttkv], params: &ClusterParams) -> f64 {
+    let engine = Ocasta::new(*params);
+    let mut items_in_multi = 0usize;
+    let mut multi = 0usize;
+    for store in stores {
+        let stats: PartitionStats = engine.cluster_store(store).stats();
+        items_in_multi += stats.items_in_multi;
+        multi += stats.multi_clusters;
+    }
+    if multi == 0 {
+        0.0
+    } else {
+        items_in_multi as f64 / multi as f64
+    }
+}
+
+/// Figure 3a: average multi-cluster size vs window size (seconds). Window 0
+/// groups only identical (second-quantised) timestamps — the paper's
+/// left-edge artifact.
+pub fn by_window(stores: &[Ttkv]) -> Vec<(f64, f64)> {
+    [0u64, 1, 2, 5, 10, 30, 60, 120, 300, 600]
+        .iter()
+        .map(|&secs| {
+            let params = ClusterParams {
+                window_ms: secs * 1000,
+                ..ClusterParams::default()
+            };
+            (secs as f64, mean_size(stores, &params))
+        })
+        .collect()
+}
+
+/// Figure 3b: average multi-cluster size vs correlation threshold.
+pub fn by_threshold(stores: &[Ttkv]) -> Vec<(f64, f64)> {
+    [0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0]
+        .iter()
+        .map(|&threshold| {
+            let params = ClusterParams {
+                correlation_threshold: threshold,
+                ..ClusterParams::default()
+            };
+            (threshold, mean_size(stores, &params))
+        })
+        .collect()
+}
+
+/// Renders both panels.
+pub fn run() -> String {
+    let stores = stores();
+    let mut out = String::from("Figure 3: Average cluster size\n\n");
+    out.push_str(&render_series(
+        "3a avg multi-cluster size vs window size (s)",
+        &by_window(&stores),
+    ));
+    out.push('\n');
+    out.push_str(&render_series(
+        "3b avg multi-cluster size vs clustering threshold",
+        &by_threshold(&stores),
+    ));
+    out
+}

@@ -1,0 +1,131 @@
+//! Table I — summary of trace statistics for the nine machines/users.
+
+use ocasta::{
+    all_models, generate, GeneratorConfig, OsFlavor, TimePrecision, TtkvStats, WorkloadSpec,
+    TABLE1_PROFILES,
+};
+
+use crate::render_table;
+
+/// One regenerated Table I row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Machine/user name.
+    pub name: String,
+    /// Deployment days.
+    pub days: u64,
+    /// Measured reads.
+    pub reads: u64,
+    /// Measured writes (including deletions, as the paper counts
+    /// modifications).
+    pub writes: u64,
+    /// Distinct keys.
+    pub keys: u64,
+    /// Approximate TTKV size in bytes.
+    pub ttkv_bytes: u64,
+    /// Published reads (for the comparison column).
+    pub paper_reads: u64,
+    /// Published writes.
+    pub paper_writes: u64,
+    /// Published key count.
+    pub paper_keys: u64,
+}
+
+/// The application mix for one machine. Windows machines run the full
+/// Windows catalog; the Linux users' TTKVs "only store keys from the
+/// application-file logger" for Linux-2/3/4 (Table I's caption), which the
+/// Table III cases identify as Chrome (Linux-2) and Acrobat (Linux-3/4).
+fn specs_for(machine: &str, os: OsFlavor) -> Vec<WorkloadSpec> {
+    let wanted: Option<&[&str]> = match machine {
+        "Linux-2" => Some(&["chrome"]),
+        "Linux-3" | "Linux-4" => Some(&["acrobat"]),
+        _ => None,
+    };
+    all_models()
+        .into_iter()
+        .filter(|m| m.os == os)
+        .filter(|m| wanted.is_none_or(|names| names.contains(&m.name)))
+        .map(|m| m.spec)
+        .collect()
+}
+
+/// Generates all nine machines and computes their statistics.
+pub fn rows() -> Vec<Row> {
+    let results = std::sync::Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for profile in &TABLE1_PROFILES {
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut specs = specs_for(profile.name, profile.os);
+                profile.calibrate(&mut specs);
+                let config = GeneratorConfig::new(profile.name, profile.days, profile.seed);
+                let trace = generate(&config, &specs);
+                let stats = trace.stats();
+                let store = trace.replay(TimePrecision::Seconds);
+                results.lock().unwrap().push(Row {
+                    name: profile.name.to_owned(),
+                    days: profile.days,
+                    reads: stats.reads,
+                    writes: stats.writes + stats.deletes,
+                    keys: stats.keys,
+                    ttkv_bytes: store.approx_bytes(),
+                    paper_reads: profile.target_reads,
+                    paper_writes: profile.target_writes,
+                    paper_keys: profile.target_keys,
+                });
+            });
+        }
+    })
+    .expect("table1 workers");
+    let mut rows = results.into_inner().unwrap();
+    rows.sort_by_key(|r| {
+        TABLE1_PROFILES
+            .iter()
+            .position(|p| p.name == r.name)
+            .unwrap_or(usize::MAX)
+    });
+    rows
+}
+
+/// Renders the paper-shaped table with measured-vs-published columns.
+pub fn run() -> String {
+    let rows = rows();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.days.to_string(),
+                TtkvStats::humanize(r.reads),
+                TtkvStats::humanize(r.writes),
+                r.keys.to_string(),
+                TtkvStats::humanize_bytes(r.ttkv_bytes),
+                TtkvStats::humanize(r.paper_reads),
+                TtkvStats::humanize(r.paper_writes),
+                r.paper_keys.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table I: Summary of trace statistics (measured | paper)\n\n");
+    out.push_str(&render_table(
+        &[
+            "Name", "Days", "Reads", "Writes", "# Keys", "TTKV Size", "Reads(p)", "Writes(p)",
+            "# Keys(p)",
+        ],
+        &body,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_machine_specs_split_the_catalog() {
+        assert_eq!(specs_for("Windows 7", OsFlavor::Windows).len(), 6);
+        assert_eq!(specs_for("Linux-1", OsFlavor::Linux).len(), 5);
+        assert_eq!(specs_for("Linux-2", OsFlavor::Linux).len(), 1);
+        assert_eq!(specs_for("Linux-3", OsFlavor::Linux).len(), 1);
+    }
+}

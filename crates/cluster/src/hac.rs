@@ -1,0 +1,289 @@
+//! Hierarchical agglomerative clustering (nearest-neighbor-chain algorithm).
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::linkage::Linkage;
+use crate::matrix::DistanceMatrix;
+
+/// Runs hierarchical agglomerative clustering over a distance matrix.
+///
+/// Uses the nearest-neighbor-chain algorithm, which runs in `O(n²)` time and
+/// is exact for the *reducible* linkage criteria this crate offers (complete,
+/// single, average). Pairs at infinite distance still merge — at distance
+/// `∞` — so the result is always a full hierarchy; [`Dendrogram::cut`] at any
+/// finite threshold keeps unrelated items apart.
+///
+/// The input matrix is consumed by copy (it is mutated during clustering);
+/// pass a clone if you need it afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_cluster::{hac, DistanceMatrix, Linkage};
+///
+/// // Two tight pairs, loosely related to each other.
+/// let mut m = DistanceMatrix::new_filled(4, 10.0);
+/// m.set(0, 1, 0.5);
+/// m.set(2, 3, 0.6);
+/// let dendro = hac(&m, Linkage::Complete);
+/// assert_eq!(dendro.cut(1.0), vec![vec![0, 1], vec![2, 3]]);
+/// assert_eq!(dendro.cut(10.0).len(), 1);
+/// ```
+#[allow(clippy::needless_range_loop)] // slot indices are compared and reused across arrays
+pub fn hac(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+    let n = matrix.len();
+    if n < 2 {
+        return Dendrogram::new(n, Vec::new());
+    }
+
+    let mut dist = matrix.clone();
+    let mut active = vec![true; n];
+    let mut size = vec![1usize; n];
+    // `label[slot]` is the dendrogram node id currently living in `slot`.
+    let mut label: Vec<usize> = (0..n).collect();
+    let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut next_id = n;
+
+    for _ in 0..(n - 1) {
+        if chain.len() < 2 {
+            let start = (0..n).find(|&i| active[i]).expect("an active slot remains");
+            chain.clear();
+            chain.push(start);
+        }
+        loop {
+            let a = *chain.last().expect("chain is non-empty");
+            let prev = chain.len().checked_sub(2).map(|i| chain[i]);
+            // Nearest active neighbour of `a`, preferring the previous chain
+            // element on ties (required for termination).
+            let mut best: Option<usize> = None;
+            let mut best_d = f64::INFINITY;
+            for j in 0..n {
+                if j == a || !active[j] {
+                    continue;
+                }
+                let d = dist.get(a, j);
+                let better = match best {
+                    None => true,
+                    Some(b) => d < best_d || (d == best_d && Some(j) == prev && Some(b) != prev),
+                };
+                if better {
+                    best = Some(j);
+                    best_d = d;
+                }
+            }
+            let b = best.expect("at least two active slots remain");
+            if Some(b) == prev {
+                // Reciprocal nearest neighbours: merge slots a and b.
+                chain.pop();
+                chain.pop();
+                let keep = a.min(b);
+                let drop = a.max(b);
+                let merged_size = size[a] + size[b];
+                merges.push(Merge {
+                    left: label[keep],
+                    right: label[drop],
+                    distance: best_d,
+                    size: merged_size,
+                });
+                for k in 0..n {
+                    if k == keep || k == drop || !active[k] {
+                        continue;
+                    }
+                    let d = linkage.merge_distance(
+                        dist.get(keep, k),
+                        dist.get(drop, k),
+                        size[keep],
+                        size[drop],
+                    );
+                    dist.set(keep, k, d);
+                }
+                active[drop] = false;
+                size[keep] = merged_size;
+                label[keep] = next_id;
+                next_id += 1;
+                break;
+            }
+            chain.push(b);
+        }
+    }
+
+    // NN-chain can emit merges out of global distance order while still
+    // producing the correct hierarchy; sort stably so the dendrogram is
+    // monotone, remapping node ids to the new merge order.
+    sort_merges(n, &mut merges);
+    Dendrogram::new(n, merges)
+}
+
+/// Stable-sorts merges by distance and rewrites internal node ids to match
+/// the new order.
+fn sort_merges(n_items: usize, merges: &mut Vec<Merge>) {
+    let m = merges.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        merges[a]
+            .distance
+            .partial_cmp(&merges[b].distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    // old merge index -> new node id
+    let mut remap = vec![0usize; m];
+    for (new_pos, &old_pos) in order.iter().enumerate() {
+        remap[old_pos] = n_items + new_pos;
+    }
+    let relabel = |id: usize| {
+        if id < n_items {
+            id
+        } else {
+            remap[id - n_items]
+        }
+    };
+    let mut sorted = Vec::with_capacity(m);
+    for &old_pos in &order {
+        let merge = merges[old_pos];
+        sorted.push(Merge {
+            left: relabel(merge.left),
+            right: relabel(merge.right),
+            distance: merge.distance,
+            size: merge.size,
+        });
+    }
+    *merges = sorted;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, entries: &[(usize, usize, f64)]) -> DistanceMatrix {
+        let mut m = DistanceMatrix::new_filled(n, f64::INFINITY);
+        for &(i, j, d) in entries {
+            m.set(i, j, d);
+        }
+        m
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(hac(&DistanceMatrix::new_filled(0, 0.0), Linkage::Complete).merges().len(), 0);
+        assert_eq!(hac(&DistanceMatrix::new_filled(1, 0.0), Linkage::Complete).merges().len(), 0);
+        let d = hac(&matrix(2, &[(0, 1, 0.4)]), Linkage::Complete);
+        assert_eq!(d.merges().len(), 1);
+        assert_eq!(d.cut(0.4), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn complete_linkage_separates_loose_chains() {
+        // 0-1 close, 1-2 close, but 0-2 far: complete linkage must not put
+        // all three together below 0.9.
+        let m = matrix(3, &[(0, 1, 0.1), (1, 2, 0.2), (0, 2, 0.9)]);
+        let dendro = hac(&m, Linkage::Complete);
+        assert_eq!(dendro.cut(0.5), vec![vec![0, 1], vec![2]]);
+        // Single linkage chains them.
+        let dendro_single = hac(&m, Linkage::Single);
+        assert_eq!(dendro_single.cut(0.5), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dendrogram_is_monotone_for_all_linkages() {
+        let m = matrix(
+            5,
+            &[
+                (0, 1, 0.3),
+                (0, 2, 0.7),
+                (1, 2, 0.4),
+                (2, 3, 0.2),
+                (3, 4, 0.9),
+                (0, 4, 1.5),
+            ],
+        );
+        for linkage in Linkage::ALL {
+            let d = hac(&m, linkage);
+            assert!(d.is_monotone(), "{linkage:?} produced non-monotone merges");
+            assert_eq!(d.merges().len(), 4);
+        }
+    }
+
+    #[test]
+    fn infinite_distances_never_cluster_below_finite_threshold() {
+        let m = matrix(4, &[(0, 1, 0.5), (2, 3, 0.5)]);
+        let dendro = hac(&m, Linkage::Complete);
+        let clusters = dendro.cut(1_000.0);
+        assert_eq!(clusters, vec![vec![0, 1], vec![2, 3]]);
+        // The full hierarchy still exists (merged at infinity).
+        assert_eq!(dendro.merges().len(), 3);
+        assert!(dendro.merges()[2].distance.is_infinite());
+    }
+
+    #[test]
+    fn matches_bruteforce_on_small_inputs() {
+        // Exhaustive check against a naive O(n³) implementation.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..50 {
+            let n = 2 + (trial % 7);
+            let mut m = DistanceMatrix::new_filled(n, 0.0);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    // Distinct distances avoid tie ambiguity between the two
+                    // algorithms.
+                    m.set(i, j, rng.random_range(1..100_000) as f64 / 100.0);
+                }
+            }
+            let fast = hac(&m, Linkage::Complete);
+            let slow = naive_hac(&m, Linkage::Complete);
+            let cuts = [0.5, 5.0, 50.0, 500.0];
+            for &t in &cuts {
+                assert_eq!(fast.cut(t), slow.cut(t), "n={n} threshold={t}");
+            }
+        }
+    }
+
+    /// Naive HAC: repeatedly merge the globally closest pair.
+    #[allow(clippy::needless_range_loop)]
+    fn naive_hac(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+        let n = matrix.len();
+        let mut dist = matrix.clone();
+        let mut active: Vec<bool> = vec![true; n];
+        let mut size = vec![1usize; n];
+        let mut label: Vec<usize> = (0..n).collect();
+        let mut merges = Vec::new();
+        let mut next_id = n;
+        for _ in 0..n.saturating_sub(1) {
+            let mut best = (0, 0, f64::INFINITY);
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in (i + 1)..n {
+                    if !active[j] {
+                        continue;
+                    }
+                    if dist.get(i, j) < best.2 {
+                        best = (i, j, dist.get(i, j));
+                    }
+                }
+            }
+            let (a, b, d) = best;
+            merges.push(Merge {
+                left: label[a],
+                right: label[b],
+                distance: d,
+                size: size[a] + size[b],
+            });
+            for k in 0..n {
+                if k == a || k == b || !active[k] {
+                    continue;
+                }
+                let nd = linkage.merge_distance(dist.get(a, k), dist.get(b, k), size[a], size[b]);
+                dist.set(a, k, nd);
+            }
+            active[b] = false;
+            size[a] += size[b];
+            label[a] = next_id;
+            next_id += 1;
+        }
+        Dendrogram::new(n, merges)
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the clustering engine.
+
+use proptest::prelude::*;
+
+use ocasta_cluster::{
+    cluster_events, hac, transactions, ClusterParams, Correlations, DistanceMatrix, Linkage,
+    WriteEvent,
+};
+
+fn events(n_items: usize, max_events: usize) -> impl Strategy<Value = Vec<WriteEvent>> {
+    prop::collection::vec(
+        (0..n_items, 0u64..200_000u64).prop_map(|(item, t)| WriteEvent::new(item, t)),
+        0..max_events,
+    )
+}
+
+proptest! {
+    /// Transactions partition the set of written items: every written item
+    /// appears in at least one transaction, and transactions are sorted and
+    /// deduplicated.
+    #[test]
+    fn transactions_cover_written_items(
+        evs in events(10, 80),
+        window in 0u64..5_000,
+    ) {
+        let txns = transactions(&evs, window);
+        let written: std::collections::BTreeSet<usize> =
+            evs.iter().map(|e| e.item).collect();
+        let in_txns: std::collections::BTreeSet<usize> =
+            txns.iter().flatten().copied().collect();
+        prop_assert_eq!(written, in_txns);
+        for txn in &txns {
+            prop_assert!(!txn.is_empty());
+            prop_assert!(txn.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
+
+    /// Widening the window can only reduce (or keep) the number of
+    /// transactions: windows merge, never split.
+    #[test]
+    fn wider_window_never_splits_transactions(
+        evs in events(10, 80),
+        w1 in 0u64..2_000,
+        extra in 0u64..5_000,
+    ) {
+        let narrow = transactions(&evs, w1).len();
+        let wide = transactions(&evs, w1 + extra).len();
+        prop_assert!(wide <= narrow);
+    }
+
+    /// Correlation is symmetric and bounded by [0, 2].
+    #[test]
+    fn correlation_symmetric_and_bounded(evs in events(8, 80), window in 0u64..3_000) {
+        let txns = transactions(&evs, window);
+        let corr = Correlations::from_transactions(8, &txns);
+        for a in 0..8 {
+            for b in 0..8 {
+                let c = corr.correlation(a, b);
+                prop_assert!((0.0..=2.0).contains(&c), "corr({a},{b}) = {c}");
+                prop_assert_eq!(c, corr.correlation(b, a));
+            }
+        }
+    }
+
+    /// An item's correlation with itself is 2 whenever it has any writes.
+    #[test]
+    fn self_correlation_is_two(evs in events(8, 80)) {
+        let txns = transactions(&evs, 1_000);
+        let corr = Correlations::from_transactions(8, &txns);
+        for a in 0..8 {
+            if corr.txn_count(a) > 0 {
+                prop_assert_eq!(corr.correlation(a, a), 2.0);
+            }
+        }
+    }
+
+    /// HAC dendrograms are monotone for every linkage, and every cut is a
+    /// partition of the items.
+    #[test]
+    fn dendrogram_monotone_and_cuts_partition(
+        dists in prop::collection::vec(0.01f64..100.0, 45), // 10 items condensed
+        threshold in 0.01f64..100.0,
+    ) {
+        let n = 10;
+        let mut m = DistanceMatrix::new_filled(n, 0.0);
+        let mut it = dists.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, it.next().unwrap());
+            }
+        }
+        for linkage in Linkage::ALL {
+            let d = hac(&m, linkage);
+            prop_assert!(d.is_monotone(), "{:?}", linkage);
+            let cut = d.cut(threshold);
+            let mut seen: Vec<usize> = cut.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Cut granularity is monotone in the threshold: raising the threshold
+    /// never increases the number of clusters.
+    #[test]
+    fn cut_count_monotone_in_threshold(
+        dists in prop::collection::vec(0.01f64..100.0, 45),
+        t1 in 0.01f64..100.0,
+        extra in 0.0f64..50.0,
+    ) {
+        let n = 10;
+        let mut m = DistanceMatrix::new_filled(n, 0.0);
+        let mut it = dists.into_iter();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, it.next().unwrap());
+            }
+        }
+        let d = hac(&m, Linkage::Complete);
+        prop_assert!(d.cut(t1 + extra).len() <= d.cut(t1).len());
+    }
+
+    /// With the paper's strictest threshold (correlation 2), every pair in a
+    /// multi-item cluster must be perfectly correlated under complete
+    /// linkage.
+    #[test]
+    fn strict_threshold_only_groups_perfect_pairs(evs in events(8, 100)) {
+        let params = ClusterParams::default();
+        let clusters = cluster_events(8, &evs, &params);
+        let txns = transactions(&evs, params.window_ms);
+        let corr = Correlations::from_transactions(8, &txns);
+        for cluster in clusters.iter().filter(|c| c.len() > 1) {
+            for (i, &a) in cluster.iter().enumerate() {
+                for &b in &cluster[i + 1..] {
+                    prop_assert_eq!(corr.correlation(a, b), 2.0);
+                }
+            }
+        }
+    }
+
+    /// The pipeline's output is always a partition of the item space.
+    #[test]
+    fn pipeline_output_is_partition(
+        evs in events(12, 120),
+        window in 0u64..3_000,
+        threshold in 0.2f64..2.0,
+    ) {
+        let params = ClusterParams {
+            window_ms: window,
+            correlation_threshold: threshold,
+            ..ClusterParams::default()
+        };
+        let clusters = cluster_events(12, &evs, &params);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,212 @@
+//! Clustering-accuracy evaluation against application ground truth
+//! (Table II).
+
+use ocasta_apps::AppModel;
+use ocasta_cluster::ClusterParams;
+use ocasta_ttkv::{Key, TimePrecision};
+
+use crate::pipeline::{Clustering, Ocasta};
+
+/// Accuracy results for one application (one Table II row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppAccuracy {
+    /// Display name (e.g. `"MS Word"`).
+    pub app: String,
+    /// Table II category.
+    pub category: String,
+    /// Distinct keys observed in the trace.
+    pub keys: usize,
+    /// Clusters with more than one setting.
+    pub multi_clusters: usize,
+    /// All clusters, singletons included.
+    pub total_clusters: usize,
+    /// Multi-setting clusters whose members are all mutually dependent.
+    pub correct_multi: usize,
+    /// Incorrect multi clusters (contain unrelated settings — oversized).
+    pub oversized: usize,
+    /// Correct multi clusters that are strict subsets of a larger truth
+    /// group (undersized; still *correct* by the paper's criterion).
+    pub undersized: usize,
+    /// The paper's accuracy for this app (`None` = N/A).
+    pub paper_accuracy: Option<f64>,
+}
+
+impl AppAccuracy {
+    /// Accuracy: correct multi clusters over all multi clusters, or `None`
+    /// when the app produced no multi clusters (Table II's "N/A").
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.multi_clusters == 0 {
+            None
+        } else {
+            Some(100.0 * self.correct_multi as f64 / self.multi_clusters as f64)
+        }
+    }
+}
+
+/// Evaluates one application: generates its usage trace, clusters it and
+/// scores every multi-setting cluster against the model's ground truth.
+pub fn evaluate_model(
+    model: &AppModel,
+    days: u64,
+    seed: u64,
+    params: &ClusterParams,
+) -> AppAccuracy {
+    let trace = model.generate_trace(days, seed);
+    let store = trace.replay(TimePrecision::Seconds);
+    let clustering = Ocasta::new(*params).cluster_store(&store);
+    score(model, &clustering, store.len())
+}
+
+/// Scores an existing clustering against a model's ground truth.
+pub fn score(model: &AppModel, clustering: &Clustering, observed_keys: usize) -> AppAccuracy {
+    let mut multi = 0usize;
+    let mut correct = 0usize;
+    let mut oversized = 0usize;
+    let mut undersized = 0usize;
+    for cluster in clustering.multi_clusters() {
+        multi += 1;
+        if model.cluster_is_correct(cluster) {
+            correct += 1;
+            if is_strict_subset_of_truth(model, cluster) {
+                undersized += 1;
+            }
+        } else {
+            oversized += 1;
+        }
+    }
+    AppAccuracy {
+        app: model.display_name.to_owned(),
+        category: model.category.to_owned(),
+        keys: observed_keys,
+        multi_clusters: multi,
+        total_clusters: clustering.len(),
+        correct_multi: correct,
+        oversized,
+        undersized,
+        paper_accuracy: model.paper_accuracy,
+    }
+}
+
+fn is_strict_subset_of_truth(model: &AppModel, cluster: &[Key]) -> bool {
+    model
+        .truth
+        .iter()
+        .any(|group| cluster.iter().all(|k| group.contains(k)) && cluster.len() < group.len())
+}
+
+/// Aggregate accuracy over several apps: the paper reports both the
+/// *overall* ratio (total correct / total multi = 88.6%) and the *mean*
+/// per-app accuracy (72.3%).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AccuracySummary {
+    /// Total multi-setting clusters across apps.
+    pub multi_clusters: usize,
+    /// Total correct multi-setting clusters.
+    pub correct_multi: usize,
+    /// Mean of per-app accuracies (apps with no multi clusters excluded).
+    pub mean_accuracy: f64,
+}
+
+impl AccuracySummary {
+    /// Builds the summary from per-app results.
+    pub fn from_apps(apps: &[AppAccuracy]) -> Self {
+        let multi: usize = apps.iter().map(|a| a.multi_clusters).sum();
+        let correct: usize = apps.iter().map(|a| a.correct_multi).sum();
+        let accuracies: Vec<f64> = apps.iter().filter_map(AppAccuracy::accuracy).collect();
+        let mean = if accuracies.is_empty() {
+            0.0
+        } else {
+            accuracies.iter().sum::<f64>() / accuracies.len() as f64
+        };
+        AccuracySummary {
+            multi_clusters: multi,
+            correct_multi: correct,
+            mean_accuracy: mean,
+        }
+    }
+
+    /// Overall accuracy: total correct over total multi clusters (the
+    /// paper's 88.6%).
+    pub fn overall_accuracy(&self) -> f64 {
+        if self.multi_clusters == 0 {
+            0.0
+        } else {
+            100.0 * self.correct_multi as f64 / self.multi_clusters as f64
+        }
+    }
+}
+
+/// Evaluates all 11 applications with the default parameters and a fixed
+/// per-app seed (deterministic; regenerates Table II).
+pub fn evaluate_all(days: u64) -> Vec<AppAccuracy> {
+    ocasta_apps::all_models()
+        .iter()
+        .enumerate()
+        .map(|(i, model)| {
+            evaluate_model(model, days, 1000 + i as u64, &ClusterParams::default())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_apps::model_by_name;
+
+    #[test]
+    fn chrome_clusters_cleanly() {
+        let model = model_by_name("chrome").unwrap();
+        let result = evaluate_model(&model, 40, 7, &ClusterParams::default());
+        assert_eq!(result.accuracy(), Some(100.0), "{result:?}");
+        assert_eq!(result.multi_clusters, 1);
+        assert!(result.total_clusters >= 25, "{result:?}");
+    }
+
+    #[test]
+    fn gedit_single_multi_cluster_is_oversized() {
+        let model = model_by_name("gedit").unwrap();
+        let result = evaluate_model(&model, 40, 7, &ClusterParams::default());
+        assert_eq!(result.multi_clusters, 1, "{result:?}");
+        assert_eq!(result.accuracy(), Some(0.0));
+        assert_eq!(result.oversized, 1);
+    }
+
+    #[test]
+    fn eog_has_no_multi_clusters() {
+        let model = model_by_name("eog").unwrap();
+        let result = evaluate_model(&model, 40, 7, &ClusterParams::default());
+        assert_eq!(result.accuracy(), None);
+        assert_eq!(result.multi_clusters, 0);
+    }
+
+    #[test]
+    fn summary_combines_overall_and_mean() {
+        let apps = vec![
+            AppAccuracy {
+                app: "A".into(),
+                category: "X".into(),
+                keys: 10,
+                multi_clusters: 9,
+                total_clusters: 12,
+                correct_multi: 9,
+                oversized: 0,
+                undersized: 0,
+                paper_accuracy: None,
+            },
+            AppAccuracy {
+                app: "B".into(),
+                category: "Y".into(),
+                keys: 10,
+                multi_clusters: 1,
+                total_clusters: 3,
+                correct_multi: 0,
+                oversized: 1,
+                undersized: 0,
+                paper_accuracy: None,
+            },
+        ];
+        let summary = AccuracySummary::from_apps(&apps);
+        assert_eq!(summary.overall_accuracy(), 90.0);
+        assert_eq!(summary.mean_accuracy, 50.0);
+    }
+}

@@ -1,0 +1,421 @@
+//! `ocasta` — command-line front end for the Ocasta reproduction.
+//!
+//! ```text
+//! ocasta generate --app <name>... --days <n> [--seed <n>] -o trace.txt
+//! ocasta stats    <trace.txt>
+//! ocasta replay   <trace.txt> -o store.ttkv
+//! ocasta clusters <store.ttkv> [--window <secs>] [--threshold <corr>] [--app <prefix>] [--multi-only]
+//! ocasta history  <store.ttkv> <key>
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace deliberately keeps its
+//! dependency set minimal); see [`Command::parse`].
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use ocasta::{
+    generate, model_by_name, ClusterParams, GeneratorConfig, Key, Ocasta, TimePrecision, Trace,
+    Ttkv, TtkvStats,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match Command::parse(&args) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match command.run() {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  ocasta generate --app <name>... --days <n> [--seed <n>] -o <trace.txt>
+  ocasta stats    <trace.txt>
+  ocasta replay   <trace.txt> -o <store.ttkv>
+  ocasta clusters <store.ttkv> [--window <secs>] [--threshold <corr>]
+                  [--app <prefix>] [--multi-only]
+  ocasta history  <store.ttkv> <key>
+
+applications for `generate`: outlook evolution ie chrome word gedit eog
+paint acrobat explorer wmp";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    Generate {
+        apps: Vec<String>,
+        days: u64,
+        seed: u64,
+        output: String,
+    },
+    Stats {
+        trace: String,
+    },
+    Replay {
+        trace: String,
+        output: String,
+    },
+    Clusters {
+        store: String,
+        window_secs: u64,
+        threshold: f64,
+        app: Option<String>,
+        multi_only: bool,
+    },
+    History {
+        store: String,
+        key: String,
+    },
+}
+
+impl Command {
+    /// Parses the argument vector (without the program name).
+    fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter().map(String::as_str);
+        let verb = it.next().ok_or("missing subcommand")?;
+        let rest: Vec<&str> = it.collect();
+        match verb {
+            "generate" => {
+                let mut apps = Vec::new();
+                let mut days = None;
+                let mut seed = 0u64;
+                let mut output = None;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--app" => {
+                            apps.push(value_of(&rest, &mut i)?.to_owned());
+                        }
+                        "--days" => days = Some(parse_num(value_of(&rest, &mut i)?)?),
+                        "--seed" => seed = parse_num(value_of(&rest, &mut i)?)?,
+                        "-o" | "--output" => output = Some(value_of(&rest, &mut i)?.to_owned()),
+                        other => return Err(format!("unknown argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                if apps.is_empty() {
+                    return Err("generate needs at least one --app".into());
+                }
+                Ok(Command::Generate {
+                    apps,
+                    days: days.ok_or("generate needs --days")?,
+                    seed,
+                    output: output.ok_or("generate needs -o <trace.txt>")?,
+                })
+            }
+            "stats" => match rest.as_slice() {
+                [trace] => Ok(Command::Stats {
+                    trace: (*trace).to_owned(),
+                }),
+                _ => Err("stats takes exactly one trace file".into()),
+            },
+            "replay" => {
+                let mut trace = None;
+                let mut output = None;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "-o" | "--output" => output = Some(value_of(&rest, &mut i)?.to_owned()),
+                        other if trace.is_none() => trace = Some(other.to_owned()),
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                Ok(Command::Replay {
+                    trace: trace.ok_or("replay needs a trace file")?,
+                    output: output.ok_or("replay needs -o <store.ttkv>")?,
+                })
+            }
+            "clusters" => {
+                let mut store = None;
+                let mut window_secs = 1u64;
+                let mut threshold = 2.0f64;
+                let mut app = None;
+                let mut multi_only = false;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--window" => window_secs = parse_num(value_of(&rest, &mut i)?)?,
+                        "--threshold" => {
+                            threshold = value_of(&rest, &mut i)?
+                                .parse()
+                                .map_err(|e| format!("bad threshold: {e}"))?
+                        }
+                        "--app" => app = Some(value_of(&rest, &mut i)?.to_owned()),
+                        "--multi-only" => multi_only = true,
+                        other if store.is_none() => store = Some(other.to_owned()),
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                if !(threshold > 0.0 && threshold <= 2.0) {
+                    return Err(format!("threshold must be in (0, 2], got {threshold}"));
+                }
+                Ok(Command::Clusters {
+                    store: store.ok_or("clusters needs a store file")?,
+                    window_secs,
+                    threshold,
+                    app,
+                    multi_only,
+                })
+            }
+            "history" => match rest.as_slice() {
+                [store, key] => Ok(Command::History {
+                    store: (*store).to_owned(),
+                    key: (*key).to_owned(),
+                }),
+                _ => Err("history takes a store file and a key".into()),
+            },
+            other => Err(format!("unknown subcommand `{other}`")),
+        }
+    }
+
+    /// Executes the command, returning its stdout text.
+    fn run(&self) -> Result<String, String> {
+        match self {
+            Command::Generate {
+                apps,
+                days,
+                seed,
+                output,
+            } => {
+                let mut specs = Vec::new();
+                for name in apps {
+                    let model = model_by_name(name)
+                        .ok_or_else(|| format!("unknown application `{name}`"))?;
+                    specs.push(model.spec);
+                }
+                let trace = generate(&GeneratorConfig::new("cli", *days, *seed), &specs);
+                let file = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+                trace
+                    .save(BufWriter::new(file))
+                    .map_err(|e| e.to_string())?;
+                let stats = trace.stats();
+                Ok(format!(
+                    "wrote {output}: {} days, {} writes, {} keys\n",
+                    stats.days,
+                    TtkvStats::humanize(stats.writes + stats.deletes),
+                    stats.keys,
+                ))
+            }
+            Command::Stats { trace } => {
+                let trace = load_trace(trace)?;
+                let stats = trace.stats();
+                Ok(format!(
+                    "{}: {} days, {} reads, {} writes, {} deletes, {} keys\n",
+                    trace.name(),
+                    stats.days,
+                    TtkvStats::humanize(stats.reads),
+                    TtkvStats::humanize(stats.writes),
+                    stats.deletes,
+                    stats.keys,
+                ))
+            }
+            Command::Replay { trace, output } => {
+                let trace = load_trace(trace)?;
+                let store = trace.replay(TimePrecision::Seconds);
+                let file = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+                store
+                    .save(BufWriter::new(file))
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("wrote {output}: {}\n", store.stats()))
+            }
+            Command::Clusters {
+                store,
+                window_secs,
+                threshold,
+                app,
+                multi_only,
+            } => {
+                let store = load_store(store)?;
+                let params = ClusterParams {
+                    window_ms: window_secs * 1000,
+                    correlation_threshold: *threshold,
+                    ..ClusterParams::default()
+                };
+                let engine = Ocasta::new(params);
+                let clustering = match app {
+                    Some(prefix) => engine.cluster_app(&store, &Key::new(prefix)),
+                    None => engine.cluster_store(&store),
+                };
+                let mut out = String::new();
+                for cluster in clustering.clusters() {
+                    if *multi_only && cluster.len() < 2 {
+                        continue;
+                    }
+                    let names: Vec<&str> = cluster.iter().map(Key::as_str).collect();
+                    out.push_str(&format!("{}\t{}\n", cluster.len(), names.join(" ")));
+                }
+                let stats = clustering.stats();
+                out.push_str(&format!(
+                    "# {} clusters ({} multi-setting), mean multi size {:.2}\n",
+                    stats.clusters,
+                    stats.multi_clusters,
+                    stats.mean_multi_cluster_size(),
+                ));
+                Ok(out)
+            }
+            Command::History { store, key } => {
+                let store = load_store(store)?;
+                let record = store
+                    .record(key)
+                    .ok_or_else(|| format!("key `{key}` not in store"))?;
+                let mut out = format!(
+                    "{key}: {} reads, {} writes, {} deletes\n",
+                    record.reads, record.writes, record.deletes
+                );
+                for version in record.history() {
+                    match &version.value {
+                        Some(value) => {
+                            out.push_str(&format!("  {}  = {}\n", version.timestamp, value))
+                        }
+                        None => out.push_str(&format!("  {}  (deleted)\n", version.timestamp)),
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+fn value_of<'a>(rest: &[&'a str], i: &mut usize) -> Result<&'a str, String> {
+    let flag = rest[*i];
+    *i += 1;
+    rest.get(*i)
+        .copied()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_num(text: &str) -> Result<u64, String> {
+    text.parse().map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    Trace::load(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn load_store(path: &str) -> Result<Ttkv, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    Ttkv::load(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        Command::parse(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd = parse(&[
+            "generate", "--app", "chrome", "--app", "gedit", "--days", "30", "--seed", "7", "-o",
+            "t.txt",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                apps: vec!["chrome".into(), "gedit".into()],
+                days: 30,
+                seed: 7,
+                output: "t.txt".into(),
+            }
+        );
+        assert!(parse(&["generate", "--days", "3", "-o", "x"]).is_err(), "needs --app");
+        assert!(parse(&["generate", "--app", "chrome", "-o", "x"]).is_err(), "needs --days");
+    }
+
+    #[test]
+    fn parse_clusters_with_defaults_and_flags() {
+        let cmd = parse(&["clusters", "s.ttkv"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Clusters {
+                store: "s.ttkv".into(),
+                window_secs: 1,
+                threshold: 2.0,
+                app: None,
+                multi_only: false,
+            }
+        );
+        let cmd = parse(&[
+            "clusters", "s.ttkv", "--window", "30", "--threshold", "1.0", "--app", "word",
+            "--multi-only",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Clusters { window_secs, threshold, app, multi_only, .. } => {
+                assert_eq!(window_secs, 30);
+                assert_eq!(threshold, 1.0);
+                assert_eq!(app.as_deref(), Some("word"));
+                assert!(multi_only);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["clusters", "s", "--threshold", "3.0"]).is_err(), "threshold range");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_verbs_and_args() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["stats"]).is_err());
+        assert!(parse(&["stats", "a", "b"]).is_err());
+        assert!(parse(&["history", "s"]).is_err());
+        assert!(parse(&["generate", "--app"]).is_err(), "flag without value");
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join(format!("ocasta-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.txt").to_string_lossy().into_owned();
+        let store_path = dir.join("s.ttkv").to_string_lossy().into_owned();
+
+        let out = parse(&[
+            "generate", "--app", "gedit", "--days", "20", "--seed", "3", "-o", &trace_path,
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(out.contains("20 days"));
+
+        let out = parse(&["stats", &trace_path]).unwrap().run().unwrap();
+        assert!(out.contains("keys"));
+
+        let out = parse(&["replay", &trace_path, "-o", &store_path]).unwrap().run().unwrap();
+        assert!(out.contains("wrote"));
+
+        let out = parse(&["clusters", &store_path, "--multi-only"]).unwrap().run().unwrap();
+        assert!(out.contains("# "), "summary line present: {out}");
+
+        let out = parse(&["history", &store_path, "gedit/view/wrap_mode"])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.contains("writes"));
+
+        let err = parse(&["history", &store_path, "no/such/key"]).unwrap().run().unwrap_err();
+        assert!(err.contains("not in store"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,81 @@
+//! # ocasta — clustering configuration settings for error recovery
+//!
+//! A from-scratch Rust reproduction of *Ocasta: Clustering Configuration
+//! Settings For Error Recovery* (Zhen Huang and David Lie, DSN 2014,
+//! [arXiv:1711.04030](https://arxiv.org/abs/1711.04030)).
+//!
+//! Configuration errors often involve **more than one setting**: Microsoft
+//! Word's `Max Display` bounds its `Item N` MRU entries; Evolution's
+//! `mark_seen_timeout` only matters while `mark_seen` is on. Ocasta watches
+//! an application's accesses to its configuration store (black-box), groups
+//! settings that are *modified together* with hierarchical agglomerative
+//! clustering, and repairs errors by rolling back whole clusters of
+//! historical values until the symptom disappears from the screen.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`ocasta_ttkv`] | time-travel key-value store (the paper used Redis) |
+//! | [`ocasta_cluster`] | correlation metric + HAC with threshold pruning |
+//! | [`ocasta_parsers`] | JSON/XML/INI/plain/PostScript loggers + flush diff |
+//! | [`ocasta_trace`] | access events, trace files, workload generator |
+//! | [`ocasta_apps`] | the 11 evaluated applications + 16 real errors |
+//! | [`ocasta_repair`] | trials, screenshots, DFS/BFS rollback search |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ocasta::{Ocasta, Timestamp, Ttkv, Value};
+//!
+//! // 1. Record configuration accesses (normally a logger does this).
+//! let mut store = Ttkv::new();
+//! for day in 0..5u64 {
+//!     let t = Timestamp::from_days(day);
+//!     store.write(t, "mail/mark_seen", Value::from(day % 2 == 0));
+//!     store.write(t, "mail/mark_seen_timeout", Value::from(1500 + day as i64));
+//! }
+//!
+//! // 2. Cluster related settings from co-modification statistics.
+//! let clustering = Ocasta::default().cluster_store(&store);
+//! assert_eq!(clustering.cluster_of("mail/mark_seen").unwrap().len(), 2);
+//! ```
+//!
+//! See `examples/` for end-to-end repair walkthroughs, and `ocasta-bench`
+//! for the binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accuracy;
+mod pipeline;
+mod scenario;
+
+pub use accuracy::{evaluate_all, evaluate_model, score, AccuracySummary, AppAccuracy};
+pub use pipeline::{Clustering, Ocasta};
+pub use scenario::{prepare_store, run_noclust, run_scenario, ScenarioConfig, ScenarioOutcome};
+
+// Re-export the pieces users need without adding every sub-crate to their
+// dependency list.
+pub use ocasta_apps::{all_models, model_by_name, scenarios, AppModel, ErrorScenario, LoggerKind};
+pub use ocasta_cluster::{
+    cluster_events, hac, transactions, ClusterParams, Correlations, Dendrogram, DistanceMatrix,
+    Linkage, PartitionStats, WriteEvent,
+};
+pub use ocasta_parsers::{
+    detect_format, diff_flush, parse, write, FlatConfig, FlushChange, Format, Node,
+    ParseConfigError,
+};
+pub use ocasta_repair::{
+    search, simulate_case, singleton_clusters, CaseUserModel, FixOracle, Screenshot, SearchConfig,
+    SearchOutcome, SearchStrategy, Trial, UserStudyParams,
+};
+pub use ocasta_trace::{
+    generate, AccessEvent, GeneratorConfig, MachineProfile, Mutation, OsFlavor, Trace, TraceStats,
+    WorkloadSpec, TABLE1_PROFILES,
+};
+pub use ocasta_ttkv::{
+    ConfigState, Key, KeyRecord, TimeDelta, TimePrecision, Timestamp, Ttkv, TtkvError, TtkvStats,
+    Value, Version,
+};

@@ -1,0 +1,147 @@
+//! Shared character cursor with position tracking for the hand-written
+//! parsers.
+
+use crate::error::ParseConfigError;
+use crate::Format;
+
+/// A peekable cursor over the characters of a document, tracking line and
+/// column for error reporting.
+#[derive(Debug)]
+pub(crate) struct Cursor<'a> {
+    format: Format,
+    chars: std::str::Chars<'a>,
+    peeked: std::collections::VecDeque<char>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(format: Format, input: &'a str) -> Self {
+        Cursor {
+            format,
+            chars: input.chars(),
+            peeked: std::collections::VecDeque::new(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// The next character without consuming it.
+    pub(crate) fn peek(&mut self) -> Option<char> {
+        self.peek_at(0)
+    }
+
+    /// The character after the next one, without consuming either.
+    pub(crate) fn peek2(&mut self) -> Option<char> {
+        self.peek_at(1)
+    }
+
+    fn peek_at(&mut self, offset: usize) -> Option<char> {
+        while self.peeked.len() <= offset {
+            let c = self.chars.next()?;
+            self.peeked.push_back(c);
+        }
+        self.peeked.get(offset).copied()
+    }
+
+    /// Consumes and returns the next character.
+    pub(crate) fn next(&mut self) -> Option<char> {
+        let c = self.peeked.pop_front().or_else(|| self.chars.next());
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    /// Consumes the next character and checks it equals `expected`.
+    pub(crate) fn expect(&mut self, expected: char) -> Result<(), ParseConfigError> {
+        match self.next() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!("expected `{expected}`, found `{c}`"))),
+            None => Err(self.error(format!("expected `{expected}`, found end of input"))),
+        }
+    }
+
+    /// Consumes the next character if it equals `expected`.
+    pub(crate) fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips ASCII whitespace.
+    pub(crate) fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.next();
+        }
+    }
+
+    /// Consumes characters while `pred` holds, returning the consumed text.
+    pub(crate) fn take_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while matches!(self.peek(), Some(c) if pred(c)) {
+            out.push(self.next().expect("peeked"));
+        }
+        out
+    }
+
+    /// `true` at end of input.
+    pub(crate) fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    /// Builds a positioned parse error.
+    pub(crate) fn error(&self, message: impl Into<String>) -> ParseConfigError {
+        ParseConfigError::new(self.format, self.line, self.column, message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_lines_and_columns() {
+        let mut c = Cursor::new(Format::Json, "ab\ncd");
+        c.next();
+        c.next();
+        c.next(); // newline
+        c.next();
+        let err = c.error("boom");
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut c = Cursor::new(Format::Json, "x");
+        assert_eq!(c.peek(), Some('x'));
+        assert_eq!(c.peek(), Some('x'));
+        assert_eq!(c.next(), Some('x'));
+        assert!(c.at_end());
+    }
+
+    #[test]
+    fn expect_and_eat() {
+        let mut c = Cursor::new(Format::Json, "ab");
+        assert!(c.expect('a').is_ok());
+        assert!(!c.eat('x'));
+        assert!(c.eat('b'));
+        assert!(c.expect('z').is_err());
+    }
+
+    #[test]
+    fn take_while_stops_at_predicate_boundary() {
+        let mut c = Cursor::new(Format::Json, "abc123");
+        assert_eq!(c.take_while(|ch| ch.is_alphabetic()), "abc");
+        assert_eq!(c.take_while(|ch| ch.is_numeric()), "123");
+    }
+}

@@ -1,0 +1,121 @@
+//! The flush differ: inferring key-level writes from file snapshots.
+//!
+//! Applications with private configuration files "read the entire file into
+//! an in-memory key-value store ... and flush the in-memory store back to
+//! disk. To infer which keys are changed, Ocasta compares the files before
+//! and after each flush" (§IV-B3). This module is that comparison.
+
+use ocasta_ttkv::Value;
+
+use crate::node::FlatConfig;
+
+/// One inferred key-level change between two file snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlushChange {
+    /// The key was added or its value changed.
+    Set {
+        /// Flattened key path.
+        key: String,
+        /// The new value.
+        value: Value,
+    },
+    /// The key disappeared from the file.
+    Removed {
+        /// Flattened key path.
+        key: String,
+    },
+}
+
+impl FlushChange {
+    /// The key path this change affects.
+    pub fn key(&self) -> &str {
+        match self {
+            FlushChange::Set { key, .. } | FlushChange::Removed { key } => key,
+        }
+    }
+}
+
+/// Compares two flattened file snapshots and returns the inferred key-level
+/// changes, sorted by key.
+///
+/// An empty result means the flush did not change any setting (applications
+/// routinely rewrite files without changing content; those flushes must not
+/// produce TTKV writes, or every key in the file would appear co-modified).
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::{diff_flush, parse_plain, FlushChange};
+///
+/// let before = parse_plain("a= 1\nb= 2\n")?.flatten();
+/// let after  = parse_plain("a= 1\nb= 3\nc= 4\n")?.flatten();
+/// let changes = diff_flush(&before, &after);
+/// assert_eq!(changes.len(), 2);
+/// assert_eq!(changes[0].key(), "b");
+/// assert_eq!(changes[1].key(), "c");
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn diff_flush(before: &FlatConfig, after: &FlatConfig) -> Vec<FlushChange> {
+    let mut changes = Vec::new();
+    for (key, value) in after.iter() {
+        if before.get(key) != Some(value) {
+            changes.push(FlushChange::Set {
+                key: key.clone(),
+                value: value.clone(),
+            });
+        }
+    }
+    for (key, _) in before.iter() {
+        if !after.contains(key) {
+            changes.push(FlushChange::Removed { key: key.clone() });
+        }
+    }
+    changes.sort_by(|a, b| a.key().cmp(b.key()));
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(pairs: &[(&str, i64)]) -> FlatConfig {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), Value::from(v)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_snapshots_produce_no_changes() {
+        let a = flat(&[("x", 1), ("y", 2)]);
+        assert!(diff_flush(&a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn detects_adds_changes_and_removes() {
+        let before = flat(&[("keep", 1), ("change", 2), ("drop", 3)]);
+        let after = flat(&[("keep", 1), ("change", 20), ("add", 4)]);
+        let changes = diff_flush(&before, &after);
+        assert_eq!(
+            changes,
+            vec![
+                FlushChange::Set { key: "add".into(), value: Value::from(4) },
+                FlushChange::Set { key: "change".into(), value: Value::from(20) },
+                FlushChange::Removed { key: "drop".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_before_reports_all_as_sets() {
+        let changes = diff_flush(&FlatConfig::new(), &flat(&[("a", 1)]));
+        assert_eq!(changes.len(), 1);
+        assert!(matches!(changes[0], FlushChange::Set { .. }));
+    }
+
+    #[test]
+    fn empty_after_reports_all_as_removed() {
+        let changes = diff_flush(&flat(&[("a", 1)]), &FlatConfig::new());
+        assert_eq!(changes, vec![FlushChange::Removed { key: "a".into() }]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Parse errors.
+
+use std::fmt;
+
+use crate::Format;
+
+/// Error produced when a configuration document cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError {
+    format: Format,
+    line: usize,
+    column: usize,
+    message: String,
+}
+
+impl ParseConfigError {
+    pub(crate) fn new(
+        format: Format,
+        line: usize,
+        column: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        ParseConfigError {
+            format,
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// The format the parser was expecting.
+    pub fn format(&self) -> Format {
+        self.format
+    }
+
+    /// 1-based line of the failure.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the failure.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {} at line {}, column {}: {}",
+            self.format, self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_location() {
+        let e = ParseConfigError::new(Format::Json, 3, 14, "unexpected `}`");
+        assert_eq!(e.to_string(), "invalid JSON at line 3, column 14: unexpected `}`");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 14);
+        assert_eq!(e.format(), Format::Json);
+    }
+}

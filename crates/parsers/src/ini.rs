@@ -1,0 +1,314 @@
+//! INI parsing and emission (hierarchical `key = value` files, e.g. GTK and
+//! Evolution settings files).
+//!
+//! The paper's taxonomy calls a `key=value` file *INI* when the keys are
+//! hierarchical (sections) and *plain text* when flat (§IV-B3).
+
+use ocasta_ttkv::Value;
+
+use crate::error::ParseConfigError;
+use crate::node::Node;
+use crate::Format;
+
+/// Parses an INI document into a [`Node`] tree.
+///
+/// Supported syntax:
+///
+/// * `[section]` and `[nested.section]` headers (dot-separated nesting);
+/// * `key = value` and `key: value` assignments;
+/// * `;` and `#` comment lines, and blank lines;
+/// * values parsed as bool/int/float when unambiguous, else strings;
+/// * `a, b, c` comma lists become [`Value::List`] when a value contains an
+///   unquoted comma;
+/// * quoted values (`key = "exact text"`) keep commas and spaces verbatim.
+///
+/// # Errors
+///
+/// Returns a [`ParseConfigError`] on unterminated section headers or lines
+/// that are neither assignments, comments, headers, nor blank.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::parse_ini;
+/// use ocasta_ttkv::Value;
+///
+/// let doc = parse_ini("[mail.display]\nmark_seen = true\nmark_seen_timeout = 1500\n")?;
+/// let flat = doc.flatten();
+/// assert_eq!(flat.get("mail/display/mark_seen"), Some(&Value::from(true)));
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn parse_ini(input: &str) -> Result<Node, ParseConfigError> {
+    let mut root: Vec<(String, Node)> = Vec::new();
+    let mut section_path: Vec<String> = Vec::new();
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with(';') || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest.strip_suffix(']').ok_or_else(|| {
+                ParseConfigError::new(Format::Ini, lineno, line.len(), "unterminated section header")
+            })?;
+            let inner = inner.trim();
+            if inner.is_empty() {
+                return Err(ParseConfigError::new(
+                    Format::Ini,
+                    lineno,
+                    1,
+                    "empty section name",
+                ));
+            }
+            section_path = inner.split('.').map(|s| s.trim().to_owned()).collect();
+            // Materialise the section even if empty.
+            ensure_map(&mut root, &section_path);
+            continue;
+        }
+        let sep = line
+            .char_indices()
+            .find(|&(_, c)| c == '=' || c == ':')
+            .map(|(i, _)| i)
+            .ok_or_else(|| {
+                ParseConfigError::new(
+                    Format::Ini,
+                    lineno,
+                    1,
+                    format!("expected `key = value`, found {line:?}"),
+                )
+            })?;
+        let key = line[..sep].trim();
+        if key.is_empty() {
+            return Err(ParseConfigError::new(Format::Ini, lineno, 1, "empty key"));
+        }
+        let value = parse_ini_value(line[sep + 1..].trim());
+        let mut path = section_path.clone();
+        path.push(key.to_owned());
+        insert(&mut root, &path, Node::Scalar(value));
+    }
+    Ok(Node::Map(root))
+}
+
+fn parse_ini_value(text: &str) -> Value {
+    if let Some(inner) = text
+        .strip_prefix('"')
+        .and_then(|rest| rest.strip_suffix('"'))
+    {
+        return Value::Str(inner.to_owned());
+    }
+    if text.contains(',') {
+        return Value::List(text.split(',').map(|v| Value::parse_token(v.trim())).collect());
+    }
+    Value::parse_token(text)
+}
+
+/// Walks/creates nested maps along `path[..path.len()-1]` and inserts the
+/// node at the final segment (replacing an existing entry of the same name).
+fn insert(entries: &mut Vec<(String, Node)>, path: &[String], node: Node) {
+    let (head, rest) = path.split_first().expect("insert path is non-empty");
+    if rest.is_empty() {
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| k == head) {
+            slot.1 = node;
+        } else {
+            entries.push((head.clone(), node));
+        }
+        return;
+    }
+    let child = match entries.iter_mut().position(|(k, v)| k == head && matches!(v, Node::Map(_))) {
+        Some(pos) => &mut entries[pos].1,
+        None => {
+            entries.push((head.clone(), Node::Map(Vec::new())));
+            &mut entries.last_mut().expect("just pushed").1
+        }
+    };
+    if let Node::Map(inner) = child {
+        insert(inner, rest, node);
+    }
+}
+
+fn ensure_map(entries: &mut Vec<(String, Node)>, path: &[String]) {
+    if path.is_empty() {
+        return;
+    }
+    let (head, rest) = path.split_first().expect("checked non-empty");
+    let child = match entries.iter_mut().position(|(k, v)| k == head && matches!(v, Node::Map(_))) {
+        Some(pos) => &mut entries[pos].1,
+        None => {
+            entries.push((head.clone(), Node::Map(Vec::new())));
+            &mut entries.last_mut().expect("just pushed").1
+        }
+    };
+    if let Node::Map(inner) = child {
+        ensure_map(inner, rest);
+    }
+}
+
+/// Serialises a [`Node`] tree as an INI document.
+///
+/// Nested maps become dotted section headers; only two levels of nesting are
+/// representable losslessly (section + key); deeper maps flatten into dotted
+/// section names.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::{parse_ini, write_ini, Node};
+///
+/// let doc = Node::map([("ui", Node::map([("theme", Node::scalar("dark"))]))]);
+/// let text = write_ini(&doc);
+/// assert_eq!(parse_ini(&text)?, doc);
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn write_ini(node: &Node) -> String {
+    let mut out = String::new();
+    if let Node::Map(entries) = node {
+        // Top-level scalars first (no section header).
+        for (key, value) in entries {
+            if let Node::Scalar(v) = value {
+                out.push_str(&format!("{key} = {}\n", format_ini_value(v)));
+            }
+        }
+        for (key, value) in entries {
+            write_section(key, value, &mut out);
+        }
+    }
+    out
+}
+
+fn write_section(path: &str, node: &Node, out: &mut String) {
+    match node {
+        Node::Scalar(_) => {}
+        Node::Map(entries) => {
+            let scalars: Vec<_> = entries
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    Node::Scalar(s) => Some((k, s)),
+                    _ => None,
+                })
+                .collect();
+            if !scalars.is_empty() || entries.is_empty() {
+                out.push_str(&format!("[{path}]\n"));
+                for (k, v) in scalars {
+                    out.push_str(&format!("{k} = {}\n", format_ini_value(v)));
+                }
+            }
+            for (k, v) in entries {
+                if matches!(v, Node::Map(_)) {
+                    write_section(&format!("{path}.{k}"), v, out);
+                }
+            }
+        }
+        Node::Seq(items) => {
+            // Sequences degrade to a comma list under a synthetic key.
+            let rendered: Vec<String> = items
+                .iter()
+                .map(|n| match n {
+                    Node::Scalar(v) => format_ini_value(v),
+                    _ => String::from("?"),
+                })
+                .collect();
+            out.push_str(&format!("{path} = {}\n", rendered.join(", ")));
+        }
+    }
+}
+
+fn format_ini_value(value: &Value) -> String {
+    match value {
+        Value::Str(s)
+            if s.is_empty()
+                || s.contains(',')
+                || s.as_str() != s.trim()
+                || !matches!(Value::parse_token(s), Value::Str(_)) =>
+        {
+            // Quote anything a naive reparse would mangle: padding, commas,
+            // or text that would lex as a bool/number.
+            format!("\"{s}\"")
+        }
+        Value::List(items) => items
+            .iter()
+            .map(format_ini_value)
+            .collect::<Vec<_>>()
+            .join(", "),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_types() {
+        let text = "\
+; Evolution-like settings
+top = 1
+[mail]
+mark_seen = true
+timeout = 1.5
+[mail.composer]
+reply_style : quoted
+";
+        let flat = parse_ini(text).unwrap().flatten();
+        assert_eq!(flat.get("top"), Some(&Value::from(1)));
+        assert_eq!(flat.get("mail/mark_seen"), Some(&Value::from(true)));
+        assert_eq!(flat.get("mail/timeout"), Some(&Value::from(1.5)));
+        assert_eq!(flat.get("mail/composer/reply_style"), Some(&Value::from("quoted")));
+    }
+
+    #[test]
+    fn comma_lists_and_quotes() {
+        let flat = parse_ini("plugins = a, b, c\nliteral = \"x, y\"\n").unwrap().flatten();
+        assert_eq!(
+            flat.get("plugins"),
+            Some(&Value::List(vec![Value::from("a"), Value::from("b"), Value::from("c")]))
+        );
+        assert_eq!(flat.get("literal"), Some(&Value::from("x, y")));
+    }
+
+    #[test]
+    fn later_assignment_wins() {
+        let flat = parse_ini("k = 1\nk = 2\n").unwrap().flatten();
+        assert_eq!(flat.get("k"), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_ini("[unterminated\n").is_err());
+        assert!(parse_ini("[]\n").is_err());
+        assert!(parse_ini("just some words\n").is_err());
+        assert!(parse_ini("= nokey\n").is_err());
+    }
+
+    #[test]
+    fn empty_sections_survive() {
+        let doc = parse_ini("[empty]\n").unwrap();
+        assert_eq!(doc.get("empty"), Some(&Node::Map(vec![])));
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let doc = Node::map([
+            ("global", Node::scalar(5)),
+            (
+                "ui",
+                Node::map([
+                    ("theme", Node::scalar("dark")),
+                    ("zoom", Node::scalar(1.25)),
+                    ("panel", Node::map([("visible", Node::scalar(true))])),
+                ]),
+            ),
+        ]);
+        let text = write_ini(&doc);
+        assert_eq!(parse_ini(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn quoted_writer_values_roundtrip() {
+        let doc = Node::map([("tricky", Node::scalar("has, comma")), ("boolish", Node::scalar("true"))]);
+        // "true" the *string* must come back as a string, not a bool.
+        let text = write_ini(&doc);
+        let reparsed = parse_ini(&text).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+}

@@ -1,0 +1,374 @@
+//! JSON parsing and emission (RFC 8259 subset sufficient for configuration
+//! files — e.g. Chrome's `Preferences` and `Bookmarks`).
+
+use ocasta_ttkv::Value;
+
+use crate::cursor::Cursor;
+use crate::error::ParseConfigError;
+use crate::node::Node;
+use crate::Format;
+
+/// Parses a JSON document into a [`Node`] tree.
+///
+/// Supports objects, arrays, strings (with all RFC 8259 escapes including
+/// `\uXXXX` and surrogate pairs), numbers, booleans and `null`. Trailing
+/// whitespace is allowed; trailing garbage is an error.
+///
+/// # Errors
+///
+/// Returns a [`ParseConfigError`] with line/column information on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::parse_json;
+/// use ocasta_ttkv::Value;
+///
+/// let doc = parse_json(r#"{"browser": {"show_home_button": true}}"#)?;
+/// let flat = doc.flatten();
+/// assert_eq!(flat.get("browser/show_home_button"), Some(&Value::from(true)));
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn parse_json(input: &str) -> Result<Node, ParseConfigError> {
+    let mut cur = Cursor::new(Format::Json, input);
+    cur.skip_whitespace();
+    let node = parse_value(&mut cur)?;
+    cur.skip_whitespace();
+    if !cur.at_end() {
+        return Err(cur.error("trailing characters after document"));
+    }
+    Ok(node)
+}
+
+fn parse_value(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
+    cur.skip_whitespace();
+    match cur.peek() {
+        Some('{') => parse_object(cur),
+        Some('[') => parse_array(cur),
+        Some('"') => Ok(Node::Scalar(Value::Str(parse_string(cur)?))),
+        Some('t') | Some('f') | Some('n') => parse_keyword(cur),
+        Some(c) if c == '-' || c.is_ascii_digit() => parse_number(cur),
+        Some(c) => Err(cur.error(format!("unexpected character `{c}`"))),
+        None => Err(cur.error("unexpected end of input")),
+    }
+}
+
+fn parse_object(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
+    cur.expect('{')?;
+    let mut entries = Vec::new();
+    cur.skip_whitespace();
+    if cur.eat('}') {
+        return Ok(Node::Map(entries));
+    }
+    loop {
+        cur.skip_whitespace();
+        let key = parse_string(cur)?;
+        cur.skip_whitespace();
+        cur.expect(':')?;
+        let value = parse_value(cur)?;
+        entries.push((key, value));
+        cur.skip_whitespace();
+        if cur.eat(',') {
+            continue;
+        }
+        cur.expect('}')?;
+        return Ok(Node::Map(entries));
+    }
+}
+
+fn parse_array(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
+    cur.expect('[')?;
+    let mut items = Vec::new();
+    cur.skip_whitespace();
+    if cur.eat(']') {
+        return Ok(Node::Seq(items));
+    }
+    loop {
+        items.push(parse_value(cur)?);
+        cur.skip_whitespace();
+        if cur.eat(',') {
+            continue;
+        }
+        cur.expect(']')?;
+        return Ok(Node::Seq(items));
+    }
+}
+
+fn parse_string(cur: &mut Cursor<'_>) -> Result<String, ParseConfigError> {
+    cur.expect('"')?;
+    let mut out = String::new();
+    loop {
+        match cur.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match cur.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('b') => out.push('\u{0008}'),
+                Some('f') => out.push('\u{000C}'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let first = parse_hex4(cur)?;
+                    let code = if (0xD800..0xDC00).contains(&first) {
+                        // High surrogate: require a following low surrogate.
+                        cur.expect('\\')?;
+                        cur.expect('u')?;
+                        let second = parse_hex4(cur)?;
+                        if !(0xDC00..0xE000).contains(&second) {
+                            return Err(cur.error("invalid low surrogate"));
+                        }
+                        0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                    } else {
+                        first
+                    };
+                    match char::from_u32(code) {
+                        Some(c) => out.push(c),
+                        None => return Err(cur.error("invalid unicode escape")),
+                    }
+                }
+                Some(c) => return Err(cur.error(format!("invalid escape `\\{c}`"))),
+                None => return Err(cur.error("unterminated string")),
+            },
+            Some(c) if (c as u32) < 0x20 => {
+                return Err(cur.error("unescaped control character in string"))
+            }
+            Some(c) => out.push(c),
+            None => return Err(cur.error("unterminated string")),
+        }
+    }
+}
+
+fn parse_hex4(cur: &mut Cursor<'_>) -> Result<u32, ParseConfigError> {
+    let mut code = 0u32;
+    for _ in 0..4 {
+        let c = cur.next().ok_or_else(|| cur.error("truncated \\u escape"))?;
+        let digit = c
+            .to_digit(16)
+            .ok_or_else(|| cur.error(format!("bad hex digit `{c}`")))?;
+        code = code * 16 + digit;
+    }
+    Ok(code)
+}
+
+fn parse_keyword(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
+    let word = cur.take_while(|c| c.is_ascii_alphabetic());
+    match word.as_str() {
+        "true" => Ok(Node::Scalar(Value::Bool(true))),
+        "false" => Ok(Node::Scalar(Value::Bool(false))),
+        "null" => Ok(Node::Scalar(Value::Null)),
+        other => Err(cur.error(format!("unknown keyword `{other}`"))),
+    }
+}
+
+fn parse_number(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
+    let text = cur.take_while(|c| {
+        c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+    });
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Node::Scalar(Value::Int(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Node::Scalar(Value::Float(f)))
+        .map_err(|_| cur.error(format!("invalid number `{text}`")))
+}
+
+/// Serialises a [`Node`] tree as pretty-printed JSON.
+///
+/// Scalars that JSON cannot represent exactly degrade gracefully: non-finite
+/// floats are emitted as `null` (matching what mainstream emitters do).
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::{parse_json, write_json, Node};
+///
+/// let doc = Node::map([("a", Node::scalar(1))]);
+/// let text = write_json(&doc);
+/// assert_eq!(parse_json(&text)?, doc);
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn write_json(node: &Node) -> String {
+    let mut out = String::new();
+    write_node(node, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn write_node(node: &Node, indent: usize, out: &mut String) {
+    match node {
+        Node::Scalar(v) => write_scalar(v, out),
+        Node::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_node(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Node::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(indent + 1, out);
+                write_string(key, out);
+                out.push_str(": ");
+                write_node(value, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn write_scalar(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) if f.is_finite() => {
+            let text = format!("{f:?}");
+            out.push_str(&text);
+        }
+        Value::Float(_) => out.push_str("null"),
+        Value::Str(s) => write_string(s, out),
+        Value::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_scalar(item, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_chrome_like_preferences() {
+        let text = r#"{
+            "bookmark_bar": {"show_on_all_tabs": true},
+            "browser": {"show_home_button": false, "window_placement": {"left": 10, "top": 20}},
+            "mru": ["a.html", "b.html"],
+            "zoom": 1.25,
+            "profile": null
+        }"#;
+        let flat = parse_json(text).unwrap().flatten();
+        assert_eq!(flat.get("bookmark_bar/show_on_all_tabs"), Some(&Value::from(true)));
+        assert_eq!(flat.get("browser/window_placement/left"), Some(&Value::from(10)));
+        assert_eq!(flat.get("zoom"), Some(&Value::from(1.25)));
+        assert_eq!(flat.get("profile"), Some(&Value::Null));
+        assert_eq!(
+            flat.get("mru"),
+            Some(&Value::List(vec![Value::from("a.html"), Value::from("b.html")]))
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let doc = parse_json(r#""a\"b\\c\ndA😀""#).unwrap();
+        assert_eq!(doc, Node::scalar("a\"b\\c\ndA😀"));
+    }
+
+    #[test]
+    fn numbers_pick_int_or_float() {
+        assert_eq!(parse_json("42").unwrap(), Node::scalar(42));
+        assert_eq!(parse_json("-7").unwrap(), Node::scalar(-7));
+        assert_eq!(parse_json("4.5").unwrap(), Node::scalar(4.5));
+        assert_eq!(parse_json("1e3").unwrap(), Node::scalar(1000.0));
+        // i64 overflow degrades to float
+        assert_eq!(
+            parse_json("99999999999999999999").unwrap(),
+            Node::scalar(1e20)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "{} extra",
+            "\"bad \\q escape\"", "\"\\uD800\"", "\u{0001}",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let err = parse_json("{\n  \"a\": ?\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.message().contains('?'));
+    }
+
+    #[test]
+    fn writer_roundtrips_structures() {
+        let doc = Node::map([
+            ("s", Node::scalar("hi \"there\"\n")),
+            ("n", Node::scalar(3)),
+            ("f", Node::scalar(0.5)),
+            ("b", Node::scalar(false)),
+            ("null", Node::Scalar(Value::Null)),
+            ("seq", Node::Seq(vec![Node::scalar(1), Node::map([("x", Node::scalar(2))])])),
+            ("empty_map", Node::Map(vec![])),
+            ("empty_seq", Node::Seq(vec![])),
+        ]);
+        let text = write_json(&doc);
+        assert_eq!(parse_json(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_both_entries() {
+        // Order-preserving maps keep duplicates; flatten keeps the last.
+        let doc = parse_json(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(doc.flatten().get("k"), Some(&Value::from(2)));
+    }
+}

@@ -1,0 +1,240 @@
+//! # ocasta-parsers — configuration-file loggers
+//!
+//! Parsers for the five configuration-file formats the
+//! [Ocasta](https://arxiv.org/abs/1711.04030) prototype supports — JSON,
+//! XML, INI, plain text and PostScript-style preference files — plus the
+//! *flush differ* that converts before/after file snapshots into key-level
+//! write and delete events (the application-file logger of §IV-B3).
+//!
+//! Every parser produces the same [`Node`] tree, which [`Node::flatten`]
+//! turns into a flat `key path → value` map ([`FlatConfig`]); matching
+//! writers re-emit trees so synthetic workloads can generate realistic
+//! configuration files.
+//!
+//! ```
+//! use ocasta_parsers::{detect_format, diff_flush, parse, Format};
+//!
+//! let before = parse(Format::Json, r#"{"toolbar": {"home": true}}"#)?.flatten();
+//! let text_after = r#"{"toolbar": {"home": false}}"#;
+//! assert_eq!(detect_format(text_after), Some(Format::Json));
+//! let after = parse(Format::Json, text_after)?.flatten();
+//!
+//! let changes = diff_flush(&before, &after);
+//! assert_eq!(changes.len(), 1);
+//! assert_eq!(changes[0].key(), "toolbar/home");
+//! # Ok::<(), ocasta_parsers::ParseConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cursor;
+mod diff;
+mod error;
+mod ini;
+mod json;
+mod node;
+mod plain;
+mod postscript;
+mod xml;
+
+pub use diff::{diff_flush, FlushChange};
+pub use error::ParseConfigError;
+pub use ini::{parse_ini, write_ini};
+pub use json::{parse_json, write_json};
+pub use node::{FlatConfig, Node};
+pub use plain::{parse_plain, write_plain};
+pub use postscript::{parse_postscript, write_postscript};
+pub use xml::{parse_xml, write_xml};
+
+use std::fmt;
+
+/// The configuration-file formats the logger supports (§IV-B3: "JSON, XML,
+/// PostScript, or one of two key-value lists ... which we called INI if it
+/// is hierarchical and plain text if it is flat").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// RFC 8259 JSON (Chrome preferences, bookmarks).
+    Json,
+    /// XML configuration documents (GConf-style).
+    Xml,
+    /// Hierarchical `key = value` with `[sections]`.
+    Ini,
+    /// Flat `key= value` lines.
+    PlainText,
+    /// PostScript-style `/Key value` preference files (Acrobat).
+    PostScript,
+}
+
+impl Format {
+    /// All supported formats.
+    pub const ALL: [Format; 5] = [
+        Format::Json,
+        Format::Xml,
+        Format::Ini,
+        Format::PlainText,
+        Format::PostScript,
+    ];
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Format::Json => "JSON",
+            Format::Xml => "XML",
+            Format::Ini => "INI",
+            Format::PlainText => "plain text",
+            Format::PostScript => "PostScript",
+        })
+    }
+}
+
+/// Parses `input` as the given format.
+///
+/// # Errors
+///
+/// Returns the underlying parser's [`ParseConfigError`].
+pub fn parse(format: Format, input: &str) -> Result<Node, ParseConfigError> {
+    match format {
+        Format::Json => parse_json(input),
+        Format::Xml => parse_xml(input),
+        Format::Ini => parse_ini(input),
+        Format::PlainText => parse_plain(input),
+        Format::PostScript => parse_postscript(input),
+    }
+}
+
+/// Serialises `node` in the given format.
+pub fn write(format: Format, node: &Node) -> String {
+    match format {
+        Format::Json => write_json(node),
+        Format::Xml => write_xml(node),
+        Format::Ini => write_ini(node),
+        Format::PlainText => write_plain(node),
+        Format::PostScript => write_postscript(node),
+    }
+}
+
+/// Guesses the format of a configuration document from its content.
+///
+/// Returns `None` for content that matches no supported format. Detection is
+/// heuristic (first significant character plus line shape) but sufficient for
+/// the loggers, which mostly know the format from the file extension anyway.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::{detect_format, Format};
+///
+/// assert_eq!(detect_format("{\"a\": 1}"), Some(Format::Json));
+/// assert_eq!(detect_format("<cfg><a>1</a></cfg>"), Some(Format::Xml));
+/// assert_eq!(detect_format("[ui]\ntheme = dark\n"), Some(Format::Ini));
+/// assert_eq!(detect_format("/MenuBar true\n"), Some(Format::PostScript));
+/// assert_eq!(detect_format("zoom= 1.5\n"), Some(Format::PlainText));
+/// assert_eq!(detect_format("!!!"), None);
+/// ```
+pub fn detect_format(input: &str) -> Option<Format> {
+    let trimmed = input.trim_start();
+    match trimmed.chars().next()? {
+        '{' | '"' => return Some(Format::Json),
+        '<' => return Some(Format::Xml),
+        '/' => return Some(Format::PostScript),
+        '%' => return Some(Format::PostScript),
+        '[' => {
+            // `[section]` (INI) vs `[1, 2]` (JSON array).
+            let rest: String = trimmed.chars().skip(1).take_while(|&c| c != ']').collect();
+            return if rest.contains(',')
+                || rest
+                    .trim()
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || c.is_whitespace())
+            {
+                Some(Format::Json)
+            } else {
+                Some(Format::Ini)
+            };
+        }
+        _ => {}
+    }
+    // Line-shaped key-value content: INI if any section headers or dotted
+    // sections appear later, else plain text.
+    let mut saw_pair = false;
+    for line in trimmed.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            return Some(Format::Ini);
+        }
+        if line.contains('=') || line.contains(':') {
+            saw_pair = true;
+        } else {
+            return None;
+        }
+    }
+    saw_pair.then_some(Format::PlainText)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_dispatches_each_format() {
+        assert!(parse(Format::Json, "{}").is_ok());
+        assert!(parse(Format::Xml, "<a/>").is_ok());
+        assert!(parse(Format::Ini, "k = 1\n").is_ok());
+        assert!(parse(Format::PlainText, "k= 1\n").is_ok());
+        assert!(parse(Format::PostScript, "/K 1\n").is_ok());
+    }
+
+    #[test]
+    fn write_then_parse_identity_per_format() {
+        let doc = Node::map([
+            ("alpha", Node::scalar(1)),
+            ("beta", Node::map([("gamma", Node::scalar("x"))])),
+        ]);
+        for format in [Format::Json, Format::Ini] {
+            let text = write(format, &doc);
+            assert_eq!(parse(format, &text).unwrap(), doc, "{format}");
+        }
+    }
+
+    #[test]
+    fn detect_format_on_realistic_headers() {
+        assert_eq!(
+            detect_format("<?xml version=\"1.0\"?>\n<x/>"),
+            Some(Format::Xml)
+        );
+        assert_eq!(detect_format("% ps prefs\n/A 1\n"), Some(Format::PostScript));
+        assert_eq!(detect_format("# comment\nkey= v\n"), Some(Format::PlainText));
+        assert_eq!(detect_format("# comment\n[sec]\nkey= v\n"), Some(Format::Ini));
+        assert_eq!(detect_format("[1, 2, 3]"), Some(Format::Json));
+        assert_eq!(detect_format(""), None);
+        assert_eq!(detect_format("free prose, no pairs"), None);
+    }
+
+    #[test]
+    fn detected_format_actually_parses() {
+        let samples = [
+            "{\"a\": {\"b\": 2}}",
+            "<root><a>1</a></root>",
+            "[ui]\ntheme = dark\n",
+            "zoom= 1.5\n",
+            "/MenuBar true\n",
+        ];
+        for text in samples {
+            let format = detect_format(text).expect("detected");
+            parse(format, text).expect("parses in detected format");
+        }
+    }
+
+    #[test]
+    fn format_display_names() {
+        for f in Format::ALL {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The parsed document tree and its flattening into key paths.
+
+use std::collections::BTreeMap;
+
+use ocasta_ttkv::Value;
+
+/// A parsed configuration document.
+///
+/// Every supported format parses into this tree; [`Node::flatten`] then
+/// converts the tree into the flat `key path → value` map the TTKV stores.
+/// Maps preserve source order (important for faithful re-emission).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A leaf value.
+    Scalar(Value),
+    /// An ordered sequence of children.
+    Seq(Vec<Node>),
+    /// An ordered mapping from names to children.
+    Map(Vec<(String, Node)>),
+}
+
+impl Node {
+    /// Convenience constructor for a scalar leaf.
+    pub fn scalar(value: impl Into<Value>) -> Node {
+        Node::Scalar(value.into())
+    }
+
+    /// Convenience constructor for a map from an entry list.
+    pub fn map<I, S>(entries: I) -> Node
+    where
+        I: IntoIterator<Item = (S, Node)>,
+        S: Into<String>,
+    {
+        Node::Map(entries.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a direct child of a map node by name.
+    pub fn get(&self, name: &str) -> Option<&Node> {
+        match self {
+            Node::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` if this sequence contains only scalar children.
+    fn is_scalar_seq(items: &[Node]) -> bool {
+        items.iter().all(|n| matches!(n, Node::Scalar(_)))
+    }
+
+    /// Flattens the tree into `key path → value` entries.
+    ///
+    /// * map entries join path segments with `/`;
+    /// * sequences of scalars become a single [`Value::List`] (an ordered
+    ///   setting such as an MRU list is *one* setting);
+    /// * sequences containing structure use numeric path segments;
+    /// * an empty map or sequence contributes no entries.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ocasta_parsers::Node;
+    /// use ocasta_ttkv::Value;
+    ///
+    /// let doc = Node::map([
+    ///     ("window", Node::map([("width", Node::scalar(800))])),
+    ///     ("recent", Node::Seq(vec![Node::scalar("a.txt"), Node::scalar("b.txt")])),
+    /// ]);
+    /// let flat = doc.flatten();
+    /// assert_eq!(flat.get("window/width"), Some(&Value::from(800)));
+    /// assert_eq!(
+    ///     flat.get("recent"),
+    ///     Some(&Value::List(vec![Value::from("a.txt"), Value::from("b.txt")])),
+    /// );
+    /// ```
+    pub fn flatten(&self) -> FlatConfig {
+        let mut flat = BTreeMap::new();
+        self.flatten_into("", &mut flat);
+        FlatConfig(flat)
+    }
+
+    fn flatten_into(&self, path: &str, out: &mut BTreeMap<String, Value>) {
+        match self {
+            Node::Scalar(v) => {
+                let key = if path.is_empty() { "value" } else { path };
+                out.insert(key.to_owned(), v.clone());
+            }
+            Node::Seq(items) if Self::is_scalar_seq(items) => {
+                let values: Vec<Value> = items
+                    .iter()
+                    .map(|n| match n {
+                        Node::Scalar(v) => v.clone(),
+                        _ => unreachable!("is_scalar_seq checked"),
+                    })
+                    .collect();
+                let key = if path.is_empty() { "value" } else { path };
+                out.insert(key.to_owned(), Value::List(values));
+            }
+            Node::Seq(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    item.flatten_into(&join(path, &i.to_string()), out);
+                }
+            }
+            Node::Map(entries) => {
+                for (name, child) in entries {
+                    child.flatten_into(&join(path, name), out);
+                }
+            }
+        }
+    }
+}
+
+fn join(path: &str, segment: &str) -> String {
+    if path.is_empty() {
+        segment.to_owned()
+    } else {
+        format!("{path}/{segment}")
+    }
+}
+
+/// A flattened configuration document: `key path → value`.
+///
+/// This is the representation Ocasta's application-file logger compares
+/// before and after each flush to infer key-level writes (see
+/// [`crate::diff_flush`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatConfig(BTreeMap<String, Value>);
+
+impl FlatConfig {
+    /// Creates an empty flat configuration.
+    pub fn new() -> Self {
+        FlatConfig::default()
+    }
+
+    /// Number of settings.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if there are no settings.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value of a key path.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    /// Inserts an entry, returning the previous value.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        self.0.insert(key.into(), value.into())
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.0.remove(key)
+    }
+
+    /// `true` if the key path exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.0.iter()
+    }
+
+    /// Iterates key paths in key order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.0.keys()
+    }
+}
+
+impl FromIterator<(String, Value)> for FlatConfig {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        FlatConfig(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a FlatConfig {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_at_root_gets_synthetic_key() {
+        let flat = Node::scalar(5).flatten();
+        assert_eq!(flat.get("value"), Some(&Value::from(5)));
+    }
+
+    #[test]
+    fn nested_maps_join_with_slash() {
+        let doc = Node::map([(
+            "a",
+            Node::map([("b", Node::map([("c", Node::scalar(true))]))]),
+        )]);
+        let flat = doc.flatten();
+        assert_eq!(flat.get("a/b/c"), Some(&Value::from(true)));
+        assert_eq!(flat.len(), 1);
+    }
+
+    #[test]
+    fn scalar_seq_becomes_list_value() {
+        let doc = Node::map([(
+            "mru",
+            Node::Seq(vec![Node::scalar("x"), Node::scalar("y")]),
+        )]);
+        let flat = doc.flatten();
+        assert_eq!(
+            flat.get("mru"),
+            Some(&Value::List(vec![Value::from("x"), Value::from("y")]))
+        );
+    }
+
+    #[test]
+    fn structured_seq_uses_indices() {
+        let doc = Node::map([(
+            "profiles",
+            Node::Seq(vec![
+                Node::map([("name", Node::scalar("default"))]),
+                Node::map([("name", Node::scalar("work"))]),
+            ]),
+        )]);
+        let flat = doc.flatten();
+        assert_eq!(flat.get("profiles/0/name"), Some(&Value::from("default")));
+        assert_eq!(flat.get("profiles/1/name"), Some(&Value::from("work")));
+    }
+
+    #[test]
+    fn empty_containers_contribute_nothing() {
+        assert!(Node::Map(vec![]).flatten().is_empty());
+        let doc = Node::map([("empty", Node::Seq(vec![]))]);
+        // An empty scalar seq *is* an (empty) list value.
+        assert_eq!(doc.flatten().get("empty"), Some(&Value::List(vec![])));
+    }
+
+    #[test]
+    fn get_walks_map_entries() {
+        let doc = Node::map([("k", Node::scalar(1))]);
+        assert!(doc.get("k").is_some());
+        assert!(doc.get("missing").is_none());
+        assert!(Node::scalar(1).get("k").is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Plain-text parsing and emission: flat `key= value` lists (the paper's
+//! "plain text" format class, §IV-B3).
+
+use ocasta_ttkv::Value;
+
+use crate::error::ParseConfigError;
+use crate::node::Node;
+use crate::Format;
+
+/// Parses a flat `key = value` document into a [`Node`] tree (a single-level
+/// map).
+///
+/// Supported syntax: one `key = value` per line, `#` comments, blank lines.
+/// Unlike [`crate::parse_ini`], there are no sections: the key is taken
+/// verbatim (it may itself contain dots or slashes, which stay part of the
+/// key name).
+///
+/// # Errors
+///
+/// Returns a [`ParseConfigError`] for lines without a `=` separator.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::parse_plain;
+/// use ocasta_ttkv::Value;
+///
+/// let doc = parse_plain("toolbar.find=visible\nzoom= 1.5\n")?;
+/// let flat = doc.flatten();
+/// assert_eq!(flat.get("toolbar.find"), Some(&Value::from("visible")));
+/// assert_eq!(flat.get("zoom"), Some(&Value::from(1.5)));
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn parse_plain(input: &str) -> Result<Node, ParseConfigError> {
+    let mut entries: Vec<(String, Node)> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sep = line.find('=').ok_or_else(|| {
+            ParseConfigError::new(
+                Format::PlainText,
+                lineno,
+                1,
+                format!("expected `key= value`, found {line:?}"),
+            )
+        })?;
+        let key = line[..sep].trim();
+        if key.is_empty() {
+            return Err(ParseConfigError::new(Format::PlainText, lineno, 1, "empty key"));
+        }
+        let value = Value::parse_token(line[sep + 1..].trim());
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = Node::Scalar(value),
+            None => entries.push((key.to_owned(), Node::Scalar(value))),
+        }
+    }
+    Ok(Node::Map(entries))
+}
+
+/// Serialises a single-level map as a flat `key= value` document.
+///
+/// Nested structure (which plain text cannot represent) is flattened with
+/// `/`-joined key paths first.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::{parse_plain, write_plain, Node};
+///
+/// let doc = Node::map([("a", Node::scalar(1)), ("b", Node::scalar("x"))]);
+/// assert_eq!(parse_plain(&write_plain(&doc))?, doc);
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn write_plain(node: &Node) -> String {
+    let mut out = String::new();
+    for (key, value) in node.flatten().iter() {
+        out.push_str(&format!("{key}= {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_pairs() {
+        let flat = parse_plain("# comment\na= 1\nb = true\nc=text with spaces\n")
+            .unwrap()
+            .flatten();
+        assert_eq!(flat.get("a"), Some(&Value::from(1)));
+        assert_eq!(flat.get("b"), Some(&Value::from(true)));
+        assert_eq!(flat.get("c"), Some(&Value::from("text with spaces")));
+    }
+
+    #[test]
+    fn keys_are_verbatim_flat() {
+        let doc = parse_plain("menu.bar.visible= false\n").unwrap();
+        assert_eq!(doc.get("menu.bar.visible"), Some(&Node::scalar(false)));
+    }
+
+    #[test]
+    fn rejects_separator_free_lines() {
+        let err = parse_plain("a= 1\nnot a pair\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(parse_plain("= 1\n").is_err());
+    }
+
+    #[test]
+    fn later_assignment_wins() {
+        let flat = parse_plain("k= 1\nk= 2\n").unwrap().flatten();
+        assert_eq!(flat.get("k"), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn write_flattens_nesting() {
+        let doc = Node::map([("outer", Node::map([("inner", Node::scalar(1))]))]);
+        let text = write_plain(&doc);
+        assert_eq!(text, "outer/inner= 1\n");
+        let reparsed = parse_plain(&text).unwrap();
+        assert_eq!(reparsed.flatten().get("outer/inner"), Some(&Value::from(1)));
+    }
+}

@@ -1,0 +1,363 @@
+//! PostScript-style preference parsing and emission (the dictionary subset
+//! used by Adobe Acrobat-era preference files).
+//!
+//! These files are sequences of `/Name value` pairs where values are
+//! booleans, numbers, names, `(strings)`, `[arrays]` and `<< dictionaries >>`:
+//!
+//! ```text
+//! /MenuBar true
+//! /RecentFiles [ (a.pdf) (b.pdf) ]
+//! /Toolbars << /Find true /Zoom false >>
+//! ```
+
+use ocasta_ttkv::Value;
+
+use crate::cursor::Cursor;
+use crate::error::ParseConfigError;
+use crate::node::Node;
+use crate::Format;
+
+/// Parses a PostScript-style preference document into a [`Node`] tree.
+///
+/// The document is an implicit top-level dictionary: a sequence of
+/// `/Key value` pairs. `%` starts a comment to end of line. Strings use
+/// `(...)` with `\` escapes and balanced nested parentheses.
+///
+/// # Errors
+///
+/// Returns a [`ParseConfigError`] on stray values, unterminated strings,
+/// arrays or dictionaries.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::parse_postscript;
+/// use ocasta_ttkv::Value;
+///
+/// let doc = parse_postscript("/MenuBar true\n/OpenCount 7\n")?;
+/// let flat = doc.flatten();
+/// assert_eq!(flat.get("MenuBar"), Some(&Value::from(true)));
+/// assert_eq!(flat.get("OpenCount"), Some(&Value::from(7)));
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn parse_postscript(input: &str) -> Result<Node, ParseConfigError> {
+    let mut cur = Cursor::new(Format::PostScript, input);
+    let entries = parse_dict_body(&mut cur, /*terminated:*/ false)?;
+    Ok(Node::Map(entries))
+}
+
+fn skip_blanks(cur: &mut Cursor<'_>) {
+    loop {
+        cur.skip_whitespace();
+        if cur.peek() == Some('%') {
+            cur.take_while(|c| c != '\n');
+        } else {
+            return;
+        }
+    }
+}
+
+/// Parses `/Key value` pairs until end of input (`terminated == false`) or a
+/// closing `>>` (`terminated == true`).
+fn parse_dict_body(
+    cur: &mut Cursor<'_>,
+    terminated: bool,
+) -> Result<Vec<(String, Node)>, ParseConfigError> {
+    let mut entries = Vec::new();
+    loop {
+        skip_blanks(cur);
+        match cur.peek() {
+            None if !terminated => return Ok(entries),
+            None => return Err(cur.error("unterminated dictionary")),
+            Some('>') if terminated => {
+                cur.next();
+                cur.expect('>')?;
+                return Ok(entries);
+            }
+            Some('/') => {
+                cur.next();
+                let name = read_ps_name(cur)?;
+                skip_blanks(cur);
+                let value = parse_ps_value(cur)?;
+                entries.push((name, value));
+            }
+            Some(c) => return Err(cur.error(format!("expected `/Name`, found `{c}`"))),
+        }
+    }
+}
+
+fn parse_ps_value(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
+    skip_blanks(cur);
+    match cur.peek() {
+        Some('(') => Ok(Node::Scalar(Value::Str(parse_ps_string(cur)?))),
+        Some('[') => {
+            cur.next();
+            let mut items = Vec::new();
+            loop {
+                skip_blanks(cur);
+                match cur.peek() {
+                    Some(']') => {
+                        cur.next();
+                        return Ok(Node::Seq(items));
+                    }
+                    Some(_) => items.push(parse_ps_value(cur)?),
+                    None => return Err(cur.error("unterminated array")),
+                }
+            }
+        }
+        Some('<') => {
+            cur.next();
+            cur.expect('<')?;
+            let entries = parse_dict_body(cur, true)?;
+            Ok(Node::Map(entries))
+        }
+        Some('/') => {
+            cur.next();
+            // A name used as a value (an enumerated constant).
+            Ok(Node::Scalar(Value::Str(format!("/{}", read_ps_name(cur)?))))
+        }
+        Some(c) if c == '-' || c == '+' || c.is_ascii_digit() => {
+            let text = cur.take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.'));
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Node::Scalar(Value::Int(i)));
+            }
+            text.parse::<f64>()
+                .map(|f| Node::Scalar(Value::Float(f)))
+                .map_err(|_| cur.error(format!("invalid number `{text}`")))
+        }
+        Some(c) if c.is_ascii_alphabetic() => {
+            let word = cur.take_while(|c| c.is_ascii_alphanumeric());
+            match word.as_str() {
+                "true" => Ok(Node::Scalar(Value::Bool(true))),
+                "false" => Ok(Node::Scalar(Value::Bool(false))),
+                "null" => Ok(Node::Scalar(Value::Null)),
+                other => Err(cur.error(format!("unknown token `{other}`"))),
+            }
+        }
+        Some(c) => Err(cur.error(format!("unexpected character `{c}`"))),
+        None => Err(cur.error("expected a value, found end of input")),
+    }
+}
+
+fn parse_ps_string(cur: &mut Cursor<'_>) -> Result<String, ParseConfigError> {
+    cur.expect('(')?;
+    let mut out = String::new();
+    let mut depth = 1usize;
+    loop {
+        match cur.next() {
+            Some('\\') => match cur.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some(c @ ('(' | ')' | '\\')) => out.push(c),
+                Some(c) => {
+                    out.push('\\');
+                    out.push(c);
+                }
+                None => return Err(cur.error("unterminated string")),
+            },
+            Some('(') => {
+                depth += 1;
+                out.push('(');
+            }
+            Some(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(out);
+                }
+                out.push(')');
+            }
+            Some(c) => out.push(c),
+            None => return Err(cur.error("unterminated string")),
+        }
+    }
+}
+
+fn read_ps_name(cur: &mut Cursor<'_>) -> Result<String, ParseConfigError> {
+    let name = cur.take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'));
+    if name.is_empty() {
+        Err(cur.error("expected a name after `/`"))
+    } else {
+        Ok(name)
+    }
+}
+
+/// Serialises a [`Node`] tree as a PostScript-style preference document.
+///
+/// The root must be a map (it becomes the implicit top-level dictionary);
+/// scalars and sequences at the root are wrapped under a `/Value` key.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::{parse_postscript, write_postscript, Node};
+///
+/// let doc = Node::map([("MenuBar", Node::scalar(true))]);
+/// assert_eq!(parse_postscript(&write_postscript(&doc))?, doc);
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn write_postscript(node: &Node) -> String {
+    let mut out = String::new();
+    match node {
+        Node::Map(entries) => {
+            for (key, value) in entries {
+                out.push('/');
+                out.push_str(key);
+                out.push(' ');
+                write_ps_value(value, &mut out);
+                out.push('\n');
+            }
+        }
+        other => {
+            out.push_str("/Value ");
+            write_ps_value(other, &mut out);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn write_ps_value(node: &Node, out: &mut String) {
+    match node {
+        Node::Scalar(Value::Null) => out.push_str("null"),
+        Node::Scalar(Value::Bool(b)) => out.push_str(if *b { "true" } else { "false" }),
+        Node::Scalar(Value::Int(i)) => out.push_str(&i.to_string()),
+        Node::Scalar(Value::Float(f)) => out.push_str(&format!("{f:?}")),
+        Node::Scalar(Value::Str(s)) => {
+            if let Some(name) = s.strip_prefix('/') {
+                out.push('/');
+                out.push_str(name);
+            } else {
+                write_ps_string(s, out);
+            }
+        }
+        Node::Scalar(Value::List(items)) => {
+            out.push_str("[ ");
+            for item in items {
+                write_ps_value(&Node::Scalar(item.clone()), out);
+                out.push(' ');
+            }
+            out.push(']');
+        }
+        Node::Seq(items) => {
+            out.push_str("[ ");
+            for item in items {
+                write_ps_value(item, out);
+                out.push(' ');
+            }
+            out.push(']');
+        }
+        Node::Map(entries) => {
+            out.push_str("<< ");
+            for (key, value) in entries {
+                out.push('/');
+                out.push_str(key);
+                out.push(' ');
+                write_ps_value(value, out);
+                out.push(' ');
+            }
+            out.push_str(">>");
+        }
+    }
+}
+
+fn write_ps_string(s: &str, out: &mut String) {
+    out.push('(');
+    for c in s.chars() {
+        match c {
+            '(' | ')' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_acrobat_like_prefs() {
+        let text = "\
+% Acrobat-style preferences
+/MenuBar true
+/OpenCount 12
+/Zoom 1.5
+/RecentFiles [ (report.pdf) (slides.pdf) ]
+/Toolbars << /Find true /SelectZoom false >>
+/PageMode /UseThumbs
+";
+        let flat = parse_postscript(text).unwrap().flatten();
+        assert_eq!(flat.get("MenuBar"), Some(&Value::from(true)));
+        assert_eq!(flat.get("OpenCount"), Some(&Value::from(12)));
+        assert_eq!(flat.get("Zoom"), Some(&Value::from(1.5)));
+        assert_eq!(
+            flat.get("RecentFiles"),
+            Some(&Value::List(vec![
+                Value::from("report.pdf"),
+                Value::from("slides.pdf")
+            ]))
+        );
+        assert_eq!(flat.get("Toolbars/Find"), Some(&Value::from(true)));
+        assert_eq!(flat.get("PageMode"), Some(&Value::from("/UseThumbs")));
+    }
+
+    #[test]
+    fn nested_parens_in_strings() {
+        let doc = parse_postscript("/Name (outer (inner) text \\(escaped\\))\n").unwrap();
+        assert_eq!(
+            doc.get("Name"),
+            Some(&Node::scalar("outer (inner) text (escaped)"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "/Key",               // missing value
+            "stray",              // value with no key
+            "/Key (unterminated", // string
+            "/Key [ 1 2",         // array
+            "/Key << /A 1",       // dict
+            "/ 5",                // empty name
+        ] {
+            assert!(parse_postscript(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped_anywhere() {
+        let flat = parse_postscript("% header\n/A 1 % trailing\n/B 2\n")
+            .unwrap()
+            .flatten();
+        assert_eq!(flat.get("A"), Some(&Value::from(1)));
+        assert_eq!(flat.get("B"), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let doc = Node::map([
+            ("Flag", Node::scalar(false)),
+            ("Count", Node::scalar(-3)),
+            ("Ratio", Node::scalar(0.25)),
+            ("Title", Node::scalar("with (parens) \\ and \n newline")),
+            ("Mode", Node::scalar("/FullScreen")),
+            (
+                "Files",
+                Node::Seq(vec![Node::scalar("a.pdf"), Node::scalar("b.pdf")]),
+            ),
+            (
+                "Sub",
+                Node::map([("Inner", Node::scalar(1)), ("Deep", Node::map([("X", Node::scalar(true))]))]),
+            ),
+        ]);
+        let text = write_postscript(&doc);
+        assert_eq!(parse_postscript(&text).unwrap(), doc);
+    }
+}

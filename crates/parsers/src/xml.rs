@@ -1,0 +1,492 @@
+//! XML parsing and emission (the configuration-file subset: elements,
+//! attributes, text, comments, declarations and the five predefined
+//! entities — no DTDs or namespaces-aware processing).
+
+use ocasta_ttkv::Value;
+
+use crate::cursor::Cursor;
+use crate::error::ParseConfigError;
+use crate::node::Node;
+use crate::Format;
+
+/// Parses an XML document into a [`Node`] tree.
+///
+/// Mapping rules (designed for configuration documents like GConf's
+/// `%gconf.xml` files):
+///
+/// * an element becomes a map entry named after its tag;
+/// * attributes become entries prefixed with `@`;
+/// * repeated child tags collect into a [`Node::Seq`];
+/// * an element with only text becomes a scalar (typed via
+///   [`Value::parse_token`]);
+/// * an element with attributes *and* text stores the text under `#text`;
+/// * comments (`<!-- -->`), processing instructions (`<? ?>`) and CDATA are
+///   handled; DTDs are not.
+///
+/// The returned node is a map with a single entry for the root element.
+///
+/// # Errors
+///
+/// Returns a [`ParseConfigError`] on mismatched tags, malformed markup or
+/// unknown entities.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::parse_xml;
+/// use ocasta_ttkv::Value;
+///
+/// let doc = parse_xml(r#"<gconf><entry name="mark_seen" type="bool">true</entry></gconf>"#)?;
+/// let flat = doc.flatten();
+/// assert_eq!(flat.get("gconf/entry/@name"), Some(&Value::from("mark_seen")));
+/// assert_eq!(flat.get("gconf/entry/#text"), Some(&Value::from(true)));
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn parse_xml(input: &str) -> Result<Node, ParseConfigError> {
+    let mut cur = Cursor::new(Format::Xml, input);
+    skip_misc(&mut cur)?;
+    if cur.peek() != Some('<') {
+        return Err(cur.error("expected root element"));
+    }
+    let (name, node) = parse_element(&mut cur)?;
+    skip_misc(&mut cur)?;
+    if !cur.at_end() {
+        return Err(cur.error("trailing content after root element"));
+    }
+    Ok(Node::Map(vec![(name, node)]))
+}
+
+/// Skips whitespace, comments, processing instructions and declarations
+/// without consuming the `<` of a real element.
+fn skip_misc(cur: &mut Cursor<'_>) -> Result<(), ParseConfigError> {
+    loop {
+        cur.skip_whitespace();
+        if cur.peek() != Some('<') {
+            return Ok(());
+        }
+        match cur.peek2() {
+            Some('?') => {
+                cur.next();
+                cur.next();
+                let mut prev = ' ';
+                loop {
+                    match cur.next() {
+                        Some('>') if prev == '?' => break,
+                        Some(c) => prev = c,
+                        None => return Err(cur.error("unterminated processing instruction")),
+                    }
+                }
+            }
+            Some('!') => {
+                cur.next();
+                cur.next();
+                if cur.eat('-') {
+                    cur.expect('-')?;
+                    let mut dashes = 0;
+                    loop {
+                        match cur.next() {
+                            Some('-') => dashes += 1,
+                            Some('>') if dashes >= 2 => break,
+                            Some(_) => dashes = 0,
+                            None => return Err(cur.error("unterminated comment")),
+                        }
+                    }
+                } else {
+                    return Err(cur.error("DTD declarations are not supported"));
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Parses one element starting at `<`.
+fn parse_element(cur: &mut Cursor<'_>) -> Result<(String, Node), ParseConfigError> {
+    cur.expect('<')?;
+    parse_element_after_lt(cur)
+}
+
+/// Parses one element whose `<` has already been consumed.
+fn parse_element_after_lt(cur: &mut Cursor<'_>) -> Result<(String, Node), ParseConfigError> {
+    let name = read_name(cur)?;
+    let mut attrs: Vec<(String, Node)> = Vec::new();
+    loop {
+        cur.skip_whitespace();
+        match cur.peek() {
+            Some('/') => {
+                cur.next();
+                cur.expect('>')?;
+                return Ok((name, finish_element(attrs, Vec::new(), String::new())));
+            }
+            Some('>') => {
+                cur.next();
+                break;
+            }
+            Some(_) => {
+                let attr_name = read_name(cur)?;
+                cur.skip_whitespace();
+                cur.expect('=')?;
+                cur.skip_whitespace();
+                let quote = match cur.next() {
+                    Some(q @ ('"' | '\'')) => q,
+                    _ => return Err(cur.error("expected quoted attribute value")),
+                };
+                let mut raw = String::new();
+                loop {
+                    match cur.next() {
+                        Some(c) if c == quote => break,
+                        Some('&') => raw.push(read_entity(cur)?),
+                        Some(c) => raw.push(c),
+                        None => return Err(cur.error("unterminated attribute value")),
+                    }
+                }
+                attrs.push((format!("@{attr_name}"), Node::Scalar(Value::parse_token(&raw))));
+            }
+            None => return Err(cur.error("unterminated start tag")),
+        }
+    }
+
+    // Content: children and character data until `</name>`.
+    let mut children: Vec<(String, Node)> = Vec::new();
+    let mut text = String::new();
+    loop {
+        match cur.peek() {
+            Some('<') => {
+                cur.next();
+                match cur.peek() {
+                    Some('/') => {
+                        cur.next();
+                        let close = read_name(cur)?;
+                        cur.skip_whitespace();
+                        cur.expect('>')?;
+                        if close != name {
+                            return Err(cur.error(format!(
+                                "mismatched closing tag: expected </{name}>, found </{close}>"
+                            )));
+                        }
+                        return Ok((name, finish_element(attrs, children, text)));
+                    }
+                    Some('!') => {
+                        cur.next();
+                        if cur.eat('-') {
+                            cur.expect('-')?;
+                            let mut dashes = 0;
+                            loop {
+                                match cur.next() {
+                                    Some('-') => dashes += 1,
+                                    Some('>') if dashes >= 2 => break,
+                                    Some(_) => dashes = 0,
+                                    None => return Err(cur.error("unterminated comment")),
+                                }
+                            }
+                        } else if cur.eat('[') {
+                            // CDATA section.
+                            for expected in "CDATA[".chars() {
+                                cur.expect(expected)?;
+                            }
+                            let mut brackets = 0;
+                            loop {
+                                match cur.next() {
+                                    Some(']') => brackets += 1,
+                                    Some('>') if brackets >= 2 => break,
+                                    Some(c) => {
+                                        for _ in 0..brackets {
+                                            text.push(']');
+                                        }
+                                        brackets = 0;
+                                        text.push(c);
+                                    }
+                                    None => return Err(cur.error("unterminated CDATA")),
+                                }
+                            }
+                        } else {
+                            return Err(cur.error("unsupported markup declaration"));
+                        }
+                    }
+                    Some('?') => {
+                        cur.next();
+                        let mut prev = ' ';
+                        loop {
+                            match cur.next() {
+                                Some('>') if prev == '?' => break,
+                                Some(c) => prev = c,
+                                None => {
+                                    return Err(cur.error("unterminated processing instruction"))
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        let (child_name, child) = parse_element_after_lt(cur)?;
+                        children.push((child_name, child));
+                    }
+                }
+            }
+            Some('&') => {
+                cur.next();
+                text.push(read_entity(cur)?);
+            }
+            Some(_) => text.push(cur.next().expect("peeked")),
+            None => return Err(cur.error(format!("unterminated element <{name}>"))),
+        }
+    }
+}
+
+/// Combines attributes, children and text into the element's node.
+fn finish_element(
+    attrs: Vec<(String, Node)>,
+    children: Vec<(String, Node)>,
+    text: String,
+) -> Node {
+    let text = text.trim().to_owned();
+    if attrs.is_empty() && children.is_empty() {
+        return if text.is_empty() {
+            Node::Map(Vec::new())
+        } else {
+            Node::Scalar(Value::parse_token(&text))
+        };
+    }
+    let mut entries = attrs;
+    // Group repeated child names into sequences, preserving first-seen order.
+    let mut order: Vec<String> = Vec::new();
+    let mut grouped: std::collections::BTreeMap<String, Vec<Node>> = Default::default();
+    for (name, node) in children {
+        if !grouped.contains_key(&name) {
+            order.push(name.clone());
+        }
+        grouped.entry(name).or_default().push(node);
+    }
+    for name in order {
+        let mut nodes = grouped.remove(&name).expect("grouped by construction");
+        if nodes.len() == 1 {
+            entries.push((name, nodes.pop().expect("one element")));
+        } else {
+            entries.push((name, Node::Seq(nodes)));
+        }
+    }
+    if !text.is_empty() {
+        entries.push(("#text".to_owned(), Node::Scalar(Value::parse_token(&text))));
+    }
+    Node::Map(entries)
+}
+
+fn read_name(cur: &mut Cursor<'_>) -> Result<String, ParseConfigError> {
+    let name = cur.take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'));
+    if name.is_empty() {
+        Err(cur.error("expected a name"))
+    } else {
+        Ok(name)
+    }
+}
+
+fn read_entity(cur: &mut Cursor<'_>) -> Result<char, ParseConfigError> {
+    let body = cur.take_while(|c| c != ';');
+    if !cur.eat(';') {
+        return Err(cur.error("unterminated entity"));
+    }
+    match body.as_str() {
+        "lt" => Ok('<'),
+        "gt" => Ok('>'),
+        "amp" => Ok('&'),
+        "quot" => Ok('"'),
+        "apos" => Ok('\''),
+        other => {
+            if let Some(hex) = other.strip_prefix("#x").or_else(|| other.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16)
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| cur.error(format!("invalid character reference &{other};")))
+            } else if let Some(dec) = other.strip_prefix('#') {
+                dec.parse::<u32>()
+                    .ok()
+                    .and_then(char::from_u32)
+                    .ok_or_else(|| cur.error(format!("invalid character reference &{other};")))
+            } else {
+                Err(cur.error(format!("unknown entity &{other};")))
+            }
+        }
+    }
+}
+
+/// Serialises a [`Node`] tree as XML.
+///
+/// Inverts the parse mapping: `@`-prefixed entries become attributes,
+/// `#text` becomes character data, sequences repeat the tag. The node must
+/// be a single-entry map (the root element); other shapes are wrapped in a
+/// `<config>` element.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_parsers::{parse_xml, write_xml, Node};
+///
+/// let doc = Node::map([("root", Node::map([("leaf", Node::scalar(5))]))]);
+/// assert_eq!(parse_xml(&write_xml(&doc))?, doc);
+/// # Ok::<(), ocasta_parsers::ParseConfigError>(())
+/// ```
+pub fn write_xml(node: &Node) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n");
+    match node {
+        // A single-entry map whose value is not a sequence maps onto exactly
+        // one root element; anything else (several entries, or a repeated
+        // root tag) needs a wrapper to stay well-formed.
+        Node::Map(entries) if entries.len() == 1 && !matches!(entries[0].1, Node::Seq(_)) => {
+            write_element(&entries[0].0, &entries[0].1, 0, &mut out);
+        }
+        other => write_element("config", other, 0, &mut out),
+    }
+    out
+}
+
+fn write_element(name: &str, node: &Node, indent: usize, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                write_element(name, item, indent, out);
+            }
+        }
+        Node::Scalar(v) => {
+            push_indent(indent, out);
+            out.push_str(&format!("<{name}>{}</{name}>\n", escape_text(&v.to_string())));
+        }
+        Node::Map(entries) => {
+            let (attrs, rest): (Vec<_>, Vec<_>) =
+                entries.iter().partition(|(k, _)| k.starts_with('@'));
+            push_indent(indent, out);
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in &attrs {
+                if let Node::Scalar(value) = v {
+                    out.push_str(&format!(" {}=\"{}\"", &k[1..], escape_text(&value.to_string())));
+                }
+            }
+            let text = rest.iter().find(|(k, _)| k == "#text");
+            let children: Vec<_> = rest.iter().filter(|(k, _)| k != "#text").collect();
+            if children.is_empty() {
+                match text {
+                    Some((_, Node::Scalar(v))) => {
+                        out.push_str(&format!(">{}</{name}>\n", escape_text(&v.to_string())));
+                    }
+                    _ => out.push_str("/>\n"),
+                }
+            } else {
+                out.push_str(">\n");
+                if let Some((_, Node::Scalar(v))) = text {
+                    push_indent(indent + 1, out);
+                    out.push_str(&escape_text(&v.to_string()));
+                    out.push('\n');
+                }
+                for (k, v) in children {
+                    write_element(k, v, indent + 1, out);
+                }
+                push_indent(indent, out);
+                out.push_str(&format!("</{name}>\n"));
+            }
+        }
+    }
+}
+
+fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gconf_like_document() {
+        let text = r#"<?xml version="1.0"?>
+<!-- GConf entry file -->
+<gconf>
+  <entry name="mark_seen" mtime="1349990400" type="bool">true</entry>
+  <entry name="mark_seen_timeout" type="int">1500</entry>
+</gconf>"#;
+        let flat = parse_xml(text).unwrap().flatten();
+        assert_eq!(flat.get("gconf/entry/0/@name"), Some(&Value::from("mark_seen")));
+        assert_eq!(flat.get("gconf/entry/0/#text"), Some(&Value::from(true)));
+        assert_eq!(flat.get("gconf/entry/1/#text"), Some(&Value::from(1500)));
+    }
+
+    #[test]
+    fn text_only_elements_become_typed_scalars() {
+        let doc = parse_xml("<root><n>42</n><s>hello</s><b>false</b></root>").unwrap();
+        let flat = doc.flatten();
+        assert_eq!(flat.get("root/n"), Some(&Value::from(42)));
+        assert_eq!(flat.get("root/s"), Some(&Value::from("hello")));
+        assert_eq!(flat.get("root/b"), Some(&Value::from(false)));
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let doc = parse_xml("<r a=\"x&amp;y\">1 &lt; 2 &#65;<![CDATA[<raw>]]></r>").unwrap();
+        let flat = doc.flatten();
+        assert_eq!(flat.get("r/@a"), Some(&Value::from("x&y")));
+        assert_eq!(flat.get("r/#text"), Some(&Value::from("1 < 2 A<raw>")));
+    }
+
+    #[test]
+    fn self_closing_and_empty_elements() {
+        let doc = parse_xml("<r><empty/><blank></blank></r>").unwrap();
+        assert_eq!(
+            doc,
+            Node::map([(
+                "r",
+                Node::map([("empty", Node::Map(vec![])), ("blank", Node::Map(vec![]))]),
+            )])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_markup() {
+        for bad in [
+            "<a><b></a></b>",
+            "<a>",
+            "<a attr=unquoted></a>",
+            "<a>&unknown;</a>",
+            "<!DOCTYPE html><a/>",
+            "no markup",
+            "<a/><b/>",
+        ] {
+            assert!(parse_xml(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn writer_roundtrips() {
+        let doc = Node::map([(
+            "prefs",
+            Node::map([
+                ("@version", Node::scalar(2)),
+                ("title", Node::scalar("My <Config> & Stuff")),
+                (
+                    "entry",
+                    Node::Seq(vec![
+                        Node::map([("@name", Node::scalar("a")), ("#text", Node::scalar(1))]),
+                        Node::map([("@name", Node::scalar("b")), ("#text", Node::scalar(2))]),
+                    ]),
+                ),
+                ("empty", Node::Map(vec![])),
+            ]),
+        )]);
+        let text = write_xml(&doc);
+        assert_eq!(parse_xml(&text).unwrap(), doc);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests: parser round-trips and differ laws.
+
+use proptest::prelude::*;
+
+use ocasta_parsers::{
+    diff_flush, parse_ini, parse_json, parse_plain, parse_postscript, parse_xml, write_ini,
+    write_json, write_plain, write_postscript, write_xml, FlatConfig, FlushChange, Node,
+};
+use ocasta_ttkv::Value;
+
+/// Identifier-like key segment (valid in every format).
+fn segment() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+/// Scalars every format can represent losslessly.
+fn portable_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        "[A-Za-z][A-Za-z0-9_ .-]{0,12}[A-Za-z0-9]".prop_map(Value::from),
+    ]
+}
+
+/// A two-level map document: what INI can represent losslessly.
+fn two_level_doc() -> impl Strategy<Value = Node> {
+    let leaf = (segment(), portable_scalar().prop_map(Node::Scalar));
+    let section = (
+        segment(),
+        prop::collection::vec((segment(), portable_scalar().prop_map(Node::Scalar)), 1..5)
+            .prop_map(dedup_entries)
+            .prop_map(Node::Map),
+    );
+    (
+        prop::collection::vec(leaf, 0..4).prop_map(dedup_entries),
+        prop::collection::vec(section, 0..4).prop_map(dedup_entries),
+    )
+        .prop_map(|(mut scalars, sections)| {
+            let names: std::collections::HashSet<_> =
+                sections.iter().map(|(k, _)| k.clone()).collect();
+            scalars.retain(|(k, _)| !names.contains(k));
+            scalars.extend(sections);
+            Node::Map(scalars)
+        })
+}
+
+/// Arbitrary nested documents (JSON/XML/PostScript can hold structure).
+fn nested_doc() -> impl Strategy<Value = Node> {
+    let leaf = portable_scalar().prop_map(Node::Scalar);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Node::Seq),
+            prop::collection::vec((segment(), inner), 1..4)
+                .prop_map(dedup_entries)
+                .prop_map(Node::Map),
+        ]
+    })
+    .prop_map(|body| Node::Map(vec![("root".to_owned(), body)]))
+}
+
+fn dedup_entries(entries: Vec<(String, Node)>) -> Vec<(String, Node)> {
+    let mut seen = std::collections::HashSet::new();
+    entries
+        .into_iter()
+        .filter(|(k, _)| seen.insert(k.clone()))
+        .collect()
+}
+
+fn flat_config() -> impl Strategy<Value = FlatConfig> {
+    prop::collection::btree_map(segment(), portable_scalar(), 0..12)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    /// JSON round-trips arbitrary nested documents exactly.
+    #[test]
+    fn json_roundtrip(doc in nested_doc()) {
+        let text = write_json(&doc);
+        prop_assert_eq!(parse_json(&text).unwrap(), doc);
+    }
+
+    /// JSON round-trips arbitrary *strings* exactly (escaping law).
+    #[test]
+    fn json_string_roundtrip(s in "\\PC{0,40}") {
+        let doc = Node::map([("k", Node::scalar(s))]);
+        let text = write_json(&doc);
+        prop_assert_eq!(parse_json(&text).unwrap(), doc);
+    }
+
+    /// INI round-trips two-level documents with portable scalars.
+    #[test]
+    fn ini_roundtrip(doc in two_level_doc()) {
+        let text = write_ini(&doc);
+        prop_assert_eq!(parse_ini(&text).unwrap(), doc);
+    }
+
+    /// Plain text round-trips at the flattened level.
+    #[test]
+    fn plain_roundtrip_flat(doc in two_level_doc()) {
+        let text = write_plain(&doc);
+        let reparsed = parse_plain(&text).unwrap();
+        prop_assert_eq!(reparsed.flatten(), doc.flatten());
+    }
+
+    /// PostScript round-trips nested documents (strings, names, dicts,
+    /// arrays).
+    #[test]
+    fn postscript_roundtrip(doc in nested_doc()) {
+        // PostScript has no Seq-of-scalars / List distinction at parse time;
+        // normalise by a first round-trip, then require a fixed point.
+        let once = parse_postscript(&write_postscript(&doc)).unwrap();
+        let twice = parse_postscript(&write_postscript(&once)).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// XML round-trips map-shaped documents.
+    #[test]
+    fn xml_roundtrip(doc in nested_doc()) {
+        // XML cannot represent a root-level Seq or scalar text with numeric
+        // typing ambiguity; like PostScript, require a fixed point.
+        let once = parse_xml(&write_xml(&doc)).unwrap();
+        let twice = parse_xml(&write_xml(&once)).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// diff(a, a) is empty; diff(a, b) mentions exactly the differing keys;
+    /// applying the diff to `a` reproduces `b`.
+    #[test]
+    fn diff_laws(a in flat_config(), b in flat_config()) {
+        prop_assert!(diff_flush(&a, &a.clone()).is_empty());
+
+        let changes = diff_flush(&a, &b);
+        // Replay the changes onto `a`.
+        let mut replay = a.clone();
+        for change in &changes {
+            match change {
+                FlushChange::Set { key, value } => {
+                    replay.insert(key.clone(), value.clone());
+                }
+                FlushChange::Removed { key } => {
+                    replay.remove(key);
+                }
+            }
+        }
+        prop_assert_eq!(replay, b);
+    }
+}

@@ -1,0 +1,257 @@
+//! Cluster version history: the rollback candidates the search walks.
+
+use ocasta_ttkv::{ConfigState, Key, TimeDelta, Timestamp, Ttkv};
+
+/// One cluster's searchable state: its keys, modification statistics and
+/// rollback candidates.
+///
+/// A *version* is a co-modification transaction of the cluster's keys
+/// (writes grouped by the sliding window); rolling back to a version means
+/// restoring every member key to its value just **before** that transaction
+/// — undoing it. The paper's repair tool enumerates exactly these candidates
+/// between the user's optional start and end bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterInfo {
+    /// Member keys.
+    pub keys: Vec<Key>,
+    /// Total modifications over the whole recorded history (the repair
+    /// tool's sort key: rarely-modified clusters are likely configuration).
+    pub modifications: u64,
+    /// Most recent modification, if any.
+    pub last_modified: Option<Timestamp>,
+    /// Transaction start times within the search bounds, newest first.
+    pub versions: Vec<Timestamp>,
+}
+
+impl ClusterInfo {
+    /// Builds the version history of a cluster from the TTKV.
+    ///
+    /// `window` is the co-modification window used to group member-key
+    /// mutations into transactions; `start`/`end` bound which transactions
+    /// are searchable (both inclusive; `None` means unbounded).
+    pub fn build(
+        ttkv: &Ttkv,
+        keys: Vec<Key>,
+        window: TimeDelta,
+        start: Option<Timestamp>,
+        end: Option<Timestamp>,
+    ) -> Self {
+        let mut times: Vec<Timestamp> = keys
+            .iter()
+            .filter_map(|k| ttkv.record(k.as_str()))
+            .flat_map(|r| r.mutation_times().collect::<Vec<_>>())
+            .collect();
+        times.sort_unstable();
+        let modifications = keys
+            .iter()
+            .filter_map(|k| ttkv.record(k.as_str()))
+            .map(|r| r.modifications())
+            .sum();
+        let last_modified = times.last().copied();
+
+        // Group into transactions: a new transaction starts when the gap to
+        // the previous mutation exceeds the window.
+        let mut txn_starts: Vec<Timestamp> = Vec::new();
+        let mut prev: Option<Timestamp> = None;
+        for &t in &times {
+            match prev {
+                Some(p) if t.delta_since(p) <= window => {}
+                _ => txn_starts.push(t),
+            }
+            prev = Some(t);
+        }
+        let mut versions: Vec<Timestamp> = txn_starts
+            .into_iter()
+            .filter(|&t| start.is_none_or(|s| t >= s) && end.is_none_or(|e| t <= e))
+            .collect();
+        versions.reverse(); // newest first
+
+        ClusterInfo {
+            keys,
+            modifications,
+            last_modified,
+            versions,
+        }
+    }
+
+    /// Number of member keys.
+    pub fn size(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The rollback patch for version `at`: every member key's value just
+    /// before that transaction started (`None` = the key did not exist and
+    /// must be removed).
+    pub fn rollback_patch(&self, ttkv: &Ttkv, at: Timestamp) -> Vec<(Key, Option<ocasta_ttkv::Value>)> {
+        let before = at.saturating_sub(TimeDelta::from_millis(1));
+        self.keys
+            .iter()
+            .map(|k| (k.clone(), ttkv.value_at(k.as_str(), before).cloned()))
+            .collect()
+    }
+
+    /// Applies the rollback for version `at` to a sandbox copy of `base`.
+    pub fn apply_rollback(&self, ttkv: &Ttkv, at: Timestamp, base: &ConfigState) -> ConfigState {
+        let mut sandbox = base.clone();
+        for (key, value) in self.rollback_patch(ttkv, at) {
+            match value {
+                Some(v) => {
+                    sandbox.set(key, v);
+                }
+                None => {
+                    sandbox.remove(key.as_str());
+                }
+            }
+        }
+        sandbox
+    }
+}
+
+/// Builds [`ClusterInfo`]s for every cluster and sorts them the way Ocasta's
+/// repair tool does: ascending by modification count (configuration settings
+/// change rarely), breaking ties toward the most recently modified cluster.
+pub fn sorted_cluster_infos(
+    ttkv: &Ttkv,
+    clusters: &[Vec<Key>],
+    window: TimeDelta,
+    start: Option<Timestamp>,
+    end: Option<Timestamp>,
+) -> Vec<ClusterInfo> {
+    let mut infos: Vec<ClusterInfo> = clusters
+        .iter()
+        .map(|keys| ClusterInfo::build(ttkv, keys.clone(), window, start, end))
+        .filter(|info| info.modifications > 0)
+        .collect();
+    infos.sort_by(|a, b| {
+        a.modifications
+            .cmp(&b.modifications)
+            .then_with(|| b.last_modified.cmp(&a.last_modified))
+            .then_with(|| a.keys.cmp(&b.keys))
+    });
+    infos
+}
+
+/// The NoClust baseline's "clustering": every modified key by itself.
+pub fn singleton_clusters(ttkv: &Ttkv) -> Vec<Vec<Key>> {
+    ttkv.modified_keys().map(|k| vec![k.clone()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::Value;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn store() -> Ttkv {
+        let mut ttkv = Ttkv::new();
+        // Cluster {a, b}: changed together at t=100 and t=5000.
+        ttkv.write(ts(100), "app/a", Value::from(1));
+        ttkv.write(ts(100), "app/b", Value::from(10));
+        ttkv.write(ts(5000), "app/a", Value::from(2));
+        ttkv.write(ts(5000), "app/b", Value::from(20));
+        // Unrelated key.
+        ttkv.write(ts(3000), "app/c", Value::from(true));
+        ttkv
+    }
+
+    #[test]
+    fn versions_group_by_window_newest_first() {
+        let info = ClusterInfo::build(
+            &store(),
+            vec![Key::new("app/a"), Key::new("app/b")],
+            TimeDelta::from_secs(1),
+            None,
+            None,
+        );
+        assert_eq!(info.versions, vec![ts(5000), ts(100)]);
+        assert_eq!(info.modifications, 4);
+        assert_eq!(info.size(), 2);
+        assert_eq!(info.last_modified, Some(ts(5000)));
+    }
+
+    #[test]
+    fn bounds_filter_versions() {
+        let keys = vec![Key::new("app/a"), Key::new("app/b")];
+        let info = ClusterInfo::build(
+            &store(),
+            keys.clone(),
+            TimeDelta::from_secs(1),
+            Some(ts(1000)),
+            None,
+        );
+        assert_eq!(info.versions, vec![ts(5000)]);
+        let info = ClusterInfo::build(&store(), keys, TimeDelta::from_secs(1), None, Some(ts(1000)));
+        assert_eq!(info.versions, vec![ts(100)]);
+    }
+
+    #[test]
+    fn rollback_restores_pre_transaction_values() {
+        let ttkv = store();
+        let info = ClusterInfo::build(
+            &ttkv,
+            vec![Key::new("app/a"), Key::new("app/b")],
+            TimeDelta::from_secs(1),
+            None,
+            None,
+        );
+        let base = ttkv.snapshot_latest();
+        assert_eq!(base.get_int("app/a"), Some(2));
+        // Undo the t=5000 transaction.
+        let rolled = info.apply_rollback(&ttkv, ts(5000), &base);
+        assert_eq!(rolled.get_int("app/a"), Some(1));
+        assert_eq!(rolled.get_int("app/b"), Some(10));
+        assert_eq!(rolled.get_bool("app/c"), Some(true), "other keys untouched");
+        // Undo the t=100 transaction: keys did not exist before it.
+        let rolled = info.apply_rollback(&ttkv, ts(100), &base);
+        assert_eq!(rolled.get("app/a"), None);
+        assert_eq!(rolled.get("app/b"), None);
+    }
+
+    #[test]
+    fn rollback_recreates_deleted_keys() {
+        let mut ttkv = store();
+        ttkv.delete(ts(9000), "app/a");
+        let info = ClusterInfo::build(
+            &ttkv,
+            vec![Key::new("app/a")],
+            TimeDelta::from_secs(1),
+            None,
+            None,
+        );
+        let base = ttkv.snapshot_latest();
+        assert_eq!(base.get("app/a"), None);
+        // Undo the deletion transaction (t=9000): the key comes back.
+        let rolled = info.apply_rollback(&ttkv, ts(9000), &base);
+        assert_eq!(rolled.get_int("app/a"), Some(2));
+    }
+
+    #[test]
+    fn sort_prefers_rarely_modified_then_recent() {
+        let ttkv = store();
+        let clusters = vec![
+            vec![Key::new("app/a"), Key::new("app/b")], // 4 modifications
+            vec![Key::new("app/c")],                    // 1 modification
+        ];
+        let infos = sorted_cluster_infos(&ttkv, &clusters, TimeDelta::from_secs(1), None, None);
+        assert_eq!(infos[0].keys, vec![Key::new("app/c")]);
+        assert_eq!(infos[1].size(), 2);
+    }
+
+    #[test]
+    fn unmodified_clusters_are_dropped() {
+        let ttkv = store();
+        let clusters = vec![vec![Key::new("app/never_written")]];
+        let infos = sorted_cluster_infos(&ttkv, &clusters, TimeDelta::from_secs(1), None, None);
+        assert!(infos.is_empty());
+    }
+
+    #[test]
+    fn singleton_clusters_cover_modified_keys() {
+        let singles = singleton_clusters(&store());
+        assert_eq!(singles.len(), 3);
+        assert!(singles.iter().all(|c| c.len() == 1));
+    }
+}

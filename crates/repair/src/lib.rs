@@ -1,0 +1,57 @@
+//! # ocasta-repair — automated configuration-error repair
+//!
+//! The repair tool of the [Ocasta](https://arxiv.org/abs/1711.04030)
+//! reproduction (§III-B, §IV-C): given a TTKV history, a clustering of the
+//! application's settings, a user trial that makes the error's symptom
+//! visible, and the user's judgement of screenshots, it searches historical
+//! cluster values for a rollback that clears the symptom.
+//!
+//! * [`ClusterInfo`] — a cluster's version history (co-modification
+//!   transactions) and rollback patches;
+//! * [`Trial`] / [`FixOracle`] / [`Screenshot`] — the deterministic stand-in
+//!   for GUI replay, pixel screenshots and the human in the loop;
+//! * [`search`] — the DFS/BFS rollback search with modification-count
+//!   cluster sorting, start/end time bounds and screenshot deduplication;
+//! * [`singleton_clusters`] — the `Ocasta-NoClust` baseline (roll back one
+//!   setting at a time);
+//! * [`simulate_case`] — the Figure 4 user-study model.
+//!
+//! ```
+//! use ocasta_repair::{search, singleton_clusters, FixOracle, SearchConfig, Screenshot, Trial};
+//! use ocasta_ttkv::{Key, Timestamp, Ttkv, Value};
+//!
+//! // History: the toolbar flag broke at t=90.
+//! let mut ttkv = Ttkv::new();
+//! ttkv.write(Timestamp::from_secs(1), "app/toolbar", Value::from(true));
+//! ttkv.write(Timestamp::from_secs(90), "app/toolbar", Value::from(false));
+//!
+//! let trial = Trial::new("launch", |config| {
+//!     let mut shot = Screenshot::new();
+//!     shot.add_if(config.get_bool("app/toolbar").unwrap_or(false), "toolbar");
+//!     shot
+//! });
+//! let outcome = search(
+//!     &ttkv,
+//!     &singleton_clusters(&ttkv),
+//!     &trial,
+//!     &FixOracle::element_visible("toolbar"),
+//!     &SearchConfig::default(),
+//! );
+//! assert!(outcome.is_fixed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod history;
+mod screenshot;
+mod search;
+mod trial;
+mod user_model;
+
+pub use history::{singleton_clusters, sorted_cluster_infos, ClusterInfo};
+pub use screenshot::{Screenshot, ScreenshotGallery};
+pub use search::{search, FixInfo, SearchConfig, SearchOutcome, SearchStrategy};
+pub use trial::{FixOracle, Trial};
+pub use user_model::{simulate_case, CaseStudyResult, CaseUserModel, UserStudyParams};

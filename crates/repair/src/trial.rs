@@ -1,0 +1,148 @@
+//! Trials: the user-recorded reproduction of a configuration error.
+//!
+//! A trial in the real system is a recorded GUI-action script replayed
+//! against the application in a sandbox, ending with the error's symptom
+//! visible on screen (§III-B). Here a trial is a deterministic render of the
+//! application's visible state from a configuration snapshot, plus the
+//! user's ability to recognise a fixed screenshot.
+
+use std::sync::Arc;
+
+use ocasta_ttkv::ConfigState;
+
+use crate::screenshot::Screenshot;
+
+/// A user-provided trial: replaying it against a configuration produces the
+/// application's visible state.
+///
+/// Cloning shares the underlying render function.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_repair::{Screenshot, Trial};
+/// use ocasta_ttkv::ConfigState;
+///
+/// let trial = Trial::new("open a PDF", |config| {
+///     let mut shot = Screenshot::new();
+///     shot.add_if(config.get_bool("acrobat/menu_bar").unwrap_or(true), "menu_bar");
+///     shot
+/// });
+/// let shot = trial.run(&ConfigState::new());
+/// assert!(shot.contains("menu_bar"));
+/// ```
+#[derive(Clone)]
+pub struct Trial {
+    description: String,
+    render: Arc<dyn Fn(&ConfigState) -> Screenshot + Send + Sync>,
+}
+
+impl Trial {
+    /// Creates a trial from a render function.
+    pub fn new<F>(description: impl Into<String>, render: F) -> Self
+    where
+        F: Fn(&ConfigState) -> Screenshot + Send + Sync + 'static,
+    {
+        Trial {
+            description: description.into(),
+            render: Arc::new(render),
+        }
+    }
+
+    /// What the user did in the trial (for reports).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Executes the trial against a configuration snapshot.
+    pub fn run(&self, config: &ConfigState) -> Screenshot {
+        (self.render)(config)
+    }
+}
+
+impl std::fmt::Debug for Trial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Trial({:?})", self.description)
+    }
+}
+
+/// The user's judgement of a screenshot: does it show the symptom fixed?
+///
+/// In the real system a human inspects the gallery; in this reproduction
+/// each error scenario supplies a predicate over screenshots.
+#[derive(Clone)]
+pub struct FixOracle {
+    is_fixed: Arc<dyn Fn(&Screenshot) -> bool + Send + Sync>,
+}
+
+impl FixOracle {
+    /// Creates an oracle from a predicate.
+    pub fn new<F>(is_fixed: F) -> Self
+    where
+        F: Fn(&Screenshot) -> bool + Send + Sync + 'static,
+    {
+        FixOracle {
+            is_fixed: Arc::new(is_fixed),
+        }
+    }
+
+    /// An oracle satisfied when `element` is visible.
+    pub fn element_visible(element: impl Into<String>) -> Self {
+        let element = element.into();
+        FixOracle::new(move |shot| shot.contains(&element))
+    }
+
+    /// An oracle satisfied when `element` is *not* visible.
+    pub fn element_absent(element: impl Into<String>) -> Self {
+        let element = element.into();
+        FixOracle::new(move |shot| !shot.contains(&element))
+    }
+
+    /// Judges a screenshot.
+    pub fn is_fixed(&self, shot: &Screenshot) -> bool {
+        (self.is_fixed)(shot)
+    }
+}
+
+impl std::fmt::Debug for FixOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FixOracle(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::{Key, Value};
+
+    #[test]
+    fn trial_renders_from_config() {
+        let trial = Trial::new("check flag", |config| {
+            let mut shot = Screenshot::new();
+            shot.add_if(config.get_bool("a/flag").unwrap_or(false), "widget");
+            shot
+        });
+        let empty = ConfigState::new();
+        assert!(!trial.run(&empty).contains("widget"));
+        let mut on = ConfigState::new();
+        on.set(Key::new("a/flag"), Value::from(true));
+        assert!(trial.run(&on).contains("widget"));
+        assert_eq!(trial.description(), "check flag");
+    }
+
+    #[test]
+    fn oracle_helpers() {
+        let shot: Screenshot = ["menu_bar"].into_iter().collect();
+        assert!(FixOracle::element_visible("menu_bar").is_fixed(&shot));
+        assert!(!FixOracle::element_visible("toolbar").is_fixed(&shot));
+        assert!(FixOracle::element_absent("popup").is_fixed(&shot));
+        assert!(!FixOracle::element_absent("menu_bar").is_fixed(&shot));
+    }
+
+    #[test]
+    fn trial_clone_shares_render() {
+        let trial = Trial::new("t", |_| ["x"].into_iter().collect());
+        let clone = trial.clone();
+        assert_eq!(trial.run(&ConfigState::new()), clone.run(&ConfigState::new()));
+    }
+}

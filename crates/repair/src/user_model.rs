@@ -1,0 +1,225 @@
+//! The user-study model (Figure 4).
+//!
+//! The paper ran 19 human participants through four configuration errors,
+//! measuring (a) the time to create an Ocasta trial plus select the fixed
+//! screenshot and (b) the time to fix the same error manually, cut off at
+//! 5 minutes. This module reproduces that comparison with a parameterised
+//! population model; the parameters per case are documented alongside the
+//! Figure 4 bench (`ocasta-bench --bin fig4`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Population parameters of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserStudyParams {
+    /// Number of simulated participants (the paper had 19).
+    pub participants: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for UserStudyParams {
+    fn default() -> Self {
+        UserStudyParams {
+            participants: 19,
+            seed: 4,
+        }
+    }
+}
+
+/// Per-error user-behaviour model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseUserModel {
+    /// Which Table III error this models (11, 13, 15 or 16 in the study).
+    pub error_id: usize,
+    /// Mean seconds to create the trial (record the reproducing actions).
+    pub trial_creation_mean_s: f64,
+    /// Standard deviation of trial-creation time.
+    pub trial_creation_sd_s: f64,
+    /// Seconds spent examining each unique screenshot.
+    pub per_screenshot_s: f64,
+    /// Unique screenshots Ocasta produced for this error (Table IV).
+    pub screenshots: usize,
+    /// Fraction of participants able to fix the error manually within the
+    /// cutoff.
+    pub manual_success_prob: f64,
+    /// Mean seconds of a *successful* manual fix.
+    pub manual_time_mean_s: f64,
+    /// Standard deviation of successful manual-fix time.
+    pub manual_time_sd_s: f64,
+    /// Manual-attempt cutoff (the paper used 300 s).
+    pub cutoff_s: f64,
+}
+
+/// One case's simulated outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStudyResult {
+    /// Which error.
+    pub error_id: usize,
+    /// Per-participant Ocasta times (trial creation + screenshot selection).
+    pub ocasta_times_s: Vec<f64>,
+    /// Per-participant manual times (cutoff-censored for failures).
+    pub manual_times_s: Vec<f64>,
+    /// Fraction of participants who fixed the error manually in time.
+    pub manual_success_rate: f64,
+}
+
+impl CaseStudyResult {
+    /// Mean Ocasta time.
+    pub fn ocasta_mean_s(&self) -> f64 {
+        mean(&self.ocasta_times_s)
+    }
+
+    /// Mean manual time (failures contribute the cutoff, a lower bound, as
+    /// in the paper).
+    pub fn manual_mean_s(&self) -> f64 {
+        mean(&self.manual_times_s)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Simulates one error case over the participant population.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_repair::{simulate_case, CaseUserModel, UserStudyParams};
+///
+/// let model = CaseUserModel {
+///     error_id: 15,
+///     trial_creation_mean_s: 45.0,
+///     trial_creation_sd_s: 12.0,
+///     per_screenshot_s: 8.0,
+///     screenshots: 2,
+///     manual_success_prob: 0.2,
+///     manual_time_mean_s: 240.0,
+///     manual_time_sd_s: 50.0,
+///     cutoff_s: 300.0,
+/// };
+/// let result = simulate_case(&model, &UserStudyParams::default());
+/// assert_eq!(result.ocasta_times_s.len(), 19);
+/// assert!(result.ocasta_mean_s() < result.manual_mean_s());
+/// ```
+pub fn simulate_case(model: &CaseUserModel, params: &UserStudyParams) -> CaseStudyResult {
+    let mut rng = StdRng::seed_from_u64(params.seed ^ (model.error_id as u64).wrapping_mul(0x9E37));
+    let mut ocasta = Vec::with_capacity(params.participants);
+    let mut manual = Vec::with_capacity(params.participants);
+    let mut successes = 0usize;
+    for _ in 0..params.participants {
+        let creation = normal(&mut rng, model.trial_creation_mean_s, model.trial_creation_sd_s)
+            .max(5.0);
+        let selection = (0..model.screenshots.max(1))
+            .map(|_| normal(&mut rng, model.per_screenshot_s, model.per_screenshot_s * 0.3).max(1.0))
+            .sum::<f64>();
+        ocasta.push(creation + selection);
+
+        if rng.random_bool(model.manual_success_prob.clamp(0.0, 1.0)) {
+            successes += 1;
+            let t = normal(&mut rng, model.manual_time_mean_s, model.manual_time_sd_s)
+                .clamp(10.0, model.cutoff_s);
+            manual.push(t);
+        } else {
+            // Cut off: the recorded time is a lower bound (§VI-D).
+            manual.push(model.cutoff_s);
+        }
+    }
+    CaseStudyResult {
+        error_id: model.error_id,
+        ocasta_times_s: ocasta,
+        manual_times_s: manual,
+        manual_success_rate: successes as f64 / params.participants.max(1) as f64,
+    }
+}
+
+/// A normal sample via Box–Muller.
+fn normal(rng: &mut StdRng, mean: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sd * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CaseUserModel {
+        CaseUserModel {
+            error_id: 13,
+            trial_creation_mean_s: 40.0,
+            trial_creation_sd_s: 10.0,
+            per_screenshot_s: 8.0,
+            screenshots: 2,
+            manual_success_prob: 0.3,
+            manual_time_mean_s: 250.0,
+            manual_time_sd_s: 40.0,
+            cutoff_s: 300.0,
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let params = UserStudyParams::default();
+        let a = simulate_case(&model(), &params);
+        let b = simulate_case(&model(), &params);
+        assert_eq!(a, b);
+        let c = simulate_case(&model(), &UserStudyParams { seed: 9, ..params });
+        assert_ne!(a.ocasta_times_s, c.ocasta_times_s);
+    }
+
+    #[test]
+    fn manual_times_respect_cutoff() {
+        let result = simulate_case(&model(), &UserStudyParams::default());
+        assert!(result.manual_times_s.iter().all(|&t| t <= 300.0));
+        assert!(result.manual_times_s.iter().all(|&t| t >= 10.0));
+    }
+
+    #[test]
+    fn ocasta_beats_manual_for_hard_errors() {
+        let hard = CaseUserModel {
+            manual_success_prob: 0.05,
+            ..model()
+        };
+        let result = simulate_case(&hard, &UserStudyParams { participants: 200, seed: 1 });
+        assert!(result.ocasta_mean_s() < result.manual_mean_s() * 0.5);
+        assert!(result.manual_success_rate < 0.15);
+    }
+
+    #[test]
+    fn easy_manual_fixes_narrow_the_gap() {
+        let easy = CaseUserModel {
+            manual_success_prob: 0.9,
+            manual_time_mean_s: 60.0,
+            manual_time_sd_s: 20.0,
+            ..model()
+        };
+        let hard = CaseUserModel {
+            manual_success_prob: 0.05,
+            ..model()
+        };
+        let params = UserStudyParams { participants: 500, seed: 2 };
+        let easy_result = simulate_case(&easy, &params);
+        let hard_result = simulate_case(&hard, &params);
+        assert!(easy_result.manual_mean_s() < hard_result.manual_mean_s());
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let r = CaseStudyResult {
+            error_id: 0,
+            ocasta_times_s: vec![],
+            manual_times_s: vec![],
+            manual_success_rate: 0.0,
+        };
+        assert_eq!(r.ocasta_mean_s(), 0.0);
+        assert_eq!(r.manual_mean_s(), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Configuration-access events: what Ocasta's loggers emit.
+
+use ocasta_ttkv::{Key, Timestamp, Value};
+
+/// A mutation of one configuration setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// The setting was written with a new value.
+    Write(Value),
+    /// The setting was deleted.
+    Delete,
+}
+
+/// One timestamped mutation observed by a logger.
+///
+/// Read accesses are tracked as aggregate per-key counters on the
+/// [`Trace`](crate::Trace) rather than as individual events — only Table I's
+/// totals need them, and the Windows traces contain tens of millions.
+///
+/// The application a key belongs to is the first segment of its hierarchical
+/// name (`word/...`, `acrobat/...`), which is how [`AccessEvent::app`]
+/// recovers it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// When the mutation happened.
+    pub timestamp: Timestamp,
+    /// The setting's hierarchical key.
+    pub key: Key,
+    /// What happened to it.
+    pub mutation: Mutation,
+}
+
+impl AccessEvent {
+    /// Creates a write event.
+    pub fn write(timestamp: Timestamp, key: impl Into<Key>, value: impl Into<Value>) -> Self {
+        AccessEvent {
+            timestamp,
+            key: key.into(),
+            mutation: Mutation::Write(value.into()),
+        }
+    }
+
+    /// Creates a deletion event.
+    pub fn delete(timestamp: Timestamp, key: impl Into<Key>) -> Self {
+        AccessEvent {
+            timestamp,
+            key: key.into(),
+            mutation: Mutation::Delete,
+        }
+    }
+
+    /// The application component of the key (its first path segment).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ocasta_trace::AccessEvent;
+    /// use ocasta_ttkv::Timestamp;
+    ///
+    /// let e = AccessEvent::write(Timestamp::EPOCH, "word/mru/max_display", 9);
+    /// assert_eq!(e.app(), "word");
+    /// ```
+    pub fn app(&self) -> &str {
+        self.key
+            .as_str()
+            .split('/')
+            .next()
+            .unwrap_or(self.key.as_str())
+    }
+
+    /// `true` if this is a deletion.
+    pub fn is_delete(&self) -> bool {
+        matches!(self.mutation, Mutation::Delete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let w = AccessEvent::write(Timestamp::from_secs(1), "app/k", true);
+        assert!(!w.is_delete());
+        assert_eq!(w.app(), "app");
+        let d = AccessEvent::delete(Timestamp::from_secs(2), "app/k");
+        assert!(d.is_delete());
+    }
+
+    #[test]
+    fn app_of_flat_key_is_the_key() {
+        let e = AccessEvent::write(Timestamp::EPOCH, "standalone", 1);
+        assert_eq!(e.app(), "standalone");
+    }
+}

@@ -1,0 +1,681 @@
+//! The synthetic desktop-workload generator.
+//!
+//! Substitutes for the paper's 29-machine deployment (§V): given per-
+//! application [`WorkloadSpec`]s, produces a seeded, reproducible [`Trace`]
+//! with the access patterns the paper's clustering relies on. See
+//! `DESIGN.md` §5.3 for the substitution argument.
+
+use std::collections::BTreeMap;
+
+use ocasta_ttkv::{Key, TimeDelta, Timestamp, Value};
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{Rng, SeedableRng};
+
+use crate::event::AccessEvent;
+use crate::spec::{GroupBehavior, KeySpec, WorkloadSpec};
+use crate::trace::Trace;
+
+/// Configuration for one generated trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// RNG seed; identical seeds and specs produce identical traces.
+    pub seed: u64,
+    /// Deployment length in days.
+    pub days: u64,
+    /// Machine/user name for the trace.
+    pub name: String,
+}
+
+impl GeneratorConfig {
+    /// Creates a generator configuration.
+    pub fn new(name: impl Into<String>, days: u64, seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            days,
+            name: name.into(),
+        }
+    }
+}
+
+/// Generates a trace by simulating day-by-day desktop usage of every
+/// application in `specs`.
+///
+/// The simulation is entirely deterministic in `(config.seed, specs)`:
+///
+/// * each app has 0–N sessions per day (Poisson around
+///   [`WorkloadSpec::sessions_per_day`]), placed in an 8:00–22:00 window;
+/// * a session reads every key once (startup read-all) plus extra reads;
+/// * noise keys churn within sessions, independently;
+/// * setting groups change rarely, writing members together per their
+///   [`GroupBehavior`] (with optional partial updates);
+/// * churn keys take occasional lone writes;
+/// * software updates rewrite a third of all settings in one burst every
+///   [`WorkloadSpec::update_every_days`] days.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_trace::{generate, GeneratorConfig, KeySpec, SettingGroup, ValueKind, WorkloadSpec};
+///
+/// let mut spec = WorkloadSpec::new("mailer");
+/// spec.groups.push(SettingGroup::new(
+///     "mark_seen",
+///     vec![
+///         KeySpec::new("mark_seen", ValueKind::Toggle { initial: true }),
+///         KeySpec::new("mark_seen_timeout", ValueKind::IntRange { min: 500, max: 3000 }),
+///     ],
+///     0.2,
+/// ));
+/// let trace = generate(&GeneratorConfig::new("demo", 30, 7), &[spec]);
+/// assert!(trace.len() > 0);
+/// ```
+pub fn generate(config: &GeneratorConfig, specs: &[WorkloadSpec]) -> Trace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut trace = Trace::new(config.name.clone(), config.days);
+    let mut state = ValueState::default();
+
+    for spec in specs {
+        let mut app = AppSim::new(spec, &mut state);
+        for day in 0..config.days {
+            app.simulate_day(day, config.days, &mut trace, &mut rng, &mut state);
+        }
+    }
+    trace
+}
+
+/// Live key values, shared so toggles flip and MRU lists accumulate.
+#[derive(Debug, Default)]
+struct ValueState {
+    values: BTreeMap<Key, Value>,
+}
+
+impl ValueState {
+    fn next_value(&mut self, rng: &mut StdRng, key: &Key, spec: &KeySpec) -> Value {
+        let next = spec.kind.sample(rng, self.values.get(key.as_str()));
+        self.values.insert(key.clone(), next.clone());
+        next
+    }
+
+    fn remove(&mut self, key: &Key) {
+        self.values.remove(key.as_str());
+    }
+
+    fn current_int(&self, key: &Key) -> Option<i64> {
+        self.values.get(key.as_str()).and_then(Value::as_int)
+    }
+}
+
+/// Per-app simulation state (resolved key names).
+struct AppSim<'s> {
+    spec: &'s WorkloadSpec,
+    group_keys: Vec<Vec<Key>>,
+    noise_keys: Vec<Key>,
+    churn_keys: Vec<Key>,
+    static_keys: Vec<Key>,
+    /// Live item count per MRU group (index-aligned with `group_keys`).
+    mru_live: Vec<usize>,
+    /// Whether the install-day initialization burst has happened.
+    initialized: bool,
+}
+
+impl<'s> AppSim<'s> {
+    fn new(spec: &'s WorkloadSpec, state: &mut ValueState) -> Self {
+        let group_keys: Vec<Vec<Key>> = spec
+            .groups
+            .iter()
+            .map(|g| g.keys.iter().map(|k| spec.key(&k.name)).collect())
+            .collect();
+        let noise_keys = spec.noise.iter().map(|n| spec.key(&n.spec.name)).collect();
+        let churn_keys = (0..spec.churn_keys)
+            .map(|i| spec.key(&format!("pref/opt{i:04}")))
+            .collect();
+        let static_keys = (0..spec.static_keys)
+            .map(|i| spec.key(&format!("static/key{i:05}")))
+            .collect();
+        // MRU groups start with a couple of live items.
+        let mru_live = spec
+            .groups
+            .iter()
+            .map(|g| match g.behavior {
+                GroupBehavior::MruWindow { .. } => (g.keys.len().saturating_sub(1)).min(3),
+                GroupBehavior::Burst { .. } => 0,
+            })
+            .collect();
+        // Seed initial values so toggles/limits have a baseline.
+        for (group, keys) in spec.groups.iter().zip(&group_keys) {
+            for (key_spec, key) in group.keys.iter().zip(keys) {
+                state
+                    .values
+                    .entry(key.clone())
+                    .or_insert_with(|| key_spec.kind.initial());
+            }
+        }
+        AppSim {
+            spec,
+            group_keys,
+            noise_keys,
+            churn_keys,
+            static_keys,
+            mru_live,
+            initialized: false,
+        }
+    }
+
+    /// Install-day burst: the user (or the installer) walks the preference
+    /// dialogs once, so every setting group receives one early write and
+    /// every configuration key has a modification history. Groups are
+    /// spaced well apart so the burst cannot merge unrelated groups.
+    fn initialize_groups(
+        &mut self,
+        day: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let base = random_daytime(rng, day);
+        for gi in 0..self.spec.groups.len() {
+            let t = base + TimeDelta::from_secs(gi as u64 * 90 + rng.random_range(0..30));
+            match self.spec.groups[gi].behavior {
+                GroupBehavior::Burst { span_ms } => {
+                    self.write_full_group(gi, t, span_ms, trace, rng, state);
+                }
+                GroupBehavior::MruWindow { span_ms, .. } => {
+                    self.write_mru_max_change(gi, t, span_ms, trace, rng, state);
+                }
+            }
+        }
+        self.initialized = true;
+    }
+
+    /// Writes every member of a burst group (no partial updates).
+    fn write_full_group(
+        &self,
+        gi: usize,
+        t: Timestamp,
+        span_ms: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let group = &self.spec.groups[gi];
+        let keys = &self.group_keys[gi];
+        let n = group.keys.len() as u64;
+        for (pos, key) in keys.iter().enumerate() {
+            let offset = if n > 1 { span_ms * pos as u64 / (n - 1) } else { 0 };
+            let when = t + TimeDelta::from_millis(offset + rng.random_range(0..50));
+            let value = state.next_value(rng, key, &group.keys[pos]);
+            trace.push(AccessEvent::write(when, key.clone(), value));
+        }
+    }
+
+    fn simulate_day(
+        &mut self,
+        day: u64,
+        total_days: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let sessions = poisson(rng, self.spec.sessions_per_day);
+        if sessions > 0 && !self.initialized {
+            self.initialize_groups(day, trace, rng, state);
+        }
+        for _ in 0..sessions {
+            self.simulate_session(day, trace, rng, state);
+        }
+        // Lone churn writes, independent of sessions.
+        for _ in 0..poisson(rng, self.spec.churn_writes_per_day) {
+            if let Some(key) = self.churn_keys.choose(rng) {
+                let t = random_daytime(rng, day);
+                let spec = KeySpec::new("churn", crate::ValueKind::IntRange { min: 0, max: 1 << 20 });
+                let value = state.next_value(rng, key, &spec);
+                trace.push(AccessEvent::write(t, key.clone(), value));
+            }
+        }
+        // Software update: one burst rewriting a third of everything.
+        if let Some(every) = self.spec.update_every_days {
+            if every > 0 && day % every == every - 1 && day + 1 < total_days {
+                self.simulate_update(day, trace, rng, state);
+            }
+        }
+    }
+
+    fn simulate_session(
+        &mut self,
+        day: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let start = random_daytime(rng, day);
+        let session_len = TimeDelta::from_mins(rng.random_range(15..120));
+
+        // Startup read-all plus extra reads concentrated on a few keys.
+        for key in self
+            .static_keys
+            .iter()
+            .chain(self.churn_keys.iter())
+            .chain(self.noise_keys.iter())
+            .chain(self.group_keys.iter().flatten())
+        {
+            trace.add_reads(key.clone(), 1);
+        }
+        let extra = self.spec.reads_per_session;
+        if extra > 0 {
+            let hot_count = 16.min(self.spec.key_count().max(1));
+            for _ in 0..hot_count {
+                let key = self.random_key(rng);
+                trace.add_reads(key, extra / hot_count as u64);
+            }
+        }
+
+        // Noise churn.
+        for (noise, key) in self.spec.noise.iter().zip(&self.noise_keys) {
+            for _ in 0..poisson(rng, noise.writes_per_session) {
+                let t = random_within(rng, start, session_len);
+                let value = state.next_value(rng, key, &noise.spec);
+                trace.push(AccessEvent::write(t, key.clone(), value));
+            }
+        }
+
+        // Group activity.
+        let per_session = if self.spec.sessions_per_day > 0.0 {
+            1.0 / self.spec.sessions_per_day
+        } else {
+            1.0
+        };
+        for gi in 0..self.spec.groups.len() {
+            let group = &self.spec.groups[gi];
+            match group.behavior {
+                GroupBehavior::Burst { span_ms } => {
+                    let lambda = group.changes_per_day * per_session;
+                    for _ in 0..poisson(rng, lambda) {
+                        let t = random_within(rng, start, session_len);
+                        self.write_burst_group(gi, t, span_ms, trace, rng, state);
+                    }
+                }
+                GroupBehavior::MruWindow {
+                    span_ms,
+                    item_updates_per_session,
+                } => {
+                    // Frequent item rotations.
+                    for _ in 0..poisson(rng, item_updates_per_session) {
+                        let t = random_within(rng, start, session_len);
+                        self.write_mru_rotation(gi, t, span_ms, trace, rng, state);
+                    }
+                    // Rare max changes.
+                    let lambda = group.changes_per_day * per_session;
+                    for _ in 0..poisson(rng, lambda) {
+                        let t = random_within(rng, start, session_len);
+                        self.write_mru_max_change(gi, t, span_ms, trace, rng, state);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes a burst group: all members (or a partial subset) with jitter
+    /// spread over `span_ms`.
+    fn write_burst_group(
+        &self,
+        gi: usize,
+        t: Timestamp,
+        span_ms: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let group = &self.spec.groups[gi];
+        let keys = &self.group_keys[gi];
+        let mut members: Vec<usize> = (0..group.keys.len()).collect();
+        if group.keys.len() > 1 && rng.random_bool(group.partial_update_prob) {
+            members.shuffle(rng);
+            let keep = rng.random_range(1..group.keys.len());
+            members.truncate(keep);
+            members.sort_unstable();
+        }
+        let n = members.len() as u64;
+        for (pos, &mi) in members.iter().enumerate() {
+            let offset = if n > 1 {
+                span_ms * pos as u64 / (n - 1).max(1)
+            } else {
+                0
+            };
+            let jitter = rng.random_range(0..50);
+            let when = t + TimeDelta::from_millis(offset + jitter);
+            let value = state.next_value(rng, &keys[mi], &group.keys[mi]);
+            trace.push(AccessEvent::write(when, keys[mi].clone(), value));
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // `slot` indexes two parallel arrays
+    /// Rewrites the MRU item slots (a "document open"): the list grows by
+    /// one slot (up to the current max) and every live slot is rewritten,
+    /// staggered over the span.
+    fn write_mru_rotation(
+        &mut self,
+        gi: usize,
+        t: Timestamp,
+        span_ms: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let group = &self.spec.groups[gi];
+        let keys = &self.group_keys[gi];
+        let slots = keys.len().saturating_sub(1);
+        let max = state
+            .current_int(&keys[0])
+            .map_or(slots, |m| m.max(0) as usize)
+            .min(slots);
+        let live = (self.mru_live[gi] + 1).min(max);
+        self.mru_live[gi] = live;
+        for slot in 1..=live {
+            let offset = span_ms * (slot as u64 - 1) / live.max(2) as u64;
+            let when = t + TimeDelta::from_millis(offset + rng.random_range(0..50));
+            let value = state.next_value(rng, &keys[slot], &group.keys[slot]);
+            trace.push(AccessEvent::write(when, keys[slot].clone(), value));
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // `slot` indexes two parallel arrays
+    /// Changes the MRU max: writes the max key, rewrites surviving slots and
+    /// deletes slots beyond the new max (Figure 1a semantics).
+    fn write_mru_max_change(
+        &mut self,
+        gi: usize,
+        t: Timestamp,
+        span_ms: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let group = &self.spec.groups[gi];
+        let keys = &self.group_keys[gi];
+        let slots = keys.len().saturating_sub(1);
+        if slots == 0 {
+            return;
+        }
+        let (min_max, max_max) = match group.keys[0].kind {
+            crate::ValueKind::IntRange { min, max } => {
+                (min.max(1) as usize, (max.max(1) as usize).min(slots))
+            }
+            _ => (1, slots),
+        };
+        let new_max = rng.random_range(min_max..=max_max.max(min_max));
+        state
+            .values
+            .insert(keys[0].clone(), Value::Int(new_max as i64));
+        trace.push(AccessEvent::write(t, keys[0].clone(), Value::Int(new_max as i64)));
+        // Figure 1a semantics: the application rewrites every surviving slot
+        // and clears every slot beyond the new max, so a max change touches
+        // the whole group.
+        let steps = slots as u64;
+        for slot in 1..=slots {
+            let when = t
+                + TimeDelta::from_millis(span_ms * slot as u64 / steps + rng.random_range(0..50));
+            if slot <= new_max {
+                let value = state.next_value(rng, &keys[slot], &group.keys[slot]);
+                trace.push(AccessEvent::write(when, keys[slot].clone(), value));
+            } else {
+                state.remove(&keys[slot]);
+                trace.push(AccessEvent::delete(when, keys[slot].clone()));
+            }
+        }
+        self.mru_live[gi] = new_max;
+    }
+
+    /// One software-update burst touching a third of all writable settings.
+    fn simulate_update(
+        &self,
+        day: u64,
+        trace: &mut Trace,
+        rng: &mut StdRng,
+        state: &mut ValueState,
+    ) {
+        let t = random_daytime(rng, day);
+        let mut offset = 0u64;
+        for (group, keys) in self.spec.groups.iter().zip(&self.group_keys) {
+            for (key_spec, key) in group.keys.iter().zip(keys) {
+                if rng.random_bool(0.33) {
+                    let when = t + TimeDelta::from_millis(offset);
+                    offset += rng.random_range(5..40);
+                    let value = state.next_value(rng, key, key_spec);
+                    trace.push(AccessEvent::write(when, key.clone(), value));
+                }
+            }
+        }
+        for key in &self.churn_keys {
+            if rng.random_bool(0.2) {
+                let when = t + TimeDelta::from_millis(offset);
+                offset += rng.random_range(5..40);
+                let spec = KeySpec::new("churn", crate::ValueKind::IntRange { min: 0, max: 1 << 20 });
+                let value = state.next_value(rng, key, &spec);
+                trace.push(AccessEvent::write(when, key.clone(), value));
+            }
+        }
+    }
+
+    fn random_key(&self, rng: &mut StdRng) -> Key {
+        let pools: [&[Key]; 4] = [
+            &self.static_keys,
+            &self.churn_keys,
+            &self.noise_keys,
+            &[],
+        ];
+        let _ = pools;
+        // Weighted choice across all key classes, flattening group keys.
+        let total = self.spec.key_count().max(1);
+        let mut idx = rng.random_range(0..total);
+        for pool in [&self.static_keys, &self.churn_keys, &self.noise_keys] {
+            if idx < pool.len() {
+                return pool[idx].clone();
+            }
+            idx -= pool.len();
+        }
+        for keys in &self.group_keys {
+            if idx < keys.len() {
+                return keys[idx].clone();
+            }
+            idx -= keys.len();
+        }
+        self.spec.key("static/key00000")
+    }
+}
+
+/// A sample from a Poisson distribution (Knuth's method for small `lambda`,
+/// normal approximation above 30).
+fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        let sample: f64 = rng.random::<f64>() + rng.random::<f64>() + rng.random::<f64>()
+            - rng.random::<f64>()
+            - rng.random::<f64>()
+            - rng.random::<f64>();
+        // `sample` is roughly normal with mean 0, variance 0.5.
+        let normal = sample * std::f64::consts::SQRT_2;
+        return (lambda + normal * lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let threshold = (-lambda).exp();
+    let mut count = 0u64;
+    let mut product: f64 = rng.random();
+    while product > threshold {
+        count += 1;
+        product *= rng.random::<f64>();
+    }
+    count
+}
+
+/// A random instant within day `day`'s 8:00–22:00 usage window.
+fn random_daytime(rng: &mut StdRng, day: u64) -> Timestamp {
+    let seconds = rng.random_range(8 * 3600..20 * 3600);
+    Timestamp::from_days(day)
+        + TimeDelta::from_secs(seconds)
+        + TimeDelta::from_millis(rng.random_range(0..1000))
+}
+
+/// A random instant within `[start, start + len]`.
+fn random_within(rng: &mut StdRng, start: Timestamp, len: TimeDelta) -> Timestamp {
+    start + TimeDelta::from_millis(rng.random_range(0..len.as_millis().max(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{NoiseKey, SettingGroup, ValueKind};
+    use ocasta_ttkv::TimePrecision;
+
+    fn demo_spec() -> WorkloadSpec {
+        let mut spec = WorkloadSpec::new("demo");
+        spec.sessions_per_day = 2.0;
+        spec.reads_per_session = 64;
+        spec.static_keys = 20;
+        spec.churn_keys = 5;
+        spec.churn_writes_per_day = 0.5;
+        spec.groups.push(SettingGroup::new(
+            "pair",
+            vec![
+                KeySpec::new("flag", ValueKind::Toggle { initial: false }),
+                KeySpec::new("level", ValueKind::IntRange { min: 1, max: 5 }),
+            ],
+            0.4,
+        ));
+        spec.noise.push(NoiseKey::new(
+            KeySpec::new("geometry", ValueKind::IntRange { min: 100, max: 2000 }),
+            3.0,
+        ));
+        spec
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GeneratorConfig::new("m", 10, 99);
+        let a = generate(&config, &[demo_spec()]);
+        let b = generate(&config, &[demo_spec()]);
+        assert_eq!(a, b);
+        let c = generate(&GeneratorConfig::new("m", 10, 100), &[demo_spec()]);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn trace_covers_expected_key_classes() {
+        let trace = generate(&GeneratorConfig::new("m", 30, 7), &[demo_spec()]);
+        let stats = trace.stats();
+        assert!(stats.writes > 30, "writes: {}", stats.writes);
+        assert!(stats.reads > 1_000, "reads: {}", stats.reads);
+        // Static + churn + noise + group keys all observed.
+        assert!(stats.keys >= 28, "keys: {}", stats.keys);
+        let mut trace = trace;
+        let group_writes = trace
+            .events()
+            .iter()
+            .filter(|e| e.key.as_str() == "demo/flag")
+            .count();
+        assert!(group_writes >= 2, "group written {group_writes} times");
+    }
+
+    #[test]
+    fn group_members_are_written_within_their_span() {
+        let mut spec = WorkloadSpec::new("app");
+        spec.sessions_per_day = 3.0;
+        spec.groups.push(SettingGroup::new(
+            "g",
+            vec![
+                KeySpec::new("a", ValueKind::Toggle { initial: true }),
+                KeySpec::new("b", ValueKind::Toggle { initial: true }),
+            ],
+            1.0,
+        ));
+        let mut trace = generate(&GeneratorConfig::new("m", 40, 3), &[spec]);
+        let events = trace.events();
+        // Every write of `a` has a write of `b` within 1 second.
+        let a_times: Vec<_> = events
+            .iter()
+            .filter(|e| e.key.as_str() == "app/a")
+            .map(|e| e.timestamp)
+            .collect();
+        let b_times: Vec<_> = events
+            .iter()
+            .filter(|e| e.key.as_str() == "app/b")
+            .map(|e| e.timestamp)
+            .collect();
+        assert!(!a_times.is_empty());
+        for t in &a_times {
+            assert!(
+                b_times.iter().any(|bt| {
+                    bt.delta_since(*t).as_millis() <= 1000 || t.delta_since(*bt).as_millis() <= 1000
+                }),
+                "lonely write of app/a at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn mru_groups_emit_deletions() {
+        let mut spec = WorkloadSpec::new("word");
+        spec.sessions_per_day = 2.0;
+        let mut keys = vec![KeySpec::new("mru/max", ValueKind::IntRange { min: 1, max: 6 })];
+        for i in 1..=6 {
+            keys.push(KeySpec::new(
+                format!("mru/item{i}"),
+                ValueKind::PathName { extension: "doc" },
+            ));
+        }
+        spec.groups.push(
+            SettingGroup::new("mru", keys, 0.5).with_behavior(GroupBehavior::MruWindow {
+                span_ms: 3_000,
+                item_updates_per_session: 2.0,
+            }),
+        );
+        let trace = generate(&GeneratorConfig::new("m", 60, 11), &[spec]);
+        let stats = trace.stats();
+        assert!(stats.deletes > 0, "MRU shrinks should delete item slots");
+        assert!(stats.writes > 50);
+    }
+
+    #[test]
+    fn replay_roundtrips_through_ttkv() {
+        let trace = generate(&GeneratorConfig::new("m", 15, 5), &[demo_spec()]);
+        let store = trace.replay(TimePrecision::Seconds);
+        assert_eq!(store.stats().writes, trace.stats().writes);
+        assert_eq!(store.stats().reads, trace.stats().reads);
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for lambda in [0.3, 2.0, 8.0, 50.0] {
+            let n = 3000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda * 0.15 + 0.1,
+                "lambda={lambda}, mean={mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn updates_touch_many_keys_in_one_burst() {
+        let mut spec = demo_spec();
+        spec.update_every_days = Some(10);
+        spec.churn_keys = 30;
+        let mut trace = generate(&GeneratorConfig::new("m", 30, 21), &[spec]);
+        // Find a dense burst: ≥5 writes within 2 seconds.
+        let events = trace.events();
+        let times: Vec<_> = events.iter().map(|e| e.timestamp).collect();
+        let mut best = 0;
+        for (i, t) in times.iter().enumerate() {
+            let within = times[i..]
+                .iter()
+                .take_while(|u| u.delta_since(*t).as_millis() <= 2_000)
+                .count();
+            best = best.max(within);
+        }
+        assert!(best >= 5, "largest 2s burst: {best}");
+    }
+}

@@ -1,0 +1,51 @@
+//! # ocasta-trace — trace substrate
+//!
+//! The trace-collection substrate of the
+//! [Ocasta](https://arxiv.org/abs/1711.04030) reproduction. The paper
+//! deployed loggers (registry interception, `LD_PRELOAD` GConf shims, file
+//! flush diffing) on 29 real desktops for one to two-plus months; this crate
+//! provides everything downstream of the interception point:
+//!
+//! * [`AccessEvent`] / [`Mutation`] — the events loggers emit;
+//! * [`Trace`] — an ordered mutation log with aggregate read counters, a
+//!   line-oriented file format, and [`Trace::replay`] into a
+//!   [`ocasta_ttkv::Ttkv`];
+//! * [`WorkloadSpec`] / [`generate`] — a seeded synthetic desktop-workload
+//!   generator that substitutes for the live deployment;
+//! * [`MachineProfile`] — the nine Table I machines, with calibration so
+//!   generated traces match the published access volumes.
+//!
+//! ```
+//! use ocasta_trace::{generate, GeneratorConfig, KeySpec, SettingGroup, ValueKind, WorkloadSpec};
+//! use ocasta_ttkv::TimePrecision;
+//!
+//! let mut spec = WorkloadSpec::new("viewer");
+//! spec.groups.push(SettingGroup::new(
+//!     "print",
+//!     vec![
+//!         KeySpec::new("print/enabled", ValueKind::Toggle { initial: true }),
+//!         KeySpec::new("print/dpi", ValueKind::IntRange { min: 150, max: 600 }),
+//!     ],
+//!     0.3,
+//! ));
+//! let trace = generate(&GeneratorConfig::new("demo", 20, 1), &[spec]);
+//! let store = trace.replay(TimePrecision::Seconds);
+//! assert!(store.stats().writes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod generator;
+mod profiles;
+mod spec;
+#[allow(clippy::module_inception)]
+mod trace;
+
+pub use event::{AccessEvent, Mutation};
+pub use generator::{generate, GeneratorConfig};
+pub use profiles::{MachineProfile, OsFlavor, TABLE1_PROFILES};
+pub use spec::{GroupBehavior, KeySpec, NoiseKey, SettingGroup, ValueKind, WorkloadSpec};
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,230 @@
+//! Machine profiles calibrated to the paper's Table I.
+//!
+//! Each profile carries the published deployment length and access totals
+//! for one of the nine traced machines/users; [`MachineProfile::calibrate`]
+//! scales a set of workload specs so the generated trace approximates those
+//! totals. Absolute volumes are approximate (the generator is stochastic);
+//! the *shape* — orders of magnitude between machines, reads ≫ writes,
+//! Windows ≫ Linux — is what downstream experiments rely on.
+
+use crate::spec::{GroupBehavior, WorkloadSpec};
+
+/// OS family of a traced machine (drives which applications run on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsFlavor {
+    /// Windows 7 / Vista / XP desktops (registry logger).
+    Windows,
+    /// Debian 6 lab machines (GConf + file loggers).
+    Linux,
+}
+
+/// One machine/user row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineProfile {
+    /// Machine or user label, as in Table I.
+    pub name: &'static str,
+    /// OS family.
+    pub os: OsFlavor,
+    /// Deployment length in days.
+    pub days: u64,
+    /// Published total reads.
+    pub target_reads: u64,
+    /// Published total writes.
+    pub target_writes: u64,
+    /// Published distinct key count.
+    pub target_keys: u64,
+    /// Generator seed (fixed so every run reproduces the same trace).
+    pub seed: u64,
+}
+
+/// The nine Table I machines/users.
+pub const TABLE1_PROFILES: [MachineProfile; 9] = [
+    MachineProfile { name: "Windows 7", os: OsFlavor::Windows, days: 42, target_reads: 6_760_000, target_writes: 67_720, target_keys: 4_611, seed: 71 },
+    MachineProfile { name: "Windows Vista", os: OsFlavor::Windows, days: 53, target_reads: 3_460_000, target_writes: 20_500, target_keys: 14_673, seed: 72 },
+    MachineProfile { name: "Windows Vista-2", os: OsFlavor::Windows, days: 18, target_reads: 15_080_000, target_writes: 224_640, target_keys: 1_123, seed: 73 },
+    MachineProfile { name: "Windows XP", os: OsFlavor::Windows, days: 25, target_reads: 22_800_000, target_writes: 311_900, target_keys: 14_667, seed: 74 },
+    MachineProfile { name: "Windows XP-2", os: OsFlavor::Windows, days: 32, target_reads: 26_760_000, target_writes: 268_960, target_keys: 19_501, seed: 75 },
+    MachineProfile { name: "Linux-1", os: OsFlavor::Linux, days: 25, target_reads: 91_520, target_writes: 3_340, target_keys: 1_660, seed: 76 },
+    MachineProfile { name: "Linux-2", os: OsFlavor::Linux, days: 84, target_reads: 8_150, target_writes: 480, target_keys: 35, seed: 77 },
+    MachineProfile { name: "Linux-3", os: OsFlavor::Linux, days: 46, target_reads: 52_410, target_writes: 440, target_keys: 706, seed: 78 },
+    MachineProfile { name: "Linux-4", os: OsFlavor::Linux, days: 64, target_reads: 507_070, target_writes: 5_430, target_keys: 751, seed: 79 },
+];
+
+impl MachineProfile {
+    /// Looks a profile up by its Table I name.
+    pub fn by_name(name: &str) -> Option<&'static MachineProfile> {
+        TABLE1_PROFILES.iter().find(|p| p.name == name)
+    }
+
+    /// Scales `specs` in place so a [`crate::generate`] run over `self.days`
+    /// days approximates this machine's Table I totals:
+    ///
+    /// * pads `static_keys` until the distinct-key total matches;
+    /// * solves for `reads_per_session` from the read target;
+    /// * scales noise/churn write rates toward the write target (group
+    ///   change rates are semantically meaningful and left untouched).
+    pub fn calibrate(&self, specs: &mut [WorkloadSpec]) {
+        if specs.is_empty() {
+            return;
+        }
+        // Order matters: write scaling may add churn keys, key padding fixes
+        // the key population, and the read solve depends on the final key
+        // count (startup reads scan every key).
+        self.calibrate_writes(specs);
+        self.calibrate_keys(specs);
+        self.calibrate_reads(specs);
+    }
+
+    fn calibrate_keys(&self, specs: &mut [WorkloadSpec]) {
+        let current_keys: usize = specs.iter().map(WorkloadSpec::key_count).sum();
+        let missing = (self.target_keys as usize).saturating_sub(current_keys);
+        let per_spec = missing / specs.len();
+        let mut remainder = missing % specs.len();
+        for spec in specs.iter_mut() {
+            spec.static_keys += per_spec + usize::from(remainder > 0);
+            remainder = remainder.saturating_sub(1);
+        }
+    }
+
+    fn calibrate_reads(&self, specs: &mut [WorkloadSpec]) {
+        let reads_per_day_target = self.target_reads as f64 / self.days as f64;
+        let startup_reads_per_day: f64 = specs
+            .iter()
+            .map(|s| s.sessions_per_day * s.key_count() as f64)
+            .sum();
+        let total_sessions_per_day: f64 = specs.iter().map(|s| s.sessions_per_day).sum();
+        let extra_per_session = ((reads_per_day_target - startup_reads_per_day)
+            / total_sessions_per_day.max(0.01))
+        .clamp(0.0, f64::MAX) as u64;
+        for spec in specs.iter_mut() {
+            spec.reads_per_session = extra_per_session;
+        }
+    }
+
+    fn calibrate_writes(&self, specs: &mut [WorkloadSpec]) {
+        let writes_per_day_target = self.target_writes as f64 / self.days as f64;
+        let mut group_writes_per_day = 0.0;
+        let mut scalable_writes_per_day = 0.0;
+        for spec in specs.iter() {
+            for group in &spec.groups {
+                let size = group.keys.len() as f64;
+                match group.behavior {
+                    GroupBehavior::Burst { .. } => {
+                        group_writes_per_day +=
+                            group.changes_per_day * size * (1.0 - group.partial_update_prob * 0.5);
+                    }
+                    GroupBehavior::MruWindow {
+                        item_updates_per_session,
+                        ..
+                    } => {
+                        let live = (size - 1.0).clamp(1.0, 3.0);
+                        group_writes_per_day +=
+                            item_updates_per_session * spec.sessions_per_day * live
+                                + group.changes_per_day * size;
+                    }
+                }
+            }
+            scalable_writes_per_day += spec.churn_writes_per_day;
+            scalable_writes_per_day += spec
+                .noise
+                .iter()
+                .map(|n| n.writes_per_session * spec.sessions_per_day)
+                .sum::<f64>();
+        }
+        let deficit = (writes_per_day_target - group_writes_per_day).max(0.0);
+        let factor = if scalable_writes_per_day > 0.0 {
+            deficit / scalable_writes_per_day
+        } else {
+            0.0
+        };
+        // Heavy write volumes need enough churn keys to spread over, but the
+        // churn population must stay well under the machine's key budget.
+        let churn_budget = ((self.target_keys / 4) as usize / specs.len()).max(1);
+        for spec in specs.iter_mut() {
+            spec.churn_writes_per_day *= factor;
+            for noise in &mut spec.noise {
+                noise.writes_per_session *= factor;
+            }
+            if factor > 2.0 && spec.churn_keys < churn_budget {
+                spec.churn_keys = churn_budget.min(64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use crate::spec::{KeySpec, NoiseKey, SettingGroup, ValueKind};
+
+    fn base_specs() -> Vec<WorkloadSpec> {
+        let mut spec = WorkloadSpec::new("editor");
+        spec.sessions_per_day = 2.0;
+        spec.static_keys = 10;
+        spec.churn_keys = 8;
+        spec.churn_writes_per_day = 1.0;
+        spec.groups.push(SettingGroup::new(
+            "pair",
+            vec![
+                KeySpec::new("a", ValueKind::Toggle { initial: true }),
+                KeySpec::new("b", ValueKind::IntRange { min: 0, max: 9 }),
+            ],
+            0.2,
+        ));
+        spec.noise.push(NoiseKey::new(
+            KeySpec::new("geom", ValueKind::IntRange { min: 0, max: 4000 }),
+            2.0,
+        ));
+        vec![spec]
+    }
+
+    #[test]
+    fn all_nine_table1_rows_present() {
+        assert_eq!(TABLE1_PROFILES.len(), 9);
+        assert_eq!(
+            TABLE1_PROFILES.iter().filter(|p| p.os == OsFlavor::Windows).count(),
+            5
+        );
+        assert!(MachineProfile::by_name("Linux-3").is_some());
+        assert!(MachineProfile::by_name("BeOS").is_none());
+    }
+
+    #[test]
+    fn calibrate_pads_keys_to_target() {
+        let profile = MachineProfile::by_name("Linux-3").unwrap();
+        let mut specs = base_specs();
+        profile.calibrate(&mut specs);
+        let total: usize = specs.iter().map(WorkloadSpec::key_count).sum();
+        assert!(
+            (total as i64 - profile.target_keys as i64).abs() <= 1,
+            "padded to {total}, want {}",
+            profile.target_keys
+        );
+    }
+
+    #[test]
+    fn calibrated_trace_approximates_targets() {
+        // Use the smallest machine so the test stays fast.
+        let profile = MachineProfile::by_name("Linux-2").unwrap();
+        let mut specs = base_specs();
+        profile.calibrate(&mut specs);
+        let config = GeneratorConfig::new(profile.name, profile.days, profile.seed);
+        let stats = generate(&config, &specs).stats();
+        let reads_err = (stats.reads as f64 - profile.target_reads as f64).abs()
+            / profile.target_reads as f64;
+        let writes_err = (stats.writes as f64 - profile.target_writes as f64).abs()
+            / profile.target_writes as f64;
+        assert!(reads_err < 0.5, "reads {} vs {}", stats.reads, profile.target_reads);
+        assert!(writes_err < 0.5, "writes {} vs {}", stats.writes, profile.target_writes);
+    }
+
+    #[test]
+    fn calibration_never_reduces_group_rates() {
+        let profile = MachineProfile::by_name("Windows 7").unwrap();
+        let mut specs = base_specs();
+        let before = specs[0].groups[0].changes_per_day;
+        profile.calibrate(&mut specs);
+        assert_eq!(specs[0].groups[0].changes_per_day, before);
+    }
+}

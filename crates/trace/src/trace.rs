@@ -1,0 +1,426 @@
+//! The trace container: an ordered mutation log plus aggregate read counts.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+use ocasta_ttkv::codec;
+use ocasta_ttkv::{Key, TimeDelta, TimePrecision, Timestamp, Ttkv, TtkvError, Value};
+
+use crate::event::{AccessEvent, Mutation};
+
+/// A recorded (or generated) configuration-access trace for one machine or
+/// user.
+///
+/// A trace is what the paper's deployment produced over 18–76 days: every
+/// write/deletion of every application's configuration settings, plus read
+/// counters. Replaying a trace populates a [`Ttkv`], which is the input to
+/// clustering and repair.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_trace::{AccessEvent, Trace};
+/// use ocasta_ttkv::{TimePrecision, Timestamp};
+///
+/// let mut trace = Trace::new("demo", 1);
+/// trace.push(AccessEvent::write(Timestamp::from_secs(5), "app/theme", "dark"));
+/// trace.add_reads("app/theme", 10);
+///
+/// let store = trace.replay(TimePrecision::Seconds);
+/// assert_eq!(store.stats().writes, 1);
+/// assert_eq!(store.stats().reads, 10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    name: String,
+    days: u64,
+    events: Vec<AccessEvent>,
+    read_counts: BTreeMap<Key, u64>,
+    sorted: bool,
+}
+
+impl Trace {
+    /// Creates an empty trace covering `days` days.
+    pub fn new(name: impl Into<String>, days: u64) -> Self {
+        Trace {
+            name: name.into(),
+            days,
+            events: Vec::new(),
+            read_counts: BTreeMap::new(),
+            sorted: true,
+        }
+    }
+
+    /// The trace's name (machine or user identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The nominal length of the deployment, in days.
+    pub fn days(&self) -> u64 {
+        self.days
+    }
+
+    /// The end of the trace window.
+    pub fn end_time(&self) -> Timestamp {
+        Timestamp::EPOCH + TimeDelta::from_days(self.days)
+    }
+
+    /// Appends a mutation event.
+    pub fn push(&mut self, event: AccessEvent) {
+        if let Some(last) = self.events.last() {
+            if last.timestamp > event.timestamp {
+                self.sorted = false;
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// Adds `count` read accesses to `key`'s counter.
+    pub fn add_reads(&mut self, key: impl Into<Key>, count: u64) {
+        *self.read_counts.entry(key.into()).or_insert(0) += count;
+    }
+
+    /// The mutation events in timestamp order.
+    pub fn events(&mut self) -> &[AccessEvent] {
+        self.ensure_sorted();
+        &self.events
+    }
+
+    /// The mutation events without sorting (may be out of order if pushed
+    /// out of order).
+    pub fn events_unsorted(&self) -> &[AccessEvent] {
+        &self.events
+    }
+
+    /// Number of mutation events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace has no mutation events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total recorded reads.
+    pub fn total_reads(&self) -> u64 {
+        self.read_counts.values().sum()
+    }
+
+    /// Per-key read counters.
+    pub fn read_counts(&self) -> &BTreeMap<Key, u64> {
+        &self.read_counts
+    }
+
+    /// The distinct applications (first key segments) appearing in the
+    /// trace, in sorted order.
+    pub fn apps(&self) -> Vec<String> {
+        let mut apps: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| e.app().to_owned())
+            .chain(self.read_counts.keys().map(|k| {
+                k.as_str().split('/').next().unwrap_or(k.as_str()).to_owned()
+            }))
+            .collect();
+        apps.sort();
+        apps.dedup();
+        apps
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.events.sort_by(|a, b| {
+                a.timestamp
+                    .cmp(&b.timestamp)
+                    .then_with(|| a.key.cmp(&b.key))
+            });
+            self.sorted = true;
+        }
+    }
+
+    /// Replays the trace into a fresh TTKV, quantising timestamps to the
+    /// given precision (the deployed loggers recorded whole seconds).
+    pub fn replay(&self, precision: TimePrecision) -> Ttkv {
+        let mut store = Ttkv::new();
+        for (key, &count) in &self.read_counts {
+            store.add_reads(key.clone(), count);
+        }
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| a.timestamp.cmp(&b.timestamp).then_with(|| a.key.cmp(&b.key)));
+        for event in events {
+            let t = precision.apply(event.timestamp);
+            match event.mutation {
+                Mutation::Write(value) => store.write(t, event.key, value),
+                Mutation::Delete => store.delete(t, event.key),
+            }
+        }
+        store
+    }
+
+    /// Aggregate trace statistics (one Table I row).
+    pub fn stats(&self) -> TraceStats {
+        let mut keys: std::collections::BTreeSet<&Key> = self.read_counts.keys().collect();
+        let mut writes = 0u64;
+        let mut deletes = 0u64;
+        for event in &self.events {
+            keys.insert(&event.key);
+            if event.is_delete() {
+                deletes += 1;
+            } else {
+                writes += 1;
+            }
+        }
+        TraceStats {
+            days: self.days,
+            reads: self.total_reads(),
+            writes,
+            deletes,
+            keys: keys.len() as u64,
+        }
+    }
+
+    /// Serialises the trace to a writer (line-oriented text; see the crate
+    /// docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TtkvError::Io`] if the writer fails.
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), TtkvError> {
+        writeln!(writer, "ocasta-trace v1 {} days={}", codec::escape(&self.name), self.days)?;
+        for (key, count) in &self.read_counts {
+            writeln!(writer, "r {} {}", codec::escape(key.as_str()), count)?;
+        }
+        for event in &self.events {
+            match &event.mutation {
+                Mutation::Write(value) => writeln!(
+                    writer,
+                    "w {} {} {}",
+                    event.timestamp.as_millis(),
+                    codec::escape(event.key.as_str()),
+                    codec::value_to_token(value),
+                )?,
+                Mutation::Delete => writeln!(
+                    writer,
+                    "d {} {}",
+                    event.timestamp.as_millis(),
+                    codec::escape(event.key.as_str()),
+                )?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the trace to a string.
+    pub fn save_to_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.save(&mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("trace format is UTF-8")
+    }
+
+    /// Loads a trace previously produced by [`Trace::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TtkvError::Io`] on reader failure or [`TtkvError::Parse`] on
+    /// malformed content.
+    pub fn load<R: BufRead>(reader: R) -> Result<Trace, TtkvError> {
+        fn parse_err(line: usize, message: impl Into<String>) -> TtkvError {
+            TtkvError::Parse {
+                line,
+                message: message.into(),
+            }
+        }
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| parse_err(1, "empty input"))?;
+        let mut head_tokens = header.trim_end().split(' ');
+        if head_tokens.next() != Some("ocasta-trace") || head_tokens.next() != Some("v1") {
+            return Err(parse_err(1, format!("bad magic {header:?}")));
+        }
+        let name = head_tokens
+            .next()
+            .ok_or_else(|| parse_err(1, "missing trace name"))
+            .and_then(|raw| codec::unescape(raw).map_err(|e| parse_err(1, e)))?;
+        let days = head_tokens
+            .next()
+            .and_then(|t| t.strip_prefix("days="))
+            .ok_or_else(|| parse_err(1, "missing days= field"))?
+            .parse::<u64>()
+            .map_err(|e| parse_err(1, format!("bad days: {e}")))?;
+        let mut trace = Trace::new(name, days);
+        for (idx, line) in lines.enumerate() {
+            let lineno = idx + 2;
+            let line = line?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split(' ');
+            match tokens.next() {
+                Some("r") => {
+                    let key = tokens
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing key"))
+                        .and_then(|raw| codec::unescape(raw).map_err(|e| parse_err(lineno, e)))?;
+                    let count = tokens
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing read count"))?
+                        .parse::<u64>()
+                        .map_err(|e| parse_err(lineno, format!("bad read count: {e}")))?;
+                    trace.add_reads(Key::new(key), count);
+                }
+                Some(op @ ("w" | "d")) => {
+                    let ts = tokens
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing timestamp"))?
+                        .parse::<u64>()
+                        .map_err(|e| parse_err(lineno, format!("bad timestamp: {e}")))?;
+                    let key = tokens
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing key"))
+                        .and_then(|raw| codec::unescape(raw).map_err(|e| parse_err(lineno, e)))?;
+                    let t = Timestamp::from_millis(ts);
+                    if op == "w" {
+                        let value: Value = codec::decode_value(&mut tokens)
+                            .map_err(|e| parse_err(lineno, e))?;
+                        trace.push(AccessEvent::write(t, Key::new(key), value));
+                    } else {
+                        trace.push(AccessEvent::delete(t, Key::new(key)));
+                    }
+                }
+                Some(other) => return Err(parse_err(lineno, format!("unknown record {other:?}"))),
+                None => unreachable!("split yields at least one token"),
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Loads a trace from a string.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Trace::load`].
+    pub fn load_from_str(data: &str) -> Result<Trace, TtkvError> {
+        Trace::load(io::Cursor::new(data.as_bytes()))
+    }
+}
+
+impl Extend<AccessEvent> for Trace {
+    fn extend<I: IntoIterator<Item = AccessEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+/// Aggregate statistics of one trace (the shape of one Table I row).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Nominal deployment length in days.
+    pub days: u64,
+    /// Total read accesses.
+    pub reads: u64,
+    /// Total writes.
+    pub writes: u64,
+    /// Total deletions.
+    pub deletes: u64,
+    /// Distinct keys observed.
+    pub keys: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut trace = Trace::new("lab-1", 7);
+        trace.push(AccessEvent::write(ts(10), "word/mru/max", 9));
+        trace.push(AccessEvent::write(ts(10), "word/mru/item1", "a.doc"));
+        trace.push(AccessEvent::delete(ts(500), "word/mru/item1"));
+        trace.push(AccessEvent::write(ts(20), "chrome/home", true)); // out of order
+        trace.add_reads("word/mru/max", 100);
+        trace.add_reads("evolution/offline", 3);
+        trace
+    }
+
+    #[test]
+    fn events_are_sorted_on_access() {
+        let mut trace = sample_trace();
+        let times: Vec<_> = trace.events().iter().map(|e| e.timestamp).collect();
+        assert_eq!(times, vec![ts(10), ts(10), ts(20), ts(500)]);
+    }
+
+    #[test]
+    fn stats_count_everything_once() {
+        let stats = sample_trace().stats();
+        assert_eq!(stats.days, 7);
+        assert_eq!(stats.reads, 103);
+        assert_eq!(stats.writes, 3);
+        assert_eq!(stats.deletes, 1);
+        // word/mru/max, word/mru/item1, chrome/home, evolution/offline
+        assert_eq!(stats.keys, 4);
+    }
+
+    #[test]
+    fn apps_derive_from_key_prefixes() {
+        assert_eq!(sample_trace().apps(), vec!["chrome", "evolution", "word"]);
+    }
+
+    #[test]
+    fn replay_applies_precision() {
+        let mut trace = Trace::new("t", 1);
+        trace.push(AccessEvent::write(Timestamp::from_millis(1_250), "a/k", 1));
+        let secs = trace.replay(TimePrecision::Seconds);
+        let ms = trace.replay(TimePrecision::Milliseconds);
+        assert!(secs.value_at("a/k", Timestamp::from_secs(1)).is_some());
+        assert!(ms.value_at("a/k", Timestamp::from_secs(1)).is_none());
+        assert!(ms.value_at("a/k", Timestamp::from_millis(1_250)).is_some());
+    }
+
+    #[test]
+    fn replay_counts_reads_and_mutations() {
+        let store = sample_trace().replay(TimePrecision::Seconds);
+        let stats = store.stats();
+        assert_eq!(stats.reads, 103);
+        assert_eq!(stats.writes, 3);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.keys, 4);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let trace = sample_trace();
+        let text = trace.save_to_string();
+        let loaded = Trace::load_from_str(&text).unwrap();
+        // Compare via stable views (sorted events + counters + header).
+        let mut a = trace.clone();
+        let mut b = loaded.clone();
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.days(), b.days());
+        assert_eq!(a.read_counts(), b.read_counts());
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(Trace::load_from_str("").is_err());
+        assert!(Trace::load_from_str("wrong header\n").is_err());
+        assert!(Trace::load_from_str("ocasta-trace v1 t days=1\nz 1 2\n").is_err());
+        assert!(Trace::load_from_str("ocasta-trace v1 t days=1\nw abc k i1\n").is_err());
+        assert!(Trace::load_from_str("ocasta-trace v1 t days=1\nr k notanum\n").is_err());
+    }
+
+    #[test]
+    fn end_time_reflects_days() {
+        let trace = Trace::new("t", 3);
+        assert_eq!(trace.end_time(), Timestamp::from_days(3));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for TTKV persistence.
+
+use std::fmt;
+use std::io;
+
+/// Error returned by TTKV persistence operations.
+#[derive(Debug)]
+pub enum TtkvError {
+    /// The underlying reader or writer failed.
+    Io(io::Error),
+    /// The persisted representation was malformed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl TtkvError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        TtkvError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TtkvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TtkvError::Io(e) => write!(f, "i/o error: {e}"),
+            TtkvError::Parse { line, message } => {
+                write!(f, "malformed ttkv data at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TtkvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TtkvError::Io(e) => Some(e),
+            TtkvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TtkvError {
+    fn from(e: io::Error) -> Self {
+        TtkvError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TtkvError::parse(3, "bad token");
+        assert_eq!(e.to_string(), "malformed ttkv data at line 3: bad token");
+        let io_err = TtkvError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io_err.to_string().contains("gone"));
+        assert!(io_err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TtkvError>();
+    }
+}

@@ -1,0 +1,227 @@
+//! Text persistence for the TTKV.
+//!
+//! The store serialises to a line-oriented UTF-8 format so recorded histories
+//! can be saved between sessions, shipped between machines (the paper merges
+//! per-user traces from several lab computers) and inspected with ordinary
+//! text tools:
+//!
+//! ```text
+//! ocasta-ttkv v1
+//! k word/mru/max_display reads=12
+//! w 1000 i25
+//! w 86400000 i9
+//! d 90000000
+//! ```
+//!
+//! Values use a compact token encoding (`n`, `b0`/`b1`, `i<dec>`,
+//! `f<hex bits>`, `s<escaped>`, `l<count> <tokens…>`); strings escape
+//! whitespace so every token is space-delimited.
+
+use std::io::{self, BufRead, Write};
+
+use crate::codec::{decode_value, encode_value, escape, unescape};
+use crate::error::TtkvError;
+use crate::store::Ttkv;
+use crate::time::Timestamp;
+#[cfg(test)]
+use crate::value::Value;
+
+const MAGIC: &str = "ocasta-ttkv v1";
+
+impl Ttkv {
+    /// Serialises the store to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TtkvError::Io`] if the writer fails.
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), TtkvError> {
+        writeln!(writer, "{MAGIC}")?;
+        for (key, record) in self.iter() {
+            writeln!(writer, "k {} reads={}", escape(key.as_str()), record.reads)?;
+            for version in record.history() {
+                match &version.value {
+                    Some(value) => {
+                        let mut encoded = String::new();
+                        encode_value(value, &mut encoded);
+                        writeln!(writer, "w {} {}", version.timestamp.as_millis(), encoded)?;
+                    }
+                    None => writeln!(writer, "d {}", version.timestamp.as_millis())?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the store to an in-memory string.
+    pub fn save_to_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.save(&mut buf).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("persist format is UTF-8")
+    }
+
+    /// Reads a store previously produced by [`Ttkv::save`].
+    ///
+    /// Reads are restored as counters on the key they belong to; per-read
+    /// timestamps are not persisted (matching what the deployed system kept).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TtkvError::Io`] if the reader fails and [`TtkvError::Parse`]
+    /// if the content is not valid TTKV data.
+    pub fn load<R: BufRead>(reader: R) -> Result<Ttkv, TtkvError> {
+        let mut store = Ttkv::new();
+        let mut current_key: Option<crate::Key> = None;
+        let mut lines = reader.lines();
+        let first = lines
+            .next()
+            .transpose()?
+            .ok_or_else(|| TtkvError::parse(1, "empty input"))?;
+        if first.trim_end() != MAGIC {
+            return Err(TtkvError::parse(1, format!("bad magic {first:?}")));
+        }
+        for (idx, line) in lines.enumerate() {
+            let lineno = idx + 2;
+            let line = line?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split(' ');
+            match tokens.next() {
+                Some("k") => {
+                    let raw = tokens
+                        .next()
+                        .ok_or_else(|| TtkvError::parse(lineno, "missing key name"))?;
+                    let name = unescape(raw).map_err(|e| TtkvError::parse(lineno, e))?;
+                    let key = crate::Key::new(name);
+                    let reads = tokens
+                        .next()
+                        .and_then(|t| t.strip_prefix("reads="))
+                        .ok_or_else(|| TtkvError::parse(lineno, "missing reads= field"))?
+                        .parse::<u64>()
+                        .map_err(|e| TtkvError::parse(lineno, format!("bad reads count: {e}")))?;
+                    for _ in 0..reads {
+                        store.read(key.clone());
+                    }
+                    current_key = Some(key);
+                }
+                Some(op @ ("w" | "d")) => {
+                    let key = current_key
+                        .clone()
+                        .ok_or_else(|| TtkvError::parse(lineno, "mutation before any key"))?;
+                    let ts = tokens
+                        .next()
+                        .ok_or_else(|| TtkvError::parse(lineno, "missing timestamp"))?
+                        .parse::<u64>()
+                        .map_err(|e| TtkvError::parse(lineno, format!("bad timestamp: {e}")))?;
+                    let t = Timestamp::from_millis(ts);
+                    if op == "w" {
+                        let value = decode_value(&mut tokens)
+                            .map_err(|e| TtkvError::parse(lineno, e))?;
+                        store.write(t, key, value);
+                    } else {
+                        store.delete(t, key);
+                    }
+                }
+                Some(other) => {
+                    return Err(TtkvError::parse(lineno, format!("unknown record {other:?}")));
+                }
+                None => unreachable!("split always yields at least one token"),
+            }
+        }
+        Ok(store)
+    }
+
+    /// Reads a store from an in-memory string.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ttkv::load`].
+    pub fn load_from_str(data: &str) -> Result<Ttkv, TtkvError> {
+        Ttkv::load(io::Cursor::new(data.as_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Key, TimeDelta};
+
+    fn sample_store() -> Ttkv {
+        let mut store = Ttkv::new();
+        let t0 = Timestamp::from_secs(100);
+        store.read("app/a key with spaces");
+        store.write(t0, "app/a key with spaces", Value::from("hello world"));
+        store.write(t0 + TimeDelta::from_secs(5), "app/count", Value::from(42));
+        store.write(
+            t0 + TimeDelta::from_secs(6),
+            "app/ratio",
+            Value::from(0.25),
+        );
+        store.write(
+            t0 + TimeDelta::from_secs(7),
+            "app/list",
+            Value::List(vec![Value::from("a b"), Value::from(1), Value::Null]),
+        );
+        store.delete(t0 + TimeDelta::from_secs(9), "app/count");
+        store.write(t0 + TimeDelta::from_secs(10), "app/flag", Value::from(true));
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_store() {
+        let store = sample_store();
+        let text = store.save_to_string();
+        let loaded = Ttkv::load_from_str(&text).unwrap();
+        assert_eq!(store, loaded);
+    }
+
+    #[test]
+    fn roundtrip_preserves_special_floats() {
+        let mut store = Ttkv::new();
+        for (i, f) in [f64::NAN, f64::INFINITY, -0.0, 1e-300].iter().enumerate() {
+            store.write(
+                Timestamp::from_secs(i as u64),
+                Key::new(format!("f/{i}")),
+                Value::Float(*f),
+            );
+        }
+        let loaded = Ttkv::load_from_str(&store.save_to_string()).unwrap();
+        assert_eq!(store, loaded);
+    }
+
+    #[test]
+    fn escaping_handles_tricky_strings() {
+        let tricky = "line1\nline2\ttab \\slash space";
+        assert_eq!(unescape(&escape(tricky)).unwrap(), tricky);
+        let mut store = Ttkv::new();
+        store.write(Timestamp::EPOCH, Key::new(tricky), Value::from(tricky));
+        let loaded = Ttkv::load_from_str(&store.save_to_string()).unwrap();
+        assert_eq!(store, loaded);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = Ttkv::load_from_str("not-a-ttkv\n").unwrap_err();
+        assert!(matches!(err, TtkvError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_mutation_before_key() {
+        let err = Ttkv::load_from_str("ocasta-ttkv v1\nw 5 i1\n").unwrap_err();
+        assert!(matches!(err, TtkvError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_list() {
+        let err = Ttkv::load_from_str("ocasta-ttkv v1\nk a reads=0\nw 5 l3 i1 i2\n").unwrap_err();
+        assert!(err.to_string().contains("missing value token"));
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let store = Ttkv::new();
+        let loaded = Ttkv::load_from_str(&store.save_to_string()).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

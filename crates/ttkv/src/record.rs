@@ -1,0 +1,265 @@
+//! Per-key history records.
+
+use crate::time::Timestamp;
+use crate::value::Value;
+
+/// One recorded mutation of a key: either a write of a new value or a
+/// deletion (tombstone).
+///
+/// The paper's Redis schema stores "a list of historical values of the key
+/// including timestamps" with "a special type of value ... to represent
+/// deletions"; `Version` is that list's element type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Version {
+    /// When the mutation was recorded.
+    pub timestamp: Timestamp,
+    /// The value written, or `None` for a deletion tombstone.
+    pub value: Option<Value>,
+}
+
+impl Version {
+    /// Creates a write version.
+    pub fn write(timestamp: Timestamp, value: Value) -> Self {
+        Version {
+            timestamp,
+            value: Some(value),
+        }
+    }
+
+    /// Creates a deletion tombstone.
+    pub fn tombstone(timestamp: Timestamp) -> Self {
+        Version {
+            timestamp,
+            value: None,
+        }
+    }
+
+    /// `true` if this version is a deletion.
+    pub fn is_tombstone(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+/// The complete recorded history of one key.
+///
+/// Mirrors the paper's TTKV record: "the number of writes and deletions, as
+/// well as a list of historical values of the key including timestamps".
+/// Read accesses are counted but not stored individually (only Table I's
+/// aggregate read statistics need them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KeyRecord {
+    /// Number of read accesses observed.
+    pub reads: u64,
+    /// Number of write accesses observed (excluding deletions).
+    pub writes: u64,
+    /// Number of deletions observed.
+    pub deletes: u64,
+    /// Timestamp-ordered mutation history (writes and tombstones).
+    history: Vec<Version>,
+}
+
+impl KeyRecord {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        KeyRecord::default()
+    }
+
+    /// Total mutations (writes + deletions); the quantity Ocasta's repair
+    /// search sorts clusters by.
+    pub fn modifications(&self) -> u64 {
+        self.writes + self.deletes
+    }
+
+    /// The ordered mutation history, oldest first.
+    pub fn history(&self) -> &[Version] {
+        &self.history
+    }
+
+    /// The most recent mutation, if any.
+    pub fn latest(&self) -> Option<&Version> {
+        self.history.last()
+    }
+
+    /// The key's live value as of `t` (inclusive): the value of the last
+    /// write at or before `t`, or `None` if the key did not exist (never
+    /// written, or deleted) at that time.
+    pub fn value_at(&self, t: Timestamp) -> Option<&Value> {
+        let idx = self.history.partition_point(|v| v.timestamp <= t);
+        idx.checked_sub(1)
+            .and_then(|i| self.history[i].value.as_ref())
+    }
+
+    /// The key's current live value.
+    pub fn current(&self) -> Option<&Value> {
+        self.latest().and_then(|v| v.value.as_ref())
+    }
+
+    /// `true` if the key existed (had a live, non-tombstoned value) at `t`.
+    pub fn existed_at(&self, t: Timestamp) -> bool {
+        self.value_at(t).is_some()
+    }
+
+    /// Timestamps of every mutation (write or deletion), oldest first.
+    pub fn mutation_times(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.history.iter().map(|v| v.timestamp)
+    }
+
+    /// Records a read access.
+    pub(crate) fn record_read(&mut self) {
+        self.reads += 1;
+    }
+
+    /// Records `count` read accesses at once.
+    pub(crate) fn add_reads(&mut self, count: u64) {
+        self.reads += count;
+    }
+
+    /// Appends a mutation, keeping the history sorted. Out-of-order arrivals
+    /// (possible when traces from several machines are merged per user, as
+    /// the paper does for the Linux labs) are inserted at the right position.
+    pub(crate) fn record_mutation(&mut self, version: Version) {
+        if version.is_tombstone() {
+            self.deletes += 1;
+        } else {
+            self.writes += 1;
+        }
+        match self.history.last() {
+            Some(last) if last.timestamp > version.timestamp => {
+                let idx = self
+                    .history
+                    .partition_point(|v| v.timestamp <= version.timestamp);
+                self.history.insert(idx, version);
+            }
+            _ => self.history.push(version),
+        }
+    }
+
+    /// Collapses versions strictly before `horizon` into at most one
+    /// version holding the value live at the horizon (see
+    /// [`crate::Ttkv::prune_before`]). Counters are unchanged.
+    pub(crate) fn prune_before(&mut self, horizon: Timestamp) {
+        let cut = self.history.partition_point(|v| v.timestamp < horizon);
+        if cut == 0 {
+            return;
+        }
+        let baseline = self.history[cut - 1].value.clone();
+        let mut kept: Vec<Version> = Vec::with_capacity(self.history.len() - cut + 1);
+        if let Some(value) = baseline {
+            kept.push(Version::write(horizon, value));
+        }
+        kept.extend(self.history.drain(cut..));
+        self.history = kept;
+    }
+
+    /// Approximate in-memory footprint of the record in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        24 + self
+            .history
+            .iter()
+            .map(|v| 16 + v.value.as_ref().map_or(1, Value::approx_bytes))
+            .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn value_at_walks_history() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(10), Value::from(1)));
+        r.record_mutation(Version::write(ts(20), Value::from(2)));
+        assert_eq!(r.value_at(ts(5)), None);
+        assert_eq!(r.value_at(ts(10)), Some(&Value::from(1)));
+        assert_eq!(r.value_at(ts(15)), Some(&Value::from(1)));
+        assert_eq!(r.value_at(ts(20)), Some(&Value::from(2)));
+        assert_eq!(r.value_at(ts(999)), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn tombstones_hide_values() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from("x")));
+        r.record_mutation(Version::tombstone(ts(2)));
+        r.record_mutation(Version::write(ts(3), Value::from("y")));
+        assert!(r.existed_at(ts(1)));
+        assert!(!r.existed_at(ts(2)));
+        assert_eq!(r.value_at(ts(3)), Some(&Value::from("y")));
+        assert_eq!(r.writes, 2);
+        assert_eq!(r.deletes, 1);
+        assert_eq!(r.modifications(), 3);
+    }
+
+    #[test]
+    fn out_of_order_mutations_are_sorted_in() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(10), Value::from(10)));
+        r.record_mutation(Version::write(ts(5), Value::from(5)));
+        r.record_mutation(Version::write(ts(7), Value::from(7)));
+        let times: Vec<_> = r.mutation_times().collect();
+        assert_eq!(times, vec![ts(5), ts(7), ts(10)]);
+        assert_eq!(r.value_at(ts(6)), Some(&Value::from(5)));
+    }
+
+    #[test]
+    fn equal_timestamps_keep_insertion_order_last_wins() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from("a")));
+        r.record_mutation(Version::write(ts(1), Value::from("b")));
+        assert_eq!(r.value_at(ts(1)), Some(&Value::from("b")));
+    }
+
+    #[test]
+    fn prune_collapses_old_history() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from(1)));
+        r.record_mutation(Version::write(ts(5), Value::from(5)));
+        r.record_mutation(Version::write(ts(9), Value::from(9)));
+        r.prune_before(ts(6));
+        // Pre-horizon versions collapse to one baseline at the horizon.
+        assert_eq!(r.history().len(), 2);
+        assert_eq!(r.value_at(ts(6)), Some(&Value::from(5)));
+        assert_eq!(r.value_at(ts(9)), Some(&Value::from(9)));
+        // Counters survive (the sort depends on them).
+        assert_eq!(r.writes, 3);
+    }
+
+    #[test]
+    fn prune_drops_keys_dead_at_horizon() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from("x")));
+        r.record_mutation(Version::tombstone(ts(2)));
+        r.record_mutation(Version::write(ts(8), Value::from("y")));
+        r.prune_before(ts(5));
+        // Dead at the horizon: no baseline version is kept.
+        assert_eq!(r.history().len(), 1);
+        assert_eq!(r.value_at(ts(5)), None);
+        assert_eq!(r.value_at(ts(8)), Some(&Value::from("y")));
+    }
+
+    #[test]
+    fn prune_before_everything_is_a_noop() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(5), Value::from(5)));
+        let before = r.clone();
+        r.prune_before(ts(1));
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn reads_only_touch_counters() {
+        let mut r = KeyRecord::new();
+        r.record_read();
+        r.record_read();
+        assert_eq!(r.reads, 2);
+        assert!(r.history().is_empty());
+        assert_eq!(r.current(), None);
+    }
+}

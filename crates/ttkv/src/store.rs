@@ -1,0 +1,350 @@
+//! The time-travel key-value store.
+
+use std::collections::BTreeMap;
+
+use crate::record::{KeyRecord, Version};
+use crate::snapshot::ConfigState;
+use crate::stats::TtkvStats;
+use crate::time::Timestamp;
+use crate::value::Value;
+use crate::Key;
+
+/// Time-travel key-value store (TTKV).
+///
+/// The TTKV records every access an application makes to its configuration
+/// store: reads are counted, writes and deletions are kept as a full
+/// timestamped history per key. On top of that history it answers the two
+/// queries Ocasta needs:
+///
+/// * **clustering input** — the mutation timeline of every key
+///   ([`Ttkv::iter`], [`KeyRecord::mutation_times`]);
+/// * **rollback input** — point-in-time reconstruction of values
+///   ([`Ttkv::value_at`], [`Ttkv::snapshot_at`]).
+///
+/// The paper implements the TTKV on Redis; this is a from-scratch native
+/// equivalent with the same record shape (see `DESIGN.md` §5.1).
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_ttkv::{Ttkv, Timestamp, Value};
+///
+/// let mut store = Ttkv::new();
+/// store.write(Timestamp::from_secs(1), "app/theme", Value::from("dark"));
+/// store.write(Timestamp::from_secs(9), "app/theme", Value::from("light"));
+///
+/// assert_eq!(
+///     store.value_at("app/theme", Timestamp::from_secs(5)),
+///     Some(&Value::from("dark")),
+/// );
+/// assert_eq!(store.current("app/theme"), Some(&Value::from("light")));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ttkv {
+    records: BTreeMap<Key, KeyRecord>,
+    reads: u64,
+    writes: u64,
+    deletes: u64,
+}
+
+impl Ttkv {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Ttkv::default()
+    }
+
+    /// Number of distinct keys ever observed (Table I's `# Keys` column).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no key has ever been observed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records a read access to `key`.
+    pub fn read(&mut self, key: impl Into<Key>) {
+        self.add_reads(key, 1);
+    }
+
+    /// Records `count` read accesses to `key` at once (traces aggregate
+    /// reads into per-key counters; the Windows traces contain tens of
+    /// millions of reads).
+    pub fn add_reads(&mut self, key: impl Into<Key>, count: u64) {
+        self.reads += count;
+        self.records.entry(key.into()).or_default().add_reads(count);
+    }
+
+    /// Records a write of `value` to `key` at time `t`.
+    pub fn write(&mut self, t: Timestamp, key: impl Into<Key>, value: Value) {
+        self.writes += 1;
+        self.records
+            .entry(key.into())
+            .or_default()
+            .record_mutation(Version::write(t, value));
+    }
+
+    /// Records a deletion of `key` at time `t`.
+    ///
+    /// Deletions are kept in the history as tombstones so that a rollback can
+    /// *recreate* a deleted setting — the Microsoft Word `Item N` example in
+    /// the paper's Figure 1a depends on exactly this.
+    pub fn delete(&mut self, t: Timestamp, key: impl Into<Key>) {
+        self.deletes += 1;
+        self.records
+            .entry(key.into())
+            .or_default()
+            .record_mutation(Version::tombstone(t));
+    }
+
+    /// The full record of one key, if it has ever been observed.
+    pub fn record(&self, key: &str) -> Option<&KeyRecord> {
+        self.records.get(key)
+    }
+
+    /// The live value of `key` as of time `t`.
+    pub fn value_at(&self, key: &str, t: Timestamp) -> Option<&Value> {
+        self.records.get(key).and_then(|r| r.value_at(t))
+    }
+
+    /// The current live value of `key`.
+    pub fn current(&self, key: &str) -> Option<&Value> {
+        self.records.get(key).and_then(KeyRecord::current)
+    }
+
+    /// Iterates over `(key, record)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &KeyRecord)> {
+        self.records.iter()
+    }
+
+    /// Iterates over all key names in key order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.records.keys()
+    }
+
+    /// Keys that have been modified at least once — the only keys eligible
+    /// for clustering and repair ("any key that has not been modified from
+    /// its initial value cannot cause a configuration error", §III-A).
+    pub fn modified_keys(&self) -> impl Iterator<Item = &Key> {
+        self.records
+            .iter()
+            .filter(|(_, r)| r.modifications() > 0)
+            .map(|(k, _)| k)
+    }
+
+    /// Keys under a hierarchical prefix (an application's subtree).
+    pub fn keys_under<'a>(&'a self, prefix: &'a Key) -> impl Iterator<Item = &'a Key> + 'a {
+        self.records.keys().filter(move |k| k.starts_with(prefix))
+    }
+
+    /// The latest mutation timestamp across all keys (the trace's end).
+    pub fn last_mutation_time(&self) -> Option<Timestamp> {
+        self.records
+            .values()
+            .filter_map(|r| r.latest().map(|v| v.timestamp))
+            .max()
+    }
+
+    /// The earliest mutation timestamp across all keys.
+    pub fn first_mutation_time(&self) -> Option<Timestamp> {
+        self.records
+            .values()
+            .filter_map(|r| r.history().first().map(|v| v.timestamp))
+            .min()
+    }
+
+    /// Materialises the live configuration as of time `t` as a flat
+    /// key → value map. Tombstoned and never-written keys are absent.
+    pub fn snapshot_at(&self, t: Timestamp) -> ConfigState {
+        let mut state = ConfigState::new();
+        for (key, record) in &self.records {
+            if let Some(value) = record.value_at(t) {
+                state.set(key.clone(), value.clone());
+            }
+        }
+        state
+    }
+
+    /// Materialises the current live configuration.
+    pub fn snapshot_latest(&self) -> ConfigState {
+        match self.last_mutation_time() {
+            Some(t) => self.snapshot_at(t),
+            None => ConfigState::new(),
+        }
+    }
+
+    /// Aggregate access statistics (Table I's row shape).
+    pub fn stats(&self) -> TtkvStats {
+        TtkvStats {
+            keys: self.records.len() as u64,
+            reads: self.reads,
+            writes: self.writes,
+            deletes: self.deletes,
+            approx_bytes: self.approx_bytes(),
+        }
+    }
+
+    /// Approximate in-memory footprint of the whole store in bytes (Table I's
+    /// `Size` column).
+    pub fn approx_bytes(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|(k, r)| (k.as_str().len() + r.approx_bytes()) as u64)
+            .sum()
+    }
+
+    /// Compacts history older than `horizon`: for every key, versions
+    /// strictly before the horizon are collapsed into a single version
+    /// carrying the key's value as of the horizon (or dropped entirely if
+    /// the key did not exist then). Read/write/delete counters are kept —
+    /// they feed the repair tool's sort — but the rollback search can no
+    /// longer reach states older than the horizon.
+    ///
+    /// This is the retention knob a long-running deployment needs: Table I's
+    /// TTKVs grow to tens of megabytes over two months; pruning bounds that
+    /// while preserving everything the repair window can use.
+    pub fn prune_before(&mut self, horizon: Timestamp) {
+        for record in self.records.values_mut() {
+            record.prune_before(horizon);
+        }
+    }
+
+    /// Merges another store's records into this one (used to aggregate the
+    /// same user's traces from several lab machines, §V).
+    pub fn merge(&mut self, other: &Ttkv) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.deletes += other.deletes;
+        for (key, record) in &other.records {
+            let target = self.records.entry(key.clone()).or_default();
+            for _ in 0..record.reads {
+                target.record_read();
+            }
+            for version in record.history() {
+                target.record_mutation(version.clone());
+            }
+        }
+    }
+}
+
+impl Extend<(Timestamp, Key, Value)> for Ttkv {
+    fn extend<I: IntoIterator<Item = (Timestamp, Key, Value)>>(&mut self, iter: I) {
+        for (t, key, value) in iter {
+            self.write(t, key, value);
+        }
+    }
+}
+
+impl FromIterator<(Timestamp, Key, Value)> for Ttkv {
+    fn from_iter<I: IntoIterator<Item = (Timestamp, Key, Value)>>(iter: I) -> Self {
+        let mut store = Ttkv::new();
+        store.extend(iter);
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn write_then_query_roundtrip() {
+        let mut store = Ttkv::new();
+        store.write(ts(1), "a", Value::from(1));
+        store.write(ts(2), "b", Value::from(2));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.current("a"), Some(&Value::from(1)));
+        assert_eq!(store.value_at("b", ts(1)), None);
+    }
+
+    #[test]
+    fn deleted_keys_are_absent_from_snapshots_but_recoverable() {
+        let mut store = Ttkv::new();
+        store.write(ts(1), "mru/item1", Value::from("report.doc"));
+        store.delete(ts(5), "mru/item1");
+        let snap_before = store.snapshot_at(ts(4));
+        let snap_after = store.snapshot_at(ts(6));
+        assert_eq!(snap_before.get("mru/item1"), Some(&Value::from("report.doc")));
+        assert_eq!(snap_after.get("mru/item1"), None);
+        // Rollback semantics: the historical value survives deletion.
+        assert_eq!(store.value_at("mru/item1", ts(2)), Some(&Value::from("report.doc")));
+    }
+
+    #[test]
+    fn modified_keys_excludes_read_only_keys() {
+        let mut store = Ttkv::new();
+        store.read("ro");
+        store.write(ts(1), "rw", Value::from(1));
+        let modified: Vec<_> = store.modified_keys().map(|k| k.as_str().to_owned()).collect();
+        assert_eq!(modified, vec!["rw"]);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut store = Ttkv::new();
+        store.read("a");
+        store.read("a");
+        store.write(ts(1), "a", Value::from(1));
+        store.delete(ts(2), "a");
+        let stats = store.stats();
+        assert_eq!(stats.reads, 2);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.deletes, 1);
+        assert_eq!(stats.keys, 1);
+        assert!(stats.approx_bytes > 0);
+    }
+
+    #[test]
+    fn merge_combines_histories() {
+        let mut lab1 = Ttkv::new();
+        lab1.write(ts(10), "u/pref", Value::from("a"));
+        let mut lab2 = Ttkv::new();
+        lab2.write(ts(5), "u/pref", Value::from("b"));
+        lab2.read("u/pref");
+        lab1.merge(&lab2);
+        assert_eq!(lab1.record("u/pref").unwrap().writes, 2);
+        assert_eq!(lab1.record("u/pref").unwrap().reads, 1);
+        // lab2's earlier write sorts before lab1's.
+        assert_eq!(lab1.value_at("u/pref", ts(7)), Some(&Value::from("b")));
+        assert_eq!(lab1.current("u/pref"), Some(&Value::from("a")));
+    }
+
+    #[test]
+    fn trace_bounds() {
+        let mut store = Ttkv::new();
+        assert_eq!(store.first_mutation_time(), None);
+        store.write(ts(3), "a", Value::from(1));
+        store.write(ts(9), "b", Value::from(2));
+        assert_eq!(store.first_mutation_time(), Some(ts(3)));
+        assert_eq!(store.last_mutation_time(), Some(ts(9)));
+    }
+
+    #[test]
+    fn keys_under_filters_subtree() {
+        let mut store = Ttkv::new();
+        store.write(ts(1), "word/mru/a", Value::from(1));
+        store.write(ts(1), "word/view", Value::from(2));
+        store.write(ts(1), "excel/mru/a", Value::from(3));
+        let prefix = Key::new("word");
+        assert_eq!(store.keys_under(&prefix).count(), 2);
+    }
+
+    #[test]
+    fn from_iterator_builds_store() {
+        let store: Ttkv = vec![
+            (ts(1), Key::new("a"), Value::from(1)),
+            (ts(2), Key::new("b"), Value::from(2)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().writes, 2);
+    }
+}

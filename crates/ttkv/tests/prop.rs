@@ -1,0 +1,171 @@
+//! Property-based tests for the TTKV.
+
+use proptest::prelude::*;
+
+use ocasta_ttkv::{Key, Timestamp, Ttkv, Value};
+
+/// Strategy for scalar values.
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[ -~]{0,16}".prop_map(Value::from),
+    ]
+}
+
+/// Strategy for arbitrary values (scalars plus shallow lists).
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => scalar(),
+        1 => prop::collection::vec(scalar(), 0..4).prop_map(Value::List),
+    ]
+}
+
+/// One mutation op against a small key space.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, u64, Value),
+    Delete(u8, u64),
+    Read(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u64..100_000, value()).prop_map(|(k, t, v)| Op::Write(k % 8, t, v)),
+        (any::<u8>(), 0u64..100_000).prop_map(|(k, t)| Op::Delete(k % 8, t)),
+        any::<u8>().prop_map(|k| Op::Read(k % 8)),
+    ]
+}
+
+fn key_name(k: u8) -> String {
+    format!("app/key{k}")
+}
+
+fn apply(ops: &[Op]) -> Ttkv {
+    let mut store = Ttkv::new();
+    for o in ops {
+        match o {
+            Op::Write(k, t, v) => {
+                store.write(Timestamp::from_millis(*t), Key::new(key_name(*k)), v.clone())
+            }
+            Op::Delete(k, t) => store.delete(Timestamp::from_millis(*t), Key::new(key_name(*k))),
+            Op::Read(k) => store.read(Key::new(key_name(*k))),
+        }
+    }
+    store
+}
+
+proptest! {
+    /// Persistence round-trips bit-exactly for arbitrary op sequences.
+    #[test]
+    fn persist_roundtrip(ops in prop::collection::vec(op(), 0..60)) {
+        let store = apply(&ops);
+        let text = store.save_to_string();
+        let loaded = Ttkv::load_from_str(&text).unwrap();
+        prop_assert_eq!(store, loaded);
+    }
+
+    /// `value_at` at a key's own mutation timestamps replays the sequential
+    /// history: at the time of a write (and before the next mutation), the
+    /// visible value is that write's value.
+    #[test]
+    fn value_at_matches_sequential_replay(ops in prop::collection::vec(op(), 1..60)) {
+        let store = apply(&ops);
+        for (key, record) in store.iter() {
+            let history = record.history();
+            for (i, version) in history.iter().enumerate() {
+                // Find the last version sharing this timestamp (ties resolve
+                // to insertion order; the last write at time t wins).
+                let t = version.timestamp;
+                let winner = history.iter().rev().find(|v| v.timestamp == t).unwrap();
+                if history[i].timestamp == t {
+                    prop_assert_eq!(
+                        store.value_at(key.as_str(), t),
+                        winner.value.as_ref(),
+                        "key {} at {}", key, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// Snapshots agree pointwise with `value_at`.
+    #[test]
+    fn snapshot_agrees_with_value_at(
+        ops in prop::collection::vec(op(), 1..60),
+        probe in 0u64..100_000,
+    ) {
+        let store = apply(&ops);
+        let t = Timestamp::from_millis(probe);
+        let snapshot = store.snapshot_at(t);
+        for key in store.keys() {
+            prop_assert_eq!(snapshot.get(key.as_str()), store.value_at(key.as_str(), t));
+        }
+    }
+
+    /// History timestamps are always non-decreasing, even for out-of-order
+    /// ingestion.
+    #[test]
+    fn history_is_sorted(ops in prop::collection::vec(op(), 0..60)) {
+        let store = apply(&ops);
+        for (_, record) in store.iter() {
+            let times: Vec<_> = record.mutation_times().collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            prop_assert_eq!(times, sorted);
+        }
+    }
+
+    /// Pruning preserves every query at or after the horizon.
+    #[test]
+    fn prune_preserves_post_horizon_queries(
+        ops in prop::collection::vec(op(), 1..60),
+        horizon in 0u64..100_000,
+        probes in prop::collection::vec(0u64..100_000, 1..10),
+    ) {
+        let original = apply(&ops);
+        let mut pruned = original.clone();
+        let h = Timestamp::from_millis(horizon);
+        pruned.prune_before(h);
+        for &probe in &probes {
+            let t = Timestamp::from_millis(probe.max(horizon));
+            for key in original.keys() {
+                prop_assert_eq!(
+                    original.value_at(key.as_str(), t),
+                    pruned.value_at(key.as_str(), t),
+                    "key {} at {} (horizon {})", key, t, h
+                );
+            }
+        }
+        // Counters are untouched.
+        prop_assert_eq!(original.stats().writes, pruned.stats().writes);
+        prop_assert_eq!(original.stats().reads, pruned.stats().reads);
+        // Pruning never grows the store.
+        prop_assert!(pruned.approx_bytes() <= original.approx_bytes() + 16 * pruned.len() as u64);
+    }
+
+    /// Merging two stores preserves totals and merged histories stay sorted.
+    #[test]
+    fn merge_preserves_totals(
+        a in prop::collection::vec(op(), 0..40),
+        b in prop::collection::vec(op(), 0..40),
+    ) {
+        let sa = apply(&a);
+        let sb = apply(&b);
+        let (ta, tb) = (sa.stats(), sb.stats());
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        let tm = merged.stats();
+        prop_assert_eq!(tm.reads, ta.reads + tb.reads);
+        prop_assert_eq!(tm.writes, ta.writes + tb.writes);
+        prop_assert_eq!(tm.deletes, ta.deletes + tb.deletes);
+        for (_, record) in merged.iter() {
+            let times: Vec<_> = record.mutation_times().collect();
+            let mut sorted = times.clone();
+            sorted.sort();
+            prop_assert_eq!(times, sorted);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The application-file logger path: watch a JSON configuration file across
+//! flushes, infer key-level writes with the flush differ, feed them into a
+//! TTKV and cluster the settings — exactly what Ocasta's file logger does
+//! for applications like Chrome (§IV-B3).
+//!
+//! ```sh
+//! cargo run -p ocasta --example config_file_watch
+//! ```
+
+use ocasta::{
+    detect_format, diff_flush, parse, FlatConfig, FlushChange, Format, Ocasta, Timestamp, Ttkv,
+};
+
+/// The preference file the "application" flushes after each change.
+fn flushes() -> Vec<(u64, &'static str)> {
+    vec![
+        // install: defaults written
+        (0, r#"{"toolbar": {"home": true, "bookmarks": true},
+                "proxy": {"mode": "direct", "host": "", "port": 0},
+                "zoom": 1.0}"#),
+        // day 1: the user configures a proxy — mode/host/port change together
+        (86_400, r#"{"toolbar": {"home": true, "bookmarks": true},
+                "proxy": {"mode": "manual", "host": "proxy.lab", "port": 8080},
+                "zoom": 1.0}"#),
+        // day 2: zoom fiddling (independent)
+        (172_800, r#"{"toolbar": {"home": true, "bookmarks": true},
+                "proxy": {"mode": "manual", "host": "proxy.lab", "port": 8080},
+                "zoom": 1.25}"#),
+        // day 3: proxy switched off — the trio changes together again
+        (259_200, r#"{"toolbar": {"home": true, "bookmarks": true},
+                "proxy": {"mode": "direct", "host": "", "port": 0},
+                "zoom": 1.25}"#),
+        // day 4: more zoom churn
+        (345_600, r#"{"toolbar": {"home": true, "bookmarks": true},
+                "proxy": {"mode": "direct", "host": "", "port": 0},
+                "zoom": 1.5}"#),
+    ]
+}
+
+fn main() {
+    let mut store = Ttkv::new();
+    let mut previous = FlatConfig::new();
+    for (secs, content) in flushes() {
+        let format = detect_format(content).expect("recognisable config format");
+        assert_eq!(format, Format::Json);
+        let snapshot = parse(format, content).expect("valid file").flatten();
+        let changes = diff_flush(&previous, &snapshot);
+        let t = Timestamp::from_secs(secs);
+        println!("flush at {t}: {} inferred change(s)", changes.len());
+        for change in &changes {
+            match change {
+                FlushChange::Set { key, value } => {
+                    println!("  set {key} = {value}");
+                    store.write(t, format!("app/{key}"), value.clone());
+                }
+                FlushChange::Removed { key } => {
+                    println!("  del {key}");
+                    store.delete(t, format!("app/{key}"));
+                }
+            }
+        }
+        previous = snapshot;
+    }
+
+    let clustering = Ocasta::default().cluster_store(&store);
+    println!("\nclusters inferred from file flushes:");
+    for cluster in clustering.clusters() {
+        let names: Vec<&str> = cluster.iter().map(|k| k.as_str()).collect();
+        println!("  {names:?}");
+    }
+    let proxy = clustering
+        .cluster_of("app/proxy/mode")
+        .expect("proxy keys were modified");
+    assert_eq!(proxy.len(), 3, "the proxy trio clusters together");
+    println!("\nthe proxy trio was correctly identified as one cluster");
+}

@@ -1,0 +1,69 @@
+//! Quickstart: record configuration accesses, cluster related settings,
+//! and roll an error back.
+//!
+//! ```sh
+//! cargo run -p ocasta --example quickstart
+//! ```
+
+use ocasta::{
+    search, FixOracle, Ocasta, Screenshot, SearchConfig, Timestamp, Trial, Ttkv, Value,
+};
+
+fn main() {
+    // 1. Record configuration accesses. In a deployment this is done by a
+    //    logger (registry hook, GConf shim or file flush differ); here we
+    //    play the application ourselves. The mail client updates its
+    //    mark-seen pair together (they are one feature), while the window
+    //    width churns on its own.
+    let mut store = Ttkv::new();
+    for day in 0..6u64 {
+        let t = Timestamp::from_days(day);
+        store.write(t, "mail/mark_seen", Value::from(true));
+        store.write(t, "mail/mark_seen_timeout", Value::from(1000 + day as i64 * 100));
+        store.write(
+            Timestamp::from_days(day) + ocasta::TimeDelta::from_mins(30 + day),
+            "mail/window_width",
+            Value::from(700 + day as i64),
+        );
+    }
+
+    // 2. Cluster related settings from co-modification statistics (the
+    //    paper's defaults: 1-second window, correlation threshold 2).
+    let clustering = Ocasta::default().cluster_store(&store);
+    println!("clusters found:");
+    for cluster in clustering.clusters() {
+        let names: Vec<&str> = cluster.iter().map(|k| k.as_str()).collect();
+        println!("  {names:?}");
+    }
+
+    // 3. Break the feature: both settings of the pair go bad at once.
+    let t_err = Timestamp::from_days(10);
+    store.write(t_err, "mail/mark_seen", Value::from(false));
+    store.write(t_err, "mail/mark_seen_timeout", Value::from(-1));
+
+    // 4. Repair: the trial renders the visible state, the oracle plays the
+    //    user confirming a screenshot, and the search rolls clusters back.
+    let trial = Trial::new("open an e-mail and wait", |config| {
+        let mut shot = Screenshot::new();
+        let healthy = config.get_bool("mail/mark_seen").unwrap_or(false)
+            && config.get_int("mail/mark_seen_timeout").unwrap_or(-1) >= 0;
+        shot.add_if(healthy, "auto_mark_read");
+        shot
+    });
+    let clustering = Ocasta::default().cluster_store(&store);
+    let outcome = search(
+        &store,
+        clustering.clusters(),
+        &trial,
+        &FixOracle::element_visible("auto_mark_read"),
+        &SearchConfig::default(),
+    );
+
+    let fix = outcome.fix.expect("the recorded history contains a good state");
+    println!(
+        "\nfixed after {} trial(s) by rolling back {:?} to before {}",
+        outcome.trials_to_fix.unwrap(),
+        fix.keys.iter().map(|k| k.as_str()).collect::<Vec<_>>(),
+        fix.version,
+    );
+}

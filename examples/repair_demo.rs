@@ -1,0 +1,71 @@
+//! End-to-end repair of a Table III error: Chrome's bookmark bar disappears
+//! (error #13), reproduced on a generated 84-day usage trace.
+//!
+//! ```sh
+//! cargo run -p ocasta --example repair_demo
+//! ```
+
+use ocasta::{prepare_store, run_noclust, run_scenario, scenarios, ScenarioConfig};
+
+fn main() {
+    let scenario = scenarios()
+        .into_iter()
+        .find(|s| s.id == 13)
+        .expect("error #13 exists");
+    println!("case #{}: {}", scenario.id, scenario.description);
+    println!(
+        "trace: {} ({} days of {} usage, {} logger)",
+        scenario.trace_name,
+        scenario.trace_days,
+        scenario.model().display_name,
+        scenario.logger,
+    );
+
+    let config = ScenarioConfig::default();
+    let (store, injected_at) = prepare_store(&scenario, &config);
+    println!(
+        "\ninjected at {} (14 days before the end); store: {}",
+        injected_at,
+        store.stats(),
+    );
+
+    let outcome = run_scenario(&scenario, &config);
+    match &outcome.search.fix {
+        Some(fix) => {
+            println!("\nOcasta fixed it:");
+            println!(
+                "  trials to find the offending cluster: {}",
+                outcome.search.trials_to_fix.unwrap()
+            );
+            println!(
+                "  exhaustive search would take:          {} trials",
+                outcome.search.total_trials
+            );
+            println!(
+                "  screenshots the user examined:         {}",
+                outcome.search.screenshots_to_fix
+            );
+            println!(
+                "  rolled back {:?} to before {}",
+                fix.keys.iter().map(|k| k.as_str()).collect::<Vec<_>>(),
+                fix.version,
+            );
+            println!(
+                "  modeled recovery time: {} (full search: {})",
+                outcome.search.time_to_fix.unwrap().as_mmss(),
+                outcome.search.total_time.as_mmss(),
+            );
+        }
+        None => println!("\nOcasta could not fix it (no good state in history)"),
+    }
+
+    let noclust = run_noclust(&scenario, &config);
+    println!(
+        "\nOcasta-NoClust (single-setting rollbacks): {}",
+        if noclust.is_fixed() {
+            "also fixes this one"
+        } else {
+            "FAILS"
+        },
+    );
+}

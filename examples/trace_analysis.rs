@@ -1,0 +1,66 @@
+//! Trace analysis: generate a full desktop's usage trace (the Linux-1 lab
+//! machine), replay it into a TTKV, and report per-application cluster
+//! statistics — a miniature of the paper's Tables I and II.
+//!
+//! ```sh
+//! cargo run -p ocasta --example trace_analysis
+//! ```
+
+use ocasta::{
+    all_models, generate, GeneratorConfig, Key, MachineProfile, Ocasta, OsFlavor, TimePrecision,
+    TtkvStats,
+};
+
+fn main() {
+    let profile = MachineProfile::by_name("Linux-1").expect("profile exists");
+    let mut specs: Vec<_> = all_models()
+        .into_iter()
+        .filter(|m| m.os == OsFlavor::Linux)
+        .map(|m| m.spec)
+        .collect();
+    profile.calibrate(&mut specs);
+
+    let config = GeneratorConfig::new(profile.name, profile.days, profile.seed);
+    let trace = generate(&config, &specs);
+    let stats = trace.stats();
+    println!(
+        "{}: {} days, {} reads, {} writes, {} deletes, {} keys",
+        profile.name,
+        stats.days,
+        TtkvStats::humanize(stats.reads),
+        TtkvStats::humanize(stats.writes),
+        stats.deletes,
+        stats.keys,
+    );
+
+    let store = trace.replay(TimePrecision::Seconds);
+    println!(
+        "TTKV after replay: {} (~{})",
+        store.stats(),
+        TtkvStats::humanize_bytes(store.approx_bytes()),
+    );
+
+    // Per-application clustering, as the paper evaluates it.
+    let engine = Ocasta::default();
+    println!("\nper-application clusters (window 1s, threshold 2):");
+    for model in all_models().into_iter().filter(|m| m.os == OsFlavor::Linux) {
+        let clustering = engine.cluster_app(&store, &Key::new(model.name));
+        let stats = clustering.stats();
+        println!(
+            "  {:<16} {:>4} clusters, {:>3} with >1 setting, largest {}",
+            model.display_name, stats.clusters, stats.multi_clusters, stats.max_cluster_size,
+        );
+        for cluster in clustering.multi_clusters().take(2) {
+            let names: Vec<&str> = cluster.iter().map(|k| k.as_str()).collect();
+            println!("      e.g. {names:?}");
+        }
+    }
+
+    // The trace itself round-trips through the text format.
+    let text = trace.save_to_string();
+    println!(
+        "\ntrace file: {} lines, {}",
+        text.lines().count(),
+        TtkvStats::humanize_bytes(text.len() as u64),
+    );
+}

@@ -1,0 +1,99 @@
+//! Table II integration: clustering accuracy across the 11 applications.
+
+use ocasta::{evaluate_all, evaluate_model, model_by_name, AccuracySummary, ClusterParams};
+
+const DAYS: u64 = 45;
+
+#[test]
+fn overall_accuracy_reproduces_the_headline_number() {
+    let apps = evaluate_all(DAYS);
+    let summary = AccuracySummary::from_apps(&apps);
+    let overall = summary.overall_accuracy();
+    assert!(
+        (80.0..=95.0).contains(&overall),
+        "overall accuracy {overall:.1}% should be near the paper's 88.6%"
+    );
+    assert!(
+        (60.0..=85.0).contains(&summary.mean_accuracy),
+        "mean accuracy {:.1}% should be near the paper's 72.3%",
+        summary.mean_accuracy
+    );
+    assert!(
+        (230..=280).contains(&summary.multi_clusters),
+        "multi-cluster total {} should be near the paper's 255",
+        summary.multi_clusters
+    );
+}
+
+#[test]
+fn per_app_accuracy_matches_table2_within_tolerance() {
+    for app in evaluate_all(DAYS) {
+        match (app.accuracy(), app.paper_accuracy) {
+            (Some(measured), Some(paper)) => {
+                assert!(
+                    (measured - paper).abs() <= 15.0,
+                    "{}: measured {measured:.1}% vs paper {paper:.1}%",
+                    app.app
+                );
+            }
+            (None, None) => {} // Eye of GNOME: N/A in both
+            (measured, paper) => {
+                panic!("{}: N/A mismatch ({measured:?} vs {paper:?})", app.app)
+            }
+        }
+    }
+}
+
+#[test]
+fn key_counts_track_table2() {
+    for app in evaluate_all(DAYS) {
+        let model_keys = ocasta::all_models()
+            .into_iter()
+            .find(|m| m.display_name == app.app)
+            .unwrap()
+            .paper_keys;
+        let tolerance = (model_keys as f64 * 0.05).ceil() as usize + 2;
+        assert!(
+            app.keys.abs_diff(model_keys) <= tolerance,
+            "{}: observed {} keys vs Table II's {}",
+            app.app,
+            app.keys,
+            model_keys
+        );
+    }
+}
+
+#[test]
+fn oversized_clusters_dominate_the_errors() {
+    // §VI-A: "the majority of the incorrectly identified clusters are
+    // oversized clusters".
+    let apps = evaluate_all(DAYS);
+    let oversized: usize = apps.iter().map(|a| a.oversized).sum();
+    let incorrect: usize = apps
+        .iter()
+        .map(|a| a.multi_clusters - a.correct_multi)
+        .sum();
+    assert_eq!(oversized, incorrect, "every incorrect cluster is oversized here");
+    assert!(oversized >= 20, "the designed oversize couplings appear: {oversized}");
+}
+
+#[test]
+fn lowering_the_threshold_cannot_reduce_cluster_sizes() {
+    let model = model_by_name("acrobat").unwrap();
+    let strict = evaluate_model(&model, DAYS, 42, &ClusterParams::default());
+    let relaxed = evaluate_model(
+        &model,
+        DAYS,
+        42,
+        &ClusterParams {
+            correlation_threshold: 1.0,
+            ..ClusterParams::default()
+        },
+    );
+    assert!(
+        relaxed.total_clusters <= strict.total_clusters,
+        "a lower threshold merges clusters: {} vs {}",
+        relaxed.total_clusters,
+        strict.total_clusters
+    );
+}

@@ -1,0 +1,132 @@
+//! Table IV integration: all 16 real-world errors end to end.
+
+use ocasta::{
+    run_noclust, run_scenario, scenarios, ClusterParams, ScenarioConfig, SearchStrategy,
+};
+
+fn config_for(scenario: &ocasta::ErrorScenario) -> ScenarioConfig {
+    let params = if scenario.needs_tuning {
+        ScenarioConfig::tuned_for(scenario)
+    } else {
+        ClusterParams::default()
+    };
+    ScenarioConfig {
+        params,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn ocasta_fixes_all_16_errors() {
+    for scenario in scenarios() {
+        let outcome = run_scenario(&scenario, &config_for(&scenario));
+        assert!(
+            outcome.is_fixed(),
+            "error #{} should be fixed: {:?}",
+            scenario.id,
+            outcome.search
+        );
+        assert_eq!(
+            outcome.fixed_cluster_size,
+            Some(scenario.paper_cluster_size),
+            "error #{}: fixed-cluster size should match Table IV",
+            scenario.id
+        );
+        assert!(
+            outcome.search.screenshots_to_fix <= 11,
+            "error #{}: user effort stays modest (paper max: 11)",
+            scenario.id
+        );
+    }
+}
+
+#[test]
+fn noclust_fails_exactly_the_five_multi_key_errors() {
+    let mut failed = Vec::new();
+    for scenario in scenarios() {
+        let outcome = run_noclust(&scenario, &config_for(&scenario));
+        if !outcome.is_fixed() {
+            failed.push(scenario.id);
+        }
+        assert_eq!(
+            outcome.is_fixed(),
+            scenario.paper_noclust_fixes,
+            "error #{}: NoClust outcome should match Table IV",
+            scenario.id
+        );
+    }
+    failed.sort_unstable();
+    assert_eq!(failed, vec![2, 4, 6, 7, 9]);
+}
+
+#[test]
+fn errors_2_and_4_defeat_default_parameters() {
+    for id in [2usize, 4] {
+        let scenario = scenarios().into_iter().find(|s| s.id == id).unwrap();
+        let default_outcome = run_scenario(&scenario, &ScenarioConfig::default());
+        assert!(
+            !default_outcome.is_fixed(),
+            "error #{id} should require tuning (§VI-B)"
+        );
+    }
+}
+
+#[test]
+fn bfs_also_fixes_a_sample_of_errors() {
+    for id in [1usize, 7, 13] {
+        let scenario = scenarios().into_iter().find(|s| s.id == id).unwrap();
+        let config = ScenarioConfig {
+            strategy: SearchStrategy::Bfs,
+            ..config_for(&scenario)
+        };
+        let outcome = run_scenario(&scenario, &config);
+        assert!(outcome.is_fixed(), "error #{id} under BFS");
+    }
+}
+
+#[test]
+fn sort_beats_exhaustive_search_on_average() {
+    // The paper: the modification-count sort finds the offending cluster
+    // ~78% faster than searching everything.
+    let mut savings = Vec::new();
+    for scenario in scenarios() {
+        let outcome = run_scenario(&scenario, &config_for(&scenario));
+        if let Some(found) = outcome.search.trials_to_fix {
+            let total = outcome.search.total_trials.max(1);
+            savings.push(1.0 - found as f64 / total as f64);
+        }
+    }
+    let mean = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(
+        mean > 0.5,
+        "mean saving {mean:.2} should be well above half (paper: 0.78)"
+    );
+}
+
+#[test]
+fn injection_age_affects_search_depth() {
+    // Figure 2a's trend is a mean over the 16 errors: older errors are
+    // buried under more newer versions. Individual cases may move either
+    // way, so compare the population means.
+    let mean_trials = |age: u64| -> f64 {
+        let mut trials = Vec::new();
+        for scenario in scenarios() {
+            let outcome = run_scenario(
+                &scenario,
+                &ScenarioConfig {
+                    injection_age_days: age,
+                    ..config_for(&scenario)
+                },
+            );
+            assert!(outcome.is_fixed(), "error #{} at age {age}", scenario.id);
+            trials.push(outcome.search.trials_to_fix.unwrap() as f64);
+        }
+        trials.iter().sum::<f64>() / trials.len() as f64
+    };
+    let fresh = mean_trials(2);
+    let old = mean_trials(14);
+    assert!(
+        old >= fresh,
+        "mean trials should grow with injection age: {old:.1} vs {fresh:.1}"
+    );
+}

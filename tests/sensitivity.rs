@@ -1,0 +1,109 @@
+//! Sensitivity integration (Figure 3): cluster size vs window size and
+//! threshold, plus the timestamp-precision ablation.
+
+use ocasta::{model_by_name, ClusterParams, Ocasta, TimePrecision};
+
+fn mean_multi_size(window_ms: u64, threshold: f64) -> f64 {
+    let model = model_by_name("evolution").unwrap();
+    let store = model.generate_trace(45, 31).replay(TimePrecision::Seconds);
+    let params = ClusterParams {
+        window_ms,
+        correlation_threshold: threshold,
+        ..ClusterParams::default()
+    };
+    Ocasta::new(params).cluster_store(&store).stats().mean_multi_cluster_size()
+}
+
+#[test]
+fn window_zero_shows_the_left_edge_artifact() {
+    // Figure 3a: a sharp drop from window 1s to window 0s, because the
+    // trace infrastructure records whole seconds.
+    let at_zero = mean_multi_size(0, 2.0);
+    let at_one = mean_multi_size(1_000, 2.0);
+    assert!(
+        at_zero <= at_one,
+        "window 0 ({at_zero:.2}) should not beat window 1s ({at_one:.2})"
+    );
+}
+
+#[test]
+fn cluster_size_is_insensitive_to_window_beyond_one_second() {
+    // Figure 3a's plateau: between 1s and 600s the mean size moves little.
+    let sizes: Vec<f64> = [1_000u64, 10_000, 60_000, 300_000, 600_000]
+        .iter()
+        .map(|&w| mean_multi_size(w, 2.0))
+        .collect();
+    let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sizes.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 1.6,
+        "size range {min:.2}..{max:.2} should stay within ~±25% (paper: 3.5..4.5)"
+    );
+}
+
+#[test]
+fn cluster_count_monotone_in_threshold() {
+    let model = model_by_name("acrobat").unwrap();
+    let store = model.generate_trace(45, 32).replay(TimePrecision::Seconds);
+    let mut last = usize::MAX;
+    for threshold in [2.0, 1.5, 1.0, 0.5] {
+        let params = ClusterParams {
+            correlation_threshold: threshold,
+            ..ClusterParams::default()
+        };
+        let clusters = Ocasta::new(params).cluster_store(&store).len();
+        assert!(
+            clusters <= last,
+            "threshold {threshold}: {clusters} clusters, previous {last}"
+        );
+        last = clusters;
+    }
+}
+
+#[test]
+fn millisecond_precision_shrinks_oversized_merges() {
+    // §VI-A: most oversized clusters "could potentially have been
+    // eliminated if our trace collection infrastructure had recorded key
+    // modification times at a finer granularity". With millisecond
+    // timestamps the same trace cannot produce *more* multi-clusters
+    // spanning unrelated groups.
+    let model = model_by_name("evolution").unwrap();
+    let trace = model.generate_trace(45, 33);
+    let coarse_store = trace.replay(TimePrecision::Seconds);
+    let fine_store = trace.replay(TimePrecision::Milliseconds);
+    let coarse = Ocasta::default().cluster_store(&coarse_store);
+    let fine = Ocasta::default()
+        .with_precision(TimePrecision::Milliseconds)
+        .cluster_store(&fine_store);
+    let incorrect = |clustering: &ocasta::Clustering| {
+        clustering
+            .multi_clusters()
+            .filter(|c| !model.cluster_is_correct(c))
+            .count()
+    };
+    assert!(
+        incorrect(&fine) <= incorrect(&coarse),
+        "finer timestamps should not create more oversized clusters"
+    );
+}
+
+#[test]
+fn linkage_ablation_complete_is_most_conservative() {
+    use ocasta::Linkage;
+    let model = model_by_name("outlook").unwrap();
+    let store = model.generate_trace(45, 34).replay(TimePrecision::Seconds);
+    let count_for = |linkage| {
+        let params = ClusterParams {
+            linkage,
+            correlation_threshold: 1.0,
+            ..ClusterParams::default()
+        };
+        Ocasta::new(params).cluster_store(&store).len()
+    };
+    let complete = count_for(Linkage::Complete);
+    let single = count_for(Linkage::Single);
+    assert!(
+        complete >= single,
+        "complete linkage merges less aggressively than single ({complete} vs {single})"
+    );
+}

@@ -138,10 +138,7 @@ impl AppBuilder {
     pub fn bulk_singles(&mut self, prefix: &str, count: usize, base_rate: f64) -> &mut Self {
         for i in 0..count {
             let rate = base_rate * (0.3 + (i % 9) as f64 * 0.3);
-            self.single(
-                KeySpec::new(format!("{prefix}{i:03}"), vary_kind(i)),
-                rate,
-            );
+            self.single(KeySpec::new(format!("{prefix}{i:03}"), vary_kind(i)), rate);
         }
         self
     }
@@ -173,7 +170,9 @@ impl AppBuilder {
 /// real mix of types.
 fn vary_kind(i: usize) -> ValueKind {
     match i % 5 {
-        0 => ValueKind::Toggle { initial: i % 2 == 0 },
+        0 => ValueKind::Toggle {
+            initial: i.is_multiple_of(2),
+        },
         1 => ValueKind::IntRange { min: 0, max: 100 },
         2 => ValueKind::FloatRange { min: 0.5, max: 4.0 },
         3 => ValueKind::Choice(vec!["small", "medium", "large"]),
@@ -206,8 +205,14 @@ mod tests {
         let mut b = AppBuilder::new("app");
         b.coupled_groups(
             "dialog",
-            vec![KeySpec::new("a1", vary_kind(0)), KeySpec::new("a2", vary_kind(1))],
-            vec![KeySpec::new("b1", vary_kind(2)), KeySpec::new("b2", vary_kind(3))],
+            vec![
+                KeySpec::new("a1", vary_kind(0)),
+                KeySpec::new("a2", vary_kind(1)),
+            ],
+            vec![
+                KeySpec::new("b1", vary_kind(2)),
+                KeySpec::new("b2", vary_kind(3)),
+            ],
             0.2,
         );
         let (spec, truth) = b.build();

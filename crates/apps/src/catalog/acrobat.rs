@@ -26,8 +26,14 @@ pub fn model() -> AppModel {
     b.correct_group(
         "autocomplete",
         vec![
-            KeySpec::new("forms/inline_autocomplete", ValueKind::Toggle { initial: false }),
-            KeySpec::new("forms/record_new_entries", ValueKind::Toggle { initial: true }),
+            KeySpec::new(
+                "forms/inline_autocomplete",
+                ValueKind::Toggle { initial: false },
+            ),
+            KeySpec::new(
+                "forms/record_new_entries",
+                ValueKind::Toggle { initial: true },
+            ),
             KeySpec::new("forms/show_dropdown", ValueKind::Toggle { initial: true }),
         ],
         0.08,
@@ -39,8 +45,14 @@ pub fn model() -> AppModel {
     b.bulk_correct_groups("plugin", 5, 4, 0.04);
     b.bulk_coupled_groups("dlg", 5, 2, 0.05);
     // 430 singleton churners, including the two error keys.
-    b.single(KeySpec::new("ui/menu_bar", ValueKind::BiasedToggle { on_prob: 0.97 }), 0.1);
-    b.single(KeySpec::new("toolbar/find", ValueKind::BiasedToggle { on_prob: 0.97 }), 0.08);
+    b.single(
+        KeySpec::new("ui/menu_bar", ValueKind::BiasedToggle { on_prob: 0.97 }),
+        0.1,
+    );
+    b.single(
+        KeySpec::new("toolbar/find", ValueKind::BiasedToggle { on_prob: 0.97 }),
+        0.08,
+    );
     b.bulk_singles("single", 428, 0.25);
     b.statics(31);
 

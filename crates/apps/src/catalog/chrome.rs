@@ -31,11 +31,17 @@ pub fn model() -> AppModel {
     // 33 singleton settings (Chrome's flat JSON preferences churn
     // independently), including the two error keys.
     b.single(
-        KeySpec::new("bookmark_bar/show_on_all_tabs", ValueKind::BiasedToggle { on_prob: 0.97 }),
+        KeySpec::new(
+            "bookmark_bar/show_on_all_tabs",
+            ValueKind::BiasedToggle { on_prob: 0.97 },
+        ),
         0.08,
     );
     b.single(
-        KeySpec::new("browser/show_home_button", ValueKind::BiasedToggle { on_prob: 0.97 }),
+        KeySpec::new(
+            "browser/show_home_button",
+            ValueKind::BiasedToggle { on_prob: 0.97 },
+        ),
         0.08,
     );
     b.bulk_singles("pref", 31, 0.1);
@@ -61,7 +67,10 @@ pub fn model() -> AppModel {
 fn render(config: &ConfigState) -> Screenshot {
     let mut shot = Screenshot::new();
     shot.add("tab_strip");
-    shot.add_if(config.get_bool(BOOKMARK_BAR).unwrap_or(true), "bookmark_bar");
+    shot.add_if(
+        config.get_bool(BOOKMARK_BAR).unwrap_or(true),
+        "bookmark_bar",
+    );
     shot.add_if(config.get_bool(HOME_BUTTON).unwrap_or(true), "home_button");
     super::show_settings(
         &mut shot,

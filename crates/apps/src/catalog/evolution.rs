@@ -34,8 +34,14 @@ pub fn model() -> AppModel {
     b.correct_group(
         "offline",
         vec![
-            KeySpec::new("offline/start_offline", ValueKind::BiasedToggle { on_prob: 0.03 }),
-            KeySpec::new("offline/sync_folders", ValueKind::Choice(vec!["inbox", "all", "none"])),
+            KeySpec::new(
+                "offline/start_offline",
+                ValueKind::BiasedToggle { on_prob: 0.03 },
+            ),
+            KeySpec::new(
+                "offline/sync_folders",
+                ValueKind::Choice(vec!["inbox", "all", "none"]),
+            ),
         ],
         0.1,
     );
@@ -43,15 +49,27 @@ pub fn model() -> AppModel {
         "mark_seen",
         vec![
             KeySpec::new("mail/mark_seen", ValueKind::BiasedToggle { on_prob: 0.97 }),
-            KeySpec::new("mail/mark_seen_timeout", ValueKind::IntRange { min: 500, max: 5000 }),
+            KeySpec::new(
+                "mail/mark_seen_timeout",
+                ValueKind::IntRange {
+                    min: 500,
+                    max: 5000,
+                },
+            ),
         ],
         0.12,
     );
     b.correct_group(
         "reply",
         vec![
-            KeySpec::new("composer/reply_start", ValueKind::WeightedChoice(vec![("top", 30), ("bottom", 1)])),
-            KeySpec::new("composer/signature_top", ValueKind::Toggle { initial: true }),
+            KeySpec::new(
+                "composer/reply_start",
+                ValueKind::WeightedChoice(vec![("top", 30), ("bottom", 1)]),
+            ),
+            KeySpec::new(
+                "composer/signature_top",
+                ValueKind::Toggle { initial: true },
+            ),
         ],
         0.1,
     );
@@ -98,7 +116,12 @@ fn render(config: &ConfigState) -> Screenshot {
     super::show_settings(
         &mut shot,
         config,
-        &[SIGNATURE_TOP, OFFLINE_SYNC, "evolution/view000/k0", "evolution/dialog000/a0"],
+        &[
+            SIGNATURE_TOP,
+            OFFLINE_SYNC,
+            "evolution/view000/k0",
+            "evolution/dialog000/a0",
+        ],
     );
     shot
 }
@@ -119,7 +142,10 @@ mod tests {
     #[test]
     fn auto_mark_requires_both_settings_healthy() {
         let mut config = ConfigState::new();
-        assert!(render(&config).contains("auto_mark_read"), "defaults are healthy");
+        assert!(
+            render(&config).contains("auto_mark_read"),
+            "defaults are healthy"
+        );
         config.set(Key::new(MARK_SEEN), Value::from(false));
         config.set(Key::new(MARK_SEEN_TIMEOUT), Value::from(-1));
         assert!(!render(&config).contains("auto_mark_read"));

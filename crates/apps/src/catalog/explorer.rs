@@ -36,8 +36,14 @@ pub fn model() -> AppModel {
                 "openwith/flv/list",
                 ValueKind::Choice(vec!["app_vlc,app_mplayer", "app_mplayer,app_vlc"]),
             ),
-            KeySpec::new("openwith/flv/app_vlc", ValueKind::PathName { extension: "exe" }),
-            KeySpec::new("openwith/flv/app_mplayer", ValueKind::PathName { extension: "exe" }),
+            KeySpec::new(
+                "openwith/flv/app_vlc",
+                ValueKind::PathName { extension: "exe" },
+            ),
+            KeySpec::new(
+                "openwith/flv/app_mplayer",
+                ValueKind::PathName { extension: "exe" },
+            ),
         ],
         0.1,
     );
@@ -55,8 +61,14 @@ pub fn model() -> AppModel {
     b.correct_group(
         "imgview",
         vec![
-            KeySpec::new("imgview/window_mode", ValueKind::WeightedChoice(vec![("normal", 30), ("maximized", 1)])),
-            KeySpec::new("imgview/geometry", ValueKind::Choice(vec!["80,60,800x600", "100,80,1024x768"])),
+            KeySpec::new(
+                "imgview/window_mode",
+                ValueKind::WeightedChoice(vec![("normal", 30), ("maximized", 1)]),
+            ),
+            KeySpec::new(
+                "imgview/geometry",
+                ValueKind::Choice(vec!["80,60,800x600", "100,80,1024x768"]),
+            ),
         ],
         0.12,
     );
@@ -101,11 +113,19 @@ fn render(config: &ConfigState) -> Screenshot {
     // Image viewer launch.
     let normal = config.get_str(IMGVIEW_MODE).unwrap_or("normal") == "normal"
         && config.get_str(IMGVIEW_GEOMETRY).unwrap_or("80,60,800x600") != "0,0,full";
-    shot.add(if normal { "image_window:normal" } else { "image_window:maximized" });
+    shot.add(if normal {
+        "image_window:normal"
+    } else {
+        "image_window:maximized"
+    });
     super::show_settings(
         &mut shot,
         config,
-        &["explorer/shell000/k0", "explorer/dlg000/a0", "explorer/single000"],
+        &[
+            "explorer/shell000/k0",
+            "explorer/dlg000/a0",
+            "explorer/single000",
+        ],
     );
     shot
 }

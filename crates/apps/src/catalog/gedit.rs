@@ -23,8 +23,14 @@ pub fn model() -> AppModel {
     // dialog happens to flush together — oversized, hence 0% accuracy.
     b.coupled_groups(
         "prefs_dialog",
-        vec![KeySpec::new("view/wrap_mode", ValueKind::Choice(vec!["word", "char", "none"]))],
-        vec![KeySpec::new("editor/tab_width", ValueKind::IntRange { min: 2, max: 8 })],
+        vec![KeySpec::new(
+            "view/wrap_mode",
+            ValueKind::Choice(vec!["word", "char", "none"]),
+        )],
+        vec![KeySpec::new(
+            "editor/tab_width",
+            ValueKind::IntRange { min: 2, max: 8 },
+        )],
         0.15,
     );
     // Six independent settings, including the save scheme.
@@ -64,7 +70,11 @@ fn render(config: &ConfigState) -> Screenshot {
     super::show_settings(
         &mut shot,
         config,
-        &["gedit/view/wrap_mode", "gedit/editor/tab_width", "gedit/single000"],
+        &[
+            "gedit/view/wrap_mode",
+            "gedit/editor/tab_width",
+            "gedit/single000",
+        ],
     );
     shot
 }

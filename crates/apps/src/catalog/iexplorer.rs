@@ -23,8 +23,14 @@ pub fn model() -> AppModel {
     b.correct_group(
         "addons",
         vec![
-            KeySpec::new("addons/prompt_disabled", ValueKind::BiasedToggle { on_prob: 0.97 }),
-            KeySpec::new("addons/check_interval", ValueKind::IntRange { min: 1, max: 30 }),
+            KeySpec::new(
+                "addons/prompt_disabled",
+                ValueKind::BiasedToggle { on_prob: 0.97 },
+            ),
+            KeySpec::new(
+                "addons/check_interval",
+                ValueKind::IntRange { min: 1, max: 30 },
+            ),
         ],
         0.1,
     );
@@ -63,7 +69,12 @@ fn render(config: &ConfigState) -> Screenshot {
     super::show_settings(
         &mut shot,
         config,
-        &[ADDON_CHECK_INTERVAL, "ie/zone000/k0", "ie/dlg000/a0", "ie/single000"],
+        &[
+            ADDON_CHECK_INTERVAL,
+            "ie/zone000/k0",
+            "ie/dlg000/a0",
+            "ie/single000",
+        ],
     );
     shot
 }

@@ -51,7 +51,11 @@ pub fn model_by_name(name: &str) -> Option<AppModel> {
 pub(crate) fn show_settings(shot: &mut Screenshot, config: &ConfigState, keys: &[&str]) {
     for key in keys {
         if let Some(value) = config.get(key) {
-            shot.add(format!("{}:{}", key.rsplit('/').next().unwrap_or(key), value));
+            shot.add(format!(
+                "{}:{}",
+                key.rsplit('/').next().unwrap_or(key),
+                value
+            ));
         }
     }
 }

@@ -43,12 +43,18 @@ pub fn model() -> AppModel {
     b.coupled_groups(
         "security_dialog",
         vec![
-            KeySpec::new("security/zone", ValueKind::Choice(vec!["internet", "restricted"])),
+            KeySpec::new(
+                "security/zone",
+                ValueKind::Choice(vec!["internet", "restricted"]),
+            ),
             KeySpec::new("security/attachments", ValueKind::Toggle { initial: true }),
         ],
         vec![
             KeySpec::new("reading/preview", ValueKind::Toggle { initial: true }),
-            KeySpec::new("reading/mark_delay", ValueKind::IntRange { min: 1, max: 30 }),
+            KeySpec::new(
+                "reading/mark_delay",
+                ValueKind::IntRange { min: 1, max: 30 },
+            ),
         ],
         0.05,
     );
@@ -103,7 +109,10 @@ mod tests {
     #[test]
     fn navpane_drives_render() {
         let mut config = ConfigState::new();
-        assert!(render(&config).contains("navigation_panel"), "visible by default");
+        assert!(
+            render(&config).contains("navigation_panel"),
+            "visible by default"
+        );
         config.set(Key::new(NAVPANE_VISIBLE), Value::from(false));
         assert!(!render(&config).contains("navigation_panel"));
     }

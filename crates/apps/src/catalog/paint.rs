@@ -28,10 +28,16 @@ pub fn model() -> AppModel {
     b.correct_group(
         "texttool",
         vec![
-            KeySpec::new("texttool/auto_popup", ValueKind::BiasedToggle { on_prob: 0.97 }),
+            KeySpec::new(
+                "texttool/auto_popup",
+                ValueKind::BiasedToggle { on_prob: 0.97 },
+            ),
             KeySpec::new("texttool/pos_x", ValueKind::IntRange { min: 0, max: 1600 }),
             KeySpec::new("texttool/pos_y", ValueKind::IntRange { min: 0, max: 1000 }),
-            KeySpec::new("texttool/font", ValueKind::Choice(vec!["arial", "courier", "times"])),
+            KeySpec::new(
+                "texttool/font",
+                ValueKind::Choice(vec!["arial", "courier", "times"]),
+            ),
             KeySpec::new("texttool/size", ValueKind::IntRange { min: 8, max: 72 }),
             KeySpec::new("texttool/bold", ValueKind::Toggle { initial: false }),
             KeySpec::new("texttool/italic", ValueKind::Toggle { initial: false }),

@@ -22,8 +22,14 @@ pub fn model() -> AppModel {
     b.correct_group(
         "captions",
         vec![
-            KeySpec::new("captions/enabled", ValueKind::BiasedToggle { on_prob: 0.97 }),
-            KeySpec::new("captions/style", ValueKind::Choice(vec!["overlay", "below"])),
+            KeySpec::new(
+                "captions/enabled",
+                ValueKind::BiasedToggle { on_prob: 0.97 },
+            ),
+            KeySpec::new(
+                "captions/style",
+                ValueKind::Choice(vec!["overlay", "below"]),
+            ),
             KeySpec::new("captions/size", ValueKind::IntRange { min: 10, max: 32 }),
             KeySpec::new("captions/lang", ValueKind::Choice(vec!["en", "fr", "es"])),
         ],

@@ -36,7 +36,10 @@ pub fn model() -> AppModel {
     // threshold, while slots 4–7 churn in and out (the undersized split).
     let mut mru_keys = vec![KeySpec::new(
         "mru/max_display",
-        ValueKind::IntRange { min: 3, max: MRU_SLOTS as i64 },
+        ValueKind::IntRange {
+            min: 3,
+            max: MRU_SLOTS as i64,
+        },
     )];
     for i in 1..=MRU_SLOTS {
         mru_keys.push(KeySpec::new(
@@ -89,7 +92,12 @@ fn render(config: &ConfigState) -> Screenshot {
     super::show_settings(
         &mut shot,
         config,
-        &["word/fmt000/k0", "word/fmt001/k1", "word/fmt002/k0", "word/single000"],
+        &[
+            "word/fmt000/k0",
+            "word/fmt001/k1",
+            "word/fmt002/k0",
+            "word/single000",
+        ],
     );
     shot
 }

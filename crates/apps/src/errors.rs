@@ -8,7 +8,9 @@
 use ocasta_repair::{FixOracle, Trial};
 use ocasta_ttkv::{Key, TimeDelta, Timestamp, Ttkv, Value};
 
-use crate::catalog::{self, acrobat, chrome, eog, evolution, explorer, gedit, iexplorer, outlook, paint, wmp, word};
+use crate::catalog::{
+    self, acrobat, chrome, eog, evolution, explorer, gedit, iexplorer, outlook, paint, wmp, word,
+};
 use crate::model::{AppModel, LoggerKind};
 
 /// One erroneous mutation of a configuration setting.
@@ -210,7 +212,8 @@ pub fn scenarios() -> Vec<ErrorScenario> {
             trace_days: 53,
             app: "explorer",
             logger: LoggerKind::Registry,
-            description: "\"Open with\" menu does not show installed applications that can open .flv file.",
+            description:
+                "\"Open with\" menu does not show installed applications that can open .flv file.",
             injections: vec![
                 set(explorer::OPENWITH_LIST, ""),
                 del(explorer::OPENWITH_VLC),
@@ -429,7 +432,11 @@ mod tests {
         // Table IV: exactly 5 cases defeat NoClust.
         assert_eq!(all.iter().filter(|s| !s.paper_noclust_fixes).count(), 5);
         // Errors #2 and #4 need tuning.
-        let tuned: Vec<usize> = all.iter().filter(|s| s.needs_tuning).map(|s| s.id).collect();
+        let tuned: Vec<usize> = all
+            .iter()
+            .filter(|s| s.needs_tuning)
+            .map(|s| s.id)
+            .collect();
         assert_eq!(tuned, vec![2, 4]);
     }
 
@@ -517,13 +524,22 @@ mod tests {
             2 => {
                 config.set(Key::new(word::MRU_MAX), Value::from(4));
                 for i in 1..=4 {
-                    config.set(Key::new(word::mru_item(i)), Value::from(format!("d{i}.doc")));
+                    config.set(
+                        Key::new(word::mru_item(i)),
+                        Value::from(format!("d{i}.doc")),
+                    );
                 }
             }
             4 => {
-                config.set(Key::new(explorer::OPENWITH_LIST), Value::from("app_vlc,app_mplayer"));
+                config.set(
+                    Key::new(explorer::OPENWITH_LIST),
+                    Value::from("app_vlc,app_mplayer"),
+                );
                 config.set(Key::new(explorer::OPENWITH_VLC), Value::from("vlc.exe"));
-                config.set(Key::new(explorer::OPENWITH_MPLAYER), Value::from("mplayer.exe"));
+                config.set(
+                    Key::new(explorer::OPENWITH_MPLAYER),
+                    Value::from("mplayer.exe"),
+                );
             }
             _ => {}
         }

@@ -126,7 +126,10 @@ mod tests {
     fn correctness_criterion() {
         let model = tiny_model();
         assert!(model.cluster_is_correct(&[Key::new("tiny/a"), Key::new("tiny/b")]));
-        assert!(model.cluster_is_correct(&[Key::new("tiny/a")]), "singletons are correct");
+        assert!(
+            model.cluster_is_correct(&[Key::new("tiny/a")]),
+            "singletons are correct"
+        );
         assert!(
             !model.cluster_is_correct(&[Key::new("tiny/a"), Key::new("tiny/z")]),
             "a cluster spanning unrelated keys is incorrect"

@@ -22,9 +22,11 @@ fn bench_transactions(c: &mut Criterion) {
     for n_events in [1_000usize, 10_000, 100_000] {
         let events = random_events(500, n_events, 7);
         group.throughput(Throughput::Elements(n_events as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n_events), &events, |b, events| {
-            b.iter(|| transactions(std::hint::black_box(events), 1_000))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_events),
+            &events,
+            |b, events| b.iter(|| transactions(std::hint::black_box(events), 1_000)),
+        );
     }
     group.finish();
 }

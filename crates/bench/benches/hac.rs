@@ -25,11 +25,9 @@ fn bench_hac(c: &mut Criterion) {
     for n in [50usize, 200, 750] {
         let matrix = random_matrix(n, 42);
         for linkage in Linkage::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(linkage.name(), n),
-                &matrix,
-                |b, matrix| b.iter(|| hac(std::hint::black_box(matrix), linkage)),
-            );
+            group.bench_with_input(BenchmarkId::new(linkage.name(), n), &matrix, |b, matrix| {
+                b.iter(|| hac(std::hint::black_box(matrix), linkage))
+            });
         }
     }
     group.finish();

@@ -48,7 +48,12 @@ fn bench_flatten_and_diff(c: &mut Criterion) {
     let flat_before = before.flatten();
     let flat_after = after.flatten();
     c.bench_function("diff_flush_400_entries", |b| {
-        b.iter(|| diff_flush(std::hint::black_box(&flat_before), std::hint::black_box(&flat_after)))
+        b.iter(|| {
+            diff_flush(
+                std::hint::black_box(&flat_before),
+                std::hint::black_box(&flat_after),
+            )
+        })
     });
 }
 

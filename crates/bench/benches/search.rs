@@ -74,7 +74,10 @@ fn bench_search_only(c: &mut Criterion) {
 fn bench_trial_render(c: &mut Criterion) {
     let trial = Trial::new("render", |config| {
         let mut shot = Screenshot::new();
-        shot.add_if(config.get_bool("acrobat/ui/menu_bar").unwrap_or(true), "menu_bar");
+        shot.add_if(
+            config.get_bool("acrobat/ui/menu_bar").unwrap_or(true),
+            "menu_bar",
+        );
         shot
     });
     let oracle = FixOracle::element_visible("menu_bar");
@@ -87,5 +90,10 @@ fn bench_trial_render(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scenario_end_to_end, bench_search_only, bench_trial_render);
+criterion_group!(
+    benches,
+    bench_scenario_end_to_end,
+    bench_search_only,
+    bench_trial_render
+);
 criterion_main!(benches);

@@ -69,5 +69,11 @@ fn bench_persist(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_writes, bench_value_at, bench_snapshot, bench_persist);
+criterion_group!(
+    benches,
+    bench_writes,
+    bench_value_at,
+    bench_snapshot,
+    bench_persist
+);
 criterion_main!(benches);

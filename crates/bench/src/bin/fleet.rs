@@ -1,0 +1,5 @@
+//! Fleet ingestion throughput sweep. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::fleet::run());
+}

@@ -1,9 +1,7 @@
 //! Figure 2 — DFS vs BFS trial counts under three sweeps:
 //! (a) injection age, (b) spurious writes, (c) search time bound.
 
-use ocasta::{
-    run_scenario, ClusterParams, ScenarioConfig, ScenarioOutcome, SearchStrategy,
-};
+use ocasta::{run_scenario, ClusterParams, ScenarioConfig, ScenarioOutcome, SearchStrategy};
 
 use crate::render_series;
 
@@ -11,18 +9,17 @@ use crate::render_series;
 /// trials-to-fix across the fixed cases.
 fn mean_trials(make_config: impl Fn(&ocasta::ErrorScenario) -> ScenarioConfig + Sync) -> f64 {
     let outcomes = std::sync::Mutex::new(Vec::<ScenarioOutcome>::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for scenario in ocasta::scenarios() {
             let outcomes = &outcomes;
             let make_config = &make_config;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let config = make_config(&scenario);
                 let outcome = run_scenario(&scenario, &config);
                 outcomes.lock().unwrap().push(outcome);
             });
         }
-    })
-    .expect("fig2 workers");
+    });
     let outcomes = outcomes.into_inner().unwrap();
     let trials: Vec<f64> = outcomes
         .iter()
@@ -82,10 +79,10 @@ pub fn by_time_bound(strategy: SearchStrategy) -> Vec<(f64, f64)> {
         .iter()
         .map(|&bound| {
             let outcomes = std::sync::Mutex::new(Vec::<f64>::new());
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for scenario in ocasta::scenarios() {
                     let outcomes = &outcomes;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let config = ScenarioConfig {
                             start_bound_days: Some(bound),
                             ..base_config(&scenario, strategy)
@@ -97,8 +94,7 @@ pub fn by_time_bound(strategy: SearchStrategy) -> Vec<(f64, f64)> {
                             .push(outcome.search.total_trials as f64);
                     });
                 }
-            })
-            .expect("fig2c workers");
+            });
             let totals = outcomes.into_inner().unwrap();
             let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
             (bound as f64, mean)
@@ -125,7 +121,10 @@ pub fn run() -> String {
     }
     for strategy in [SearchStrategy::Bfs, SearchStrategy::Dfs] {
         out.push_str(&render_series(
-            &format!("2c mean exhaustive trials vs time bound — {}", strategy.name()),
+            &format!(
+                "2c mean exhaustive trials vs time bound — {}",
+                strategy.name()
+            ),
             &by_time_bound(strategy),
         ));
         out.push('\n');

@@ -1,9 +1,7 @@
 //! Figure 3 — sensitivity of average cluster size to the window size and
 //! the clustering threshold.
 
-use ocasta::{
-    all_models, ClusterParams, Ocasta, PartitionStats, TimePrecision, Ttkv,
-};
+use ocasta::{all_models, ClusterParams, Ocasta, PartitionStats, TimePrecision, Ttkv};
 
 use crate::render_series;
 
@@ -13,16 +11,17 @@ pub const EVAL_DAYS: u64 = 45;
 /// Generates each application's store once (the sweeps reuse them).
 pub fn stores() -> Vec<Ttkv> {
     let out = std::sync::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, model) in all_models().into_iter().enumerate() {
             let out = &out;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let trace = model.generate_trace(EVAL_DAYS, 2000 + i as u64);
-                out.lock().unwrap().push(trace.replay(TimePrecision::Seconds));
+                out.lock()
+                    .unwrap()
+                    .push(trace.replay(TimePrecision::Seconds));
             });
         }
-    })
-    .expect("fig3 workers");
+    });
     out.into_inner().unwrap()
 }
 

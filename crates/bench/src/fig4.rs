@@ -84,7 +84,13 @@ pub fn run() -> String {
          5-minute manual cutoff; manual means are lower bounds)\n\n",
     );
     out.push_str(&render_table(
-        &["Case", "Ocasta (trial+select)", "Manual", "Manual success", "Speedup"],
+        &[
+            "Case",
+            "Ocasta (trial+select)",
+            "Manual",
+            "Manual success",
+            "Speedup",
+        ],
         &body,
     ));
     out

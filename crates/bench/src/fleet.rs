@@ -1,0 +1,171 @@
+//! Fleet ingestion throughput: events/sec versus ingest threads and shard
+//! count, on one fixed synthetic fleet.
+//!
+//! This is the benchmark behind the fleet subsystem's existence claim: the
+//! sharded, batched, multi-producer pipeline must beat single-threaded
+//! ingestion on the same workload, and the table makes the scaling visible
+//! (`cargo run -p ocasta-bench --bin fleet --release`).
+
+use ocasta::fleet::{fleet_machines, FleetRunConfig};
+use ocasta::{fleet_ingest, FleetConfig, KeyPlacement, MachineSpec, TimePrecision};
+
+use crate::render_table;
+
+/// Machines in the benchmark fleet (the paper's deployment size).
+pub const MACHINES: usize = 29;
+/// Days of simulated usage per machine.
+pub const DAYS: u64 = 40;
+
+/// The fixed fleet every configuration ingests.
+pub fn machines() -> Vec<MachineSpec> {
+    fleet_machines(&FleetRunConfig {
+        machines: MACHINES,
+        days: DAYS,
+        seed: 77,
+        // A few real application models keeps the event mix representative
+        // without making the benchmark minutes long.
+        apps: vec!["gedit".into(), "evolution".into(), "chrome".into()],
+        ..FleetRunConfig::default()
+    })
+    .expect("catalog names are valid")
+}
+
+/// The pre-fleet status quo: materialise every machine's whole trace
+/// in memory, replay it into a private store, merge stores one by one.
+/// Returns (mutations, seconds).
+pub fn baseline(machines: &[MachineSpec]) -> (u64, f64) {
+    use ocasta::{generate, GeneratorConfig, Ttkv};
+    let started = std::time::Instant::now();
+    let mut merged = Ttkv::new();
+    for machine in machines {
+        let config = GeneratorConfig::new(machine.name.clone(), machine.days, machine.seed);
+        let trace = generate(&config, &machine.specs);
+        merged.absorb(trace.replay(TimePrecision::Seconds));
+    }
+    let stats = merged.stats();
+    (
+        stats.writes + stats.deletes,
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Ingest worker threads.
+    pub threads: usize,
+    /// TTKV stripe locks.
+    pub shards: usize,
+    /// Mutations ingested.
+    pub mutations: u64,
+    /// Ingestion throughput, events/second.
+    pub events_per_sec: f64,
+    /// Total wall-clock including the shard merge, seconds.
+    pub total_secs: f64,
+}
+
+/// Ingests the fixed fleet once per (threads, shards) configuration.
+pub fn sweep(thread_counts: &[usize], shard_counts: &[usize]) -> Vec<Sample> {
+    let machines = machines();
+    let mut samples = Vec::new();
+    for &shards in shard_counts {
+        for &threads in thread_counts {
+            let config = FleetConfig {
+                shards,
+                ingest_threads: threads,
+                batch_size: 512,
+                precision: TimePrecision::Seconds,
+                placement: KeyPlacement::Merged,
+            };
+            let (_, report) = fleet_ingest(&machines, &config);
+            samples.push(Sample {
+                threads,
+                shards,
+                mutations: report.mutations,
+                events_per_sec: report.events_per_sec(),
+                total_secs: (report.ingest_elapsed + report.merge_elapsed).as_secs_f64(),
+            });
+        }
+    }
+    samples
+}
+
+/// Renders the baseline measurement and the sweep, plus a verdict.
+pub fn run() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let machines = machines();
+    let (baseline_mutations, baseline_secs) = baseline(&machines);
+    let baseline_rate = baseline_mutations as f64 / baseline_secs.max(f64::MIN_POSITIVE);
+
+    let thread_counts = [1usize, 2, 4, 8, 16];
+    let shard_counts = [1usize, 4, 16];
+    let samples = sweep(&thread_counts, &shard_counts);
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.shards.to_string(),
+                s.threads.to_string(),
+                s.mutations.to_string(),
+                format!("{:.0}", s.events_per_sec),
+                format!("{:.1}", s.total_secs * 1e3),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Fleet ingestion throughput ({MACHINES} machines x {DAYS} days, {cores} core(s))\n\n\
+         baseline (materialise whole traces, replay, merge): \
+         {baseline_mutations} mutations in {:.1} ms = {baseline_rate:.0} events/s\n\n",
+        baseline_secs * 1e3,
+    );
+    out.push_str(&render_table(
+        &["Shards", "Threads", "Mutations", "Events/s", "Total ms"],
+        &rows,
+    ));
+
+    let best_total = samples
+        .iter()
+        .map(|s| s.total_secs)
+        .fold(f64::INFINITY, f64::min);
+    let single = best_rate(&samples, |s| s.threads == 1);
+    let multi = best_rate(&samples, |s| s.threads > 1);
+    out.push_str(&format!(
+        "\nstreaming sharded pipeline vs materialise-and-replay baseline: {:.2}x \
+         (best pipeline total {:.1} ms vs baseline {:.1} ms)\n",
+        baseline_secs / best_total.max(f64::MIN_POSITIVE),
+        best_total * 1e3,
+        baseline_secs * 1e3,
+    ));
+    out.push_str(&format!(
+        "best single-threaded: {single:.0} events/s; best multi-threaded: {multi:.0} events/s \
+         ({:.2}x; thread scaling needs >1 core — this host has {cores})\n",
+        multi / single.max(f64::MIN_POSITIVE),
+    ));
+    out
+}
+
+fn best_rate(samples: &[Sample], pick: impl Fn(&Sample) -> bool) -> f64 {
+    samples
+        .iter()
+        .filter(|s| pick(s))
+        .map(|s| s.events_per_sec)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_consistent_across_configurations() {
+        let samples = sweep(&[1, 2], &[1, 8]);
+        assert_eq!(samples.len(), 4);
+        let mutations = samples[0].mutations;
+        assert!(mutations > 0);
+        assert!(
+            samples.iter().all(|s| s.mutations == mutations),
+            "same fleet ⇒ same mutation count: {samples:?}"
+        );
+    }
+}

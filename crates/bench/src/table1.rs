@@ -52,10 +52,10 @@ fn specs_for(machine: &str, os: OsFlavor) -> Vec<WorkloadSpec> {
 /// Generates all nine machines and computes their statistics.
 pub fn rows() -> Vec<Row> {
     let results = std::sync::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for profile in &TABLE1_PROFILES {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut specs = specs_for(profile.name, profile.os);
                 profile.calibrate(&mut specs);
                 let config = GeneratorConfig::new(profile.name, profile.days, profile.seed);
@@ -75,8 +75,7 @@ pub fn rows() -> Vec<Row> {
                 });
             });
         }
-    })
-    .expect("table1 workers");
+    });
     let mut rows = results.into_inner().unwrap();
     rows.sort_by_key(|r| {
         TABLE1_PROFILES
@@ -109,7 +108,14 @@ pub fn run() -> String {
     let mut out = String::from("Table I: Summary of trace statistics (measured | paper)\n\n");
     out.push_str(&render_table(
         &[
-            "Name", "Days", "Reads", "Writes", "# Keys", "TTKV Size", "Reads(p)", "Writes(p)",
+            "Name",
+            "Days",
+            "Reads",
+            "Writes",
+            "# Keys",
+            "TTKV Size",
+            "Reads(p)",
+            "Writes(p)",
             "# Keys(p)",
         ],
         &body,

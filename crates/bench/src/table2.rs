@@ -35,7 +35,14 @@ pub fn run() -> String {
     let mut out =
         String::from("Table II: Applications and their clusters identified by Ocasta\n\n");
     out.push_str(&render_table(
-        &["Application", "Description", "#Keys", "#Clusters", "%Accuracy", "%Paper"],
+        &[
+            "Application",
+            "Description",
+            "#Keys",
+            "#Clusters",
+            "%Accuracy",
+            "%Paper",
+        ],
         &body,
     ));
     out.push_str(&format!(

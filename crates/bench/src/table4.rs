@@ -21,10 +21,10 @@ pub struct CaseResult {
 /// Runs all 16 cases (in parallel).
 pub fn results() -> Vec<CaseResult> {
     let out = std::sync::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for scenario in ocasta::scenarios() {
             let out = &out;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let params = if scenario.needs_tuning {
                     ScenarioConfig::tuned_for(&scenario)
                 } else {
@@ -43,8 +43,7 @@ pub fn results() -> Vec<CaseResult> {
                 });
             });
         }
-    })
-    .expect("table4 workers");
+    });
     let mut results = out.into_inner().unwrap();
     results.sort_by_key(|r| r.scenario.id);
     results
@@ -88,7 +87,16 @@ pub fn run() -> String {
          paper's tuned parameters; times use the per-trial cost model)\n\n",
     );
     out.push_str(&render_table(
-        &["Case", "Cl.Size", "Trials", "Time(mm:ss)", "Screens", "Ocasta", "NoClust", "Paper(sz/NC)"],
+        &[
+            "Case",
+            "Cl.Size",
+            "Trials",
+            "Time(mm:ss)",
+            "Screens",
+            "Ocasta",
+            "NoClust",
+            "Paper(sz/NC)",
+        ],
         &body,
     ));
     let fixed = results.iter().filter(|r| r.ocasta.is_fixed()).count();

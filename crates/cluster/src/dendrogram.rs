@@ -145,13 +145,7 @@ impl Dendrogram {
     /// assert!(newick.contains("a") && newick.contains("c"));
     /// ```
     pub fn to_newick(&self, labels: Option<&[&str]>) -> String {
-        fn node(
-            id: usize,
-            n: usize,
-            merges: &[Merge],
-            labels: Option<&[&str]>,
-            out: &mut String,
-        ) {
+        fn node(id: usize, n: usize, merges: &[Merge], labels: Option<&[&str]>, out: &mut String) {
             if id < n {
                 match labels.and_then(|ls| ls.get(id)) {
                     Some(label) => out.push_str(&label.replace([',', '(', ')', ';', ':'], "_")),
@@ -182,7 +176,13 @@ impl Dendrogram {
                 }
                 out.push(')');
             }
-            m => node(self.n_items + m - 1, self.n_items, &self.merges, labels, &mut out),
+            m => node(
+                self.n_items + m - 1,
+                self.n_items,
+                &self.merges,
+                labels,
+                &mut out,
+            ),
         }
         out.push(';');
         out
@@ -319,9 +319,24 @@ mod tests {
         Dendrogram::new(
             4,
             vec![
-                Merge { left: 0, right: 1, distance: 0.2, size: 2 },
-                Merge { left: 4, right: 2, distance: 0.5, size: 3 },
-                Merge { left: 5, right: 3, distance: 1.0, size: 4 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    distance: 0.2,
+                    size: 2,
+                },
+                Merge {
+                    left: 4,
+                    right: 2,
+                    distance: 0.5,
+                    size: 3,
+                },
+                Merge {
+                    left: 5,
+                    right: 3,
+                    distance: 1.0,
+                    size: 4,
+                },
             ],
         )
     }
@@ -355,8 +370,18 @@ mod tests {
         let bad = Dendrogram::new(
             3,
             vec![
-                Merge { left: 0, right: 1, distance: 1.0, size: 2 },
-                Merge { left: 3, right: 2, distance: 0.5, size: 3 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    left: 3,
+                    right: 2,
+                    distance: 0.5,
+                    size: 3,
+                },
             ],
         );
         assert!(!bad.is_monotone());
@@ -368,8 +393,18 @@ mod tests {
         Dendrogram::new(
             2,
             vec![
-                Merge { left: 0, right: 1, distance: 0.1, size: 2 },
-                Merge { left: 2, right: 0, distance: 0.2, size: 2 },
+                Merge {
+                    left: 0,
+                    right: 1,
+                    distance: 0.1,
+                    size: 2,
+                },
+                Merge {
+                    left: 2,
+                    right: 0,
+                    distance: 0.2,
+                    size: 2,
+                },
             ],
         );
     }
@@ -380,7 +415,10 @@ mod tests {
         let newick = d.to_newick(None);
         assert_eq!(newick, "(((0,1):0.2000,2):0.5000,3):1.0000;");
         let labelled = d.to_newick(Some(&["max", "item,1", "item2", "noise"]));
-        assert!(labelled.contains("item_1"), "separators sanitised: {labelled}");
+        assert!(
+            labelled.contains("item_1"),
+            "separators sanitised: {labelled}"
+        );
         // No merges: flat forest form.
         let flat = Dendrogram::new(3, vec![]);
         assert_eq!(flat.to_newick(None), "(0,1,2);");

@@ -165,8 +165,18 @@ mod tests {
 
     #[test]
     fn trivial_sizes() {
-        assert_eq!(hac(&DistanceMatrix::new_filled(0, 0.0), Linkage::Complete).merges().len(), 0);
-        assert_eq!(hac(&DistanceMatrix::new_filled(1, 0.0), Linkage::Complete).merges().len(), 0);
+        assert_eq!(
+            hac(&DistanceMatrix::new_filled(0, 0.0), Linkage::Complete)
+                .merges()
+                .len(),
+            0
+        );
+        assert_eq!(
+            hac(&DistanceMatrix::new_filled(1, 0.0), Linkage::Complete)
+                .merges()
+                .len(),
+            0
+        );
         let d = hac(&matrix(2, &[(0, 1, 0.4)]), Linkage::Complete);
         assert_eq!(d.merges().len(), 1);
         assert_eq!(d.cut(0.4), vec![vec![0, 1]]);

@@ -65,7 +65,10 @@ mod tests {
     #[test]
     fn single_takes_min() {
         assert_eq!(Linkage::Single.merge_distance(1.0, 3.0, 1, 1), 1.0);
-        assert_eq!(Linkage::Single.merge_distance(1.0, f64::INFINITY, 1, 1), 1.0);
+        assert_eq!(
+            Linkage::Single.merge_distance(1.0, f64::INFINITY, 1, 1),
+            1.0
+        );
     }
 
     #[test]

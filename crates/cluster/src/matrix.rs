@@ -101,7 +101,12 @@ impl DistanceMatrix {
 
 impl fmt::Debug for DistanceMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DistanceMatrix(n={}, {} entries)", self.n, self.data.len())
+        write!(
+            f,
+            "DistanceMatrix(n={}, {} entries)",
+            self.n,
+            self.data.len()
+        )
     }
 }
 

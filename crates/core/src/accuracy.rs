@@ -142,9 +142,7 @@ pub fn evaluate_all(days: u64) -> Vec<AppAccuracy> {
     ocasta_apps::all_models()
         .iter()
         .enumerate()
-        .map(|(i, model)| {
-            evaluate_model(model, days, 1000 + i as u64, &ClusterParams::default())
-        })
+        .map(|(i, model)| evaluate_model(model, days, 1000 + i as u64, &ClusterParams::default()))
         .collect()
 }
 

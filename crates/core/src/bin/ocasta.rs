@@ -6,6 +6,10 @@
 //! ocasta replay   <trace.txt> -o store.ttkv
 //! ocasta clusters <store.ttkv> [--window <secs>] [--threshold <corr>] [--app <prefix>] [--multi-only]
 //! ocasta history  <store.ttkv> <key>
+//! ocasta fleet    --machines <n> --days <n> [--threads <n>] [--shards <n>]
+//!                 [--batch <n>] [--app <name>...]
+//!                 [--placement merged|per-machine]
+//!                 [--wal <dir>] [--cluster] [-o store.ttkv]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately keeps its
@@ -15,6 +19,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+use ocasta::fleet::{parse_placement, run_fleet, FleetRunConfig};
 use ocasta::{
     generate, model_by_name, ClusterParams, GeneratorConfig, Key, Ocasta, TimePrecision, Trace,
     Ttkv, TtkvStats,
@@ -50,9 +55,13 @@ usage:
   ocasta clusters <store.ttkv> [--window <secs>] [--threshold <corr>]
                   [--app <prefix>] [--multi-only]
   ocasta history  <store.ttkv> <key>
+  ocasta fleet    --machines <n> --days <n> [--seed <n>] [--threads <n>]
+                  [--shards <n>] [--batch <n>] [--app <name>...]
+                  [--placement merged|per-machine] [--wal <dir>]
+                  [--cluster] [-o <store.ttkv>]
 
-applications for `generate`: outlook evolution ie chrome word gedit eog
-paint acrobat explorer wmp";
+applications for `generate` and `fleet`: outlook evolution ie chrome word
+gedit eog paint acrobat explorer wmp";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +89,11 @@ enum Command {
     History {
         store: String,
         key: String,
+    },
+    Fleet {
+        config: FleetRunConfig,
+        cluster: bool,
+        output: Option<String>,
     },
 }
 
@@ -172,6 +186,51 @@ impl Command {
                     threshold,
                     app,
                     multi_only,
+                })
+            }
+            "fleet" => {
+                let mut config = FleetRunConfig::default();
+                let mut cluster = false;
+                let mut output = None;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--machines" => {
+                            config.machines = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--days" => config.days = parse_num(value_of(&rest, &mut i)?)?,
+                        "--seed" => config.seed = parse_num(value_of(&rest, &mut i)?)?,
+                        "--threads" => {
+                            config.engine.ingest_threads =
+                                parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--shards" => {
+                            config.engine.shards = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--batch" => {
+                            config.engine.batch_size = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--app" => config.apps.push(value_of(&rest, &mut i)?.to_owned()),
+                        "--placement" => {
+                            config.engine.placement = parse_placement(value_of(&rest, &mut i)?)?
+                        }
+                        "--wal" => config.wal_dir = Some(value_of(&rest, &mut i)?.into()),
+                        "--cluster" => cluster = true,
+                        "-o" | "--output" => output = Some(value_of(&rest, &mut i)?.to_owned()),
+                        other => return Err(format!("unknown argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                if config.machines == 0 {
+                    return Err("fleet needs --machines >= 1".into());
+                }
+                if config.days == 0 {
+                    return Err("fleet needs --days >= 1".into());
+                }
+                Ok(Command::Fleet {
+                    config,
+                    cluster,
+                    output,
                 })
             }
             "history" => match rest.as_slice() {
@@ -270,6 +329,33 @@ impl Command {
                 ));
                 Ok(out)
             }
+            Command::Fleet {
+                config,
+                cluster,
+                output,
+            } => {
+                let run = run_fleet(config)?;
+                let mut out = format!("{}\n", run.report);
+                out.push_str(&format!("store: {}\n", run.store.stats()));
+                if *cluster {
+                    let clustering = run.cluster();
+                    let stats = clustering.stats();
+                    out.push_str(&format!(
+                        "clusters: {} total, {} multi-setting, mean multi size {:.2}\n",
+                        stats.clusters,
+                        stats.multi_clusters,
+                        stats.mean_multi_cluster_size(),
+                    ));
+                }
+                if let Some(path) = output {
+                    let file = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+                    run.store
+                        .save(BufWriter::new(file))
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(&format!("wrote {path}\n"));
+                }
+                Ok(out)
+            }
             Command::History { store, key } => {
                 let store = load_store(store)?;
                 let record = store
@@ -302,7 +388,8 @@ fn value_of<'a>(rest: &[&'a str], i: &mut usize) -> Result<&'a str, String> {
 }
 
 fn parse_num(text: &str) -> Result<u64, String> {
-    text.parse().map_err(|e| format!("bad number `{text}`: {e}"))
+    text.parse()
+        .map_err(|e| format!("bad number `{text}`: {e}"))
 }
 
 fn load_trace(path: &str) -> Result<Trace, String> {
@@ -339,8 +426,14 @@ mod tests {
                 output: "t.txt".into(),
             }
         );
-        assert!(parse(&["generate", "--days", "3", "-o", "x"]).is_err(), "needs --app");
-        assert!(parse(&["generate", "--app", "chrome", "-o", "x"]).is_err(), "needs --days");
+        assert!(
+            parse(&["generate", "--days", "3", "-o", "x"]).is_err(),
+            "needs --app"
+        );
+        assert!(
+            parse(&["generate", "--app", "chrome", "-o", "x"]).is_err(),
+            "needs --days"
+        );
     }
 
     #[test]
@@ -357,12 +450,25 @@ mod tests {
             }
         );
         let cmd = parse(&[
-            "clusters", "s.ttkv", "--window", "30", "--threshold", "1.0", "--app", "word",
+            "clusters",
+            "s.ttkv",
+            "--window",
+            "30",
+            "--threshold",
+            "1.0",
+            "--app",
+            "word",
             "--multi-only",
         ])
         .unwrap();
         match cmd {
-            Command::Clusters { window_secs, threshold, app, multi_only, .. } => {
+            Command::Clusters {
+                window_secs,
+                threshold,
+                app,
+                multi_only,
+                ..
+            } => {
                 assert_eq!(window_secs, 30);
                 assert_eq!(threshold, 1.0);
                 assert_eq!(app.as_deref(), Some("word"));
@@ -370,7 +476,92 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(parse(&["clusters", "s", "--threshold", "3.0"]).is_err(), "threshold range");
+        assert!(
+            parse(&["clusters", "s", "--threshold", "3.0"]).is_err(),
+            "threshold range"
+        );
+    }
+
+    #[test]
+    fn parse_fleet() {
+        let cmd = parse(&[
+            "fleet",
+            "--machines",
+            "8",
+            "--days",
+            "14",
+            "--seed",
+            "5",
+            "--threads",
+            "4",
+            "--shards",
+            "32",
+            "--app",
+            "word",
+            "--placement",
+            "per-machine",
+            "--cluster",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Fleet {
+                config,
+                cluster,
+                output,
+            } => {
+                assert_eq!(config.machines, 8);
+                assert_eq!(config.days, 14);
+                assert_eq!(config.seed, 5);
+                assert_eq!(config.engine.ingest_threads, 4);
+                assert_eq!(config.engine.shards, 32);
+                assert_eq!(config.apps, vec!["word".to_owned()]);
+                assert!(cluster);
+                assert!(output.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["fleet", "--machines", "0", "--days", "3"]).is_err());
+        assert!(parse(&[
+            "fleet",
+            "--machines",
+            "2",
+            "--days",
+            "3",
+            "--placement",
+            "x"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn fleet_end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join(format!("ocasta-cli-fleet-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_path = dir.join("fleet.ttkv").to_string_lossy().into_owned();
+        let out = parse(&[
+            "fleet",
+            "--machines",
+            "3",
+            "--days",
+            "4",
+            "--app",
+            "gedit",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+            "--cluster",
+            "-o",
+            &store_path,
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(out.contains("3 machines"), "{out}");
+        assert!(out.contains("clusters:"), "{out}");
+        let reloaded = load_store(&store_path).unwrap();
+        assert!(reloaded.stats().writes > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -391,7 +582,15 @@ mod tests {
         let store_path = dir.join("s.ttkv").to_string_lossy().into_owned();
 
         let out = parse(&[
-            "generate", "--app", "gedit", "--days", "20", "--seed", "3", "-o", &trace_path,
+            "generate",
+            "--app",
+            "gedit",
+            "--days",
+            "20",
+            "--seed",
+            "3",
+            "-o",
+            &trace_path,
         ])
         .unwrap()
         .run()
@@ -401,10 +600,16 @@ mod tests {
         let out = parse(&["stats", &trace_path]).unwrap().run().unwrap();
         assert!(out.contains("keys"));
 
-        let out = parse(&["replay", &trace_path, "-o", &store_path]).unwrap().run().unwrap();
+        let out = parse(&["replay", &trace_path, "-o", &store_path])
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(out.contains("wrote"));
 
-        let out = parse(&["clusters", &store_path, "--multi-only"]).unwrap().run().unwrap();
+        let out = parse(&["clusters", &store_path, "--multi-only"])
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(out.contains("# "), "summary line present: {out}");
 
         let out = parse(&["history", &store_path, "gedit/view/wrap_mode"])
@@ -413,7 +618,10 @@ mod tests {
             .unwrap();
         assert!(out.contains("writes"));
 
-        let err = parse(&["history", &store_path, "no/such/key"]).unwrap().run().unwrap_err();
+        let err = parse(&["history", &store_path, "no/such/key"])
+            .unwrap()
+            .run()
+            .unwrap_err();
         assert!(err.contains("not in store"));
 
         std::fs::remove_dir_all(&dir).ok();

@@ -22,6 +22,7 @@
 //! | [`ocasta_trace`] | access events, trace files, workload generator |
 //! | [`ocasta_apps`] | the 11 evaluated applications + 16 real errors |
 //! | [`ocasta_repair`] | trials, screenshots, DFS/BFS rollback search |
+//! | [`ocasta_fleet`] | concurrent multi-machine ingestion: sharded TTKV + WAL |
 //!
 //! ## Quick start
 //!
@@ -49,10 +50,12 @@
 #![warn(missing_debug_implementations)]
 
 mod accuracy;
+pub mod fleet;
 mod pipeline;
 mod scenario;
 
 pub use accuracy::{evaluate_all, evaluate_model, score, AccuracySummary, AppAccuracy};
+pub use fleet::{run_fleet, FleetRun, FleetRunConfig};
 pub use pipeline::{Clustering, Ocasta};
 pub use scenario::{prepare_store, run_noclust, run_scenario, ScenarioConfig, ScenarioOutcome};
 
@@ -62,6 +65,10 @@ pub use ocasta_apps::{all_models, model_by_name, scenarios, AppModel, ErrorScena
 pub use ocasta_cluster::{
     cluster_events, hac, transactions, ClusterParams, Correlations, Dendrogram, DistanceMatrix,
     Linkage, PartitionStats, WriteEvent,
+};
+pub use ocasta_fleet::{
+    ingest as fleet_ingest, FleetConfig, FleetReport, KeyPlacement, MachineSpec, ShardedTtkv, Wal,
+    WalError, WalReader, WalWriter,
 };
 pub use ocasta_parsers::{
     detect_format, diff_flush, parse, write, FlatConfig, FlushChange, Format, Node,
@@ -76,6 +83,6 @@ pub use ocasta_trace::{
     WorkloadSpec, TABLE1_PROFILES,
 };
 pub use ocasta_ttkv::{
-    ConfigState, Key, KeyRecord, TimeDelta, TimePrecision, Timestamp, Ttkv, TtkvError, TtkvStats,
-    Value, Version,
+    ConfigState, Key, KeyRecord, TimeDelta, TimePrecision, Timestamp, Ttkv, TtkvBuilder, TtkvError,
+    TtkvStats, Value, Version,
 };

@@ -199,7 +199,10 @@ mod tests {
         assert_eq!(clustering.multi_clusters().count(), 1);
         assert_eq!(clustering.cluster_of("app/a").unwrap().len(), 2);
         assert_eq!(clustering.cluster_of("app/noise").unwrap().len(), 1);
-        assert!(clustering.cluster_of("app/readonly").is_none(), "read-only keys excluded");
+        assert!(
+            clustering.cluster_of("app/readonly").is_none(),
+            "read-only keys excluded"
+        );
     }
 
     #[test]

@@ -136,7 +136,13 @@ pub fn prepare_store(scenario: &ErrorScenario, config: &ScenarioConfig) -> (Ttkv
 pub fn run_scenario(scenario: &ErrorScenario, config: &ScenarioConfig) -> ScenarioOutcome {
     let (store, _inject_at) = prepare_store(scenario, config);
     let clustering = Ocasta::new(config.params).cluster_store(&store);
-    run_search(scenario, config, &store, clustering.clusters().to_vec(), false)
+    run_search(
+        scenario,
+        config,
+        &store,
+        clustering.clusters().to_vec(),
+        false,
+    )
 }
 
 /// Runs one scenario with the NoClust baseline (singleton rollbacks).
@@ -185,7 +191,10 @@ mod tests {
     use ocasta_apps::scenarios;
 
     fn scenario(id: usize) -> ErrorScenario {
-        scenarios().into_iter().find(|s| s.id == id).expect("id exists")
+        scenarios()
+            .into_iter()
+            .find(|s| s.id == id)
+            .expect("id exists")
     }
 
     #[test]

@@ -7,7 +7,12 @@ use ocasta::{ClusterParams, Key, Ocasta, TimePrecision, Timestamp, Ttkv, Value};
 /// A random mutation log over a small key space.
 fn mutations() -> impl Strategy<Value = Vec<(u8, u64, i64, bool)>> {
     prop::collection::vec(
-        (0u8..10, 0u64..2_000_000, any::<i64>(), prop::bool::weighted(0.1)),
+        (
+            0u8..10,
+            0u64..2_000_000,
+            any::<i64>(),
+            prop::bool::weighted(0.1),
+        ),
         1..120,
     )
 }

@@ -1,0 +1,406 @@
+//! The concurrent fleet ingestion engine.
+//!
+//! Reproduces — at simulation scale — the paper's deployment topology:
+//! N machines (29 in the study) each stream their configuration-access
+//! trace into a central time-travel store. The engine runs three kinds of
+//! actors under one thread scope:
+//!
+//! * **ingest workers** (`ingest_threads` of them) pull whole machines off
+//!   a work queue, drive each machine's lazy [`EventStream`], route ops
+//!   into per-shard batches, and append full batches to the
+//!   [`ShardedTtkv`] under that shard's stripe lock;
+//! * an optional **WAL appender** receives every batch over a channel and
+//!   appends it to the [`Wal`] before... strictly speaking *while* it is
+//!   applied — batches are sent to the WAL channel before the shard apply,
+//!   and the single appender serialises them into frames;
+//! * the **caller**, which on completion merges the shards into one
+//!   consistent [`Ttkv`] and hands it to clustering/repair.
+//!
+//! Ingestion is machine-granular: one machine's ops are produced and
+//! applied in stream order by one worker, so per-key history order is
+//! deterministic whenever distinct machines do not write the same key at
+//! the same (quantised) timestamp — and [`ingest`] with one thread equals
+//! [`ingest`] with sixteen, which the concurrency tests assert.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ocasta_trace::{EventStream, GeneratorConfig, TraceOp, WorkloadSpec};
+use ocasta_ttkv::{Key, TimePrecision, Ttkv};
+
+use crate::shard::ShardedTtkv;
+use crate::wal::{quantized, Wal, WalError};
+
+/// One simulated machine in the fleet: a named seed-deterministic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Machine name (becomes the key prefix under
+    /// [`KeyPlacement::PerMachine`]).
+    pub name: String,
+    /// Deployment length in days.
+    pub days: u64,
+    /// RNG seed for this machine's stream.
+    pub seed: u64,
+    /// Per-application workloads running on the machine.
+    pub specs: Vec<WorkloadSpec>,
+}
+
+impl MachineSpec {
+    /// Creates a machine spec.
+    pub fn new(name: impl Into<String>, days: u64, seed: u64, specs: Vec<WorkloadSpec>) -> Self {
+        MachineSpec {
+            name: name.into(),
+            days,
+            seed,
+            specs,
+        }
+    }
+
+    /// Opens this machine's lazy event stream.
+    pub fn stream(&self) -> EventStream {
+        EventStream::new(
+            &GeneratorConfig::new(self.name.clone(), self.days, self.seed),
+            self.specs.clone(),
+        )
+    }
+}
+
+/// How machine key spaces combine in the merged store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyPlacement {
+    /// All machines share one key space — the paper's per-user aggregation
+    /// of traces from several lab machines (§V).
+    #[default]
+    Merged,
+    /// Keys are prefixed `machine-name/...`, keeping machines disjoint
+    /// (useful for per-machine analysis and for deterministic merges).
+    PerMachine,
+}
+
+/// Tuning knobs for one ingestion run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of TTKV stripe locks (shards).
+    pub shards: usize,
+    /// Number of concurrent ingest workers.
+    pub ingest_threads: usize,
+    /// Ops buffered per shard before the stripe lock is taken.
+    pub batch_size: usize,
+    /// Timestamp quantisation applied at ingestion time.
+    pub precision: TimePrecision,
+    /// Key-space layout.
+    pub placement: KeyPlacement,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 16,
+            ingest_threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            batch_size: 512,
+            precision: TimePrecision::Seconds,
+            placement: KeyPlacement::Merged,
+        }
+    }
+}
+
+/// What one ingestion run did, and how fast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Machines ingested.
+    pub machines: usize,
+    /// Mutation events applied (writes + deletions).
+    pub mutations: u64,
+    /// Read accesses applied (sum of aggregated counters).
+    pub reads: u64,
+    /// Shards used.
+    pub shards: usize,
+    /// Ingest workers used.
+    pub threads: usize,
+    /// Wall-clock ingestion time (excludes the final shard merge).
+    pub ingest_elapsed: Duration,
+    /// Wall-clock shard build + merge time.
+    pub merge_elapsed: Duration,
+    /// Per-machine mutation counts, in machine order.
+    pub per_machine: Vec<(String, u64)>,
+}
+
+impl FleetReport {
+    /// Mutations per second of ingestion wall-clock.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.ingest_elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.mutations as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} machines, {} mutations, {} reads via {} threads x {} shards \
+             in {:.2?} (+{:.2?} merge) = {:.0} events/s",
+            self.machines,
+            self.mutations,
+            self.reads,
+            self.threads,
+            self.shards,
+            self.ingest_elapsed,
+            self.merge_elapsed,
+            self.events_per_sec(),
+        )
+    }
+}
+
+/// Ingests a whole fleet concurrently; returns the merged store and a
+/// throughput report.
+pub fn ingest(machines: &[MachineSpec], config: &FleetConfig) -> (Ttkv, FleetReport) {
+    match ingest_inner(machines, config, None) {
+        Ok(result) => result,
+        Err(_) => unreachable!("no WAL, no WAL errors"),
+    }
+}
+
+/// Like [`ingest`], additionally appending every batch to `wal` before it
+/// is applied to the shards.
+///
+/// # Errors
+///
+/// Returns the first [`WalError`] the appender hits (ingestion still runs
+/// to completion so the store is usable; the WAL may be truncated).
+pub fn ingest_with_wal(
+    machines: &[MachineSpec],
+    config: &FleetConfig,
+    wal: &mut Wal,
+) -> Result<(Ttkv, FleetReport), WalError> {
+    ingest_inner(machines, config, Some(wal))
+}
+
+fn ingest_inner(
+    machines: &[MachineSpec],
+    config: &FleetConfig,
+    wal: Option<&mut Wal>,
+) -> Result<(Ttkv, FleetReport), WalError> {
+    let threads = config.ingest_threads.max(1);
+    let sharded = ShardedTtkv::new(config.shards);
+    let started = Instant::now();
+
+    // Work queue of machine indices.
+    let (work_tx, work_rx) = mpsc::channel::<usize>();
+    for idx in 0..machines.len() {
+        work_tx.send(idx).expect("queue open");
+    }
+    drop(work_tx);
+    let work_rx = Mutex::new(work_rx);
+
+    // Optional WAL lane: workers send applied batches, one appender writes.
+    let (wal_tx, wal_rx) = mpsc::channel::<Vec<TraceOp>>();
+    let wal_tx = wal.is_some().then_some(wal_tx);
+
+    let per_machine = Mutex::new(vec![0u64; machines.len()]);
+    let total_reads = Mutex::new(0u64);
+
+    let wal_result: Result<(), WalError> = std::thread::scope(|scope| {
+        let appender = wal.map(|wal| {
+            scope.spawn(move || -> Result<(), WalError> {
+                while let Ok(batch) = wal_rx.recv() {
+                    wal.append(&batch)?;
+                }
+                wal.flush()
+            })
+        });
+
+        for _ in 0..threads {
+            let sharded = &sharded;
+            let work_rx = &work_rx;
+            let per_machine = &per_machine;
+            let total_reads = &total_reads;
+            let wal_tx = wal_tx.clone();
+            scope.spawn(move || {
+                let shard_count = sharded.shard_count();
+                loop {
+                    let machine_idx = {
+                        let queue = work_rx.lock().expect("queue lock poisoned");
+                        match queue.recv() {
+                            Ok(idx) => idx,
+                            Err(_) => break,
+                        }
+                    };
+                    let machine = &machines[machine_idx];
+                    let mut batches: Vec<Vec<TraceOp>> = (0..shard_count)
+                        .map(|_| Vec::with_capacity(config.batch_size))
+                        .collect();
+                    let mut mutations = 0u64;
+                    let mut reads = 0u64;
+                    for op in machine.stream() {
+                        let op = place(op, machine, config.placement);
+                        let op = quantized(op, config.precision);
+                        match &op {
+                            TraceOp::Mutation(_) => mutations += 1,
+                            TraceOp::Reads(_, count) => reads += count,
+                        }
+                        let shard = sharded.shard_of(op.key().as_str());
+                        batches[shard].push(op);
+                        if batches[shard].len() >= config.batch_size {
+                            let batch = std::mem::replace(
+                                &mut batches[shard],
+                                Vec::with_capacity(config.batch_size),
+                            );
+                            // The WAL send happens under the shard lock so
+                            // the log's per-shard order equals apply order.
+                            sharded.append_batch_with(shard, batch, |b| {
+                                if let Some(tx) = &wal_tx {
+                                    let _ = tx.send(b.to_vec());
+                                }
+                            });
+                        }
+                    }
+                    for (shard, batch) in batches.into_iter().enumerate() {
+                        if batch.is_empty() {
+                            continue;
+                        }
+                        sharded.append_batch_with(shard, batch, |b| {
+                            if let Some(tx) = &wal_tx {
+                                let _ = tx.send(b.to_vec());
+                            }
+                        });
+                    }
+                    per_machine.lock().expect("stats lock")[machine_idx] = mutations;
+                    *total_reads.lock().expect("stats lock") += reads;
+                }
+            });
+        }
+        // The workers hold clones; drop ours so the appender sees EOF once
+        // they finish.
+        drop(wal_tx);
+        match appender {
+            Some(handle) => handle.join().expect("wal appender panicked"),
+            None => Ok(()),
+        }
+    });
+
+    let ingest_elapsed = started.elapsed();
+    let per_machine_counts = per_machine.into_inner().expect("stats lock");
+    let mutations: u64 = per_machine_counts.iter().sum();
+    let reads = total_reads.into_inner().expect("stats lock");
+
+    let merge_started = Instant::now();
+    let store = sharded.into_ttkv();
+    let merge_elapsed = merge_started.elapsed();
+
+    let report = FleetReport {
+        machines: machines.len(),
+        mutations,
+        reads,
+        shards: config.shards.max(1),
+        threads,
+        ingest_elapsed,
+        merge_elapsed,
+        per_machine: machines
+            .iter()
+            .map(|m| m.name.clone())
+            .zip(per_machine_counts)
+            .collect(),
+    };
+    wal_result?;
+    Ok((store, report))
+}
+
+/// Applies the key-placement policy to one op.
+fn place(op: TraceOp, machine: &MachineSpec, placement: KeyPlacement) -> TraceOp {
+    match placement {
+        KeyPlacement::Merged => op,
+        KeyPlacement::PerMachine => match op {
+            TraceOp::Mutation(mut event) => {
+                event.key = prefixed(&machine.name, &event.key);
+                TraceOp::Mutation(event)
+            }
+            TraceOp::Reads(key, count) => TraceOp::Reads(prefixed(&machine.name, &key), count),
+        },
+    }
+}
+
+fn prefixed(machine: &str, key: &Key) -> Key {
+    Key::new(format!("{machine}/{key}"))
+}
+
+/// Ingests sequentially on the calling thread with a single shard —
+/// the reference implementation the concurrency tests compare against.
+pub fn ingest_sequential(machines: &[MachineSpec], config: &FleetConfig) -> Ttkv {
+    let mut store = Ttkv::new();
+    for machine in machines {
+        for op in machine.stream() {
+            let op = place(op, machine, config.placement);
+            quantized(op, config.precision).apply(&mut store, TimePrecision::Milliseconds);
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_trace::{KeySpec, SettingGroup, ValueKind};
+
+    pub(crate) fn tiny_fleet(machines: usize, days: u64) -> Vec<MachineSpec> {
+        (0..machines)
+            .map(|i| {
+                let mut spec = WorkloadSpec::new(format!("app{}", i % 3));
+                spec.sessions_per_day = 1.5;
+                spec.reads_per_session = 8;
+                spec.static_keys = 6;
+                spec.churn_keys = 2;
+                spec.churn_writes_per_day = 0.4;
+                spec.groups.push(SettingGroup::new(
+                    "pair",
+                    vec![
+                        KeySpec::new("flag", ValueKind::Toggle { initial: false }),
+                        KeySpec::new("level", ValueKind::IntRange { min: 1, max: 9 }),
+                    ],
+                    0.3,
+                ));
+                MachineSpec::new(format!("m{i:02}"), days, 1_000 + i as u64, vec![spec])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_produces_a_nonempty_consistent_store() {
+        let machines = tiny_fleet(6, 10);
+        let config = FleetConfig {
+            shards: 4,
+            ingest_threads: 3,
+            batch_size: 32,
+            precision: TimePrecision::Milliseconds,
+            placement: KeyPlacement::PerMachine,
+        };
+        let (store, report) = ingest(&machines, &config);
+        assert_eq!(report.machines, 6);
+        assert!(report.mutations > 0);
+        assert_eq!(
+            store.stats().writes + store.stats().deletes,
+            report.mutations
+        );
+        assert_eq!(store.stats().reads, report.reads);
+        assert_eq!(report.per_machine.len(), 6);
+        assert!(report.per_machine.iter().all(|(_, n)| *n > 0));
+        // Per-machine placement: every machine owns a key subtree.
+        for (name, _) in &report.per_machine {
+            let prefix = Key::new(name.clone());
+            assert!(store.keys_under(&prefix).next().is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let machines = tiny_fleet(2, 3);
+        let (_, report) = ingest(&machines, &FleetConfig::default());
+        let text = report.to_string();
+        assert!(text.contains("2 machines"), "{text}");
+        assert!(text.contains("events/s"), "{text}");
+    }
+}

@@ -1,0 +1,64 @@
+//! # ocasta-fleet — concurrent multi-machine trace ingestion
+//!
+//! The [Ocasta](https://arxiv.org/abs/1711.04030) study deployed loggers on
+//! 29 user machines whose configuration-access traces fed a central
+//! Redis-backed time-travel store. This crate is that deployment's
+//! ingestion tier at simulation scale — and beyond it, to fleets of
+//! hundreds of machines:
+//!
+//! * [`ShardedTtkv`] — the store side: TTKV shards striped by key hash,
+//!   each behind its own lock, merged into one consistent
+//!   [`ocasta_ttkv::Ttkv`] when ingestion completes;
+//! * [`WalWriter`]/[`WalReader`]/[`Wal`] — an append-only write-ahead log
+//!   with a checksummed binary frame format (see [`codec`]), torn-tail
+//!   recovery and snapshot compaction;
+//! * [`ingest`]/[`ingest_with_wal`] — the engine: a work queue of
+//!   machines, N ingest workers driving lazy
+//!   [`ocasta_trace::EventStream`]s, per-shard batching, and an optional
+//!   WAL appender lane.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ocasta_fleet::{ingest, FleetConfig, KeyPlacement, MachineSpec};
+//! use ocasta_trace::{KeySpec, SettingGroup, ValueKind, WorkloadSpec};
+//!
+//! // Two simulated machines running the same app.
+//! let mut spec = WorkloadSpec::new("mailer");
+//! spec.groups.push(SettingGroup::new(
+//!     "mark_seen",
+//!     vec![
+//!         KeySpec::new("mark_seen", ValueKind::Toggle { initial: true }),
+//!         KeySpec::new("timeout", ValueKind::IntRange { min: 500, max: 3000 }),
+//!     ],
+//!     0.2,
+//! ));
+//! let machines: Vec<MachineSpec> = (0..2)
+//!     .map(|i| MachineSpec::new(format!("m{i}"), 15, 7 + i, vec![spec.clone()]))
+//!     .collect();
+//!
+//! let (store, report) = ingest(&machines, &FleetConfig {
+//!     shards: 4,
+//!     ingest_threads: 2,
+//!     placement: KeyPlacement::Merged,
+//!     ..FleetConfig::default()
+//! });
+//! assert_eq!(report.machines, 2);
+//! assert!(store.stats().writes > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+
+mod engine;
+mod shard;
+mod wal;
+
+pub use engine::{
+    ingest, ingest_sequential, ingest_with_wal, FleetConfig, FleetReport, KeyPlacement, MachineSpec,
+};
+pub use shard::{key_hash, ShardedTtkv};
+pub use wal::{Wal, WalError, WalReader, WalWriter, WAL_MAGIC};

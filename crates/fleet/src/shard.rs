@@ -1,0 +1,218 @@
+//! The lock-striped sharded TTKV that concurrent ingestion writes into.
+//!
+//! Keys are striped across `N` shards by a stable 64-bit FNV-1a hash of the
+//! key name, so every mutation of one key always lands in the same shard
+//! and per-key history order is a single-shard concern. Each shard is a
+//! [`TtkvBuilder`] behind its own mutex: producers append whole batches
+//! under the lock (an `O(batch)` memcpy-ish append, not a per-event tree
+//! insertion), and the expensive sort + store construction happens once per
+//! shard at [`ShardedTtkv::into_ttkv`] time — in parallel across shards.
+
+use std::sync::Mutex;
+
+use ocasta_trace::TraceOp;
+use ocasta_ttkv::{Ttkv, TtkvBuilder};
+
+/// Stable key→shard hash (FNV-1a, 64-bit).
+pub fn key_hash(key: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in key.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A hash-striped set of TTKV shards accepting concurrent batched appends.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_fleet::ShardedTtkv;
+/// use ocasta_trace::{AccessEvent, TraceOp};
+/// use ocasta_ttkv::{Timestamp, Value};
+///
+/// let sharded = ShardedTtkv::new(4);
+/// let op = TraceOp::Mutation(AccessEvent::write(
+///     Timestamp::from_secs(1), "app/k", Value::from(1),
+/// ));
+/// let shard = sharded.shard_of(op.key().as_str());
+/// sharded.append_batch(shard, vec![op]);
+/// let store = sharded.into_ttkv();
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedTtkv {
+    shards: Vec<Mutex<TtkvBuilder>>,
+}
+
+impl ShardedTtkv {
+    /// Creates `shards` empty shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedTtkv {
+            shards: (0..shards)
+                .map(|_| Mutex::new(TtkvBuilder::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a key stripes to.
+    pub fn shard_of(&self, key: &str) -> usize {
+        (key_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Appends a batch of ops to one shard. Every op in the batch must
+    /// stripe to `shard` (callers batch per shard; debug builds check).
+    pub fn append_batch(&self, shard: usize, batch: Vec<TraceOp>) {
+        self.append_batch_with(shard, batch, |_| {});
+    }
+
+    /// Like [`ShardedTtkv::append_batch`], invoking `before_apply` on the
+    /// batch **under the shard lock**, before it is buffered. This is the
+    /// write-ahead hook: because the callback and the apply happen inside
+    /// one critical section, an observer fed by the callback (the WAL lane)
+    /// sees same-shard batches in exactly the order the shard applies them
+    /// — which is what makes WAL replay reproduce the store even when
+    /// same-key timestamp ties arrive from different workers.
+    pub fn append_batch_with<F: FnOnce(&[TraceOp])>(
+        &self,
+        shard: usize,
+        batch: Vec<TraceOp>,
+        before_apply: F,
+    ) {
+        debug_assert!(batch
+            .iter()
+            .all(|op| self.shard_of(op.key().as_str()) == shard));
+        let mut builder = self.shards[shard].lock().expect("shard lock poisoned");
+        before_apply(&batch);
+        for op in batch {
+            op.buffer(&mut builder);
+        }
+    }
+
+    /// Appends an un-routed batch, striping each op to its shard.
+    pub fn append_routed(&self, batch: Vec<TraceOp>) {
+        // Group locally first so each shard lock is taken at most once.
+        let mut per_shard: Vec<Vec<TraceOp>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for op in batch {
+            per_shard[self.shard_of(op.key().as_str())].push(op);
+        }
+        for (shard, ops) in per_shard.into_iter().enumerate() {
+            if !ops.is_empty() {
+                self.append_batch(shard, ops);
+            }
+        }
+    }
+
+    /// Buffered mutation count across all shards (for progress reporting;
+    /// takes each shard lock briefly).
+    pub fn buffered_mutations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Builds every shard's store (in parallel) and merges them into one
+    /// consistent [`Ttkv`]. Shard key sets are disjoint by construction, so
+    /// the merge is a pure record move.
+    pub fn into_ttkv(self) -> Ttkv {
+        let shards: Vec<TtkvBuilder> = self
+            .shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard lock poisoned"))
+            .collect();
+        let stores = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|builder| scope.spawn(move || builder.build()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build panicked"))
+                .collect::<Vec<Ttkv>>()
+        });
+        Ttkv::from_shards(stores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_trace::AccessEvent;
+    use ocasta_ttkv::{Timestamp, Value};
+
+    fn write_op(key: &str, t: u64, v: i64) -> TraceOp {
+        TraceOp::Mutation(AccessEvent::write(
+            Timestamp::from_millis(t),
+            key,
+            Value::from(v),
+        ))
+    }
+
+    #[test]
+    fn hash_is_stable_and_spreads() {
+        assert_eq!(key_hash("app/k"), key_hash("app/k"));
+        let sharded = ShardedTtkv::new(8);
+        let hit: std::collections::BTreeSet<usize> = (0..200)
+            .map(|i| sharded.shard_of(&format!("app/key{i}")))
+            .collect();
+        assert!(
+            hit.len() >= 6,
+            "200 keys should touch most of 8 shards: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn routed_append_equals_unsharded_build() {
+        let ops: Vec<TraceOp> = (0..100)
+            .map(|i| write_op(&format!("app/k{}", i % 17), 1_000 + i, i as i64))
+            .chain(std::iter::once(TraceOp::Reads(
+                ocasta_ttkv::Key::new("app/k0"),
+                42,
+            )))
+            .collect();
+        let sharded = ShardedTtkv::new(5);
+        sharded.append_routed(ops.clone());
+        let merged = sharded.into_ttkv();
+
+        let mut direct = Ttkv::new();
+        for op in ops {
+            op.apply(&mut direct, ocasta_ttkv::TimePrecision::Milliseconds);
+        }
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn concurrent_appends_from_many_threads() {
+        let sharded = ShardedTtkv::new(4);
+        std::thread::scope(|scope| {
+            for worker in 0..8u64 {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    // Each worker owns a disjoint key space.
+                    let ops: Vec<TraceOp> = (0..500)
+                        .map(|i| write_op(&format!("w{worker}/k{}", i % 9), i, i as i64))
+                        .collect();
+                    sharded.append_routed(ops);
+                });
+            }
+        });
+        let store = sharded.into_ttkv();
+        assert_eq!(store.stats().writes, 8 * 500);
+        assert_eq!(store.len(), 8 * 9);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let sharded = ShardedTtkv::new(0);
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.shard_of("anything"), 0);
+    }
+}

@@ -1,0 +1,697 @@
+//! The fleet ingestion write-ahead log.
+//!
+//! Every batch of [`TraceOp`]s accepted by the ingestion engine is appended
+//! to the WAL before it is applied to the sharded store, so a run can be
+//! replayed — into a fresh [`Ttkv`], onto another machine, or after a crash
+//! that tore the final write.
+//!
+//! ## Framing
+//!
+//! ```text
+//! file     := magic frame*
+//! magic    := "OCWAL1\n"
+//! frame    := u32:payload_len u32:fnv1a(payload) payload
+//! payload  := u32:op_count op*            -- see crate::codec for `op`
+//! ```
+//!
+//! A reader accepts any clean prefix: a frame whose length or payload is cut
+//! short (a torn tail write) ends the log without error, while a checksum
+//! mismatch on a *complete* frame is reported as corruption. This is the
+//! classic WAL recovery contract.
+//!
+//! ## Snapshot compaction
+//!
+//! An append-only log grows without bound; [`Wal::compact`] bounds it by
+//! writing the current replayed state as a snapshot (the TTKV's own
+//! persistence format) and truncating the log. Replay = load snapshot, then
+//! apply the remaining frames.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+
+use ocasta_trace::TraceOp;
+use ocasta_ttkv::{TimePrecision, Ttkv, TtkvBuilder};
+
+use crate::codec::{decode_op, encode_op, CodecError};
+
+/// File magic for WAL streams.
+pub const WAL_MAGIC: &[u8; 7] = b"OCWAL1\n";
+
+/// Errors arising from WAL I/O, framing or decoding.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with [`WAL_MAGIC`].
+    BadMagic,
+    /// A complete frame whose checksum does not match its payload.
+    Corrupt {
+        /// Zero-based index of the corrupt frame.
+        frame: usize,
+    },
+    /// A frame payload that fails op decoding.
+    Codec(CodecError),
+    /// The snapshot file failed to load.
+    Snapshot(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::BadMagic => write!(f, "wal: bad magic (not an OCWAL1 stream)"),
+            WalError::Corrupt { frame } => write!(f, "wal: frame {frame} checksum mismatch"),
+            WalError::Codec(e) => write!(f, "wal: {e}"),
+            WalError::Snapshot(e) => write!(f, "wal snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<CodecError> for WalError {
+    fn from(e: CodecError) -> Self {
+        WalError::Codec(e)
+    }
+}
+
+/// FNV-1a over a byte slice; the frame checksum.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut hash = 0x811C_9DC5u32;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Appends framed op batches to any writer.
+#[derive(Debug)]
+pub struct WalWriter<W: Write> {
+    sink: W,
+    scratch: Vec<u8>,
+    frames: usize,
+}
+
+impl<W: Write> WalWriter<W> {
+    /// Starts a fresh WAL stream (writes the magic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn new(mut sink: W) -> Result<Self, WalError> {
+        sink.write_all(WAL_MAGIC)?;
+        Ok(WalWriter {
+            sink,
+            scratch: Vec::new(),
+            frames: 0,
+        })
+    }
+
+    /// Resumes an existing stream (magic already present).
+    pub fn resume(sink: W, existing_frames: usize) -> Self {
+        WalWriter {
+            sink,
+            scratch: Vec::new(),
+            frames: existing_frames,
+        }
+    }
+
+    /// Appends one batch of ops as a single frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn append(&mut self, batch: &[TraceOp]) -> Result<(), WalError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&(batch.len() as u32).to_le_bytes());
+        for op in batch {
+            encode_op(op, &mut self.scratch);
+        }
+        self.sink
+            .write_all(&(self.scratch.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&fnv1a(&self.scratch).to_le_bytes())?;
+        self.sink.write_all(&self.scratch)?;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Number of frames written (including resumed ones).
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        self.sink.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads framed op batches from any reader, stopping cleanly at a torn
+/// tail.
+#[derive(Debug)]
+pub struct WalReader<R: Read> {
+    source: R,
+    frames_read: usize,
+    torn_tail: bool,
+    clean_bytes: u64,
+}
+
+impl<R: Read> WalReader<R> {
+    /// Opens a WAL stream, validating the magic.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::BadMagic`] if the stream is not a WAL; I/O errors pass
+    /// through.
+    pub fn new(mut source: R) -> Result<Self, WalError> {
+        let mut magic = [0u8; WAL_MAGIC.len()];
+        if read_chunk(&mut source, &mut magic)? != ReadStatus::Full || &magic != WAL_MAGIC {
+            return Err(WalError::BadMagic);
+        }
+        Ok(WalReader {
+            source,
+            frames_read: 0,
+            torn_tail: false,
+            clean_bytes: WAL_MAGIC.len() as u64,
+        })
+    }
+
+    /// Reads the next batch, or `None` at end of log (including a torn
+    /// tail, which sets [`WalReader::torn_tail`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Corrupt`] for a complete frame with a bad checksum,
+    /// [`WalError::Codec`] for undecodable payloads, I/O errors otherwise.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<TraceOp>>, WalError> {
+        let mut header = [0u8; 8];
+        match read_chunk(&mut self.source, &mut header)? {
+            ReadStatus::Full => {}
+            ReadStatus::Empty => return Ok(None),
+            ReadStatus::Partial => {
+                self.torn_tail = true;
+                return Ok(None);
+            }
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let checksum = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let mut payload = vec![0u8; len];
+        if read_chunk(&mut self.source, &mut payload)? != ReadStatus::Full {
+            self.torn_tail = true;
+            return Ok(None);
+        }
+        if fnv1a(&payload) != checksum {
+            return Err(WalError::Corrupt {
+                frame: self.frames_read,
+            });
+        }
+        let mut slice = payload.as_slice();
+        let mut count_bytes = [0u8; 4];
+        count_bytes.copy_from_slice(
+            slice
+                .get(..4)
+                .ok_or_else(|| CodecError("frame shorter than op count".into()))?,
+        );
+        slice = &slice[4..];
+        let count = u32::from_le_bytes(count_bytes) as usize;
+        let mut ops = Vec::with_capacity(count.min(slice.len()));
+        for _ in 0..count {
+            ops.push(decode_op(&mut slice)?);
+        }
+        if !slice.is_empty() {
+            return Err(CodecError("trailing bytes in frame".into()).into());
+        }
+        self.frames_read += 1;
+        self.clean_bytes += 8 + payload.len() as u64;
+        Ok(Some(ops))
+    }
+
+    /// Byte length of the clean prefix consumed so far (magic plus every
+    /// complete, checksum-valid frame). A torn tail starts at this offset.
+    pub fn clean_bytes(&self) -> u64 {
+        self.clean_bytes
+    }
+
+    /// `true` if the log ended inside a frame (a torn final write was
+    /// discarded).
+    pub fn torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
+    /// Number of complete frames read so far.
+    pub fn frames_read(&self) -> usize {
+        self.frames_read
+    }
+
+    /// Reads every remaining batch into one vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WalReader::next_batch`].
+    pub fn read_all(&mut self) -> Result<Vec<TraceOp>, WalError> {
+        let mut ops = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            ops.extend(batch);
+        }
+        Ok(ops)
+    }
+
+    /// Replays every remaining batch into a fresh store at the given
+    /// timestamp precision.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WalReader::next_batch`].
+    pub fn replay(&mut self, precision: TimePrecision) -> Result<Ttkv, WalError> {
+        let mut store = Ttkv::new();
+        self.replay_into(&mut store, precision)?;
+        Ok(store)
+    }
+
+    /// Replays every remaining batch onto an existing store.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`WalReader::next_batch`].
+    pub fn replay_into(
+        &mut self,
+        store: &mut Ttkv,
+        precision: TimePrecision,
+    ) -> Result<(), WalError> {
+        let mut builder = TtkvBuilder::new();
+        while let Some(batch) = self.next_batch()? {
+            for op in batch {
+                quantized(op, precision).buffer(&mut builder);
+            }
+        }
+        builder.build_into(store);
+        Ok(())
+    }
+}
+
+/// Applies `precision` to a mutation's timestamp (reads are unaffected).
+pub(crate) fn quantized(op: TraceOp, precision: TimePrecision) -> TraceOp {
+    match op {
+        TraceOp::Mutation(mut event) => {
+            event.timestamp = precision.apply(event.timestamp);
+            TraceOp::Mutation(event)
+        }
+        reads => reads,
+    }
+}
+
+/// Outcome of trying to fill a fixed-size buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadStatus {
+    /// The buffer was filled completely.
+    Full,
+    /// EOF before the first byte (a clean boundary).
+    Empty,
+    /// EOF mid-buffer (a torn write).
+    Partial,
+}
+
+/// Like `read_exact`, but reports EOF position instead of erroring.
+fn read_chunk<R: Read>(source: &mut R, buf: &mut [u8]) -> Result<ReadStatus, WalError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = source.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(if filled == 0 {
+                ReadStatus::Empty
+            } else {
+                ReadStatus::Partial
+            });
+        }
+        filled += n;
+    }
+    Ok(ReadStatus::Full)
+}
+
+/// A file-backed WAL with snapshot compaction.
+///
+/// Layout inside the directory: `wal.log` (framed op stream) and
+/// `snapshot.ttkv` (the TTKV text format, present after a compaction).
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    writer: Option<WalWriter<BufWriter<File>>>,
+}
+
+impl Wal {
+    /// Opens (creating if needed) a WAL directory for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WalError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Wal { dir, writer: None })
+    }
+
+    /// Path of the framed log file.
+    pub fn log_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    /// Path of the compaction snapshot.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.ttkv")
+    }
+
+    fn writer(&mut self) -> Result<&mut WalWriter<BufWriter<File>>, WalError> {
+        if self.writer.is_none() {
+            let path = self.log_path();
+            let log_len = match std::fs::metadata(&path) {
+                Ok(meta) => meta.len(),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+                Err(e) => return Err(e.into()),
+            };
+            let mut existing_frames = 0;
+            if log_len > 0 && log_len < WAL_MAGIC.len() as u64 {
+                // Torn during the very first write: nothing recoverable.
+                OpenOptions::new().write(true).open(&path)?.set_len(0)?;
+            } else if log_len > 0 {
+                // Scan the log so a torn final write from a previous crash
+                // is truncated away before new frames go after it —
+                // otherwise every post-crash append would sit beyond the
+                // torn bytes and be unreachable on replay. A checksum
+                // failure on a *complete* frame still errors: that is data
+                // corruption, not a torn tail.
+                let mut scan = WalReader::new(BufReader::new(File::open(&path)?))?;
+                while scan.next_batch()?.is_some() {}
+                existing_frames = scan.frames_read();
+                if scan.clean_bytes() < log_len {
+                    let file = OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(scan.clean_bytes())?;
+                }
+            }
+            let file = OpenOptions::new().create(true).append(true).open(&path)?;
+            let sink = BufWriter::new(file);
+            self.writer = Some(if log_len < WAL_MAGIC.len() as u64 {
+                WalWriter::new(sink)?
+            } else {
+                WalWriter::resume(sink, existing_frames)
+            });
+        }
+        Ok(self.writer.as_mut().expect("just initialised"))
+    }
+
+    /// Appends one batch as a frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn append(&mut self, batch: &[TraceOp]) -> Result<(), WalError> {
+        self.writer()?.append(batch)
+    }
+
+    /// Flushes buffered frames to the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        if let Some(writer) = self.writer.as_mut() {
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Replays snapshot + log into a fresh store.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot parse failures, log corruption, or I/O failures.
+    pub fn replay(&mut self, precision: TimePrecision) -> Result<Ttkv, WalError> {
+        self.flush()?;
+        let mut store = match File::open(self.snapshot_path()) {
+            Ok(file) => {
+                Ttkv::load(BufReader::new(file)).map_err(|e| WalError::Snapshot(e.to_string()))?
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ttkv::new(),
+            Err(e) => return Err(e.into()),
+        };
+        match File::open(self.log_path()) {
+            Ok(file) => {
+                let mut reader = WalReader::new(BufReader::new(file))?;
+                reader.replay_into(&mut store, precision)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(store)
+    }
+
+    /// Compacts the WAL: replays the current state, writes it as the new
+    /// snapshot, truncates the log. Returns the compacted state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Wal::replay`] plus snapshot write failures.
+    pub fn compact(&mut self, precision: TimePrecision) -> Result<Ttkv, WalError> {
+        let store = self.replay(precision)?;
+        // Write the snapshot to a temp name first so a crash mid-compaction
+        // leaves the previous snapshot + full log intact.
+        let tmp = self.dir.join("snapshot.ttkv.tmp");
+        {
+            let file = File::create(&tmp)?;
+            store
+                .save(BufWriter::new(file))
+                .map_err(|e| WalError::Snapshot(e.to_string()))?;
+        }
+        std::fs::rename(&tmp, self.snapshot_path())?;
+        // Drop the writer (closing the old log) and start a fresh one.
+        self.writer = None;
+        match std::fs::remove_file(self.log_path()) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(store)
+    }
+
+    /// Size of the log file in bytes (0 if absent).
+    pub fn log_bytes(&self) -> u64 {
+        std::fs::metadata(self.log_path()).map_or(0, |m| m.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_trace::AccessEvent;
+    use ocasta_ttkv::{Timestamp, Value};
+
+    fn sample_ops() -> Vec<TraceOp> {
+        vec![
+            TraceOp::Mutation(AccessEvent::write(
+                Timestamp::from_millis(1_000),
+                "app/a",
+                Value::from(1),
+            )),
+            TraceOp::Reads(ocasta_ttkv::Key::new("app/a"), 12),
+            TraceOp::Mutation(AccessEvent::write(
+                Timestamp::from_millis(2_500),
+                "app/b",
+                Value::from("x y z"),
+            )),
+            TraceOp::Mutation(AccessEvent::delete(Timestamp::from_millis(3_000), "app/a")),
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_memory() {
+        let mut bytes = Vec::new();
+        {
+            let mut writer = WalWriter::new(&mut bytes).unwrap();
+            writer.append(&sample_ops()[..2]).unwrap();
+            writer.append(&sample_ops()[2..]).unwrap();
+            assert_eq!(writer.frames(), 2);
+        }
+        let mut reader = WalReader::new(bytes.as_slice()).unwrap();
+        let ops = reader.read_all().unwrap();
+        assert_eq!(ops, sample_ops());
+        assert_eq!(reader.frames_read(), 2);
+        assert!(!reader.torn_tail());
+    }
+
+    #[test]
+    fn replay_equals_direct_build() {
+        let mut bytes = Vec::new();
+        let mut writer = WalWriter::new(&mut bytes).unwrap();
+        writer.append(&sample_ops()).unwrap();
+        let replayed = WalReader::new(bytes.as_slice())
+            .unwrap()
+            .replay(TimePrecision::Milliseconds)
+            .unwrap();
+        let mut direct = Ttkv::new();
+        for op in sample_ops() {
+            op.apply(&mut direct, TimePrecision::Milliseconds);
+        }
+        assert_eq!(replayed, direct);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_cleanly() {
+        let mut bytes = Vec::new();
+        let mut writer = WalWriter::new(&mut bytes).unwrap();
+        writer.append(&sample_ops()[..2]).unwrap();
+        writer.append(&sample_ops()[2..]).unwrap();
+        // Cut the last frame in half.
+        let cut = bytes.len() - 5;
+        let torn = &bytes[..cut];
+        let mut reader = WalReader::new(torn).unwrap();
+        let ops = reader.read_all().unwrap();
+        assert_eq!(ops, sample_ops()[..2].to_vec());
+        assert!(reader.torn_tail());
+        assert_eq!(reader.frames_read(), 1);
+    }
+
+    #[test]
+    fn corrupt_frame_is_an_error() {
+        let mut bytes = Vec::new();
+        let mut writer = WalWriter::new(&mut bytes).unwrap();
+        writer.append(&sample_ops()).unwrap();
+        // Flip a payload byte (past magic + frame header).
+        let idx = WAL_MAGIC.len() + 8 + 3;
+        bytes[idx] ^= 0xFF;
+        let mut reader = WalReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(
+            reader.next_batch(),
+            Err(WalError::Corrupt { frame: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_wal_streams() {
+        assert!(matches!(
+            WalReader::new(&b"not a wal"[..]),
+            Err(WalError::BadMagic)
+        ));
+        assert!(matches!(WalReader::new(&b""[..]), Err(WalError::BadMagic)));
+    }
+
+    #[test]
+    fn file_wal_appends_replays_and_compacts() {
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append(&sample_ops()[..2]).unwrap();
+        wal.append(&sample_ops()[2..]).unwrap();
+        let before = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(before.stats().writes, 2);
+        assert_eq!(before.stats().deletes, 1);
+        assert!(wal.log_bytes() > 0);
+
+        // Compaction preserves state and truncates the log.
+        let compacted = wal.compact(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(compacted, before);
+        assert_eq!(wal.log_bytes(), 0);
+
+        // Post-compaction appends layer on top of the snapshot.
+        wal.append(&[TraceOp::Mutation(AccessEvent::write(
+            Timestamp::from_millis(9_000),
+            "app/a",
+            Value::from(2),
+        ))])
+        .unwrap();
+        let after = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(after.stats().writes, 3);
+        assert_eq!(
+            after.current("app/a"),
+            Some(&Value::from(2)),
+            "deleted key rewritten after compaction"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopening_after_a_torn_tail_truncates_then_appends() {
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut wal = Wal::open(&dir).unwrap();
+            wal.append(&sample_ops()[..2]).unwrap();
+            wal.append(&sample_ops()[2..]).unwrap();
+            wal.flush().unwrap();
+        }
+        // Simulate a crash mid-append: cut the final frame in half.
+        let log = dir.join("wal.log");
+        let full = std::fs::metadata(&log).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .unwrap()
+            .set_len(full - 5)
+            .unwrap();
+        // Reopen and append: the torn tail must be truncated first so the
+        // new frame is reachable on replay.
+        let mut wal = Wal::open(&dir).unwrap();
+        let extra = TraceOp::Mutation(AccessEvent::write(
+            Timestamp::from_millis(9_999),
+            "app/c",
+            Value::from(true),
+        ));
+        wal.append(std::slice::from_ref(&extra)).unwrap();
+        wal.flush().unwrap();
+        let file = File::open(&log).unwrap();
+        let mut reader = WalReader::new(BufReader::new(file)).unwrap();
+        let ops = reader.read_all().unwrap();
+        assert!(!reader.torn_tail(), "torn bytes must be gone");
+        let mut expected = sample_ops()[..2].to_vec();
+        expected.push(extra);
+        assert_eq!(ops, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-compact2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append(&sample_ops()).unwrap();
+        let once = wal.compact(TimePrecision::Milliseconds).unwrap();
+        // A second compaction with no log present must succeed unchanged.
+        let twice = wal.compact(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(once, twice);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopened_wal_resumes_appending() {
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut wal = Wal::open(&dir).unwrap();
+            wal.append(&sample_ops()[..2]).unwrap();
+            wal.flush().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&dir).unwrap();
+            wal.append(&sample_ops()[2..]).unwrap();
+            let store = wal.replay(TimePrecision::Milliseconds).unwrap();
+            assert_eq!(store.stats().writes, 2);
+            assert_eq!(store.stats().deletes, 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -99,8 +99,14 @@ mod tests {
         assert_eq!(
             changes,
             vec![
-                FlushChange::Set { key: "add".into(), value: Value::from(4) },
-                FlushChange::Set { key: "change".into(), value: Value::from(20) },
+                FlushChange::Set {
+                    key: "add".into(),
+                    value: Value::from(4)
+                },
+                FlushChange::Set {
+                    key: "change".into(),
+                    value: Value::from(20)
+                },
                 FlushChange::Removed { key: "drop".into() },
             ]
         );

@@ -68,7 +68,10 @@ mod tests {
     #[test]
     fn display_carries_location() {
         let e = ParseConfigError::new(Format::Json, 3, 14, "unexpected `}`");
-        assert_eq!(e.to_string(), "invalid JSON at line 3, column 14: unexpected `}`");
+        assert_eq!(
+            e.to_string(),
+            "invalid JSON at line 3, column 14: unexpected `}`"
+        );
         assert_eq!(e.line(), 3);
         assert_eq!(e.column(), 14);
         assert_eq!(e.format(), Format::Json);

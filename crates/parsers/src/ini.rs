@@ -50,7 +50,12 @@ pub fn parse_ini(input: &str) -> Result<Node, ParseConfigError> {
         }
         if let Some(rest) = line.strip_prefix('[') {
             let inner = rest.strip_suffix(']').ok_or_else(|| {
-                ParseConfigError::new(Format::Ini, lineno, line.len(), "unterminated section header")
+                ParseConfigError::new(
+                    Format::Ini,
+                    lineno,
+                    line.len(),
+                    "unterminated section header",
+                )
             })?;
             let inner = inner.trim();
             if inner.is_empty() {
@@ -98,7 +103,11 @@ fn parse_ini_value(text: &str) -> Value {
         return Value::Str(inner.to_owned());
     }
     if text.contains(',') {
-        return Value::List(text.split(',').map(|v| Value::parse_token(v.trim())).collect());
+        return Value::List(
+            text.split(',')
+                .map(|v| Value::parse_token(v.trim()))
+                .collect(),
+        );
     }
     Value::parse_token(text)
 }
@@ -115,7 +124,10 @@ fn insert(entries: &mut Vec<(String, Node)>, path: &[String], node: Node) {
         }
         return;
     }
-    let child = match entries.iter_mut().position(|(k, v)| k == head && matches!(v, Node::Map(_))) {
+    let child = match entries
+        .iter_mut()
+        .position(|(k, v)| k == head && matches!(v, Node::Map(_)))
+    {
         Some(pos) => &mut entries[pos].1,
         None => {
             entries.push((head.clone(), Node::Map(Vec::new())));
@@ -132,7 +144,10 @@ fn ensure_map(entries: &mut Vec<(String, Node)>, path: &[String]) {
         return;
     }
     let (head, rest) = path.split_first().expect("checked non-empty");
-    let child = match entries.iter_mut().position(|(k, v)| k == head && matches!(v, Node::Map(_))) {
+    let child = match entries
+        .iter_mut()
+        .position(|(k, v)| k == head && matches!(v, Node::Map(_)))
+    {
         Some(pos) => &mut entries[pos].1,
         None => {
             entries.push((head.clone(), Node::Map(Vec::new())));
@@ -253,15 +268,24 @@ reply_style : quoted
         assert_eq!(flat.get("top"), Some(&Value::from(1)));
         assert_eq!(flat.get("mail/mark_seen"), Some(&Value::from(true)));
         assert_eq!(flat.get("mail/timeout"), Some(&Value::from(1.5)));
-        assert_eq!(flat.get("mail/composer/reply_style"), Some(&Value::from("quoted")));
+        assert_eq!(
+            flat.get("mail/composer/reply_style"),
+            Some(&Value::from("quoted"))
+        );
     }
 
     #[test]
     fn comma_lists_and_quotes() {
-        let flat = parse_ini("plugins = a, b, c\nliteral = \"x, y\"\n").unwrap().flatten();
+        let flat = parse_ini("plugins = a, b, c\nliteral = \"x, y\"\n")
+            .unwrap()
+            .flatten();
         assert_eq!(
             flat.get("plugins"),
-            Some(&Value::List(vec![Value::from("a"), Value::from("b"), Value::from("c")]))
+            Some(&Value::List(vec![
+                Value::from("a"),
+                Value::from("b"),
+                Value::from("c")
+            ]))
         );
         assert_eq!(flat.get("literal"), Some(&Value::from("x, y")));
     }
@@ -305,7 +329,10 @@ reply_style : quoted
 
     #[test]
     fn quoted_writer_values_roundtrip() {
-        let doc = Node::map([("tricky", Node::scalar("has, comma")), ("boolish", Node::scalar("true"))]);
+        let doc = Node::map([
+            ("tricky", Node::scalar("has, comma")),
+            ("boolish", Node::scalar("true")),
+        ]);
         // "true" the *string* must come back as a string, not a bool.
         let text = write_ini(&doc);
         let reparsed = parse_ini(&text).unwrap();

@@ -144,7 +144,9 @@ fn parse_string(cur: &mut Cursor<'_>) -> Result<String, ParseConfigError> {
 fn parse_hex4(cur: &mut Cursor<'_>) -> Result<u32, ParseConfigError> {
     let mut code = 0u32;
     for _ in 0..4 {
-        let c = cur.next().ok_or_else(|| cur.error("truncated \\u escape"))?;
+        let c = cur
+            .next()
+            .ok_or_else(|| cur.error("truncated \\u escape"))?;
         let digit = c
             .to_digit(16)
             .ok_or_else(|| cur.error(format!("bad hex digit `{c}`")))?;
@@ -164,9 +166,7 @@ fn parse_keyword(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
 }
 
 fn parse_number(cur: &mut Cursor<'_>) -> Result<Node, ParseConfigError> {
-    let text = cur.take_while(|c| {
-        c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
-    });
+    let text = cur.take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'));
     if !text.contains(['.', 'e', 'E']) {
         if let Ok(i) = text.parse::<i64>() {
             return Ok(Node::Scalar(Value::Int(i)));
@@ -303,13 +303,22 @@ mod tests {
             "profile": null
         }"#;
         let flat = parse_json(text).unwrap().flatten();
-        assert_eq!(flat.get("bookmark_bar/show_on_all_tabs"), Some(&Value::from(true)));
-        assert_eq!(flat.get("browser/window_placement/left"), Some(&Value::from(10)));
+        assert_eq!(
+            flat.get("bookmark_bar/show_on_all_tabs"),
+            Some(&Value::from(true))
+        );
+        assert_eq!(
+            flat.get("browser/window_placement/left"),
+            Some(&Value::from(10))
+        );
         assert_eq!(flat.get("zoom"), Some(&Value::from(1.25)));
         assert_eq!(flat.get("profile"), Some(&Value::Null));
         assert_eq!(
             flat.get("mru"),
-            Some(&Value::List(vec![Value::from("a.html"), Value::from("b.html")]))
+            Some(&Value::List(vec![
+                Value::from("a.html"),
+                Value::from("b.html")
+            ]))
         );
     }
 
@@ -335,8 +344,16 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "{} extra",
-            "\"bad \\q escape\"", "\"\\uD800\"", "\u{0001}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "{} extra",
+            "\"bad \\q escape\"",
+            "\"\\uD800\"",
+            "\u{0001}",
         ] {
             assert!(parse_json(bad).is_err(), "{bad:?} should fail");
         }
@@ -357,7 +374,10 @@ mod tests {
             ("f", Node::scalar(0.5)),
             ("b", Node::scalar(false)),
             ("null", Node::Scalar(Value::Null)),
-            ("seq", Node::Seq(vec![Node::scalar(1), Node::map([("x", Node::scalar(2))])])),
+            (
+                "seq",
+                Node::Seq(vec![Node::scalar(1), Node::map([("x", Node::scalar(2))])]),
+            ),
             ("empty_map", Node::Map(vec![])),
             ("empty_seq", Node::Seq(vec![])),
         ]);

@@ -208,9 +208,18 @@ mod tests {
             detect_format("<?xml version=\"1.0\"?>\n<x/>"),
             Some(Format::Xml)
         );
-        assert_eq!(detect_format("% ps prefs\n/A 1\n"), Some(Format::PostScript));
-        assert_eq!(detect_format("# comment\nkey= v\n"), Some(Format::PlainText));
-        assert_eq!(detect_format("# comment\n[sec]\nkey= v\n"), Some(Format::Ini));
+        assert_eq!(
+            detect_format("% ps prefs\n/A 1\n"),
+            Some(Format::PostScript)
+        );
+        assert_eq!(
+            detect_format("# comment\nkey= v\n"),
+            Some(Format::PlainText)
+        );
+        assert_eq!(
+            detect_format("# comment\n[sec]\nkey= v\n"),
+            Some(Format::Ini)
+        );
         assert_eq!(detect_format("[1, 2, 3]"), Some(Format::Json));
         assert_eq!(detect_format(""), None);
         assert_eq!(detect_format("free prose, no pairs"), None);

@@ -210,10 +210,7 @@ mod tests {
 
     #[test]
     fn scalar_seq_becomes_list_value() {
-        let doc = Node::map([(
-            "mru",
-            Node::Seq(vec![Node::scalar("x"), Node::scalar("y")]),
-        )]);
+        let doc = Node::map([("mru", Node::Seq(vec![Node::scalar("x"), Node::scalar("y")]))]);
         let flat = doc.flatten();
         assert_eq!(
             flat.get("mru"),

@@ -49,7 +49,12 @@ pub fn parse_plain(input: &str) -> Result<Node, ParseConfigError> {
         })?;
         let key = line[..sep].trim();
         if key.is_empty() {
-            return Err(ParseConfigError::new(Format::PlainText, lineno, 1, "empty key"));
+            return Err(ParseConfigError::new(
+                Format::PlainText,
+                lineno,
+                1,
+                "empty key",
+            ));
         }
         let value = Value::parse_token(line[sep + 1..].trim());
         match entries.iter_mut().find(|(k, _)| k == key) {

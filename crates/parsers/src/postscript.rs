@@ -354,7 +354,10 @@ mod tests {
             ),
             (
                 "Sub",
-                Node::map([("Inner", Node::scalar(1)), ("Deep", Node::map([("X", Node::scalar(true))]))]),
+                Node::map([
+                    ("Inner", Node::scalar(1)),
+                    ("Deep", Node::map([("X", Node::scalar(true))])),
+                ]),
             ),
         ]);
         let text = write_postscript(&doc);

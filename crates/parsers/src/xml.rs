@@ -140,7 +140,10 @@ fn parse_element_after_lt(cur: &mut Cursor<'_>) -> Result<(String, Node), ParseC
                         None => return Err(cur.error("unterminated attribute value")),
                     }
                 }
-                attrs.push((format!("@{attr_name}"), Node::Scalar(Value::parse_token(&raw))));
+                attrs.push((
+                    format!("@{attr_name}"),
+                    Node::Scalar(Value::parse_token(&raw)),
+                ));
             }
             None => return Err(cur.error("unterminated start tag")),
         }
@@ -233,11 +236,7 @@ fn parse_element_after_lt(cur: &mut Cursor<'_>) -> Result<(String, Node), ParseC
 }
 
 /// Combines attributes, children and text into the element's node.
-fn finish_element(
-    attrs: Vec<(String, Node)>,
-    children: Vec<(String, Node)>,
-    text: String,
-) -> Node {
+fn finish_element(attrs: Vec<(String, Node)>, children: Vec<(String, Node)>, text: String) -> Node {
     let text = text.trim().to_owned();
     if attrs.is_empty() && children.is_empty() {
         return if text.is_empty() {
@@ -291,7 +290,10 @@ fn read_entity(cur: &mut Cursor<'_>) -> Result<char, ParseConfigError> {
         "quot" => Ok('"'),
         "apos" => Ok('\''),
         other => {
-            if let Some(hex) = other.strip_prefix("#x").or_else(|| other.strip_prefix("#X")) {
+            if let Some(hex) = other
+                .strip_prefix("#x")
+                .or_else(|| other.strip_prefix("#X"))
+            {
                 u32::from_str_radix(hex, 16)
                     .ok()
                     .and_then(char::from_u32)
@@ -347,7 +349,10 @@ fn write_element(name: &str, node: &Node, indent: usize, out: &mut String) {
         }
         Node::Scalar(v) => {
             push_indent(indent, out);
-            out.push_str(&format!("<{name}>{}</{name}>\n", escape_text(&v.to_string())));
+            out.push_str(&format!(
+                "<{name}>{}</{name}>\n",
+                escape_text(&v.to_string())
+            ));
         }
         Node::Map(entries) => {
             let (attrs, rest): (Vec<_>, Vec<_>) =
@@ -357,7 +362,11 @@ fn write_element(name: &str, node: &Node, indent: usize, out: &mut String) {
             out.push_str(name);
             for (k, v) in &attrs {
                 if let Node::Scalar(value) = v {
-                    out.push_str(&format!(" {}=\"{}\"", &k[1..], escape_text(&value.to_string())));
+                    out.push_str(&format!(
+                        " {}=\"{}\"",
+                        &k[1..],
+                        escape_text(&value.to_string())
+                    ));
                 }
             }
             let text = rest.iter().find(|(k, _)| k == "#text");
@@ -420,7 +429,10 @@ mod tests {
   <entry name="mark_seen_timeout" type="int">1500</entry>
 </gconf>"#;
         let flat = parse_xml(text).unwrap().flatten();
-        assert_eq!(flat.get("gconf/entry/0/@name"), Some(&Value::from("mark_seen")));
+        assert_eq!(
+            flat.get("gconf/entry/0/@name"),
+            Some(&Value::from("mark_seen"))
+        );
         assert_eq!(flat.get("gconf/entry/0/#text"), Some(&Value::from(true)));
         assert_eq!(flat.get("gconf/entry/1/#text"), Some(&Value::from(1500)));
     }

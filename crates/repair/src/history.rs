@@ -82,7 +82,11 @@ impl ClusterInfo {
     /// The rollback patch for version `at`: every member key's value just
     /// before that transaction started (`None` = the key did not exist and
     /// must be removed).
-    pub fn rollback_patch(&self, ttkv: &Ttkv, at: Timestamp) -> Vec<(Key, Option<ocasta_ttkv::Value>)> {
+    pub fn rollback_patch(
+        &self,
+        ttkv: &Ttkv,
+        at: Timestamp,
+    ) -> Vec<(Key, Option<ocasta_ttkv::Value>)> {
         let before = at.saturating_sub(TimeDelta::from_millis(1));
         self.keys
             .iter()
@@ -183,7 +187,13 @@ mod tests {
             None,
         );
         assert_eq!(info.versions, vec![ts(5000)]);
-        let info = ClusterInfo::build(&store(), keys, TimeDelta::from_secs(1), None, Some(ts(1000)));
+        let info = ClusterInfo::build(
+            &store(),
+            keys,
+            TimeDelta::from_secs(1),
+            None,
+            Some(ts(1000)),
+        );
         assert_eq!(info.versions, vec![ts(100)]);
     }
 

@@ -189,7 +189,10 @@ mod tests {
     fn gallery_deduplicates_against_baseline_and_history() {
         let broken: Screenshot = ["window"].into_iter().collect();
         let mut gallery = ScreenshotGallery::with_baseline(broken.clone());
-        assert!(!gallery.record(broken.clone()), "baseline duplicate dropped");
+        assert!(
+            !gallery.record(broken.clone()),
+            "baseline duplicate dropped"
+        );
         let healthy: Screenshot = ["window", "menu_bar"].into_iter().collect();
         assert!(gallery.record(healthy.clone()));
         assert!(!gallery.record(healthy), "repeat dropped");

@@ -143,6 +143,9 @@ mod tests {
     fn trial_clone_shares_render() {
         let trial = Trial::new("t", |_| ["x"].into_iter().collect());
         let clone = trial.clone();
-        assert_eq!(trial.run(&ConfigState::new()), clone.run(&ConfigState::new()));
+        assert_eq!(
+            trial.run(&ConfigState::new()),
+            clone.run(&ConfigState::new())
+        );
     }
 }

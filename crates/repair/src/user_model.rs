@@ -114,10 +114,21 @@ pub fn simulate_case(model: &CaseUserModel, params: &UserStudyParams) -> CaseStu
     let mut manual = Vec::with_capacity(params.participants);
     let mut successes = 0usize;
     for _ in 0..params.participants {
-        let creation = normal(&mut rng, model.trial_creation_mean_s, model.trial_creation_sd_s)
-            .max(5.0);
+        let creation = normal(
+            &mut rng,
+            model.trial_creation_mean_s,
+            model.trial_creation_sd_s,
+        )
+        .max(5.0);
         let selection = (0..model.screenshots.max(1))
-            .map(|_| normal(&mut rng, model.per_screenshot_s, model.per_screenshot_s * 0.3).max(1.0))
+            .map(|_| {
+                normal(
+                    &mut rng,
+                    model.per_screenshot_s,
+                    model.per_screenshot_s * 0.3,
+                )
+                .max(1.0)
+            })
             .sum::<f64>();
         ocasta.push(creation + selection);
 
@@ -188,7 +199,13 @@ mod tests {
             manual_success_prob: 0.05,
             ..model()
         };
-        let result = simulate_case(&hard, &UserStudyParams { participants: 200, seed: 1 });
+        let result = simulate_case(
+            &hard,
+            &UserStudyParams {
+                participants: 200,
+                seed: 1,
+            },
+        );
         assert!(result.ocasta_mean_s() < result.manual_mean_s() * 0.5);
         assert!(result.manual_success_rate < 0.15);
     }
@@ -205,7 +222,10 @@ mod tests {
             manual_success_prob: 0.05,
             ..model()
         };
-        let params = UserStudyParams { participants: 500, seed: 2 };
+        let params = UserStudyParams {
+            participants: 500,
+            seed: 2,
+        };
         let easy_result = simulate_case(&easy, &params);
         let hard_result = simulate_case(&hard, &params);
         assert!(easy_result.manual_mean_s() < hard_result.manual_mean_s());

@@ -13,6 +13,7 @@ use rand::seq::{IndexedRandom, SliceRandom};
 use rand::{Rng, SeedableRng};
 
 use crate::event::AccessEvent;
+use crate::sink::EventSink;
 use crate::spec::{GroupBehavior, KeySpec, WorkloadSpec};
 use crate::trace::Trace;
 
@@ -76,7 +77,7 @@ pub fn generate(config: &GeneratorConfig, specs: &[WorkloadSpec]) -> Trace {
     let mut state = ValueState::default();
 
     for spec in specs {
-        let mut app = AppSim::new(spec, &mut state);
+        let mut app = AppSim::new(spec.clone(), &mut state);
         for day in 0..config.days {
             app.simulate_day(day, config.days, &mut trace, &mut rng, &mut state);
         }
@@ -86,7 +87,7 @@ pub fn generate(config: &GeneratorConfig, specs: &[WorkloadSpec]) -> Trace {
 
 /// Live key values, shared so toggles flip and MRU lists accumulate.
 #[derive(Debug, Default)]
-struct ValueState {
+pub(crate) struct ValueState {
     values: BTreeMap<Key, Value>,
 }
 
@@ -107,8 +108,9 @@ impl ValueState {
 }
 
 /// Per-app simulation state (resolved key names).
-struct AppSim<'s> {
-    spec: &'s WorkloadSpec,
+#[derive(Debug)]
+pub(crate) struct AppSim {
+    spec: WorkloadSpec,
     group_keys: Vec<Vec<Key>>,
     noise_keys: Vec<Key>,
     churn_keys: Vec<Key>,
@@ -119,8 +121,8 @@ struct AppSim<'s> {
     initialized: bool,
 }
 
-impl<'s> AppSim<'s> {
-    fn new(spec: &'s WorkloadSpec, state: &mut ValueState) -> Self {
+impl AppSim {
+    pub(crate) fn new(spec: WorkloadSpec, state: &mut ValueState) -> Self {
         let group_keys: Vec<Vec<Key>> = spec
             .groups
             .iter()
@@ -166,10 +168,10 @@ impl<'s> AppSim<'s> {
     /// dialogs once, so every setting group receives one early write and
     /// every configuration key has a modification history. Groups are
     /// spaced well apart so the burst cannot merge unrelated groups.
-    fn initialize_groups(
+    fn initialize_groups<S: EventSink>(
         &mut self,
         day: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
@@ -178,10 +180,10 @@ impl<'s> AppSim<'s> {
             let t = base + TimeDelta::from_secs(gi as u64 * 90 + rng.random_range(0..30));
             match self.spec.groups[gi].behavior {
                 GroupBehavior::Burst { span_ms } => {
-                    self.write_full_group(gi, t, span_ms, trace, rng, state);
+                    self.write_full_group(gi, t, span_ms, sink, rng, state);
                 }
                 GroupBehavior::MruWindow { span_ms, .. } => {
-                    self.write_mru_max_change(gi, t, span_ms, trace, rng, state);
+                    self.write_mru_max_change(gi, t, span_ms, sink, rng, state);
                 }
             }
         }
@@ -189,12 +191,12 @@ impl<'s> AppSim<'s> {
     }
 
     /// Writes every member of a burst group (no partial updates).
-    fn write_full_group(
+    fn write_full_group<S: EventSink>(
         &self,
         gi: usize,
         t: Timestamp,
         span_ms: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
@@ -202,49 +204,59 @@ impl<'s> AppSim<'s> {
         let keys = &self.group_keys[gi];
         let n = group.keys.len() as u64;
         for (pos, key) in keys.iter().enumerate() {
-            let offset = if n > 1 { span_ms * pos as u64 / (n - 1) } else { 0 };
+            let offset = if n > 1 {
+                span_ms * pos as u64 / (n - 1)
+            } else {
+                0
+            };
             let when = t + TimeDelta::from_millis(offset + rng.random_range(0..50));
             let value = state.next_value(rng, key, &group.keys[pos]);
-            trace.push(AccessEvent::write(when, key.clone(), value));
+            sink.record_event(AccessEvent::write(when, key.clone(), value));
         }
     }
 
-    fn simulate_day(
+    pub(crate) fn simulate_day<S: EventSink>(
         &mut self,
         day: u64,
         total_days: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
         let sessions = poisson(rng, self.spec.sessions_per_day);
         if sessions > 0 && !self.initialized {
-            self.initialize_groups(day, trace, rng, state);
+            self.initialize_groups(day, sink, rng, state);
         }
         for _ in 0..sessions {
-            self.simulate_session(day, trace, rng, state);
+            self.simulate_session(day, sink, rng, state);
         }
         // Lone churn writes, independent of sessions.
         for _ in 0..poisson(rng, self.spec.churn_writes_per_day) {
             if let Some(key) = self.churn_keys.choose(rng) {
                 let t = random_daytime(rng, day);
-                let spec = KeySpec::new("churn", crate::ValueKind::IntRange { min: 0, max: 1 << 20 });
+                let spec = KeySpec::new(
+                    "churn",
+                    crate::ValueKind::IntRange {
+                        min: 0,
+                        max: 1 << 20,
+                    },
+                );
                 let value = state.next_value(rng, key, &spec);
-                trace.push(AccessEvent::write(t, key.clone(), value));
+                sink.record_event(AccessEvent::write(t, key.clone(), value));
             }
         }
         // Software update: one burst rewriting a third of everything.
         if let Some(every) = self.spec.update_every_days {
             if every > 0 && day % every == every - 1 && day + 1 < total_days {
-                self.simulate_update(day, trace, rng, state);
+                self.simulate_update(day, sink, rng, state);
             }
         }
     }
 
-    fn simulate_session(
+    fn simulate_session<S: EventSink>(
         &mut self,
         day: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
@@ -259,14 +271,14 @@ impl<'s> AppSim<'s> {
             .chain(self.noise_keys.iter())
             .chain(self.group_keys.iter().flatten())
         {
-            trace.add_reads(key.clone(), 1);
+            sink.record_reads(key.clone(), 1);
         }
         let extra = self.spec.reads_per_session;
         if extra > 0 {
             let hot_count = 16.min(self.spec.key_count().max(1));
             for _ in 0..hot_count {
                 let key = self.random_key(rng);
-                trace.add_reads(key, extra / hot_count as u64);
+                sink.record_reads(key, extra / hot_count as u64);
             }
         }
 
@@ -275,7 +287,7 @@ impl<'s> AppSim<'s> {
             for _ in 0..poisson(rng, noise.writes_per_session) {
                 let t = random_within(rng, start, session_len);
                 let value = state.next_value(rng, key, &noise.spec);
-                trace.push(AccessEvent::write(t, key.clone(), value));
+                sink.record_event(AccessEvent::write(t, key.clone(), value));
             }
         }
 
@@ -286,13 +298,13 @@ impl<'s> AppSim<'s> {
             1.0
         };
         for gi in 0..self.spec.groups.len() {
-            let group = &self.spec.groups[gi];
-            match group.behavior {
+            let changes_per_day = self.spec.groups[gi].changes_per_day;
+            match self.spec.groups[gi].behavior {
                 GroupBehavior::Burst { span_ms } => {
-                    let lambda = group.changes_per_day * per_session;
+                    let lambda = changes_per_day * per_session;
                     for _ in 0..poisson(rng, lambda) {
                         let t = random_within(rng, start, session_len);
-                        self.write_burst_group(gi, t, span_ms, trace, rng, state);
+                        self.write_burst_group(gi, t, span_ms, sink, rng, state);
                     }
                 }
                 GroupBehavior::MruWindow {
@@ -302,13 +314,13 @@ impl<'s> AppSim<'s> {
                     // Frequent item rotations.
                     for _ in 0..poisson(rng, item_updates_per_session) {
                         let t = random_within(rng, start, session_len);
-                        self.write_mru_rotation(gi, t, span_ms, trace, rng, state);
+                        self.write_mru_rotation(gi, t, span_ms, sink, rng, state);
                     }
                     // Rare max changes.
-                    let lambda = group.changes_per_day * per_session;
+                    let lambda = changes_per_day * per_session;
                     for _ in 0..poisson(rng, lambda) {
                         let t = random_within(rng, start, session_len);
-                        self.write_mru_max_change(gi, t, span_ms, trace, rng, state);
+                        self.write_mru_max_change(gi, t, span_ms, sink, rng, state);
                     }
                 }
             }
@@ -317,12 +329,12 @@ impl<'s> AppSim<'s> {
 
     /// Writes a burst group: all members (or a partial subset) with jitter
     /// spread over `span_ms`.
-    fn write_burst_group(
+    fn write_burst_group<S: EventSink>(
         &self,
         gi: usize,
         t: Timestamp,
         span_ms: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
@@ -345,7 +357,7 @@ impl<'s> AppSim<'s> {
             let jitter = rng.random_range(0..50);
             let when = t + TimeDelta::from_millis(offset + jitter);
             let value = state.next_value(rng, &keys[mi], &group.keys[mi]);
-            trace.push(AccessEvent::write(when, keys[mi].clone(), value));
+            sink.record_event(AccessEvent::write(when, keys[mi].clone(), value));
         }
     }
 
@@ -353,12 +365,12 @@ impl<'s> AppSim<'s> {
     /// Rewrites the MRU item slots (a "document open"): the list grows by
     /// one slot (up to the current max) and every live slot is rewritten,
     /// staggered over the span.
-    fn write_mru_rotation(
+    fn write_mru_rotation<S: EventSink>(
         &mut self,
         gi: usize,
         t: Timestamp,
         span_ms: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
@@ -375,19 +387,19 @@ impl<'s> AppSim<'s> {
             let offset = span_ms * (slot as u64 - 1) / live.max(2) as u64;
             let when = t + TimeDelta::from_millis(offset + rng.random_range(0..50));
             let value = state.next_value(rng, &keys[slot], &group.keys[slot]);
-            trace.push(AccessEvent::write(when, keys[slot].clone(), value));
+            sink.record_event(AccessEvent::write(when, keys[slot].clone(), value));
         }
     }
 
     #[allow(clippy::needless_range_loop)] // `slot` indexes two parallel arrays
     /// Changes the MRU max: writes the max key, rewrites surviving slots and
     /// deletes slots beyond the new max (Figure 1a semantics).
-    fn write_mru_max_change(
+    fn write_mru_max_change<S: EventSink>(
         &mut self,
         gi: usize,
         t: Timestamp,
         span_ms: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
@@ -407,30 +419,34 @@ impl<'s> AppSim<'s> {
         state
             .values
             .insert(keys[0].clone(), Value::Int(new_max as i64));
-        trace.push(AccessEvent::write(t, keys[0].clone(), Value::Int(new_max as i64)));
+        sink.record_event(AccessEvent::write(
+            t,
+            keys[0].clone(),
+            Value::Int(new_max as i64),
+        ));
         // Figure 1a semantics: the application rewrites every surviving slot
         // and clears every slot beyond the new max, so a max change touches
         // the whole group.
         let steps = slots as u64;
         for slot in 1..=slots {
-            let when = t
-                + TimeDelta::from_millis(span_ms * slot as u64 / steps + rng.random_range(0..50));
+            let when =
+                t + TimeDelta::from_millis(span_ms * slot as u64 / steps + rng.random_range(0..50));
             if slot <= new_max {
                 let value = state.next_value(rng, &keys[slot], &group.keys[slot]);
-                trace.push(AccessEvent::write(when, keys[slot].clone(), value));
+                sink.record_event(AccessEvent::write(when, keys[slot].clone(), value));
             } else {
                 state.remove(&keys[slot]);
-                trace.push(AccessEvent::delete(when, keys[slot].clone()));
+                sink.record_event(AccessEvent::delete(when, keys[slot].clone()));
             }
         }
         self.mru_live[gi] = new_max;
     }
 
     /// One software-update burst touching a third of all writable settings.
-    fn simulate_update(
+    fn simulate_update<S: EventSink>(
         &self,
         day: u64,
-        trace: &mut Trace,
+        sink: &mut S,
         rng: &mut StdRng,
         state: &mut ValueState,
     ) {
@@ -442,7 +458,7 @@ impl<'s> AppSim<'s> {
                     let when = t + TimeDelta::from_millis(offset);
                     offset += rng.random_range(5..40);
                     let value = state.next_value(rng, key, key_spec);
-                    trace.push(AccessEvent::write(when, key.clone(), value));
+                    sink.record_event(AccessEvent::write(when, key.clone(), value));
                 }
             }
         }
@@ -450,20 +466,21 @@ impl<'s> AppSim<'s> {
             if rng.random_bool(0.2) {
                 let when = t + TimeDelta::from_millis(offset);
                 offset += rng.random_range(5..40);
-                let spec = KeySpec::new("churn", crate::ValueKind::IntRange { min: 0, max: 1 << 20 });
+                let spec = KeySpec::new(
+                    "churn",
+                    crate::ValueKind::IntRange {
+                        min: 0,
+                        max: 1 << 20,
+                    },
+                );
                 let value = state.next_value(rng, key, &spec);
-                trace.push(AccessEvent::write(when, key.clone(), value));
+                sink.record_event(AccessEvent::write(when, key.clone(), value));
             }
         }
     }
 
     fn random_key(&self, rng: &mut StdRng) -> Key {
-        let pools: [&[Key]; 4] = [
-            &self.static_keys,
-            &self.churn_keys,
-            &self.noise_keys,
-            &[],
-        ];
+        let pools: [&[Key]; 4] = [&self.static_keys, &self.churn_keys, &self.noise_keys, &[]];
         let _ = pools;
         // Weighted choice across all key classes, flattening group keys.
         let total = self.spec.key_count().max(1);
@@ -486,7 +503,7 @@ impl<'s> AppSim<'s> {
 
 /// A sample from a Poisson distribution (Knuth's method for small `lambda`,
 /// normal approximation above 30).
-fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+pub(crate) fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
     if lambda <= 0.0 {
         return 0;
     }
@@ -544,7 +561,13 @@ mod tests {
             0.4,
         ));
         spec.noise.push(NoiseKey::new(
-            KeySpec::new("geometry", ValueKind::IntRange { min: 100, max: 2000 }),
+            KeySpec::new(
+                "geometry",
+                ValueKind::IntRange {
+                    min: 100,
+                    max: 2000,
+                },
+            ),
             3.0,
         ));
         spec
@@ -617,19 +640,23 @@ mod tests {
     fn mru_groups_emit_deletions() {
         let mut spec = WorkloadSpec::new("word");
         spec.sessions_per_day = 2.0;
-        let mut keys = vec![KeySpec::new("mru/max", ValueKind::IntRange { min: 1, max: 6 })];
+        let mut keys = vec![KeySpec::new(
+            "mru/max",
+            ValueKind::IntRange { min: 1, max: 6 },
+        )];
         for i in 1..=6 {
             keys.push(KeySpec::new(
                 format!("mru/item{i}"),
                 ValueKind::PathName { extension: "doc" },
             ));
         }
-        spec.groups.push(
-            SettingGroup::new("mru", keys, 0.5).with_behavior(GroupBehavior::MruWindow {
-                span_ms: 3_000,
-                item_updates_per_session: 2.0,
-            }),
-        );
+        spec.groups
+            .push(
+                SettingGroup::new("mru", keys, 0.5).with_behavior(GroupBehavior::MruWindow {
+                    span_ms: 3_000,
+                    item_updates_per_session: 2.0,
+                }),
+            );
         let trace = generate(&GeneratorConfig::new("m", 60, 11), &[spec]);
         let stats = trace.stats();
         assert!(stats.deletes > 0, "MRU shrinks should delete item slots");

@@ -40,12 +40,16 @@
 mod event;
 mod generator;
 mod profiles;
+mod sink;
 mod spec;
+mod stream;
 #[allow(clippy::module_inception)]
 mod trace;
 
 pub use event::{AccessEvent, Mutation};
 pub use generator::{generate, GeneratorConfig};
 pub use profiles::{MachineProfile, OsFlavor, TABLE1_PROFILES};
+pub use sink::EventSink;
 pub use spec::{GroupBehavior, KeySpec, NoiseKey, SettingGroup, ValueKind, WorkloadSpec};
+pub use stream::{EventStream, TraceOp};
 pub use trace::{Trace, TraceStats};

@@ -39,15 +39,87 @@ pub struct MachineProfile {
 
 /// The nine Table I machines/users.
 pub const TABLE1_PROFILES: [MachineProfile; 9] = [
-    MachineProfile { name: "Windows 7", os: OsFlavor::Windows, days: 42, target_reads: 6_760_000, target_writes: 67_720, target_keys: 4_611, seed: 71 },
-    MachineProfile { name: "Windows Vista", os: OsFlavor::Windows, days: 53, target_reads: 3_460_000, target_writes: 20_500, target_keys: 14_673, seed: 72 },
-    MachineProfile { name: "Windows Vista-2", os: OsFlavor::Windows, days: 18, target_reads: 15_080_000, target_writes: 224_640, target_keys: 1_123, seed: 73 },
-    MachineProfile { name: "Windows XP", os: OsFlavor::Windows, days: 25, target_reads: 22_800_000, target_writes: 311_900, target_keys: 14_667, seed: 74 },
-    MachineProfile { name: "Windows XP-2", os: OsFlavor::Windows, days: 32, target_reads: 26_760_000, target_writes: 268_960, target_keys: 19_501, seed: 75 },
-    MachineProfile { name: "Linux-1", os: OsFlavor::Linux, days: 25, target_reads: 91_520, target_writes: 3_340, target_keys: 1_660, seed: 76 },
-    MachineProfile { name: "Linux-2", os: OsFlavor::Linux, days: 84, target_reads: 8_150, target_writes: 480, target_keys: 35, seed: 77 },
-    MachineProfile { name: "Linux-3", os: OsFlavor::Linux, days: 46, target_reads: 52_410, target_writes: 440, target_keys: 706, seed: 78 },
-    MachineProfile { name: "Linux-4", os: OsFlavor::Linux, days: 64, target_reads: 507_070, target_writes: 5_430, target_keys: 751, seed: 79 },
+    MachineProfile {
+        name: "Windows 7",
+        os: OsFlavor::Windows,
+        days: 42,
+        target_reads: 6_760_000,
+        target_writes: 67_720,
+        target_keys: 4_611,
+        seed: 71,
+    },
+    MachineProfile {
+        name: "Windows Vista",
+        os: OsFlavor::Windows,
+        days: 53,
+        target_reads: 3_460_000,
+        target_writes: 20_500,
+        target_keys: 14_673,
+        seed: 72,
+    },
+    MachineProfile {
+        name: "Windows Vista-2",
+        os: OsFlavor::Windows,
+        days: 18,
+        target_reads: 15_080_000,
+        target_writes: 224_640,
+        target_keys: 1_123,
+        seed: 73,
+    },
+    MachineProfile {
+        name: "Windows XP",
+        os: OsFlavor::Windows,
+        days: 25,
+        target_reads: 22_800_000,
+        target_writes: 311_900,
+        target_keys: 14_667,
+        seed: 74,
+    },
+    MachineProfile {
+        name: "Windows XP-2",
+        os: OsFlavor::Windows,
+        days: 32,
+        target_reads: 26_760_000,
+        target_writes: 268_960,
+        target_keys: 19_501,
+        seed: 75,
+    },
+    MachineProfile {
+        name: "Linux-1",
+        os: OsFlavor::Linux,
+        days: 25,
+        target_reads: 91_520,
+        target_writes: 3_340,
+        target_keys: 1_660,
+        seed: 76,
+    },
+    MachineProfile {
+        name: "Linux-2",
+        os: OsFlavor::Linux,
+        days: 84,
+        target_reads: 8_150,
+        target_writes: 480,
+        target_keys: 35,
+        seed: 77,
+    },
+    MachineProfile {
+        name: "Linux-3",
+        os: OsFlavor::Linux,
+        days: 46,
+        target_reads: 52_410,
+        target_writes: 440,
+        target_keys: 706,
+        seed: 78,
+    },
+    MachineProfile {
+        name: "Linux-4",
+        os: OsFlavor::Linux,
+        days: 64,
+        target_reads: 507_070,
+        target_writes: 5_430,
+        target_keys: 751,
+        seed: 79,
+    },
 ];
 
 impl MachineProfile {
@@ -183,7 +255,10 @@ mod tests {
     fn all_nine_table1_rows_present() {
         assert_eq!(TABLE1_PROFILES.len(), 9);
         assert_eq!(
-            TABLE1_PROFILES.iter().filter(|p| p.os == OsFlavor::Windows).count(),
+            TABLE1_PROFILES
+                .iter()
+                .filter(|p| p.os == OsFlavor::Windows)
+                .count(),
             5
         );
         assert!(MachineProfile::by_name("Linux-3").is_some());
@@ -211,12 +286,22 @@ mod tests {
         profile.calibrate(&mut specs);
         let config = GeneratorConfig::new(profile.name, profile.days, profile.seed);
         let stats = generate(&config, &specs).stats();
-        let reads_err = (stats.reads as f64 - profile.target_reads as f64).abs()
-            / profile.target_reads as f64;
+        let reads_err =
+            (stats.reads as f64 - profile.target_reads as f64).abs() / profile.target_reads as f64;
         let writes_err = (stats.writes as f64 - profile.target_writes as f64).abs()
             / profile.target_writes as f64;
-        assert!(reads_err < 0.5, "reads {} vs {}", stats.reads, profile.target_reads);
-        assert!(writes_err < 0.5, "writes {} vs {}", stats.writes, profile.target_writes);
+        assert!(
+            reads_err < 0.5,
+            "reads {} vs {}",
+            stats.reads,
+            profile.target_reads
+        );
+        assert!(
+            writes_err < 0.5,
+            "writes {} vs {}",
+            stats.writes,
+            profile.target_writes
+        );
     }
 
     #[test]

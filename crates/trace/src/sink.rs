@@ -1,0 +1,60 @@
+//! Where generated accesses go: the [`EventSink`] abstraction.
+//!
+//! The workload generator historically wrote straight into a [`Trace`],
+//! materialising every event in memory. Fleet-scale ingestion
+//! (`ocasta-fleet`) instead streams events as they are produced, so the
+//! simulation core is generic over this sink trait: a [`Trace`] collects, a
+//! streaming buffer forwards, a write-ahead log appends.
+
+use ocasta_ttkv::Key;
+
+use crate::event::AccessEvent;
+use crate::trace::Trace;
+
+/// A consumer of configuration-access observations.
+pub trait EventSink {
+    /// Receives one mutation event (write or deletion).
+    fn record_event(&mut self, event: AccessEvent);
+
+    /// Receives `count` aggregated read accesses to `key`.
+    fn record_reads(&mut self, key: Key, count: u64);
+}
+
+impl EventSink for Trace {
+    fn record_event(&mut self, event: AccessEvent) {
+        self.push(event);
+    }
+
+    fn record_reads(&mut self, key: Key, count: u64) {
+        self.add_reads(key, count);
+    }
+}
+
+/// Forwarding: a `&mut` to a sink is a sink.
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn record_event(&mut self, event: AccessEvent) {
+        (**self).record_event(event);
+    }
+
+    fn record_reads(&mut self, key: Key, count: u64) {
+        (**self).record_reads(key, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocasta_ttkv::Timestamp;
+
+    #[test]
+    fn trace_is_a_sink() {
+        let mut trace = Trace::new("t", 1);
+        EventSink::record_event(
+            &mut trace,
+            AccessEvent::write(Timestamp::from_secs(1), "a/k", 1),
+        );
+        EventSink::record_reads(&mut trace, Key::new("a/k"), 5);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.total_reads(), 5);
+    }
+}

@@ -127,7 +127,9 @@ impl ValueKind {
             ),
             ValueKind::IntRange { min, .. } => Value::Int(*min),
             ValueKind::FloatRange { min, .. } => Value::Float(*min),
-            ValueKind::Choice(options) => Value::Str((*options.first().expect("non-empty")).to_owned()),
+            ValueKind::Choice(options) => {
+                Value::Str((*options.first().expect("non-empty")).to_owned())
+            }
             ValueKind::PathName { extension } => Value::Str(format!("default.{extension}")),
             ValueKind::RecentList { .. } => Value::List(Vec::new()),
         }
@@ -332,7 +334,10 @@ mod tests {
         let kind = ValueKind::Toggle { initial: false };
         let mut r = rng();
         assert_eq!(kind.sample(&mut r, None), Value::Bool(true));
-        assert_eq!(kind.sample(&mut r, Some(&Value::Bool(true))), Value::Bool(false));
+        assert_eq!(
+            kind.sample(&mut r, Some(&Value::Bool(true))),
+            Value::Bool(false)
+        );
         assert_eq!(kind.initial(), Value::Bool(false));
     }
 
@@ -348,7 +353,10 @@ mod tests {
 
     #[test]
     fn recent_list_prepends_and_truncates() {
-        let kind = ValueKind::RecentList { max_len: 3, extension: "doc" };
+        let kind = ValueKind::RecentList {
+            max_len: 3,
+            extension: "doc",
+        };
         let mut r = rng();
         let mut v = kind.initial();
         for _ in 0..5 {

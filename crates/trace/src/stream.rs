@@ -1,0 +1,300 @@
+//! Lazy, day-chunked streaming generation of fleet-scale traces.
+//!
+//! [`crate::generate`] materialises a whole deployment's [`Trace`] in
+//! memory before anything can consume it — fine for one machine, hopeless
+//! for a fleet of hundreds streamed concurrently. [`EventStream`] produces
+//! the same kind of synthetic desktop workload *incrementally*: it simulates
+//! one day at a time and buffers only that day's operations, so peak memory
+//! is bounded by the busiest single day regardless of deployment length.
+//!
+//! The stream yields [`TraceOp`]s — mutations interleaved with aggregated
+//! read counts — which is exactly the vocabulary the `ocasta-fleet`
+//! write-ahead log and sharded ingestion pipeline consume.
+
+use std::collections::VecDeque;
+
+use ocasta_ttkv::{Key, TimePrecision, Ttkv, TtkvBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::{AccessEvent, Mutation};
+use crate::generator::{AppSim, GeneratorConfig, ValueState};
+use crate::sink::EventSink;
+use crate::spec::WorkloadSpec;
+
+/// One streamed trace operation: the unit of fleet ingestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A mutation (write or deletion) of one setting.
+    Mutation(AccessEvent),
+    /// `count` aggregated read accesses to a key.
+    Reads(Key, u64),
+}
+
+impl TraceOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &Key {
+        match self {
+            TraceOp::Mutation(event) => &event.key,
+            TraceOp::Reads(key, _) => key,
+        }
+    }
+
+    /// `true` if this is a mutation (write or deletion).
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, TraceOp::Mutation(_))
+    }
+
+    /// Applies this operation to a [`Ttkv`], quantising mutation timestamps
+    /// to `precision`.
+    pub fn apply(self, store: &mut Ttkv, precision: TimePrecision) {
+        match self {
+            TraceOp::Mutation(event) => {
+                let t = precision.apply(event.timestamp);
+                match event.mutation {
+                    Mutation::Write(value) => store.write(t, event.key, value),
+                    Mutation::Delete => store.delete(t, event.key),
+                }
+            }
+            TraceOp::Reads(key, count) => store.add_reads(key, count),
+        }
+    }
+
+    /// Buffers this operation into a [`TtkvBuilder`] (timestamps are kept
+    /// at full precision; quantise on the event if needed).
+    pub fn buffer(self, builder: &mut TtkvBuilder) {
+        match self {
+            TraceOp::Mutation(event) => match event.mutation {
+                Mutation::Write(value) => builder.write(event.timestamp, event.key, value),
+                Mutation::Delete => builder.delete(event.timestamp, event.key),
+            },
+            TraceOp::Reads(key, count) => builder.add_reads(key, count),
+        }
+    }
+}
+
+/// A day's worth of buffered operations; the [`EventSink`] the simulation
+/// writes into between yields.
+#[derive(Debug, Default)]
+struct DayBuffer {
+    ops: VecDeque<TraceOp>,
+}
+
+impl EventSink for DayBuffer {
+    fn record_event(&mut self, event: AccessEvent) {
+        self.ops.push_back(TraceOp::Mutation(event));
+    }
+
+    fn record_reads(&mut self, key: Key, count: u64) {
+        self.ops.push_back(TraceOp::Reads(key, count));
+    }
+}
+
+/// A lazy iterator over one simulated machine's configuration accesses.
+///
+/// Events arrive in day order; within a day they arrive in simulation order
+/// (which is *not* globally timestamp-sorted, exactly like a real logger's
+/// interleaved observations — the TTKV and the fleet WAL both accept
+/// out-of-order arrivals).
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_trace::{EventStream, GeneratorConfig, KeySpec, SettingGroup, ValueKind, WorkloadSpec};
+///
+/// let mut spec = WorkloadSpec::new("viewer");
+/// spec.groups.push(SettingGroup::new(
+///     "print",
+///     vec![KeySpec::new("print/dpi", ValueKind::IntRange { min: 150, max: 600 })],
+///     0.3,
+/// ));
+/// let config = GeneratorConfig::new("m01", 30, 7);
+/// let ops: Vec<_> = EventStream::new(&config, vec![spec]).collect();
+/// assert!(!ops.is_empty());
+/// // Identical configuration ⇒ identical stream.
+/// # let spec2 = {
+/// #     let mut s = WorkloadSpec::new("viewer");
+/// #     s.groups.push(SettingGroup::new(
+/// #         "print",
+/// #         vec![KeySpec::new("print/dpi", ValueKind::IntRange { min: 150, max: 600 })],
+/// #         0.3,
+/// #     ));
+/// #     s
+/// # };
+/// assert!(EventStream::new(&config, vec![spec2]).eq(ops.into_iter()));
+/// ```
+#[derive(Debug)]
+pub struct EventStream {
+    sims: Vec<AppSim>,
+    /// One RNG per app so the stream is insensitive to how many other apps
+    /// run on the machine before it.
+    rngs: Vec<StdRng>,
+    state: ValueState,
+    day: u64,
+    days: u64,
+    buf: DayBuffer,
+}
+
+impl EventStream {
+    /// Builds a stream for one machine described by `config` over the given
+    /// application workloads.
+    pub fn new(config: &GeneratorConfig, specs: Vec<WorkloadSpec>) -> Self {
+        let mut state = ValueState::default();
+        let rngs = (0..specs.len())
+            .map(|i| {
+                StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            })
+            .collect();
+        let sims = specs
+            .into_iter()
+            .map(|spec| AppSim::new(spec, &mut state))
+            .collect();
+        EventStream {
+            sims,
+            rngs,
+            state,
+            day: 0,
+            days: config.days,
+            buf: DayBuffer::default(),
+        }
+    }
+
+    /// The deployment length in days.
+    pub fn days(&self) -> u64 {
+        self.days
+    }
+
+    /// The next day still to be simulated (equals [`EventStream::days`]
+    /// once the stream is exhausted).
+    pub fn current_day(&self) -> u64 {
+        self.day
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        loop {
+            if let Some(op) = self.buf.ops.pop_front() {
+                return Some(op);
+            }
+            if self.day >= self.days {
+                return None;
+            }
+            let day = self.day;
+            self.day += 1;
+            for (sim, rng) in self.sims.iter_mut().zip(&mut self.rngs) {
+                sim.simulate_day(day, self.days, &mut self.buf, rng, &mut self.state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{KeySpec, NoiseKey, SettingGroup, ValueKind};
+    use ocasta_ttkv::TimePrecision;
+
+    fn demo_specs() -> Vec<WorkloadSpec> {
+        let mut a = WorkloadSpec::new("alpha");
+        a.sessions_per_day = 2.0;
+        a.reads_per_session = 16;
+        a.static_keys = 10;
+        a.churn_keys = 3;
+        a.churn_writes_per_day = 0.5;
+        a.groups.push(SettingGroup::new(
+            "pair",
+            vec![
+                KeySpec::new("flag", ValueKind::Toggle { initial: false }),
+                KeySpec::new("level", ValueKind::IntRange { min: 1, max: 5 }),
+            ],
+            0.4,
+        ));
+        a.noise.push(NoiseKey::new(
+            KeySpec::new(
+                "geometry",
+                ValueKind::IntRange {
+                    min: 100,
+                    max: 2000,
+                },
+            ),
+            2.0,
+        ));
+        let mut b = WorkloadSpec::new("beta");
+        b.sessions_per_day = 1.0;
+        b.static_keys = 5;
+        b.groups.push(SettingGroup::new(
+            "solo",
+            vec![KeySpec::new("mode", ValueKind::Toggle { initial: true })],
+            0.2,
+        ));
+        vec![a, b]
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let config = GeneratorConfig::new("m", 20, 11);
+        let a: Vec<_> = EventStream::new(&config, demo_specs()).collect();
+        let b: Vec<_> = EventStream::new(&config, demo_specs()).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c: Vec<_> =
+            EventStream::new(&GeneratorConfig::new("m", 20, 12), demo_specs()).collect();
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn stream_yields_days_in_order_and_covers_all_apps() {
+        let config = GeneratorConfig::new("m", 30, 3);
+        let ops: Vec<_> = EventStream::new(&config, demo_specs()).collect();
+        let mut last_day = 0;
+        let mut apps = std::collections::BTreeSet::new();
+        for op in &ops {
+            if let TraceOp::Mutation(event) = op {
+                let day = event.timestamp.as_millis() / 86_400_000;
+                assert!(day + 1 >= last_day, "events stay within a day of order");
+                last_day = last_day.max(day);
+                apps.insert(event.app().to_owned());
+            }
+        }
+        assert!(apps.contains("alpha") && apps.contains("beta"), "{apps:?}");
+    }
+
+    #[test]
+    fn streamed_replay_builds_a_plausible_store() {
+        let config = GeneratorConfig::new("m", 15, 9);
+        let mut store = Ttkv::new();
+        let mut ops = 0usize;
+        for op in EventStream::new(&config, demo_specs()) {
+            ops += 1;
+            op.apply(&mut store, TimePrecision::Seconds);
+        }
+        assert!(ops > 100, "ops: {ops}");
+        assert!(store.stats().writes > 10);
+        assert!(store.stats().reads > 100);
+        assert!(store.len() >= 15, "keys: {}", store.len());
+    }
+
+    #[test]
+    fn buffered_build_equals_direct_apply() {
+        let config = GeneratorConfig::new("m", 10, 5);
+        let mut direct = Ttkv::new();
+        let mut builder = TtkvBuilder::new();
+        for op in EventStream::new(&config, demo_specs()) {
+            op.clone().apply(&mut direct, TimePrecision::Milliseconds);
+            op.buffer(&mut builder);
+        }
+        assert_eq!(builder.build(), direct);
+    }
+
+    #[test]
+    fn current_day_tracks_progress() {
+        let config = GeneratorConfig::new("m", 4, 2);
+        let mut stream = EventStream::new(&config, demo_specs());
+        assert_eq!(stream.current_day(), 0);
+        while stream.next().is_some() {}
+        assert_eq!(stream.current_day(), stream.days());
+    }
+}

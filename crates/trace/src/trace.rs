@@ -121,7 +121,11 @@ impl Trace {
             .iter()
             .map(|e| e.app().to_owned())
             .chain(self.read_counts.keys().map(|k| {
-                k.as_str().split('/').next().unwrap_or(k.as_str()).to_owned()
+                k.as_str()
+                    .split('/')
+                    .next()
+                    .unwrap_or(k.as_str())
+                    .to_owned()
             }))
             .collect();
         apps.sort();
@@ -148,7 +152,11 @@ impl Trace {
             store.add_reads(key.clone(), count);
         }
         let mut events = self.events.clone();
-        events.sort_by(|a, b| a.timestamp.cmp(&b.timestamp).then_with(|| a.key.cmp(&b.key)));
+        events.sort_by(|a, b| {
+            a.timestamp
+                .cmp(&b.timestamp)
+                .then_with(|| a.key.cmp(&b.key))
+        });
         for event in events {
             let t = precision.apply(event.timestamp);
             match event.mutation {
@@ -188,7 +196,12 @@ impl Trace {
     ///
     /// Returns [`TtkvError::Io`] if the writer fails.
     pub fn save<W: Write>(&self, mut writer: W) -> Result<(), TtkvError> {
-        writeln!(writer, "ocasta-trace v1 {} days={}", codec::escape(&self.name), self.days)?;
+        writeln!(
+            writer,
+            "ocasta-trace v1 {} days={}",
+            codec::escape(&self.name),
+            self.days
+        )?;
         for (key, count) in &self.read_counts {
             writeln!(writer, "r {} {}", codec::escape(key.as_str()), count)?;
         }
@@ -285,8 +298,8 @@ impl Trace {
                         .and_then(|raw| codec::unescape(raw).map_err(|e| parse_err(lineno, e)))?;
                     let t = Timestamp::from_millis(ts);
                     if op == "w" {
-                        let value: Value = codec::decode_value(&mut tokens)
-                            .map_err(|e| parse_err(lineno, e))?;
+                        let value: Value =
+                            codec::decode_value(&mut tokens).map_err(|e| parse_err(lineno, e))?;
                         trace.push(AccessEvent::write(t, Key::new(key), value));
                     } else {
                         trace.push(AccessEvent::delete(t, Key::new(key)));

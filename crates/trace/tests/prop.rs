@@ -8,7 +8,12 @@ use ocasta_ttkv::{Key, TimePrecision, Timestamp, Value};
 /// Arbitrary mutation events over a small key space.
 fn events() -> impl Strategy<Value = Vec<(u8, u64, i32, bool)>> {
     prop::collection::vec(
-        (0u8..8, 0u64..1_000_000, any::<i32>(), prop::bool::weighted(0.15)),
+        (
+            0u8..8,
+            0u64..1_000_000,
+            any::<i32>(),
+            prop::bool::weighted(0.15),
+        ),
         0..80,
     )
 }

@@ -1,0 +1,189 @@
+//! Bulk construction of [`Ttkv`] stores.
+//!
+//! [`Ttkv::write`] keeps every key's history sorted on every insertion — ideal
+//! for live recording but wasteful when a large, possibly out-of-order
+//! batch is ingested at once (WAL replay, shard ingestion, trace merges):
+//! each out-of-order arrival pays a `Vec::insert` shift. [`TtkvBuilder`]
+//! instead accumulates mutations unordered and sorts once at
+//! [`TtkvBuilder::build`] time, so every per-key insertion is an append.
+//!
+//! The builder produces *exactly* the store that sequential
+//! [`Ttkv::write`]/[`Ttkv::delete`] calls in the same arrival order would
+//! produce: the sort is stable on timestamps, and ties therefore preserve
+//! arrival order — the same rule `KeyRecord::record_mutation` applies.
+
+use std::collections::BTreeMap;
+
+use crate::record::Version;
+use crate::store::Ttkv;
+use crate::time::Timestamp;
+use crate::value::Value;
+use crate::Key;
+
+/// Accumulates accesses and builds a [`Ttkv`] in one sorted pass.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_ttkv::{Timestamp, Ttkv, TtkvBuilder, Value};
+///
+/// let mut builder = TtkvBuilder::new();
+/// builder.write(Timestamp::from_secs(9), "app/theme", Value::from("light"));
+/// builder.write(Timestamp::from_secs(1), "app/theme", Value::from("dark"));
+/// builder.add_reads("app/theme", 40);
+///
+/// let store = builder.build();
+/// assert_eq!(store.value_at("app/theme", Timestamp::from_secs(5)),
+///            Some(&Value::from("dark")));
+/// assert_eq!(store.stats().reads, 40);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TtkvBuilder {
+    mutations: Vec<(Key, Version)>,
+    reads: BTreeMap<Key, u64>,
+}
+
+impl TtkvBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TtkvBuilder::default()
+    }
+
+    /// Creates a builder with space for `mutations` mutations.
+    pub fn with_capacity(mutations: usize) -> Self {
+        TtkvBuilder {
+            mutations: Vec::with_capacity(mutations),
+            reads: BTreeMap::new(),
+        }
+    }
+
+    /// Buffers a write of `value` to `key` at time `t`.
+    pub fn write(&mut self, t: Timestamp, key: impl Into<Key>, value: Value) {
+        self.mutations.push((key.into(), Version::write(t, value)));
+    }
+
+    /// Buffers a deletion of `key` at time `t`.
+    pub fn delete(&mut self, t: Timestamp, key: impl Into<Key>) {
+        self.mutations.push((key.into(), Version::tombstone(t)));
+    }
+
+    /// Buffers `count` read accesses to `key`.
+    pub fn add_reads(&mut self, key: impl Into<Key>, count: u64) {
+        *self.reads.entry(key.into()).or_insert(0) += count;
+    }
+
+    /// Number of buffered mutations.
+    pub fn len(&self) -> usize {
+        self.mutations.len()
+    }
+
+    /// `true` if nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.mutations.is_empty() && self.reads.is_empty()
+    }
+
+    /// Moves everything buffered in `other` into `self` (`other`'s arrivals
+    /// order after `self`'s on timestamp ties).
+    pub fn append(&mut self, other: TtkvBuilder) {
+        self.mutations.extend(other.mutations);
+        for (key, count) in other.reads {
+            *self.reads.entry(key).or_insert(0) += count;
+        }
+    }
+
+    /// Builds the store: one stable timestamp sort, then in-order insertion.
+    pub fn build(self) -> Ttkv {
+        let mut store = Ttkv::new();
+        self.build_into(&mut store);
+        store
+    }
+
+    /// Applies the buffered accesses to an existing store.
+    ///
+    /// Equivalent to replaying the buffered accesses through
+    /// [`Ttkv::write`]/[`Ttkv::delete`]/[`Ttkv::add_reads`] in timestamp
+    /// order, but with the sort amortised over the whole batch.
+    pub fn build_into(self, store: &mut Ttkv) {
+        for (key, count) in self.reads {
+            store.add_reads(key, count);
+        }
+        let mut mutations = self.mutations;
+        // Stable: ties keep arrival order, matching sequential ingestion.
+        mutations.sort_by_key(|(_, version)| version.timestamp);
+        for (key, version) in mutations {
+            store.apply_version(key, version);
+        }
+    }
+}
+
+impl Extend<(Timestamp, Key, Value)> for TtkvBuilder {
+    fn extend<I: IntoIterator<Item = (Timestamp, Key, Value)>>(&mut self, iter: I) {
+        for (t, key, value) in iter {
+            self.write(t, key, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn builder_matches_sequential_ingestion() {
+        // Deliberately out of order, with a timestamp tie on one key.
+        let ops: Vec<(u64, &str, i64)> = vec![
+            (9, "a/x", 1),
+            (3, "a/y", 2),
+            (9, "a/x", 3),
+            (1, "a/x", 4),
+            (3, "b/z", 5),
+        ];
+        let mut sequential = Ttkv::new();
+        let mut builder = TtkvBuilder::new();
+        for &(t, key, v) in &ops {
+            sequential.write(ts(t), key, Value::from(v));
+            builder.write(ts(t), key, Value::from(v));
+        }
+        sequential.delete(ts(5), "a/y");
+        builder.delete(ts(5), "a/y");
+        sequential.add_reads("a/x", 7);
+        builder.add_reads("a/x", 7);
+        assert_eq!(builder.build(), sequential);
+    }
+
+    #[test]
+    fn append_concatenates_arrival_order() {
+        let mut first = TtkvBuilder::new();
+        first.write(ts(1), "k", Value::from("first"));
+        let mut second = TtkvBuilder::new();
+        second.write(ts(1), "k", Value::from("second"));
+        second.add_reads("k", 2);
+        first.append(second);
+        assert_eq!(first.len(), 2);
+        let store = first.build();
+        // Tie at t=1: the later arrival (from `second`) wins.
+        assert_eq!(store.current("k"), Some(&Value::from("second")));
+        assert_eq!(store.stats().reads, 2);
+    }
+
+    #[test]
+    fn build_into_layers_onto_existing_store() {
+        let mut store = Ttkv::new();
+        store.write(ts(1), "k", Value::from(1));
+        let mut builder = TtkvBuilder::new();
+        builder.write(ts(2), "k", Value::from(2));
+        builder.build_into(&mut store);
+        assert_eq!(store.record("k").unwrap().writes, 2);
+        assert_eq!(store.current("k"), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_store() {
+        assert!(TtkvBuilder::new().is_empty());
+        assert!(TtkvBuilder::new().build().is_empty());
+    }
+}

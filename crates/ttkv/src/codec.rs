@@ -160,7 +160,10 @@ mod tests {
             Value::Str(String::new()),
         ] {
             let token = value_to_token(&v);
-            assert!(!token.contains(' ') || matches!(v, Value::List(_)), "{token}");
+            assert!(
+                !token.contains(' ') || matches!(v, Value::List(_)),
+                "{token}"
+            );
             assert_eq!(value_from_token(&token).unwrap(), v);
         }
     }

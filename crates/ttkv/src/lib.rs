@@ -39,6 +39,7 @@
 
 pub mod codec;
 
+mod builder;
 mod error;
 mod key;
 mod persist;
@@ -49,6 +50,7 @@ mod store;
 mod time;
 mod value;
 
+pub use builder::TtkvBuilder;
 pub use error::TtkvError;
 pub use key::Key;
 pub use record::{KeyRecord, Version};

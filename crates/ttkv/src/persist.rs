@@ -116,15 +116,18 @@ impl Ttkv {
                         .map_err(|e| TtkvError::parse(lineno, format!("bad timestamp: {e}")))?;
                     let t = Timestamp::from_millis(ts);
                     if op == "w" {
-                        let value = decode_value(&mut tokens)
-                            .map_err(|e| TtkvError::parse(lineno, e))?;
+                        let value =
+                            decode_value(&mut tokens).map_err(|e| TtkvError::parse(lineno, e))?;
                         store.write(t, key, value);
                     } else {
                         store.delete(t, key);
                     }
                 }
                 Some(other) => {
-                    return Err(TtkvError::parse(lineno, format!("unknown record {other:?}")));
+                    return Err(TtkvError::parse(
+                        lineno,
+                        format!("unknown record {other:?}"),
+                    ));
                 }
                 None => unreachable!("split always yields at least one token"),
             }
@@ -153,11 +156,7 @@ mod tests {
         store.read("app/a key with spaces");
         store.write(t0, "app/a key with spaces", Value::from("hello world"));
         store.write(t0 + TimeDelta::from_secs(5), "app/count", Value::from(42));
-        store.write(
-            t0 + TimeDelta::from_secs(6),
-            "app/ratio",
-            Value::from(0.25),
-        );
+        store.write(t0 + TimeDelta::from_secs(6), "app/ratio", Value::from(0.25));
         store.write(
             t0 + TimeDelta::from_secs(7),
             "app/list",

@@ -136,6 +136,51 @@ impl KeyRecord {
         }
     }
 
+    /// Merges another record's history and counters into this one by value.
+    ///
+    /// Histories are merge-sorted on timestamps; on ties, `self`'s versions
+    /// order before `other`'s — the same rule sequential
+    /// [`KeyRecord::record_mutation`] insertion applies. When the incoming
+    /// history strictly follows (or either side is empty) this is a plain
+    /// append/move with no traversal.
+    pub(crate) fn absorb(&mut self, other: KeyRecord) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.deletes += other.deletes;
+        if other.history.is_empty() {
+            return;
+        }
+        if self.history.is_empty() {
+            self.history = other.history;
+            return;
+        }
+        let self_last = self.history.last().expect("non-empty").timestamp;
+        let other_first = other.history.first().expect("non-empty").timestamp;
+        if self_last <= other_first {
+            self.history.extend(other.history);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.history.len() + other.history.len());
+        let mut left = std::mem::take(&mut self.history).into_iter().peekable();
+        let mut right = other.history.into_iter().peekable();
+        loop {
+            match (left.peek(), right.peek()) {
+                (Some(l), Some(r)) => {
+                    // `<=` keeps self's versions first on ties.
+                    if l.timestamp <= r.timestamp {
+                        merged.push(left.next().expect("peeked"));
+                    } else {
+                        merged.push(right.next().expect("peeked"));
+                    }
+                }
+                (Some(_), None) => merged.push(left.next().expect("peeked")),
+                (None, Some(_)) => merged.push(right.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.history = merged;
+    }
+
     /// Collapses versions strictly before `horizon` into at most one
     /// version holding the value live at the horizon (see
     /// [`crate::Ttkv::prune_before`]). Counters are unchanged.

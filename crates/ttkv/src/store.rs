@@ -211,6 +211,21 @@ impl Ttkv {
         }
     }
 
+    /// Applies one pre-built version (write or tombstone) to `key`,
+    /// updating the aggregate counters. Shared by the public mutators and
+    /// the bulk [`crate::TtkvBuilder`] path.
+    pub(crate) fn apply_version(&mut self, key: Key, version: Version) {
+        if version.is_tombstone() {
+            self.deletes += 1;
+        } else {
+            self.writes += 1;
+        }
+        self.records
+            .entry(key)
+            .or_default()
+            .record_mutation(version);
+    }
+
     /// Merges another store's records into this one (used to aggregate the
     /// same user's traces from several lab machines, §V).
     pub fn merge(&mut self, other: &Ttkv) {
@@ -226,6 +241,42 @@ impl Ttkv {
                 target.record_mutation(version.clone());
             }
         }
+    }
+    /// Merges another store into this one **by value**, moving records
+    /// instead of cloning them.
+    ///
+    /// Behaves exactly like [`Ttkv::merge`] but is the fast path for
+    /// shard-merge: when the two stores' key sets are disjoint (as they are
+    /// for hash-sharded stores, see `ocasta-fleet`) every record moves in
+    /// O(log n) with no history traversal at all.
+    pub fn absorb(&mut self, other: Ttkv) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.deletes += other.deletes;
+        for (key, record) in other.records {
+            match self.records.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(record);
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().absorb(record);
+                }
+            }
+        }
+    }
+
+    /// Assembles one consistent store from a set of shards (or any other
+    /// partition of the key space), consuming them.
+    ///
+    /// The usual caller is `ocasta-fleet`, which ingests a machine fleet's
+    /// events into hash-striped shards concurrently and then hands the
+    /// merged view to clustering and repair.
+    pub fn from_shards(shards: impl IntoIterator<Item = Ttkv>) -> Ttkv {
+        let mut merged = Ttkv::new();
+        for shard in shards {
+            merged.absorb(shard);
+        }
+        merged
     }
 }
 
@@ -270,10 +321,16 @@ mod tests {
         store.delete(ts(5), "mru/item1");
         let snap_before = store.snapshot_at(ts(4));
         let snap_after = store.snapshot_at(ts(6));
-        assert_eq!(snap_before.get("mru/item1"), Some(&Value::from("report.doc")));
+        assert_eq!(
+            snap_before.get("mru/item1"),
+            Some(&Value::from("report.doc"))
+        );
         assert_eq!(snap_after.get("mru/item1"), None);
         // Rollback semantics: the historical value survives deletion.
-        assert_eq!(store.value_at("mru/item1", ts(2)), Some(&Value::from("report.doc")));
+        assert_eq!(
+            store.value_at("mru/item1", ts(2)),
+            Some(&Value::from("report.doc"))
+        );
     }
 
     #[test]
@@ -281,7 +338,10 @@ mod tests {
         let mut store = Ttkv::new();
         store.read("ro");
         store.write(ts(1), "rw", Value::from(1));
-        let modified: Vec<_> = store.modified_keys().map(|k| k.as_str().to_owned()).collect();
+        let modified: Vec<_> = store
+            .modified_keys()
+            .map(|k| k.as_str().to_owned())
+            .collect();
         assert_eq!(modified, vec!["rw"]);
         assert_eq!(store.len(), 2);
     }
@@ -334,6 +394,54 @@ mod tests {
         store.write(ts(1), "excel/mru/a", Value::from(3));
         let prefix = Key::new("word");
         assert_eq!(store.keys_under(&prefix).count(), 2);
+    }
+
+    #[test]
+    fn absorb_agrees_with_merge() {
+        let mut a = Ttkv::new();
+        a.write(ts(10), "u/pref", Value::from("a"));
+        a.write(ts(10), "u/tied", Value::from("first"));
+        a.read("u/pref");
+        let mut b = Ttkv::new();
+        b.write(ts(5), "u/pref", Value::from("b"));
+        b.write(ts(10), "u/tied", Value::from("second"));
+        b.write(ts(3), "only/b", Value::from(1));
+        b.read("only/b");
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut absorbed = a.clone();
+        absorbed.absorb(b.clone());
+        assert_eq!(merged, absorbed);
+        // Tie at ts(10) on u/tied: the absorbed store's version wins,
+        // exactly as sequential ingestion order would dictate.
+        assert_eq!(absorbed.current("u/tied"), Some(&Value::from("second")));
+    }
+
+    #[test]
+    fn from_shards_reassembles_partitions() {
+        let mut whole = Ttkv::new();
+        let mut shards = vec![Ttkv::new(), Ttkv::new(), Ttkv::new()];
+        for i in 0..30u64 {
+            let key = Key::new(format!("app/k{i}"));
+            whole.write(ts(i), key.clone(), Value::from(i as i64));
+            shards[(i % 3) as usize].write(ts(i), key, Value::from(i as i64));
+        }
+        whole.add_reads("app/k0", 4);
+        shards[0].add_reads("app/k0", 4);
+        assert_eq!(Ttkv::from_shards(shards), whole);
+    }
+
+    #[test]
+    fn store_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // The fleet ingestion engine shares these across threads.
+        assert_send_sync::<Ttkv>();
+        assert_send_sync::<Key>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<KeyRecord>();
+        assert_send_sync::<crate::TtkvBuilder>();
+        assert_send_sync::<ConfigState>();
     }
 
     #[test]

@@ -202,7 +202,7 @@ impl AddAssign for TimeDelta {
 
 impl fmt::Display for TimeDelta {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 % 1000 == 0 {
+        if self.0.is_multiple_of(1000) {
             write!(f, "{}s", self.0 / 1000)
         } else {
             write!(f, "{}ms", self.0)

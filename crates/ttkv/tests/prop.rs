@@ -47,9 +47,11 @@ fn apply(ops: &[Op]) -> Ttkv {
     let mut store = Ttkv::new();
     for o in ops {
         match o {
-            Op::Write(k, t, v) => {
-                store.write(Timestamp::from_millis(*t), Key::new(key_name(*k)), v.clone())
-            }
+            Op::Write(k, t, v) => store.write(
+                Timestamp::from_millis(*t),
+                Key::new(key_name(*k)),
+                v.clone(),
+            ),
             Op::Delete(k, t) => store.delete(Timestamp::from_millis(*t), Key::new(key_name(*k))),
             Op::Read(k) => store.read(Key::new(key_name(*k))),
         }

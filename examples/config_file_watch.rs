@@ -15,25 +15,40 @@ use ocasta::{
 fn flushes() -> Vec<(u64, &'static str)> {
     vec![
         // install: defaults written
-        (0, r#"{"toolbar": {"home": true, "bookmarks": true},
+        (
+            0,
+            r#"{"toolbar": {"home": true, "bookmarks": true},
                 "proxy": {"mode": "direct", "host": "", "port": 0},
-                "zoom": 1.0}"#),
+                "zoom": 1.0}"#,
+        ),
         // day 1: the user configures a proxy — mode/host/port change together
-        (86_400, r#"{"toolbar": {"home": true, "bookmarks": true},
+        (
+            86_400,
+            r#"{"toolbar": {"home": true, "bookmarks": true},
                 "proxy": {"mode": "manual", "host": "proxy.lab", "port": 8080},
-                "zoom": 1.0}"#),
+                "zoom": 1.0}"#,
+        ),
         // day 2: zoom fiddling (independent)
-        (172_800, r#"{"toolbar": {"home": true, "bookmarks": true},
+        (
+            172_800,
+            r#"{"toolbar": {"home": true, "bookmarks": true},
                 "proxy": {"mode": "manual", "host": "proxy.lab", "port": 8080},
-                "zoom": 1.25}"#),
+                "zoom": 1.25}"#,
+        ),
         // day 3: proxy switched off — the trio changes together again
-        (259_200, r#"{"toolbar": {"home": true, "bookmarks": true},
+        (
+            259_200,
+            r#"{"toolbar": {"home": true, "bookmarks": true},
                 "proxy": {"mode": "direct", "host": "", "port": 0},
-                "zoom": 1.25}"#),
+                "zoom": 1.25}"#,
+        ),
         // day 4: more zoom churn
-        (345_600, r#"{"toolbar": {"home": true, "bookmarks": true},
+        (
+            345_600,
+            r#"{"toolbar": {"home": true, "bookmarks": true},
                 "proxy": {"mode": "direct", "host": "", "port": 0},
-                "zoom": 1.5}"#),
+                "zoom": 1.5}"#,
+        ),
     ]
 }
 

@@ -5,9 +5,7 @@
 //! cargo run -p ocasta --example quickstart
 //! ```
 
-use ocasta::{
-    search, FixOracle, Ocasta, Screenshot, SearchConfig, Timestamp, Trial, Ttkv, Value,
-};
+use ocasta::{search, FixOracle, Ocasta, Screenshot, SearchConfig, Timestamp, Trial, Ttkv, Value};
 
 fn main() {
     // 1. Record configuration accesses. In a deployment this is done by a
@@ -19,7 +17,11 @@ fn main() {
     for day in 0..6u64 {
         let t = Timestamp::from_days(day);
         store.write(t, "mail/mark_seen", Value::from(true));
-        store.write(t, "mail/mark_seen_timeout", Value::from(1000 + day as i64 * 100));
+        store.write(
+            t,
+            "mail/mark_seen_timeout",
+            Value::from(1000 + day as i64 * 100),
+        );
         store.write(
             Timestamp::from_days(day) + ocasta::TimeDelta::from_mins(30 + day),
             "mail/window_width",
@@ -59,7 +61,9 @@ fn main() {
         &SearchConfig::default(),
     );
 
-    let fix = outcome.fix.expect("the recorded history contains a good state");
+    let fix = outcome
+        .fix
+        .expect("the recorded history contains a good state");
     println!(
         "\nfixed after {} trial(s) by rolling back {:?} to before {}",
         outcome.trials_to_fix.unwrap(),

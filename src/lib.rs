@@ -1,0 +1,8 @@
+//! `ocasta-suite` — workspace-level integration surface.
+//!
+//! This package exists to anchor the end-to-end integration tests in
+//! `tests/` and the walkthroughs in `examples/`; the actual functionality
+//! lives in the `crates/` workspace members, re-exported here through the
+//! [`ocasta`] facade.
+
+pub use ocasta;

@@ -73,8 +73,14 @@ fn oversized_clusters_dominate_the_errors() {
         .iter()
         .map(|a| a.multi_clusters - a.correct_multi)
         .sum();
-    assert_eq!(oversized, incorrect, "every incorrect cluster is oversized here");
-    assert!(oversized >= 20, "the designed oversize couplings appear: {oversized}");
+    assert_eq!(
+        oversized, incorrect,
+        "every incorrect cluster is oversized here"
+    );
+    assert!(
+        oversized >= 20,
+        "the designed oversize couplings appear: {oversized}"
+    );
 }
 
 #[test]

@@ -9,7 +9,11 @@ use ocasta::{
 #[test]
 fn corrupted_trace_files_are_rejected_with_positions() {
     let mut trace = Trace::new("t", 1);
-    trace.push(ocasta::AccessEvent::write(Timestamp::from_secs(1), "a/k", 1));
+    trace.push(ocasta::AccessEvent::write(
+        Timestamp::from_secs(1),
+        "a/k",
+        1,
+    ));
     let good = trace.save_to_string();
 
     // Flip individual lines into garbage: every corruption must surface as
@@ -28,7 +32,11 @@ fn corrupted_trace_files_are_rejected_with_positions() {
 #[test]
 fn truncated_ttkv_files_are_rejected() {
     let mut store = Ttkv::new();
-    store.write(Timestamp::from_secs(1), "k", Value::List(vec![Value::from(1), Value::from(2)]));
+    store.write(
+        Timestamp::from_secs(1),
+        "k",
+        Value::List(vec![Value::from(1), Value::from(2)]),
+    );
     let text = store.save_to_string();
     // Chop characters off the end; outcomes must be Ok (when the cut falls
     // on a record boundary) or a parse error — never a panic.
@@ -42,7 +50,11 @@ fn out_of_order_events_replay_consistently() {
     let mut trace = Trace::new("skew", 1);
     // A merged multi-machine trace with interleaved, unsorted timestamps.
     for (t, v) in [(50u64, 5i64), (10, 1), (30, 3), (20, 2), (40, 4)] {
-        trace.push(ocasta::AccessEvent::write(Timestamp::from_secs(t), "a/k", v));
+        trace.push(ocasta::AccessEvent::write(
+            Timestamp::from_secs(t),
+            "a/k",
+            v,
+        ));
     }
     let store = trace.replay(ocasta::TimePrecision::Seconds);
     for (t, v) in [(10u64, 1i64), (20, 2), (30, 3), (40, 4), (50, 5)] {
@@ -146,7 +158,13 @@ fn deletion_only_history_is_searchable() {
 #[test]
 fn parser_garbage_does_not_panic() {
     for garbage in [
-        "", "\u{0}\u{1}\u{2}", "{{{{{{", "<a><b></b>", "[=", "((((", "/ / /",
+        "",
+        "\u{0}\u{1}\u{2}",
+        "{{{{{{",
+        "<a><b></b>",
+        "[=",
+        "((((",
+        "/ / /",
         &"x".repeat(10_000),
     ] {
         for format in ocasta::Format::ALL {

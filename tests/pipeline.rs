@@ -1,9 +1,7 @@
 //! End-to-end pipeline integration: workload generation → trace files →
 //! TTKV replay → clustering → ground-truth recovery.
 
-use ocasta::{
-    generate, model_by_name, GeneratorConfig, Key, Ocasta, TimePrecision, Trace, Ttkv,
-};
+use ocasta::{generate, model_by_name, GeneratorConfig, Key, Ocasta, TimePrecision, Trace, Ttkv};
 
 #[test]
 fn generated_trace_roundtrips_through_file_format() {
@@ -35,14 +33,27 @@ fn clustering_recovers_planted_groups() {
     // Evolution's three error-scenario pairs are always written together;
     // the pipeline must recover each of them as one cluster.
     let model = model_by_name("evolution").unwrap();
-    let store = model.generate_trace(45, 1001).replay(TimePrecision::Seconds);
+    let store = model
+        .generate_trace(45, 1001)
+        .replay(TimePrecision::Seconds);
     let clustering = Ocasta::default().cluster_store(&store);
     for (a, b) in [
-        ("evolution/offline/start_offline", "evolution/offline/sync_folders"),
-        ("evolution/mail/mark_seen", "evolution/mail/mark_seen_timeout"),
-        ("evolution/composer/reply_start", "evolution/composer/signature_top"),
+        (
+            "evolution/offline/start_offline",
+            "evolution/offline/sync_folders",
+        ),
+        (
+            "evolution/mail/mark_seen",
+            "evolution/mail/mark_seen_timeout",
+        ),
+        (
+            "evolution/composer/reply_start",
+            "evolution/composer/signature_top",
+        ),
     ] {
-        let cluster = clustering.cluster_of(a).unwrap_or_else(|| panic!("{a} clustered"));
+        let cluster = clustering
+            .cluster_of(a)
+            .unwrap_or_else(|| panic!("{a} clustered"));
         assert!(
             cluster.iter().any(|k| k.as_str() == b),
             "{a} and {b} should share a cluster; got {cluster:?}"
@@ -57,14 +68,21 @@ fn coupled_dialogs_produce_oversized_clusters() {
     // black-box clustering cannot tell and must merge them (the paper's
     // oversized-cluster failure mode).
     let model = model_by_name("gedit").unwrap();
-    let store = model.generate_trace(45, 1005).replay(TimePrecision::Seconds);
+    let store = model
+        .generate_trace(45, 1005)
+        .replay(TimePrecision::Seconds);
     let clustering = Ocasta::default().cluster_store(&store);
     let cluster = clustering
         .cluster_of("gedit/view/wrap_mode")
         .expect("wrap_mode was modified");
     assert_eq!(cluster.len(), 2);
-    assert!(cluster.iter().any(|k| k.as_str() == "gedit/editor/tab_width"));
-    assert!(!model.cluster_is_correct(cluster), "the merged pair is not truly related");
+    assert!(cluster
+        .iter()
+        .any(|k| k.as_str() == "gedit/editor/tab_width"));
+    assert!(
+        !model.cluster_is_correct(cluster),
+        "the merged pair is not truly related"
+    );
 }
 
 #[test]

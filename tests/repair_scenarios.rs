@@ -1,8 +1,6 @@
 //! Table IV integration: all 16 real-world errors end to end.
 
-use ocasta::{
-    run_noclust, run_scenario, scenarios, ClusterParams, ScenarioConfig, SearchStrategy,
-};
+use ocasta::{run_noclust, run_scenario, scenarios, ClusterParams, ScenarioConfig, SearchStrategy};
 
 fn config_for(scenario: &ocasta::ErrorScenario) -> ScenarioConfig {
     let params = if scenario.needs_tuning {

@@ -11,7 +11,10 @@ fn mean_multi_size(window_ms: u64, threshold: f64) -> f64 {
         correlation_threshold: threshold,
         ..ClusterParams::default()
     };
-    Ocasta::new(params).cluster_store(&store).stats().mean_multi_cluster_size()
+    Ocasta::new(params)
+        .cluster_store(&store)
+        .stats()
+        .mean_multi_cluster_size()
 }
 
 #[test]

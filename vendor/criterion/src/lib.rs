@@ -1,0 +1,283 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace's benches use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups with throughput annotations — over a simple median-of-samples
+//! timing loop. No plotting, no statistical regression analysis; each
+//! benchmark prints one line:
+//!
+//! ```text
+//! ttkv_write/10000        time:   1.234 ms/iter   (8.1 Melem/s, 31 samples)
+//! ```
+//!
+//! The measurement strategy is: time single calls until the per-iteration
+//! cost is known, pick an iteration count that makes one sample take ≳2 ms,
+//! then report the median sample.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter value (the group name provides the
+    /// function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(function) => write!(f, "{function}/{}", self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` `iters` times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: how expensive is one iteration?
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~2 ms per sample, capped to keep total runtime bounded.
+    let iters =
+        (Duration::from_millis(2).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut per_iter_nanos: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        per_iter_nanos.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_nanos.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_nanos[per_iter_nanos.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(", {}/s", humanize(n as f64 / (median * 1e-9), "elem")),
+        Throughput::Bytes(n) => format!(", {}/s", humanize(n as f64 / (median * 1e-9), "B")),
+    });
+    println!(
+        "{name:<48} time: {:>12}/iter   ({} samples x {iters} iters{})",
+        humanize_nanos(median),
+        per_iter_nanos.len(),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn humanize_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn humanize(value: f64, unit: &str) -> String {
+    if value >= 1e9 {
+        format!("{:.2} G{unit}", value / 1e9)
+    } else if value >= 1e6 {
+        format!("{:.2} M{unit}", value / 1e6)
+    } else if value >= 1e3 {
+        format!("{:.2} k{unit}", value / 1e3)
+    } else {
+        format!("{value:.0} {unit}")
+    }
+}
+
+/// Collects benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("complete", 100).to_string(),
+            "complete/100"
+        );
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(10), &10u32, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                (0..n).sum::<u32>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "the routine must actually run");
+    }
+}

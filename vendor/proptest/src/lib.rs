@@ -1,0 +1,749 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest's API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_recursive`/`boxed`,
+//! [`any`], [`Just`], range and tuple strategies, a regex-subset string
+//! strategy, [`collection::vec`]/[`collection::btree_map`],
+//! [`bool::weighted`], the [`prop_oneof!`] union macro and the
+//! [`proptest!`] test-runner macro.
+//!
+//! Differences from the real engine, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs (via the case
+//!   counter and seed printed on failure) but is not minimised;
+//! * **fixed deterministic seeding** — each test's RNG is seeded from the
+//!   test name, so a run is reproducible without a persistence file;
+//! * **`PROPTEST_CASES`** (default 64) controls the number of cases.
+//!
+//! String strategies accept the regex subset the workspace uses: literal
+//! characters, character classes like `[A-Za-z0-9_ .-]` (ranges, literals,
+//! trailing `-`), the `\PC` printable-character escape, and `{m,n}`
+//! repetition.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// inner occurrences and returns the composite level. The result mixes
+    /// leaves back in at every level so structures terminate at varied
+    /// depths. `_desired_size` and `_expected_branch` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = Union::new(vec![(1, leaf.clone()), (2, recurse(level).boxed())]).boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of same-typed strategies; what [`prop_oneof!`] builds.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.random_range(0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// The full-domain strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// A strategy covering the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns: exercises subnormals, infinities and NaN, which
+        // is exactly what bit-exact persistence round-trips should face.
+        f64::from_bits(rng.random::<u64>())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.random::<u64>() as u32)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.random_range(0x20u32..0x7F)).expect("printable ascii")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// String strategies from regex-subset patterns
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[A-Za-z0-9_]`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable, non-control character.
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<Atom> = Vec::new();
+    while let Some(c) = chars.next() {
+        let kind = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut items: Vec<char> = Vec::new();
+                for inner in chars.by_ref() {
+                    if inner == ']' {
+                        break;
+                    }
+                    items.push(inner);
+                }
+                let mut i = 0;
+                while i < items.len() {
+                    if i + 2 < items.len() && items[i + 1] == '-' {
+                        ranges.push((items[i], items[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((items[i], items[i]));
+                        i += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                AtomKind::Class(ranges)
+            }
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // Only the printable-character class `\PC` is supported.
+                    let class = chars.next();
+                    assert_eq!(class, Some('C'), "unsupported \\P class in {pattern:?}");
+                    AtomKind::AnyPrintable
+                }
+                Some('n') => AtomKind::Literal('\n'),
+                Some('t') => AtomKind::Literal('\t'),
+                Some('r') => AtomKind::Literal('\r'),
+                Some(other) => AtomKind::Literal(other),
+                None => panic!("dangling backslash in pattern {pattern:?}"),
+            },
+            other => AtomKind::Literal(other),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for inner in chars.by_ref() {
+                if inner == '}' {
+                    break;
+                }
+                spec.push(inner);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+fn generate_char(kind: &AtomKind, rng: &mut TestRng) -> char {
+    match kind {
+        AtomKind::Literal(c) => *c,
+        AtomKind::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.random_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick).expect("class range is valid");
+                }
+                pick -= span;
+            }
+            unreachable!("pick < total")
+        }
+        AtomKind::AnyPrintable => {
+            // Mostly printable ASCII (which exercises quoting and escaping),
+            // with a sprinkle of multi-byte characters to keep UTF-8
+            // handling honest.
+            const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', '→', '日', '本', '😀'];
+            if rng.random_bool(0.12) {
+                EXOTIC[rng.random_range(0..EXOTIC.len())]
+            } else {
+                char::from_u32(rng.random_range(0x20u32..0x7F)).expect("printable ascii")
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.random_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(generate_char(&atom.kind, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------------
+
+/// Collection-valued strategies (`vec`, `btree_map`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A collection size specification: an exact count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.min..self.max_exclusive)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`; duplicate keys collapse, so the map
+    /// may be smaller than the drawn size.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Boolean-valued strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    /// See [`weighted`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random_bool(self.p)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `body` for [`cases`] deterministic cases; used by [`proptest!`].
+pub fn run_cases<F: FnMut(&mut TestRng)>(test_name: &str, mut body: F) {
+    // FNV-1a over the test name: stable, deterministic seeding per test.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        seed ^= u64::from(byte);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let total = cases();
+    for case in 0..total {
+        let mut rng = TestRng::seed_from_u64(seed.wrapping_add(u64::from(case)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "proptest shim: {test_name} failed at case {case}/{total} \
+                 (seed {seed:#018x}; rerun is deterministic)"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Declares property tests: each argument is drawn from its strategy for
+/// every case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Property-test assertion; equivalent to `assert!` in this shim.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Property-test equality assertion; equivalent to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Property-test inequality assertion; equivalent to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Weighted or unweighted union of strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Everything a property-test file needs, mirroring proptest's prelude.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::bool::weighted`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = rng();
+        let strat = (0u8..4, 10u64..=20, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = strat.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..=20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+
+            let t = "[ -~]{0,16}".generate(&mut rng);
+            assert!(t.chars().count() <= 16);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+
+            let u = "\\PC{0,40}".generate(&mut rng);
+            assert!(u.chars().count() <= 40);
+            assert!(u.chars().all(|c| !c.is_control()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_weights_and_collections() {
+        let mut rng = rng();
+        let strat = prop_oneof![
+            4 => Just(0u8),
+            1 => Just(1u8),
+        ];
+        let n = 10_000;
+        let ones: u32 = (0..n).map(|_| u32::from(strat.generate(&mut rng))).sum();
+        // Expect ~20% ones.
+        assert!((1_000..3_000).contains(&ones), "ones: {ones}");
+
+        let lists = prop::collection::vec(0u8..3, 2..5);
+        for _ in 0..100 {
+            let v = lists.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let maps = prop::collection::btree_map("[a-c]", 0i32..5, 0..6);
+        for _ in 0..100 {
+            let m = maps.generate(&mut rng);
+            assert!(m.len() < 6);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth_of(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(n) => usize::from(*n < 10),
+                Tree::Node(children) => 1 + children.iter().map(depth_of).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = rng();
+        for _ in 0..200 {
+            // Depth bound: 3 recursion levels + the leaf itself.
+            assert!(depth_of(&strat.generate(&mut rng)) <= 4 + 3);
+        }
+    }
+
+    proptest! {
+        /// The macro itself: draws values, runs the body for many cases.
+        #[test]
+        fn macro_drives_cases(x in 0u32..100, ys in prop::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.iter().filter(|&&y| y >= 4).count(), 0);
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

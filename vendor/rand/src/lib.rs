@@ -1,0 +1,358 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate implements exactly the subset of the `rand` 0.9 API
+//! the workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] extension methods (`random`, `random_range`, `random_bool`) and
+//! the slice helpers in [`seq`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a small,
+//! well-studied construction with excellent statistical quality for
+//! simulation workloads. It is **deterministic across platforms**, which
+//! the workspace's seeded workload generator relies on, and is **not**
+//! cryptographically secure (neither is the real `StdRng` contractually).
+
+#![forbid(unsafe_code)]
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from the full value domain via
+/// [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                let span = (high as u64).wrapping_sub(low as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Lemire's widening-multiply range reduction (bias is
+                // immaterial for simulation workloads).
+                let draw = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                low.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let draw = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                (low as i64).wrapping_add(draw as i64) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: f64, high: f64) -> f64 {
+        let unit = f64::sample(rng);
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: f32, high: f32) -> f32 {
+        let unit = f32::sample(rng);
+        low + unit * (high - low)
+    }
+}
+
+/// Range types accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + HasPredecessor> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(rng, self.start, self.end.predecessor())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Types with a largest-value-below operation, used to turn a half-open
+/// integer range into an inclusive one (floats use the bound itself, so a
+/// half-open float range behaves as `[low, high)` to within rounding).
+pub trait HasPredecessor: Sized {
+    /// The greatest representable value strictly less than `self` for
+    /// integers; `self` for floats.
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! impl_has_predecessor_int {
+    ($($t:ty),*) => {$(
+        impl HasPredecessor for $t {
+            fn predecessor(self) -> $t { self - 1 }
+        }
+    )*};
+}
+impl_has_predecessor_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HasPredecessor for f64 {
+    fn predecessor(self) -> f64 {
+        self
+    }
+}
+
+impl HasPredecessor for f32 {
+    fn predecessor(self) -> f32 {
+        self
+    }
+}
+
+/// Extension methods on random-bit sources: the user-facing sampling API.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution (full
+    /// domain for integers, `[0, 1)` for floats, fair coin for `bool`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose entire stream is a deterministic function of
+    /// `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (`choose`, `shuffle`).
+pub mod seq {
+    use super::Rng;
+
+    /// Uniform random selection from an indexable collection.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Output;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_real() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+        let heads = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1, 2, 3, 4];
+        for _ in 0..100 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 32-element shuffle virtually never is identity"
+        );
+    }
+}

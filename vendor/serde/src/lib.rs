@@ -1,0 +1,60 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides just enough of serde's trait surface for the workspace's
+//! optional `serde` feature to compile: the `Serialize`/`Deserialize`
+//! traits, minimal `Serializer`/`Deserializer` traits covering the manual
+//! impls in `ocasta-ttkv` (`Key`), and no-op derive macros re-exported from
+//! the vendored `serde_derive`.
+//!
+//! No serialisation backend exists in this workspace, so the derives expand
+//! to nothing; swapping this shim for the real serde (by pointing the
+//! workspace dependency at crates.io) requires no source changes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data format that can serialise values (minimal surface).
+pub trait Serializer: Sized {
+    /// Output of a successful serialisation.
+    type Ok;
+    /// Serialisation error type.
+    type Error;
+
+    /// Serialises a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can deserialise values (minimal surface).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialisation error type.
+    type Error;
+
+    /// Deserialises an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+/// Types serialisable through a [`Serializer`].
+pub trait Serialize {
+    /// Serialises `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types deserialisable through a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialises a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde shim.
+//!
+//! The workspace only gates serde support behind the optional `serde`
+//! feature (`#[cfg_attr(feature = "serde", derive(serde::Serialize, ...))]`);
+//! no code path actually serialises through a serde backend. These derives
+//! therefore expand to nothing: the attribute stays syntactically valid and
+//! the build stays offline-friendly. See `vendor/serde/src/lib.rs`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

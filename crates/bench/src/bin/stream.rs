@@ -1,0 +1,5 @@
+//! Streaming vs batch reclustering sweep. Run with --release.
+
+fn main() {
+    print!("{}", ocasta_bench::stream::run());
+}

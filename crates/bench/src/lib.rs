@@ -10,6 +10,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fleet;
+pub mod stream;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,191 @@
+//! Streaming versus batch reclustering cost as event history grows.
+//!
+//! The batch pipeline answers every clustering query by rescanning the
+//! whole recorded history — O(history) per query, so serving fresh
+//! clusters under live traffic gets linearly slower as the deployment
+//! ages. The streaming pipeline absorbs each event once and answers
+//! queries from its live state — the per-query cost tracks the *key
+//! population*, not the event count. This sweep makes that visible (and
+//! asserts, at every checkpoint, that the two answers are identical), via
+//! `cargo run -p ocasta-bench --bin stream --release`.
+
+use std::time::Instant;
+
+use ocasta::fleet::{fleet_machines, FleetRunConfig};
+use ocasta::{
+    cluster_correlations, cluster_events, mutation_feed, ClusterParams, IncrementalCorrelations,
+    TimePrecision, WriteEvent,
+};
+
+use crate::render_table;
+
+/// Machines in the benchmark fleet.
+pub const MACHINES: usize = 12;
+/// Days of simulated usage per machine.
+pub const DAYS: u64 = 30;
+/// Clustering queries served along the stream.
+pub const CHECKPOINTS: usize = 8;
+
+/// One checkpoint of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Events absorbed so far.
+    pub events: usize,
+    /// Full batch recluster at this point, milliseconds.
+    pub batch_ms: f64,
+    /// Streaming absorb-delta + query at this point, milliseconds.
+    pub stream_ms: f64,
+    /// Cumulative batch cost per event, microseconds.
+    pub batch_amortized_us: f64,
+    /// Cumulative streaming cost per event, microseconds.
+    pub stream_amortized_us: f64,
+}
+
+/// The fixed, time-ordered mutation stream every configuration consumes:
+/// the fleet's events, interned to dense items and quantised to seconds
+/// (the deployed loggers' precision). Returns the events and the item
+/// count.
+pub fn workload() -> (Vec<WriteEvent>, usize) {
+    let machines = fleet_machines(&FleetRunConfig {
+        machines: MACHINES,
+        days: DAYS,
+        seed: 42,
+        apps: vec!["gedit".into(), "evolution".into(), "chrome".into()],
+        ..FleetRunConfig::default()
+    })
+    .expect("catalog names are valid");
+    let mut index = std::collections::HashMap::new();
+    let mut events = Vec::new();
+    for machine in &machines {
+        for (key, t) in mutation_feed(machine.stream()) {
+            let next = index.len();
+            let item = *index.entry(key).or_insert(next);
+            events.push(WriteEvent::new(
+                item,
+                TimePrecision::Seconds.apply(t).as_millis(),
+            ));
+        }
+    }
+    events.sort_unstable();
+    let n_items = index.len();
+    (events, n_items)
+}
+
+/// Runs the sweep: at each checkpoint, a full batch recluster over the
+/// whole prefix versus a streaming absorb-of-the-delta plus live query.
+///
+/// # Panics
+///
+/// Panics if the streaming and batch partitions ever differ — the sweep
+/// doubles as an equivalence check, so a regression cannot produce a
+/// plausible-looking table.
+pub fn sweep(events: &[WriteEvent], n_items: usize, params: &ClusterParams) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut incr = IncrementalCorrelations::with_items(n_items, params.window_ms);
+    let mut absorbed = 0usize;
+    let mut batch_total = 0.0f64;
+    let mut stream_total = 0.0f64;
+    for checkpoint in 1..=CHECKPOINTS {
+        let upto = events.len() * checkpoint / CHECKPOINTS;
+
+        // Streaming: absorb only the delta, seal, serve from live state.
+        let started = Instant::now();
+        for &event in &events[absorbed..upto] {
+            incr.observe(event);
+            incr.advance_watermark(event.time_ms);
+        }
+        absorbed = upto;
+        let stream_partition = cluster_correlations(&incr.snapshot(), params);
+        let stream_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Batch: stop the world and rescan the whole prefix.
+        let started = Instant::now();
+        let batch_partition = cluster_events(n_items, &events[..upto], params);
+        let batch_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            stream_partition, batch_partition,
+            "streaming != batch at {upto} events"
+        );
+
+        batch_total += batch_ms;
+        stream_total += stream_ms;
+        samples.push(Sample {
+            events: upto,
+            batch_ms,
+            stream_ms,
+            batch_amortized_us: batch_total * 1e3 / upto as f64,
+            stream_amortized_us: stream_total * 1e3 / upto as f64,
+        });
+    }
+    samples
+}
+
+/// Renders the sweep and the verdict.
+pub fn run() -> String {
+    let (events, n_items) = workload();
+    let params = ClusterParams::default();
+    let samples = sweep(&events, n_items, &params);
+
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.events.to_string(),
+                format!("{:.2}", s.batch_ms),
+                format!("{:.2}", s.stream_ms),
+                format!("{:.3}", s.batch_amortized_us),
+                format!("{:.3}", s.stream_amortized_us),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Streaming vs batch reclustering ({MACHINES} machines x {DAYS} days, \
+         {} keys, {} events, {CHECKPOINTS} queries)\n\n",
+        n_items,
+        events.len(),
+    );
+    out.push_str(&render_table(
+        &[
+            "Events",
+            "Batch ms",
+            "Stream ms",
+            "Batch us/ev",
+            "Stream us/ev",
+        ],
+        &rows,
+    ));
+
+    let first = samples.first().expect("checkpoints > 0");
+    let last = samples.last().expect("checkpoints > 0");
+    out.push_str(&format!(
+        "\nstreaming == batch at every checkpoint: ok\n\
+         batch query cost grew {:.1}x while history grew {:.1}x; \
+         streaming query cost grew {:.1}x\n\
+         amortized per-event recluster cost: batch {:.3} us, streaming {:.3} us ({:.1}x)\n",
+        last.batch_ms / first.batch_ms.max(f64::MIN_POSITIVE),
+        last.events as f64 / first.events.max(1) as f64,
+        last.stream_ms / first.stream_ms.max(f64::MIN_POSITIVE),
+        last.batch_amortized_us,
+        last.stream_amortized_us,
+        last.batch_amortized_us / last.stream_amortized_us.max(f64::MIN_POSITIVE),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_checkpoints_cover_the_stream_and_agree() {
+        let (events, n_items) = workload();
+        // A prefix keeps the unit test quick; the binary runs the full
+        // sweep (and the sweep itself asserts equivalence per checkpoint).
+        let prefix = &events[..events.len() / 8];
+        let samples = sweep(prefix, n_items, &ClusterParams::default());
+        assert_eq!(samples.len(), CHECKPOINTS);
+        assert_eq!(samples.last().unwrap().events, prefix.len());
+        assert!(samples.windows(2).all(|w| w[0].events <= w[1].events));
+    }
+}

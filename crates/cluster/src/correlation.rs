@@ -36,7 +36,7 @@ use crate::matrix::DistanceMatrix;
 /// assert_eq!(corr.correlation(0, 2), 0.0);  // never together
 /// assert_eq!(corr.distance(0, 1), 0.5);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Correlations {
     n_items: usize,
     /// Per-item transaction membership count (`|A|`).
@@ -67,6 +67,60 @@ impl Correlations {
         }
         Correlations {
             n_items,
+            txn_counts,
+            pair_counts,
+        }
+    }
+
+    /// Builds correlation statistics directly from maintained counts (the
+    /// streaming path's exit point).
+    pub(crate) fn from_counts(
+        n_items: usize,
+        txn_counts: Vec<u32>,
+        pair_counts: HashMap<(u32, u32), u32>,
+    ) -> Self {
+        debug_assert_eq!(txn_counts.len(), n_items);
+        Correlations {
+            n_items,
+            txn_counts,
+            pair_counts,
+        }
+    }
+
+    /// Relabels items through a permutation: item `i` becomes `perm[i]`.
+    ///
+    /// Streaming discovers items in arrival order while the batch pipeline
+    /// numbers keys in sorted-name order; relabeling lets the two paths meet
+    /// on one canonical index space before clustering (index order matters
+    /// for HAC tie-breaking, so equality of the final partitions requires
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len()`.
+    pub fn relabeled(&self, perm: &[usize]) -> Correlations {
+        assert_eq!(perm.len(), self.n_items, "permutation covers every item");
+        let mut txn_counts = vec![0u32; self.n_items];
+        let mut seen = vec![false; self.n_items];
+        for (old, &new) in perm.iter().enumerate() {
+            assert!(
+                new < self.n_items && !seen[new],
+                "perm is a bijection onto 0..{}",
+                self.n_items
+            );
+            seen[new] = true;
+            txn_counts[new] = self.txn_counts[old];
+        }
+        let pair_counts = self
+            .pair_counts
+            .iter()
+            .map(|(&(a, b), &count)| {
+                let (pa, pb) = (perm[a as usize] as u32, perm[b as usize] as u32);
+                ((pa.min(pb), pa.max(pb)), count)
+            })
+            .collect();
+        Correlations {
+            n_items: self.n_items,
             txn_counts,
             pair_counts,
         }
@@ -210,6 +264,26 @@ mod tests {
                 assert_eq!(m.get(i, j), c.distance(i, j));
             }
         }
+    }
+
+    #[test]
+    fn relabeling_permutes_counts_and_pairs() {
+        let c = sample();
+        // Reverse the items: 0→2, 1→1, 2→0.
+        let r = c.relabeled(&[2, 1, 0]);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(r.correlation(2 - a, 2 - b), c.correlation(a, b));
+            }
+        }
+        // The identity relabeling is a no-op.
+        assert_eq!(c.relabeled(&[0, 1, 2]), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "bijection")]
+    fn relabeling_rejects_non_permutations() {
+        sample().relabeled(&[0, 0, 1]);
     }
 
     #[test]

@@ -64,27 +64,12 @@ pub fn transactions(events: &[WriteEvent], window_ms: u64) -> Vec<Vec<usize>> {
     let mut sorted: Vec<WriteEvent> = events.to_vec();
     sorted.sort_unstable();
 
+    let mut window = crate::TransactionWindow::new(window_ms);
     let mut txns: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> = Vec::new();
-    let mut last_time: Option<u64> = None;
     for event in sorted {
-        match last_time {
-            Some(prev) if event.time_ms.saturating_sub(prev) <= window_ms => {}
-            Some(_) => {
-                txns.push(std::mem::take(&mut current));
-            }
-            None => {}
-        }
-        current.push(event.item);
-        last_time = Some(event.time_ms);
+        txns.extend(window.push(event));
     }
-    if !current.is_empty() {
-        txns.push(current);
-    }
-    for txn in &mut txns {
-        txn.sort_unstable();
-        txn.dedup();
-    }
+    txns.extend(window.flush());
     txns
 }
 

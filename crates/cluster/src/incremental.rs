@@ -1,0 +1,430 @@
+//! Streaming correlation maintenance: the batch pipeline's statistics,
+//! computed one event at a time.
+//!
+//! The batch path records a full history, then runs
+//! [`crate::transactions`] → [`crate::Correlations::from_transactions`]
+//! once — an O(history) rescan per query. [`IncrementalCorrelations`]
+//! maintains the same statistics *online*: events are buffered in a small
+//! reorder window, a **watermark** seals the prefix that can no longer
+//! change, sealed events flow through the shared [`TransactionWindow`]
+//! core, and every transaction that closes updates the sparse pair counts
+//! in place. A query is then O(current state), not O(all events ever seen)
+//! — and by construction (one windowing core, one counting rule) the
+//! result is *exactly* the batch result on the same input, which the
+//! equivalence property tests assert.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::correlation::Correlations;
+use crate::event::WriteEvent;
+use crate::window::TransactionWindow;
+
+/// Online co-modification statistics with watermark-based sealing.
+///
+/// ## Protocol
+///
+/// * [`observe`](Self::observe) buffers an event. Events may arrive in any
+///   order as long as they are not older than the current watermark.
+/// * [`advance_watermark`](Self::advance_watermark)`(w)` promises that no
+///   later event will have a time below `w`; everything at or below `w` is
+///   committed through the shared windowing core and folded into the pair
+///   counts. With a time-ordered feed, advancing the watermark to each
+///   event's time keeps the reorder buffer bounded by one window of events
+///   — O(window) state, O(log window) per event.
+/// * [`snapshot`](Self::snapshot) answers a query *now*: it combines the
+///   committed counts with an optimistic drain of the buffer, as if the
+///   stream ended at this instant.
+/// * [`finalize`](Self::finalize) consumes the stream end: the result is
+///   equal to the batch computation over every event ever observed.
+///
+/// Items are dense indices discovered on the fly; the item space grows to
+/// `max item + 1` (pre-size it with [`with_items`](Self::with_items) to
+/// compare against a batch run over a fixed universe).
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_cluster::{transactions, Correlations, IncrementalCorrelations, WriteEvent};
+///
+/// let events = vec![
+///     WriteEvent::new(0, 0), WriteEvent::new(1, 10),
+///     WriteEvent::new(0, 60_000), WriteEvent::new(1, 60_010),
+///     WriteEvent::new(2, 120_000),
+/// ];
+/// let mut incr = IncrementalCorrelations::new(1_000);
+/// for &e in &events {
+///     incr.observe(e);
+///     incr.advance_watermark(e.time_ms); // time-ordered feed: seal as we go
+/// }
+/// let batch = Correlations::from_transactions(3, &transactions(&events, 1_000));
+/// assert_eq!(incr.finalize(), batch);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalCorrelations {
+    /// Reorder buffer: events newer than the watermark, in (time, item)
+    /// order — the order the batch path's sort would visit them in.
+    /// Duplicate (time, item) pairs are collapsed; a transaction
+    /// deduplicates its items anyway, and two events with identical time
+    /// and item can never land in different transactions.
+    pending: BTreeSet<(u64, usize)>,
+    /// The open-transaction state over the sealed prefix.
+    window: TransactionWindow,
+    /// Everything at or below this time is sealed.
+    watermark_ms: u64,
+    /// Per-item transaction membership counts (committed transactions).
+    txn_counts: Vec<u32>,
+    /// Per-pair joint counts (committed transactions).
+    pair_counts: HashMap<(u32, u32), u32>,
+    /// Dense item space size: `max observed item + 1`.
+    n_items: usize,
+    /// Total events observed (before deduplication).
+    events: u64,
+    /// Latest event time observed.
+    max_time_ms: Option<u64>,
+}
+
+impl IncrementalCorrelations {
+    /// Creates an empty accumulator with the given co-modification window
+    /// (milliseconds). The item space grows as events arrive.
+    pub fn new(window_ms: u64) -> Self {
+        IncrementalCorrelations {
+            window: TransactionWindow::new(window_ms),
+            ..IncrementalCorrelations::default()
+        }
+    }
+
+    /// Like [`new`](Self::new), pre-sizing the item space so the result
+    /// covers `0..n_items` even for items that never receive an event.
+    pub fn with_items(n_items: usize, window_ms: u64) -> Self {
+        let mut incr = Self::new(window_ms);
+        incr.n_items = n_items;
+        incr.txn_counts = vec![0; n_items];
+        incr
+    }
+
+    /// The sliding co-modification window, in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.window.window_ms()
+    }
+
+    /// Current item-space size (`max observed item + 1`, or the pre-sized
+    /// floor).
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total events observed so far.
+    pub fn events_observed(&self) -> u64 {
+        self.events
+    }
+
+    /// Events buffered above the watermark (the reorder window).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The sealed horizon: every event at or below this time is final.
+    pub fn watermark_ms(&self) -> u64 {
+        self.watermark_ms
+    }
+
+    /// Latest event time observed, if any.
+    pub fn max_time_ms(&self) -> Option<u64> {
+        self.max_time_ms
+    }
+
+    /// Buffers one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is older than the watermark — the caller
+    /// promised (via [`advance_watermark`](Self::advance_watermark)) that
+    /// such events no longer arrive, and silently accepting one would break
+    /// the streaming == batch equivalence this type guarantees.
+    pub fn observe(&mut self, event: WriteEvent) {
+        assert!(
+            event.time_ms >= self.watermark_ms,
+            "event at {}ms arrived behind the watermark ({}ms)",
+            event.time_ms,
+            self.watermark_ms,
+        );
+        if event.item >= self.n_items {
+            self.n_items = event.item + 1;
+            self.txn_counts.resize(self.n_items, 0);
+        }
+        self.events += 1;
+        self.max_time_ms = Some(
+            self.max_time_ms
+                .map_or(event.time_ms, |t| t.max(event.time_ms)),
+        );
+        self.pending.insert((event.time_ms, event.item));
+    }
+
+    /// Buffers a batch of events (any order within the batch).
+    pub fn observe_batch(&mut self, events: impl IntoIterator<Item = WriteEvent>) {
+        for event in events {
+            self.observe(event);
+        }
+    }
+
+    /// Seals every event at or below `watermark_ms`: commits them through
+    /// the windowing core and folds closed transactions into the counts.
+    ///
+    /// The caller promises that no event observed later has
+    /// `time_ms < watermark_ms`. Watermarks are monotone: an older value
+    /// does not rewind, but the drain still runs — events are allowed to
+    /// arrive *at* the watermark, so re-sealing at the same time must
+    /// commit anything that landed there since the last call.
+    pub fn advance_watermark(&mut self, watermark_ms: u64) {
+        self.watermark_ms = self.watermark_ms.max(watermark_ms);
+        // Drain the sealed prefix of the reorder buffer in (time, item)
+        // order — the exact order the batch sort visits.
+        while let Some(&(time, item)) = self.pending.first() {
+            if time > self.watermark_ms {
+                break;
+            }
+            self.pending.remove(&(time, item));
+            let closed = self.window.push(WriteEvent::new(item, time));
+            if let Some(txn) = closed {
+                commit_txn(&txn, &mut self.txn_counts, &mut self.pair_counts);
+            }
+        }
+        // If the watermark is already more than one window past the open
+        // transaction's last write, no future event can extend it.
+        if self.window.would_close(self.watermark_ms) {
+            if let Some(txn) = self.window.flush() {
+                commit_txn(&txn, &mut self.txn_counts, &mut self.pair_counts);
+            }
+        }
+    }
+
+    /// The correlation statistics as of *right now*: committed counts plus
+    /// an optimistic drain of the reorder buffer, as if the stream ended at
+    /// this instant. O(pending + pairs), independent of history length.
+    pub fn snapshot(&self) -> Correlations {
+        let mut txn_counts = self.txn_counts.clone();
+        let mut pair_counts = self.pair_counts.clone();
+        let mut window = self.window.clone();
+        for &(time, item) in &self.pending {
+            if let Some(txn) = window.push(WriteEvent::new(item, time)) {
+                commit_txn(&txn, &mut txn_counts, &mut pair_counts);
+            }
+        }
+        if let Some(txn) = window.flush() {
+            commit_txn(&txn, &mut txn_counts, &mut pair_counts);
+        }
+        Correlations::from_counts(self.n_items, txn_counts, pair_counts)
+    }
+
+    /// Ends the stream: seals everything and returns the final statistics —
+    /// equal to the batch computation over every observed event.
+    pub fn finalize(mut self) -> Correlations {
+        self.advance_watermark(u64::MAX);
+        Correlations::from_counts(self.n_items, self.txn_counts, self.pair_counts)
+    }
+}
+
+/// Folds one closed transaction into the count tables.
+fn commit_txn(txn: &[usize], txn_counts: &mut [u32], pair_counts: &mut HashMap<(u32, u32), u32>) {
+    for (pos, &a) in txn.iter().enumerate() {
+        txn_counts[a] += 1;
+        for &b in &txn[pos + 1..] {
+            // Closed transactions are sorted, so a < b already.
+            *pair_counts.entry((a as u32, b as u32)).or_insert(0) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::transactions;
+
+    fn ev(item: usize, ms: u64) -> WriteEvent {
+        WriteEvent::new(item, ms)
+    }
+
+    fn batch(n: usize, events: &[WriteEvent], window: u64) -> Correlations {
+        Correlations::from_transactions(n, &transactions(events, window))
+    }
+
+    #[test]
+    fn empty_stream_finalizes_empty() {
+        let incr = IncrementalCorrelations::new(1_000);
+        let corr = incr.finalize();
+        assert!(corr.is_empty());
+    }
+
+    #[test]
+    fn ordered_feed_with_watermarks_equals_batch() {
+        let events = vec![
+            ev(0, 0),
+            ev(1, 100),
+            ev(0, 5_000),
+            ev(2, 5_500),
+            ev(1, 5_900),
+            ev(0, 60_000),
+        ];
+        let mut incr = IncrementalCorrelations::with_items(3, 1_000);
+        for &e in &events {
+            incr.observe(e);
+            incr.advance_watermark(e.time_ms);
+        }
+        assert_eq!(incr.finalize(), batch(3, &events, 1_000));
+    }
+
+    #[test]
+    fn out_of_order_within_the_unsealed_suffix_equals_batch() {
+        // Events arrive shuffled; no watermark is advanced until the end.
+        let events = vec![
+            ev(2, 5_500),
+            ev(0, 0),
+            ev(1, 5_900),
+            ev(1, 100),
+            ev(0, 5_000),
+        ];
+        let mut incr = IncrementalCorrelations::with_items(3, 1_000);
+        incr.observe_batch(events.iter().copied());
+        assert_eq!(incr.finalize(), batch(3, &events, 1_000));
+    }
+
+    #[test]
+    fn snapshot_matches_finalize_at_stream_end() {
+        let events = [ev(0, 0), ev(1, 10), ev(2, 9_000), ev(0, 9_100)];
+        let mut incr = IncrementalCorrelations::with_items(3, 1_000);
+        incr.observe_batch(events.iter().copied());
+        let snap = incr.snapshot();
+        assert_eq!(snap, incr.finalize());
+    }
+
+    #[test]
+    fn snapshot_reflects_the_open_transaction() {
+        let mut incr = IncrementalCorrelations::new(1_000);
+        incr.observe(ev(0, 0));
+        incr.observe(ev(1, 100));
+        // Still one open transaction; a snapshot counts it as if closed.
+        let snap = incr.snapshot();
+        assert_eq!(snap.joint_count(0, 1), 1);
+        assert_eq!(snap.correlation(0, 1), 2.0);
+        // The live state is untouched by the snapshot.
+        assert_eq!(incr.pending_len(), 2);
+    }
+
+    #[test]
+    fn watermark_seals_and_bounds_the_buffer() {
+        let mut incr = IncrementalCorrelations::new(1_000);
+        for burst in 0..50u64 {
+            let t = burst * 10_000;
+            incr.observe(ev(0, t));
+            incr.observe(ev(1, t + 10));
+            assert_eq!(incr.pending_len(), 2, "both events buffered");
+            // Sealing at the latest time drains the buffer completely —
+            // everything at or below the watermark commits.
+            incr.advance_watermark(t + 10);
+            assert_eq!(incr.pending_len(), 0, "burst {burst} fully sealed");
+        }
+        assert_eq!(incr.watermark_ms(), 49 * 10_000 + 10);
+        let corr = incr.finalize();
+        assert_eq!(corr.joint_count(0, 1), 50);
+        assert_eq!(corr.correlation(0, 1), 2.0);
+    }
+
+    #[test]
+    fn lagged_watermark_keeps_only_the_unsealed_suffix_buffered() {
+        // A realistic allowed-lateness regime: seal one window behind the
+        // newest event. Only events above the lagged watermark may remain
+        // buffered, and the lag must not change any answer.
+        let window = 1_000u64;
+        let events: Vec<WriteEvent> = (0..60u64)
+            .flat_map(|burst| {
+                let t = burst * 3_000;
+                [ev(0, t), ev(1, t + 10)]
+            })
+            .collect();
+        let mut incr = IncrementalCorrelations::with_items(2, window);
+        for &e in &events {
+            incr.observe(e);
+            let lagged = e.time_ms.saturating_sub(window);
+            incr.advance_watermark(lagged);
+            let above = events
+                .iter()
+                .take_while(|o| o.time_ms <= e.time_ms)
+                .filter(|o| o.time_ms > lagged)
+                .count();
+            assert!(
+                incr.pending_len() <= above,
+                "pending {} > {} unsealed at {}ms",
+                incr.pending_len(),
+                above,
+                e.time_ms
+            );
+        }
+        assert!(incr.pending_len() > 0, "the lag leaves a live suffix");
+        assert_eq!(incr.finalize(), batch(2, &events, window));
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let mut incr = IncrementalCorrelations::new(1_000);
+        incr.observe(ev(0, 5_000));
+        incr.advance_watermark(10_000);
+        incr.advance_watermark(3_000); // no-op, not a rewind
+        assert_eq!(incr.watermark_ms(), 10_000);
+    }
+
+    #[test]
+    fn resealing_at_the_same_watermark_commits_at_watermark_arrivals() {
+        // Events may legally arrive *at* the watermark; a repeated seal at
+        // the same time must drain them rather than strand them.
+        let events = [ev(0, 1_000), ev(1, 1_000), ev(2, 1_500)];
+        let mut incr = IncrementalCorrelations::with_items(3, 1_000);
+        incr.observe(events[0]);
+        incr.advance_watermark(1_000);
+        assert_eq!(incr.pending_len(), 0);
+        incr.observe(events[1]);
+        incr.advance_watermark(1_000);
+        assert_eq!(incr.pending_len(), 0, "same-watermark arrival sealed");
+        incr.observe(events[2]);
+        incr.advance_watermark(1_500);
+        assert_eq!(incr.pending_len(), 0);
+        assert_eq!(incr.finalize(), batch(3, &events, 1_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "behind the watermark")]
+    fn late_event_behind_the_watermark_panics() {
+        let mut incr = IncrementalCorrelations::new(1_000);
+        incr.observe(ev(0, 10_000));
+        incr.advance_watermark(10_000);
+        incr.observe(ev(1, 500));
+    }
+
+    #[test]
+    fn duplicate_time_item_pairs_collapse_like_batch() {
+        let events = vec![ev(0, 100), ev(0, 100), ev(1, 150), ev(0, 100)];
+        let mut incr = IncrementalCorrelations::with_items(2, 1_000);
+        incr.observe_batch(events.iter().copied());
+        assert_eq!(incr.events_observed(), 4);
+        assert_eq!(incr.finalize(), batch(2, &events, 1_000));
+    }
+
+    #[test]
+    fn item_space_grows_with_observations() {
+        let mut incr = IncrementalCorrelations::new(1_000);
+        assert_eq!(incr.n_items(), 0);
+        incr.observe(ev(7, 0));
+        assert_eq!(incr.n_items(), 8);
+        let corr = incr.finalize();
+        assert_eq!(corr.len(), 8);
+        assert_eq!(corr.txn_count(7), 1);
+        assert_eq!(corr.txn_count(0), 0);
+    }
+
+    #[test]
+    fn zero_window_groups_identical_timestamps_only() {
+        let events = vec![ev(0, 5), ev(1, 5), ev(2, 6)];
+        let mut incr = IncrementalCorrelations::with_items(3, 0);
+        incr.observe_batch(events.iter().copied());
+        assert_eq!(incr.finalize(), batch(3, &events, 0));
+    }
+}

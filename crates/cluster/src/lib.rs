@@ -48,15 +48,19 @@ mod correlation;
 mod dendrogram;
 mod event;
 mod hac;
+mod incremental;
 mod linkage;
 mod matrix;
+mod window;
 
 pub use correlation::Correlations;
 pub use dendrogram::{Dendrogram, Merge, PartitionStats};
 pub use event::{transactions, WriteEvent};
 pub use hac::hac;
+pub use incremental::IncrementalCorrelations;
 pub use linkage::Linkage;
 pub use matrix::DistanceMatrix;
+pub use window::TransactionWindow;
 
 /// Tunable parameters for the end-to-end clustering pipeline.
 ///
@@ -108,6 +112,23 @@ pub fn cluster_events(
 ) -> Vec<Vec<usize>> {
     let txns = transactions(events, params.window_ms);
     let correlations = Correlations::from_transactions(n_items, &txns);
+    cluster_correlations(&correlations, params)
+}
+
+/// The clustering tail shared by the batch and streaming pipelines: HAC over
+/// the correlation distances, cut at the correlation threshold.
+///
+/// Batch ([`cluster_events`]) and streaming
+/// ([`IncrementalCorrelations::snapshot`]) both exit through this function,
+/// so identical correlations are guaranteed identical partitions.
+///
+/// # Panics
+///
+/// Panics if `params.correlation_threshold` is not positive.
+pub fn cluster_correlations(
+    correlations: &Correlations,
+    params: &ClusterParams,
+) -> Vec<Vec<usize>> {
     let dendrogram = hac(&correlations.to_distance_matrix(), params.linkage);
     dendrogram.cut_correlation(params.correlation_threshold)
 }

@@ -1,0 +1,156 @@
+//! The sliding-window transaction core shared by batch and streaming
+//! grouping.
+//!
+//! Both [`crate::transactions`] (sort the whole history, group once) and
+//! [`crate::IncrementalCorrelations`] (absorb events as they arrive) need
+//! the same rule: a transaction keeps absorbing writes while the gap to its
+//! most recent write is at most the window. Keeping that rule in one place
+//! is what makes the streaming path *provably* equal to the batch path —
+//! the equivalence property tests exercise both through this type.
+
+use crate::event::WriteEvent;
+
+/// Online transaction grouper over a time-sorted event feed.
+///
+/// Feed events in non-decreasing time order; each [`TransactionWindow::push`]
+/// returns the transaction it *closed* (if the new event's gap exceeded the
+/// window), and [`TransactionWindow::flush`] closes the final open
+/// transaction at end of stream. Closed transactions are sorted, deduplicated
+/// item sets — exactly what [`crate::Correlations::from_transactions`]
+/// consumes.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_cluster::{TransactionWindow, WriteEvent};
+///
+/// let mut w = TransactionWindow::new(1_000);
+/// assert_eq!(w.push(WriteEvent::new(0, 0)), None);
+/// assert_eq!(w.push(WriteEvent::new(1, 400)), None);
+/// // 10s later: the open transaction {0, 1} closes.
+/// assert_eq!(w.push(WriteEvent::new(2, 10_000)), Some(vec![0, 1]));
+/// assert_eq!(w.flush(), Some(vec![2]));
+/// assert_eq!(w.flush(), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransactionWindow {
+    window_ms: u64,
+    items: Vec<usize>,
+    last_time: Option<u64>,
+}
+
+impl TransactionWindow {
+    /// Creates a grouper with the given sliding window (milliseconds).
+    pub fn new(window_ms: u64) -> Self {
+        TransactionWindow {
+            window_ms,
+            items: Vec::new(),
+            last_time: None,
+        }
+    }
+
+    /// The sliding window, in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.window_ms
+    }
+
+    /// Time of the most recent event absorbed into the open transaction.
+    pub fn last_time(&self) -> Option<u64> {
+        self.last_time
+    }
+
+    /// `true` if a transaction is currently open.
+    pub fn is_open(&self) -> bool {
+        self.last_time.is_some()
+    }
+
+    /// `true` if an event at `time_ms` would close the open transaction
+    /// (it is more than one window past the most recent write).
+    pub fn would_close(&self, time_ms: u64) -> bool {
+        self.last_time
+            .is_some_and(|prev| time_ms.saturating_sub(prev) > self.window_ms)
+    }
+
+    /// Absorbs one event; returns the transaction it closed, if any.
+    ///
+    /// Events must arrive in non-decreasing time order (earlier times are
+    /// treated as a zero gap, matching the batch grouper's behavior on its
+    /// pre-sorted input).
+    pub fn push(&mut self, event: WriteEvent) -> Option<Vec<usize>> {
+        let closed = if self.would_close(event.time_ms) {
+            Some(Self::seal(std::mem::take(&mut self.items)))
+        } else {
+            None
+        };
+        self.items.push(event.item);
+        self.last_time = Some(event.time_ms);
+        closed
+    }
+
+    /// Closes the open transaction at end of stream (or at a watermark far
+    /// enough past it), returning it if one was open.
+    pub fn flush(&mut self) -> Option<Vec<usize>> {
+        self.last_time.take()?;
+        Some(Self::seal(std::mem::take(&mut self.items)))
+    }
+
+    /// Normalises a closed transaction: sorted, deduplicated items.
+    fn seal(mut items: Vec<usize>) -> Vec<usize> {
+        items.sort_unstable();
+        items.dedup();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(item: usize, ms: u64) -> WriteEvent {
+        WriteEvent::new(item, ms)
+    }
+
+    #[test]
+    fn empty_window_flushes_nothing() {
+        let mut w = TransactionWindow::new(1_000);
+        assert!(!w.is_open());
+        assert_eq!(w.flush(), None);
+    }
+
+    #[test]
+    fn chains_within_window_and_closes_past_it() {
+        let mut w = TransactionWindow::new(1_000);
+        assert_eq!(w.push(ev(0, 0)), None);
+        assert_eq!(w.push(ev(1, 900)), None);
+        assert_eq!(w.push(ev(2, 1_800)), None, "gap 900 chains");
+        assert_eq!(w.push(ev(3, 3_000)), Some(vec![0, 1, 2]));
+        assert_eq!(w.flush(), Some(vec![3]));
+    }
+
+    #[test]
+    fn gap_of_exactly_the_window_chains() {
+        let mut w = TransactionWindow::new(1_000);
+        w.push(ev(0, 0));
+        assert!(!w.would_close(1_000));
+        assert!(w.would_close(1_001));
+    }
+
+    #[test]
+    fn closed_transactions_are_sorted_and_deduped() {
+        let mut w = TransactionWindow::new(100);
+        w.push(ev(7, 0));
+        w.push(ev(3, 10));
+        w.push(ev(7, 20));
+        assert_eq!(w.flush(), Some(vec![3, 7]));
+    }
+
+    #[test]
+    fn flush_resets_for_reuse() {
+        let mut w = TransactionWindow::new(100);
+        w.push(ev(1, 0));
+        assert_eq!(w.flush(), Some(vec![1]));
+        assert!(!w.is_open());
+        w.push(ev(2, 5_000));
+        assert_eq!(w.flush(), Some(vec![2]));
+    }
+}

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use ocasta_cluster::{
-    cluster_events, hac, transactions, ClusterParams, Correlations, DistanceMatrix, Linkage,
-    WriteEvent,
+    cluster_correlations, cluster_events, hac, transactions, ClusterParams, Correlations,
+    DistanceMatrix, IncrementalCorrelations, Linkage, WriteEvent,
 };
 
 fn events(n_items: usize, max_events: usize) -> impl Strategy<Value = Vec<WriteEvent>> {
@@ -135,6 +135,105 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Streaming equivalence: feeding a time-ordered event stream into
+    /// `IncrementalCorrelations` in *any* batch split — advancing the
+    /// watermark after every batch, taking throwaway snapshots along the
+    /// way — produces exactly the batch correlations and exactly the batch
+    /// clustering.
+    #[test]
+    fn incremental_feed_in_any_batch_split_equals_batch(
+        evs in events(10, 120),
+        window in 0u64..3_000,
+        batch_size in 1usize..12,
+        threshold in 0.2f64..2.0,
+    ) {
+        let batch_corr =
+            Correlations::from_transactions(10, &transactions(&evs, window));
+
+        let mut sorted = evs.clone();
+        sorted.sort_unstable();
+        let mut incr = IncrementalCorrelations::with_items(10, window);
+        for chunk in sorted.chunks(batch_size) {
+            incr.observe_batch(chunk.iter().copied());
+            // Sorted feed: everything up to the chunk's last event is final.
+            incr.advance_watermark(chunk.last().unwrap().time_ms);
+            // Mid-stream queries must not perturb the live state.
+            let _ = incr.snapshot();
+        }
+        let stream_corr = incr.snapshot();
+        prop_assert_eq!(&stream_corr, &batch_corr);
+        prop_assert_eq!(incr.finalize(), batch_corr.clone());
+
+        let params = ClusterParams {
+            window_ms: window,
+            correlation_threshold: threshold,
+            ..ClusterParams::default()
+        };
+        prop_assert_eq!(
+            cluster_correlations(&stream_corr, &params),
+            cluster_events(10, &evs, &params)
+        );
+    }
+
+    /// Streaming equivalence under disorder: events arriving in arbitrary
+    /// order (no watermark until the end) still finalize to the batch
+    /// result.
+    #[test]
+    fn incremental_out_of_order_feed_equals_batch(
+        evs in events(10, 120),
+        window in 0u64..3_000,
+    ) {
+        let mut incr = IncrementalCorrelations::with_items(10, window);
+        incr.observe_batch(evs.iter().copied());
+        prop_assert_eq!(
+            incr.finalize(),
+            Correlations::from_transactions(10, &transactions(&evs, window))
+        );
+    }
+
+    /// The O(window)-state guarantee, made falsifiable: a time-ordered
+    /// feed sealed with a lagged watermark (`newest - lag`) keeps exactly
+    /// the unsealed suffix buffered — sealing at the newest time drains
+    /// the buffer to zero, any lag keeps at most the events above the
+    /// lagged watermark, and neither regime changes the final answer.
+    #[test]
+    fn incremental_buffer_holds_exactly_the_unsealed_suffix(
+        evs in events(10, 120),
+        window in 0u64..3_000,
+        lag in 0u64..5_000,
+    ) {
+        let mut sorted = evs.clone();
+        sorted.sort_unstable();
+        let mut incr = IncrementalCorrelations::with_items(10, window);
+        for (fed, &e) in sorted.iter().enumerate() {
+            incr.observe(e);
+            let watermark = e.time_ms.saturating_sub(lag);
+            incr.advance_watermark(watermark);
+            if lag == 0 {
+                prop_assert_eq!(
+                    incr.pending_len(), 0,
+                    "sealing at the newest time must drain everything"
+                );
+            } else {
+                // Distinct (time, item) pairs above the watermark among
+                // events fed so far: the only thing allowed to remain.
+                let unsealed: std::collections::BTreeSet<(u64, usize)> = sorted[..=fed]
+                    .iter()
+                    .filter(|o| o.time_ms > watermark)
+                    .map(|o| (o.time_ms, o.item))
+                    .collect();
+                prop_assert_eq!(
+                    incr.pending_len(), unsealed.len(),
+                    "pending vs unsealed after {}ms (lag {})", e.time_ms, lag
+                );
+            }
+        }
+        prop_assert_eq!(
+            incr.finalize(),
+            Correlations::from_transactions(10, &transactions(&evs, window))
+        );
     }
 
     /// The pipeline's output is always a partition of the item space.

@@ -10,6 +10,10 @@
 //!                 [--batch <n>] [--app <name>...]
 //!                 [--placement merged|per-machine]
 //!                 [--wal <dir>] [--cluster] [-o store.ttkv]
+//! ocasta stream   --machines <n> --days <n> [--seed <n>] [--threads <n>]
+//!                 [--shards <n>] [--batch <n>] [--app <name>...]
+//!                 [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
+//!                 [--verify]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately keeps its
@@ -19,10 +23,10 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
-use ocasta::fleet::{parse_placement, run_fleet, FleetRunConfig};
+use ocasta::fleet::{fleet_machines, parse_placement, run_fleet, FleetRunConfig};
 use ocasta::{
-    generate, model_by_name, ClusterParams, GeneratorConfig, Key, Ocasta, TimePrecision, Trace,
-    Ttkv, TtkvStats,
+    fleet_ingest_tapped, generate, model_by_name, ClusterParams, GeneratorConfig, Key, Ocasta,
+    OcastaStream, TimePrecision, Trace, Ttkv, TtkvStats, WriteLanes,
 };
 
 fn main() -> ExitCode {
@@ -59,9 +63,13 @@ usage:
                   [--shards <n>] [--batch <n>] [--app <name>...]
                   [--placement merged|per-machine] [--wal <dir>]
                   [--cluster] [-o <store.ttkv>]
+  ocasta stream   --machines <n> --days <n> [--seed <n>] [--threads <n>]
+                  [--shards <n>] [--batch <n>] [--app <name>...]
+                  [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
+                  [--verify]
 
-applications for `generate` and `fleet`: outlook evolution ie chrome word
-gedit eog paint acrobat explorer wmp";
+applications for `generate`, `fleet` and `stream`: outlook evolution ie
+chrome word gedit eog paint acrobat explorer wmp";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +102,13 @@ enum Command {
         config: FleetRunConfig,
         cluster: bool,
         output: Option<String>,
+    },
+    Stream {
+        config: FleetRunConfig,
+        window_secs: u64,
+        threshold: f64,
+        poll_ms: u64,
+        verify: bool,
     },
 }
 
@@ -233,6 +248,60 @@ impl Command {
                     output,
                 })
             }
+            "stream" => {
+                let mut config = FleetRunConfig::default();
+                let mut window_secs = 1u64;
+                let mut threshold = 2.0f64;
+                let mut poll_ms = 20u64;
+                let mut verify = false;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--machines" => {
+                            config.machines = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--days" => config.days = parse_num(value_of(&rest, &mut i)?)?,
+                        "--seed" => config.seed = parse_num(value_of(&rest, &mut i)?)?,
+                        "--threads" => {
+                            config.engine.ingest_threads =
+                                parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--shards" => {
+                            config.engine.shards = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--batch" => {
+                            config.engine.batch_size = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--app" => config.apps.push(value_of(&rest, &mut i)?.to_owned()),
+                        "--window" => window_secs = parse_num(value_of(&rest, &mut i)?)?,
+                        "--threshold" => {
+                            threshold = value_of(&rest, &mut i)?
+                                .parse()
+                                .map_err(|e| format!("bad threshold: {e}"))?
+                        }
+                        "--poll-ms" => poll_ms = parse_num(value_of(&rest, &mut i)?)?,
+                        "--verify" => verify = true,
+                        other => return Err(format!("unknown argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                if config.machines == 0 {
+                    return Err("stream needs --machines >= 1".into());
+                }
+                if config.days == 0 {
+                    return Err("stream needs --days >= 1".into());
+                }
+                if !(threshold > 0.0 && threshold <= 2.0) {
+                    return Err(format!("threshold must be in (0, 2], got {threshold}"));
+                }
+                Ok(Command::Stream {
+                    config,
+                    window_secs,
+                    threshold,
+                    poll_ms: poll_ms.max(1),
+                    verify,
+                })
+            }
             "history" => match rest.as_slice() {
                 [store, key] => Ok(Command::History {
                     store: (*store).to_owned(),
@@ -353,6 +422,80 @@ impl Command {
                         .save(BufWriter::new(file))
                         .map_err(|e| e.to_string())?;
                     out.push_str(&format!("wrote {path}\n"));
+                }
+                Ok(out)
+            }
+            Command::Stream {
+                config,
+                window_secs,
+                threshold,
+                poll_ms,
+                verify,
+            } => {
+                let machines = fleet_machines(config)?;
+                let params = ClusterParams {
+                    window_ms: window_secs * 1000,
+                    correlation_threshold: *threshold,
+                    ..ClusterParams::default()
+                };
+                let engine = Ocasta::new(params);
+                let mut stream = OcastaStream::new(&engine);
+                let lanes = WriteLanes::new(config.engine.shards);
+                let mut out = String::new();
+
+                // Ingest on a background thread; serve live clusterings
+                // from this one by draining the analytics lanes.
+                let (store, report) = std::thread::scope(|scope| {
+                    let handle =
+                        scope.spawn(|| fleet_ingest_tapped(&machines, &config.engine, &lanes));
+                    loop {
+                        let finished = handle.is_finished();
+                        if stream.drain_lanes(&lanes) > 0 {
+                            let live = stream.clustering();
+                            let stats = live.clustering.stats();
+                            out.push_str(&format!(
+                                "epoch {:>3}: {:>8} events  {:>5} clusters ({} multi)  \
+                                 horizon max {}ms\n",
+                                live.horizon.epoch,
+                                live.horizon.events,
+                                stats.clusters,
+                                stats.multi_clusters,
+                                live.horizon.max_time_ms.unwrap_or(0),
+                            ));
+                        }
+                        if finished {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(*poll_ms));
+                    }
+                    handle.join().expect("ingest thread panicked")
+                });
+
+                stream.seal();
+                let live = stream.clustering();
+                let stats = live.clustering.stats();
+                out.push_str(&format!("{report}\n"));
+                out.push_str(&format!(
+                    "final: epoch {}, {} events sealed @ watermark {}ms\n\
+                     clusters: {} total, {} multi-setting, mean multi size {:.2}\n",
+                    live.horizon.epoch,
+                    live.horizon.events,
+                    live.horizon.watermark_ms,
+                    stats.clusters,
+                    stats.multi_clusters,
+                    stats.mean_multi_cluster_size(),
+                ));
+                if *verify {
+                    let batch = engine.cluster_store(&store);
+                    if live.clustering == batch {
+                        out.push_str("streaming == batch: ok\n");
+                    } else {
+                        return Err(format!(
+                            "streaming/batch mismatch: {} streamed vs {} batch clusters",
+                            live.clustering.len(),
+                            batch.len(),
+                        ));
+                    }
                 }
                 Ok(out)
             }
@@ -531,6 +674,79 @@ mod tests {
             "x"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn parse_stream() {
+        let cmd = parse(&[
+            "stream",
+            "--machines",
+            "3",
+            "--days",
+            "5",
+            "--window",
+            "30",
+            "--threshold",
+            "1.5",
+            "--poll-ms",
+            "5",
+            "--verify",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Stream {
+                config,
+                window_secs,
+                threshold,
+                poll_ms,
+                verify,
+            } => {
+                assert_eq!(config.machines, 3);
+                assert_eq!(config.days, 5);
+                assert_eq!(window_secs, 30);
+                assert_eq!(threshold, 1.5);
+                assert_eq!(poll_ms, 5);
+                assert!(verify);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["stream", "--machines", "0", "--days", "3"]).is_err());
+        assert!(parse(&[
+            "stream",
+            "--machines",
+            "2",
+            "--days",
+            "3",
+            "--threshold",
+            "9"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn stream_end_to_end_serves_live_and_verified_clusters() {
+        let out = parse(&[
+            "stream",
+            "--machines",
+            "3",
+            "--days",
+            "4",
+            "--app",
+            "gedit",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+            "--poll-ms",
+            "2",
+            "--verify",
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(out.contains("final: epoch"), "{out}");
+        assert!(out.contains("clusters:"), "{out}");
+        assert!(out.contains("streaming == batch: ok"), "{out}");
     }
 
     #[test]

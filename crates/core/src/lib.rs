@@ -53,22 +53,26 @@ mod accuracy;
 pub mod fleet;
 mod pipeline;
 mod scenario;
+mod stream;
 
 pub use accuracy::{evaluate_all, evaluate_model, score, AccuracySummary, AppAccuracy};
 pub use fleet::{run_fleet, FleetRun, FleetRunConfig};
 pub use pipeline::{Clustering, Ocasta};
 pub use scenario::{prepare_store, run_noclust, run_scenario, ScenarioConfig, ScenarioOutcome};
+pub use stream::{OcastaStream, StreamClustering, StreamHorizon};
 
 // Re-export the pieces users need without adding every sub-crate to their
 // dependency list.
 pub use ocasta_apps::{all_models, model_by_name, scenarios, AppModel, ErrorScenario, LoggerKind};
 pub use ocasta_cluster::{
-    cluster_events, hac, transactions, ClusterParams, Correlations, Dendrogram, DistanceMatrix,
-    Linkage, PartitionStats, WriteEvent,
+    cluster_correlations, cluster_events, hac, transactions, ClusterParams, Correlations,
+    Dendrogram, DistanceMatrix, IncrementalCorrelations, Linkage, PartitionStats,
+    TransactionWindow, WriteEvent,
 };
 pub use ocasta_fleet::{
-    ingest as fleet_ingest, FleetConfig, FleetReport, KeyPlacement, MachineSpec, ShardedTtkv, Wal,
-    WalError, WalReader, WalWriter,
+    ingest as fleet_ingest, ingest_tapped as fleet_ingest_tapped, FleetConfig, FleetReport,
+    IngestTap, KeyPlacement, MachineSpec, ShardedTtkv, Wal, WalError, WalReader, WalWriter,
+    WriteLanes,
 };
 pub use ocasta_parsers::{
     detect_format, diff_flush, parse, write, FlatConfig, FlushChange, Format, Node,
@@ -79,8 +83,8 @@ pub use ocasta_repair::{
     SearchOutcome, SearchStrategy, Trial, UserStudyParams,
 };
 pub use ocasta_trace::{
-    generate, AccessEvent, GeneratorConfig, MachineProfile, Mutation, OsFlavor, Trace, TraceStats,
-    WorkloadSpec, TABLE1_PROFILES,
+    generate, mutation_feed, AccessEvent, GeneratorConfig, MachineProfile, Mutation, OsFlavor,
+    Trace, TraceStats, WorkloadSpec, TABLE1_PROFILES,
 };
 pub use ocasta_ttkv::{
     ConfigState, Key, KeyRecord, TimeDelta, TimePrecision, Timestamp, Ttkv, TtkvBuilder, TtkvError,

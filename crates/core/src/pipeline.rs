@@ -58,6 +58,11 @@ impl Ocasta {
         &self.params
     }
 
+    /// The timestamp precision applied before windowing.
+    pub fn precision(&self) -> TimePrecision {
+        self.precision
+    }
+
     /// Extracts the per-key write events the clustering consumes: every
     /// mutation (write or deletion) of every modified key.
     pub fn write_events(&self, store: &Ttkv) -> (Vec<Key>, Vec<WriteEvent>) {
@@ -113,7 +118,7 @@ pub struct Clustering {
 }
 
 impl Clustering {
-    fn new(keys: Vec<Key>, partition: Vec<Vec<usize>>) -> Self {
+    pub(crate) fn new(keys: Vec<Key>, partition: Vec<Vec<usize>>) -> Self {
         let clusters: Vec<Vec<Key>> = partition
             .into_iter()
             .map(|cluster| cluster.into_iter().map(|i| keys[i].clone()).collect())

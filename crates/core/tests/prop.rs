@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use ocasta::{ClusterParams, Key, Ocasta, TimePrecision, Timestamp, Ttkv, Value};
+use ocasta::{ClusterParams, Key, Ocasta, OcastaStream, TimePrecision, Timestamp, Ttkv, Value};
 
 /// A random mutation log over a small key space.
 fn mutations() -> impl Strategy<Value = Vec<(u8, u64, i64, bool)>> {
@@ -101,6 +101,63 @@ proptest! {
         let a = engine.cluster_store(&base);
         let b = engine.cluster_store(&shifted);
         prop_assert_eq!(a.clusters().len(), b.clusters().len());
+    }
+
+    /// The tentpole invariant at the facade level: a stream fed the same
+    /// mutations — in any batch split, with live queries and watermark
+    /// seals along the way — serves *exactly* the clustering that
+    /// `Ocasta::cluster_store` computes over the recorded store. Same
+    /// keys, same clusters, same order.
+    #[test]
+    fn streaming_clustering_equals_batch_clustering(
+        entries in mutations(),
+        batch_size in 1usize..20,
+        threshold in 0.5f64..2.0,
+        precision_ms in any::<bool>(),
+    ) {
+        let precision = if precision_ms {
+            TimePrecision::Milliseconds
+        } else {
+            TimePrecision::Seconds
+        };
+        let params = ClusterParams {
+            correlation_threshold: threshold,
+            ..ClusterParams::default()
+        };
+        let engine = Ocasta::new(params).with_precision(precision);
+
+        let store = build(&entries);
+        let batch = engine.cluster_store(&store);
+
+        // Stream the same mutations in time order (the live feed), split
+        // into arbitrary batches, sealing after each batch and serving a
+        // throwaway query mid-stream.
+        let mut ordered = entries.clone();
+        ordered.sort_by_key(|&(_, t, _, _)| t);
+        let mut stream = OcastaStream::new(&engine);
+        for chunk in ordered.chunks(batch_size) {
+            for &(k, t, _, _) in chunk {
+                stream.absorb_write(
+                    &Key::new(format!("app/k{k}")),
+                    Timestamp::from_millis(t),
+                );
+            }
+            stream.seal();
+            let _ = stream.clustering();
+        }
+        let live = stream.clustering();
+        prop_assert_eq!(&live.clustering, &batch);
+        prop_assert_eq!(live.horizon.events as usize, entries.len());
+
+        // A second stream fed fully out of order (no seals) agrees too.
+        let mut unordered = OcastaStream::new(&engine);
+        for &(k, t, _, _) in &entries {
+            unordered.absorb_write(
+                &Key::new(format!("app/k{k}")),
+                Timestamp::from_millis(t),
+            );
+        }
+        prop_assert_eq!(&unordered.clustering().clustering, &batch);
     }
 
     /// Replay → persist → load → recluster: persistence is transparent to

@@ -30,6 +30,7 @@ use ocasta_trace::{EventStream, GeneratorConfig, TraceOp, WorkloadSpec};
 use ocasta_ttkv::{Key, TimePrecision, Ttkv};
 
 use crate::shard::ShardedTtkv;
+use crate::tap::IngestTap;
 use crate::wal::{quantized, Wal, WalError};
 
 /// One simulated machine in the fleet: a named seed-deterministic workload.
@@ -159,7 +160,24 @@ impl std::fmt::Display for FleetReport {
 /// Ingests a whole fleet concurrently; returns the merged store and a
 /// throughput report.
 pub fn ingest(machines: &[MachineSpec], config: &FleetConfig) -> (Ttkv, FleetReport) {
-    match ingest_inner(machines, config, None) {
+    match ingest_inner(machines, config, None, None) {
+        Ok(result) => result,
+        Err(_) => unreachable!("no WAL, no WAL errors"),
+    }
+}
+
+/// Like [`ingest`], additionally invoking `tap` on every accepted batch —
+/// the live-analytics hook (see [`crate::tap`]).
+///
+/// The tap runs on the ingest workers' threads, outside the shard locks;
+/// batches reach it after placement and timestamp quantisation, i.e. as
+/// the store sees them.
+pub fn ingest_tapped(
+    machines: &[MachineSpec],
+    config: &FleetConfig,
+    tap: &dyn IngestTap,
+) -> (Ttkv, FleetReport) {
+    match ingest_inner(machines, config, None, Some(tap)) {
         Ok(result) => result,
         Err(_) => unreachable!("no WAL, no WAL errors"),
     }
@@ -177,13 +195,28 @@ pub fn ingest_with_wal(
     config: &FleetConfig,
     wal: &mut Wal,
 ) -> Result<(Ttkv, FleetReport), WalError> {
-    ingest_inner(machines, config, Some(wal))
+    ingest_inner(machines, config, Some(wal), None)
+}
+
+/// The fully-instrumented engine: optional WAL lane *and* optional tap.
+///
+/// # Errors
+///
+/// Same conditions as [`ingest_with_wal`].
+pub fn ingest_with_wal_and_tap(
+    machines: &[MachineSpec],
+    config: &FleetConfig,
+    wal: &mut Wal,
+    tap: &dyn IngestTap,
+) -> Result<(Ttkv, FleetReport), WalError> {
+    ingest_inner(machines, config, Some(wal), Some(tap))
 }
 
 fn ingest_inner(
     machines: &[MachineSpec],
     config: &FleetConfig,
     wal: Option<&mut Wal>,
+    tap: Option<&dyn IngestTap>,
 ) -> Result<(Ttkv, FleetReport), WalError> {
     let threads = config.ingest_threads.max(1);
     let sharded = ShardedTtkv::new(config.shards);
@@ -250,6 +283,11 @@ fn ingest_inner(
                                 &mut batches[shard],
                                 Vec::with_capacity(config.batch_size),
                             );
+                            // The tap observes outside the shard lock; it
+                            // can slow this worker, never a stripe.
+                            if let Some(tap) = tap {
+                                tap.on_batch(shard, &batch);
+                            }
                             // The WAL send happens under the shard lock so
                             // the log's per-shard order equals apply order.
                             sharded.append_batch_with(shard, batch, |b| {
@@ -262,6 +300,9 @@ fn ingest_inner(
                     for (shard, batch) in batches.into_iter().enumerate() {
                         if batch.is_empty() {
                             continue;
+                        }
+                        if let Some(tap) = tap {
+                            tap.on_batch(shard, &batch);
                         }
                         sharded.append_batch_with(shard, batch, |b| {
                             if let Some(tx) = &wal_tx {
@@ -393,6 +434,28 @@ mod tests {
             let prefix = Key::new(name.clone());
             assert!(store.keys_under(&prefix).next().is_some(), "{name}");
         }
+    }
+
+    #[test]
+    fn tap_sees_every_mutation_the_store_accepts() {
+        use crate::tap::WriteLanes;
+        let machines = tiny_fleet(4, 8);
+        let config = FleetConfig {
+            shards: 4,
+            ingest_threads: 2,
+            batch_size: 16,
+            ..FleetConfig::default()
+        };
+        let lanes = WriteLanes::new(config.shards);
+        let (store, report) = ingest_tapped(&machines, &config, &lanes);
+        let drained = lanes.drain();
+        assert_eq!(drained.len() as u64, report.mutations);
+        assert_eq!(
+            store.stats().writes + store.stats().deletes,
+            drained.len() as u64
+        );
+        // The tap sees quantised timestamps — what the store sees.
+        assert!(drained.iter().all(|(_, t)| t.as_millis() % 1_000 == 0));
     }
 
     #[test]

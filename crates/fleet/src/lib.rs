@@ -52,13 +52,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod hash;
 
 mod engine;
 mod shard;
+mod tap;
 mod wal;
 
 pub use engine::{
-    ingest, ingest_sequential, ingest_with_wal, FleetConfig, FleetReport, KeyPlacement, MachineSpec,
+    ingest, ingest_sequential, ingest_tapped, ingest_with_wal, ingest_with_wal_and_tap,
+    FleetConfig, FleetReport, KeyPlacement, MachineSpec,
 };
 pub use shard::{key_hash, ShardedTtkv};
+pub use tap::{IngestTap, LaneEvent, WriteLanes};
 pub use wal::{Wal, WalError, WalReader, WalWriter, WAL_MAGIC};

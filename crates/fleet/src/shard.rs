@@ -13,14 +13,9 @@ use std::sync::Mutex;
 use ocasta_trace::TraceOp;
 use ocasta_ttkv::{Ttkv, TtkvBuilder};
 
-/// Stable key→shard hash (FNV-1a, 64-bit).
+/// Stable key→shard hash (FNV-1a, 64-bit; see [`crate::hash`]).
 pub fn key_hash(key: &str) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in key.as_bytes() {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
+    crate::hash::fnv1a_64(key.as_bytes())
 }
 
 /// A hash-striped set of TTKV shards accepting concurrent batched appends.

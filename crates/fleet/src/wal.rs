@@ -34,6 +34,7 @@ use ocasta_trace::TraceOp;
 use ocasta_ttkv::{TimePrecision, Ttkv, TtkvBuilder};
 
 use crate::codec::{decode_op, encode_op, CodecError};
+use crate::hash::fnv1a_32 as fnv1a;
 
 /// File magic for WAL streams.
 pub const WAL_MAGIC: &[u8; 7] = b"OCWAL1\n";
@@ -80,16 +81,6 @@ impl From<CodecError> for WalError {
     fn from(e: CodecError) -> Self {
         WalError::Codec(e)
     }
-}
-
-/// FNV-1a over a byte slice; the frame checksum.
-fn fnv1a(bytes: &[u8]) -> u32 {
-    let mut hash = 0x811C_9DC5u32;
-    for &b in bytes {
-        hash ^= u32::from(b);
-        hash = hash.wrapping_mul(0x0100_0193);
-    }
-    hash
 }
 
 /// Appends framed op batches to any writer.

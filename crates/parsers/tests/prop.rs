@@ -123,6 +123,54 @@ proptest! {
         prop_assert_eq!(once, twice);
     }
 
+    /// parse → serialize → reparse is the identity on the node tree for
+    /// every format that round-trips exactly: once a document has been
+    /// parsed, writing it out and reading it back must reach a fixed
+    /// point immediately (no drift across save/load cycles — the property
+    /// the flush-diff logger depends on).
+    #[test]
+    fn ini_parse_serialize_reparse_is_identity(doc in two_level_doc()) {
+        let parsed = parse_ini(&write_ini(&doc)).unwrap();
+        let reparsed = parse_ini(&write_ini(&parsed)).unwrap();
+        prop_assert_eq!(&reparsed, &parsed);
+        // And the serialized text itself is stable.
+        prop_assert_eq!(write_ini(&reparsed), write_ini(&parsed));
+    }
+
+    /// JSON: parse → serialize → reparse identity, including stable text.
+    #[test]
+    fn json_parse_serialize_reparse_is_identity(doc in nested_doc()) {
+        let parsed = parse_json(&write_json(&doc)).unwrap();
+        let reparsed = parse_json(&write_json(&parsed)).unwrap();
+        prop_assert_eq!(&reparsed, &parsed);
+        prop_assert_eq!(write_json(&reparsed), write_json(&parsed));
+    }
+
+    /// XML: after one normalising round-trip, serialize → reparse is the
+    /// identity and the serialized text is stable.
+    #[test]
+    fn xml_parse_serialize_reparse_is_identity(doc in nested_doc()) {
+        let parsed = parse_xml(&write_xml(&doc)).unwrap();
+        let reparsed = parse_xml(&write_xml(&parsed)).unwrap();
+        prop_assert_eq!(&reparsed, &parsed);
+        prop_assert_eq!(write_xml(&reparsed), write_xml(&parsed));
+    }
+
+    /// A document diffed against itself is always empty, whatever its
+    /// shape — nested or flat, any format-portable scalars.
+    #[test]
+    fn diff_of_document_against_itself_is_empty(doc in nested_doc()) {
+        let flat = doc.flatten();
+        prop_assert!(diff_flush(&flat, &flat.clone()).is_empty());
+    }
+
+    /// Same law for two-level (INI-shaped) documents.
+    #[test]
+    fn diff_of_two_level_document_against_itself_is_empty(doc in two_level_doc()) {
+        let flat = doc.flatten();
+        prop_assert!(diff_flush(&flat, &flat.clone()).is_empty());
+    }
+
     /// diff(a, a) is empty; diff(a, b) mentions exactly the differing keys;
     /// applying the diff to `a` reproduces `b`.
     #[test]

@@ -1,0 +1,100 @@
+//! Feed adapters: turning op and event streams into analytics write feeds.
+//!
+//! The streaming clustering tier consumes one vocabulary — *which key
+//! mutated when* — while traces speak several: materialised
+//! [`Trace`](crate::Trace)s, lazy [`TraceOp`] streams, raw
+//! [`AccessEvent`]s. The adapters here normalise all of them to
+//! `(Key, Timestamp)` mutation pairs, dropping read accesses (reads carry
+//! no co-modification signal) without the consumer knowing which source it
+//! is fed from.
+
+use ocasta_ttkv::{Key, Timestamp};
+
+use crate::event::AccessEvent;
+use crate::stream::TraceOp;
+use crate::trace::Trace;
+
+/// Adapts any [`TraceOp`] stream into its mutation feed: `(key, time)`
+/// pairs for every write and deletion, reads skipped.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_trace::{mutation_feed, AccessEvent, TraceOp};
+/// use ocasta_ttkv::{Key, Timestamp};
+///
+/// let ops = vec![
+///     TraceOp::Mutation(AccessEvent::write(Timestamp::from_secs(1), "app/k", 1)),
+///     TraceOp::Reads(Key::new("app/k"), 250),
+///     TraceOp::Mutation(AccessEvent::delete(Timestamp::from_secs(2), "app/k")),
+/// ];
+/// let feed: Vec<_> = mutation_feed(ops).collect();
+/// assert_eq!(feed.len(), 2);
+/// assert_eq!(feed[0].1, Timestamp::from_secs(1));
+/// ```
+pub fn mutation_feed<I>(ops: I) -> impl Iterator<Item = (Key, Timestamp)>
+where
+    I: IntoIterator<Item = TraceOp>,
+{
+    ops.into_iter().filter_map(|op| match op {
+        TraceOp::Mutation(event) => Some((event.key, event.timestamp)),
+        TraceOp::Reads(..) => None,
+    })
+}
+
+impl TraceOp {
+    /// The mutation inside this op, if it is one — the borrowing
+    /// counterpart of [`mutation_feed`] for callers holding op slices.
+    pub fn as_mutation(&self) -> Option<&AccessEvent> {
+        match self {
+            TraceOp::Mutation(event) => Some(event),
+            TraceOp::Reads(..) => None,
+        }
+    }
+}
+
+impl Trace {
+    /// This trace's mutation feed: `(key, time)` for every recorded write
+    /// and deletion, in recorded order.
+    pub fn mutation_feed(&self) -> impl Iterator<Item = (Key, Timestamp)> + '_ {
+        self.events_unsorted()
+            .iter()
+            .map(|event| (event.key.clone(), event.timestamp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_drops_reads_and_keeps_mutation_order() {
+        let ops = vec![
+            TraceOp::Reads(Key::new("a/x"), 5),
+            TraceOp::Mutation(AccessEvent::write(Timestamp::from_secs(3), "a/y", 1)),
+            TraceOp::Mutation(AccessEvent::delete(Timestamp::from_secs(1), "a/z")),
+        ];
+        let feed: Vec<_> = mutation_feed(ops).collect();
+        assert_eq!(feed.len(), 2);
+        assert_eq!(feed[0].0.as_str(), "a/y");
+        assert_eq!(feed[1].0.as_str(), "a/z");
+        assert_eq!(feed[1].1, Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn as_mutation_selects_mutations_only() {
+        let write = TraceOp::Mutation(AccessEvent::write(Timestamp::from_secs(1), "a/x", 1));
+        assert!(write.as_mutation().is_some());
+        assert!(TraceOp::Reads(Key::new("a/x"), 1).as_mutation().is_none());
+    }
+
+    #[test]
+    fn trace_feed_covers_every_mutation() {
+        let mut trace = Trace::new("t", 1);
+        trace.push(AccessEvent::write(Timestamp::from_secs(1), "a/x", 1));
+        trace.push(AccessEvent::delete(Timestamp::from_secs(2), "a/x"));
+        trace.add_reads("a/x", 40);
+        let feed: Vec<_> = trace.mutation_feed().collect();
+        assert_eq!(feed.len(), 2);
+    }
+}

@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+mod feed;
 mod generator;
 mod profiles;
 mod sink;
@@ -47,6 +48,7 @@ mod stream;
 mod trace;
 
 pub use event::{AccessEvent, Mutation};
+pub use feed::mutation_feed;
 pub use generator::{generate, GeneratorConfig};
 pub use profiles::{MachineProfile, OsFlavor, TABLE1_PROFILES};
 pub use sink::EventSink;

@@ -1,6 +1,6 @@
 //! The 11 evaluated applications (Table II).
 //!
-//! Each module builds one [`AppModel`](crate::AppModel): its configuration
+//! Each module builds one [`AppModel`]: its configuration
 //! schema sized to the paper's per-app key counts, ground-truth groups
 //! arranged so the clustering reproduces Table II's correct/oversized
 //! cluster mix, and a render function exposing the visible state the

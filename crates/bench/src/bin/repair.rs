@@ -1,0 +1,5 @@
+//! Prints the rollback-search cost sweep (history size × trial threads).
+
+fn main() {
+    print!("{}", ocasta_bench::repair::run());
+}

@@ -37,6 +37,7 @@ pub struct TransactionWindow {
     window_ms: u64,
     items: Vec<usize>,
     last_time: Option<u64>,
+    start_time: Option<u64>,
 }
 
 impl TransactionWindow {
@@ -46,6 +47,7 @@ impl TransactionWindow {
             window_ms,
             items: Vec::new(),
             last_time: None,
+            start_time: None,
         }
     }
 
@@ -57,6 +59,13 @@ impl TransactionWindow {
     /// Time of the most recent event absorbed into the open transaction.
     pub fn last_time(&self) -> Option<u64> {
         self.last_time
+    }
+
+    /// Time of the *first* event of the open transaction — the transaction's
+    /// start time, which is how the repair search names rollback versions
+    /// (roll back "the transaction that started at `t`").
+    pub fn open_since(&self) -> Option<u64> {
+        self.start_time
     }
 
     /// `true` if a transaction is currently open.
@@ -78,11 +87,15 @@ impl TransactionWindow {
     /// pre-sorted input).
     pub fn push(&mut self, event: WriteEvent) -> Option<Vec<usize>> {
         let closed = if self.would_close(event.time_ms) {
+            self.start_time = None;
             Some(Self::seal(std::mem::take(&mut self.items)))
         } else {
             None
         };
         self.items.push(event.item);
+        if self.start_time.is_none() {
+            self.start_time = Some(event.time_ms);
+        }
         self.last_time = Some(event.time_ms);
         closed
     }
@@ -91,6 +104,7 @@ impl TransactionWindow {
     /// enough past it), returning it if one was open.
     pub fn flush(&mut self) -> Option<Vec<usize>> {
         self.last_time.take()?;
+        self.start_time = None;
         Some(Self::seal(std::mem::take(&mut self.items)))
     }
 
@@ -142,6 +156,20 @@ mod tests {
         w.push(ev(3, 10));
         w.push(ev(7, 20));
         assert_eq!(w.flush(), Some(vec![3, 7]));
+    }
+
+    #[test]
+    fn open_since_names_the_transaction_start() {
+        let mut w = TransactionWindow::new(1_000);
+        assert_eq!(w.open_since(), None);
+        w.push(ev(0, 500));
+        assert_eq!(w.open_since(), Some(500));
+        w.push(ev(1, 1_200)); // chains: start unchanged
+        assert_eq!(w.open_since(), Some(500));
+        w.push(ev(2, 9_000)); // closes {0,1}; 9000 starts the next
+        assert_eq!(w.open_since(), Some(9_000));
+        w.flush();
+        assert_eq!(w.open_since(), None);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //!                 [--shards <n>] [--batch <n>] [--app <name>...]
 //!                 [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
 //!                 [--verify]
+//! ocasta repair   --machines <n> --days <n> [--seed <n>] [--threads <n>]
+//!                 [--shards <n>] [--batch <n>] [--app <name>...]
+//!                 [--users <n>] [--search-threads <n>] [--scenario <id>...]
+//!                 [--window <secs>] [--threshold <corr>] [--min-events <n>]
+//!                 [--start-bound-days <n>] [--strategy dfs|bfs]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately keeps its
@@ -25,8 +30,9 @@ use std::process::ExitCode;
 
 use ocasta::fleet::{fleet_machines, parse_placement, run_fleet, FleetRunConfig};
 use ocasta::{
-    fleet_ingest_tapped, generate, model_by_name, ClusterParams, GeneratorConfig, Key, Ocasta,
-    OcastaStream, TimePrecision, Trace, Ttkv, TtkvStats, WriteLanes,
+    fleet_ingest_tapped, generate, model_by_name, run_repair_service, ClusterParams,
+    GeneratorConfig, Key, Ocasta, OcastaStream, RepairServiceConfig, SearchStrategy, TimePrecision,
+    Trace, Ttkv, TtkvStats, WriteLanes,
 };
 
 fn main() -> ExitCode {
@@ -67,9 +73,14 @@ usage:
                   [--shards <n>] [--batch <n>] [--app <name>...]
                   [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
                   [--verify]
+  ocasta repair   --machines <n> --days <n> [--seed <n>] [--threads <n>]
+                  [--shards <n>] [--batch <n>] [--app <name>...]
+                  [--users <n>] [--search-threads <n>] [--scenario <id>...]
+                  [--window <secs>] [--threshold <corr>] [--min-events <n>]
+                  [--start-bound-days <n>] [--strategy dfs|bfs]
 
-applications for `generate`, `fleet` and `stream`: outlook evolution ie
-chrome word gedit eog paint acrobat explorer wmp";
+applications for `generate`, `fleet`, `stream` and `repair`: outlook
+evolution ie chrome word gedit eog paint acrobat explorer wmp";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +120,9 @@ enum Command {
         threshold: f64,
         poll_ms: u64,
         verify: bool,
+    },
+    Repair {
+        config: RepairServiceConfig,
     },
 }
 
@@ -301,6 +315,90 @@ impl Command {
                     poll_ms: poll_ms.max(1),
                     verify,
                 })
+            }
+            "repair" => {
+                let mut config = RepairServiceConfig::default();
+                config.fleet.machines = 0;
+                config.fleet.days = 0;
+                config.scenario_ids = Vec::new();
+                let mut window_secs = 1u64;
+                let mut threshold = 2.0f64;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--machines" => {
+                            config.fleet.machines = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--days" => config.fleet.days = parse_num(value_of(&rest, &mut i)?)?,
+                        "--seed" => config.fleet.seed = parse_num(value_of(&rest, &mut i)?)?,
+                        "--threads" => {
+                            config.fleet.engine.ingest_threads =
+                                parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--shards" => {
+                            config.fleet.engine.shards =
+                                parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--batch" => {
+                            config.fleet.engine.batch_size =
+                                parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--app" => config.fleet.apps.push(value_of(&rest, &mut i)?.to_owned()),
+                        "--users" => config.users = parse_num(value_of(&rest, &mut i)?)? as usize,
+                        "--search-threads" => {
+                            config.search_threads = parse_num(value_of(&rest, &mut i)?)? as usize
+                        }
+                        "--scenario" => config
+                            .scenario_ids
+                            .push(parse_num(value_of(&rest, &mut i)?)? as usize),
+                        "--window" => window_secs = parse_num(value_of(&rest, &mut i)?)?,
+                        "--threshold" => {
+                            threshold = value_of(&rest, &mut i)?
+                                .parse()
+                                .map_err(|e| format!("bad threshold: {e}"))?
+                        }
+                        "--min-events" => {
+                            config.min_catalog_events = parse_num(value_of(&rest, &mut i)?)?
+                        }
+                        "--start-bound-days" => {
+                            config.start_bound_days = Some(parse_num(value_of(&rest, &mut i)?)?)
+                        }
+                        "--strategy" => {
+                            config.strategy = match value_of(&rest, &mut i)? {
+                                "dfs" => SearchStrategy::Dfs,
+                                "bfs" => SearchStrategy::Bfs,
+                                other => {
+                                    return Err(format!(
+                                        "strategy must be `dfs` or `bfs`, got `{other}`"
+                                    ))
+                                }
+                            }
+                        }
+                        other => return Err(format!("unknown argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                if config.fleet.machines == 0 {
+                    return Err("repair needs --machines >= 1".into());
+                }
+                if config.fleet.days == 0 {
+                    return Err("repair needs --days >= 1".into());
+                }
+                if config.users == 0 {
+                    return Err("repair needs --users >= 1".into());
+                }
+                if !(threshold > 0.0 && threshold <= 2.0) {
+                    return Err(format!("threshold must be in (0, 2], got {threshold}"));
+                }
+                if config.scenario_ids.is_empty() {
+                    config.scenario_ids = RepairServiceConfig::default().scenario_ids;
+                }
+                config.params = ClusterParams {
+                    window_ms: window_secs * 1000,
+                    correlation_threshold: threshold,
+                    ..ClusterParams::default()
+                };
+                Ok(Command::Repair { config })
             }
             "history" => match rest.as_slice() {
                 [store, key] => Ok(Command::History {
@@ -497,6 +595,53 @@ impl Command {
                         ));
                     }
                 }
+                Ok(out)
+            }
+            Command::Repair { config } => {
+                let run = run_repair_service(config)?;
+                let mut out = format!(
+                    "catalog: pinned at epoch {} ({} events, watermark {}ms) — \
+                     {} clusters ({} multi), mid-ingest: {}\n\
+                     snapshot: {}\n",
+                    run.horizon.epoch,
+                    run.horizon.events,
+                    run.horizon.watermark_ms,
+                    run.catalog_clusters,
+                    run.catalog_multi,
+                    if run.pinned_mid_ingest { "yes" } else { "no" },
+                    run.snapshot_stats,
+                );
+                for session in &run.sessions {
+                    let outcome = &session.report.outcome;
+                    out.push_str(&format!(
+                        "{}  error #{:<2} fixed: {}  trials {}/{}  screens {}  \
+                         cluster {}  search {:.1?} ({} threads)  \"{}\"\n",
+                        session.report.user,
+                        session.scenario_id,
+                        if session.report.is_fixed() {
+                            "yes"
+                        } else {
+                            "NO "
+                        },
+                        outcome
+                            .trials_to_fix
+                            .map_or_else(|| "-".into(), |n| n.to_string()),
+                        outcome.total_trials,
+                        outcome.screenshots_to_fix,
+                        session
+                            .fixed_cluster_size
+                            .map_or_else(|| "-".into(), |n| n.to_string()),
+                        session.report.wall,
+                        session.report.threads,
+                        session.description,
+                    ));
+                }
+                out.push_str(&format!("ingest: {}\n", run.ingest));
+                out.push_str(&format!(
+                    "fixed {}/{} sessions\n",
+                    run.fixed_sessions(),
+                    run.sessions.len(),
+                ));
                 Ok(out)
             }
             Command::History { store, key } => {
@@ -721,6 +866,98 @@ mod tests {
             "9"
         ])
         .is_err());
+    }
+
+    #[test]
+    fn parse_repair() {
+        let cmd = parse(&[
+            "repair",
+            "--machines",
+            "4",
+            "--days",
+            "8",
+            "--users",
+            "3",
+            "--search-threads",
+            "2",
+            "--scenario",
+            "13",
+            "--scenario",
+            "15",
+            "--min-events",
+            "500",
+            "--start-bound-days",
+            "5",
+            "--strategy",
+            "bfs",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Repair { config } => {
+                assert_eq!(config.fleet.machines, 4);
+                assert_eq!(config.fleet.days, 8);
+                assert_eq!(config.users, 3);
+                assert_eq!(config.search_threads, 2);
+                assert_eq!(config.scenario_ids, vec![13, 15]);
+                assert_eq!(config.min_catalog_events, 500);
+                assert_eq!(config.start_bound_days, Some(5));
+                assert_eq!(config.strategy, SearchStrategy::Bfs);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: scenario set falls back to the service default.
+        match parse(&["repair", "--machines", "2", "--days", "3"]).unwrap() {
+            Command::Repair { config } => {
+                assert!(!config.scenario_ids.is_empty());
+                assert_eq!(config.strategy, SearchStrategy::Dfs);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["repair", "--machines", "0", "--days", "3"]).is_err());
+        assert!(parse(&["repair", "--machines", "2"]).is_err(), "needs days");
+        assert!(parse(&["repair", "--machines", "2", "--days", "3", "--users", "0"]).is_err());
+        assert!(parse(&[
+            "repair",
+            "--machines",
+            "2",
+            "--days",
+            "3",
+            "--strategy",
+            "zigzag"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn repair_end_to_end_fixes_against_a_live_fleet() {
+        let out = parse(&[
+            "repair",
+            "--machines",
+            "3",
+            "--days",
+            "6",
+            "--users",
+            "2",
+            "--search-threads",
+            "2",
+            "--scenario",
+            "13",
+            "--scenario",
+            "15",
+            "--min-events",
+            "300",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(out.contains("catalog: pinned at epoch"), "{out}");
+        assert!(out.contains("fixed 2/2 sessions"), "{out}");
+        assert!(out.contains("error #13"), "{out}");
+        assert!(out.contains("error #15"), "{out}");
     }
 
     #[test]

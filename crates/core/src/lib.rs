@@ -21,7 +21,7 @@
 //! | [`ocasta_parsers`] | JSON/XML/INI/plain/PostScript loggers + flush diff |
 //! | [`ocasta_trace`] | access events, trace files, workload generator |
 //! | [`ocasta_apps`] | the 11 evaluated applications + 16 real errors |
-//! | [`ocasta_repair`] | trials, screenshots, DFS/BFS rollback search |
+//! | [`ocasta_repair`] | trials, screenshots, parallel rollback search, repair sessions |
 //! | [`ocasta_fleet`] | concurrent multi-machine ingestion: sharded TTKV + WAL |
 //!
 //! ## Quick start
@@ -53,12 +53,14 @@ mod accuracy;
 pub mod fleet;
 mod pipeline;
 mod scenario;
+mod service;
 mod stream;
 
 pub use accuracy::{evaluate_all, evaluate_model, score, AccuracySummary, AppAccuracy};
 pub use fleet::{run_fleet, FleetRun, FleetRunConfig};
 pub use pipeline::{Clustering, Ocasta};
 pub use scenario::{prepare_store, run_noclust, run_scenario, ScenarioConfig, ScenarioOutcome};
+pub use service::{run_repair_service, RepairServiceConfig, RepairServiceRun, UserRepair};
 pub use stream::{OcastaStream, StreamClustering, StreamHorizon};
 
 // Re-export the pieces users need without adding every sub-crate to their
@@ -70,17 +72,18 @@ pub use ocasta_cluster::{
     TransactionWindow, WriteEvent,
 };
 pub use ocasta_fleet::{
-    ingest as fleet_ingest, ingest_tapped as fleet_ingest_tapped, FleetConfig, FleetReport,
-    IngestTap, KeyPlacement, MachineSpec, ShardedTtkv, Wal, WalError, WalReader, WalWriter,
-    WriteLanes,
+    ingest as fleet_ingest, ingest_into as fleet_ingest_into, ingest_tapped as fleet_ingest_tapped,
+    FleetConfig, FleetReport, IngestTap, KeyPlacement, MachineSpec, ShardedTtkv, Wal, WalError,
+    WalReader, WalWriter, WriteLanes,
 };
 pub use ocasta_parsers::{
     detect_format, diff_flush, parse, write, FlatConfig, FlushChange, Format, Node,
     ParseConfigError,
 };
 pub use ocasta_repair::{
-    search, simulate_case, singleton_clusters, CaseUserModel, FixOracle, Screenshot, SearchConfig,
-    SearchOutcome, SearchStrategy, Trial, UserStudyParams,
+    parallel_search, search, simulate_case, singleton_clusters, CaseUserModel, CatalogHorizon,
+    ClusterCatalog, FixOracle, RepairSession, Screenshot, SearchConfig, SearchOutcome,
+    SearchStrategy, SessionReport, SyncGallery, Trial, UserStudyParams,
 };
 pub use ocasta_trace::{
     generate, mutation_feed, AccessEvent, GeneratorConfig, MachineProfile, Mutation, OsFlavor,

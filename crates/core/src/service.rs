@@ -1,0 +1,368 @@
+//! The repair service: concurrent repair sessions over a live fleet store.
+//!
+//! This closes the paper's loop at fleet scale. PR 1 made ingestion
+//! concurrent ([`ocasta_fleet::ingest_into`]), PR 2 made the clustering
+//! continuously available ([`crate::OcastaStream`]); this tier makes the
+//! *repair* — the point of the whole system (§III-B, §IV-C) — run against
+//! both, while they keep moving:
+//!
+//! 1. a fleet of machines streams into one caller-owned [`ShardedTtkv`];
+//! 2. the streaming clustering absorbs the tapped event flow and serves a
+//!    cluster catalog at any moment;
+//! 3. each simulated user pins a session: the catalog (stamped with its
+//!    stream horizon) plus a per-shard-atomic history snapshot
+//!    ([`ShardedTtkv::snapshot_store`]) taken *at or after* that horizon;
+//! 4. an error scenario is injected into the user's pinned snapshot and
+//!    the parallel rollback search runs to exhaustion — N sessions
+//!    concurrently, each with its own trial-executor pool — while
+//!    ingestion continues underneath.
+//!
+//! The session lifecycle, snapshot-consistency argument and the
+//! parallel-search equivalence proof live in `DESIGN.md §5.8`.
+
+use std::time::Duration;
+
+use ocasta_apps::{scenarios, ErrorScenario};
+use ocasta_cluster::ClusterParams;
+use ocasta_fleet::{ingest_into, FleetReport, ShardedTtkv, WriteLanes};
+use ocasta_repair::{
+    CatalogHorizon, ClusterCatalog, RepairSession, SearchConfig, SearchStrategy, SessionReport,
+};
+use ocasta_ttkv::{TimeDelta, Timestamp, Ttkv, TtkvStats};
+
+use crate::fleet::{fleet_machines, FleetRunConfig};
+use crate::pipeline::Ocasta;
+use crate::stream::OcastaStream;
+
+/// Configuration of one repair-service run: the fleet it ingests, the
+/// users it repairs for, and the search it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairServiceConfig {
+    /// The fleet to ingest (machines, days, seed, apps, engine knobs). An
+    /// empty `apps` list is replaced by the applications of the chosen
+    /// scenarios, so every session's error has history to roll back to.
+    pub fleet: FleetRunConfig,
+    /// Concurrent repair sessions (the paper's user study had 19 humans;
+    /// the service runs them at production concurrency).
+    pub users: usize,
+    /// Concurrent trial executors per session ([`ocasta_repair::parallel_search`]).
+    pub search_threads: usize,
+    /// Rollback search order.
+    pub strategy: SearchStrategy,
+    /// Clustering parameters for the live catalog (window also bounds the
+    /// search's transaction grouping).
+    pub params: ClusterParams,
+    /// Which Table III errors the users hit, assigned round-robin.
+    pub scenario_ids: Vec<usize>,
+    /// How many mutation events the live clustering must have absorbed
+    /// before the catalog is pinned (`u64::MAX` waits for ingestion to
+    /// finish — useful when the outcome must not depend on timing).
+    pub min_catalog_events: u64,
+    /// The user's "error appeared after" search bound, as days before the
+    /// end of the pinned snapshot (`None` searches the whole history).
+    pub start_bound_days: Option<u64>,
+}
+
+impl Default for RepairServiceConfig {
+    fn default() -> Self {
+        RepairServiceConfig {
+            fleet: FleetRunConfig {
+                machines: 8,
+                days: 14,
+                apps: Vec::new(),
+                ..FleetRunConfig::default()
+            },
+            users: 4,
+            search_threads: 2,
+            strategy: SearchStrategy::Dfs,
+            params: ClusterParams::default(),
+            // Single-setting errors whose applications render their healthy
+            // default when the setting is absent — fixable against any
+            // snapshot prefix, which is what a mid-ingest pin serves.
+            scenario_ids: vec![13, 15, 11, 12],
+            min_catalog_events: 2_000,
+            start_bound_days: Some(7),
+        }
+    }
+}
+
+/// One user's repaired (or not) error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserRepair {
+    /// Which Table III error the user hit.
+    pub scenario_id: usize,
+    /// The error's Table III description.
+    pub description: String,
+    /// Size of the cluster whose rollback fixed it, if fixed.
+    pub fixed_cluster_size: Option<usize>,
+    /// The session's full report (search outcome, pinned horizon, timing).
+    pub report: SessionReport,
+}
+
+/// What one repair-service run did.
+#[derive(Debug, Clone)]
+pub struct RepairServiceRun {
+    /// The fleet ingestion report (the whole fleet, not just the pinned
+    /// prefix).
+    pub ingest: FleetReport,
+    /// The stream horizon the shared catalog was pinned from.
+    pub horizon: CatalogHorizon,
+    /// Clusters in the pinned catalog (after singleton fallbacks).
+    pub catalog_clusters: usize,
+    /// Multi-setting clusters in the pinned catalog.
+    pub catalog_multi: usize,
+    /// `true` if the catalog and snapshot were pinned while ingestion was
+    /// still running (the fleet kept growing under the sessions).
+    pub pinned_mid_ingest: bool,
+    /// Access statistics of the pinned history snapshot.
+    pub snapshot_stats: TtkvStats,
+    /// Every user's session, in user order.
+    pub sessions: Vec<UserRepair>,
+}
+
+impl RepairServiceRun {
+    /// Number of sessions that repaired their error.
+    pub fn fixed_sessions(&self) -> usize {
+        self.sessions.iter().filter(|s| s.report.is_fixed()).count()
+    }
+}
+
+/// Runs the repair service: ingest the fleet, pin a catalog + snapshot from
+/// the live tiers, and drive every user's repair session concurrently.
+///
+/// # Errors
+///
+/// Unknown scenario ids or application names, or `users == 0`.
+pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceRun, String> {
+    if config.users == 0 {
+        return Err("repair needs --users >= 1".into());
+    }
+    let chosen = resolve_scenarios(&config.scenario_ids)?;
+    let mut fleet_cfg = config.fleet.clone();
+    if fleet_cfg.apps.is_empty() {
+        fleet_cfg.apps = scenario_apps(&chosen);
+    }
+    let machines = fleet_machines(&fleet_cfg)?;
+    let engine = Ocasta::new(config.params);
+    let sharded = ShardedTtkv::new(fleet_cfg.engine.shards);
+    let lanes = WriteLanes::new(fleet_cfg.engine.shards);
+    let mut stream = OcastaStream::new(&engine);
+
+    let run = std::thread::scope(|scope| {
+        let ingest_handle =
+            scope.spawn(|| ingest_into(&machines, &fleet_cfg.engine, &sharded, &lanes));
+
+        // Feed the live clustering until enough of the fleet has streamed
+        // past to pin a catalog from.
+        loop {
+            stream.drain_lanes(&lanes);
+            let finished = ingest_handle.is_finished();
+            if stream.horizon().events >= config.min_catalog_events || finished {
+                if finished {
+                    stream.drain_lanes(&lanes); // absorb the tail
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Pin: catalog first, snapshot second — the snapshot is therefore
+        // at or beyond the catalog's horizon (DESIGN.md §5.8).
+        let live = stream.clustering();
+        let snapshot = sharded.snapshot_store();
+        // Sampled *after* the snapshot, so "mid-ingest" is conservative:
+        // if ingestion is still running now, the pinned history was
+        // certainly a prefix of a still-growing fleet.
+        let pinned_mid_ingest = !ingest_handle.is_finished();
+        let mut catalog = live.catalog();
+        for scenario in &chosen {
+            for key in scenario.offending_keys() {
+                catalog.ensure_singleton(&key);
+            }
+        }
+        let catalog_clusters = catalog.len();
+        let catalog_multi = catalog.clusters().iter().filter(|c| c.len() > 1).count();
+
+        // Every user's session runs concurrently — against pinned state,
+        // while ingestion (if unfinished) keeps appending underneath.
+        let session_handles: Vec<_> = (0..config.users)
+            .map(|user| {
+                let scenario = chosen[user % chosen.len()].clone();
+                let catalog = catalog.clone();
+                // Each session owns its copy of the pinned snapshot — the
+                // sandbox it injects the error into and searches.
+                let store = snapshot.clone();
+                scope.spawn(move || run_user_session(config, user, scenario, store, catalog))
+            })
+            .collect();
+        let sessions: Vec<UserRepair> = session_handles
+            .into_iter()
+            .map(|h| h.join().expect("repair session panicked"))
+            .collect();
+        let ingest = ingest_handle.join().expect("ingest thread panicked");
+
+        RepairServiceRun {
+            ingest,
+            horizon: catalog.horizon(),
+            catalog_clusters,
+            catalog_multi,
+            pinned_mid_ingest,
+            snapshot_stats: snapshot.stats(),
+            sessions,
+        }
+    });
+    Ok(run)
+}
+
+/// One user: inject the scenario into the pinned snapshot, search, report.
+fn run_user_session(
+    config: &RepairServiceConfig,
+    user: usize,
+    scenario: ErrorScenario,
+    mut store: Ttkv,
+    catalog: ClusterCatalog,
+) -> UserRepair {
+    let end = store.last_mutation_time().unwrap_or(Timestamp::EPOCH);
+    // Stagger injections so concurrent users' errors are distinct events.
+    let inject_at = end + TimeDelta::from_mins(5 * (user as u64 + 1));
+    scenario.inject(&mut store, inject_at);
+    let search_config = SearchConfig {
+        strategy: config.strategy,
+        window: TimeDelta::from_millis(config.params.window_ms),
+        start_time: config
+            .start_bound_days
+            .map(|days| inject_at.saturating_sub(TimeDelta::from_days(days))),
+        end_time: None,
+        trial_cost: scenario.trial_cost,
+    };
+    let session = RepairSession::new(format!("user{user:02}"), store, catalog, search_config)
+        .with_threads(config.search_threads);
+    let report = session.run(&scenario.trial(), &scenario.oracle());
+    UserRepair {
+        scenario_id: scenario.id,
+        description: scenario.description.to_owned(),
+        fixed_cluster_size: report.outcome.fix.as_ref().map(|f| f.keys.len()),
+        report,
+    }
+}
+
+/// Resolves scenario ids against the Table III catalog, in the given order.
+fn resolve_scenarios(ids: &[usize]) -> Result<Vec<ErrorScenario>, String> {
+    if ids.is_empty() {
+        return Err("repair needs at least one scenario".into());
+    }
+    let all = scenarios();
+    ids.iter()
+        .map(|id| {
+            all.iter()
+                .find(|s| s.id == *id)
+                .cloned()
+                .ok_or_else(|| format!("unknown scenario id {id} (Table III has 1-16)"))
+        })
+        .collect()
+}
+
+/// The distinct applications the chosen scenarios run on, in first-use
+/// order — the default fleet workload for a service run.
+fn scenario_apps(chosen: &[ErrorScenario]) -> Vec<String> {
+    let mut apps: Vec<String> = Vec::new();
+    for scenario in chosen {
+        if !apps.iter().any(|a| a == scenario.app) {
+            apps.push(scenario.app.to_owned());
+        }
+    }
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> RepairServiceConfig {
+        RepairServiceConfig {
+            fleet: FleetRunConfig {
+                machines: 4,
+                days: 8,
+                seed: 11,
+                engine: ocasta_fleet::FleetConfig {
+                    shards: 4,
+                    ingest_threads: 2,
+                    batch_size: 64,
+                    ..ocasta_fleet::FleetConfig::default()
+                },
+                ..FleetRunConfig::default()
+            },
+            users: 3,
+            search_threads: 2,
+            scenario_ids: vec![13, 15],
+            // Deterministic content: pin only after ingestion finished.
+            min_catalog_events: u64::MAX,
+            // Unbounded search: the earliest version of the offending
+            // cluster is always reachable, so a rollback that predates the
+            // key entirely (healthy default render) is always tried.
+            start_bound_days: None,
+            ..RepairServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn concurrent_sessions_fix_their_errors() {
+        let run = run_repair_service(&small_config()).expect("service runs");
+        assert_eq!(run.sessions.len(), 3);
+        assert_eq!(run.fixed_sessions(), 3, "{:?}", run.sessions);
+        // Round-robin assignment over the two scenarios.
+        let ids: Vec<usize> = run.sessions.iter().map(|s| s.scenario_id).collect();
+        assert_eq!(ids, vec![13, 15, 13]);
+        // The catalog was pinned from a real stream horizon.
+        assert!(run.horizon.events > 0);
+        assert!(run.catalog_clusters > 0);
+        assert!(run.snapshot_stats.writes > 0);
+        // Users 0 and 2 hit the same scenario against the same pinned
+        // state (injection times differ, so only fixability must agree).
+        assert_eq!(
+            run.sessions[0].report.is_fixed(),
+            run.sessions[2].report.is_fixed()
+        );
+    }
+
+    #[test]
+    fn mid_ingest_pin_is_reported_and_sessions_still_run() {
+        let config = RepairServiceConfig {
+            min_catalog_events: 200,
+            users: 2,
+            ..small_config()
+        };
+        let run = run_repair_service(&config).expect("service runs");
+        assert_eq!(run.sessions.len(), 2);
+        // Whether the pin landed mid-ingest depends on scheduling; either
+        // way every session must complete with a usable report, and the
+        // offending keys are searchable thanks to the singleton fallback.
+        for session in &run.sessions {
+            assert!(session.report.outcome.total_trials > 0);
+            assert!(session.report.is_fixed(), "{session:?}");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let mut config = small_config();
+        config.users = 0;
+        assert!(run_repair_service(&config).is_err());
+
+        let mut config = small_config();
+        config.scenario_ids = vec![99];
+        assert!(run_repair_service(&config)
+            .unwrap_err()
+            .contains("scenario id 99"));
+
+        let mut config = small_config();
+        config.scenario_ids = Vec::new();
+        assert!(run_repair_service(&config).is_err());
+    }
+
+    #[test]
+    fn scenario_apps_deduplicate_in_order() {
+        let chosen = resolve_scenarios(&[15, 16, 13]).unwrap();
+        assert_eq!(scenario_apps(&chosen), vec!["acrobat", "chrome"]);
+    }
+}

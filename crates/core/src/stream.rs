@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use ocasta_cluster::WriteEvent;
 use ocasta_cluster::{cluster_correlations, IncrementalCorrelations};
 use ocasta_fleet::WriteLanes;
+use ocasta_repair::{CatalogHorizon, ClusterCatalog};
 use ocasta_trace::TraceOp;
 use ocasta_ttkv::{Key, Timestamp};
 
@@ -50,6 +51,23 @@ pub struct StreamClustering {
     pub clustering: Clustering,
     /// Which prefix of the stream it reflects.
     pub horizon: StreamHorizon,
+}
+
+impl StreamClustering {
+    /// Pins this live answer as a repair-session catalog: the clusters plus
+    /// a [`CatalogHorizon`] stamp naming the stream prefix they reflect.
+    /// This is the hand-off point between the streaming tier and the repair
+    /// service tier (`DESIGN.md §5.8`).
+    pub fn catalog(&self) -> ClusterCatalog {
+        ClusterCatalog::new(
+            self.clustering.clusters().to_vec(),
+            CatalogHorizon {
+                epoch: self.horizon.epoch,
+                events: self.horizon.events,
+                watermark_ms: self.horizon.watermark_ms,
+            },
+        )
+    }
 }
 
 /// Online clustering over a live mutation stream.
@@ -314,6 +332,21 @@ mod tests {
             // over the store so far.
             assert_eq!(stream.clustering().clustering, engine.cluster_store(&store));
         }
+    }
+
+    #[test]
+    fn catalog_pins_clusters_and_horizon() {
+        let mut stream = OcastaStream::new(&Ocasta::default());
+        for (key, t, _) in sample_mutations() {
+            stream.absorb_write(&key, t);
+        }
+        stream.seal();
+        let live = stream.clustering();
+        let catalog = live.catalog();
+        assert_eq!(catalog.clusters().len(), live.clustering.len());
+        assert!(catalog.covers(&Key::new("app/a")));
+        assert_eq!(catalog.horizon().events, live.horizon.events);
+        assert_eq!(catalog.horizon().watermark_ms, live.horizon.watermark_ms);
     }
 
     #[test]

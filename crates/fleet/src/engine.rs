@@ -167,11 +167,13 @@ pub fn ingest(machines: &[MachineSpec], config: &FleetConfig) -> (Ttkv, FleetRep
 }
 
 /// Like [`ingest`], additionally invoking `tap` on every accepted batch —
-/// the live-analytics hook (see [`crate::tap`]).
+/// the live-analytics hook (see [`IngestTap`] and [`crate::WriteLanes`]).
 ///
 /// The tap runs on the ingest workers' threads, outside the shard locks;
-/// batches reach it after placement and timestamp quantisation, i.e. as
-/// the store sees them.
+/// batches reach it after placement and timestamp quantisation — as the
+/// store sees them — and only *after* the shard has applied them, so
+/// everything a tap consumer has observed is already readable through a
+/// store snapshot.
 pub fn ingest_tapped(
     machines: &[MachineSpec],
     config: &FleetConfig,
@@ -218,8 +220,72 @@ fn ingest_inner(
     wal: Option<&mut Wal>,
     tap: Option<&dyn IngestTap>,
 ) -> Result<(Ttkv, FleetReport), WalError> {
-    let threads = config.ingest_threads.max(1);
     let sharded = ShardedTtkv::new(config.shards);
+    let (mut report, wal_result) = run_ingest(machines, config, &sharded, wal, tap);
+
+    let merge_started = Instant::now();
+    let store = sharded.into_ttkv();
+    report.merge_elapsed = merge_started.elapsed();
+
+    wal_result?;
+    Ok((store, report))
+}
+
+/// Streams every machine into a **caller-owned** live store, invoking `tap`
+/// on every accepted batch; returns when all machines are ingested.
+///
+/// Unlike [`ingest`], the shards are *not* merged when ingestion completes:
+/// the caller keeps the [`ShardedTtkv`] live, reads it through
+/// [`ShardedTtkv::snapshot_store`] at any moment — including while this
+/// function is still running on another thread — and decides itself when
+/// (or whether) to [`ShardedTtkv::into_ttkv`]. This is the entry point the
+/// repair service tier uses: ingestion keeps flowing while repair sessions
+/// pin snapshots (the returned report's `merge_elapsed` is therefore zero).
+///
+/// The batch size, placement, precision and worker count come from
+/// `config`; the shard count comes from `sharded` itself. Pass `&()` as the
+/// tap to observe nothing.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_fleet::{ingest_into, FleetConfig, MachineSpec, ShardedTtkv};
+/// use ocasta_trace::WorkloadSpec;
+///
+/// let mut spec = WorkloadSpec::new("app");
+/// spec.churn_keys = 2;
+/// spec.churn_writes_per_day = 1.0;
+/// let machines = vec![MachineSpec::new("m0", 5, 1, vec![spec])];
+/// let sharded = ShardedTtkv::new(4);
+/// let report = ingest_into(&machines, &FleetConfig::default(), &sharded, &());
+/// // The store stays live: snapshot it, keep ingesting, or merge now.
+/// assert_eq!(sharded.snapshot_store().stats().writes, report.mutations);
+/// ```
+pub fn ingest_into(
+    machines: &[MachineSpec],
+    config: &FleetConfig,
+    sharded: &ShardedTtkv,
+    tap: &dyn IngestTap,
+) -> FleetReport {
+    let (report, wal_result) = run_ingest(machines, config, sharded, None, Some(tap));
+    match wal_result {
+        Ok(()) => report,
+        Err(_) => unreachable!("no WAL, no WAL errors"),
+    }
+}
+
+/// The worker-pool core shared by every public ingest entry point: drives
+/// all machines into `sharded`, with optional WAL lane and optional tap.
+/// Returns the report (with `merge_elapsed` zeroed — merging is the
+/// caller's business) and the WAL outcome.
+fn run_ingest(
+    machines: &[MachineSpec],
+    config: &FleetConfig,
+    sharded: &ShardedTtkv,
+    wal: Option<&mut Wal>,
+    tap: Option<&dyn IngestTap>,
+) -> (FleetReport, Result<(), WalError>) {
+    let threads = config.ingest_threads.max(1);
     let started = Instant::now();
 
     // Work queue of machine indices.
@@ -248,7 +314,6 @@ fn ingest_inner(
         });
 
         for _ in 0..threads {
-            let sharded = &sharded;
             let work_rx = &work_rx;
             let per_machine = &per_machine;
             let total_reads = &total_reads;
@@ -283,11 +348,14 @@ fn ingest_inner(
                                 &mut batches[shard],
                                 Vec::with_capacity(config.batch_size),
                             );
-                            // The tap observes outside the shard lock; it
-                            // can slow this worker, never a stripe.
-                            if let Some(tap) = tap {
-                                tap.on_batch(shard, &batch);
-                            }
+                            // The tap fires outside the shard lock (it can
+                            // slow this worker, never a stripe) and
+                            // strictly *after* the apply: anything a tap
+                            // consumer has observed is already readable in
+                            // the store, so a live snapshot pinned after a
+                            // lane drain always contains the drained
+                            // events (§5.8). The clone is tap-path-only.
+                            let tapped = tap.map(|_| batch.clone());
                             // The WAL send happens under the shard lock so
                             // the log's per-shard order equals apply order.
                             sharded.append_batch_with(shard, batch, |b| {
@@ -295,20 +363,24 @@ fn ingest_inner(
                                     let _ = tx.send(b.to_vec());
                                 }
                             });
+                            if let (Some(tap), Some(batch)) = (tap, tapped) {
+                                tap.on_batch(shard, &batch);
+                            }
                         }
                     }
                     for (shard, batch) in batches.into_iter().enumerate() {
                         if batch.is_empty() {
                             continue;
                         }
-                        if let Some(tap) = tap {
-                            tap.on_batch(shard, &batch);
-                        }
+                        let tapped = tap.map(|_| batch.clone());
                         sharded.append_batch_with(shard, batch, |b| {
                             if let Some(tx) = &wal_tx {
                                 let _ = tx.send(b.to_vec());
                             }
                         });
+                        if let (Some(tap), Some(batch)) = (tap, tapped) {
+                            tap.on_batch(shard, &batch);
+                        }
                     }
                     per_machine.lock().expect("stats lock")[machine_idx] = mutations;
                     *total_reads.lock().expect("stats lock") += reads;
@@ -329,26 +401,21 @@ fn ingest_inner(
     let mutations: u64 = per_machine_counts.iter().sum();
     let reads = total_reads.into_inner().expect("stats lock");
 
-    let merge_started = Instant::now();
-    let store = sharded.into_ttkv();
-    let merge_elapsed = merge_started.elapsed();
-
     let report = FleetReport {
         machines: machines.len(),
         mutations,
         reads,
-        shards: config.shards.max(1),
+        shards: sharded.shard_count(),
         threads,
         ingest_elapsed,
-        merge_elapsed,
+        merge_elapsed: Duration::ZERO,
         per_machine: machines
             .iter()
             .map(|m| m.name.clone())
             .zip(per_machine_counts)
             .collect(),
     };
-    wal_result?;
-    Ok((store, report))
+    (report, wal_result)
 }
 
 /// Applies the key-placement policy to one op.
@@ -456,6 +523,41 @@ mod tests {
         );
         // The tap sees quantised timestamps — what the store sees.
         assert!(drained.iter().all(|(_, t)| t.as_millis() % 1_000 == 0));
+    }
+
+    #[test]
+    fn ingest_into_keeps_the_store_live_and_matches_ingest() {
+        let machines = tiny_fleet(5, 12);
+        let config = FleetConfig {
+            shards: 4,
+            ingest_threads: 2,
+            batch_size: 16,
+            // Disjoint key spaces keep the cross-run equality assertion
+            // free of same-key timestamp-tie ordering races.
+            placement: KeyPlacement::PerMachine,
+            ..FleetConfig::default()
+        };
+        let sharded = ShardedTtkv::new(config.shards);
+        // Snapshot the live store while ingestion runs on another thread.
+        let (report, mid_snapshots) = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| ingest_into(&machines, &config, &sharded, &()));
+            let mut mid = Vec::new();
+            while !handle.is_finished() {
+                mid.push(sharded.snapshot_store().stats().writes);
+                // A snapshot per iteration is the point; spinning without
+                // yielding on a small CI host is not.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (handle.join().expect("ingest panicked"), mid)
+        });
+        assert_eq!(report.merge_elapsed, Duration::ZERO);
+        assert!(mid_snapshots.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        // The caller-owned store ends up exactly where `ingest` would.
+        let live = sharded.snapshot_store();
+        assert_eq!(live, sharded.into_ttkv());
+        let (batch_store, batch_report) = ingest(&machines, &config);
+        assert_eq!(report.mutations, batch_report.mutations);
+        assert_eq!(live, batch_store);
     }
 
     #[test]

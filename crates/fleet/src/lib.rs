@@ -15,7 +15,11 @@
 //! * [`ingest`]/[`ingest_with_wal`] — the engine: a work queue of
 //!   machines, N ingest workers driving lazy
 //!   [`ocasta_trace::EventStream`]s, per-shard batching, and an optional
-//!   WAL appender lane.
+//!   WAL appender lane;
+//! * [`ingest_into`]/[`ShardedTtkv::snapshot_store`] — the live-store
+//!   path: ingestion into a caller-owned sharded store that stays
+//!   readable, through per-shard-atomic snapshots, while workers keep
+//!   appending — what the repair service tier pins its sessions to.
 //!
 //! ## Quick start
 //!
@@ -48,7 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
@@ -60,8 +64,8 @@ mod tap;
 mod wal;
 
 pub use engine::{
-    ingest, ingest_sequential, ingest_tapped, ingest_with_wal, ingest_with_wal_and_tap,
-    FleetConfig, FleetReport, KeyPlacement, MachineSpec,
+    ingest, ingest_into, ingest_sequential, ingest_tapped, ingest_with_wal,
+    ingest_with_wal_and_tap, FleetConfig, FleetReport, KeyPlacement, MachineSpec,
 };
 pub use shard::{key_hash, ShardedTtkv};
 pub use tap::{IngestTap, LaneEvent, WriteLanes};

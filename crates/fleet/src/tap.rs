@@ -24,10 +24,13 @@ use ocasta_ttkv::{Key, Timestamp};
 ///
 /// Called from ingest worker threads (hence `Sync`), once per shard batch,
 /// after placement and timestamp quantisation — the tap sees exactly what
-/// the store sees. Batches arrive in per-machine stream order but
-/// interleave arbitrarily across machines, so order-sensitive consumers
-/// must do their own sequencing (the streaming clustering path reorders by
-/// timestamp behind a watermark).
+/// the store sees — and after the shard has applied the batch, so a store
+/// snapshot taken after an observation always contains it (the containment
+/// the repair tier's catalog/snapshot pin relies on, `DESIGN.md §5.8`).
+/// Batches arrive in per-machine stream order but interleave arbitrarily
+/// across machines, so order-sensitive consumers must do their own
+/// sequencing (the streaming clustering path reorders by timestamp behind
+/// a watermark).
 pub trait IngestTap: Sync {
     /// Observes one batch routed to `shard`.
     fn on_batch(&self, shard: usize, batch: &[TraceOp]);

@@ -1,5 +1,6 @@
 //! Cluster version history: the rollback candidates the search walks.
 
+use ocasta_cluster::{TransactionWindow, WriteEvent};
 use ocasta_ttkv::{ConfigState, Key, TimeDelta, Timestamp, Ttkv};
 
 /// One cluster's searchable state: its keys, modification statistics and
@@ -49,16 +50,22 @@ impl ClusterInfo {
             .sum();
         let last_modified = times.last().copied();
 
-        // Group into transactions: a new transaction starts when the gap to
-        // the previous mutation exceeds the window.
+        // Group into transactions through the workspace's one windowing
+        // rule (`ocasta_cluster::TransactionWindow`) — the same core the
+        // batch and streaming clusterings run on, so a catalog pinned from
+        // a live stream and the rollback candidates enumerated here agree
+        // on what a transaction *is*.
+        let mut grouper = TransactionWindow::new(window.as_millis());
         let mut txn_starts: Vec<Timestamp> = Vec::new();
-        let mut prev: Option<Timestamp> = None;
         for &t in &times {
-            match prev {
-                Some(p) if t.delta_since(p) <= window => {}
-                _ => txn_starts.push(t),
+            if !grouper.is_open() || grouper.would_close(t.as_millis()) {
+                txn_starts.push(t);
             }
-            prev = Some(t);
+            grouper.push(WriteEvent::new(0, t.as_millis()));
+            debug_assert_eq!(
+                grouper.open_since(),
+                txn_starts.last().map(|s| s.as_millis()),
+            );
         }
         let mut versions: Vec<Timestamp> = txn_starts
             .into_iter()

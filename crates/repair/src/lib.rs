@@ -1,7 +1,10 @@
 //! # ocasta-repair — automated configuration-error repair
 //!
-//! The repair tool of the [Ocasta](https://arxiv.org/abs/1711.04030)
-//! reproduction (§III-B, §IV-C): given a TTKV history, a clustering of the
+//! The repair tool of the Ocasta reproduction (*Ocasta: Clustering
+//! Configuration Settings for Error Recovery*, Zhen Huang and David Lie,
+//! IEEE/IFIP DSN 2014; preprint at
+//! [arXiv:1711.04030](https://arxiv.org/abs/1711.04030)) — §III-B and
+//! §IV-C of the paper: given a TTKV history, a clustering of the
 //! application's settings, a user trial that makes the error's symptom
 //! visible, and the user's judgement of screenshots, it searches historical
 //! cluster values for a rollback that clears the symptom.
@@ -12,6 +15,13 @@
 //!   for GUI replay, pixel screenshots and the human in the loop;
 //! * [`search`] — the DFS/BFS rollback search with modification-count
 //!   cluster sorting, start/end time bounds and screenshot deduplication;
+//! * [`parallel_search`] — the same search with concurrent trial executors
+//!   and thread-safe screenshot dedup ([`SyncGallery`]), property-tested
+//!   equal to [`search`] outcome for outcome;
+//! * [`RepairSession`] / [`ClusterCatalog`] — the service tier: repair runs
+//!   pinned to a live-stream snapshot (epoch/watermark-stamped catalog plus
+//!   a point-in-time history view) so sessions proceed while fleet
+//!   ingestion continues;
 //! * [`singleton_clusters`] — the `Ocasta-NoClust` baseline (roll back one
 //!   setting at a time);
 //! * [`simulate_case`] — the Figure 4 user-study model.
@@ -41,17 +51,21 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod history;
+mod parallel;
 mod screenshot;
 mod search;
+mod session;
 mod trial;
 mod user_model;
 
 pub use history::{singleton_clusters, sorted_cluster_infos, ClusterInfo};
-pub use screenshot::{Screenshot, ScreenshotGallery};
+pub use parallel::parallel_search;
+pub use screenshot::{Screenshot, ScreenshotGallery, SyncGallery};
 pub use search::{search, FixInfo, SearchConfig, SearchOutcome, SearchStrategy};
+pub use session::{CatalogHorizon, ClusterCatalog, RepairSession, SessionReport};
 pub use trial::{FixOracle, Trial};
 pub use user_model::{simulate_case, CaseStudyResult, CaseUserModel, UserStudyParams};

@@ -43,7 +43,8 @@ pub struct SearchConfig {
     pub end_time: Option<Timestamp>,
     /// Simulated wall-clock cost of one trial execution (sandbox reset +
     /// application launch + UI replay + screenshot). Used for the time
-    /// columns of Table IV; see `EXPERIMENTS.md` for calibration.
+    /// columns of Table IV; per-scenario values are calibrated in
+    /// `ocasta-apps` (see each `ErrorScenario::trial_cost`).
     pub trial_cost: TimeDelta,
 }
 
@@ -188,7 +189,9 @@ pub fn search(
 }
 
 /// The `(cluster rank, version timestamp)` visit order for a strategy.
-fn plan(infos: &[ClusterInfo], strategy: SearchStrategy) -> Vec<(usize, Timestamp)> {
+/// Shared with the parallel search, which executes exactly this order
+/// (concurrently within waves, merged back in order).
+pub(crate) fn plan(infos: &[ClusterInfo], strategy: SearchStrategy) -> Vec<(usize, Timestamp)> {
     let mut out = Vec::new();
     match strategy {
         SearchStrategy::Dfs => {

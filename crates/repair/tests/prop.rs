@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use ocasta_repair::{
-    search, singleton_clusters, sorted_cluster_infos, FixOracle, Screenshot, SearchConfig,
-    SearchStrategy, Trial,
+    parallel_search, search, singleton_clusters, sorted_cluster_infos, FixOracle, Screenshot,
+    SearchConfig, SearchStrategy, Trial,
 };
 use ocasta_ttkv::{Key, TimeDelta, Timestamp, Ttkv, Value};
 
@@ -37,7 +37,67 @@ fn k0_trial() -> Trial {
     })
 }
 
+/// A random partition of the 6-key space into clusters: `assignment[k]` is
+/// key k's cluster. Produces multi-key clusters as well as singletons.
+fn clustering() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..3, 6)
+}
+
+fn build_clusters(assignment: &[u8]) -> Vec<Vec<Key>> {
+    let groups = 1 + usize::from(*assignment.iter().max().unwrap_or(&0));
+    let mut clusters = vec![Vec::new(); groups];
+    for (k, &group) in assignment.iter().enumerate() {
+        clusters[group as usize].push(Key::new(format!("app/k{k}")));
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters
+}
+
 proptest! {
+    /// The tentpole invariant: the parallel rollback search returns the
+    /// same outcome as the sequential search — same fix, same trial count,
+    /// same screenshot counts (to the fix and total), same modeled times —
+    /// on any history, any clustering, either strategy, any thread count.
+    #[test]
+    fn parallel_search_equals_sequential(
+        entries in history(),
+        assignment in clustering(),
+        threads in 1usize..6,
+        bfs in any::<bool>(),
+    ) {
+        let ttkv = build_store(&entries);
+        let clusters = build_clusters(&assignment);
+        let oracle = FixOracle::new(|shot: &Screenshot| shot.contains("k0:0"));
+        let config = SearchConfig {
+            strategy: if bfs { SearchStrategy::Bfs } else { SearchStrategy::Dfs },
+            ..SearchConfig::default()
+        };
+        let sequential = search(&ttkv, &clusters, &k0_trial(), &oracle, &config);
+        let parallel = parallel_search(&ttkv, &clusters, &k0_trial(), &oracle, &config, threads);
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    /// Equality also holds under time bounds (the service pins a search
+    /// window), including degenerate empty windows.
+    #[test]
+    fn parallel_search_equals_sequential_under_bounds(
+        entries in history(),
+        assignment in clustering(),
+        threads in 2usize..5,
+        start in 0u64..50_000,
+    ) {
+        let ttkv = build_store(&entries);
+        let clusters = build_clusters(&assignment);
+        let oracle = FixOracle::new(|shot: &Screenshot| shot.contains("k0:0"));
+        let config = SearchConfig {
+            start_time: Some(Timestamp::from_secs(start)),
+            ..SearchConfig::default()
+        };
+        let sequential = search(&ttkv, &clusters, &k0_trial(), &oracle, &config);
+        let parallel = parallel_search(&ttkv, &clusters, &k0_trial(), &oracle, &config, threads);
+        prop_assert_eq!(sequential, parallel);
+    }
+
     /// DFS and BFS execute the same number of trials (the same visit set)
     /// and agree on whether the error is fixable.
     #[test]

@@ -1,0 +1,14 @@
+//! Steady-state retention sweep. Run with --release.
+//!
+//! Prints the human-readable table and writes `BENCH_retention.json` to
+//! the current directory — the machine-readable baseline CI accumulates
+//! for the perf trajectory.
+
+fn main() {
+    let (table, json) = ocasta_bench::retention::run();
+    print!("{table}");
+    match std::fs::write("BENCH_retention.json", &json) {
+        Ok(()) => println!("wrote BENCH_retention.json"),
+        Err(e) => eprintln!("could not write BENCH_retention.json: {e}"),
+    }
+}

@@ -76,6 +76,7 @@ pub fn sweep(thread_counts: &[usize], shard_counts: &[usize]) -> Vec<Sample> {
                 batch_size: 512,
                 precision: TimePrecision::Seconds,
                 placement: KeyPlacement::Merged,
+                retention: None,
             };
             let (_, report) = fleet_ingest(&machines, &config);
             samples.push(Sample {

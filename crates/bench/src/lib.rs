@@ -3,14 +3,16 @@
 //! Each `tableN`/`figN` module reproduces one artifact of the paper's
 //! evaluation section; the matching binaries (`cargo run -p ocasta-bench
 //! --bin table2 --release`) print the result in the paper's shape, and
-//! `--bin run_all` regenerates everything. The `fleet`, `stream` and
-//! `repair` modules benchmark the scale tiers grown on top of the paper.
+//! `--bin run_all` regenerates everything. The `fleet`, `stream`,
+//! `repair` and `retention` modules benchmark the scale tiers grown on
+//! top of the paper.
 
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fleet;
 pub mod repair;
+pub mod retention;
 pub mod stream;
 pub mod table1;
 pub mod table2;

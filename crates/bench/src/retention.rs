@@ -1,0 +1,367 @@
+//! Steady-state memory and disk under sustained ingest: retention off
+//! versus on.
+//!
+//! The paper's Table I TTKVs grow to tens of megabytes over a two-month
+//! trace; a fleet that serves users *indefinitely* must not grow without
+//! bound. This sweep drives one fixed time-ordered mutation feed into two
+//! live [`ShardedTtkv`]s — one keeping everything, one swept to a rolling
+//! `frontier − retain` horizon with its WAL compacted to the same horizon
+//! — and samples both footprints at every checkpoint, **asserting
+//! post-horizon query equivalence each time** so a retention regression
+//! cannot produce a plausible-looking table
+//! (`cargo run -p ocasta-bench --bin retention --release`).
+//!
+//! The run also re-plays the repair-service scenario with the engine's
+//! own [`RetentionPolicy`]: a pinned concurrent `RepairSession` under a
+//! live sweeper must repair exactly like a no-retention run — the
+//! `DESIGN.md §5.9` pin argument, bench-asserted.
+
+use std::path::Path;
+
+use ocasta::fleet::{fleet_machines, FleetRunConfig};
+use ocasta::{
+    PruneStats, RepairServiceConfig, RetentionPolicy, ShardedTtkv, TimeDelta, TimePrecision,
+    Timestamp, TraceOp, Wal,
+};
+
+use crate::render_table;
+
+/// Machines in the benchmark fleet.
+pub const MACHINES: usize = 10;
+/// Days of simulated usage per machine.
+pub const DAYS: u64 = 60;
+/// Trailing days the retention side keeps.
+pub const RETAIN_DAYS: u64 = 10;
+/// Footprint samples (and equivalence checks) along the feed.
+pub const CHECKPOINTS: usize = 6;
+
+/// One checkpoint of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Ingest frontier at the checkpoint, in fractional days.
+    pub day: f64,
+    /// Mutation events ingested so far.
+    pub events: usize,
+    /// Live store footprint with retention off, bytes.
+    pub off_store_bytes: u64,
+    /// Live store footprint with retention on, bytes.
+    pub on_store_bytes: u64,
+    /// WAL disk footprint (snapshot + log) with retention off, bytes.
+    pub off_disk_bytes: u64,
+    /// WAL disk footprint (snapshot + log) with retention on, bytes.
+    pub on_disk_bytes: u64,
+    /// Versions reclaimed so far on the retention side.
+    pub pruned_versions: u64,
+}
+
+/// The fixed time-ordered mutation feed every configuration ingests.
+pub fn feed(machines: usize, days: u64) -> Vec<TraceOp> {
+    let machines = fleet_machines(&FleetRunConfig {
+        machines,
+        days,
+        seed: 99,
+        apps: vec!["gedit".into(), "evolution".into(), "chrome".into()],
+        ..FleetRunConfig::default()
+    })
+    .expect("catalog names are valid");
+    let mut ops: Vec<TraceOp> = machines
+        .iter()
+        .flat_map(|machine| {
+            machine
+                .stream()
+                .filter(|op| matches!(op, TraceOp::Mutation(_)))
+        })
+        .collect();
+    ops.sort_by_key(|op| match op {
+        TraceOp::Mutation(event) => event.timestamp,
+        TraceOp::Reads(..) => Timestamp::EPOCH,
+    });
+    ops
+}
+
+/// Drives the feed into both configurations, sweeping the retention side
+/// to `frontier − retain` after every chunk and compacting its WAL to the
+/// same horizon. Off-side WALs are compacted too (unpruned), so the disk
+/// comparison is snapshot-to-snapshot.
+///
+/// # Panics
+///
+/// Panics if any post-horizon query ever differs between the two sides,
+/// or if the retention side fails to stay below the unbounded side.
+pub fn sweep(
+    ops: &[TraceOp],
+    retain: TimeDelta,
+    checkpoints: usize,
+    scratch: &Path,
+) -> Vec<Sample> {
+    let precision = TimePrecision::Milliseconds;
+    let off = ShardedTtkv::new(8);
+    let on = ShardedTtkv::new(8);
+    let _ = std::fs::remove_dir_all(scratch);
+    let mut off_wal = Wal::open(scratch.join("off")).expect("scratch dir writable");
+    let mut on_wal = Wal::open(scratch.join("on")).expect("scratch dir writable");
+    let mut reclaimed = PruneStats::default();
+    let mut samples = Vec::new();
+
+    for checkpoint in 1..=checkpoints {
+        let done = ops.len() * checkpoint / checkpoints;
+        let start = ops.len() * (checkpoint - 1) / checkpoints;
+        let chunk = &ops[start..done];
+        off.append_routed(chunk.to_vec());
+        on.append_routed(chunk.to_vec());
+        off_wal.append(chunk).expect("wal append");
+        on_wal.append(chunk).expect("wal append");
+
+        // This half of the bench measures footprint with no pinned
+        // readers (the pin path is exercised end-to-end by
+        // `pinned_session_equivalence`), so the horizon is unclamped.
+        let frontier = on.last_mutation_time().expect("chunks are non-empty");
+        let horizon = frontier.saturating_sub(retain);
+        reclaimed.absorb(on.prune_before(horizon));
+        off_wal.compact(precision).expect("wal compact");
+        on_wal
+            .compact_pruned(precision, horizon)
+            .expect("wal compact");
+
+        let off_snap = off.snapshot_store();
+        let on_snap = on.snapshot_store();
+        // Post-horizon equivalence, at the horizon itself and the frontier.
+        for key in off_snap.keys() {
+            for probe in [horizon, frontier] {
+                assert_eq!(
+                    on_snap.value_at(key.as_str(), probe),
+                    off_snap.value_at(key.as_str(), probe),
+                    "{key} diverged at {probe} (horizon {horizon})"
+                );
+            }
+        }
+        assert_eq!(
+            on_snap.stats().writes,
+            off_snap.stats().writes,
+            "lifetime counters must survive pruning"
+        );
+
+        samples.push(Sample {
+            day: frontier.as_days(),
+            events: done,
+            off_store_bytes: off_snap.approx_bytes(),
+            on_store_bytes: on_snap.approx_bytes(),
+            off_disk_bytes: off_wal.log_bytes() + snapshot_bytes(&off_wal),
+            on_disk_bytes: on_wal.log_bytes() + snapshot_bytes(&on_wal),
+            pruned_versions: reclaimed.pruned_versions,
+        });
+    }
+    std::fs::remove_dir_all(scratch).ok();
+
+    let last = samples.last().expect("checkpoints > 0");
+    assert!(
+        last.on_store_bytes < last.off_store_bytes,
+        "retention must bound memory: {} vs {}",
+        last.on_store_bytes,
+        last.off_store_bytes
+    );
+    assert!(
+        last.on_disk_bytes < last.off_disk_bytes,
+        "retention must bound disk: {} vs {}",
+        last.on_disk_bytes,
+        last.off_disk_bytes
+    );
+    samples
+}
+
+fn snapshot_bytes(wal: &Wal) -> u64 {
+    std::fs::metadata(wal.snapshot_path()).map_or(0, |m| m.len())
+}
+
+/// The engine-integrated half: a repair-service run with the fleet
+/// engine's own retention sweeper and a pinned concurrent session, against
+/// the identical run with retention off. Returns the rendered comparison.
+///
+/// # Panics
+///
+/// Panics if any session's repair outcome differs between the two runs,
+/// or if retention fails to shrink the pinned snapshot.
+pub fn pinned_session_equivalence() -> String {
+    let base = RepairServiceConfig {
+        users: 2,
+        scenario_ids: vec![13, 15],
+        min_catalog_events: u64::MAX,
+        start_bound_days: Some(3),
+        ..RepairServiceConfig::default()
+    };
+    let mut fleet = base.fleet.clone();
+    fleet.machines = 4;
+    fleet.days = 16;
+    fleet.engine.shards = 4;
+    fleet.engine.ingest_threads = 2;
+    let without = ocasta::run_repair_service(&RepairServiceConfig {
+        fleet: fleet.clone(),
+        ..base.clone()
+    })
+    .expect("service runs");
+    fleet.engine.retention = Some(RetentionPolicy {
+        retain: TimeDelta::from_days(5),
+        min_interval: TimeDelta::from_days(1),
+    });
+    let with =
+        ocasta::run_repair_service(&RepairServiceConfig { fleet, ..base }).expect("service runs");
+
+    let retention = with.ingest.retention.expect("policy was set");
+    assert!(retention.sweeps > 0, "the sweeper must have run");
+    let horizon = retention.horizon.expect("swept");
+    assert!(
+        horizon <= with.session_pin,
+        "sweeps may never pass the session pin"
+    );
+    assert!(
+        with.snapshot_stats.approx_bytes < without.snapshot_stats.approx_bytes,
+        "the pinned snapshot must shrink under retention"
+    );
+    for (a, b) in with.sessions.iter().zip(&without.sessions) {
+        assert!(
+            a.report.is_fixed() && b.report.is_fixed(),
+            "sessions repair"
+        );
+        let (oa, ob) = (&a.report.outcome, &b.report.outcome);
+        assert_eq!(
+            oa.fix.as_ref().map(|f| f.version),
+            ob.fix.as_ref().map(|f| f.version)
+        );
+        assert_eq!(oa.trials_to_fix, ob.trials_to_fix);
+        assert_eq!(oa.total_trials, ob.total_trials);
+        assert_eq!(oa.total_screenshots, ob.total_screenshots);
+    }
+
+    format!(
+        "pinned-session equivalence: {} sessions fixed identically with \
+         retention on (pin {}, final horizon {}, {}) — snapshot {} -> {} bytes\n",
+        with.sessions.len(),
+        with.session_pin,
+        horizon,
+        retention.reclaimed,
+        without.snapshot_stats.approx_bytes,
+        with.snapshot_stats.approx_bytes,
+    )
+}
+
+/// Renders one sample row.
+fn row(sample: &Sample) -> Vec<String> {
+    vec![
+        format!("{:.1}", sample.day),
+        sample.events.to_string(),
+        format!("{:.1}", sample.off_store_bytes as f64 / 1e3),
+        format!("{:.1}", sample.on_store_bytes as f64 / 1e3),
+        format!("{:.1}", sample.off_disk_bytes as f64 / 1e3),
+        format!("{:.1}", sample.on_disk_bytes as f64 / 1e3),
+        sample.pruned_versions.to_string(),
+    ]
+}
+
+/// Serialises the sweep as machine-readable JSON (the perf-trajectory
+/// artifact CI accumulates as `BENCH_retention.json`).
+pub fn to_json(samples: &[Sample], session_note: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"retention\",\n  \"machines\": {MACHINES},\n  \"days\": {DAYS},\n  \
+         \"retain_days\": {RETAIN_DAYS},\n  \"checkpoints\": [\n"
+    ));
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"day\": {:.2}, \"events\": {}, \"off_store_bytes\": {}, \
+             \"on_store_bytes\": {}, \"off_disk_bytes\": {}, \"on_disk_bytes\": {}, \
+             \"pruned_versions\": {}}}{}\n",
+            s.day,
+            s.events,
+            s.off_store_bytes,
+            s.on_store_bytes,
+            s.off_disk_bytes,
+            s.on_disk_bytes,
+            s.pruned_versions,
+            if i + 1 == samples.len() { "" } else { "," },
+        ));
+    }
+    let last = samples.last().expect("checkpoints > 0");
+    out.push_str(&format!(
+        "  ],\n  \"final_store_ratio\": {:.4},\n  \"final_disk_ratio\": {:.4},\n  \
+         \"pinned_session_equivalence\": \"{}\"\n}}\n",
+        last.on_store_bytes as f64 / last.off_store_bytes as f64,
+        last.on_disk_bytes as f64 / last.off_disk_bytes as f64,
+        session_note.trim().replace('"', "'"),
+    ));
+    out
+}
+
+/// Runs the full sweep; returns `(human table, machine JSON)`.
+pub fn run() -> (String, String) {
+    let ops = feed(MACHINES, DAYS);
+    let scratch =
+        std::env::temp_dir().join(format!("ocasta-bench-retention-{}", std::process::id()));
+    let samples = sweep(
+        &ops,
+        TimeDelta::from_days(RETAIN_DAYS),
+        CHECKPOINTS,
+        &scratch,
+    );
+
+    let rows: Vec<Vec<String>> = samples.iter().map(row).collect();
+    let mut out = format!(
+        "Steady-state footprint under sustained ingest \
+         ({MACHINES} machines x {DAYS} days, retain {RETAIN_DAYS} days, \
+         {} events, {CHECKPOINTS} checkpoints)\n\n",
+        ops.len(),
+    );
+    out.push_str(&render_table(
+        &[
+            "Day",
+            "Events",
+            "Store KB (off)",
+            "Store KB (on)",
+            "Disk KB (off)",
+            "Disk KB (on)",
+            "Pruned",
+        ],
+        &rows,
+    ));
+    let first = samples.first().expect("checkpoints > 0");
+    let last = samples.last().expect("checkpoints > 0");
+    out.push_str(&format!(
+        "\npost-horizon queries equal at every checkpoint: ok\n\
+         unbounded store grew {:.1}x over the run; retained store grew {:.1}x \
+         and ended at {:.0}% of unbounded ({:.0}% on disk)\n",
+        last.off_store_bytes as f64 / first.off_store_bytes.max(1) as f64,
+        last.on_store_bytes as f64 / first.on_store_bytes.max(1) as f64,
+        100.0 * last.on_store_bytes as f64 / last.off_store_bytes as f64,
+        100.0 * last.on_disk_bytes as f64 / last.off_disk_bytes as f64,
+    ));
+    let session_note = pinned_session_equivalence();
+    out.push_str(&session_note);
+    let json = to_json(&samples, &session_note);
+    (out, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_asserts_equivalence_and_boundedness_on_a_small_feed() {
+        // A small fleet keeps the unit test quick; the binary runs the
+        // full sweep (whose checkpoints assert the same invariants).
+        let ops = feed(3, 24);
+        let scratch = std::env::temp_dir().join(format!(
+            "ocasta-bench-retention-test-{}",
+            std::process::id()
+        ));
+        let samples = sweep(&ops, TimeDelta::from_days(4), 4, &scratch);
+        assert_eq!(samples.len(), 4);
+        assert!(samples.windows(2).all(|w| w[0].events <= w[1].events));
+        let last = samples.last().unwrap();
+        assert!(last.pruned_versions > 0);
+        assert!(last.on_store_bytes < last.off_store_bytes);
+
+        let json = to_json(&samples, "ok");
+        assert!(json.contains("\"bench\": \"retention\""), "{json}");
+        assert!(json.contains("\"final_store_ratio\""), "{json}");
+        assert_eq!(json.matches("{\"day\"").count(), 4, "{json}");
+    }
+}

@@ -8,17 +8,18 @@
 //! ocasta history  <store.ttkv> <key>
 //! ocasta fleet    --machines <n> --days <n> [--threads <n>] [--shards <n>]
 //!                 [--batch <n>] [--app <name>...]
-//!                 [--placement merged|per-machine]
+//!                 [--placement merged|per-machine] [--retain-days <n>]
 //!                 [--wal <dir>] [--cluster] [-o store.ttkv]
 //! ocasta stream   --machines <n> --days <n> [--seed <n>] [--threads <n>]
 //!                 [--shards <n>] [--batch <n>] [--app <name>...]
 //!                 [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
-//!                 [--verify]
+//!                 [--retain-days <n>] [--verify]
 //! ocasta repair   --machines <n> --days <n> [--seed <n>] [--threads <n>]
 //!                 [--shards <n>] [--batch <n>] [--app <name>...]
 //!                 [--users <n>] [--search-threads <n>] [--scenario <id>...]
 //!                 [--window <secs>] [--threshold <corr>] [--min-events <n>]
 //!                 [--start-bound-days <n>] [--strategy dfs|bfs]
+//!                 [--retain-days <n>]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately keeps its
@@ -31,8 +32,8 @@ use std::process::ExitCode;
 use ocasta::fleet::{fleet_machines, parse_placement, run_fleet, FleetRunConfig};
 use ocasta::{
     fleet_ingest_tapped, generate, model_by_name, run_repair_service, ClusterParams,
-    GeneratorConfig, Key, Ocasta, OcastaStream, RepairServiceConfig, SearchStrategy, TimePrecision,
-    Trace, Ttkv, TtkvStats, WriteLanes,
+    GeneratorConfig, Key, Ocasta, OcastaStream, RepairServiceConfig, RetentionPolicy,
+    SearchStrategy, TimePrecision, Trace, Ttkv, TtkvStats, WriteLanes,
 };
 
 fn main() -> ExitCode {
@@ -67,17 +68,18 @@ usage:
   ocasta history  <store.ttkv> <key>
   ocasta fleet    --machines <n> --days <n> [--seed <n>] [--threads <n>]
                   [--shards <n>] [--batch <n>] [--app <name>...]
-                  [--placement merged|per-machine] [--wal <dir>]
-                  [--cluster] [-o <store.ttkv>]
+                  [--placement merged|per-machine] [--retain-days <n>]
+                  [--wal <dir>] [--cluster] [-o <store.ttkv>]
   ocasta stream   --machines <n> --days <n> [--seed <n>] [--threads <n>]
                   [--shards <n>] [--batch <n>] [--app <name>...]
                   [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
-                  [--verify]
+                  [--retain-days <n>] [--verify]
   ocasta repair   --machines <n> --days <n> [--seed <n>] [--threads <n>]
                   [--shards <n>] [--batch <n>] [--app <name>...]
                   [--users <n>] [--search-threads <n>] [--scenario <id>...]
                   [--window <secs>] [--threshold <corr>] [--min-events <n>]
                   [--start-bound-days <n>] [--strategy dfs|bfs]
+                  [--retain-days <n>]
 
 applications for `generate`, `fleet`, `stream` and `repair`: outlook
 evolution ie chrome word gedit eog paint acrobat explorer wmp";
@@ -144,7 +146,7 @@ impl Command {
                         "--app" => {
                             apps.push(value_of(&rest, &mut i)?.to_owned());
                         }
-                        "--days" => days = Some(parse_num(value_of(&rest, &mut i)?)?),
+                        "--days" => days = Some(parse_days("--days", value_of(&rest, &mut i)?)?),
                         "--seed" => seed = parse_num(value_of(&rest, &mut i)?)?,
                         "-o" | "--output" => output = Some(value_of(&rest, &mut i)?.to_owned()),
                         other => return Err(format!("unknown argument `{other}`")),
@@ -227,7 +229,13 @@ impl Command {
                         "--machines" => {
                             config.machines = parse_num(value_of(&rest, &mut i)?)? as usize
                         }
-                        "--days" => config.days = parse_num(value_of(&rest, &mut i)?)?,
+                        "--days" => config.days = parse_days("--days", value_of(&rest, &mut i)?)?,
+                        "--retain-days" => {
+                            config.engine.retention = Some(RetentionPolicy::keep_days(parse_days(
+                                "--retain-days",
+                                value_of(&rest, &mut i)?,
+                            )?))
+                        }
                         "--seed" => config.seed = parse_num(value_of(&rest, &mut i)?)?,
                         "--threads" => {
                             config.engine.ingest_threads =
@@ -274,7 +282,13 @@ impl Command {
                         "--machines" => {
                             config.machines = parse_num(value_of(&rest, &mut i)?)? as usize
                         }
-                        "--days" => config.days = parse_num(value_of(&rest, &mut i)?)?,
+                        "--days" => config.days = parse_days("--days", value_of(&rest, &mut i)?)?,
+                        "--retain-days" => {
+                            config.engine.retention = Some(RetentionPolicy::keep_days(parse_days(
+                                "--retain-days",
+                                value_of(&rest, &mut i)?,
+                            )?))
+                        }
                         "--seed" => config.seed = parse_num(value_of(&rest, &mut i)?)?,
                         "--threads" => {
                             config.engine.ingest_threads =
@@ -308,6 +322,15 @@ impl Command {
                 if !(threshold > 0.0 && threshold <= 2.0) {
                     return Err(format!("threshold must be in (0, 2], got {threshold}"));
                 }
+                if verify && config.engine.retention.is_some() {
+                    // --verify compares the streamed clustering against a
+                    // batch clustering of the recorded store; a pruned
+                    // store has deliberately forgotten pre-horizon
+                    // mutations, so the comparison is not meaningful.
+                    return Err(
+                        "--verify needs the full recorded history; drop --retain-days".into(),
+                    );
+                }
                 Ok(Command::Stream {
                     config,
                     window_secs,
@@ -329,7 +352,14 @@ impl Command {
                         "--machines" => {
                             config.fleet.machines = parse_num(value_of(&rest, &mut i)?)? as usize
                         }
-                        "--days" => config.fleet.days = parse_num(value_of(&rest, &mut i)?)?,
+                        "--days" => {
+                            config.fleet.days = parse_days("--days", value_of(&rest, &mut i)?)?
+                        }
+                        "--retain-days" => {
+                            config.fleet.engine.retention = Some(RetentionPolicy::keep_days(
+                                parse_days("--retain-days", value_of(&rest, &mut i)?)?,
+                            ))
+                        }
                         "--seed" => config.fleet.seed = parse_num(value_of(&rest, &mut i)?)?,
                         "--threads" => {
                             config.fleet.engine.ingest_threads =
@@ -361,7 +391,8 @@ impl Command {
                             config.min_catalog_events = parse_num(value_of(&rest, &mut i)?)?
                         }
                         "--start-bound-days" => {
-                            config.start_bound_days = Some(parse_num(value_of(&rest, &mut i)?)?)
+                            config.start_bound_days =
+                                Some(parse_days("--start-bound-days", value_of(&rest, &mut i)?)?)
                         }
                         "--strategy" => {
                             config.strategy = match value_of(&rest, &mut i)? {
@@ -678,6 +709,23 @@ fn value_of<'a>(rest: &[&'a str], i: &mut usize) -> Result<&'a str, String> {
 fn parse_num(text: &str) -> Result<u64, String> {
     text.parse()
         .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+/// The widest day span any subcommand accepts (100 simulated years). Far
+/// below the `Timestamp` saturation point, so every accepted value
+/// converts exactly; anything larger is a typo, not a deployment.
+const MAX_DAYS: u64 = 36_500;
+
+/// Parses a day-count argument, rejecting 0 and absurd values (which
+/// would otherwise saturate timestamp arithmetic).
+fn parse_days(flag: &str, text: &str) -> Result<u64, String> {
+    let days = parse_num(text)?;
+    if days == 0 || days > MAX_DAYS {
+        return Err(format!(
+            "{flag} must be between 1 and {MAX_DAYS} days, got {days}"
+        ));
+    }
+    Ok(days)
 }
 
 fn load_trace(path: &str) -> Result<Trace, String> {
@@ -1015,6 +1063,120 @@ mod tests {
         let reloaded = load_store(&store_path).unwrap();
         assert!(reloaded.stats().writes > 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_retain_days() {
+        match parse(&[
+            "fleet",
+            "--machines",
+            "2",
+            "--days",
+            "10",
+            "--retain-days",
+            "3",
+        ])
+        .unwrap()
+        {
+            Command::Fleet { config, .. } => {
+                let policy = config.engine.retention.expect("retention set");
+                assert_eq!(policy, RetentionPolicy::keep_days(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "stream",
+            "--machines",
+            "2",
+            "--days",
+            "10",
+            "--retain-days",
+            "4",
+        ])
+        .unwrap()
+        {
+            Command::Stream { config, .. } => {
+                assert_eq!(config.engine.retention, Some(RetentionPolicy::keep_days(4)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&[
+            "repair",
+            "--machines",
+            "2",
+            "--days",
+            "10",
+            "--retain-days",
+            "5",
+        ])
+        .unwrap()
+        {
+            Command::Repair { config } => {
+                assert_eq!(
+                    config.fleet.engine.retention,
+                    Some(RetentionPolicy::keep_days(5)),
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // No flag: retention stays off.
+        match parse(&["fleet", "--machines", "2", "--days", "10"]).unwrap() {
+            Command::Fleet { config, .. } => assert!(config.engine.retention.is_none()),
+            other => panic!("{other:?}"),
+        }
+        // --verify compares against the full history; retention forgets it.
+        let err = parse(&[
+            "stream",
+            "--machines",
+            "2",
+            "--days",
+            "10",
+            "--retain-days",
+            "3",
+            "--verify",
+        ])
+        .unwrap_err();
+        assert!(err.contains("full recorded history"), "{err}");
+    }
+
+    #[test]
+    fn absurd_day_counts_are_rejected_with_a_proper_error() {
+        // Regression: huge --days used to flow into unchecked timestamp
+        // multiplication (debug panic / release wrap) instead of erroring.
+        for args in [
+            vec![
+                "generate",
+                "--app",
+                "gedit",
+                "--days",
+                "99999999999",
+                "-o",
+                "x",
+            ],
+            vec!["fleet", "--machines", "2", "--days", "99999999999"],
+            vec![
+                "fleet",
+                "--machines",
+                "2",
+                "--days",
+                "5",
+                "--retain-days",
+                "0",
+            ],
+            vec!["stream", "--machines", "2", "--days", "0"],
+            vec![
+                "repair",
+                "--machines",
+                "2",
+                "--days",
+                "5",
+                "--start-bound-days",
+                "99999999999",
+            ],
+        ] {
+            let err = parse(&args).unwrap_err();
+            assert!(err.contains("must be between 1 and"), "{args:?} -> {err}");
+        }
     }
 
     #[test]

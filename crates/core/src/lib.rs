@@ -72,8 +72,9 @@ pub use ocasta_cluster::{
     TransactionWindow, WriteEvent,
 };
 pub use ocasta_fleet::{
-    ingest as fleet_ingest, ingest_into as fleet_ingest_into, ingest_tapped as fleet_ingest_tapped,
-    FleetConfig, FleetReport, IngestTap, KeyPlacement, MachineSpec, ShardedTtkv, Wal, WalError,
+    ingest as fleet_ingest, ingest_into as fleet_ingest_into, ingest_live as fleet_ingest_live,
+    ingest_tapped as fleet_ingest_tapped, FleetConfig, FleetReport, IngestOptions, IngestTap,
+    KeyPlacement, MachineSpec, RetentionPolicy, RetentionReport, ShardedTtkv, Wal, WalError,
     WalReader, WalWriter, WriteLanes,
 };
 pub use ocasta_parsers::{
@@ -86,10 +87,10 @@ pub use ocasta_repair::{
     SearchStrategy, SessionReport, SyncGallery, Trial, UserStudyParams,
 };
 pub use ocasta_trace::{
-    generate, mutation_feed, AccessEvent, GeneratorConfig, MachineProfile, Mutation, OsFlavor,
-    Trace, TraceStats, WorkloadSpec, TABLE1_PROFILES,
+    generate, mutation_feed, AccessEvent, EventStream, GeneratorConfig, MachineProfile, Mutation,
+    OsFlavor, Trace, TraceOp, TraceStats, WorkloadSpec, TABLE1_PROFILES,
 };
 pub use ocasta_ttkv::{
-    ConfigState, Key, KeyRecord, TimeDelta, TimePrecision, Timestamp, Ttkv, TtkvBuilder, TtkvError,
-    TtkvStats, Value, Version,
+    ConfigState, HorizonGuard, HorizonPin, Key, KeyRecord, PruneStats, TimeDelta, TimePrecision,
+    Timestamp, Ttkv, TtkvBuilder, TtkvError, TtkvStats, Value, Version,
 };

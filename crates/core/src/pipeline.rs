@@ -241,6 +241,44 @@ mod tests {
     }
 
     #[test]
+    fn clustering_a_pruned_store_invents_no_mutations() {
+        // Regression: pruning used to synthesise a baseline version at the
+        // horizon that `mutation_times` reported as a real write — so
+        // *every* pruned key appeared co-modified at the horizon and the
+        // clustering glued unrelated keys together.
+        let mut store = Ttkv::new();
+        // Two unrelated keys, never modified together.
+        store.write(Timestamp::from_secs(100), "app/a", Value::from(1));
+        store.write(Timestamp::from_secs(5_000), "app/a", Value::from(2));
+        store.write(Timestamp::from_secs(900), "app/b", Value::from(1));
+        store.write(Timestamp::from_secs(7_000), "app/b", Value::from(2));
+        let engine = Ocasta::default();
+        let before = engine.cluster_store(&store);
+        assert_eq!(before.multi_clusters().count(), 0);
+
+        let mut pruned = store.clone();
+        pruned.prune_before(Timestamp::from_secs(2_000));
+
+        // No event time exists in the pruned store that the original
+        // history did not contain.
+        let (_, original_events) = engine.write_events(&store);
+        let original_times: std::collections::BTreeSet<u64> =
+            original_events.iter().map(|e| e.time_ms).collect();
+        let (_, pruned_events) = engine.write_events(&pruned);
+        for event in &pruned_events {
+            assert!(
+                original_times.contains(&event.time_ms),
+                "phantom event at {}ms",
+                event.time_ms
+            );
+        }
+        // And the partition is unchanged: still no multi-setting cluster,
+        // where the phantom horizon write used to merge app/a with app/b.
+        let after = engine.cluster_store(&pruned);
+        assert_eq!(after.multi_clusters().count(), 0);
+    }
+
+    #[test]
     fn stats_summarise_partition() {
         let clustering = Ocasta::default().cluster_store(&store_with_pair_and_noise());
         let stats = clustering.stats();

@@ -15,18 +15,25 @@
 //! 4. an error scenario is injected into the user's pinned snapshot and
 //!    the parallel rollback search runs to exhaustion — N sessions
 //!    concurrently, each with its own trial-executor pool — while
-//!    ingestion continues underneath.
+//!    ingestion continues underneath;
+//! 5. with a retention policy on the fleet engine, a sweeper prunes the
+//!    live shards to a rolling horizon the whole time — clamped through a
+//!    shared [`HorizonGuard`] to the sessions' pin, which is registered
+//!    *before* the snapshot is taken, so pinned searches stay valid by
+//!    construction.
 //!
 //! The session lifecycle, snapshot-consistency argument and the
-//! parallel-search equivalence proof live in `DESIGN.md §5.8`.
+//! parallel-search equivalence proof live in `DESIGN.md §5.8`; the
+//! retention ordering argument is `DESIGN.md §5.9`.
 
 use std::time::Duration;
 
 use ocasta_apps::{scenarios, ErrorScenario};
 use ocasta_cluster::ClusterParams;
-use ocasta_fleet::{ingest_into, FleetReport, ShardedTtkv, WriteLanes};
+use ocasta_fleet::{ingest_live, FleetReport, IngestOptions, ShardedTtkv, WriteLanes};
 use ocasta_repair::{
-    CatalogHorizon, ClusterCatalog, RepairSession, SearchConfig, SearchStrategy, SessionReport,
+    CatalogHorizon, ClusterCatalog, HorizonGuard, RepairSession, SearchConfig, SearchStrategy,
+    SessionReport,
 };
 use ocasta_ttkv::{TimeDelta, Timestamp, Ttkv, TtkvStats};
 
@@ -116,6 +123,11 @@ pub struct RepairServiceRun {
     pub pinned_mid_ingest: bool,
     /// Access statistics of the pinned history snapshot.
     pub snapshot_stats: TtkvStats,
+    /// The retention pin the sessions held: the oldest timestamp their
+    /// searches could touch, registered with the [`HorizonGuard`] *before*
+    /// the snapshot was taken so no concurrent retention sweep could prune
+    /// past it (`DESIGN.md §5.9`). Epoch when the search is unbounded.
+    pub session_pin: Timestamp,
     /// Every user's session, in user order.
     pub sessions: Vec<UserRepair>,
 }
@@ -146,11 +158,19 @@ pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceR
     let engine = Ocasta::new(config.params);
     let sharded = ShardedTtkv::new(fleet_cfg.engine.shards);
     let lanes = WriteLanes::new(fleet_cfg.engine.shards);
+    let guard = HorizonGuard::new();
     let mut stream = OcastaStream::new(&engine);
 
     let run = std::thread::scope(|scope| {
-        let ingest_handle =
-            scope.spawn(|| ingest_into(&machines, &fleet_cfg.engine, &sharded, &lanes));
+        let ingest_handle = scope.spawn(|| {
+            let options = IngestOptions {
+                tap: Some(&lanes),
+                guard: Some(&guard),
+                ..IngestOptions::default()
+            };
+            ingest_live(&machines, &fleet_cfg.engine, &sharded, options)
+                .expect("no wal lane, no wal errors")
+        });
 
         // Feed the live clustering until enough of the fleet has streamed
         // past to pin a catalog from.
@@ -166,8 +186,30 @@ pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceR
             std::thread::sleep(Duration::from_millis(2));
         }
 
-        // Pin: catalog first, snapshot second — the snapshot is therefore
-        // at or beyond the catalog's horizon (DESIGN.md §5.8).
+        // Pin, in order: retention pin first, catalog second, snapshot
+        // third. The retention pin covers the oldest history any session's
+        // bounded search can touch, so a concurrent retention sweep can
+        // never prune a version out from under the snapshot about to be
+        // taken; catalog-before-snapshot keeps the snapshot at or beyond
+        // the catalog's horizon (DESIGN.md §5.8, §5.9).
+        // The sessions' bound will be `inject_at − days`, and injections
+        // happen after the snapshot's end, so a bound computed from the
+        // current frontier is a safe (earlier) stand-in. The slack below
+        // it is owned by `SearchConfig::oldest_history_needed`.
+        let oldest_needed = match config.start_bound_days {
+            None => Timestamp::EPOCH,
+            Some(days) => {
+                let frontier = sharded.last_mutation_time().unwrap_or(Timestamp::EPOCH);
+                SearchConfig {
+                    start_time: Some(frontier.saturating_sub(TimeDelta::from_days(days))),
+                    window: TimeDelta::from_millis(config.params.window_ms),
+                    ..SearchConfig::default()
+                }
+                .oldest_history_needed()
+            }
+        };
+        let pin = guard.pin(oldest_needed);
+        let session_pin = pin.timestamp();
         let live = stream.clustering();
         let snapshot = sharded.snapshot_store();
         // Sampled *after* the snapshot, so "mid-ingest" is conservative:
@@ -192,13 +234,18 @@ pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceR
                 // Each session owns its copy of the pinned snapshot — the
                 // sandbox it injects the error into and searches.
                 let store = snapshot.clone();
-                scope.spawn(move || run_user_session(config, user, scenario, store, catalog))
+                scope.spawn(move || {
+                    run_user_session(config, user, scenario, store, catalog, session_pin)
+                })
             })
             .collect();
         let sessions: Vec<UserRepair> = session_handles
             .into_iter()
             .map(|h| h.join().expect("repair session panicked"))
             .collect();
+        // Sessions own their snapshots; the pin outlives them anyway so
+        // the retained window is stable for the whole service run.
+        drop(pin);
         let ingest = ingest_handle.join().expect("ingest thread panicked");
 
         RepairServiceRun {
@@ -208,6 +255,7 @@ pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceR
             catalog_multi,
             pinned_mid_ingest,
             snapshot_stats: snapshot.stats(),
+            session_pin,
             sessions,
         }
     });
@@ -221,12 +269,13 @@ fn run_user_session(
     scenario: ErrorScenario,
     mut store: Ttkv,
     catalog: ClusterCatalog,
+    session_pin: Timestamp,
 ) -> UserRepair {
     let end = store.last_mutation_time().unwrap_or(Timestamp::EPOCH);
     // Stagger injections so concurrent users' errors are distinct events.
     let inject_at = end + TimeDelta::from_mins(5 * (user as u64 + 1));
     scenario.inject(&mut store, inject_at);
-    let search_config = SearchConfig {
+    let mut search_config = SearchConfig {
         strategy: config.strategy,
         window: TimeDelta::from_millis(config.params.window_ms),
         start_time: config
@@ -235,6 +284,12 @@ fn run_user_session(
         end_time: None,
         trial_cost: scenario.trial_cost,
     };
+    // If the guard clamped our pin up (a sweep had already pruned deeper
+    // before this run registered), history below the pin is gone
+    // fleet-wide: bound the search to what provably exists.
+    search_config.start_time = search_config
+        .start_time
+        .map(|wanted| wanted.max(search_config.earliest_safe_start(session_pin)));
     let session = RepairSession::new(format!("user{user:02}"), store, catalog, search_config)
         .with_threads(config.search_threads);
     let report = session.run(&scenario.trial(), &scenario.oracle());
@@ -340,6 +395,70 @@ mod tests {
         for session in &run.sessions {
             assert!(session.report.outcome.total_trials > 0);
             assert!(session.report.is_fixed(), "{session:?}");
+        }
+    }
+
+    #[test]
+    fn retention_keeps_sessions_correct_while_bounding_the_snapshot() {
+        use ocasta_fleet::RetentionPolicy;
+        use ocasta_ttkv::TimeDelta;
+
+        // Reference: the same service run with retention off.
+        let mut base = small_config();
+        base.fleet.days = 16;
+        base.start_bound_days = Some(3);
+        let reference = run_repair_service(&base).expect("service runs");
+
+        // Retention on: keep 5 days behind the frontier — deeper than any
+        // session's 3-day search bound, which the pin enforces regardless.
+        let mut config = base.clone();
+        config.fleet.engine.retention = Some(RetentionPolicy {
+            retain: TimeDelta::from_days(5),
+            min_interval: TimeDelta::from_days(1),
+        });
+        let run = run_repair_service(&config).expect("service runs");
+
+        let retention = run.ingest.retention.expect("policy was set");
+        assert!(retention.sweeps > 0, "{retention:?}");
+        assert!(retention.reclaimed.pruned_versions > 0);
+        let horizon = retention.horizon.expect("swept");
+        assert!(
+            horizon <= run.session_pin,
+            "sweeps never pass the session pin: {horizon} vs {}",
+            run.session_pin,
+        );
+        assert!(
+            run.session_pin > Timestamp::EPOCH,
+            "bounded search pins late"
+        );
+
+        // The pruned snapshot is strictly smaller in memory...
+        assert!(
+            run.snapshot_stats.approx_bytes < reference.snapshot_stats.approx_bytes,
+            "{} vs {}",
+            run.snapshot_stats.approx_bytes,
+            reference.snapshot_stats.approx_bytes,
+        );
+        // ...while every session repairs identically to the no-retention
+        // run: same fix, same trial and screenshot counts.
+        assert_eq!(run.sessions.len(), reference.sessions.len());
+        for (with, without) in run.sessions.iter().zip(&reference.sessions) {
+            assert_eq!(with.scenario_id, without.scenario_id);
+            assert_eq!(with.report.is_fixed(), without.report.is_fixed());
+            assert!(with.report.is_fixed(), "{with:?}");
+            let (a, b) = (&with.report.outcome, &without.report.outcome);
+            assert_eq!(
+                a.fix.as_ref().map(|f| f.version),
+                b.fix.as_ref().map(|f| f.version)
+            );
+            assert_eq!(
+                a.fix.as_ref().map(|f| &f.keys),
+                b.fix.as_ref().map(|f| &f.keys)
+            );
+            assert_eq!(a.trials_to_fix, b.trials_to_fix);
+            assert_eq!(a.total_trials, b.total_trials);
+            assert_eq!(a.screenshots_to_fix, b.screenshots_to_fix);
+            assert_eq!(a.total_screenshots, b.total_screenshots);
         }
     }
 

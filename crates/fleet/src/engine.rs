@@ -22,12 +22,13 @@
 //! the same (quantised) timestamp — and [`ingest`] with one thread equals
 //! [`ingest`] with sixteen, which the concurrency tests assert.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ocasta_trace::{EventStream, GeneratorConfig, TraceOp, WorkloadSpec};
-use ocasta_ttkv::{Key, TimePrecision, Ttkv};
+use ocasta_ttkv::{HorizonGuard, Key, PruneStats, TimeDelta, TimePrecision, Timestamp, Ttkv};
 
 use crate::shard::ShardedTtkv;
 use crate::tap::IngestTap;
@@ -79,6 +80,36 @@ pub enum KeyPlacement {
     PerMachine,
 }
 
+/// How much trailing history a long-running ingestion keeps live.
+///
+/// With a policy set, the engine runs a retention sweeper alongside the
+/// ingest workers: whenever the ingest frontier (latest applied mutation
+/// timestamp) has advanced far enough, the sweeper prunes every shard to
+/// `frontier − retain` ([`ShardedTtkv::prune_before`]) and compacts the
+/// WAL lane to the same horizon — both off the ingest workers' hot path.
+/// Sweeps clamp to live [`HorizonGuard`] pins, so pinned repair sessions
+/// and catalogs never lose history they registered for (`DESIGN.md §5.9`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Simulated trace time kept behind the ingest frontier; older
+    /// versions collapse into per-key baselines.
+    pub retain: TimeDelta,
+    /// Minimum horizon advance between sweeps — a sweep costs O(live
+    /// state), so don't pay it for negligible gains.
+    pub min_interval: TimeDelta,
+}
+
+impl RetentionPolicy {
+    /// A policy retaining the last `days` days of trace time, sweeping at
+    /// most once per simulated day.
+    pub fn keep_days(days: u64) -> Self {
+        RetentionPolicy {
+            retain: TimeDelta::from_days(days),
+            min_interval: TimeDelta::from_days(1),
+        }
+    }
+}
+
 /// Tuning knobs for one ingestion run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -92,6 +123,8 @@ pub struct FleetConfig {
     pub precision: TimePrecision,
     /// Key-space layout.
     pub placement: KeyPlacement,
+    /// Bounded-memory retention, or `None` to keep history forever.
+    pub retention: Option<RetentionPolicy>,
 }
 
 impl Default for FleetConfig {
@@ -102,8 +135,23 @@ impl Default for FleetConfig {
             batch_size: 512,
             precision: TimePrecision::Seconds,
             placement: KeyPlacement::Merged,
+            retention: None,
         }
     }
+}
+
+/// What the retention sweeper did over one ingestion run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetentionReport {
+    /// Sweeps executed (shard prune + WAL compaction each).
+    pub sweeps: u64,
+    /// The final prune horizon, if any sweep ran.
+    pub horizon: Option<Timestamp>,
+    /// Total reclaimed across all sweeps.
+    pub reclaimed: PruneStats,
+    /// Sweep attempts (paced at the policy's `min_interval`, like sweeps
+    /// themselves) whose target horizon was clamped back by a live pin.
+    pub clamped: u64,
 }
 
 /// What one ingestion run did, and how fast.
@@ -125,6 +173,8 @@ pub struct FleetReport {
     pub merge_elapsed: Duration,
     /// Per-machine mutation counts, in machine order.
     pub per_machine: Vec<(String, u64)>,
+    /// The retention sweeper's tally, when a policy was configured.
+    pub retention: Option<RetentionReport>,
 }
 
 impl FleetReport {
@@ -153,14 +203,54 @@ impl std::fmt::Display for FleetReport {
             self.ingest_elapsed,
             self.merge_elapsed,
             self.events_per_sec(),
-        )
+        )?;
+        if let Some(retention) = &self.retention {
+            write!(
+                f,
+                "; retention: {} sweeps ({} pin-clamped) to {}, {}",
+                retention.sweeps,
+                retention.clamped,
+                retention
+                    .horizon
+                    .map_or_else(|| "-".into(), |h| h.to_string()),
+                retention.reclaimed,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything one ingestion run can optionally be instrumented with: a
+/// durability lane, a live-analytics tap, and a retention pin registry.
+///
+/// The struct form keeps the entry-point surface flat: `ingest`,
+/// [`ingest_with_wal`], [`ingest_into`] and friends are thin wrappers over
+/// [`ingest_live`] with the corresponding option set.
+#[derive(Default)]
+pub struct IngestOptions<'a> {
+    /// Append every accepted batch to this WAL before it is applied.
+    pub wal: Option<&'a mut Wal>,
+    /// Invoke on every accepted batch (outside the shard locks).
+    pub tap: Option<&'a dyn IngestTap>,
+    /// Clamp retention sweeps to this registry's live pins. Without a
+    /// guard, a configured [`RetentionPolicy`] sweeps unclamped.
+    pub guard: Option<&'a HorizonGuard>,
+}
+
+impl std::fmt::Debug for IngestOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestOptions")
+            .field("wal", &self.wal.is_some())
+            .field("tap", &self.tap.is_some())
+            .field("guard", &self.guard.is_some())
+            .finish()
     }
 }
 
 /// Ingests a whole fleet concurrently; returns the merged store and a
 /// throughput report.
 pub fn ingest(machines: &[MachineSpec], config: &FleetConfig) -> (Ttkv, FleetReport) {
-    match ingest_inner(machines, config, None, None) {
+    match ingest_inner(machines, config, IngestOptions::default()) {
         Ok(result) => result,
         Err(_) => unreachable!("no WAL, no WAL errors"),
     }
@@ -179,7 +269,11 @@ pub fn ingest_tapped(
     config: &FleetConfig,
     tap: &dyn IngestTap,
 ) -> (Ttkv, FleetReport) {
-    match ingest_inner(machines, config, None, Some(tap)) {
+    let options = IngestOptions {
+        tap: Some(tap),
+        ..IngestOptions::default()
+    };
+    match ingest_inner(machines, config, options) {
         Ok(result) => result,
         Err(_) => unreachable!("no WAL, no WAL errors"),
     }
@@ -197,7 +291,11 @@ pub fn ingest_with_wal(
     config: &FleetConfig,
     wal: &mut Wal,
 ) -> Result<(Ttkv, FleetReport), WalError> {
-    ingest_inner(machines, config, Some(wal), None)
+    let options = IngestOptions {
+        wal: Some(wal),
+        ..IngestOptions::default()
+    };
+    ingest_inner(machines, config, options)
 }
 
 /// The fully-instrumented engine: optional WAL lane *and* optional tap.
@@ -211,23 +309,25 @@ pub fn ingest_with_wal_and_tap(
     wal: &mut Wal,
     tap: &dyn IngestTap,
 ) -> Result<(Ttkv, FleetReport), WalError> {
-    ingest_inner(machines, config, Some(wal), Some(tap))
+    let options = IngestOptions {
+        wal: Some(wal),
+        tap: Some(tap),
+        ..IngestOptions::default()
+    };
+    ingest_inner(machines, config, options)
 }
 
 fn ingest_inner(
     machines: &[MachineSpec],
     config: &FleetConfig,
-    wal: Option<&mut Wal>,
-    tap: Option<&dyn IngestTap>,
+    options: IngestOptions<'_>,
 ) -> Result<(Ttkv, FleetReport), WalError> {
     let sharded = ShardedTtkv::new(config.shards);
-    let (mut report, wal_result) = run_ingest(machines, config, &sharded, wal, tap);
+    let mut report = ingest_live(machines, config, &sharded, options)?;
 
     let merge_started = Instant::now();
     let store = sharded.into_ttkv();
     report.merge_elapsed = merge_started.elapsed();
-
-    wal_result?;
     Ok((store, report))
 }
 
@@ -267,24 +367,43 @@ pub fn ingest_into(
     sharded: &ShardedTtkv,
     tap: &dyn IngestTap,
 ) -> FleetReport {
-    let (report, wal_result) = run_ingest(machines, config, sharded, None, Some(tap));
-    match wal_result {
-        Ok(()) => report,
+    let options = IngestOptions {
+        tap: Some(tap),
+        ..IngestOptions::default()
+    };
+    match ingest_live(machines, config, sharded, options) {
+        Ok(report) => report,
         Err(_) => unreachable!("no WAL, no WAL errors"),
     }
 }
 
-/// The worker-pool core shared by every public ingest entry point: drives
-/// all machines into `sharded`, with optional WAL lane and optional tap.
-/// Returns the report (with `merge_elapsed` zeroed — merging is the
-/// caller's business) and the WAL outcome.
-fn run_ingest(
+/// One message on the WAL lane: a batch to append, or an instruction from
+/// the retention sweeper to compact the log pruned to a horizon. Both are
+/// handled by the single appender, which is what keeps the `Wal` single-
+/// owner and the compaction off the ingest workers' hot path.
+enum WalMsg {
+    Batch(Vec<TraceOp>),
+    Compact(Timestamp),
+}
+
+/// The worker-pool engine behind every public ingest entry point: drives
+/// all machines into the **caller-owned** `sharded` store, with whatever
+/// [`IngestOptions`] instrumentation the caller wants, plus the retention
+/// sweeper when `config.retention` is set. The shards are not merged —
+/// `merge_elapsed` is zero; the caller snapshots or merges when it
+/// pleases.
+///
+/// # Errors
+///
+/// Returns the first [`WalError`] the appender hits (ingestion still runs
+/// to completion so the store is usable; the WAL may be truncated).
+pub fn ingest_live(
     machines: &[MachineSpec],
     config: &FleetConfig,
     sharded: &ShardedTtkv,
-    wal: Option<&mut Wal>,
-    tap: Option<&dyn IngestTap>,
-) -> (FleetReport, Result<(), WalError>) {
+    options: IngestOptions<'_>,
+) -> Result<FleetReport, WalError> {
+    let IngestOptions { wal, tap, guard } = options;
     let threads = config.ingest_threads.max(1);
     let started = Instant::now();
 
@@ -297,104 +416,132 @@ fn run_ingest(
     let work_rx = Mutex::new(work_rx);
 
     // Optional WAL lane: workers send applied batches, one appender writes.
-    let (wal_tx, wal_rx) = mpsc::channel::<Vec<TraceOp>>();
+    let (wal_tx, wal_rx) = mpsc::channel::<WalMsg>();
     let wal_tx = wal.is_some().then_some(wal_tx);
 
     let per_machine = Mutex::new(vec![0u64; machines.len()]);
     let total_reads = Mutex::new(0u64);
+    let ingest_done = AtomicBool::new(false);
 
-    let wal_result: Result<(), WalError> = std::thread::scope(|scope| {
-        let appender = wal.map(|wal| {
-            scope.spawn(move || -> Result<(), WalError> {
-                while let Ok(batch) = wal_rx.recv() {
-                    wal.append(&batch)?;
-                }
-                wal.flush()
-            })
-        });
-
-        for _ in 0..threads {
-            let work_rx = &work_rx;
-            let per_machine = &per_machine;
-            let total_reads = &total_reads;
-            let wal_tx = wal_tx.clone();
-            scope.spawn(move || {
-                let shard_count = sharded.shard_count();
-                loop {
-                    let machine_idx = {
-                        let queue = work_rx.lock().expect("queue lock poisoned");
-                        match queue.recv() {
-                            Ok(idx) => idx,
-                            Err(_) => break,
-                        }
-                    };
-                    let machine = &machines[machine_idx];
-                    let mut batches: Vec<Vec<TraceOp>> = (0..shard_count)
-                        .map(|_| Vec::with_capacity(config.batch_size))
-                        .collect();
-                    let mut mutations = 0u64;
-                    let mut reads = 0u64;
-                    for op in machine.stream() {
-                        let op = place(op, machine, config.placement);
-                        let op = quantized(op, config.precision);
-                        match &op {
-                            TraceOp::Mutation(_) => mutations += 1,
-                            TraceOp::Reads(_, count) => reads += count,
-                        }
-                        let shard = sharded.shard_of(op.key().as_str());
-                        batches[shard].push(op);
-                        if batches[shard].len() >= config.batch_size {
-                            let batch = std::mem::replace(
-                                &mut batches[shard],
-                                Vec::with_capacity(config.batch_size),
-                            );
-                            // The tap fires outside the shard lock (it can
-                            // slow this worker, never a stripe) and
-                            // strictly *after* the apply: anything a tap
-                            // consumer has observed is already readable in
-                            // the store, so a live snapshot pinned after a
-                            // lane drain always contains the drained
-                            // events (§5.8). The clone is tap-path-only.
-                            let tapped = tap.map(|_| batch.clone());
-                            // The WAL send happens under the shard lock so
-                            // the log's per-shard order equals apply order.
-                            sharded.append_batch_with(shard, batch, |b| {
-                                if let Some(tx) = &wal_tx {
-                                    let _ = tx.send(b.to_vec());
-                                }
-                            });
-                            if let (Some(tap), Some(batch)) = (tap, tapped) {
-                                tap.on_batch(shard, &batch);
+    let (wal_result, retention_report): (Result<(), WalError>, Option<RetentionReport>) =
+        std::thread::scope(|scope| {
+            let precision = config.precision;
+            let appender = wal.map(|wal| {
+                scope.spawn(move || -> Result<(), WalError> {
+                    while let Ok(msg) = wal_rx.recv() {
+                        match msg {
+                            WalMsg::Batch(batch) => wal.append(&batch)?,
+                            WalMsg::Compact(horizon) => {
+                                wal.compact_pruned(precision, horizon)?;
                             }
                         }
                     }
-                    for (shard, batch) in batches.into_iter().enumerate() {
-                        if batch.is_empty() {
-                            continue;
-                        }
-                        let tapped = tap.map(|_| batch.clone());
-                        sharded.append_batch_with(shard, batch, |b| {
-                            if let Some(tx) = &wal_tx {
-                                let _ = tx.send(b.to_vec());
-                            }
-                        });
-                        if let (Some(tap), Some(batch)) = (tap, tapped) {
-                            tap.on_batch(shard, &batch);
-                        }
-                    }
-                    per_machine.lock().expect("stats lock")[machine_idx] = mutations;
-                    *total_reads.lock().expect("stats lock") += reads;
-                }
+                    wal.flush()
+                })
             });
-        }
-        // The workers hold clones; drop ours so the appender sees EOF once
-        // they finish.
-        drop(wal_tx);
-        match appender {
-            Some(handle) => handle.join().expect("wal appender panicked"),
-            None => Ok(()),
-        }
-    });
+
+            let sweeper = config.retention.map(|policy| {
+                let wal_tx = wal_tx.clone();
+                let ingest_done = &ingest_done;
+                scope.spawn(move || {
+                    run_retention_sweeper(policy, sharded, guard, wal_tx, ingest_done)
+                })
+            });
+
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let work_rx = &work_rx;
+                    let per_machine = &per_machine;
+                    let total_reads = &total_reads;
+                    let wal_tx = wal_tx.clone();
+                    scope.spawn(move || {
+                        let shard_count = sharded.shard_count();
+                        loop {
+                            let machine_idx = {
+                                let queue = work_rx.lock().expect("queue lock poisoned");
+                                match queue.recv() {
+                                    Ok(idx) => idx,
+                                    Err(_) => break,
+                                }
+                            };
+                            let machine = &machines[machine_idx];
+                            let mut batches: Vec<Vec<TraceOp>> = (0..shard_count)
+                                .map(|_| Vec::with_capacity(config.batch_size))
+                                .collect();
+                            let mut mutations = 0u64;
+                            let mut reads = 0u64;
+                            for op in machine.stream() {
+                                let op = place(op, machine, config.placement);
+                                let op = quantized(op, config.precision);
+                                match &op {
+                                    TraceOp::Mutation(_) => mutations += 1,
+                                    TraceOp::Reads(_, count) => reads += count,
+                                }
+                                let shard = sharded.shard_of(op.key().as_str());
+                                batches[shard].push(op);
+                                if batches[shard].len() >= config.batch_size {
+                                    let batch = std::mem::replace(
+                                        &mut batches[shard],
+                                        Vec::with_capacity(config.batch_size),
+                                    );
+                                    // The tap fires outside the shard lock
+                                    // (it can slow this worker, never a
+                                    // stripe) and strictly *after* the
+                                    // apply: anything a tap consumer has
+                                    // observed is already readable in the
+                                    // store, so a live snapshot pinned
+                                    // after a lane drain always contains
+                                    // the drained events (§5.8). The clone
+                                    // is tap-path-only.
+                                    let tapped = tap.map(|_| batch.clone());
+                                    // The WAL send happens under the shard
+                                    // lock so the log's per-shard order
+                                    // equals apply order.
+                                    sharded.append_batch_with(shard, batch, |b| {
+                                        if let Some(tx) = &wal_tx {
+                                            let _ = tx.send(WalMsg::Batch(b.to_vec()));
+                                        }
+                                    });
+                                    if let (Some(tap), Some(batch)) = (tap, tapped) {
+                                        tap.on_batch(shard, &batch);
+                                    }
+                                }
+                            }
+                            for (shard, batch) in batches.into_iter().enumerate() {
+                                if batch.is_empty() {
+                                    continue;
+                                }
+                                let tapped = tap.map(|_| batch.clone());
+                                sharded.append_batch_with(shard, batch, |b| {
+                                    if let Some(tx) = &wal_tx {
+                                        let _ = tx.send(WalMsg::Batch(b.to_vec()));
+                                    }
+                                });
+                                if let (Some(tap), Some(batch)) = (tap, tapped) {
+                                    tap.on_batch(shard, &batch);
+                                }
+                            }
+                            per_machine.lock().expect("stats lock")[machine_idx] = mutations;
+                            *total_reads.lock().expect("stats lock") += reads;
+                        }
+                    })
+                })
+                .collect();
+            for worker in workers {
+                worker.join().expect("ingest worker panicked");
+            }
+            // Ingestion is complete: let the sweeper run its final sweep
+            // and exit, then close our WAL sender so the appender sees EOF
+            // after the last compaction instruction.
+            ingest_done.store(true, Ordering::Release);
+            let retention_report = sweeper.map(|s| s.join().expect("retention sweeper panicked"));
+            drop(wal_tx);
+            let wal_result = match appender {
+                Some(handle) => handle.join().expect("wal appender panicked"),
+                None => Ok(()),
+            };
+            (wal_result, retention_report)
+        });
 
     let ingest_elapsed = started.elapsed();
     let per_machine_counts = per_machine.into_inner().expect("stats lock");
@@ -414,8 +561,89 @@ fn run_ingest(
             .map(|m| m.name.clone())
             .zip(per_machine_counts)
             .collect(),
+        retention: retention_report,
     };
-    (report, wal_result)
+    wal_result?;
+    Ok(report)
+}
+
+/// The retention sweep loop: while ingestion runs, watch the ingest
+/// frontier and prune shards + compact the WAL whenever the horizon has
+/// advanced by at least the policy's `min_interval` — always clamped to
+/// the guard's live pins. A final sweep runs once ingestion completes, so
+/// the post-run store is pruned to exactly `frontier − retain` (modulo
+/// pins) regardless of timing.
+fn run_retention_sweeper(
+    policy: RetentionPolicy,
+    sharded: &ShardedTtkv,
+    guard: Option<&HorizonGuard>,
+    wal_tx: Option<mpsc::Sender<WalMsg>>,
+    ingest_done: &AtomicBool,
+) -> RetentionReport {
+    let mut report = RetentionReport::default();
+    let mut last_horizon = Timestamp::EPOCH;
+    // Attempts (not just executed sweeps) are paced at `min_interval`: a
+    // pin can hold the granted horizon still while the frontier advances,
+    // and neither the clamp traffic nor the `clamped` tally should scale
+    // with the poll rate.
+    let mut last_attempt = Timestamp::EPOCH;
+    loop {
+        let finishing = ingest_done.load(Ordering::Acquire);
+        let target = sharded
+            .last_mutation_time()
+            .map(|frontier| frontier.saturating_sub(policy.retain))
+            .unwrap_or(Timestamp::EPOCH);
+        // Mid-run sweeps respect the pacing interval. The final sweep runs
+        // whenever any horizon stands — even an unchanged one: machine-
+        // granular scheduling lets a lagging machine apply pre-horizon
+        // events *after* a mid-run sweep, and with every worker done, one
+        // re-prune at the standing horizon collapses those stragglers and
+        // makes the post-run state equal prune(horizon) of the complete
+        // history (the prune/absorb commutation property).
+        let goal = if finishing {
+            target.max(last_horizon)
+        } else {
+            target
+        };
+        let due = if finishing {
+            goal > Timestamp::EPOCH
+        } else {
+            goal >= last_attempt + policy.min_interval && goal > Timestamp::EPOCH
+        };
+        let mut swept_now = false;
+        if due {
+            last_attempt = goal;
+            let horizon = guard.map_or(goal, |g| g.clamp(goal));
+            if horizon < goal {
+                report.clamped += 1;
+            }
+            if horizon > Timestamp::EPOCH && (horizon > last_horizon || finishing) {
+                report.reclaimed.absorb(sharded.prune_before(horizon));
+                if let Some(tx) = &wal_tx {
+                    let _ = tx.send(WalMsg::Compact(horizon));
+                    swept_now = true;
+                }
+                report.sweeps += 1;
+                report.horizon = Some(horizon);
+                last_horizon = horizon;
+            }
+        }
+        if finishing {
+            // If the final iteration did not itself compact (the horizon
+            // was pinned still, or nothing was ever due), one last
+            // compaction truncates the log tail accumulated since the
+            // previous sweep, so the post-run disk footprint is the
+            // (pruned) snapshot alone. Skipped when a Compact was just
+            // sent — it would replay the fresh snapshot to no effect.
+            if !swept_now {
+                if let Some(tx) = &wal_tx {
+                    let _ = tx.send(WalMsg::Compact(last_horizon));
+                }
+            }
+            return report;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 /// Applies the key-placement policy to one op.
@@ -485,6 +713,7 @@ mod tests {
             batch_size: 32,
             precision: TimePrecision::Milliseconds,
             placement: KeyPlacement::PerMachine,
+            retention: None,
         };
         let (store, report) = ingest(&machines, &config);
         assert_eq!(report.machines, 6);
@@ -567,5 +796,157 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("2 machines"), "{text}");
         assert!(text.contains("events/s"), "{text}");
+        assert!(report.retention.is_none());
+    }
+
+    #[test]
+    fn retention_bounds_the_store_and_preserves_post_horizon_queries() {
+        let machines = tiny_fleet(4, 30);
+        let base = FleetConfig {
+            shards: 4,
+            ingest_threads: 2,
+            batch_size: 32,
+            placement: KeyPlacement::PerMachine,
+            ..FleetConfig::default()
+        };
+        let (reference, _) = ingest(&machines, &base);
+
+        let config = FleetConfig {
+            retention: Some(RetentionPolicy {
+                retain: TimeDelta::from_days(7),
+                min_interval: TimeDelta::from_days(2),
+            }),
+            ..base
+        };
+        let (pruned, report) = ingest(&machines, &config);
+        let retention = report.retention.expect("policy was set");
+        assert!(retention.sweeps > 0, "{retention:?}");
+        assert!(retention.reclaimed.pruned_versions > 0);
+        // The final sweep lands exactly at frontier − retain.
+        let frontier = reference.last_mutation_time().expect("events exist");
+        let horizon = retention.horizon.expect("swept");
+        assert_eq!(horizon, frontier.saturating_sub(TimeDelta::from_days(7)));
+        assert!(pruned.approx_bytes() < reference.approx_bytes());
+        // Lifetime counters and every post-horizon query are intact.
+        assert_eq!(pruned.stats().writes, reference.stats().writes);
+        assert_eq!(pruned.stats().reads, reference.stats().reads);
+        for key in reference.keys() {
+            assert_eq!(
+                pruned.value_at(key.as_str(), horizon),
+                reference.value_at(key.as_str(), horizon),
+                "{key} at the horizon"
+            );
+            assert_eq!(
+                pruned.current(key.as_str()),
+                reference.current(key.as_str()),
+                "{key} current"
+            );
+        }
+        assert_eq!(
+            pruned.snapshot_at(frontier),
+            reference.snapshot_at(frontier)
+        );
+        // Stronger: sweeps compose (prune(h1); prune(h2) == prune(h2)) and
+        // commute with late appends, so the retained store is *exactly*
+        // the reference pruned at the final horizon — regardless of how
+        // many sweeps ran or how they interleaved with ingestion.
+        let mut expected = reference.clone();
+        expected.prune_before(horizon);
+        assert_eq!(pruned, expected);
+        let text = report.to_string();
+        assert!(text.contains("retention:"), "{text}");
+    }
+
+    #[test]
+    fn retention_sweeps_clamp_to_live_pins() {
+        use ocasta_ttkv::HorizonGuard;
+        let machines = tiny_fleet(3, 20);
+        let config = FleetConfig {
+            shards: 4,
+            ingest_threads: 2,
+            batch_size: 32,
+            // Disjoint key spaces keep the cross-run equality assertion
+            // free of same-key timestamp-tie ordering races.
+            placement: KeyPlacement::PerMachine,
+            retention: Some(RetentionPolicy {
+                retain: TimeDelta::from_days(2),
+                min_interval: TimeDelta::from_days(1),
+            }),
+            ..FleetConfig::default()
+        };
+        let guard = HorizonGuard::new();
+        // A reader pinned at the epoch: nothing may ever be pruned.
+        let pin = guard.pin(Timestamp::EPOCH);
+        let sharded = ShardedTtkv::new(config.shards);
+        let options = IngestOptions {
+            guard: Some(&guard),
+            ..IngestOptions::default()
+        };
+        let report = ingest_live(&machines, &config, &sharded, options).expect("no wal, no errors");
+        let retention = report.retention.expect("policy was set");
+        assert_eq!(retention.sweeps, 0, "every sweep clamped to the pin");
+        assert!(retention.clamped > 0, "sweeps were attempted");
+        // The full history survived under the pin.
+        let store = sharded.into_ttkv();
+        let (unpruned, _) = ingest(
+            &machines,
+            &FleetConfig {
+                retention: None,
+                ..config
+            },
+        );
+        assert_eq!(store, unpruned);
+        drop(pin);
+    }
+
+    #[test]
+    fn retention_with_wal_keeps_log_and_replay_bounded() {
+        let machines = tiny_fleet(3, 24);
+        let dir = std::env::temp_dir().join(format!("ocasta-retention-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = FleetConfig {
+            shards: 4,
+            ingest_threads: 2,
+            batch_size: 32,
+            placement: KeyPlacement::PerMachine,
+            retention: Some(RetentionPolicy {
+                retain: TimeDelta::from_days(6),
+                min_interval: TimeDelta::from_days(2),
+            }),
+            ..FleetConfig::default()
+        };
+        let mut wal = Wal::open(&dir).unwrap();
+        let (store, report) = ingest_with_wal(&machines, &config, &mut wal).unwrap();
+        let retention = report.retention.expect("policy was set");
+        assert!(retention.sweeps > 0);
+        let horizon = retention.horizon.expect("swept");
+
+        // Replay serves the same post-horizon state as the live store.
+        let replayed = wal.replay(config.precision).unwrap();
+        for key in store.keys() {
+            assert_eq!(
+                replayed.value_at(key.as_str(), horizon),
+                store.value_at(key.as_str(), horizon),
+                "{key}"
+            );
+        }
+        assert_eq!(replayed.stats().writes, store.stats().writes);
+
+        // The compacted snapshot is bounded: a no-retention run of the same
+        // fleet snapshots strictly larger.
+        let precision = config.precision;
+        let nr_dir = dir.join("no-retention");
+        let mut nr_wal = Wal::open(&nr_dir).unwrap();
+        let nr_config = FleetConfig {
+            retention: None,
+            ..config
+        };
+        ingest_with_wal(&machines, &nr_config, &mut nr_wal).unwrap();
+        nr_wal.compact(precision).unwrap();
+        wal.compact_pruned(precision, horizon).unwrap();
+        let bounded = std::fs::metadata(wal.snapshot_path()).unwrap().len();
+        let unbounded = std::fs::metadata(nr_wal.snapshot_path()).unwrap().len();
+        assert!(bounded < unbounded, "{bounded} vs {unbounded}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

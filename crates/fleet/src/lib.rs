@@ -16,10 +16,14 @@
 //!   machines, N ingest workers driving lazy
 //!   [`ocasta_trace::EventStream`]s, per-shard batching, and an optional
 //!   WAL appender lane;
-//! * [`ingest_into`]/[`ShardedTtkv::snapshot_store`] — the live-store
-//!   path: ingestion into a caller-owned sharded store that stays
-//!   readable, through per-shard-atomic snapshots, while workers keep
-//!   appending — what the repair service tier pins its sessions to.
+//! * [`ingest_into`]/[`ingest_live`]/[`ShardedTtkv::snapshot_store`] — the
+//!   live-store path: ingestion into a caller-owned sharded store that
+//!   stays readable, through per-shard-atomic snapshots, while workers
+//!   keep appending — what the repair service tier pins its sessions to;
+//! * [`RetentionPolicy`]/[`ShardedTtkv::prune_before`] — the bounded-memory
+//!   path: a retention sweeper prunes live shards and compacts the WAL to
+//!   a rolling horizon, clamped to [`ocasta_ttkv::HorizonGuard`] pins so
+//!   pinned repair sessions keep every version they registered for.
 //!
 //! ## Quick start
 //!
@@ -64,8 +68,9 @@ mod tap;
 mod wal;
 
 pub use engine::{
-    ingest, ingest_into, ingest_sequential, ingest_tapped, ingest_with_wal,
-    ingest_with_wal_and_tap, FleetConfig, FleetReport, KeyPlacement, MachineSpec,
+    ingest, ingest_into, ingest_live, ingest_sequential, ingest_tapped, ingest_with_wal,
+    ingest_with_wal_and_tap, FleetConfig, FleetReport, IngestOptions, KeyPlacement, MachineSpec,
+    RetentionPolicy, RetentionReport,
 };
 pub use shard::{key_hash, ShardedTtkv};
 pub use tap::{IngestTap, LaneEvent, WriteLanes};

@@ -11,7 +11,7 @@
 use std::sync::Mutex;
 
 use ocasta_trace::TraceOp;
-use ocasta_ttkv::{Ttkv, TtkvBuilder};
+use ocasta_ttkv::{PruneStats, Timestamp, Ttkv, TtkvBuilder};
 
 /// Stable key→shard hash (FNV-1a, 64-bit; see [`crate::hash`]).
 pub fn key_hash(key: &str) -> u64 {
@@ -112,6 +112,44 @@ impl ShardedTtkv {
             .iter()
             .map(|s| s.lock().expect("shard lock poisoned").len())
             .sum()
+    }
+
+    /// The latest applied-or-buffered mutation timestamp across all shards
+    /// — the ingest frontier a retention sweep measures its horizon
+    /// against. Takes each shard lock briefly; the answer can lag appends
+    /// that land while later shards are read, which only makes a horizon
+    /// computed from it more conservative.
+    pub fn last_mutation_time(&self) -> Option<Timestamp> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.lock().expect("shard lock poisoned").last_time())
+            .max()
+    }
+
+    /// Compacts every shard's history older than `horizon`, returning what
+    /// the sweep reclaimed (see [`ocasta_ttkv::Ttkv::prune_before`]).
+    ///
+    /// Each shard is pruned **atomically under its own stripe lock** — the
+    /// same per-shard-atomic discipline as [`ShardedTtkv::snapshot_store`]:
+    /// the shard's builder is taken out of its slot, built, pruned, and put
+    /// back as a [`TtkvBuilder::from_store`] base inside one critical
+    /// section, so concurrent appends either land entirely before or
+    /// entirely after the prune and per-key history is never torn. Shards
+    /// are swept one after another, so the sweep as a whole is a rolling
+    /// cut of the fleet, exactly like a snapshot (`DESIGN.md §5.9`).
+    ///
+    /// Callers coordinating with pinned readers must clamp `horizon`
+    /// through an [`ocasta_ttkv::HorizonGuard`] first; the engine's
+    /// retention sweeper does.
+    pub fn prune_before(&self, horizon: Timestamp) -> PruneStats {
+        let mut stats = PruneStats::default();
+        for shard in &self.shards {
+            let mut slot = shard.lock().expect("shard lock poisoned");
+            let mut store = std::mem::take(&mut *slot).build();
+            stats.absorb(store.prune_before(horizon));
+            *slot = TtkvBuilder::from_store(store);
+        }
+        stats
     }
 
     /// Takes a read-only snapshot of the live store **while ingestion
@@ -270,6 +308,80 @@ mod tests {
         let last = sharded.snapshot_store();
         assert_eq!(last, sharded.into_ttkv());
         assert_eq!(last.stats().writes, 4 * 50 * 4);
+    }
+
+    #[test]
+    fn prune_bounds_live_shards_and_preserves_post_horizon_queries() {
+        let sharded = ShardedTtkv::new(4);
+        let ops: Vec<TraceOp> = (0..400)
+            .map(|i| write_op(&format!("app/k{}", i % 8), i * 10, i as i64))
+            .collect();
+        sharded.append_routed(ops.clone());
+        let reference = sharded.snapshot_store();
+        assert_eq!(
+            sharded.last_mutation_time(),
+            Some(Timestamp::from_millis(3_990))
+        );
+
+        let horizon = Timestamp::from_millis(2_000);
+        let stats = sharded.prune_before(horizon);
+        assert!(stats.pruned_versions > 0);
+        assert!(stats.reclaimed_bytes > 0);
+
+        let pruned = sharded.snapshot_store();
+        assert!(pruned.approx_bytes() < reference.approx_bytes());
+        for key in reference.keys() {
+            for probe in [2_000, 2_005, 3_990] {
+                let t = Timestamp::from_millis(probe);
+                assert_eq!(
+                    pruned.value_at(key.as_str(), t),
+                    reference.value_at(key.as_str(), t),
+                    "{key} at {t}"
+                );
+            }
+        }
+        // Lifetime counters survive the sweep.
+        assert_eq!(pruned.stats().writes, reference.stats().writes);
+
+        // The store keeps ingesting after the sweep.
+        sharded.append_routed(vec![write_op("app/k0", 9_000, 999)]);
+        let after = sharded.into_ttkv();
+        assert_eq!(
+            after.current("app/k0"),
+            Some(&ocasta_ttkv::Value::from(999))
+        );
+    }
+
+    #[test]
+    fn prune_races_concurrent_appends_without_tearing() {
+        let sharded = ShardedTtkv::new(4);
+        let total_writes = std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for round in 0..60u64 {
+                        let ops: Vec<TraceOp> = (0..4)
+                            .map(|i| write_op(&format!("w{worker}/k"), round * 100 + i, i as i64))
+                            .collect();
+                        sharded.append_routed(ops);
+                    }
+                });
+            }
+            let sweeper = scope.spawn(|| {
+                for sweep in 1..=20u64 {
+                    sharded.prune_before(Timestamp::from_millis(sweep * 250));
+                }
+            });
+            sweeper.join().expect("sweeper panicked");
+            4u64 * 60 * 4
+        });
+        let store = sharded.into_ttkv();
+        // Counters are prune-invariant, so every concurrent write is
+        // accounted for exactly once regardless of sweep interleaving.
+        assert_eq!(store.stats().writes, total_writes);
+        for (_, record) in store.iter() {
+            assert_eq!(record.writes % 4, 0, "torn batch visible");
+        }
     }
 
     #[test]

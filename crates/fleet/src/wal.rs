@@ -31,7 +31,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 
 use ocasta_trace::TraceOp;
-use ocasta_ttkv::{TimePrecision, Ttkv, TtkvBuilder};
+use ocasta_ttkv::{PruneStats, TimePrecision, Timestamp, Ttkv, TtkvBuilder};
 
 use crate::codec::{decode_op, encode_op, CodecError};
 use crate::hash::fnv1a_32 as fnv1a;
@@ -460,6 +460,37 @@ impl Wal {
     /// Same conditions as [`Wal::replay`] plus snapshot write failures.
     pub fn compact(&mut self, precision: TimePrecision) -> Result<Ttkv, WalError> {
         let store = self.replay(precision)?;
+        self.install_snapshot(&store)?;
+        Ok(store)
+    }
+
+    /// Compacts the WAL **and prunes history older than `horizon`** before
+    /// writing the snapshot: the disk footprint becomes bounded by the
+    /// retention window instead of the deployment's lifetime. Replay after
+    /// this yields the pruned state plus any frames appended since — every
+    /// query at or after the horizon answers as an unpruned replay would
+    /// (the snapshot format round-trips prune baselines and lifetime
+    /// counters). Returns the pruned state and what the prune reclaimed.
+    ///
+    /// This is the WAL half of the fleet retention sweep
+    /// (`ocasta-fleet`'s `RetentionPolicy`, `DESIGN.md §5.9`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Wal::compact`].
+    pub fn compact_pruned(
+        &mut self,
+        precision: TimePrecision,
+        horizon: Timestamp,
+    ) -> Result<(Ttkv, PruneStats), WalError> {
+        let mut store = self.replay(precision)?;
+        let stats = store.prune_before(horizon);
+        self.install_snapshot(&store)?;
+        Ok((store, stats))
+    }
+
+    /// Atomically replaces the snapshot with `store` and truncates the log.
+    fn install_snapshot(&mut self, store: &Ttkv) -> Result<(), WalError> {
         // Write the snapshot to a temp name first so a crash mid-compaction
         // leaves the previous snapshot + full log intact.
         let tmp = self.dir.join("snapshot.ttkv.tmp");
@@ -477,7 +508,7 @@ impl Wal {
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        Ok(store)
+        Ok(())
     }
 
     /// Size of the log file in bytes (0 if absent).
@@ -651,6 +682,64 @@ mod tests {
         let mut expected = sample_ops()[..2].to_vec();
         expected.push(extra);
         assert_eq!(ops, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_pruned_bounds_the_snapshot_and_keeps_post_horizon_state() {
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = Wal::open(&dir).unwrap();
+        let ops: Vec<TraceOp> = (0..200)
+            .map(|i| {
+                TraceOp::Mutation(AccessEvent::write(
+                    Timestamp::from_millis(i * 100),
+                    format!("app/k{}", i % 5),
+                    Value::from(i as i64),
+                ))
+            })
+            .collect();
+        for chunk in ops.chunks(20) {
+            wal.append(chunk).unwrap();
+        }
+        let full = wal.replay(TimePrecision::Milliseconds).unwrap();
+        let full_snapshot_bytes = {
+            wal.compact(TimePrecision::Milliseconds).unwrap();
+            std::fs::metadata(wal.snapshot_path()).unwrap().len()
+        };
+
+        let horizon = Timestamp::from_millis(15_000);
+        let (pruned, stats) = wal
+            .compact_pruned(TimePrecision::Milliseconds, horizon)
+            .unwrap();
+        assert!(stats.pruned_versions > 0);
+        let pruned_snapshot_bytes = std::fs::metadata(wal.snapshot_path()).unwrap().len();
+        assert!(
+            pruned_snapshot_bytes < full_snapshot_bytes,
+            "{pruned_snapshot_bytes} vs {full_snapshot_bytes}"
+        );
+        // Replay = pruned snapshot; queries at/after the horizon intact,
+        // lifetime counters intact.
+        let replayed = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(replayed, pruned);
+        assert_eq!(replayed.stats().writes, full.stats().writes);
+        for key in full.keys() {
+            assert_eq!(
+                replayed.value_at(key.as_str(), horizon),
+                full.value_at(key.as_str(), horizon),
+                "{key}"
+            );
+        }
+        // Appends after a pruned compaction layer on normally.
+        wal.append(&[TraceOp::Mutation(AccessEvent::write(
+            Timestamp::from_millis(90_000),
+            "app/k0",
+            Value::from(-1),
+        ))])
+        .unwrap();
+        let after = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(after.current("app/k0"), Some(&Value::from(-1)));
+        assert_eq!(after.stats().writes, full.stats().writes + 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

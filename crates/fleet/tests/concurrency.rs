@@ -60,6 +60,7 @@ fn threaded_ingestion_equals_sequential_disjoint_keys() {
                 batch_size: 64,
                 precision: TimePrecision::Seconds,
                 placement: KeyPlacement::PerMachine,
+                retention: None,
             };
             let sequential = ingest_sequential(&machines, &config);
             let (parallel, report) = ingest(&machines, &config);
@@ -89,6 +90,7 @@ fn threaded_ingestion_equals_sequential_merged_keys() {
         batch_size: 32,
         precision: TimePrecision::Milliseconds,
         placement: KeyPlacement::Merged,
+        retention: None,
     };
 
     // Guard: verify the fixture has no cross-machine (key, ts) collisions.
@@ -131,6 +133,7 @@ fn wal_replay_matches_concurrent_ingestion() {
         batch_size: 48,
         precision: TimePrecision::Seconds,
         placement: KeyPlacement::PerMachine,
+        retention: None,
     };
     let mut wal = Wal::open(&dir).unwrap();
     let (store, report) = ingest_with_wal(&machines, &config, &mut wal).unwrap();

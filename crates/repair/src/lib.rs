@@ -22,6 +22,11 @@
 //!   pinned to a live-stream snapshot (epoch/watermark-stamped catalog plus
 //!   a point-in-time history view) so sessions proceed while fleet
 //!   ingestion continues;
+//! * [`HorizonGuard`] (re-exported from `ocasta-ttkv`) — the retention pin
+//!   registry: before snapshotting, a session pins
+//!   [`SearchConfig::oldest_history_needed`] so concurrent retention
+//!   sweeps never prune versions the search might roll back to
+//!   (`DESIGN.md §5.9`);
 //! * [`singleton_clusters`] — the `Ocasta-NoClust` baseline (roll back one
 //!   setting at a time);
 //! * [`simulate_case`] — the Figure 4 user-study model.
@@ -69,3 +74,8 @@ pub use search::{search, FixInfo, SearchConfig, SearchOutcome, SearchStrategy};
 pub use session::{CatalogHorizon, ClusterCatalog, RepairSession, SessionReport};
 pub use trial::{FixOracle, Trial};
 pub use user_model::{simulate_case, CaseStudyResult, CaseUserModel, UserStudyParams};
+
+// The retention pin registry lives in the store crate (it is shared with
+// the fleet tier's sweeper); sessions are its main client, so re-export it
+// here.
+pub use ocasta_ttkv::{HorizonGuard, HorizonPin};

@@ -48,6 +48,46 @@ pub struct SearchConfig {
     pub trial_cost: TimeDelta,
 }
 
+impl SearchConfig {
+    /// The oldest timestamp a search with this config can possibly touch —
+    /// what a session registers with an [`ocasta_ttkv::HorizonGuard`]
+    /// **before** snapshotting a live store, so retention sweeps never
+    /// prune versions the search might roll back to.
+    ///
+    /// An unbounded search (`start_time: None`) needs everything, so it
+    /// pins the epoch. A bounded one needs `start_time` itself, one
+    /// [`SearchConfig::window`] of slack below it (pruning a mutation just
+    /// under the horizon can re-anchor a transaction that straddles it,
+    /// shifting version start times within one window), and one more
+    /// millisecond for the pre-transaction state a rollback patch reads
+    /// ([`crate::ClusterInfo::rollback_patch`]). Searches against a store
+    /// pruned at or before this timestamp are equivalent to searches
+    /// against the unpruned history — regression-tested in this module.
+    pub fn oldest_history_needed(&self) -> Timestamp {
+        match self.start_time {
+            None => Timestamp::EPOCH,
+            Some(start) => start
+                .saturating_sub(self.window)
+                .saturating_sub(TimeDelta::from_millis(1)),
+        }
+    }
+
+    /// The inverse of [`SearchConfig::oldest_history_needed`]: the
+    /// earliest `start_time` this search may safely use when history below
+    /// `pin` may already be pruned fleet-wide (a sweep preceded the pin
+    /// registration and the guard clamped it up). An epoch pin constrains
+    /// nothing. The two methods are the *only* owners of the
+    /// window-plus-millisecond slack, so the pin a driver registers and
+    /// the bound it later searches with cannot drift apart.
+    pub fn earliest_safe_start(&self, pin: Timestamp) -> Timestamp {
+        if pin == Timestamp::EPOCH {
+            Timestamp::EPOCH
+        } else {
+            pin + self.window + TimeDelta::from_millis(1)
+        }
+    }
+}
+
 impl Default for SearchConfig {
     fn default() -> Self {
         SearchConfig {
@@ -367,6 +407,70 @@ mod tests {
         // baseline, so the gallery holds just the fixed shot.
         assert_eq!(outcome.total_screenshots, 1);
         assert_eq!(outcome.screenshots_to_fix, 1);
+    }
+
+    #[test]
+    fn oldest_history_needed_bounds() {
+        let unbounded = SearchConfig::default();
+        assert_eq!(unbounded.oldest_history_needed(), Timestamp::EPOCH);
+        let bounded = SearchConfig {
+            start_time: Some(ts(1500)),
+            window: TimeDelta::from_secs(1),
+            ..SearchConfig::default()
+        };
+        assert_eq!(
+            bounded.oldest_history_needed(),
+            Timestamp::from_millis(1_498_999),
+        );
+        // A bound tighter than the window pins the epoch, not underflow.
+        let tight = SearchConfig {
+            start_time: Some(Timestamp::from_millis(500)),
+            ..SearchConfig::default()
+        };
+        assert_eq!(tight.oldest_history_needed(), Timestamp::EPOCH);
+        // earliest_safe_start inverts oldest_history_needed exactly.
+        assert_eq!(
+            bounded.earliest_safe_start(bounded.oldest_history_needed()),
+            ts(1500),
+        );
+        assert_eq!(
+            bounded.earliest_safe_start(Timestamp::EPOCH),
+            Timestamp::EPOCH
+        );
+    }
+
+    #[test]
+    fn search_over_a_pinned_prune_equals_search_over_full_history() {
+        // The §5.9 contract, at search level: pruning at or before
+        // `oldest_history_needed()` must not change a bounded search's
+        // outcome — field for field, including tombstone-at-horizon and
+        // version-exactly-at-horizon records.
+        let mut ttkv = dependent_store();
+        ttkv.write(ts(1400), "app/phantom", Value::from("old"));
+        ttkv.delete(ts(1450), "app/phantom"); // dead at the horizon
+        let config = SearchConfig {
+            start_time: Some(ts(1500)),
+            ..SearchConfig::default()
+        };
+        let horizon = config.oldest_history_needed();
+        // A mutation exactly at the horizon stays searchable context.
+        ttkv.write(horizon, "app/geometry", Value::from(-1));
+
+        let clusters = vec![
+            vec![Key::new("app/enabled"), Key::new("app/mode")],
+            vec![Key::new("app/geometry")],
+            vec![Key::new("app/phantom")],
+        ];
+        let trial = panel_trial();
+        let oracle = FixOracle::element_visible("panel");
+        let full = search(&ttkv, &clusters, &trial, &oracle, &config);
+
+        let mut pruned = ttkv.clone();
+        let stats = pruned.prune_before(horizon);
+        assert!(stats.pruned_versions > 0, "the prune must bite");
+        let after_prune = search(&pruned, &clusters, &trial, &oracle, &config);
+        assert_eq!(full, after_prune);
+        assert!(full.is_fixed());
     }
 
     #[test]

@@ -39,8 +39,17 @@ use crate::Key;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TtkvBuilder {
+    /// A pre-built store the buffered tail layers onto. This is what lets a
+    /// live fleet shard be pruned in place: fold the tail into the base,
+    /// prune the base, and keep appending — see
+    /// [`TtkvBuilder::from_store`].
+    base: Ttkv,
     mutations: Vec<(Key, Version)>,
     reads: BTreeMap<Key, u64>,
+    /// Running maximum over the base store and the buffered tail, so
+    /// [`TtkvBuilder::last_time`] is O(1) — it is polled under the fleet
+    /// shard stripe locks by the retention sweeper.
+    max_time: Option<Timestamp>,
 }
 
 impl TtkvBuilder {
@@ -52,19 +61,49 @@ impl TtkvBuilder {
     /// Creates a builder with space for `mutations` mutations.
     pub fn with_capacity(mutations: usize) -> Self {
         TtkvBuilder {
+            base: Ttkv::new(),
             mutations: Vec::with_capacity(mutations),
+            reads: BTreeMap::new(),
+            max_time: None,
+        }
+    }
+
+    /// Creates a builder whose output layers future accesses onto an
+    /// already-built store.
+    ///
+    /// `builder.build()` then equals `store` extended by the buffered
+    /// accesses in arrival order — exactly as if the store's own history
+    /// had been buffered first. The fleet tier uses this to prune a live
+    /// shard atomically: take the builder out of the stripe lock slot,
+    /// [`TtkvBuilder::build`] it, [`Ttkv::prune_before`] the result, and
+    /// put `TtkvBuilder::from_store(pruned)` back — all under the lock.
+    pub fn from_store(store: Ttkv) -> Self {
+        TtkvBuilder {
+            max_time: store.last_mutation_time(),
+            base: store,
+            mutations: Vec::new(),
             reads: BTreeMap::new(),
         }
     }
 
     /// Buffers a write of `value` to `key` at time `t`.
     pub fn write(&mut self, t: Timestamp, key: impl Into<Key>, value: Value) {
+        self.max_time = self.max_time.max(Some(t));
         self.mutations.push((key.into(), Version::write(t, value)));
     }
 
     /// Buffers a deletion of `key` at time `t`.
     pub fn delete(&mut self, t: Timestamp, key: impl Into<Key>) {
+        self.max_time = self.max_time.max(Some(t));
         self.mutations.push((key.into(), Version::tombstone(t)));
+    }
+
+    /// The latest timestamp across the base store and the buffered tail —
+    /// what a retention sweep measures "now" against. O(1): the maximum is
+    /// maintained on every buffered mutation, because this is polled under
+    /// the fleet shard stripe locks.
+    pub fn last_time(&self) -> Option<Timestamp> {
+        self.max_time
     }
 
     /// Buffers `count` read accesses to `key`.
@@ -72,29 +111,40 @@ impl TtkvBuilder {
         *self.reads.entry(key.into()).or_insert(0) += count;
     }
 
-    /// Number of buffered mutations.
+    /// Number of buffered tail mutations (the base store's history is
+    /// already built and not counted).
     pub fn len(&self) -> usize {
         self.mutations.len()
     }
 
-    /// `true` if nothing has been buffered.
+    /// `true` if nothing has been buffered and the base store is empty.
     pub fn is_empty(&self) -> bool {
-        self.mutations.is_empty() && self.reads.is_empty()
+        self.mutations.is_empty() && self.reads.is_empty() && self.base.is_empty()
     }
 
     /// Moves everything buffered in `other` into `self` (`other`'s arrivals
-    /// order after `self`'s on timestamp ties).
+    /// order after `self`'s on timestamp ties). Base stores merge by
+    /// absorption.
     pub fn append(&mut self, other: TtkvBuilder) {
+        self.max_time = self.max_time.max(other.max_time);
+        self.base.absorb(other.base);
         self.mutations.extend(other.mutations);
         for (key, count) in other.reads {
             *self.reads.entry(key).or_insert(0) += count;
         }
     }
 
-    /// Builds the store: one stable timestamp sort, then in-order insertion.
+    /// Builds the store: one stable timestamp sort of the tail, applied in
+    /// order onto the base store.
     pub fn build(self) -> Ttkv {
-        let mut store = Ttkv::new();
-        self.build_into(&mut store);
+        let TtkvBuilder {
+            base,
+            mutations,
+            reads,
+            max_time: _,
+        } = self;
+        let mut store = base;
+        TtkvBuilder::apply_tail(&mut store, mutations, reads);
         store
     }
 
@@ -124,17 +174,31 @@ impl TtkvBuilder {
         self.clone().build()
     }
 
-    /// Applies the buffered accesses to an existing store.
+    /// Applies the base store and the buffered accesses to an existing
+    /// store.
     ///
     /// Equivalent to replaying the buffered accesses through
     /// [`Ttkv::write`]/[`Ttkv::delete`]/[`Ttkv::add_reads`] in timestamp
     /// order, but with the sort amortised over the whole batch.
     pub fn build_into(self, store: &mut Ttkv) {
-        for (key, count) in self.reads {
+        let TtkvBuilder {
+            base,
+            mutations,
+            reads,
+            max_time: _,
+        } = self;
+        store.absorb(base);
+        TtkvBuilder::apply_tail(store, mutations, reads);
+    }
+
+    /// The shared tail pass: reads, then one stable timestamp sort (ties
+    /// keep arrival order, matching sequential ingestion), then in-order
+    /// insertion.
+    fn apply_tail(store: &mut Ttkv, mutations: Vec<(Key, Version)>, reads: BTreeMap<Key, u64>) {
+        for (key, count) in reads {
             store.add_reads(key, count);
         }
-        let mut mutations = self.mutations;
-        // Stable: ties keep arrival order, matching sequential ingestion.
+        let mut mutations = mutations;
         mutations.sort_by_key(|(_, version)| version.timestamp);
         for (key, version) in mutations {
             store.apply_version(key, version);
@@ -211,5 +275,40 @@ mod tests {
     fn empty_builder_builds_empty_store() {
         assert!(TtkvBuilder::new().is_empty());
         assert!(TtkvBuilder::new().build().is_empty());
+    }
+
+    #[test]
+    fn from_store_layers_the_tail_onto_the_base() {
+        // Reference: everything buffered through one builder.
+        let mut whole = TtkvBuilder::new();
+        whole.write(ts(1), "k", Value::from(1));
+        whole.write(ts(5), "k", Value::from(5));
+        whole.add_reads("k", 3);
+
+        // Same accesses split into a pre-built base plus a live tail.
+        let mut head = TtkvBuilder::new();
+        head.write(ts(1), "k", Value::from(1));
+        let mut resumed = TtkvBuilder::from_store(head.build());
+        assert!(!resumed.is_empty(), "base store counts");
+        resumed.write(ts(5), "k", Value::from(5));
+        resumed.add_reads("k", 3);
+        assert_eq!(resumed.len(), 1, "len counts the tail only");
+        assert_eq!(resumed.last_time(), Some(ts(5)));
+        assert_eq!(resumed.build(), whole.build());
+    }
+
+    #[test]
+    fn from_store_keeps_prune_state_through_rebuilds() {
+        let mut store = Ttkv::new();
+        store.write(ts(1), "k", Value::from("old"));
+        store.write(ts(9), "k", Value::from("new"));
+        store.prune_before(ts(5));
+        let mut builder = TtkvBuilder::from_store(store);
+        assert_eq!(builder.last_time(), Some(ts(9)));
+        builder.write(ts(12), "k", Value::from("newer"));
+        let rebuilt = builder.build();
+        assert_eq!(rebuilt.value_at("k", ts(6)), Some(&Value::from("old")));
+        assert_eq!(rebuilt.current("k"), Some(&Value::from("newer")));
+        assert_eq!(rebuilt.stats().writes, 3, "lifetime counters carried");
     }
 }

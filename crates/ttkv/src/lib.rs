@@ -44,6 +44,7 @@ mod error;
 mod key;
 mod persist;
 mod record;
+mod retention;
 mod snapshot;
 mod stats;
 mod store;
@@ -54,8 +55,9 @@ pub use builder::TtkvBuilder;
 pub use error::TtkvError;
 pub use key::Key;
 pub use record::{KeyRecord, Version};
+pub use retention::{HorizonGuard, HorizonPin};
 pub use snapshot::ConfigState;
-pub use stats::TtkvStats;
+pub use stats::{PruneStats, TtkvStats};
 pub use store::Ttkv;
 pub use time::{TimeDelta, TimePrecision, Timestamp};
 pub use value::Value;

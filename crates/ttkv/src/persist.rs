@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! ocasta-ttkv v1
-//! k word/mru/max_display reads=12
+//! k word/mru/max_display reads=12 writes=3 deletes=1
+//! b 500 i3
 //! w 1000 i25
 //! w 86400000 i9
 //! d 90000000
@@ -16,11 +17,20 @@
 //! Values use a compact token encoding (`n`, `b0`/`b1`, `i<dec>`,
 //! `f<hex bits>`, `s<escaped>`, `l<count> <tokens…>`); strings escape
 //! whitespace so every token is space-delimited.
+//!
+//! The `writes=`/`deletes=` fields and the `b`/`bd` (prune-baseline,
+//! live/dead) records are retention additions: a pruned store's lifetime
+//! counters exceed what its surviving history implies, and the collapsed
+//! pre-horizon state is a baseline, not a mutation. All are optional on
+//! load, so files written before retention existed still parse (their
+//! counters are derived from the history lines, which is exact for
+//! unpruned stores).
 
 use std::io::{self, BufRead, Write};
 
 use crate::codec::{decode_value, encode_value, escape, unescape};
 use crate::error::TtkvError;
+use crate::record::KeyRecord;
 use crate::store::Ttkv;
 use crate::time::Timestamp;
 #[cfg(test)]
@@ -37,7 +47,25 @@ impl Ttkv {
     pub fn save<W: Write>(&self, mut writer: W) -> Result<(), TtkvError> {
         writeln!(writer, "{MAGIC}")?;
         for (key, record) in self.iter() {
-            writeln!(writer, "k {} reads={}", escape(key.as_str()), record.reads)?;
+            writeln!(
+                writer,
+                "k {} reads={} writes={} deletes={}",
+                escape(key.as_str()),
+                record.reads,
+                record.writes,
+                record.deletes,
+            )?;
+            if let Some(baseline) = record.baseline() {
+                match &baseline.value {
+                    Some(value) => {
+                        let mut encoded = String::new();
+                        encode_value(value, &mut encoded);
+                        writeln!(writer, "b {} {}", baseline.timestamp.as_millis(), encoded)?;
+                    }
+                    // A dead-at-horizon baseline: the collapsed tombstone.
+                    None => writeln!(writer, "bd {}", baseline.timestamp.as_millis())?,
+                }
+            }
             for version in record.history() {
                 match &version.value {
                     Some(value) => {
@@ -69,8 +97,26 @@ impl Ttkv {
     /// Returns [`TtkvError::Io`] if the reader fails and [`TtkvError::Parse`]
     /// if the content is not valid TTKV data.
     pub fn load<R: BufRead>(reader: R) -> Result<Ttkv, TtkvError> {
+        /// One key's record being assembled from consecutive lines.
+        struct Pending {
+            key: crate::Key,
+            record: KeyRecord,
+            reads: u64,
+            /// Explicit `writes=`/`deletes=` from the `k` line; derived
+            /// from the history lines when absent (pre-retention files).
+            counters: Option<(u64, u64)>,
+        }
+        fn finish(store: &mut Ttkv, pending: Option<Pending>) {
+            if let Some(p) = pending {
+                let mut record = p.record;
+                let (writes, deletes) = p.counters.unwrap_or((record.writes, record.deletes));
+                record.set_counters(p.reads, writes, deletes);
+                store.insert_record(p.key, record);
+            }
+        }
+
         let mut store = Ttkv::new();
-        let mut current_key: Option<crate::Key> = None;
+        let mut pending: Option<Pending> = None;
         let mut lines = reader.lines();
         let first = lines
             .next()
@@ -89,25 +135,47 @@ impl Ttkv {
             let mut tokens = line.split(' ');
             match tokens.next() {
                 Some("k") => {
+                    finish(&mut store, pending.take());
                     let raw = tokens
                         .next()
                         .ok_or_else(|| TtkvError::parse(lineno, "missing key name"))?;
                     let name = unescape(raw).map_err(|e| TtkvError::parse(lineno, e))?;
-                    let key = crate::Key::new(name);
-                    let reads = tokens
-                        .next()
-                        .and_then(|t| t.strip_prefix("reads="))
-                        .ok_or_else(|| TtkvError::parse(lineno, "missing reads= field"))?
-                        .parse::<u64>()
-                        .map_err(|e| TtkvError::parse(lineno, format!("bad reads count: {e}")))?;
-                    for _ in 0..reads {
-                        store.read(key.clone());
+                    let mut reads = None;
+                    let mut writes = None;
+                    let mut deletes = None;
+                    for token in tokens {
+                        let (field, slot) = if let Some(v) = token.strip_prefix("reads=") {
+                            (v, &mut reads)
+                        } else if let Some(v) = token.strip_prefix("writes=") {
+                            (v, &mut writes)
+                        } else if let Some(v) = token.strip_prefix("deletes=") {
+                            (v, &mut deletes)
+                        } else {
+                            return Err(TtkvError::parse(
+                                lineno,
+                                format!("unknown key field {token:?}"),
+                            ));
+                        };
+                        *slot =
+                            Some(field.parse::<u64>().map_err(|e| {
+                                TtkvError::parse(lineno, format!("bad counter: {e}"))
+                            })?);
                     }
-                    current_key = Some(key);
+                    let reads =
+                        reads.ok_or_else(|| TtkvError::parse(lineno, "missing reads= field"))?;
+                    pending = Some(Pending {
+                        key: crate::Key::new(name),
+                        record: KeyRecord::new(),
+                        reads,
+                        counters: match (writes, deletes) {
+                            (Some(w), Some(d)) => Some((w, d)),
+                            _ => None,
+                        },
+                    });
                 }
-                Some(op @ ("w" | "d")) => {
-                    let key = current_key
-                        .clone()
+                Some(op @ ("w" | "d" | "b" | "bd")) => {
+                    let entry = pending
+                        .as_mut()
                         .ok_or_else(|| TtkvError::parse(lineno, "mutation before any key"))?;
                     let ts = tokens
                         .next()
@@ -115,12 +183,21 @@ impl Ttkv {
                         .parse::<u64>()
                         .map_err(|e| TtkvError::parse(lineno, format!("bad timestamp: {e}")))?;
                     let t = Timestamp::from_millis(ts);
-                    if op == "w" {
-                        let value =
-                            decode_value(&mut tokens).map_err(|e| TtkvError::parse(lineno, e))?;
-                        store.write(t, key, value);
-                    } else {
-                        store.delete(t, key);
+                    match op {
+                        "w" => {
+                            let value = decode_value(&mut tokens)
+                                .map_err(|e| TtkvError::parse(lineno, e))?;
+                            entry
+                                .record
+                                .record_mutation(crate::Version::write(t, value));
+                        }
+                        "d" => entry.record.record_mutation(crate::Version::tombstone(t)),
+                        "b" => {
+                            let value = decode_value(&mut tokens)
+                                .map_err(|e| TtkvError::parse(lineno, e))?;
+                            entry.record.set_baseline(crate::Version::write(t, value));
+                        }
+                        _ => entry.record.set_baseline(crate::Version::tombstone(t)),
                     }
                 }
                 Some(other) => {
@@ -132,6 +209,7 @@ impl Ttkv {
                 None => unreachable!("split always yields at least one token"),
             }
         }
+        finish(&mut store, pending);
         Ok(store)
     }
 
@@ -197,6 +275,36 @@ mod tests {
         store.write(Timestamp::EPOCH, Key::new(tricky), Value::from(tricky));
         let loaded = Ttkv::load_from_str(&store.save_to_string()).unwrap();
         assert_eq!(store, loaded);
+    }
+
+    #[test]
+    fn pruned_store_roundtrips_baseline_and_counters() {
+        let mut store = sample_store();
+        store.write(Timestamp::from_secs(200), "app/flag", Value::from(false));
+        store.prune_before(Timestamp::from_secs(150));
+        let text = store.save_to_string();
+        assert!(text.contains("\nb "), "live baseline emitted: {text}");
+        // `app/count` ended in a pre-horizon tombstone: dead baseline.
+        assert!(text.contains("\nbd "), "dead baseline emitted: {text}");
+        let loaded = Ttkv::load_from_str(&text).unwrap();
+        assert_eq!(store, loaded);
+        // Lifetime counters survived even where history was collapsed.
+        assert_eq!(loaded.stats().writes, store.stats().writes);
+        assert_eq!(
+            loaded.value_at("app/ratio", Timestamp::from_secs(150)),
+            Some(&Value::from(0.25)),
+        );
+    }
+
+    #[test]
+    fn pre_retention_files_without_counter_fields_still_load() {
+        let text = "ocasta-ttkv v1\nk app/a reads=2\nw 1000 i7\nd 2000\n";
+        let store = Ttkv::load_from_str(text).unwrap();
+        let record = store.record("app/a").unwrap();
+        assert_eq!(record.reads, 2);
+        assert_eq!(record.writes, 1, "derived from history");
+        assert_eq!(record.deletes, 1);
+        assert_eq!(store.stats().reads, 2);
     }
 
     #[test]

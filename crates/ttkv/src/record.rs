@@ -1,5 +1,6 @@
 //! Per-key history records.
 
+use crate::stats::PruneStats;
 use crate::time::Timestamp;
 use crate::value::Value;
 
@@ -47,6 +48,15 @@ impl Version {
 /// well as a list of historical values of the key including timestamps".
 /// Read accesses are counted but not stored individually (only Table I's
 /// aggregate read statistics need them).
+///
+/// After a [`KeyRecord::prune_before`], the collapsed pre-horizon state is
+/// kept as a separate *baseline* — the newest pre-horizon version, write
+/// or tombstone, with its original timestamp — **outside** the mutation
+/// history. The baseline participates in point-in-time queries
+/// ([`KeyRecord::value_at`]) but is invisible to
+/// [`KeyRecord::mutation_times`] and [`KeyRecord::history`]: it is
+/// recorded state, not a recorded mutation, so pruning can never inject a
+/// phantom co-modification at the horizon into clustering or repair.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KeyRecord {
@@ -58,6 +68,17 @@ pub struct KeyRecord {
     pub deletes: u64,
     /// Timestamp-ordered mutation history (writes and tombstones).
     history: Vec<Version>,
+    /// Collapsed pre-horizon state from the last prune: the newest
+    /// pre-horizon version — a live write *or a tombstone* — kept **with
+    /// its original timestamp** (not the horizon's). `None` only for
+    /// never-pruned records or prunes that found nothing to collapse.
+    /// Keeping the true timestamp and the tombstone case is what makes
+    /// staged sweeps exact: a later prune can still rank the baseline
+    /// against stragglers that arrived after the earlier sweep (including
+    /// a late write that predates a collapsed deletion), so any sequence
+    /// of prunes interleaved with appends equals one direct prune at the
+    /// final horizon (property-tested).
+    baseline: Option<Version>,
 }
 
 impl KeyRecord {
@@ -84,16 +105,36 @@ impl KeyRecord {
 
     /// The key's live value as of `t` (inclusive): the value of the last
     /// write at or before `t`, or `None` if the key did not exist (never
-    /// written, or deleted) at that time.
+    /// written, or deleted) at that time. A prune baseline answers for any
+    /// `t` at or after its timestamp that no younger real mutation covers.
     pub fn value_at(&self, t: Timestamp) -> Option<&Value> {
         let idx = self.history.partition_point(|v| v.timestamp <= t);
-        idx.checked_sub(1)
-            .and_then(|i| self.history[i].value.as_ref())
+        let newest = idx.checked_sub(1).map(|i| &self.history[i]);
+        match (&self.baseline, newest) {
+            // The baseline wins only over strictly older history: on a
+            // timestamp tie a real mutation was recorded after the state
+            // the baseline collapsed, so the mutation is newer — the same
+            // last-arrival-wins rule unpruned histories follow.
+            (Some(b), Some(v)) if b.timestamp <= t && v.timestamp < b.timestamp => b.value.as_ref(),
+            (Some(b), None) if b.timestamp <= t => b.value.as_ref(),
+            (_, Some(v)) => v.value.as_ref(),
+            (_, None) => None,
+        }
     }
 
-    /// The key's current live value.
+    /// The key's current live value: the newest recorded state, whether
+    /// that is the last history entry or the prune baseline. The baseline
+    /// can be the newer of the two when a straggler mutation older than it
+    /// arrives after a sweep — a tombstone baseline must keep the key dead
+    /// against such a late write, exactly as [`KeyRecord::value_at`] at
+    /// the end of time would.
     pub fn current(&self) -> Option<&Value> {
-        self.latest().and_then(|v| v.value.as_ref())
+        match (&self.baseline, self.latest()) {
+            (Some(b), Some(v)) if v.timestamp < b.timestamp => b.value.as_ref(),
+            (_, Some(v)) => v.value.as_ref(),
+            (Some(b), None) => b.value.as_ref(),
+            (None, None) => None,
+        }
     }
 
     /// `true` if the key existed (had a live, non-tombstoned value) at `t`.
@@ -102,13 +143,32 @@ impl KeyRecord {
     }
 
     /// Timestamps of every mutation (write or deletion), oldest first.
+    ///
+    /// A prune baseline is deliberately **not** reported here: it is not a
+    /// mutation the application performed, and surfacing it would fabricate
+    /// a co-modification at the horizon across every pruned key (skewing
+    /// clustering correlations and transaction grouping).
     pub fn mutation_times(&self) -> impl Iterator<Item = Timestamp> + '_ {
         self.history.iter().map(|v| v.timestamp)
     }
 
-    /// Records a read access.
-    pub(crate) fn record_read(&mut self) {
-        self.reads += 1;
+    /// The prune baseline, if this record has been pruned: the newest
+    /// pre-horizon version (write or tombstone) with its original
+    /// timestamp.
+    pub fn baseline(&self) -> Option<&Version> {
+        self.baseline.as_ref()
+    }
+
+    /// The timestamp of the most recent recorded *state*: the newer of
+    /// the latest real mutation and the prune baseline (a straggler
+    /// arriving after a sweep can leave the baseline as the newest state).
+    /// This is what keeps [`crate::Ttkv::last_mutation_time`] (and
+    /// therefore [`crate::Ttkv::snapshot_latest`]) meaningful on
+    /// aggressively pruned stores.
+    pub fn last_time(&self) -> Option<Timestamp> {
+        self.latest()
+            .map(|v| v.timestamp)
+            .max(self.baseline.as_ref().map(|b| b.timestamp))
     }
 
     /// Records `count` read accesses at once.
@@ -147,6 +207,13 @@ impl KeyRecord {
         self.reads += other.reads;
         self.writes += other.writes;
         self.deletes += other.deletes;
+        // Baselines only arise from pruning; when both sides carry one the
+        // truly newer state subsumes the other (ties keep self's, the same
+        // self-first rule the history merge applies).
+        self.baseline = match (self.baseline.take(), other.baseline) {
+            (Some(a), Some(b)) => Some(if b.timestamp > a.timestamp { b } else { a }),
+            (a, b) => a.or(b),
+        };
         if other.history.is_empty() {
             return;
         }
@@ -181,30 +248,66 @@ impl KeyRecord {
         self.history = merged;
     }
 
-    /// Collapses versions strictly before `horizon` into at most one
-    /// version holding the value live at the horizon (see
-    /// [`crate::Ttkv::prune_before`]). Counters are unchanged.
-    pub(crate) fn prune_before(&mut self, horizon: Timestamp) {
+    /// Collapses versions strictly before `horizon` into the record's
+    /// *baseline* — the newest pre-horizon version, write or tombstone,
+    /// with its original timestamp. Access counters are unchanged: they
+    /// feed the repair tool's sort and Table I, not the rollback search.
+    /// Returns what the prune reclaimed.
+    ///
+    /// The baseline lives outside [`KeyRecord::history`], so pruning never
+    /// synthesises a mutation (see the type-level docs), and it keeps both
+    /// its true timestamp and its tombstone-ness, so re-pruning after
+    /// out-of-order arrivals (a lagging fleet machine applying pre-horizon
+    /// events after a sweep) ranks the baseline against the stragglers
+    /// correctly — staged sweeps equal one direct prune at the final
+    /// horizon. A record whose whole history is reclaimed behind a
+    /// tombstone baseline is *dead*: its counters remain but it no longer
+    /// contributes to [`crate::Ttkv::modified_keys`].
+    pub(crate) fn prune_before(&mut self, horizon: Timestamp) -> PruneStats {
         let cut = self.history.partition_point(|v| v.timestamp < horizon);
         if cut == 0 {
-            return;
+            return PruneStats::default();
         }
-        let baseline = self.history[cut - 1].value.clone();
-        let mut kept: Vec<Version> = Vec::with_capacity(self.history.len() - cut + 1);
-        if let Some(value) = baseline {
-            kept.push(Version::write(horizon, value));
+        let before_bytes = self.approx_bytes() as u64;
+        let newest = &self.history[cut - 1];
+        // The truly newest pre-horizon state wins: the cut's last version,
+        // unless a previously collapsed baseline is younger still (on a
+        // tie, the recorded version arrived after the collapsed state).
+        let carried = match self.baseline.take() {
+            Some(b) if newest.timestamp < b.timestamp => b,
+            _ => newest.clone(),
+        };
+        self.history.drain(..cut);
+        self.baseline = Some(carried);
+        let after_bytes = self.approx_bytes() as u64;
+        PruneStats {
+            pruned_versions: cut as u64,
+            dead_keys: u64::from(
+                self.history.is_empty() && self.baseline.as_ref().is_none_or(Version::is_tombstone),
+            ),
+            reclaimed_bytes: before_bytes.saturating_sub(after_bytes),
         }
-        kept.extend(self.history.drain(cut..));
-        self.history = kept;
+    }
+
+    /// Restores a prune baseline (persistence load path; see
+    /// `crate::persist`).
+    pub(crate) fn set_baseline(&mut self, baseline: Version) {
+        self.baseline = Some(baseline);
+    }
+
+    /// Overrides the access counters (persistence load path: a pruned
+    /// record's counters exceed what its surviving history implies).
+    pub(crate) fn set_counters(&mut self, reads: u64, writes: u64, deletes: u64) {
+        self.reads = reads;
+        self.writes = writes;
+        self.deletes = deletes;
     }
 
     /// Approximate in-memory footprint of the record in bytes.
     pub fn approx_bytes(&self) -> usize {
-        24 + self
-            .history
-            .iter()
-            .map(|v| 16 + v.value.as_ref().map_or(1, Value::approx_bytes))
-            .sum::<usize>()
+        let version_bytes = |v: &Version| 16 + v.value.as_ref().map_or(1, Value::approx_bytes);
+        24 + self.baseline.as_ref().map_or(0, version_bytes)
+            + self.history.iter().map(version_bytes).sum::<usize>()
     }
 }
 
@@ -262,18 +365,38 @@ mod tests {
     }
 
     #[test]
-    fn prune_collapses_old_history() {
+    fn prune_collapses_old_history_into_a_baseline() {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(1), Value::from(1)));
         r.record_mutation(Version::write(ts(5), Value::from(5)));
         r.record_mutation(Version::write(ts(9), Value::from(9)));
-        r.prune_before(ts(6));
-        // Pre-horizon versions collapse to one baseline at the horizon.
-        assert_eq!(r.history().len(), 2);
+        let stats = r.prune_before(ts(6));
+        // Pre-horizon versions collapse into the baseline, not the history;
+        // the baseline keeps the newest pre-horizon value's own timestamp.
+        assert_eq!(r.history().len(), 1);
+        assert_eq!(r.baseline(), Some(&Version::write(ts(5), Value::from(5))));
         assert_eq!(r.value_at(ts(6)), Some(&Value::from(5)));
+        assert_eq!(r.value_at(ts(7)), Some(&Value::from(5)));
         assert_eq!(r.value_at(ts(9)), Some(&Value::from(9)));
         // Counters survive (the sort depends on them).
         assert_eq!(r.writes, 3);
+        assert_eq!(stats.pruned_versions, 2);
+        assert_eq!(stats.dead_keys, 0);
+        assert!(stats.reclaimed_bytes > 0);
+    }
+
+    #[test]
+    fn prune_baseline_is_not_a_mutation() {
+        // Regression: the baseline used to be synthesised as a real
+        // `Version::write(horizon, ..)`, so `mutation_times` reported a
+        // phantom co-modification at the horizon on every pruned key.
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from(1)));
+        r.record_mutation(Version::write(ts(9), Value::from(9)));
+        r.prune_before(ts(6));
+        let times: Vec<_> = r.mutation_times().collect();
+        assert_eq!(times, vec![ts(9)], "no phantom mutation at the horizon");
+        assert_eq!(r.history().len(), 1);
     }
 
     #[test]
@@ -282,11 +405,109 @@ mod tests {
         r.record_mutation(Version::write(ts(1), Value::from("x")));
         r.record_mutation(Version::tombstone(ts(2)));
         r.record_mutation(Version::write(ts(8), Value::from("y")));
-        r.prune_before(ts(5));
-        // Dead at the horizon: no baseline version is kept.
+        let stats = r.prune_before(ts(5));
+        // Dead at the horizon: the baseline is the collapsed tombstone, so
+        // a later straggler write older than it cannot resurrect the key.
         assert_eq!(r.history().len(), 1);
+        assert_eq!(r.baseline(), Some(&Version::tombstone(ts(2))));
         assert_eq!(r.value_at(ts(5)), None);
         assert_eq!(r.value_at(ts(8)), Some(&Value::from("y")));
+        assert_eq!(stats.pruned_versions, 2);
+        assert_eq!(stats.dead_keys, 0, "post-horizon history survives");
+    }
+
+    #[test]
+    fn prune_of_entire_dead_history_marks_the_record_dead() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from("x")));
+        r.record_mutation(Version::tombstone(ts(2)));
+        let stats = r.prune_before(ts(5));
+        assert!(r.history().is_empty());
+        assert_eq!(r.baseline(), Some(&Version::tombstone(ts(2))));
+        assert_eq!(r.current(), None);
+        assert_eq!(r.last_time(), Some(ts(2)), "the death is the last state");
+        assert_eq!(stats.dead_keys, 1);
+        // Counters are the durable trace of the key's activity.
+        assert_eq!(r.modifications(), 2);
+    }
+
+    #[test]
+    fn fully_pruned_live_key_serves_from_the_baseline() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from("x")));
+        r.record_mutation(Version::write(ts(3), Value::from("y")));
+        r.prune_before(ts(5));
+        assert!(r.history().is_empty());
+        assert_eq!(r.current(), Some(&Value::from("y")));
+        assert_eq!(r.value_at(ts(5)), Some(&Value::from("y")));
+        // The baseline keeps its true time, so even this below-horizon
+        // probe still matches the unpruned history.
+        assert_eq!(r.value_at(ts(4)), Some(&Value::from("y")));
+        assert_eq!(r.value_at(ts(2)), None, "before the baseline is gone");
+        assert_eq!(r.last_time(), Some(ts(3)));
+        assert_eq!(r.mutation_times().count(), 0);
+    }
+
+    #[test]
+    fn repeated_prunes_keep_the_newest_pre_horizon_state() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from(1)));
+        r.record_mutation(Version::write(ts(8), Value::from(8)));
+        r.prune_before(ts(4));
+        assert_eq!(r.baseline(), Some(&Version::write(ts(1), Value::from(1))));
+        // Second sweep with nothing new to collapse: a no-op.
+        r.prune_before(ts(6));
+        assert_eq!(r.baseline(), Some(&Version::write(ts(1), Value::from(1))));
+        // A straggler *older than the baseline* arrives late (a lagging
+        // machine), then a deeper sweep: the baseline must win, because it
+        // is the truly newer pre-horizon state.
+        r.record_mutation(Version::write(ts(0), Value::from(0)));
+        r.prune_before(ts(6));
+        assert_eq!(r.baseline(), Some(&Version::write(ts(1), Value::from(1))));
+        // Third sweep past the last real write: the write subsumes it.
+        r.prune_before(ts(9));
+        assert_eq!(r.baseline(), Some(&Version::write(ts(8), Value::from(8))));
+        assert!(r.history().is_empty());
+        assert_eq!(r.writes, 3);
+    }
+
+    #[test]
+    fn straggler_older_than_a_tombstone_baseline_cannot_resurrect_the_key() {
+        // Regression: `current()`/`last_time()` used to consult the
+        // baseline only when the history was empty, so a late write older
+        // than a collapsed deletion brought the key back from the dead
+        // (while `value_at` correctly kept it dead).
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from("x")));
+        r.record_mutation(Version::tombstone(ts(5)));
+        r.prune_before(ts(6));
+        assert_eq!(r.baseline(), Some(&Version::tombstone(ts(5))));
+        // The straggler predates the collapsed deletion.
+        r.record_mutation(Version::write(ts(0), Value::from("zombie")));
+        assert_eq!(r.current(), None, "the tombstone is the newest state");
+        assert_eq!(r.value_at(Timestamp::from_millis(u64::MAX)), None);
+        assert_eq!(r.last_time(), Some(ts(5)));
+        // A genuinely newer write does revive it.
+        r.record_mutation(Version::write(ts(9), Value::from("alive")));
+        assert_eq!(r.current(), Some(&Value::from("alive")));
+        assert_eq!(r.last_time(), Some(ts(9)));
+    }
+
+    #[test]
+    fn version_exactly_at_horizon_beats_the_baseline() {
+        let mut r = KeyRecord::new();
+        r.record_mutation(Version::write(ts(1), Value::from("old")));
+        r.record_mutation(Version::write(ts(5), Value::from("at-horizon")));
+        r.prune_before(ts(5));
+        // ts(5) is not strictly before the horizon: it survives as real
+        // history and is newer than the collapsed baseline.
+        assert_eq!(r.history().len(), 1);
+        assert_eq!(
+            r.baseline(),
+            Some(&Version::write(ts(1), Value::from("old")))
+        );
+        assert_eq!(r.value_at(ts(5)), Some(&Value::from("at-horizon")));
+        assert_eq!(r.value_at(ts(9)), Some(&Value::from("at-horizon")));
     }
 
     #[test]
@@ -294,15 +515,15 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(5), Value::from(5)));
         let before = r.clone();
-        r.prune_before(ts(1));
+        let stats = r.prune_before(ts(1));
         assert_eq!(r, before);
+        assert!(stats.is_noop());
     }
 
     #[test]
     fn reads_only_touch_counters() {
         let mut r = KeyRecord::new();
-        r.record_read();
-        r.record_read();
+        r.add_reads(2);
         assert_eq!(r.reads, 2);
         assert!(r.history().is_empty());
         assert_eq!(r.current(), None);

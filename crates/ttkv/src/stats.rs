@@ -61,9 +61,78 @@ impl fmt::Display for TtkvStats {
     }
 }
 
+/// What one [`crate::Ttkv::prune_before`] sweep reclaimed.
+///
+/// Sweeps are periodic in a long-running deployment, so the type is a
+/// monoid: per-record stats fold into per-store stats, per-store stats
+/// fold into per-shard and per-run totals (see `ocasta-fleet`'s retention
+/// sweeper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PruneStats {
+    /// Historical versions collapsed into (or dropped behind) the horizon.
+    pub pruned_versions: u64,
+    /// Keys whose entire history was reclaimed and that were dead
+    /// (tombstoned) at the horizon. Their records remain — counters plus
+    /// the collapsed tombstone baseline — so repair's modification-count
+    /// sort stays stable and stragglers cannot resurrect them, but they no
+    /// longer appear in [`crate::Ttkv::modified_keys`].
+    pub dead_keys: u64,
+    /// Approximate bytes reclaimed (pre-prune minus post-prune footprint).
+    pub reclaimed_bytes: u64,
+}
+
+impl PruneStats {
+    /// Folds another sweep's stats into this one.
+    pub fn absorb(&mut self, other: PruneStats) {
+        self.pruned_versions += other.pruned_versions;
+        self.dead_keys += other.dead_keys;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+    }
+
+    /// `true` if the sweep reclaimed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.pruned_versions == 0 && self.reclaimed_bytes == 0
+    }
+}
+
+impl fmt::Display for PruneStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} versions pruned ({} keys died), {} reclaimed",
+            TtkvStats::humanize(self.pruned_versions),
+            self.dead_keys,
+            TtkvStats::humanize_bytes(self.reclaimed_bytes),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prune_stats_fold_and_render() {
+        let mut total = PruneStats::default();
+        assert!(total.is_noop());
+        total.absorb(PruneStats {
+            pruned_versions: 1_500,
+            dead_keys: 2,
+            reclaimed_bytes: 64_000,
+        });
+        total.absorb(PruneStats {
+            pruned_versions: 500,
+            dead_keys: 1,
+            reclaimed_bytes: 36_000,
+        });
+        assert_eq!(total.pruned_versions, 2_000);
+        assert_eq!(total.dead_keys, 3);
+        assert!(!total.is_noop());
+        let text = total.to_string();
+        assert!(text.contains("2.00K versions"), "{text}");
+        assert!(text.contains("0.1MB"), "{text}");
+    }
 
     #[test]
     fn humanize_bands() {

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use crate::record::{KeyRecord, Version};
 use crate::snapshot::ConfigState;
-use crate::stats::TtkvStats;
+use crate::stats::{PruneStats, TtkvStats};
 use crate::time::Timestamp;
 use crate::value::Value;
 use crate::Key;
@@ -124,13 +124,20 @@ impl Ttkv {
         self.records.keys()
     }
 
-    /// Keys that have been modified at least once — the only keys eligible
-    /// for clustering and repair ("any key that has not been modified from
-    /// its initial value cannot cause a configuration error", §III-A).
+    /// Keys that have been modified at least once *within the retained
+    /// history* — the only keys eligible for clustering and repair ("any
+    /// key that has not been modified from its initial value cannot cause a
+    /// configuration error", §III-A).
+    ///
+    /// A key whose entire history was reclaimed by [`Ttkv::prune_before`]
+    /// is excluded even though its lifetime counters survive: it has no
+    /// mutation a clustering could correlate and no version a rollback
+    /// could try. The invariant `modified_keys ⊆ keys with non-empty
+    /// history` is regression-tested.
     pub fn modified_keys(&self) -> impl Iterator<Item = &Key> {
         self.records
             .iter()
-            .filter(|(_, r)| r.modifications() > 0)
+            .filter(|(_, r)| r.modifications() > 0 && !r.history().is_empty())
             .map(|(k, _)| k)
     }
 
@@ -139,15 +146,15 @@ impl Ttkv {
         self.records.keys().filter(move |k| k.starts_with(prefix))
     }
 
-    /// The latest mutation timestamp across all keys (the trace's end).
+    /// The latest recorded-state timestamp across all keys (the trace's
+    /// end). On a pruned store whose entire history collapsed, this falls
+    /// back to the newest baseline's (original) timestamp — so
+    /// [`Ttkv::snapshot_latest`] keeps serving the retained state.
     pub fn last_mutation_time(&self) -> Option<Timestamp> {
-        self.records
-            .values()
-            .filter_map(|r| r.latest().map(|v| v.timestamp))
-            .max()
+        self.records.values().filter_map(KeyRecord::last_time).max()
     }
 
-    /// The earliest mutation timestamp across all keys.
+    /// The earliest surviving mutation timestamp across all keys.
     pub fn first_mutation_time(&self) -> Option<Timestamp> {
         self.records
             .values()
@@ -196,18 +203,50 @@ impl Ttkv {
     }
 
     /// Compacts history older than `horizon`: for every key, versions
-    /// strictly before the horizon are collapsed into a single version
-    /// carrying the key's value as of the horizon (or dropped entirely if
-    /// the key did not exist then). Read/write/delete counters are kept —
-    /// they feed the repair tool's sort — but the rollback search can no
-    /// longer reach states older than the horizon.
+    /// strictly before the horizon are collapsed into the record's
+    /// *baseline* — the newest pre-horizon live value, kept with its
+    /// original timestamp — or dropped entirely if the key was dead then.
+    /// Every `value_at`/`snapshot_at` query at or after the horizon
+    /// answers exactly as before the prune (property-tested); queries
+    /// below the horizon are out of contract (in practice they stay
+    /// correct down to each key's baseline timestamp). Prunes compose and
+    /// commute with out-of-order appends: any sequence of sweeps
+    /// interleaved with ingestion equals one direct prune at the final
+    /// horizon (property-tested), which is what keeps concurrently swept
+    /// ingestion deterministic.
     ///
-    /// This is the retention knob a long-running deployment needs: Table I's
-    /// TTKVs grow to tens of megabytes over two months; pruning bounds that
-    /// while preserving everything the repair window can use.
-    pub fn prune_before(&mut self, horizon: Timestamp) {
+    /// Read/write/delete counters are kept — they feed the repair tool's
+    /// sort and Table I — but a key with no surviving mutation leaves
+    /// [`Ttkv::modified_keys`]: it has nothing to cluster or roll back.
+    ///
+    /// This is the retention knob a long-running deployment needs: Table
+    /// I's TTKVs grow to tens of megabytes over two months; pruning bounds
+    /// that while preserving everything the repair window can use. The
+    /// fleet tier drives it continuously (`ocasta-fleet`'s
+    /// `RetentionPolicy`), clamped to live repair-session pins (see
+    /// `DESIGN.md §5.9`).
+    pub fn prune_before(&mut self, horizon: Timestamp) -> PruneStats {
+        let mut stats = PruneStats::default();
         for record in self.records.values_mut() {
-            record.prune_before(horizon);
+            stats.absorb(record.prune_before(horizon));
+        }
+        stats
+    }
+
+    /// Inserts a fully-built record under `key`, folding its counters into
+    /// the store aggregates (persistence load path). Merges if the key
+    /// already exists.
+    pub(crate) fn insert_record(&mut self, key: Key, record: KeyRecord) {
+        self.reads += record.reads;
+        self.writes += record.writes;
+        self.deletes += record.deletes;
+        match self.records.entry(key) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(record);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                slot.get_mut().absorb(record);
+            }
         }
     }
 
@@ -227,19 +266,18 @@ impl Ttkv {
     }
 
     /// Merges another store's records into this one (used to aggregate the
-    /// same user's traces from several lab machines, §V).
+    /// same user's traces from several lab machines, §V). Equivalent to
+    /// [`Ttkv::absorb`] on a clone — same tie rule, and prune baselines are
+    /// carried across.
     pub fn merge(&mut self, other: &Ttkv) {
         self.reads += other.reads;
         self.writes += other.writes;
         self.deletes += other.deletes;
         for (key, record) in &other.records {
-            let target = self.records.entry(key.clone()).or_default();
-            for _ in 0..record.reads {
-                target.record_read();
-            }
-            for version in record.history() {
-                target.record_mutation(version.clone());
-            }
+            self.records
+                .entry(key.clone())
+                .or_default()
+                .absorb(record.clone());
         }
     }
     /// Merges another store into this one **by value**, moving records
@@ -430,6 +468,77 @@ mod tests {
         whole.add_reads("app/k0", 4);
         shards[0].add_reads("app/k0", 4);
         assert_eq!(Ttkv::from_shards(shards), whole);
+    }
+
+    #[test]
+    fn prune_reports_stats_and_keeps_post_horizon_queries() {
+        let mut store = Ttkv::new();
+        for i in 0..10u64 {
+            store.write(ts(i), "app/hot", Value::from(i as i64));
+        }
+        store.write(ts(1), "app/cold", Value::from("old"));
+        let before_bytes = store.approx_bytes();
+        let stats = store.prune_before(ts(5));
+        // app/hot: 5 pre-horizon versions collapsed; app/cold: 1.
+        assert_eq!(stats.pruned_versions, 6);
+        assert_eq!(stats.dead_keys, 0);
+        assert!(stats.reclaimed_bytes > 0);
+        assert!(store.approx_bytes() < before_bytes);
+        assert_eq!(store.value_at("app/hot", ts(5)), Some(&Value::from(5)));
+        assert_eq!(store.value_at("app/cold", ts(7)), Some(&Value::from("old")));
+        // Lifetime counters are untouched.
+        assert_eq!(store.stats().writes, 11);
+    }
+
+    #[test]
+    fn modified_keys_is_a_subset_of_keys_with_history() {
+        // Regression: a fully-pruned key that ended in a tombstone used to
+        // keep reporting itself as cluster/repair-eligible through its
+        // retained counters, despite having no mutation left to search.
+        let mut store = Ttkv::new();
+        store.write(ts(1), "app/dead", Value::from("x"));
+        store.delete(ts(2), "app/dead");
+        store.write(ts(3), "app/live", Value::from(1));
+        store.write(ts(9), "app/live", Value::from(2));
+        store.prune_before(ts(6));
+        let modified: Vec<_> = store.modified_keys().map(|k| k.as_str()).collect();
+        assert_eq!(modified, vec!["app/live"]);
+        for key in store.modified_keys() {
+            let record = store.record(key.as_str()).unwrap();
+            assert!(!record.history().is_empty(), "{key}");
+        }
+        // The dead key's counters survive for Table I / the repair sort.
+        let dead = store.record("app/dead").unwrap();
+        assert_eq!(dead.modifications(), 2);
+        assert!(dead.history().is_empty());
+    }
+
+    #[test]
+    fn fully_pruned_store_still_serves_snapshots() {
+        let mut store = Ttkv::new();
+        store.write(ts(1), "a", Value::from(1));
+        store.write(ts(2), "b", Value::from(2));
+        store.delete(ts(3), "b");
+        store.prune_before(ts(10));
+        // Baselines keep their true times (b's collapsed tombstone at
+        // ts(3) is the newest recorded state).
+        assert_eq!(store.last_mutation_time(), Some(ts(3)));
+        let snap = store.snapshot_latest();
+        assert_eq!(snap.get("a"), Some(&Value::from(1)));
+        assert_eq!(snap.get("b"), None);
+        assert_eq!(store.modified_keys().count(), 0);
+    }
+
+    #[test]
+    fn merge_carries_prune_baselines() {
+        let mut pruned = Ttkv::new();
+        pruned.write(ts(1), "u/pref", Value::from("old"));
+        pruned.prune_before(ts(5));
+        let mut other = Ttkv::new();
+        other.write(ts(9), "u/pref", Value::from("new"));
+        other.merge(&pruned);
+        assert_eq!(other.value_at("u/pref", ts(6)), Some(&Value::from("old")));
+        assert_eq!(other.current("u/pref"), Some(&Value::from("new")));
     }
 
     #[test]

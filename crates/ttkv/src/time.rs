@@ -39,13 +39,19 @@ impl Timestamp {
     }
 
     /// Creates a timestamp from whole seconds since the trace epoch.
+    ///
+    /// Saturates at the representable maximum instead of wrapping: a trace
+    /// cannot outlive the clock, and CLI inputs are validated before they
+    /// get here, so saturation only shields against absurd programmatic
+    /// values.
     pub const fn from_secs(secs: u64) -> Self {
-        Timestamp(secs * 1000)
+        Timestamp(secs.saturating_mul(1000))
     }
 
-    /// Creates a timestamp from whole days since the trace epoch.
+    /// Creates a timestamp from whole days since the trace epoch
+    /// (saturating, like [`Timestamp::from_secs`]).
     pub const fn from_days(days: u64) -> Self {
-        Timestamp(days * 86_400_000)
+        Timestamp(days.saturating_mul(86_400_000))
     }
 
     /// Milliseconds since the trace epoch.
@@ -99,13 +105,13 @@ impl Add<TimeDelta> for Timestamp {
     type Output = Timestamp;
 
     fn add(self, rhs: TimeDelta) -> Timestamp {
-        Timestamp(self.0 + rhs.0)
+        Timestamp(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<TimeDelta> for Timestamp {
     fn add_assign(&mut self, rhs: TimeDelta) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -143,19 +149,20 @@ impl TimeDelta {
         TimeDelta(millis)
     }
 
-    /// Creates a span from whole seconds.
+    /// Creates a span from whole seconds (saturating, like
+    /// [`Timestamp::from_secs`]).
     pub const fn from_secs(secs: u64) -> Self {
-        TimeDelta(secs * 1000)
+        TimeDelta(secs.saturating_mul(1000))
     }
 
-    /// Creates a span from whole minutes.
+    /// Creates a span from whole minutes (saturating).
     pub const fn from_mins(mins: u64) -> Self {
-        TimeDelta(mins * 60_000)
+        TimeDelta(mins.saturating_mul(60_000))
     }
 
-    /// Creates a span from whole days.
+    /// Creates a span from whole days (saturating).
     pub const fn from_days(days: u64) -> Self {
-        TimeDelta(days * 86_400_000)
+        TimeDelta(days.saturating_mul(86_400_000))
     }
 
     /// The span in milliseconds.
@@ -173,9 +180,9 @@ impl TimeDelta {
         TimeDelta(self.0.saturating_add(rhs.0))
     }
 
-    /// Scales the span by an integer factor.
+    /// Scales the span by an integer factor (saturating).
     pub const fn scale(self, factor: u64) -> TimeDelta {
-        TimeDelta(self.0 * factor)
+        TimeDelta(self.0.saturating_mul(factor))
     }
 
     /// Formats as `mm:ss` (rounding to the nearest second), the shape used by
@@ -190,13 +197,13 @@ impl Add for TimeDelta {
     type Output = TimeDelta;
 
     fn add(self, rhs: TimeDelta) -> TimeDelta {
-        TimeDelta(self.0 + rhs.0)
+        self.saturating_add(rhs)
     }
 }
 
 impl AddAssign for TimeDelta {
     fn add_assign(&mut self, rhs: TimeDelta) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -281,6 +288,26 @@ mod tests {
         assert_eq!(TimeDelta::from_millis(29_499).as_mmss(), "0:29");
         assert_eq!(TimeDelta::from_millis(29_500).as_mmss(), "0:30");
         assert_eq!(TimeDelta::from_secs(3661).as_mmss(), "61:01");
+    }
+
+    #[test]
+    fn absurd_inputs_saturate_instead_of_wrapping() {
+        // Regression: these used to use unchecked multiplication, so an
+        // absurd day count panicked in debug builds and silently wrapped
+        // in release builds.
+        let max = Timestamp::from_millis(u64::MAX);
+        assert_eq!(Timestamp::from_days(u64::MAX), max);
+        assert_eq!(Timestamp::from_secs(u64::MAX), max);
+        assert_eq!(TimeDelta::from_days(u64::MAX).as_millis(), u64::MAX);
+        assert_eq!(TimeDelta::from_mins(u64::MAX).as_millis(), u64::MAX);
+        assert_eq!(
+            TimeDelta::from_secs(2).scale(u64::MAX).as_millis(),
+            u64::MAX
+        );
+        assert_eq!(max + TimeDelta::from_days(u64::MAX), max);
+        let mut t = max;
+        t += TimeDelta::from_secs(1);
+        assert_eq!(t, max);
     }
 
     #[test]

@@ -120,7 +120,10 @@ proptest! {
         }
     }
 
-    /// Pruning preserves every query at or after the horizon.
+    /// Pruning preserves every query at or after the horizon — including
+    /// the horizon itself (tombstone-at-horizon and version-exactly-at-
+    /// horizon edges fall out of the random op timestamps hitting the
+    /// probed horizon).
     #[test]
     fn prune_preserves_post_horizon_queries(
         ops in prop::collection::vec(op(), 1..60),
@@ -130,8 +133,9 @@ proptest! {
         let original = apply(&ops);
         let mut pruned = original.clone();
         let h = Timestamp::from_millis(horizon);
-        pruned.prune_before(h);
-        for &probe in &probes {
+        let stats = pruned.prune_before(h);
+        // The horizon itself is always probed: it is the hardest edge.
+        for &probe in probes.iter().chain([&horizon]) {
             let t = Timestamp::from_millis(probe.max(horizon));
             for key in original.keys() {
                 prop_assert_eq!(
@@ -140,12 +144,117 @@ proptest! {
                     "key {} at {} (horizon {})", key, t, h
                 );
             }
+            prop_assert_eq!(original.snapshot_at(t), pruned.snapshot_at(t));
         }
         // Counters are untouched.
         prop_assert_eq!(original.stats().writes, pruned.stats().writes);
         prop_assert_eq!(original.stats().reads, pruned.stats().reads);
+        prop_assert_eq!(original.stats().deletes, pruned.stats().deletes);
+        // The reclaimed bytes are exactly the footprint difference.
+        prop_assert_eq!(
+            pruned.approx_bytes() + stats.reclaimed_bytes,
+            original.approx_bytes()
+        );
         // Pruning never grows the store.
-        prop_assert!(pruned.approx_bytes() <= original.approx_bytes() + 16 * pruned.len() as u64);
+        prop_assert!(pruned.approx_bytes() <= original.approx_bytes());
+    }
+
+    /// Pruning never synthesises mutations (the phantom-baseline
+    /// regression), and every key `modified_keys` reports still has real
+    /// history to search.
+    #[test]
+    fn prune_invents_no_mutations_and_keeps_modified_keys_searchable(
+        ops in prop::collection::vec(op(), 1..60),
+        horizon in 0u64..100_000,
+    ) {
+        let original = apply(&ops);
+        let mut pruned = original.clone();
+        pruned.prune_before(Timestamp::from_millis(horizon));
+        for (key, record) in pruned.iter() {
+            let original_times: Vec<_> = original
+                .record(key.as_str())
+                .expect("prune drops no keys")
+                .mutation_times()
+                .collect();
+            for t in record.mutation_times() {
+                prop_assert!(
+                    original_times.contains(&t),
+                    "phantom mutation at {} on {}", t, key
+                );
+            }
+        }
+        for key in pruned.modified_keys() {
+            let record = pruned.record(key.as_str()).expect("listed keys exist");
+            prop_assert!(!record.history().is_empty(), "{} has no history", key);
+        }
+    }
+
+    /// Pruning commutes with absorbing new (post-horizon) data: prune-then-
+    /// absorb equals absorb-then-prune — the invariant that makes the fleet
+    /// retention sweep safe to run concurrently with ingestion, where every
+    /// shard keeps accepting fresh batches after each sweep.
+    #[test]
+    fn prune_commutes_with_absorbing_fresh_data(
+        old_ops in prop::collection::vec(op(), 0..40),
+        new_ops in prop::collection::vec(op(), 0..40),
+        horizon in 0u64..100_000,
+    ) {
+        let h = Timestamp::from_millis(horizon);
+        // Shift the fresh batch's mutations to or beyond the horizon — the
+        // retention sweeper only ever prunes behind the ingest frontier.
+        let shifted: Vec<Op> = new_ops
+            .iter()
+            .map(|o| match o {
+                Op::Write(k, t, v) => {
+                    Op::Write(*k, horizon.saturating_add(*t), v.clone())
+                }
+                Op::Delete(k, t) => Op::Delete(*k, horizon.saturating_add(*t)),
+                Op::Read(k) => Op::Read(*k),
+            })
+            .collect();
+        let base = apply(&old_ops);
+        let fresh = apply(&shifted);
+
+        let mut prune_then_absorb = base.clone();
+        prune_then_absorb.prune_before(h);
+        prune_then_absorb.absorb(fresh.clone());
+
+        let mut absorb_then_prune = base;
+        absorb_then_prune.absorb(fresh);
+        absorb_then_prune.prune_before(h);
+
+        prop_assert_eq!(prune_then_absorb, absorb_then_prune);
+    }
+
+    /// Staged sweeps equal one direct prune: prune at `h1`, absorb
+    /// **arbitrary** late data (stragglers may predate `h1` — a lagging
+    /// fleet machine), prune again at `h2 ≥ h1`, and the result is
+    /// identical to pruning the combined history once at `h2`. This is the
+    /// property that makes concurrently swept ingestion deterministic:
+    /// however sweeps interleave with appends, the final re-prune lands on
+    /// the same store.
+    #[test]
+    fn staged_sweeps_equal_one_direct_prune(
+        old_ops in prop::collection::vec(op(), 0..40),
+        new_ops in prop::collection::vec(op(), 0..40),
+        h1 in 0u64..100_000,
+        h2 in 0u64..100_000,
+    ) {
+        let (h1, h2) = (h1.min(h2), h1.max(h2));
+        let (h1, h2) = (Timestamp::from_millis(h1), Timestamp::from_millis(h2));
+        let base = apply(&old_ops);
+        let fresh = apply(&new_ops);
+
+        let mut staged = base.clone();
+        staged.prune_before(h1);
+        staged.absorb(fresh.clone());
+        staged.prune_before(h2);
+
+        let mut direct = base;
+        direct.absorb(fresh);
+        direct.prune_before(h2);
+
+        prop_assert_eq!(staged, direct);
     }
 
     /// Merging two stores preserves totals and merged histories stay sorted.

@@ -22,6 +22,7 @@ fn main() {
             batch_size: 256,
             precision: TimePrecision::Seconds,
             placement: KeyPlacement::Merged,
+            retention: None,
         },
         wal_dir: Some(wal_dir.clone()),
     };

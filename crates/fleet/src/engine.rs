@@ -94,8 +94,10 @@ pub struct RetentionPolicy {
     /// Simulated trace time kept behind the ingest frontier; older
     /// versions collapse into per-key baselines.
     pub retain: TimeDelta,
-    /// Minimum horizon advance between sweeps — a sweep costs O(live
-    /// state), so don't pay it for negligible gains.
+    /// Minimum horizon advance between sweeps. Sweeps are incremental —
+    /// O(ops since the last sweep + versions reclaimed), both in the
+    /// shards and on the WAL lane — so this paces bookkeeping overhead
+    /// (layer files, stats traffic), not a rebuild stall as it once did.
     pub min_interval: TimeDelta,
 }
 
@@ -378,12 +380,15 @@ pub fn ingest_into(
 }
 
 /// One message on the WAL lane: a batch to append, or an instruction from
-/// the retention sweeper to compact the log pruned to a horizon. Both are
-/// handled by the single appender, which is what keeps the `Wal` single-
-/// owner and the compaction off the ingest workers' hot path.
+/// the retention sweeper to compact the log pruned to a horizon — either
+/// incrementally (`Compact`, a mid-run delta layer, O(delta)) or as a full
+/// fold (`Rebase`, the sweeper's final message, leaving one pruned base on
+/// disk). All are handled by the single appender, which is what keeps the
+/// `Wal` single-owner and the compaction off the ingest workers' hot path.
 enum WalMsg {
     Batch(Vec<TraceOp>),
     Compact(Timestamp),
+    Rebase(Timestamp),
 }
 
 /// The worker-pool engine behind every public ingest entry point: drives
@@ -433,6 +438,9 @@ pub fn ingest_live(
                             WalMsg::Batch(batch) => wal.append(&batch)?,
                             WalMsg::Compact(horizon) => {
                                 wal.compact_pruned(precision, horizon)?;
+                            }
+                            WalMsg::Rebase(horizon) => {
+                                wal.compact_pruned_rebased(precision, horizon)?;
                             }
                         }
                     }
@@ -620,7 +628,14 @@ fn run_retention_sweeper(
             if horizon > Timestamp::EPOCH && (horizon > last_horizon || finishing) {
                 report.reclaimed.absorb(sharded.prune_before(horizon));
                 if let Some(tx) = &wal_tx {
-                    let _ = tx.send(WalMsg::Compact(horizon));
+                    // Mid-run sweeps layer a delta (O(delta) on the
+                    // appender); the final sweep folds the whole chain so
+                    // a finished run leaves one pruned base on disk.
+                    let _ = tx.send(if finishing {
+                        WalMsg::Rebase(horizon)
+                    } else {
+                        WalMsg::Compact(horizon)
+                    });
                     swept_now = true;
                 }
                 report.sweeps += 1;
@@ -630,14 +645,14 @@ fn run_retention_sweeper(
         }
         if finishing {
             // If the final iteration did not itself compact (the horizon
-            // was pinned still, or nothing was ever due), one last
-            // compaction truncates the log tail accumulated since the
-            // previous sweep, so the post-run disk footprint is the
-            // (pruned) snapshot alone. Skipped when a Compact was just
-            // sent — it would replay the fresh snapshot to no effect.
+            // was pinned still, or nothing was ever due), one last rebase
+            // truncates the log tail accumulated since the previous sweep
+            // and folds any delta chain, so the post-run disk footprint is
+            // the pruned snapshot alone. Skipped when a Rebase was just
+            // sent — it would fold the fresh base to no effect.
             if !swept_now {
                 if let Some(tx) = &wal_tx {
-                    let _ = tx.send(WalMsg::Compact(last_horizon));
+                    let _ = tx.send(WalMsg::Rebase(last_horizon));
                 }
             }
             return report;
@@ -920,6 +935,10 @@ mod tests {
         let retention = report.retention.expect("policy was set");
         assert!(retention.sweeps > 0);
         let horizon = retention.horizon.expect("swept");
+        // Mid-run sweeps layer deltas; the sweeper's final rebase folds
+        // the chain, so a finished run holds one pruned base + manifest.
+        assert_eq!(wal.delta_layers(), 0, "final sweep rebases the chain");
+        assert_eq!(wal.log_bytes(), 0, "log truncated by the final sweep");
 
         // Replay serves the same post-horizon state as the live store.
         let replayed = wal.replay(config.precision).unwrap();
@@ -943,9 +962,11 @@ mod tests {
         };
         ingest_with_wal(&machines, &nr_config, &mut nr_wal).unwrap();
         nr_wal.compact(precision).unwrap();
-        wal.compact_pruned(precision, horizon).unwrap();
-        let bounded = std::fs::metadata(wal.snapshot_path()).unwrap().len();
-        let unbounded = std::fs::metadata(nr_wal.snapshot_path()).unwrap().len();
+        // The retained side needs no extra folding: the sweeper's final
+        // rebase already left a single pruned base, so the comparison is
+        // snapshot-to-snapshot as-is.
+        let bounded = wal.snapshot_bytes() + wal.log_bytes();
+        let unbounded = nr_wal.snapshot_bytes() + nr_wal.log_bytes();
         assert!(bounded < unbounded, "{bounded} vs {unbounded}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -130,13 +130,19 @@ impl ShardedTtkv {
     /// the sweep reclaimed (see [`ocasta_ttkv::Ttkv::prune_before`]).
     ///
     /// Each shard is pruned **atomically under its own stripe lock** — the
-    /// same per-shard-atomic discipline as [`ShardedTtkv::snapshot_store`]:
-    /// the shard's builder is taken out of its slot, built, pruned, and put
-    /// back as a [`TtkvBuilder::from_store`] base inside one critical
-    /// section, so concurrent appends either land entirely before or
-    /// entirely after the prune and per-key history is never torn. Shards
-    /// are swept one after another, so the sweep as a whole is a rolling
-    /// cut of the fleet, exactly like a snapshot (`DESIGN.md §5.9`).
+    /// same per-shard-atomic discipline as [`ShardedTtkv::snapshot_store`]
+    /// — and **incrementally**, via [`TtkvBuilder::prune_before`]: the
+    /// stripe lock is held for O(ops appended since the previous sweep +
+    /// versions reclaimed in that shard), not O(the shard's live state).
+    /// An earlier design took the builder out of its slot, built the whole
+    /// store, pruned it, and reinstalled it — an O(live) stall per shard
+    /// per sweep, and the reason sweeps had to be paced conservatively;
+    /// the in-place path is equal to that rebuild by construction
+    /// (property-tested across the crates, `DESIGN.md §5.10`). Concurrent
+    /// appends still either land entirely before or entirely after the
+    /// prune, so per-key history is never torn, and shards are swept one
+    /// after another — a rolling cut of the fleet, exactly like a
+    /// snapshot.
     ///
     /// Callers coordinating with pinned readers must clamp `horizon`
     /// through an [`ocasta_ttkv::HorizonGuard`] first; the engine's
@@ -145,9 +151,7 @@ impl ShardedTtkv {
         let mut stats = PruneStats::default();
         for shard in &self.shards {
             let mut slot = shard.lock().expect("shard lock poisoned");
-            let mut store = std::mem::take(&mut *slot).build();
-            stats.absorb(store.prune_before(horizon));
-            *slot = TtkvBuilder::from_store(store);
+            stats.absorb(slot.prune_before(horizon));
         }
         stats
     }
@@ -375,6 +379,12 @@ mod tests {
             sweeper.join().expect("sweeper panicked");
             4u64 * 60 * 4
         });
+        // One deterministic sweep after the race settles: staged sweeps
+        // (however they interleaved with the appends) plus this final
+        // prune must equal one direct prune of the complete history — the
+        // incremental path inherits the staged-sweep property exactly.
+        let final_horizon = Timestamp::from_millis(6_000);
+        sharded.prune_before(final_horizon);
         let store = sharded.into_ttkv();
         // Counters are prune-invariant, so every concurrent write is
         // accounted for exactly once regardless of sweep interleaving.
@@ -382,6 +392,23 @@ mod tests {
         for (_, record) in store.iter() {
             assert_eq!(record.writes % 4, 0, "torn batch visible");
         }
+        let mut direct = Ttkv::new();
+        for worker in 0..4u64 {
+            for round in 0..60u64 {
+                for i in 0..4 {
+                    direct.write(
+                        Timestamp::from_millis(round * 100 + i),
+                        format!("w{worker}/k"),
+                        Value::from(i as i64),
+                    );
+                }
+            }
+        }
+        direct.prune_before(final_horizon);
+        assert_eq!(
+            store, direct,
+            "staged concurrent sweeps == one direct prune"
+        );
     }
 
     #[test]

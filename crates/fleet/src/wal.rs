@@ -19,19 +19,31 @@
 //! mismatch on a *complete* frame is reported as corruption. This is the
 //! classic WAL recovery contract.
 //!
-//! ## Snapshot compaction
+//! ## Layered snapshot compaction
 //!
-//! An append-only log grows without bound; [`Wal::compact`] bounds it by
-//! writing the current replayed state as a snapshot (the TTKV's own
-//! persistence format) and truncating the log. Replay = load snapshot, then
-//! apply the remaining frames.
+//! An append-only log grows without bound; compaction bounds it. Rather
+//! than replaying *everything* into one snapshot on every compaction (an
+//! O(retained state) stall on the appender thread), [`Wal::compact_pruned`]
+//! is **layered**: each compaction folds only the frames appended since the
+//! previous one into a *delta snapshot* — baselines plus counters for the
+//! keys touched since the previous layer, pruned to the sweep horizon — and
+//! commits it on top of the prior layers through a manifest rename. Replay
+//! folds the layers oldest-to-newest (demoting each layer's baselines back
+//! into ordinary versions so cross-layer timestamp ties rank by true
+//! arrival order), re-prunes once at the newest horizon, and applies the
+//! current log; the result is equal by construction to the old
+//! replay-everything path (property-tested; `DESIGN.md §5.10`). Every
+//! `rebase_layers` compactions the chain is folded into a fresh base so
+//! disk stays bounded by the retention window. Directories written before
+//! layering existed (a bare `snapshot.ttkv` + `wal.log`) still open and
+//! replay unchanged.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 
 use ocasta_trace::TraceOp;
-use ocasta_ttkv::{PruneStats, TimePrecision, Timestamp, Ttkv, TtkvBuilder};
+use ocasta_ttkv::{PruneStats, TimeDelta, TimePrecision, Timestamp, Ttkv, TtkvBuilder};
 
 use crate::codec::{decode_op, encode_op, CodecError};
 use crate::hash::fnv1a_32 as fnv1a;
@@ -55,6 +67,8 @@ pub enum WalError {
     Codec(CodecError),
     /// The snapshot file failed to load.
     Snapshot(String),
+    /// The layer manifest failed to parse.
+    Manifest(String),
 }
 
 impl std::fmt::Display for WalError {
@@ -65,6 +79,7 @@ impl std::fmt::Display for WalError {
             WalError::Corrupt { frame } => write!(f, "wal: frame {frame} checksum mismatch"),
             WalError::Codec(e) => write!(f, "wal: {e}"),
             WalError::Snapshot(e) => write!(f, "wal snapshot: {e}"),
+            WalError::Manifest(e) => write!(f, "wal manifest: {e}"),
         }
     }
 }
@@ -336,36 +351,265 @@ fn read_chunk<R: Read>(source: &mut R, buf: &mut [u8]) -> Result<ReadStatus, Wal
     Ok(ReadStatus::Full)
 }
 
-/// A file-backed WAL with snapshot compaction.
+/// A file-backed WAL with layered snapshot compaction.
 ///
-/// Layout inside the directory: `wal.log` (framed op stream) and
-/// `snapshot.ttkv` (the TTKV text format, present after a compaction).
+/// ## Layout
+///
+/// Two on-disk layouts are understood:
+///
+/// * **Legacy** (pre-layering, still written by fresh never-compacted
+///   directories): `wal.log` (framed op stream) and optionally
+///   `snapshot.ttkv` (one full TTKV snapshot). Replay = snapshot + log.
+/// * **Layered** (after the first compaction): a `wal.manifest` naming a
+///   base snapshot, an ordered chain of delta layers with their prune
+///   horizons, and the current log epoch (`wal-<epoch>.log`). Replay =
+///   fold layers oldest→newest, re-prune at the newest horizon, apply the
+///   log.
+///
+/// The manifest rename is the single commit point for every compaction:
+/// a crash at *any* byte of a mid-write delta or base leaves the previous
+/// manifest (and therefore the previous replayable state) fully intact,
+/// and the orphaned files are swept on the next [`Wal::open`]. The torn-
+/// compaction suite in `tests/torn_tail.rs` truncates a mid-write delta at
+/// every byte offset and asserts exactly pre- or post-compaction state.
 #[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
     writer: Option<WalWriter<BufWriter<File>>>,
+    manifest: Manifest,
+    rebase_layers: usize,
+}
+
+/// Magic first line of `wal.manifest`.
+const MANIFEST_MAGIC: &str = "ocasta-wal-manifest v1";
+
+/// Delta layers tolerated before a compaction folds the whole chain into
+/// a fresh base (see [`Wal::set_rebase_layers`]).
+const DEFAULT_REBASE_LAYERS: usize = 8;
+
+/// The committed layer state of a WAL directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Manifest {
+    /// Monotone compaction counter; the current log is `wal-<epoch>.log`
+    /// (or the legacy `wal.log` at epoch 0), and every layer file embeds
+    /// the epoch that created it, so names never collide with orphans.
+    epoch: u64,
+    /// The newest prune horizon any compaction recorded; replay re-prunes
+    /// the folded layers here. `None` until a pruned compaction runs.
+    horizon: Option<Timestamp>,
+    /// Base snapshot filename, if any.
+    base: Option<String>,
+    /// Delta layer filenames with the horizon each was pruned to, oldest
+    /// first.
+    deltas: Vec<(String, Timestamp)>,
+    /// `true` once a `wal.manifest` exists on disk; `false` means the
+    /// directory is (still) in the legacy layout.
+    committed: bool,
+}
+
+impl Manifest {
+    fn encode(&self) -> String {
+        let mut out = format!("{MANIFEST_MAGIC}\nepoch {}\n", self.epoch);
+        if let Some(h) = self.horizon {
+            out.push_str(&format!("horizon {}\n", h.as_millis()));
+        }
+        if let Some(base) = &self.base {
+            out.push_str(&format!("base {base}\n"));
+        }
+        for (name, h) in &self.deltas {
+            out.push_str(&format!("delta {name} {}\n", h.as_millis()));
+        }
+        out
+    }
+
+    fn decode(text: &str) -> Result<Manifest, WalError> {
+        let bad = |msg: &str| WalError::Manifest(msg.to_string());
+        let mut lines = text.lines();
+        if lines.next().map(str::trim_end) != Some(MANIFEST_MAGIC) {
+            return Err(bad("bad magic"));
+        }
+        let mut manifest = Manifest {
+            committed: true,
+            ..Manifest::default()
+        };
+        let file_name = |token: &str| -> Result<String, WalError> {
+            if token.is_empty() || token == "." || token == ".." || token.contains(['/', '\\']) {
+                return Err(bad("layer name must be a bare file name"));
+            }
+            Ok(token.to_string())
+        };
+        for line in lines {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split(' ');
+            match tokens.next() {
+                Some("epoch") => {
+                    manifest.epoch = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad epoch"))?;
+                }
+                Some("horizon") => {
+                    let ms = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad horizon"))?;
+                    manifest.horizon = Some(Timestamp::from_millis(ms));
+                }
+                Some("base") => {
+                    manifest.base = Some(file_name(
+                        tokens.next().ok_or_else(|| bad("missing base name"))?,
+                    )?);
+                }
+                Some("delta") => {
+                    let name = file_name(tokens.next().ok_or_else(|| bad("missing delta name"))?)?;
+                    let ms = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| bad("bad delta horizon"))?;
+                    manifest.deltas.push((name, Timestamp::from_millis(ms)));
+                }
+                Some(other) => return Err(bad(&format!("unknown record {other:?}"))),
+                None => unreachable!("split always yields a token"),
+            }
+        }
+        if manifest.horizon.is_none() && !manifest.deltas.is_empty() {
+            // Only pruned compactions create deltas, and they always
+            // record a horizon; folding deltas without one would skip the
+            // demote-and-re-prune step and mis-rank cross-layer ties.
+            return Err(bad("delta layers require a horizon"));
+        }
+        Ok(manifest)
+    }
+
+    /// Every file this manifest references (log included).
+    fn referenced(&self) -> Vec<String> {
+        let mut files = vec![self.log_name()];
+        files.extend(self.base.clone());
+        files.extend(self.deltas.iter().map(|(name, _)| name.clone()));
+        files
+    }
+
+    fn log_name(&self) -> String {
+        if self.epoch == 0 {
+            "wal.log".to_string()
+        } else {
+            format!("wal-{}.log", self.epoch)
+        }
+    }
 }
 
 impl Wal {
     /// Opens (creating if needed) a WAL directory for appending.
     ///
+    /// Reads the manifest if one is committed (falling back to the legacy
+    /// `snapshot.ttkv` + `wal.log` layout otherwise) and sweeps any
+    /// orphaned files a crashed compaction left behind.
+    ///
     /// # Errors
     ///
-    /// Propagates filesystem failures.
+    /// Propagates filesystem failures; [`WalError::Manifest`] if a
+    /// committed manifest is unreadable.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WalError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Wal { dir, writer: None })
+        let manifest = match std::fs::read_to_string(dir.join("wal.manifest")) {
+            Ok(text) => Manifest::decode(&text)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Manifest::default(),
+            Err(e) => return Err(e.into()),
+        };
+        let wal = Wal {
+            dir,
+            writer: None,
+            manifest,
+            rebase_layers: DEFAULT_REBASE_LAYERS,
+        };
+        wal.sweep_orphans();
+        Ok(wal)
     }
 
-    /// Path of the framed log file.
+    /// Best-effort removal of files no committed state references: temp
+    /// files from any interrupted rename, plus — once a manifest exists —
+    /// stale logs and unreferenced layers from a crash between the
+    /// manifest commit and the old files' deletion.
+    fn sweep_orphans(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let referenced = self.manifest.referenced();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = if name.ends_with(".tmp") {
+                true
+            } else if !self.manifest.committed {
+                false
+            } else if name == "wal.log" || (name.starts_with("wal-") && name.ends_with(".log")) {
+                name != self.manifest.log_name()
+            } else if name == "snapshot.ttkv"
+                || ((name.starts_with("base-") || name.starts_with("delta-"))
+                    && name.ends_with(".ttkv"))
+            {
+                !referenced.iter().any(|r| r == name)
+            } else {
+                false
+            };
+            if stale {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Path of the current framed log file (`wal.log` until the first
+    /// compaction commits a manifest, `wal-<epoch>.log` afterwards).
     pub fn log_path(&self) -> PathBuf {
-        self.dir.join("wal.log")
+        self.dir.join(self.manifest.log_name())
     }
 
-    /// Path of the compaction snapshot.
+    /// Path of the legacy single-snapshot base (`snapshot.ttkv`). Layered
+    /// directories may keep their base under an epoch-stamped name
+    /// instead; use [`Wal::snapshot_bytes`] for footprint accounting.
     pub fn snapshot_path(&self) -> PathBuf {
         self.dir.join("snapshot.ttkv")
+    }
+
+    /// Total size of the persisted snapshot state in bytes: the base plus
+    /// every committed delta layer (excludes the log; see
+    /// [`Wal::log_bytes`]).
+    pub fn snapshot_bytes(&self) -> u64 {
+        let size = |name: &str| std::fs::metadata(self.dir.join(name)).map_or(0, |m| m.len());
+        if !self.manifest.committed {
+            return size("snapshot.ttkv");
+        }
+        self.manifest.base.as_deref().map_or(0, size)
+            + self
+                .manifest
+                .deltas
+                .iter()
+                .map(|(name, _)| size(name))
+                .sum::<u64>()
+    }
+
+    /// Number of committed delta layers stacked on the base.
+    pub fn delta_layers(&self) -> usize {
+        self.manifest.deltas.len()
+    }
+
+    /// The newest prune horizon any compaction has recorded, if any.
+    pub fn horizon(&self) -> Option<Timestamp> {
+        self.manifest.horizon
+    }
+
+    /// Overrides how many delta layers accumulate before a pruned
+    /// compaction folds the whole chain into a fresh base (default 8).
+    ///
+    /// Lower values trade more frequent O(retained window) rebase stalls
+    /// for fewer layers on disk; a value of `usize::MAX` never rebases
+    /// (useful in tests that exercise deep chains).
+    pub fn set_rebase_layers(&mut self, layers: usize) {
+        self.rebase_layers = layers.max(1);
     }
 
     fn writer(&mut self) -> Result<&mut WalWriter<BufWriter<File>>, WalError> {
@@ -427,20 +671,68 @@ impl Wal {
         Ok(())
     }
 
-    /// Replays snapshot + log into a fresh store.
+    /// Loads one committed snapshot layer.
+    fn load_layer(&self, name: &str) -> Result<Ttkv, WalError> {
+        let file = File::open(self.dir.join(name))?;
+        Ttkv::load(BufReader::new(file)).map_err(|e| WalError::Snapshot(e.to_string()))
+    }
+
+    /// Folds the committed snapshot layers (everything but the current
+    /// log) into one store.
+    ///
+    /// Legacy directories load `snapshot.ttkv` verbatim. Layered
+    /// directories fold base + deltas oldest→newest with baselines demoted
+    /// to ordinary versions first — a newer layer's baseline must win
+    /// timestamp ties against older layers' history, the opposite of the
+    /// in-store tie rule — then re-prune once at the manifest horizon,
+    /// re-collapsing every demoted version with ties ranked by true
+    /// arrival order ([`Ttkv::demote_baselines`], `DESIGN.md §5.10`).
+    fn fold_layers(&self) -> Result<Ttkv, WalError> {
+        if !self.manifest.committed {
+            return match File::open(self.snapshot_path()) {
+                Ok(file) => {
+                    Ttkv::load(BufReader::new(file)).map_err(|e| WalError::Snapshot(e.to_string()))
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Ttkv::new()),
+                Err(e) => Err(e.into()),
+            };
+        }
+        let mut store = match &self.manifest.base {
+            Some(name) => self.load_layer(name)?,
+            None => Ttkv::new(),
+        };
+        match self.manifest.horizon {
+            Some(horizon) => {
+                store.demote_baselines();
+                for (name, _) in &self.manifest.deltas {
+                    let mut delta = self.load_layer(name)?;
+                    delta.demote_baselines();
+                    store.absorb(delta);
+                }
+                store.prune_before(horizon);
+            }
+            None => {
+                // Only pruned compactions create deltas, so a horizon-less
+                // manifest has none (Manifest::decode enforces it; this
+                // guards manifests constructed in-process).
+                if !self.manifest.deltas.is_empty() {
+                    return Err(WalError::Manifest(
+                        "delta layers require a horizon".to_string(),
+                    ));
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Replays snapshot layers + log into a fresh store.
     ///
     /// # Errors
     ///
     /// Snapshot parse failures, log corruption, or I/O failures.
     pub fn replay(&mut self, precision: TimePrecision) -> Result<Ttkv, WalError> {
         self.flush()?;
-        let mut store = match File::open(self.snapshot_path()) {
-            Ok(file) => {
-                Ttkv::load(BufReader::new(file)).map_err(|e| WalError::Snapshot(e.to_string()))?
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ttkv::new(),
-            Err(e) => return Err(e.into()),
-        };
+        let mut store = self.fold_layers()?;
         match File::open(self.log_path()) {
             Ok(file) => {
                 let mut reader = WalReader::new(BufReader::new(file))?;
@@ -452,28 +744,117 @@ impl Wal {
         Ok(store)
     }
 
-    /// Compacts the WAL: replays the current state, writes it as the new
-    /// snapshot, truncates the log. Returns the compacted state.
+    /// Reads the current log's ops (the delta since the last compaction),
+    /// quantised to `precision`.
+    fn read_log_ops(&mut self, precision: TimePrecision) -> Result<Vec<TraceOp>, WalError> {
+        self.flush()?;
+        let mut ops = Vec::new();
+        match File::open(self.log_path()) {
+            Ok(file) => {
+                let mut reader = WalReader::new(BufReader::new(file))?;
+                while let Some(batch) = reader.next_batch()? {
+                    ops.extend(batch.into_iter().map(|op| quantized(op, precision)));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(ops)
+    }
+
+    /// Commits `manifest` as the directory's new state: temp write +
+    /// rename (the single atomic commit point), then drops the old log
+    /// writer and sweeps files the new manifest no longer references.
+    fn commit_manifest(&mut self, manifest: Manifest) -> Result<(), WalError> {
+        let tmp = self.dir.join("wal.manifest.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(manifest.encode().as_bytes())?;
+            // The rename below is the commit point; the bytes it commits
+            // must be durable before it, or a power loss can leave a
+            // durable rename pointing at undurable content.
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join("wal.manifest"))?;
+        // Make the rename itself durable (directory metadata). Best
+        // effort: not every filesystem supports syncing a directory fd.
+        if let Ok(dir) = File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        self.writer = None;
+        self.manifest = manifest;
+        self.sweep_orphans();
+        Ok(())
+    }
+
+    /// Writes `store` as a layer file under `name` (directly: the file is
+    /// unreferenced until the manifest commit, so a torn write is just an
+    /// orphan for [`Wal::open`] to sweep).
+    fn write_layer(&self, name: &str, store: &Ttkv) -> Result<(), WalError> {
+        let file = File::create(self.dir.join(name))?;
+        let mut writer = BufWriter::new(file);
+        store
+            .save(&mut writer)
+            .map_err(|e| WalError::Snapshot(e.to_string()))?;
+        writer.flush()?;
+        // Layer data must hit disk before the manifest rename that will
+        // reference it (see `commit_manifest`).
+        writer.get_ref().sync_all()?;
+        Ok(())
+    }
+
+    /// Compacts the WAL completely: folds every layer and the log into one
+    /// fresh base snapshot (an O(retained state) *rebase*). Returns the
+    /// compacted state.
+    ///
+    /// This is the unpruned, full-rewrite path; long-running retention
+    /// deployments use [`Wal::compact_pruned`], which costs O(delta)
+    /// per call instead.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Wal::replay`] plus snapshot write failures.
     pub fn compact(&mut self, precision: TimePrecision) -> Result<Ttkv, WalError> {
-        let store = self.replay(precision)?;
-        self.install_snapshot(&store)?;
+        let mut store = self.replay(precision)?;
+        // The recorded horizon is a floor that must survive every later
+        // compaction: dropping it here would let a later shallower
+        // `compact_pruned` demote this base's baselines without
+        // re-collapsing them. Keep it, and normalise the rebased base to
+        // it (collapsing any straggler history below the floor), so
+        // replay's demote-and-re-prune of this base is the identity and
+        // `compact` stays idempotent.
+        if let Some(horizon) = self.manifest.horizon {
+            store.prune_before(horizon);
+        }
+        let epoch = self.manifest.epoch + 1;
+        let base = format!("base-{epoch}.ttkv");
+        self.write_layer(&base, &store)?;
+        self.commit_manifest(Manifest {
+            epoch,
+            horizon: self.manifest.horizon,
+            base: Some(base),
+            deltas: Vec::new(),
+            committed: true,
+        })?;
         Ok(store)
     }
 
-    /// Compacts the WAL **and prunes history older than `horizon`** before
-    /// writing the snapshot: the disk footprint becomes bounded by the
-    /// retention window instead of the deployment's lifetime. Replay after
-    /// this yields the pruned state plus any frames appended since — every
-    /// query at or after the horizon answers as an unpruned replay would
-    /// (the snapshot format round-trips prune baselines and lifetime
-    /// counters). Returns the pruned state and what the prune reclaimed.
+    /// Compacts the WAL incrementally, **pruned to `horizon`**: folds only
+    /// the frames appended since the previous compaction into a delta
+    /// snapshot (baselines + counters for the keys they touched, pruned to
+    /// the horizon), commits it as a new layer, and starts a fresh log
+    /// epoch — O(delta), not O(retained state), which is what keeps the
+    /// WAL lane's compaction stall proportional to what the sweep
+    /// reclaimed (`DESIGN.md §5.10`). Replay after this equals the old
+    /// replay-everything-and-prune path on every query (equivalence
+    /// property-tested), and the disk footprint stays bounded by the
+    /// retention window: once [`Wal::set_rebase_layers`] deltas pile up,
+    /// one compaction folds the chain into a fresh base.
     ///
-    /// This is the WAL half of the fleet retention sweep
-    /// (`ocasta-fleet`'s `RetentionPolicy`, `DESIGN.md §5.9`).
+    /// A sweep that reclaims nothing — empty log and no horizon advance —
+    /// is a complete no-op on persisted bytes. Returns what pruning the
+    /// newly folded delta reclaimed (the whole-store tally lives with the
+    /// store-side sweep, `ShardedTtkv::prune_before`).
     ///
     /// # Errors
     ///
@@ -482,36 +863,114 @@ impl Wal {
         &mut self,
         precision: TimePrecision,
         horizon: Timestamp,
-    ) -> Result<(Ttkv, PruneStats), WalError> {
-        let mut store = self.replay(precision)?;
-        let stats = store.prune_before(horizon);
-        self.install_snapshot(&store)?;
-        Ok((store, stats))
+    ) -> Result<PruneStats, WalError> {
+        self.compact_pruned_inner(precision, horizon, false)
     }
 
-    /// Atomically replaces the snapshot with `store` and truncates the log.
-    fn install_snapshot(&mut self, store: &Ttkv) -> Result<(), WalError> {
-        // Write the snapshot to a temp name first so a crash mid-compaction
-        // leaves the previous snapshot + full log intact.
-        let tmp = self.dir.join("snapshot.ttkv.tmp");
-        {
-            let file = File::create(&tmp)?;
-            store
-                .save(BufWriter::new(file))
-                .map_err(|e| WalError::Snapshot(e.to_string()))?;
-        }
-        std::fs::rename(&tmp, self.snapshot_path())?;
-        // Drop the writer (closing the old log) and start a fresh one.
-        self.writer = None;
-        match std::fs::remove_file(self.log_path()) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
-        }
-        Ok(())
+    /// Like [`Wal::compact_pruned`], but always folds the whole chain and
+    /// the log into one fresh pruned base — the O(retained window) rebase,
+    /// on demand rather than every [`Wal::set_rebase_layers`] sweeps.
+    ///
+    /// The engine's retention sweeper issues exactly one of these when
+    /// ingestion completes, so a finished run's disk footprint is a single
+    /// pruned snapshot plus the manifest — the same end state the
+    /// pre-layering format left — while every mid-run sweep stays
+    /// O(delta).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Wal::compact`].
+    pub fn compact_pruned_rebased(
+        &mut self,
+        precision: TimePrecision,
+        horizon: Timestamp,
+    ) -> Result<PruneStats, WalError> {
+        self.compact_pruned_inner(precision, horizon, true)
     }
 
-    /// Size of the log file in bytes (0 if absent).
+    fn compact_pruned_inner(
+        &mut self,
+        precision: TimePrecision,
+        horizon: Timestamp,
+        force_rebase: bool,
+    ) -> Result<PruneStats, WalError> {
+        let ops = self.read_log_ops(precision)?;
+        let prior = self.manifest.horizon.unwrap_or(Timestamp::EPOCH);
+        let rebase = force_rebase || self.manifest.deltas.len() + 1 > self.rebase_layers;
+        if ops.is_empty() && horizon <= prior && self.manifest.committed {
+            // Nothing to reclaim: a complete no-op on persisted bytes —
+            // unless this is a forced rebase with a chain left to fold.
+            if !force_rebase || self.manifest.deltas.is_empty() {
+                return Ok(PruneStats::default());
+            }
+        }
+        // Horizons are monotone on disk even if a caller's are not: replay
+        // prunes at the recorded maximum, which is what the store-side
+        // sweep has already done. A legacy snapshot (no manifest) was
+        // pruned to an *unknown* horizon; one tick past its newest
+        // baseline is a floor that makes replay's demote step re-collapse
+        // every one of its baselines without touching anything else, so a
+        // shallower post-migration sweep cannot resurrect them as
+        // history.
+        let legacy_floor = if !self.manifest.committed && self.snapshot_path().exists() {
+            self.load_layer("snapshot.ttkv")?
+                .iter()
+                .filter_map(|(_, record)| record.baseline().map(|b| b.timestamp))
+                .max()
+                .map(|t| t + TimeDelta::from_millis(1))
+        } else {
+            None
+        };
+        let horizon = horizon
+            .max(prior)
+            .max(legacy_floor.unwrap_or(Timestamp::EPOCH));
+
+        let mut delta = TtkvBuilder::new();
+        for op in ops {
+            op.buffer(&mut delta);
+        }
+        let mut delta = delta.build();
+        let stats = delta.prune_before(horizon);
+
+        let mut manifest = self.manifest.clone();
+        if !manifest.committed {
+            // Legacy-layout migration: the bare snapshot (if any) becomes
+            // the chain's base under its existing name.
+            manifest.committed = true;
+            if self.snapshot_path().exists() {
+                manifest.base = Some("snapshot.ttkv".to_string());
+            }
+        }
+        manifest.horizon = Some(horizon);
+        if delta.is_empty() && !rebase {
+            // Nothing new to fold: record the deeper horizon (replay must
+            // re-prune the existing layers to it) without a new layer or
+            // epoch.
+            self.commit_manifest(manifest)?;
+            return Ok(stats);
+        }
+        manifest.epoch += 1;
+        if rebase {
+            // Fold the whole chain + this delta into a fresh base.
+            let mut store = self.fold_layers()?;
+            store.demote_baselines();
+            delta.demote_baselines();
+            store.absorb(delta);
+            store.prune_before(horizon);
+            let base = format!("base-{}.ttkv", manifest.epoch);
+            self.write_layer(&base, &store)?;
+            manifest.base = Some(base);
+            manifest.deltas.clear();
+        } else {
+            let name = format!("delta-{}.ttkv", manifest.epoch);
+            self.write_layer(&name, &delta)?;
+            manifest.deltas.push((name, horizon));
+        }
+        self.commit_manifest(manifest)?;
+        Ok(stats)
+    }
+
+    /// Size of the current log file in bytes (0 if absent).
     pub fn log_bytes(&self) -> u64 {
         std::fs::metadata(self.log_path()).map_or(0, |m| m.len())
     }
@@ -689,7 +1148,8 @@ mod tests {
     fn compact_pruned_bounds_the_snapshot_and_keeps_post_horizon_state() {
         let dir = std::env::temp_dir().join(format!("ocasta-wal-prune-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let mut wal = Wal::open(&dir).unwrap();
+        let mut full_wal = Wal::open(dir.join("full")).unwrap();
+        let mut wal = Wal::open(dir.join("pruned")).unwrap();
         let ops: Vec<TraceOp> = (0..200)
             .map(|i| {
                 TraceOp::Mutation(AccessEvent::write(
@@ -700,28 +1160,32 @@ mod tests {
             })
             .collect();
         for chunk in ops.chunks(20) {
+            full_wal.append(chunk).unwrap();
             wal.append(chunk).unwrap();
         }
-        let full = wal.replay(TimePrecision::Milliseconds).unwrap();
+        let full = full_wal.replay(TimePrecision::Milliseconds).unwrap();
         let full_snapshot_bytes = {
-            wal.compact(TimePrecision::Milliseconds).unwrap();
-            std::fs::metadata(wal.snapshot_path()).unwrap().len()
+            full_wal.compact(TimePrecision::Milliseconds).unwrap();
+            full_wal.snapshot_bytes()
         };
 
         let horizon = Timestamp::from_millis(15_000);
-        let (pruned, stats) = wal
+        let stats = wal
             .compact_pruned(TimePrecision::Milliseconds, horizon)
             .unwrap();
         assert!(stats.pruned_versions > 0);
-        let pruned_snapshot_bytes = std::fs::metadata(wal.snapshot_path()).unwrap().len();
+        assert_eq!(wal.log_bytes(), 0, "fresh epoch after compaction");
+        let pruned_snapshot_bytes = wal.snapshot_bytes();
         assert!(
             pruned_snapshot_bytes < full_snapshot_bytes,
             "{pruned_snapshot_bytes} vs {full_snapshot_bytes}"
         );
-        // Replay = pruned snapshot; queries at/after the horizon intact,
-        // lifetime counters intact.
+        // Replay equals the rebuild path exactly: replay-everything, prune
+        // once at the horizon.
         let replayed = wal.replay(TimePrecision::Milliseconds).unwrap();
-        assert_eq!(replayed, pruned);
+        let mut expected = full.clone();
+        expected.prune_before(horizon);
+        assert_eq!(replayed, expected);
         assert_eq!(replayed.stats().writes, full.stats().writes);
         for key in full.keys() {
             assert_eq!(
@@ -741,6 +1205,260 @@ mod tests {
         assert_eq!(after.current("app/k0"), Some(&Value::from(-1)));
         assert_eq!(after.stats().writes, full.stats().writes + 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn layered_compaction_chain_equals_replay_everything() {
+        // Many pruned compactions stack delta layers; at every stage the
+        // layered replay must equal the rebuild path (fold the complete op
+        // stream, prune once at the newest horizon, apply the tail).
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-layers-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.set_rebase_layers(usize::MAX); // deep chain, no rebase
+        let ops: Vec<TraceOp> = (0..300)
+            .map(|i| {
+                TraceOp::Mutation(AccessEvent::write(
+                    Timestamp::from_millis(i * 50),
+                    format!("app/k{}", i % 7),
+                    Value::from(i as i64),
+                ))
+            })
+            .collect();
+        let mut fed: Vec<TraceOp> = Vec::new();
+        for (round, chunk) in ops.chunks(60).enumerate() {
+            wal.append(chunk).unwrap();
+            fed.extend_from_slice(chunk);
+            let horizon = Timestamp::from_millis((round as u64 + 1) * 2_000);
+            wal.compact_pruned(TimePrecision::Milliseconds, horizon)
+                .unwrap();
+            assert_eq!(wal.delta_layers(), round + 1, "one layer per round");
+
+            let mut rebuild = Ttkv::new();
+            for op in &fed {
+                op.clone().apply(&mut rebuild, TimePrecision::Milliseconds);
+            }
+            rebuild.prune_before(horizon);
+            let replayed = wal.replay(TimePrecision::Milliseconds).unwrap();
+            assert_eq!(replayed, rebuild, "round {round}");
+
+            // Reopening reads the same committed chain.
+            let replayed = Wal::open(&dir)
+                .unwrap()
+                .replay(TimePrecision::Milliseconds)
+                .unwrap();
+            assert_eq!(replayed, rebuild, "round {round} reopened");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebase_folds_the_chain_and_bounds_disk() {
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-rebase-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.set_rebase_layers(3);
+        for round in 0u64..10 {
+            let ops: Vec<TraceOp> = (0..40)
+                .map(|i| {
+                    TraceOp::Mutation(AccessEvent::write(
+                        Timestamp::from_millis(round * 4_000 + i * 100),
+                        format!("app/k{}", i % 5),
+                        Value::from((round * 100 + i) as i64),
+                    ))
+                })
+                .collect();
+            wal.append(&ops).unwrap();
+            let horizon = Timestamp::from_millis(round.saturating_sub(1) * 4_000);
+            wal.compact_pruned(TimePrecision::Milliseconds, horizon)
+                .unwrap();
+            assert!(wal.delta_layers() <= 3, "round {round}: chain bounded");
+        }
+        // After rebases, the whole chain serves exactly the staged-prune
+        // state and the disk holds only base + few deltas.
+        let replayed = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(replayed.stats().writes, 400, "counters survive rebases");
+        assert!(wal.snapshot_bytes() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_reclaimed_sweep_is_a_noop_on_persisted_bytes() {
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-noop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append(&sample_ops()).unwrap();
+        let horizon = Timestamp::from_millis(2_000);
+        wal.compact_pruned(TimePrecision::Milliseconds, horizon)
+            .unwrap();
+        let bytes_before = wal.snapshot_bytes();
+        let manifest_before = std::fs::read_to_string(dir.join("wal.manifest")).unwrap();
+        let epoch_log = wal.log_path();
+        // Empty log, unchanged horizon: nothing to reclaim, nothing
+        // written — byte-for-byte.
+        let stats = wal
+            .compact_pruned(TimePrecision::Milliseconds, horizon)
+            .unwrap();
+        assert!(stats.is_noop());
+        assert_eq!(wal.snapshot_bytes(), bytes_before);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("wal.manifest")).unwrap(),
+            manifest_before
+        );
+        assert_eq!(wal.log_path(), epoch_log, "no new epoch");
+        // A deeper horizon with an empty log records the horizon (replay
+        // must re-prune) but still writes no layer.
+        let layers = wal.delta_layers();
+        wal.compact_pruned(TimePrecision::Milliseconds, Timestamp::from_millis(3_500))
+            .unwrap();
+        assert_eq!(wal.delta_layers(), layers);
+        assert_eq!(wal.horizon(), Some(Timestamp::from_millis(3_500)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_layout_migrates_on_first_pruned_compaction() {
+        // A PR-4-era directory: bare snapshot.ttkv + wal.log, no manifest.
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut legacy = Ttkv::new();
+        legacy.write(Timestamp::from_millis(500), "app/old", Value::from(1));
+        legacy.write(Timestamp::from_millis(1_500), "app/old", Value::from(2));
+        std::fs::write(dir.join("snapshot.ttkv"), legacy.save_to_string()).unwrap();
+        {
+            let mut wal = Wal::open(&dir).unwrap();
+            wal.append(&sample_ops()).unwrap();
+            wal.flush().unwrap();
+        }
+        // Pre-migration replay equals snapshot + log, verbatim.
+        let mut wal = Wal::open(&dir).unwrap();
+        let before = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(before.stats().writes, 4);
+
+        let horizon = Timestamp::from_millis(1_000);
+        wal.compact_pruned(TimePrecision::Milliseconds, horizon)
+            .unwrap();
+        assert!(dir.join("wal.manifest").exists(), "migrated to layered");
+        let mut expected = before.clone();
+        expected.prune_before(horizon);
+        let after = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(after, expected);
+        // The legacy base is still the chain's base file.
+        assert!(dir.join("snapshot.ttkv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_compact_keeps_the_horizon_floor_against_shallower_sweeps() {
+        // Regression: `compact()` used to clear the manifest horizon, so a
+        // later `compact_pruned` at a *shallower* horizon re-clamped
+        // against EPOCH and replay demoted the base's baselines without
+        // re-collapsing them — resurrecting collapsed mutations as
+        // ordinary history.
+        let dir = std::env::temp_dir().join(format!("ocasta-wal-floor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wal = Wal::open(&dir).unwrap();
+        for (t, v) in [(1_000u64, 1i64), (3_000, 3), (6_000, 6)] {
+            wal.append(&[TraceOp::Mutation(AccessEvent::write(
+                Timestamp::from_millis(t),
+                "app/k",
+                Value::from(v),
+            ))])
+            .unwrap();
+        }
+        wal.compact_pruned(TimePrecision::Milliseconds, Timestamp::from_millis(5_000))
+            .unwrap();
+        let reference = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(
+            reference.record("app/k").unwrap().baseline(),
+            Some(&ocasta_ttkv::Version::write(
+                Timestamp::from_millis(3_000),
+                Value::from(3)
+            )),
+        );
+        wal.compact(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(wal.horizon(), Some(Timestamp::from_millis(5_000)));
+        // The shallower sweep must not un-collapse the ts-3000 baseline.
+        wal.compact_pruned(TimePrecision::Milliseconds, Timestamp::from_millis(2_000))
+            .unwrap();
+        let replayed = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(replayed, reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_migration_covers_the_old_snapshots_unknown_prune_depth() {
+        // Regression: a legacy snapshot pruned to a deep horizon, migrated
+        // by a *shallower* sweep, used to have its baselines demoted and
+        // left exposed as history on replay.
+        let dir =
+            std::env::temp_dir().join(format!("ocasta-wal-legacy-floor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut legacy = Ttkv::new();
+        legacy.write(Timestamp::from_millis(1_000), "app/k", Value::from(1));
+        legacy.write(Timestamp::from_millis(3_000), "app/k", Value::from(3));
+        legacy.write(Timestamp::from_millis(6_000), "app/k", Value::from(6));
+        legacy.prune_before(Timestamp::from_millis(5_000));
+        std::fs::write(dir.join("snapshot.ttkv"), legacy.save_to_string()).unwrap();
+
+        let mut wal = Wal::open(&dir).unwrap();
+        wal.append(&[TraceOp::Mutation(AccessEvent::write(
+            Timestamp::from_millis(7_000),
+            "app/k",
+            Value::from(7),
+        ))])
+        .unwrap();
+        wal.compact_pruned(TimePrecision::Milliseconds, Timestamp::from_millis(2_000))
+            .unwrap();
+        let replayed = wal.replay(TimePrecision::Milliseconds).unwrap();
+        let record = replayed.record("app/k").unwrap();
+        assert_eq!(
+            record.baseline(),
+            Some(&ocasta_ttkv::Version::write(
+                Timestamp::from_millis(3_000),
+                Value::from(3)
+            )),
+            "the legacy baseline must stay collapsed"
+        );
+        let times: Vec<_> = record.mutation_times().collect();
+        assert_eq!(
+            times,
+            vec![Timestamp::from_millis(6_000), Timestamp::from_millis(7_000)],
+            "no resurrected legacy mutation"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_rejects_garbage() {
+        let manifest = Manifest {
+            epoch: 7,
+            horizon: Some(Timestamp::from_millis(123_456)),
+            base: Some("base-3.ttkv".into()),
+            deltas: vec![
+                ("delta-5.ttkv".into(), Timestamp::from_millis(100_000)),
+                ("delta-7.ttkv".into(), Timestamp::from_millis(123_456)),
+            ],
+            committed: true,
+        };
+        let decoded = Manifest::decode(&manifest.encode()).unwrap();
+        assert_eq!(decoded, manifest);
+        assert!(Manifest::decode("not a manifest").is_err());
+        assert!(Manifest::decode(&format!("{MANIFEST_MAGIC}\nepoch x\n")).is_err());
+        assert!(
+            Manifest::decode(&format!("{MANIFEST_MAGIC}\nbase ../escape.ttkv\n")).is_err(),
+            "layer names must be bare file names"
+        );
+        assert!(
+            Manifest::decode(&format!("{MANIFEST_MAGIC}\nbase ..\n")).is_err(),
+            "dot-dot is not a layer name"
+        );
+        assert!(
+            Manifest::decode(&format!("{MANIFEST_MAGIC}\ndelta d.ttkv 5\n")).is_err(),
+            "delta layers without a horizon must be rejected"
+        );
     }
 
     #[test]

@@ -167,6 +167,132 @@ fn every_tail_frame_truncation_reopens_appends_and_replays() {
     }
 }
 
+/// Copies every regular file of `src` into a freshly re-created `dst`.
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Crash injection during *layered compaction*: a pruned compaction writes
+/// a delta snapshot and commits it with a manifest rename. Interrupting it
+/// at every byte offset of the mid-write delta (and of the manifest temp
+/// file, and between the commit and the old log's deletion) must reopen to
+/// exactly the pre-compaction or the post-compaction state — never a torn
+/// hybrid, never an error.
+#[test]
+fn every_truncation_of_a_mid_write_delta_recovers_pre_or_post_state() {
+    let scratch =
+        std::env::temp_dir().join(format!("ocasta-wal-torn-layer-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let pre = scratch.join("pre");
+    let post = scratch.join("post");
+    let trial = scratch.join("trial");
+
+    // A directory that is already layered (one pruned compaction behind
+    // it) with fresh frames in the current epoch log.
+    std::fs::create_dir_all(&pre).unwrap();
+    {
+        let mut wal = Wal::open(&pre).unwrap();
+        wal.append(&batches()[0]).unwrap();
+        wal.compact_pruned(TimePrecision::Milliseconds, Timestamp::from_millis(1_500))
+            .unwrap();
+        wal.append(&batches()[1]).unwrap();
+        wal.append(&batches()[2]).unwrap();
+        wal.flush().unwrap();
+    }
+    let pre_state = Wal::open(&pre)
+        .unwrap()
+        .replay(TimePrecision::Milliseconds)
+        .unwrap();
+
+    // Run the next compaction on a copy to learn the exact bytes it
+    // writes: the new delta layer and the new manifest.
+    copy_dir(&pre, &post);
+    let (delta_name, post_state, post_manifest) = {
+        let mut wal = Wal::open(&post).unwrap();
+        wal.compact_pruned(TimePrecision::Milliseconds, Timestamp::from_millis(3_200))
+            .unwrap();
+        let delta = std::fs::read_dir(&post)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .find(|n| n.starts_with("delta-") && !pre.join(n).exists())
+            .expect("the compaction wrote a new delta layer");
+        let state = wal.replay(TimePrecision::Milliseconds).unwrap();
+        (
+            delta,
+            state,
+            std::fs::read(post.join("wal.manifest")).unwrap(),
+        )
+    };
+    let delta_bytes = std::fs::read(post.join(&delta_name)).unwrap();
+    assert_ne!(pre_state, post_state, "the compaction must change state");
+
+    let reopen = |dir: &std::path::Path| {
+        Wal::open(dir)
+            .unwrap()
+            .replay(TimePrecision::Milliseconds)
+            .unwrap()
+    };
+
+    // Crash while the delta layer itself is mid-write: at every prefix the
+    // manifest still names the old chain, so the torn delta is an orphan
+    // and the state is exactly pre-compaction.
+    for cut in 0..=delta_bytes.len() {
+        copy_dir(&pre, &trial);
+        std::fs::write(trial.join(&delta_name), &delta_bytes[..cut]).unwrap();
+        assert_eq!(reopen(&trial), pre_state, "delta cut {cut}");
+        assert!(
+            !trial.join(&delta_name).exists(),
+            "delta cut {cut}: the orphan must be swept on open"
+        );
+    }
+
+    // Crash while the manifest temp file is mid-write: the rename never
+    // happened, so every prefix still reopens to the pre state.
+    for cut in [0, 1, post_manifest.len() / 2, post_manifest.len()] {
+        copy_dir(&pre, &trial);
+        std::fs::write(trial.join(&delta_name), &delta_bytes).unwrap();
+        std::fs::write(trial.join("wal.manifest.tmp"), &post_manifest[..cut]).unwrap();
+        assert_eq!(reopen(&trial), pre_state, "manifest tmp cut {cut}");
+    }
+
+    // Crash after the manifest rename but before the superseded log was
+    // deleted: the commit point has passed, so the stale log must be
+    // ignored (and swept) and the state is exactly post-compaction.
+    {
+        copy_dir(&pre, &trial);
+        std::fs::write(trial.join(&delta_name), &delta_bytes).unwrap();
+        std::fs::write(trial.join("wal.manifest"), &post_manifest).unwrap();
+        assert_eq!(reopen(&trial), post_state, "post-commit, stale log kept");
+    }
+
+    // And appending after any recovery keeps working (the recovered
+    // directory is a fully functional WAL).
+    {
+        copy_dir(&pre, &trial);
+        std::fs::write(
+            trial.join(&delta_name),
+            &delta_bytes[..delta_bytes.len() / 2],
+        )
+        .unwrap();
+        let mut wal = Wal::open(&trial).unwrap();
+        let extra = TraceOp::Mutation(AccessEvent::write(
+            Timestamp::from_millis(9_999),
+            "app/recovered",
+            Value::from(true),
+        ));
+        wal.append(std::slice::from_ref(&extra)).unwrap();
+        wal.flush().unwrap();
+        let store = wal.replay(TimePrecision::Milliseconds).unwrap();
+        assert_eq!(store.current("app/recovered"), Some(&Value::from(true)));
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
 #[test]
 fn truncation_inside_the_magic_resets_the_file_on_reopen() {
     let bytes = encoded();

@@ -18,7 +18,14 @@ pub struct ClusterInfo {
     /// Total modifications over the whole recorded history (the repair
     /// tool's sort key: rarely-modified clusters are likely configuration).
     pub modifications: u64,
-    /// Most recent modification, if any.
+    /// Most recent modification ever recorded, if any — taken from the
+    /// per-record last-mutation watermark
+    /// ([`ocasta_ttkv::KeyRecord::last_mutation_watermark`]), not from the
+    /// surviving mutation times, so it is identical at every prune depth.
+    /// This is the sort tie-break (see [`sorted_cluster_infos`]); deriving
+    /// it from surviving times used to let equally-modified clusters
+    /// renumber ranks once a sweep reclaimed the newest mutation
+    /// (regression-tested in `ranks_are_stable_across_prune_depths`).
     pub last_modified: Option<Timestamp>,
     /// Transaction start times within the search bounds, newest first.
     pub versions: Vec<Timestamp>,
@@ -48,7 +55,14 @@ impl ClusterInfo {
             .filter_map(|k| ttkv.record(k.as_str()))
             .map(|r| r.modifications())
             .sum();
-        let last_modified = times.last().copied();
+        // The watermark, not `times.last()`: surviving mutation times
+        // shrink as retention sweeps deepen, and the sort tie-break must
+        // not move with them.
+        let last_modified = keys
+            .iter()
+            .filter_map(|k| ttkv.record(k.as_str()))
+            .filter_map(|r| r.last_mutation_watermark())
+            .max();
 
         // Group into transactions through the workspace's one windowing
         // rule (`ocasta_cluster::TransactionWindow`) — the same core the
@@ -270,5 +284,45 @@ mod tests {
         let singles = singleton_clusters(&store());
         assert_eq!(singles.len(), 3);
         assert!(singles.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn ranks_are_stable_across_prune_depths() {
+        // Regression (ROADMAP "rank-stable sorts on pruned stores"): two
+        // equally-modified clusters are tie-broken on last_modified; when
+        // that was derived from *surviving* mutation times, pruning both
+        // clusters to zero versions erased the tie-break and the pair
+        // renumbered on the key-order fallback. The per-record watermark
+        // keeps `fix.cluster_rank` identical at every horizon.
+        let mut ttkv = Ttkv::new();
+        ttkv.write(ts(1), "app/a", Value::from(1));
+        ttkv.write(ts(2), "app/a", Value::from(2));
+        ttkv.write(ts(3), "app/b", Value::from(3));
+        ttkv.write(ts(4), "app/b", Value::from(4));
+        let clusters = vec![vec![Key::new("app/a")], vec![Key::new("app/b")]];
+
+        let rank_keys = |store: &Ttkv| -> Vec<Vec<Key>> {
+            sorted_cluster_infos(store, &clusters, TimeDelta::from_millis(1), None, None)
+                .into_iter()
+                .map(|info| info.keys)
+                .collect()
+        };
+        let reference = rank_keys(&ttkv);
+        // Both modified twice; app/b modified later, so it ranks first.
+        assert_eq!(
+            reference,
+            vec![vec![Key::new("app/b")], vec![Key::new("app/a")]]
+        );
+        // Horizons that prune one cluster partially, one fully, and both
+        // fully (at ts(5) both histories are gone entirely).
+        for horizon in [0u64, 2, 3, 5, 100] {
+            let mut pruned = ttkv.clone();
+            pruned.prune_before(ts(horizon));
+            assert_eq!(rank_keys(&pruned), reference, "horizon {horizon}");
+            let infos =
+                sorted_cluster_infos(&pruned, &clusters, TimeDelta::from_millis(1), None, None);
+            assert_eq!(infos[0].last_modified, Some(ts(4)), "horizon {horizon}");
+            assert_eq!(infos[1].last_modified, Some(ts(2)), "horizon {horizon}");
+        }
     }
 }

@@ -49,7 +49,7 @@ impl Version {
 /// Read accesses are counted but not stored individually (only Table I's
 /// aggregate read statistics need them).
 ///
-/// After a [`KeyRecord::prune_before`], the collapsed pre-horizon state is
+/// After a [`KeyRecord::prune_in_place`], the collapsed pre-horizon state is
 /// kept as a separate *baseline* — the newest pre-horizon version, write
 /// or tombstone, with its original timestamp — **outside** the mutation
 /// history. The baseline participates in point-in-time queries
@@ -171,6 +171,22 @@ impl KeyRecord {
             .max(self.baseline.as_ref().map(|b| b.timestamp))
     }
 
+    /// The *last-mutation watermark*: the timestamp of the newest mutation
+    /// ever recorded against this key — **prune-invariant**, unlike
+    /// [`KeyRecord::mutation_times`], whose tail a prune can swallow.
+    ///
+    /// No extra bookkeeping is needed: the prune baseline keeps the newest
+    /// collapsed mutation *with its original timestamp*, and every other
+    /// collapsed mutation was older, so `max(latest history entry,
+    /// baseline)` equals the maximum over the full unpruned history at any
+    /// prune depth (property-tested). This is what keeps rank-stable sorts
+    /// stable on pruned stores: `ocasta-repair` breaks modification-count
+    /// ties on this watermark, so `fix.cluster_rank` cannot renumber when
+    /// a sweep reclaims the mutation that used to be the tie-break.
+    pub fn last_mutation_watermark(&self) -> Option<Timestamp> {
+        self.last_time()
+    }
+
     /// Records `count` read accesses at once.
     pub(crate) fn add_reads(&mut self, count: u64) {
         self.reads += count;
@@ -250,9 +266,16 @@ impl KeyRecord {
 
     /// Collapses versions strictly before `horizon` into the record's
     /// *baseline* — the newest pre-horizon version, write or tombstone,
-    /// with its original timestamp. Access counters are unchanged: they
-    /// feed the repair tool's sort and Table I, not the rollback search.
-    /// Returns what the prune reclaimed.
+    /// with its original timestamp, folded into the existing baseline slot
+    /// without rebuilding or cloning anything. Access counters are
+    /// unchanged: they feed the repair tool's sort and Table I, not the
+    /// rollback search. Returns what the prune reclaimed.
+    ///
+    /// This is the per-record primitive every reclamation path in the
+    /// workspace bottoms out in — [`crate::Ttkv::prune_before`] applies it
+    /// to every record, [`crate::TtkvBuilder::prune_before`] only to
+    /// records its earliest-history index proves can reclaim something,
+    /// which is what makes a fleet sweep O(reclaimed) instead of O(live).
     ///
     /// The baseline lives outside [`KeyRecord::history`], so pruning never
     /// synthesises a mutation (see the type-level docs), and it keeps both
@@ -263,22 +286,20 @@ impl KeyRecord {
     /// horizon. A record whose whole history is reclaimed behind a
     /// tombstone baseline is *dead*: its counters remain but it no longer
     /// contributes to [`crate::Ttkv::modified_keys`].
-    pub(crate) fn prune_before(&mut self, horizon: Timestamp) -> PruneStats {
+    pub fn prune_in_place(&mut self, horizon: Timestamp) -> PruneStats {
         let cut = self.history.partition_point(|v| v.timestamp < horizon);
         if cut == 0 {
             return PruneStats::default();
         }
         let before_bytes = self.approx_bytes() as u64;
-        let newest = &self.history[cut - 1];
         // The truly newest pre-horizon state wins: the cut's last version,
         // unless a previously collapsed baseline is younger still (on a
         // tie, the recorded version arrived after the collapsed state).
-        let carried = match self.baseline.take() {
+        let newest = self.history.drain(..cut).next_back().expect("cut > 0");
+        self.baseline = Some(match self.baseline.take() {
             Some(b) if newest.timestamp < b.timestamp => b,
-            _ => newest.clone(),
-        };
-        self.history.drain(..cut);
-        self.baseline = Some(carried);
+            _ => newest,
+        });
         let after_bytes = self.approx_bytes() as u64;
         PruneStats {
             pruned_versions: cut as u64,
@@ -286,6 +307,27 @@ impl KeyRecord {
                 self.history.is_empty() && self.baseline.as_ref().is_none_or(Version::is_tombstone),
             ),
             reclaimed_bytes: before_bytes.saturating_sub(after_bytes),
+        }
+    }
+
+    /// Demotes the prune baseline (if any) back into the mutation history
+    /// as an ordinary version, **without touching the counters** — the
+    /// collapsed mutation it stands for was already counted when it was
+    /// recorded.
+    ///
+    /// The demoted version is inserted *before* any real mutation sharing
+    /// its timestamp, matching [`KeyRecord::value_at`]'s tie rule (a
+    /// same-timestamp recorded mutation arrived after the state the
+    /// baseline collapsed, so it stays the winner). This is the layered-WAL
+    /// fold primitive: a delta snapshot's baseline becomes a plain version
+    /// so the reader's single final prune can re-rank it against *older*
+    /// layers — where the baseline, being the newer arrival, must win ties
+    /// instead of losing them (see `ocasta-fleet`'s layered compaction and
+    /// `DESIGN.md §5.10`).
+    pub(crate) fn demote_baseline(&mut self) {
+        if let Some(b) = self.baseline.take() {
+            let idx = self.history.partition_point(|v| v.timestamp < b.timestamp);
+            self.history.insert(idx, b);
         }
     }
 
@@ -370,7 +412,7 @@ mod tests {
         r.record_mutation(Version::write(ts(1), Value::from(1)));
         r.record_mutation(Version::write(ts(5), Value::from(5)));
         r.record_mutation(Version::write(ts(9), Value::from(9)));
-        let stats = r.prune_before(ts(6));
+        let stats = r.prune_in_place(ts(6));
         // Pre-horizon versions collapse into the baseline, not the history;
         // the baseline keeps the newest pre-horizon value's own timestamp.
         assert_eq!(r.history().len(), 1);
@@ -393,7 +435,7 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(1), Value::from(1)));
         r.record_mutation(Version::write(ts(9), Value::from(9)));
-        r.prune_before(ts(6));
+        r.prune_in_place(ts(6));
         let times: Vec<_> = r.mutation_times().collect();
         assert_eq!(times, vec![ts(9)], "no phantom mutation at the horizon");
         assert_eq!(r.history().len(), 1);
@@ -405,7 +447,7 @@ mod tests {
         r.record_mutation(Version::write(ts(1), Value::from("x")));
         r.record_mutation(Version::tombstone(ts(2)));
         r.record_mutation(Version::write(ts(8), Value::from("y")));
-        let stats = r.prune_before(ts(5));
+        let stats = r.prune_in_place(ts(5));
         // Dead at the horizon: the baseline is the collapsed tombstone, so
         // a later straggler write older than it cannot resurrect the key.
         assert_eq!(r.history().len(), 1);
@@ -421,7 +463,7 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(1), Value::from("x")));
         r.record_mutation(Version::tombstone(ts(2)));
-        let stats = r.prune_before(ts(5));
+        let stats = r.prune_in_place(ts(5));
         assert!(r.history().is_empty());
         assert_eq!(r.baseline(), Some(&Version::tombstone(ts(2))));
         assert_eq!(r.current(), None);
@@ -436,7 +478,7 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(1), Value::from("x")));
         r.record_mutation(Version::write(ts(3), Value::from("y")));
-        r.prune_before(ts(5));
+        r.prune_in_place(ts(5));
         assert!(r.history().is_empty());
         assert_eq!(r.current(), Some(&Value::from("y")));
         assert_eq!(r.value_at(ts(5)), Some(&Value::from("y")));
@@ -453,19 +495,19 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(1), Value::from(1)));
         r.record_mutation(Version::write(ts(8), Value::from(8)));
-        r.prune_before(ts(4));
+        r.prune_in_place(ts(4));
         assert_eq!(r.baseline(), Some(&Version::write(ts(1), Value::from(1))));
         // Second sweep with nothing new to collapse: a no-op.
-        r.prune_before(ts(6));
+        r.prune_in_place(ts(6));
         assert_eq!(r.baseline(), Some(&Version::write(ts(1), Value::from(1))));
         // A straggler *older than the baseline* arrives late (a lagging
         // machine), then a deeper sweep: the baseline must win, because it
         // is the truly newer pre-horizon state.
         r.record_mutation(Version::write(ts(0), Value::from(0)));
-        r.prune_before(ts(6));
+        r.prune_in_place(ts(6));
         assert_eq!(r.baseline(), Some(&Version::write(ts(1), Value::from(1))));
         // Third sweep past the last real write: the write subsumes it.
-        r.prune_before(ts(9));
+        r.prune_in_place(ts(9));
         assert_eq!(r.baseline(), Some(&Version::write(ts(8), Value::from(8))));
         assert!(r.history().is_empty());
         assert_eq!(r.writes, 3);
@@ -480,7 +522,7 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(1), Value::from("x")));
         r.record_mutation(Version::tombstone(ts(5)));
-        r.prune_before(ts(6));
+        r.prune_in_place(ts(6));
         assert_eq!(r.baseline(), Some(&Version::tombstone(ts(5))));
         // The straggler predates the collapsed deletion.
         r.record_mutation(Version::write(ts(0), Value::from("zombie")));
@@ -498,7 +540,7 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(1), Value::from("old")));
         r.record_mutation(Version::write(ts(5), Value::from("at-horizon")));
-        r.prune_before(ts(5));
+        r.prune_in_place(ts(5));
         // ts(5) is not strictly before the horizon: it survives as real
         // history and is newer than the collapsed baseline.
         assert_eq!(r.history().len(), 1);
@@ -515,7 +557,7 @@ mod tests {
         let mut r = KeyRecord::new();
         r.record_mutation(Version::write(ts(5), Value::from(5)));
         let before = r.clone();
-        let stats = r.prune_before(ts(1));
+        let stats = r.prune_in_place(ts(1));
         assert_eq!(r, before);
         assert!(stats.is_noop());
     }

@@ -104,6 +104,13 @@ impl Ttkv {
         self.records.get(key)
     }
 
+    /// Mutable access to one key's record (the incremental-prune path:
+    /// [`crate::TtkvBuilder::prune_before`] prunes exactly the records its
+    /// index says can reclaim something, nothing else).
+    pub(crate) fn record_mut(&mut self, key: &str) -> Option<&mut KeyRecord> {
+        self.records.get_mut(key)
+    }
+
     /// The live value of `key` as of time `t`.
     pub fn value_at(&self, key: &str, t: Timestamp) -> Option<&Value> {
         self.records.get(key).and_then(|r| r.value_at(t))
@@ -228,9 +235,30 @@ impl Ttkv {
     pub fn prune_before(&mut self, horizon: Timestamp) -> PruneStats {
         let mut stats = PruneStats::default();
         for record in self.records.values_mut() {
-            stats.absorb(record.prune_before(horizon));
+            stats.absorb(record.prune_in_place(horizon));
         }
         stats
+    }
+
+    /// Demotes every record's prune baseline back into its mutation
+    /// history as an ordinary version, without touching any counter.
+    ///
+    /// This is the layered-WAL fold primitive (`DESIGN.md §5.10`): when
+    /// snapshot layers are folded oldest-to-newest, a newer layer's
+    /// baseline must win timestamp ties against older layers' history —
+    /// the opposite of the tie rule a baseline obeys *inside* its own
+    /// store — so the fold first turns baselines back into versions (each
+    /// inserted before its own layer's same-timestamp mutations, which it
+    /// genuinely predates) and lets one final [`Ttkv::prune_before`] at
+    /// the newest layer's horizon re-collapse them with every tie ranked
+    /// by true arrival order. The demoted store *does* expose the demoted
+    /// versions through [`KeyRecord::mutation_times`]; callers must
+    /// re-prune before handing the store to clustering or repair, exactly
+    /// as the WAL reader does.
+    pub fn demote_baselines(&mut self) {
+        for record in self.records.values_mut() {
+            record.demote_baseline();
+        }
     }
 
     /// Inserts a fully-built record under `key`, folding its counters into

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use ocasta_ttkv::{Key, Timestamp, Ttkv, Value};
+use ocasta_ttkv::{Key, Timestamp, Ttkv, TtkvBuilder, Value};
 
 /// Strategy for scalar values.
 fn scalar() -> impl Strategy<Value = Value> {
@@ -255,6 +255,101 @@ proptest! {
         direct.prune_before(h2);
 
         prop_assert_eq!(staged, direct);
+    }
+
+    /// The incremental (in-place) builder prune equals the rebuild prune
+    /// equals one direct prune of the full history — values, mutation
+    /// times, counters (all via store equality) *and* per-sweep
+    /// `PruneStats` — under random histories and staged horizons with
+    /// appends (including stragglers below every horizon) between sweeps.
+    /// This is the equivalence the fleet's O(reclaimed) sweep rests on.
+    #[test]
+    fn incremental_prune_equals_rebuild_equals_direct(
+        seg1 in prop::collection::vec(op(), 0..30),
+        seg2 in prop::collection::vec(op(), 0..30),
+        seg3 in prop::collection::vec(op(), 0..30),
+        h1 in 0u64..100_000,
+        h2 in 0u64..100_000,
+    ) {
+        let (h1, h2) = (
+            Timestamp::from_millis(h1.min(h2)),
+            Timestamp::from_millis(h1.max(h2)),
+        );
+        let buffer = |builder: &mut TtkvBuilder, ops: &[Op]| {
+            for o in ops {
+                match o {
+                    Op::Write(k, t, v) => builder.write(
+                        Timestamp::from_millis(*t),
+                        Key::new(key_name(*k)),
+                        v.clone(),
+                    ),
+                    Op::Delete(k, t) => {
+                        builder.delete(Timestamp::from_millis(*t), Key::new(key_name(*k)))
+                    }
+                    Op::Read(k) => builder.add_reads(Key::new(key_name(*k)), 1),
+                }
+            }
+        };
+        // The rebuild reference: build the whole store, prune it, wrap it
+        // back up — what `ShardedTtkv::prune_before` used to do per sweep.
+        let rebuild_prune = |builder: TtkvBuilder, h: Timestamp| {
+            let mut store = builder.build();
+            let stats = store.prune_before(h);
+            (TtkvBuilder::from_store(store), stats)
+        };
+
+        let mut incremental = TtkvBuilder::from_store(apply(&seg1));
+        let mut rebuild = TtkvBuilder::from_store(apply(&seg1));
+        buffer(&mut incremental, &seg2);
+        buffer(&mut rebuild, &seg2);
+        let stats1 = incremental.prune_before(h1);
+        let (mut rebuild, rebuild_stats1) = rebuild_prune(rebuild, h1);
+        prop_assert_eq!(stats1, rebuild_stats1);
+
+        buffer(&mut incremental, &seg3);
+        buffer(&mut rebuild, &seg3);
+        let stats2 = incremental.prune_before(h2);
+        let (rebuild, rebuild_stats2) = rebuild_prune(rebuild, h2);
+        prop_assert_eq!(stats2, rebuild_stats2);
+
+        let incremental = incremental.build();
+        prop_assert_eq!(&incremental, &rebuild.build());
+
+        // ...and both equal one direct prune of the full history at the
+        // final horizon (h2 ≥ h1, so the staged property applies).
+        let mut direct = apply(&seg1);
+        let mut tail = TtkvBuilder::new();
+        buffer(&mut tail, &seg2);
+        buffer(&mut tail, &seg3);
+        tail.build_into(&mut direct);
+        direct.prune_before(h2);
+        prop_assert_eq!(incremental, direct);
+    }
+
+    /// The per-record last-mutation watermark is prune-invariant — the
+    /// rank-stability contract `ocasta-repair`'s cluster sort relies on.
+    #[test]
+    fn last_mutation_watermark_is_prune_invariant(
+        ops in prop::collection::vec(op(), 1..60),
+        horizons in prop::collection::vec(0u64..100_000, 1..4),
+    ) {
+        let original = apply(&ops);
+        let mut pruned = original.clone();
+        let mut sorted = horizons;
+        sorted.sort_unstable();
+        for h in sorted {
+            pruned.prune_before(Timestamp::from_millis(h));
+            for (key, record) in original.iter() {
+                prop_assert_eq!(
+                    pruned
+                        .record(key.as_str())
+                        .expect("prune drops no keys")
+                        .last_mutation_watermark(),
+                    record.last_mutation_watermark(),
+                    "key {} at horizon {}", key, h
+                );
+            }
+        }
     }
 
     /// Merging two stores preserves totals and merged histories stay sorted.

@@ -1,0 +1,61 @@
+//! Gates fresh `BENCH_*.json` artifacts against the tracked baselines.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-compare [--baseline-dir DIR] [--fresh-dir DIR] [bench ...]
+//! ```
+//!
+//! With no bench names, every gated bench (`fleet`, `stream`, `repair`,
+//! `retention`) is checked. `--baseline-dir` defaults to `baselines`
+//! (the copies tracked in the repository); `--fresh-dir` defaults to the
+//! current directory (where the bench binaries write). Exits non-zero on
+//! any regression or unreadable input, so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut baseline_dir = PathBuf::from("baselines");
+    let mut fresh_dir = PathBuf::from(".");
+    let mut benches: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline-dir" => match args.next() {
+                Some(dir) => baseline_dir = PathBuf::from(dir),
+                None => return usage("--baseline-dir needs a value"),
+            },
+            "--fresh-dir" => match args.next() {
+                Some(dir) => fresh_dir = PathBuf::from(dir),
+                None => return usage("--fresh-dir needs a value"),
+            },
+            flag if flag.starts_with('-') => return usage(&format!("unknown flag `{flag}`")),
+            bench => benches.push(bench.to_string()),
+        }
+    }
+    if benches.is_empty() {
+        benches = ocasta_bench::compare::GATED_BENCHES
+            .iter()
+            .map(|b| (*b).to_string())
+            .collect();
+    }
+    match ocasta_bench::compare::run_cli(&benches, &baseline_dir, &fresh_dir) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprint!("{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "bench-compare: {problem}\n\
+         usage: bench-compare [--baseline-dir DIR] [--fresh-dir DIR] [bench ...]"
+    );
+    ExitCode::from(2)
+}

@@ -1,5 +1,14 @@
 //! Fleet ingestion throughput sweep. Run with --release.
+//!
+//! Prints the human-readable table and writes `BENCH_fleet.json` to the
+//! current directory — the machine-readable artifact `bench-compare`
+//! gates against the tracked baseline.
 
 fn main() {
-    print!("{}", ocasta_bench::fleet::run());
+    let (table, json) = ocasta_bench::fleet::run();
+    print!("{table}");
+    match std::fs::write("BENCH_fleet.json", &json) {
+        Ok(()) => println!("wrote BENCH_fleet.json"),
+        Err(e) => eprintln!("could not write BENCH_fleet.json: {e}"),
+    }
 }

@@ -1,5 +1,14 @@
 //! Prints the rollback-search cost sweep (history size × trial threads).
+//!
+//! Also writes `BENCH_repair.json` to the current directory — the
+//! machine-readable artifact `bench-compare` gates against the tracked
+//! baseline.
 
 fn main() {
-    print!("{}", ocasta_bench::repair::run());
+    let (table, json) = ocasta_bench::repair::run();
+    print!("{table}");
+    match std::fs::write("BENCH_repair.json", &json) {
+        Ok(()) => println!("wrote BENCH_repair.json"),
+        Err(e) => eprintln!("could not write BENCH_repair.json: {e}"),
+    }
 }

@@ -1,5 +1,14 @@
 //! Streaming vs batch reclustering sweep. Run with --release.
+//!
+//! Prints the human-readable table and writes `BENCH_stream.json` to the
+//! current directory — the machine-readable artifact `bench-compare`
+//! gates against the tracked baseline.
 
 fn main() {
-    print!("{}", ocasta_bench::stream::run());
+    let (table, json) = ocasta_bench::stream::run();
+    print!("{table}");
+    match std::fs::write("BENCH_stream.json", &json) {
+        Ok(()) => println!("wrote BENCH_stream.json"),
+        Err(e) => eprintln!("could not write BENCH_stream.json: {e}"),
+    }
 }

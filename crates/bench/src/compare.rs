@@ -1,0 +1,603 @@
+//! Perf-baseline gating: diff a fresh `BENCH_*.json` against its tracked
+//! baseline and fail on regression.
+//!
+//! Every scale bench (`fleet`, `stream`, `repair`, `retention`) emits a
+//! flat machine-readable JSON artifact next to its human table. This
+//! module reads the tracked baseline copy (under `baselines/`) and a
+//! freshly generated one, extracts the **top-level numeric fields**, and
+//! checks a small set of per-bench gates — each a metric, a direction,
+//! and a generous noise ratio. CI runs the `bench-compare` binary after
+//! the bench smokes; a regression past a gate fails the job, so a perf
+//! cliff cannot land silently just because the tables still render.
+//!
+//! The parser is deliberately tiny: benches emit their JSON by hand (no
+//! serde in the workspace), so the comparator parses it by hand too —
+//! top-level `"key": number` pairs are captured, every other value shape
+//! (strings, arrays, nested objects, booleans) is skipped structurally.
+
+use std::collections::BTreeMap;
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Cost-like metric (latency, footprint ratio): regressions are up.
+    LowerIsBetter,
+    /// Rate-like metric (throughput): regressions are down.
+    HigherIsBetter,
+}
+
+/// One gated metric of one bench.
+#[derive(Debug, Clone, Copy)]
+pub struct Gate {
+    /// Top-level JSON key the gate reads.
+    pub key: &'static str,
+    /// Which direction counts as a regression.
+    pub direction: Direction,
+    /// Noise headroom as a multiplier: a `LowerIsBetter` metric fails at
+    /// `fresh > baseline * max_ratio + abs_slack`; a `HigherIsBetter` one
+    /// at `fresh < baseline / max_ratio - abs_slack`. Ratios are generous
+    /// because CI runners are noisy and shared — the gates exist to catch
+    /// order-of-magnitude cliffs, not 10% wobble.
+    pub max_ratio: f64,
+    /// Additive slack in the metric's own unit, so near-zero baselines
+    /// don't turn scheduler jitter into failures.
+    pub abs_slack: f64,
+}
+
+/// Every bench with gates, in the order `bench-compare` checks them.
+pub const GATED_BENCHES: [&str; 4] = ["fleet", "stream", "repair", "retention"];
+
+/// The gate set for one bench (empty for unknown names).
+pub fn gates_for(bench: &str) -> &'static [Gate] {
+    match bench {
+        "fleet" => &[Gate {
+            key: "best_events_per_sec",
+            direction: Direction::HigherIsBetter,
+            max_ratio: 3.0,
+            abs_slack: 0.0,
+        }],
+        "stream" => &[Gate {
+            key: "stream_amortized_us",
+            direction: Direction::LowerIsBetter,
+            max_ratio: 3.0,
+            abs_slack: 1.0,
+        }],
+        "repair" => &[Gate {
+            key: "best_parallel_ms",
+            direction: Direction::LowerIsBetter,
+            max_ratio: 3.0,
+            abs_slack: 50.0,
+        }],
+        "retention" => &[
+            Gate {
+                key: "final_store_ratio",
+                direction: Direction::LowerIsBetter,
+                max_ratio: 1.15,
+                abs_slack: 0.05,
+            },
+            Gate {
+                key: "final_disk_ratio",
+                direction: Direction::LowerIsBetter,
+                max_ratio: 1.15,
+                abs_slack: 0.05,
+            },
+            Gate {
+                key: "median_sweep_stall_us",
+                direction: Direction::LowerIsBetter,
+                max_ratio: 3.0,
+                abs_slack: 2000.0,
+            },
+        ],
+        _ => &[],
+    }
+}
+
+/// One gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateResult {
+    /// The gated metric.
+    pub key: &'static str,
+    /// Baseline reading.
+    pub baseline: f64,
+    /// Fresh reading.
+    pub fresh: f64,
+    /// The bound the fresh reading was held to.
+    pub limit: f64,
+    /// Whether the fresh reading stayed within the bound.
+    pub pass: bool,
+}
+
+/// Extracts every top-level `"key": number` pair of a JSON object.
+///
+/// Nested objects, arrays, strings and literals are skipped structurally
+/// (so a bench can carry a `checkpoints` array or a note string without
+/// confusing the comparator); only numbers sitting directly under the
+/// root object are captured.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset on malformed input.
+pub fn top_level_numbers(json: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut cur = Cursor {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    let mut numbers = BTreeMap::new();
+    cur.skip_ws();
+    cur.expect(b'{')?;
+    cur.skip_ws();
+    if cur.peek() == Some(b'}') {
+        return Ok(numbers);
+    }
+    loop {
+        cur.skip_ws();
+        let key = cur.parse_string()?;
+        cur.skip_ws();
+        cur.expect(b':')?;
+        cur.skip_ws();
+        if let Some(value) = cur.skip_value()? {
+            numbers.insert(key, value);
+        }
+        cur.skip_ws();
+        match cur.bump() {
+            Some(b',') => continue,
+            Some(b'}') => return Ok(numbers),
+            other => return Err(cur.fail(format!("expected `,` or `}}`, got {other:?}"))),
+        }
+    }
+}
+
+/// Byte cursor over the raw JSON text.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn fail(&self, what: String) -> String {
+        format!("bad JSON at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek();
+        if byte.is_some() {
+            self.pos += 1;
+        }
+        byte
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, wanted: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(byte) if byte == wanted => Ok(()),
+            other => Err(self.fail(format!("expected `{}`, got {other:?}", wanted as char))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return String::from_utf8(out).map_err(|e| self.fail(e.to_string())),
+                Some(b'\\') => {
+                    // Escapes only need to keep the scan aligned; the
+                    // comparator never interprets string contents.
+                    match self.bump() {
+                        Some(escaped) => {
+                            out.push(b'\\');
+                            out.push(escaped);
+                        }
+                        None => return Err(self.fail("unterminated escape".into())),
+                    }
+                }
+                Some(byte) => out.push(byte),
+                None => return Err(self.fail("unterminated string".into())),
+            }
+        }
+    }
+
+    /// Consumes one value; returns `Some(n)` only for bare numbers.
+    fn skip_value(&mut self) -> Result<Option<f64>, String> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(None)
+            }
+            Some(b'{') => {
+                self.skip_container(b'{', b'}')?;
+                Ok(None)
+            }
+            Some(b'[') => {
+                self.skip_container(b'[', b']')?;
+                Ok(None)
+            }
+            Some(b't') => self.skip_literal("true").map(|()| None),
+            Some(b'f') => self.skip_literal("false").map(|()| None),
+            Some(b'n') => self.skip_literal("null").map(|()| None),
+            Some(_) => self.parse_number().map(Some),
+            None => Err(self.fail("expected a value".into())),
+        }
+    }
+
+    /// Skips a balanced `{...}` or `[...]`, stepping over strings so
+    /// braces inside them don't count.
+    fn skip_container(&mut self, open: u8, close: u8) -> Result<(), String> {
+        self.expect(open)?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                Some(b'"') => {
+                    self.parse_string()?;
+                }
+                Some(byte) => {
+                    if byte == open {
+                        depth += 1;
+                    } else if byte == close {
+                        depth -= 1;
+                    }
+                    self.pos += 1;
+                }
+                None => return Err(self.fail(format!("unterminated `{}`", open as char))),
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.fail(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| self.fail(e.to_string()))?;
+        text.parse::<f64>()
+            .map_err(|_| self.fail(format!("bad number `{text}`")))
+    }
+}
+
+/// Evaluates one bench's gates over its baseline and fresh JSON.
+///
+/// # Errors
+///
+/// Unknown bench name, malformed JSON, or a gated metric missing from
+/// either side — all of which the caller should treat as a failure, not
+/// a skip: a bench that stops emitting its gated metric would otherwise
+/// pass forever.
+pub fn compare(
+    bench: &str,
+    baseline_json: &str,
+    fresh_json: &str,
+) -> Result<Vec<GateResult>, String> {
+    let gates = gates_for(bench);
+    if gates.is_empty() {
+        return Err(format!("no gates defined for bench `{bench}`"));
+    }
+    let baseline =
+        top_level_numbers(baseline_json).map_err(|e| format!("baseline {bench}: {e}"))?;
+    let fresh = top_level_numbers(fresh_json).map_err(|e| format!("fresh {bench}: {e}"))?;
+    gates
+        .iter()
+        .map(|gate| {
+            let base = *baseline
+                .get(gate.key)
+                .ok_or_else(|| format!("baseline {bench} JSON is missing `{}`", gate.key))?;
+            let new = *fresh
+                .get(gate.key)
+                .ok_or_else(|| format!("fresh {bench} JSON is missing `{}`", gate.key))?;
+            let (limit, pass) = match gate.direction {
+                Direction::LowerIsBetter => {
+                    let limit = base * gate.max_ratio + gate.abs_slack;
+                    (limit, new <= limit)
+                }
+                Direction::HigherIsBetter => {
+                    let limit = base / gate.max_ratio - gate.abs_slack;
+                    (limit, new >= limit)
+                }
+            };
+            Ok(GateResult {
+                key: gate.key,
+                baseline: base,
+                fresh: new,
+                limit,
+                pass,
+            })
+        })
+        .collect()
+}
+
+/// Renders one bench's gate verdicts as an aligned table block.
+pub fn render(bench: &str, results: &[GateResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.key.to_string(),
+                format!("{:.3}", r.baseline),
+                format!("{:.3}", r.fresh),
+                format!("{:.3}", r.limit),
+                if r.pass {
+                    "ok".into()
+                } else {
+                    "REGRESSED".into()
+                },
+            ]
+        })
+        .collect();
+    format!(
+        "bench {bench}:\n{}",
+        crate::render_table(&["Metric", "Baseline", "Fresh", "Limit", "Verdict"], &rows)
+    )
+}
+
+/// The `bench-compare` binary's whole job, separated for testing: reads
+/// `BENCH_<bench>.json` under `baseline_dir` and `fresh_dir` for each
+/// requested bench, evaluates the gates, and renders a report.
+///
+/// # Errors
+///
+/// Returns the rendered report (with failures marked) as the error value
+/// when any gate regresses or any input is unreadable.
+pub fn run_cli(
+    benches: &[String],
+    baseline_dir: &std::path::Path,
+    fresh_dir: &std::path::Path,
+) -> Result<String, String> {
+    let mut out = String::new();
+    let mut failed = false;
+    for bench in benches {
+        let read = |dir: &std::path::Path| -> Result<String, String> {
+            let path = dir.join(format!("BENCH_{bench}.json"));
+            std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))
+        };
+        let verdict = read(baseline_dir)
+            .and_then(|baseline| read(fresh_dir).map(|fresh| (baseline, fresh)))
+            .and_then(|(baseline, fresh)| compare(bench, &baseline, &fresh));
+        match verdict {
+            Ok(results) => {
+                failed |= results.iter().any(|r| !r.pass);
+                out.push_str(&render(bench, &results));
+                out.push('\n');
+            }
+            Err(e) => {
+                failed = true;
+                out.push_str(&format!("bench {bench}: FAILED — {e}\n\n"));
+            }
+        }
+    }
+    if failed {
+        out.push_str("bench-compare: REGRESSION (or unreadable input) — see above\n");
+        Err(out)
+    } else {
+        out.push_str("bench-compare: all gates within baseline thresholds\n");
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_extracts_only_top_level_numbers() {
+        let json = r#"{
+            "bench": "retention",
+            "final_store_ratio": 0.3172,
+            "checkpoints": [{"day": 10.0, "events": 5}, {"day": 20.0}],
+            "nested": {"inner": 7, "note": "a \" quoted } brace"},
+            "note": "braces { ] in strings are skipped",
+            "flag": true, "missing": null,
+            "median_sweep_stall_us": 1523,
+            "rate": -2.5e3
+        }"#;
+        let numbers = top_level_numbers(json).unwrap();
+        assert_eq!(numbers.get("final_store_ratio"), Some(&0.3172));
+        assert_eq!(numbers.get("median_sweep_stall_us"), Some(&1523.0));
+        assert_eq!(numbers.get("rate"), Some(&-2500.0));
+        assert!(!numbers.contains_key("day"), "{numbers:?}");
+        assert!(!numbers.contains_key("inner"), "{numbers:?}");
+        assert_eq!(numbers.len(), 3, "{numbers:?}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(top_level_numbers("").is_err());
+        assert!(top_level_numbers("[1, 2]").is_err());
+        assert!(top_level_numbers("{\"a\": }").is_err());
+        assert!(top_level_numbers("{\"a\": 1").is_err());
+        assert!(top_level_numbers("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parity_passes_every_gate() {
+        for bench in GATED_BENCHES {
+            let json = match bench {
+                "fleet" => "{\"best_events_per_sec\": 50000.0}",
+                "stream" => "{\"stream_amortized_us\": 2.5}",
+                "repair" => "{\"best_parallel_ms\": 120.0}",
+                _ => {
+                    "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
+                     \"median_sweep_stall_us\": 1500}"
+                }
+            };
+            let results = compare(bench, json, json).unwrap();
+            assert!(results.iter().all(|r| r.pass), "{bench}: {results:?}");
+        }
+    }
+
+    #[test]
+    fn synthetic_regressions_fail_their_gate() {
+        // Cost metric blown past ratio + slack.
+        let results = compare(
+            "stream",
+            "{\"stream_amortized_us\": 2.5}",
+            "{\"stream_amortized_us\": 25.0}",
+        )
+        .unwrap();
+        assert!(!results[0].pass, "{results:?}");
+
+        // Throughput cratered below baseline / ratio.
+        let results = compare(
+            "fleet",
+            "{\"best_events_per_sec\": 50000.0}",
+            "{\"best_events_per_sec\": 4000.0}",
+        )
+        .unwrap();
+        assert!(!results[0].pass, "{results:?}");
+
+        // A ratio metric creeping past its bound fails even though the
+        // stall gate next to it passes — gates are independent.
+        let results = compare(
+            "retention",
+            "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
+             \"median_sweep_stall_us\": 1500}",
+            "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.55, \
+             \"median_sweep_stall_us\": 1500}",
+        )
+        .unwrap();
+        assert_eq!(
+            results
+                .iter()
+                .filter(|r| !r.pass)
+                .map(|r| r.key)
+                .collect::<Vec<_>>(),
+            vec!["final_disk_ratio"],
+            "{results:?}"
+        );
+    }
+
+    #[test]
+    fn improvements_and_noise_within_slack_pass() {
+        // Faster is never a regression for a cost metric.
+        let results = compare(
+            "repair",
+            "{\"best_parallel_ms\": 120.0}",
+            "{\"best_parallel_ms\": 12.0}",
+        )
+        .unwrap();
+        assert!(results[0].pass, "{results:?}");
+
+        // A near-zero baseline tolerates jitter through abs_slack.
+        let results = compare(
+            "retention",
+            "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
+             \"median_sweep_stall_us\": 3}",
+            "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
+             \"median_sweep_stall_us\": 800}",
+        )
+        .unwrap();
+        assert!(results.iter().all(|r| r.pass), "{results:?}");
+    }
+
+    #[test]
+    fn missing_gated_metric_is_an_error_not_a_skip() {
+        let err = compare("retention", "{\"final_store_ratio\": 0.31}", "{}").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let err = compare("nosuchbench", "{}", "{}").unwrap_err();
+        assert!(err.contains("no gates"), "{err}");
+    }
+
+    #[test]
+    fn every_bench_json_emitter_satisfies_its_own_gates() {
+        // The real emitters and the gate keys must never drift apart:
+        // build one tiny artifact per bench through the actual `to_json`
+        // and check the gated keys parse out of it.
+        let fleet_json = crate::fleet::to_json(
+            &[crate::fleet::Sample {
+                threads: 1,
+                shards: 1,
+                mutations: 10,
+                events_per_sec: 1000.0,
+                total_secs: 0.01,
+            }],
+            500.0,
+            0.02,
+        );
+        let stream_json = crate::stream::to_json(
+            &[crate::stream::Sample {
+                events: 100,
+                batch_ms: 1.0,
+                stream_ms: 0.5,
+                batch_amortized_us: 10.0,
+                stream_amortized_us: 5.0,
+            }],
+            7,
+        );
+        let repair_json = crate::repair::to_json(&[crate::repair::Sample {
+            days: 21,
+            events: 100,
+            trials: 5,
+            sequential_ms: 10.0,
+            parallel_ms: vec![6.0, 4.0],
+        }]);
+        for (bench, json) in [
+            ("fleet", fleet_json),
+            ("stream", stream_json),
+            ("repair", repair_json),
+        ] {
+            let numbers = top_level_numbers(&json).unwrap();
+            for gate in gates_for(bench) {
+                assert!(
+                    numbers.contains_key(gate.key),
+                    "{bench} emitter lost gated key {}: {json}",
+                    gate.key
+                );
+            }
+            let results = compare(bench, &json, &json).unwrap();
+            assert!(results.iter().all(|r| r.pass), "{bench}: {results:?}");
+        }
+    }
+
+    #[test]
+    fn run_cli_reports_and_fails_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("ocasta-bench-compare-{}", std::process::id()));
+        let baseline_dir = dir.join("baseline");
+        let fresh_dir = dir.join("fresh");
+        std::fs::create_dir_all(&baseline_dir).unwrap();
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+        let write = |dir: &std::path::Path, value: f64| {
+            std::fs::write(
+                dir.join("BENCH_stream.json"),
+                format!("{{\"stream_amortized_us\": {value}}}"),
+            )
+            .unwrap();
+        };
+        write(&baseline_dir, 2.5);
+        write(&fresh_dir, 2.6);
+        let benches = vec!["stream".to_string()];
+        let report = run_cli(&benches, &baseline_dir, &fresh_dir).unwrap();
+        assert!(report.contains("all gates within"), "{report}");
+
+        write(&fresh_dir, 250.0);
+        let report = run_cli(&benches, &baseline_dir, &fresh_dir).unwrap_err();
+        assert!(report.contains("REGRESSED"), "{report}");
+
+        // Missing fresh artifact is a hard failure too.
+        std::fs::remove_file(fresh_dir.join("BENCH_stream.json")).unwrap();
+        let report = run_cli(&benches, &baseline_dir, &fresh_dir).unwrap_err();
+        assert!(report.contains("cannot read"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

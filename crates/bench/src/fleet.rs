@@ -91,8 +91,30 @@ pub fn sweep(thread_counts: &[usize], shard_counts: &[usize]) -> Vec<Sample> {
     samples
 }
 
+/// Serialises the sweep as machine-readable JSON (`BENCH_fleet.json`),
+/// flat top-level numbers for `bench-compare` to gate on.
+pub fn to_json(samples: &[Sample], baseline_rate: f64, baseline_secs: f64) -> String {
+    let best_total = samples
+        .iter()
+        .map(|s| s.total_secs)
+        .fold(f64::INFINITY, f64::min);
+    format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"machines\": {MACHINES},\n  \"days\": {DAYS},\n  \
+         \"mutations\": {},\n  \"baseline_events_per_sec\": {:.1},\n  \
+         \"best_events_per_sec\": {:.1},\n  \"single_thread_events_per_sec\": {:.1},\n  \
+         \"best_total_ms\": {:.3},\n  \"baseline_total_ms\": {:.3}\n}}\n",
+        samples.first().map_or(0, |s| s.mutations),
+        baseline_rate,
+        best_rate(samples, |_| true),
+        best_rate(samples, |s| s.threads == 1),
+        best_total * 1e3,
+        baseline_secs * 1e3,
+    )
+}
+
 /// Renders the baseline measurement and the sweep, plus a verdict.
-pub fn run() -> String {
+/// Returns `(human table, machine JSON)`.
+pub fn run() -> (String, String) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let machines = machines();
     let (baseline_mutations, baseline_secs) = baseline(&machines);
@@ -143,7 +165,8 @@ pub fn run() -> String {
          ({:.2}x; thread scaling needs >1 core — this host has {cores})\n",
         multi / single.max(f64::MIN_POSITIVE),
     ));
-    out
+    let json = to_json(&samples, baseline_rate, baseline_secs);
+    (out, json)
 }
 
 fn best_rate(samples: &[Sample], pick: impl Fn(&Sample) -> bool) -> f64 {
@@ -168,5 +191,10 @@ mod tests {
             samples.iter().all(|s| s.mutations == mutations),
             "same fleet ⇒ same mutation count: {samples:?}"
         );
+
+        let json = to_json(&samples, 1000.0, 0.5);
+        assert!(json.contains("\"bench\": \"fleet\""), "{json}");
+        assert!(json.contains("\"best_events_per_sec\""), "{json}");
+        assert!(json.contains("\"single_thread_events_per_sec\""), "{json}");
     }
 }

@@ -5,8 +5,10 @@
 //! --bin table2 --release`) print the result in the paper's shape, and
 //! `--bin run_all` regenerates everything. The `fleet`, `stream`,
 //! `repair` and `retention` modules benchmark the scale tiers grown on
-//! top of the paper.
+//! top of the paper; `compare` gates their JSON artifacts against the
+//! tracked baselines in `baselines/` (the `bench-compare` binary).
 
+pub mod compare;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

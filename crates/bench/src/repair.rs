@@ -114,8 +114,28 @@ fn assert_outcomes_equal(sequential: &SearchOutcome, parallel: &SearchOutcome, d
     );
 }
 
-/// Renders the sweep and the verdict.
-pub fn run() -> String {
+/// Serialises the sweep as machine-readable JSON (`BENCH_repair.json`),
+/// flat top-level numbers for `bench-compare` to gate on. All figures come
+/// from the largest history (the last sample), where cost differences are
+/// most visible.
+pub fn to_json(samples: &[Sample]) -> String {
+    let last = samples.last().expect("sweep is non-empty");
+    let best_parallel = last
+        .parallel_ms
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    format!(
+        "{{\n  \"bench\": \"repair\",\n  \"scenario_id\": {SCENARIO_ID},\n  \"days\": {},\n  \
+         \"events\": {},\n  \"trials\": {},\n  \"sequential_ms\": {:.3},\n  \
+         \"best_parallel_ms\": {:.3}\n}}\n",
+        last.days, last.events, last.trials, last.sequential_ms, best_parallel,
+    )
+}
+
+/// Renders the sweep and the verdict. Returns `(human table, machine
+/// JSON)`.
+pub fn run() -> (String, String) {
     let samples = sweep(&DAYS, &THREADS);
 
     let mut headers = vec!["Days", "Events", "Trials", "Seq ms"];
@@ -191,7 +211,8 @@ pub fn run() -> String {
         max_threads,
         modeled_par.as_mmss(),
     ));
-    out
+    let json = to_json(&samples);
+    (out, json)
 }
 
 #[cfg(test)]
@@ -207,5 +228,9 @@ mod tests {
         assert!(samples[0].events < samples[1].events);
         assert!(samples.iter().all(|s| s.trials > 0));
         assert!(samples.iter().all(|s| s.parallel_ms.len() == 1));
+
+        let json = to_json(&samples);
+        assert!(json.contains("\"bench\": \"repair\""), "{json}");
+        assert!(json.contains("\"best_parallel_ms\""), "{json}");
     }
 }

@@ -93,10 +93,34 @@ pub fn feed(machines: usize, days: u64) -> Vec<TraceOp> {
     ops
 }
 
+/// The full result of one [`sweep`]: the per-checkpoint series plus the
+/// *settled* disk footprint measured after one final rebase at the last
+/// horizon.
+///
+/// The distinction matters because the sweeper rebases on a cadence
+/// (every few sweeps): if the run happens to end mid-cycle, the retention
+/// chain still carries overlapping delta layers and the last checkpoint's
+/// disk reading is transiently inflated — it reflects where the rebase
+/// clock stopped, not the steady state a long-lived deployment pays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Per-checkpoint footprint samples, mid-run readings.
+    pub samples: Vec<Sample>,
+    /// Retention-side disk bytes after the final settling rebase.
+    pub settled_on_disk_bytes: u64,
+    /// Unbounded-side disk bytes at the same moment (already settled —
+    /// the off side compacts to a single snapshot every checkpoint).
+    pub settled_off_disk_bytes: u64,
+    /// Wall-clock cost of the settling rebase, microseconds.
+    pub settle_stall_us: u64,
+}
+
 /// Drives the feed into both configurations, sweeping the retention side
 /// to `frontier − retain` after every chunk and compacting its WAL to the
 /// same horizon. Off-side WALs are compacted too (unpruned), so the disk
-/// comparison is snapshot-to-snapshot.
+/// comparison is snapshot-to-snapshot. After the last checkpoint the
+/// retention chain is settled with one final rebase, so the outcome
+/// carries both the mid-run and the steady-state disk footprint.
 ///
 /// # Panics
 ///
@@ -107,7 +131,7 @@ pub fn sweep(
     retain: TimeDelta,
     checkpoints: usize,
     scratch: &Path,
-) -> Vec<Sample> {
+) -> SweepOutcome {
     let precision = TimePrecision::Milliseconds;
     let off = ShardedTtkv::new(8);
     let on = ShardedTtkv::new(8);
@@ -122,6 +146,7 @@ pub fn sweep(
     on_wal.set_rebase_layers(3);
     let mut reclaimed = PruneStats::default();
     let mut samples = Vec::new();
+    let mut last_horizon = Timestamp::EPOCH;
 
     for checkpoint in 1..=checkpoints {
         let done = ops.len() * checkpoint / checkpoints;
@@ -137,6 +162,7 @@ pub fn sweep(
         // `pinned_session_equivalence`), so the horizon is unclamped.
         let frontier = on.last_mutation_time().expect("chunks are non-empty");
         let horizon = frontier.saturating_sub(retain);
+        last_horizon = horizon;
         // The incremental sweep, timed end to end: in-place shard prune
         // plus layered (delta) WAL compaction.
         let sweep_started = std::time::Instant::now();
@@ -207,6 +233,25 @@ pub fn sweep(
             rebuild_stall_us,
         });
     }
+    // Settle the retention chain: the loop above leaves it wherever the
+    // rebase cadence happened to stop, so the last checkpoint's disk
+    // reading can carry un-rebased delta layers whose keys overlap the
+    // base. One explicit rebase at the final horizon collapses the chain
+    // to the footprint a long-lived deployment actually holds; both
+    // readings are reported so the cadence-vs-steady-state gap stays
+    // visible instead of skewing the headline ratio.
+    let settle_started = std::time::Instant::now();
+    on_wal
+        .compact_pruned_rebased(precision, last_horizon)
+        .expect("wal rebase");
+    let settle_stall_us = settle_started.elapsed().as_micros() as u64;
+    assert_eq!(
+        on_wal.replay(precision).expect("wal replay"),
+        on.snapshot_store(),
+        "settling rebase diverged at {last_horizon}"
+    );
+    let settled_on_disk_bytes = on_wal.log_bytes() + on_wal.snapshot_bytes();
+    let settled_off_disk_bytes = off_wal.log_bytes() + off_wal.snapshot_bytes();
     std::fs::remove_dir_all(scratch).ok();
 
     let last = samples.last().expect("checkpoints > 0");
@@ -217,12 +262,16 @@ pub fn sweep(
         last.off_store_bytes
     );
     assert!(
-        last.on_disk_bytes < last.off_disk_bytes,
-        "retention must bound disk: {} vs {}",
-        last.on_disk_bytes,
-        last.off_disk_bytes
+        settled_on_disk_bytes < settled_off_disk_bytes,
+        "retention must bound disk once settled: {settled_on_disk_bytes} vs \
+         {settled_off_disk_bytes}"
     );
-    samples
+    SweepOutcome {
+        samples,
+        settled_on_disk_bytes,
+        settled_off_disk_bytes,
+        settle_stall_us,
+    }
 }
 
 /// The engine-integrated half: a repair-service run with the fleet
@@ -313,7 +362,12 @@ fn row(sample: &Sample) -> Vec<String> {
 
 /// Serialises the sweep as machine-readable JSON (the perf-trajectory
 /// artifact CI accumulates as `BENCH_retention.json`).
-pub fn to_json(samples: &[Sample], session_note: &str) -> String {
+///
+/// `final_disk_ratio` is the *settled* reading (after the closing rebase);
+/// `mid_run_disk_ratio` preserves the last checkpoint's raw reading, which
+/// can sit above it when the run ends mid rebase-cycle.
+pub fn to_json(outcome: &SweepOutcome, session_note: &str) -> String {
+    let samples = &outcome.samples;
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"bench\": \"retention\",\n  \"machines\": {MACHINES},\n  \"days\": {DAYS},\n  \
@@ -341,11 +395,14 @@ pub fn to_json(samples: &[Sample], session_note: &str) -> String {
     let last = samples.last().expect("checkpoints > 0");
     out.push_str(&format!(
         "  ],\n  \"final_store_ratio\": {:.4},\n  \"final_disk_ratio\": {:.4},\n  \
+         \"mid_run_disk_ratio\": {:.4},\n  \"settle_stall_us\": {},\n  \
          \"median_sweep_stall_us\": {},\n  \"median_rebuild_stall_us\": {},\n  \
          \"final_rebuild_stall_us\": {},\n  \
          \"pinned_session_equivalence\": \"{}\"\n}}\n",
         last.on_store_bytes as f64 / last.off_store_bytes as f64,
+        outcome.settled_on_disk_bytes as f64 / outcome.settled_off_disk_bytes as f64,
         last.on_disk_bytes as f64 / last.off_disk_bytes as f64,
+        outcome.settle_stall_us,
         median(samples.iter().map(|s| s.sweep_stall_us)),
         median(samples.iter().map(|s| s.rebuild_stall_us)),
         last.rebuild_stall_us,
@@ -366,12 +423,13 @@ pub fn run() -> (String, String) {
     let ops = feed(MACHINES, DAYS);
     let scratch =
         std::env::temp_dir().join(format!("ocasta-bench-retention-{}", std::process::id()));
-    let samples = sweep(
+    let outcome = sweep(
         &ops,
         TimeDelta::from_days(RETAIN_DAYS),
         CHECKPOINTS,
         &scratch,
     );
+    let samples = &outcome.samples;
 
     let rows: Vec<Vec<String>> = samples.iter().map(row).collect();
     let mut out = format!(
@@ -399,11 +457,14 @@ pub fn run() -> (String, String) {
     out.push_str(&format!(
         "\nincremental == rebuild == direct (store + layered WAL replay) at every checkpoint: ok\n\
          unbounded store grew {:.1}x over the run; retained store grew {:.1}x \
-         and ended at {:.0}% of unbounded ({:.0}% on disk)\n",
+         and ended at {:.0}% of unbounded ({:.0}% on disk once settled; {:.0}% \
+         mid rebase-cycle, {} us to settle)\n",
         last.off_store_bytes as f64 / first.off_store_bytes.max(1) as f64,
         last.on_store_bytes as f64 / first.on_store_bytes.max(1) as f64,
         100.0 * last.on_store_bytes as f64 / last.off_store_bytes as f64,
+        100.0 * outcome.settled_on_disk_bytes as f64 / outcome.settled_off_disk_bytes as f64,
         100.0 * last.on_disk_bytes as f64 / last.off_disk_bytes as f64,
+        outcome.settle_stall_us,
     ));
     out.push_str(&format!(
         "per-sweep stall: incremental median {} us (rebase spikes included) \
@@ -417,7 +478,7 @@ pub fn run() -> (String, String) {
     ));
     let session_note = pinned_session_equivalence();
     out.push_str(&session_note);
-    let json = to_json(&samples, &session_note);
+    let json = to_json(&outcome, &session_note);
     (out, json)
 }
 
@@ -434,16 +495,22 @@ mod tests {
             "ocasta-bench-retention-test-{}",
             std::process::id()
         ));
-        let samples = sweep(&ops, TimeDelta::from_days(4), 4, &scratch);
+        let outcome = sweep(&ops, TimeDelta::from_days(4), 4, &scratch);
+        let samples = &outcome.samples;
         assert_eq!(samples.len(), 4);
         assert!(samples.windows(2).all(|w| w[0].events <= w[1].events));
         let last = samples.last().unwrap();
         assert!(last.pruned_versions > 0);
         assert!(last.on_store_bytes < last.off_store_bytes);
+        // The settled reading never exceeds the mid-run one: the closing
+        // rebase can only collapse overlapping delta layers, not add any.
+        assert!(outcome.settled_on_disk_bytes <= last.on_disk_bytes);
+        assert!(outcome.settled_on_disk_bytes < outcome.settled_off_disk_bytes);
 
-        let json = to_json(&samples, "ok");
+        let json = to_json(&outcome, "ok");
         assert!(json.contains("\"bench\": \"retention\""), "{json}");
         assert!(json.contains("\"final_store_ratio\""), "{json}");
+        assert!(json.contains("\"mid_run_disk_ratio\""), "{json}");
         assert_eq!(json.matches("{\"day\"").count(), 4, "{json}");
     }
 }

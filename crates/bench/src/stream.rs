@@ -121,8 +121,26 @@ pub fn sweep(events: &[WriteEvent], n_items: usize, params: &ClusterParams) -> V
     samples
 }
 
-/// Renders the sweep and the verdict.
-pub fn run() -> String {
+/// Serialises the sweep as machine-readable JSON (`BENCH_stream.json`),
+/// flat top-level numbers for `bench-compare` to gate on.
+pub fn to_json(samples: &[Sample], n_items: usize) -> String {
+    let last = samples.last().expect("checkpoints > 0");
+    format!(
+        "{{\n  \"bench\": \"stream\",\n  \"machines\": {MACHINES},\n  \"days\": {DAYS},\n  \
+         \"keys\": {n_items},\n  \"events\": {},\n  \"final_batch_ms\": {:.3},\n  \
+         \"final_stream_ms\": {:.3},\n  \"batch_amortized_us\": {:.4},\n  \
+         \"stream_amortized_us\": {:.4}\n}}\n",
+        last.events,
+        last.batch_ms,
+        last.stream_ms,
+        last.batch_amortized_us,
+        last.stream_amortized_us,
+    )
+}
+
+/// Renders the sweep and the verdict. Returns `(human table, machine
+/// JSON)`.
+pub fn run() -> (String, String) {
     let (events, n_items) = workload();
     let params = ClusterParams::default();
     let samples = sweep(&events, n_items, &params);
@@ -170,7 +188,8 @@ pub fn run() -> String {
         last.stream_amortized_us,
         last.batch_amortized_us / last.stream_amortized_us.max(f64::MIN_POSITIVE),
     ));
-    out
+    let json = to_json(&samples, n_items);
+    (out, json)
 }
 
 #[cfg(test)]
@@ -187,5 +206,9 @@ mod tests {
         assert_eq!(samples.len(), CHECKPOINTS);
         assert_eq!(samples.last().unwrap().events, prefix.len());
         assert!(samples.windows(2).all(|w| w[0].events <= w[1].events));
+
+        let json = to_json(&samples, n_items);
+        assert!(json.contains("\"bench\": \"stream\""), "{json}");
+        assert!(json.contains("\"stream_amortized_us\""), "{json}");
     }
 }

@@ -9,17 +9,19 @@
 //! ocasta fleet    --machines <n> --days <n> [--threads <n>] [--shards <n>]
 //!                 [--batch <n>] [--app <name>...]
 //!                 [--placement merged|per-machine] [--retain-days <n>]
-//!                 [--wal <dir>] [--cluster] [-o store.ttkv]
+//!                 [--wal <dir>] [--cluster] [--metrics-json <path>]
+//!                 [-o store.ttkv]
 //! ocasta stream   --machines <n> --days <n> [--seed <n>] [--threads <n>]
 //!                 [--shards <n>] [--batch <n>] [--app <name>...]
 //!                 [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
-//!                 [--retain-days <n>] [--verify]
+//!                 [--retain-days <n>] [--metrics-json <path>] [--verify]
 //! ocasta repair   --machines <n> --days <n> [--seed <n>] [--threads <n>]
 //!                 [--shards <n>] [--batch <n>] [--app <name>...]
 //!                 [--users <n>] [--search-threads <n>] [--scenario <id>...]
 //!                 [--window <secs>] [--threshold <corr>] [--min-events <n>]
 //!                 [--start-bound-days <n>] [--strategy dfs|bfs]
-//!                 [--retain-days <n>]
+//!                 [--retain-days <n>] [--metrics-json <path>]
+//! ocasta doctor   <wal-dir>
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately keeps its
@@ -28,12 +30,14 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use ocasta::fleet::{fleet_machines, parse_placement, run_fleet, FleetRunConfig};
+use ocasta::fleet::{fleet_machines, parse_placement, run_fleet_observed, FleetRunConfig};
 use ocasta::{
-    fleet_ingest_tapped, generate, model_by_name, run_repair_service, ClusterParams,
-    GeneratorConfig, Key, Ocasta, OcastaStream, RepairServiceConfig, RetentionPolicy,
-    SearchStrategy, TimePrecision, Trace, Ttkv, TtkvStats, WriteLanes,
+    diagnose, fleet_ingest_observed, generate, model_by_name, run_repair_service_observed,
+    ClusterParams, FleetMetrics, GeneratorConfig, IngestOptions, Key, Ocasta, OcastaStream,
+    Registry, RepairServiceConfig, RetentionPolicy, SearchStrategy, ServiceMetrics,
+    ServiceObservers, StreamMetrics, TimePrecision, Trace, Ttkv, TtkvStats, WriteLanes,
 };
 
 fn main() -> ExitCode {
@@ -69,17 +73,19 @@ usage:
   ocasta fleet    --machines <n> --days <n> [--seed <n>] [--threads <n>]
                   [--shards <n>] [--batch <n>] [--app <name>...]
                   [--placement merged|per-machine] [--retain-days <n>]
-                  [--wal <dir>] [--cluster] [-o <store.ttkv>]
+                  [--wal <dir>] [--cluster] [--metrics-json <path>]
+                  [-o <store.ttkv>]
   ocasta stream   --machines <n> --days <n> [--seed <n>] [--threads <n>]
                   [--shards <n>] [--batch <n>] [--app <name>...]
                   [--window <secs>] [--threshold <corr>] [--poll-ms <n>]
-                  [--retain-days <n>] [--verify]
+                  [--retain-days <n>] [--metrics-json <path>] [--verify]
   ocasta repair   --machines <n> --days <n> [--seed <n>] [--threads <n>]
                   [--shards <n>] [--batch <n>] [--app <name>...]
                   [--users <n>] [--search-threads <n>] [--scenario <id>...]
                   [--window <secs>] [--threshold <corr>] [--min-events <n>]
                   [--start-bound-days <n>] [--strategy dfs|bfs]
-                  [--retain-days <n>]
+                  [--retain-days <n>] [--metrics-json <path>]
+  ocasta doctor   <wal-dir>
 
 applications for `generate`, `fleet`, `stream` and `repair`: outlook
 evolution ie chrome word gedit eog paint acrobat explorer wmp";
@@ -115,6 +121,7 @@ enum Command {
         config: FleetRunConfig,
         cluster: bool,
         output: Option<String>,
+        metrics_json: Option<String>,
     },
     Stream {
         config: FleetRunConfig,
@@ -122,9 +129,14 @@ enum Command {
         threshold: f64,
         poll_ms: u64,
         verify: bool,
+        metrics_json: Option<String>,
     },
     Repair {
         config: RepairServiceConfig,
+        metrics_json: Option<String>,
+    },
+    Doctor {
+        dir: String,
     },
 }
 
@@ -223,6 +235,7 @@ impl Command {
                 let mut config = FleetRunConfig::default();
                 let mut cluster = false;
                 let mut output = None;
+                let mut metrics_json = None;
                 let mut i = 0;
                 while i < rest.len() {
                     match rest[i] {
@@ -253,6 +266,9 @@ impl Command {
                         }
                         "--wal" => config.wal_dir = Some(value_of(&rest, &mut i)?.into()),
                         "--cluster" => cluster = true,
+                        "--metrics-json" => {
+                            metrics_json = Some(value_of(&rest, &mut i)?.to_owned())
+                        }
                         "-o" | "--output" => output = Some(value_of(&rest, &mut i)?.to_owned()),
                         other => return Err(format!("unknown argument `{other}`")),
                     }
@@ -268,6 +284,7 @@ impl Command {
                     config,
                     cluster,
                     output,
+                    metrics_json,
                 })
             }
             "stream" => {
@@ -276,6 +293,7 @@ impl Command {
                 let mut threshold = 2.0f64;
                 let mut poll_ms = 20u64;
                 let mut verify = false;
+                let mut metrics_json = None;
                 let mut i = 0;
                 while i < rest.len() {
                     match rest[i] {
@@ -309,6 +327,9 @@ impl Command {
                         }
                         "--poll-ms" => poll_ms = parse_num(value_of(&rest, &mut i)?)?,
                         "--verify" => verify = true,
+                        "--metrics-json" => {
+                            metrics_json = Some(value_of(&rest, &mut i)?.to_owned())
+                        }
                         other => return Err(format!("unknown argument `{other}`")),
                     }
                     i += 1;
@@ -337,6 +358,7 @@ impl Command {
                     threshold,
                     poll_ms: poll_ms.max(1),
                     verify,
+                    metrics_json,
                 })
             }
             "repair" => {
@@ -346,6 +368,7 @@ impl Command {
                 config.scenario_ids = Vec::new();
                 let mut window_secs = 1u64;
                 let mut threshold = 2.0f64;
+                let mut metrics_json = None;
                 let mut i = 0;
                 while i < rest.len() {
                     match rest[i] {
@@ -405,6 +428,9 @@ impl Command {
                                 }
                             }
                         }
+                        "--metrics-json" => {
+                            metrics_json = Some(value_of(&rest, &mut i)?.to_owned())
+                        }
                         other => return Err(format!("unknown argument `{other}`")),
                     }
                     i += 1;
@@ -429,8 +455,17 @@ impl Command {
                     correlation_threshold: threshold,
                     ..ClusterParams::default()
                 };
-                Ok(Command::Repair { config })
+                Ok(Command::Repair {
+                    config,
+                    metrics_json,
+                })
             }
+            "doctor" => match rest.as_slice() {
+                [dir] => Ok(Command::Doctor {
+                    dir: (*dir).to_owned(),
+                }),
+                _ => Err("doctor takes exactly one WAL directory".into()),
+            },
             "history" => match rest.as_slice() {
                 [store, key] => Ok(Command::History {
                     store: (*store).to_owned(),
@@ -531,8 +566,15 @@ impl Command {
                 config,
                 cluster,
                 output,
+                metrics_json,
             } => {
-                let run = run_fleet(config)?;
+                let registry = Registry::new();
+                let metrics = metrics_json
+                    .as_ref()
+                    .map(|_| FleetMetrics::register(&registry));
+                let run = run_fleet_observed(config, metrics.as_ref())?;
+                // The report line already carries the retention tally
+                // (sweeps, clamps, horizon, reclaimed) when a policy ran.
                 let mut out = format!("{}\n", run.report);
                 out.push_str(&format!("store: {}\n", run.store.stats()));
                 if *cluster {
@@ -552,6 +594,10 @@ impl Command {
                         .map_err(|e| e.to_string())?;
                     out.push_str(&format!("wrote {path}\n"));
                 }
+                if let Some(path) = metrics_json {
+                    write_metrics(path, &registry)?;
+                    out.push_str(&format!("wrote metrics {path}\n"));
+                }
                 Ok(out)
             }
             Command::Stream {
@@ -560,6 +606,7 @@ impl Command {
                 threshold,
                 poll_ms,
                 verify,
+                metrics_json,
             } => {
                 let machines = fleet_machines(config)?;
                 let params = ClusterParams {
@@ -568,15 +615,29 @@ impl Command {
                     ..ClusterParams::default()
                 };
                 let engine = Ocasta::new(params);
+                let registry = Registry::new();
+                let fleet_metrics = metrics_json
+                    .as_ref()
+                    .map(|_| FleetMetrics::register(&registry));
                 let mut stream = OcastaStream::new(&engine);
+                if metrics_json.is_some() {
+                    stream.set_metrics(Arc::new(StreamMetrics::register(&registry)));
+                }
                 let lanes = WriteLanes::new(config.engine.shards);
                 let mut out = String::new();
 
                 // Ingest on a background thread; serve live clusterings
                 // from this one by draining the analytics lanes.
                 let (store, report) = std::thread::scope(|scope| {
-                    let handle =
-                        scope.spawn(|| fleet_ingest_tapped(&machines, &config.engine, &lanes));
+                    let handle = scope.spawn(|| {
+                        let options = IngestOptions {
+                            tap: Some(&lanes),
+                            metrics: fleet_metrics.as_ref(),
+                            ..IngestOptions::default()
+                        };
+                        fleet_ingest_observed(&machines, &config.engine, options)
+                            .expect("no wal lane, no wal errors")
+                    });
                     loop {
                         let finished = handle.is_finished();
                         if stream.drain_lanes(&lanes) > 0 {
@@ -626,10 +687,26 @@ impl Command {
                         ));
                     }
                 }
+                if let Some(path) = metrics_json {
+                    write_metrics(path, &registry)?;
+                    out.push_str(&format!("wrote metrics {path}\n"));
+                }
                 Ok(out)
             }
-            Command::Repair { config } => {
-                let run = run_repair_service(config)?;
+            Command::Repair {
+                config,
+                metrics_json,
+            } => {
+                let registry = Registry::new();
+                let observers = match metrics_json {
+                    Some(_) => ServiceObservers {
+                        fleet: Some(Arc::new(FleetMetrics::register(&registry))),
+                        service: Some(Arc::new(ServiceMetrics::register(&registry))),
+                        stream: Some(Arc::new(StreamMetrics::register(&registry))),
+                    },
+                    None => ServiceObservers::default(),
+                };
+                let run = run_repair_service_observed(config, &observers)?;
                 let mut out = format!(
                     "catalog: pinned at epoch {} ({} events, watermark {}ms) — \
                      {} clusters ({} multi), mid-ingest: {}\n\
@@ -667,13 +744,32 @@ impl Command {
                         session.description,
                     ));
                 }
+                // The ingest line already carries the retention tally
+                // (sweeps, clamps, horizon, reclaimed) when a policy ran.
                 out.push_str(&format!("ingest: {}\n", run.ingest));
+                out.push_str(&format!(
+                    "session pin: {} (oldest history any session could touch)\n",
+                    run.session_pin,
+                ));
                 out.push_str(&format!(
                     "fixed {}/{} sessions\n",
                     run.fixed_sessions(),
                     run.sessions.len(),
                 ));
+                if let Some(path) = metrics_json {
+                    write_metrics(path, &registry)?;
+                    out.push_str(&format!("wrote metrics {path}\n"));
+                }
                 Ok(out)
+            }
+            Command::Doctor { dir } => {
+                let report = diagnose(dir);
+                if report.has_errors() {
+                    // Corruption: the report *is* the error, and main's
+                    // error path turns it into a non-zero exit.
+                    return Err(format!("{report}"));
+                }
+                Ok(format!("{report}\n"))
             }
             Command::History { store, key } => {
                 let store = load_store(store)?;
@@ -736,6 +832,11 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 fn load_store(path: &str) -> Result<Ttkv, String> {
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     Ttkv::load(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+/// Writes the registry snapshot to `path` as JSON.
+fn write_metrics(path: &str, registry: &Registry) -> Result<(), String> {
+    std::fs::write(path, registry.snapshot_json()).map_err(|e| format!("write {path}: {e}"))
 }
 
 #[cfg(test)]
@@ -844,7 +945,9 @@ mod tests {
                 config,
                 cluster,
                 output,
+                metrics_json,
             } => {
+                assert!(metrics_json.is_none());
                 assert_eq!(config.machines, 8);
                 assert_eq!(config.days, 14);
                 assert_eq!(config.seed, 5);
@@ -893,6 +996,7 @@ mod tests {
                 threshold,
                 poll_ms,
                 verify,
+                ..
             } => {
                 assert_eq!(config.machines, 3);
                 assert_eq!(config.days, 5);
@@ -941,7 +1045,7 @@ mod tests {
         ])
         .unwrap();
         match cmd {
-            Command::Repair { config } => {
+            Command::Repair { config, .. } => {
                 assert_eq!(config.fleet.machines, 4);
                 assert_eq!(config.fleet.days, 8);
                 assert_eq!(config.users, 3);
@@ -955,7 +1059,7 @@ mod tests {
         }
         // Defaults: scenario set falls back to the service default.
         match parse(&["repair", "--machines", "2", "--days", "3"]).unwrap() {
-            Command::Repair { config } => {
+            Command::Repair { config, .. } => {
                 assert!(!config.scenario_ids.is_empty());
                 assert_eq!(config.strategy, SearchStrategy::Dfs);
             }
@@ -1111,7 +1215,7 @@ mod tests {
         ])
         .unwrap()
         {
-            Command::Repair { config } => {
+            Command::Repair { config, .. } => {
                 assert_eq!(
                     config.fleet.engine.retention,
                     Some(RetentionPolicy::keep_days(5)),
@@ -1187,6 +1291,132 @@ mod tests {
         assert!(parse(&["stats", "a", "b"]).is_err());
         assert!(parse(&["history", "s"]).is_err());
         assert!(parse(&["generate", "--app"]).is_err(), "flag without value");
+        assert!(parse(&["doctor"]).is_err(), "doctor needs a directory");
+        assert!(parse(&["doctor", "a", "b"]).is_err());
+        assert!(
+            parse(&["fleet", "--machines", "2", "--days", "3", "--metrics-json"]).is_err(),
+            "flag without value"
+        );
+    }
+
+    #[test]
+    fn parse_metrics_json_and_doctor() {
+        for verb in ["fleet", "stream", "repair"] {
+            let cmd = parse(&[
+                verb,
+                "--machines",
+                "2",
+                "--days",
+                "3",
+                "--metrics-json",
+                "m.json",
+            ])
+            .unwrap();
+            let path = match cmd {
+                Command::Fleet { metrics_json, .. }
+                | Command::Stream { metrics_json, .. }
+                | Command::Repair { metrics_json, .. } => metrics_json,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(path.as_deref(), Some("m.json"), "{verb}");
+        }
+        assert_eq!(
+            parse(&["doctor", "waldir"]).unwrap(),
+            Command::Doctor {
+                dir: "waldir".into()
+            }
+        );
+    }
+
+    /// Seed-determinism with observation attached: the same fleet run,
+    /// once with metrics collection and once without, must write a
+    /// byte-identical `-o` store. Metrics are pure observers — if this
+    /// test fails, something read a metric back into a decision.
+    #[test]
+    fn metrics_collection_never_perturbs_the_output_bytes() {
+        let dir = std::env::temp_dir().join(format!("ocasta-cli-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("plain.ttkv").to_string_lossy().into_owned();
+        let observed = dir.join("observed.ttkv").to_string_lossy().into_owned();
+        let metrics = dir.join("metrics.json").to_string_lossy().into_owned();
+        let base = [
+            "fleet",
+            "--machines",
+            "3",
+            "--days",
+            "5",
+            "--seed",
+            "42",
+            "--app",
+            "gedit",
+            "--threads",
+            "2",
+            "--shards",
+            "4",
+            "--retain-days",
+            "2",
+        ];
+
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["-o", &plain]);
+        parse(&args).unwrap().run().unwrap();
+
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["-o", &observed, "--metrics-json", &metrics]);
+        let out = parse(&args).unwrap().run().unwrap();
+        assert!(out.contains("wrote metrics"), "{out}");
+
+        let plain_bytes = std::fs::read(&plain).unwrap();
+        let observed_bytes = std::fs::read(&observed).unwrap();
+        assert!(!plain_bytes.is_empty());
+        assert_eq!(
+            plain_bytes, observed_bytes,
+            "metrics must not perturb the run"
+        );
+
+        // And the snapshot actually observed the run.
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"fleet.ingest.batches\""), "{json}");
+        assert!(json.contains("\"fleet.sweep.count\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn doctor_end_to_end_healthy_and_corrupt() {
+        let dir = std::env::temp_dir().join(format!("ocasta-cli-doctor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.join("wal");
+        std::fs::create_dir_all(&wal).unwrap();
+        let wal_str = wal.to_string_lossy().into_owned();
+
+        // A real fleet run populates the WAL directory.
+        parse(&[
+            "fleet",
+            "--machines",
+            "2",
+            "--days",
+            "3",
+            "--app",
+            "gedit",
+            "--wal",
+            &wal_str,
+        ])
+        .unwrap()
+        .run()
+        .unwrap();
+
+        let out = parse(&["doctor", &wal_str]).unwrap().run().unwrap();
+        assert!(out.contains("healthy"), "{out}");
+
+        // Flip a byte inside the log's first frame: corruption, non-Ok.
+        let log = wal.join("wal.log");
+        let mut bytes = std::fs::read(&log).unwrap();
+        let offset = ocasta::WAL_MAGIC.len() + 8 + 2;
+        bytes[offset] ^= 0xFF;
+        std::fs::write(&log, &bytes).unwrap();
+        let err = parse(&["doctor", &wal_str]).unwrap().run().unwrap_err();
+        assert!(err.contains("log-corrupt"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

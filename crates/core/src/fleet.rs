@@ -7,7 +7,8 @@
 //! paper pipeline at deployment scale, in one call.
 
 use ocasta_fleet::{
-    ingest, ingest_with_wal, FleetConfig, FleetReport, KeyPlacement, MachineSpec, Wal,
+    ingest_observed, FleetConfig, FleetMetrics, FleetReport, IngestOptions, KeyPlacement,
+    MachineSpec, Wal,
 };
 use ocasta_ttkv::{TimePrecision, Ttkv};
 
@@ -95,14 +96,35 @@ pub fn fleet_machines(config: &FleetRunConfig) -> Result<Vec<MachineSpec>, Strin
 ///
 /// Unknown application names, or WAL failures when `wal_dir` is set.
 pub fn run_fleet(config: &FleetRunConfig) -> Result<FleetRun, String> {
+    run_fleet_observed(config, None)
+}
+
+/// [`run_fleet`] with an optional metrics bundle attached to the engine.
+///
+/// The bundle records throughput, stripe-lock waits, WAL timings and sweep
+/// stalls into lock-free [`ocasta_obs`](ocasta_fleet::FleetMetrics)
+/// primitives; it is purely observational — the run's output is
+/// byte-identical with and without it.
+///
+/// # Errors
+///
+/// Same conditions as [`run_fleet`].
+pub fn run_fleet_observed(
+    config: &FleetRunConfig,
+    metrics: Option<&FleetMetrics>,
+) -> Result<FleetRun, String> {
     let machines = fleet_machines(config)?;
-    let (store, report) = match &config.wal_dir {
-        Some(dir) => {
-            let mut wal = Wal::open(dir).map_err(|e| e.to_string())?;
-            ingest_with_wal(&machines, &config.engine, &mut wal).map_err(|e| e.to_string())?
-        }
-        None => ingest(&machines, &config.engine),
+    let mut wal = match &config.wal_dir {
+        Some(dir) => Some(Wal::open(dir).map_err(|e| e.to_string())?),
+        None => None,
     };
+    let options = IngestOptions {
+        wal: wal.as_mut(),
+        metrics,
+        ..IngestOptions::default()
+    };
+    let (store, report) =
+        ingest_observed(&machines, &config.engine, options).map_err(|e| e.to_string())?;
     Ok(FleetRun { store, report })
 }
 

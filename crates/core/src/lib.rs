@@ -51,16 +51,21 @@
 
 mod accuracy;
 pub mod fleet;
+mod metrics;
 mod pipeline;
 mod scenario;
 mod service;
 mod stream;
 
 pub use accuracy::{evaluate_all, evaluate_model, score, AccuracySummary, AppAccuracy};
-pub use fleet::{run_fleet, FleetRun, FleetRunConfig};
+pub use fleet::{run_fleet, run_fleet_observed, FleetRun, FleetRunConfig};
+pub use metrics::{ServiceMetrics, StreamMetrics};
 pub use pipeline::{Clustering, Ocasta};
 pub use scenario::{prepare_store, run_noclust, run_scenario, ScenarioConfig, ScenarioOutcome};
-pub use service::{run_repair_service, RepairServiceConfig, RepairServiceRun, UserRepair};
+pub use service::{
+    run_repair_service, run_repair_service_observed, RepairServiceConfig, RepairServiceRun,
+    ServiceObservers, UserRepair,
+};
 pub use stream::{OcastaStream, StreamClustering, StreamHorizon};
 
 // Re-export the pieces users need without adding every sub-crate to their
@@ -72,11 +77,14 @@ pub use ocasta_cluster::{
     TransactionWindow, WriteEvent,
 };
 pub use ocasta_fleet::{
-    ingest as fleet_ingest, ingest_into as fleet_ingest_into, ingest_live as fleet_ingest_live,
-    ingest_tapped as fleet_ingest_tapped, FleetConfig, FleetReport, IngestOptions, IngestTap,
-    KeyPlacement, MachineSpec, RetentionPolicy, RetentionReport, ShardedTtkv, Wal, WalError,
-    WalReader, WalWriter, WriteLanes,
+    diagnose, ingest as fleet_ingest, ingest_into as fleet_ingest_into,
+    ingest_live as fleet_ingest_live, ingest_observed as fleet_ingest_observed,
+    ingest_tapped as fleet_ingest_tapped, DoctorReport, Finding, FleetConfig, FleetMetrics,
+    FleetReport, IngestOptions, IngestTap, KeyPlacement, MachineSpec, RetentionPolicy,
+    RetentionReport, Severity, ShardedTtkv, Wal, WalError, WalReader, WalWriter, WriteLanes,
+    WAL_MAGIC,
 };
+pub use ocasta_obs::{Counter, Gauge, Histogram, Registry};
 pub use ocasta_parsers::{
     detect_format, diff_flush, parse, write, FlatConfig, FlushChange, Format, Node,
     ParseConfigError,

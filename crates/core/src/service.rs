@@ -26,11 +26,14 @@
 //! parallel-search equivalence proof live in `DESIGN.md §5.8`; the
 //! retention ordering argument is `DESIGN.md §5.9`.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ocasta_apps::{scenarios, ErrorScenario};
 use ocasta_cluster::ClusterParams;
-use ocasta_fleet::{ingest_live, FleetReport, IngestOptions, ShardedTtkv, WriteLanes};
+use ocasta_fleet::{
+    ingest_live, FleetMetrics, FleetReport, IngestOptions, ShardedTtkv, WriteLanes,
+};
 use ocasta_repair::{
     CatalogHorizon, ClusterCatalog, HorizonGuard, RepairSession, SearchConfig, SearchStrategy,
     SessionReport,
@@ -38,6 +41,7 @@ use ocasta_repair::{
 use ocasta_ttkv::{TimeDelta, Timestamp, Ttkv, TtkvStats};
 
 use crate::fleet::{fleet_machines, FleetRunConfig};
+use crate::metrics::{ServiceMetrics, StreamMetrics};
 use crate::pipeline::Ocasta;
 use crate::stream::OcastaStream;
 
@@ -139,6 +143,22 @@ impl RepairServiceRun {
     }
 }
 
+/// The observer bundles a repair-service run can carry, one per tier.
+///
+/// All `None` (the [`Default`]) observes nothing. Everything here is
+/// purely observational: handles record wall-clock readings and counts,
+/// nothing reads them back, and a run's outcome is identical with any
+/// combination attached (`DESIGN.md §5.11`).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceObservers {
+    /// Ingestion-tier metrics (batches, WAL timings, sweep stalls).
+    pub fleet: Option<Arc<FleetMetrics>>,
+    /// Session-tier metrics (open/step/commit latencies, pin clamps).
+    pub service: Option<Arc<ServiceMetrics>>,
+    /// Streaming-clustering metrics (absorb/query latencies, epoch).
+    pub stream: Option<Arc<StreamMetrics>>,
+}
+
 /// Runs the repair service: ingest the fleet, pin a catalog + snapshot from
 /// the live tiers, and drive every user's repair session concurrently.
 ///
@@ -146,6 +166,18 @@ impl RepairServiceRun {
 ///
 /// Unknown scenario ids or application names, or `users == 0`.
 pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceRun, String> {
+    run_repair_service_observed(config, &ServiceObservers::default())
+}
+
+/// [`run_repair_service`] with per-tier metric bundles attached.
+///
+/// # Errors
+///
+/// Same conditions as [`run_repair_service`].
+pub fn run_repair_service_observed(
+    config: &RepairServiceConfig,
+    observers: &ServiceObservers,
+) -> Result<RepairServiceRun, String> {
     if config.users == 0 {
         return Err("repair needs --users >= 1".into());
     }
@@ -160,12 +192,17 @@ pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceR
     let lanes = WriteLanes::new(fleet_cfg.engine.shards);
     let guard = HorizonGuard::new();
     let mut stream = OcastaStream::new(&engine);
+    if let Some(stream_metrics) = &observers.stream {
+        stream.set_metrics(stream_metrics.clone());
+    }
+    let service_metrics = observers.service.as_deref();
 
     let run = std::thread::scope(|scope| {
         let ingest_handle = scope.spawn(|| {
             let options = IngestOptions {
                 tap: Some(&lanes),
                 guard: Some(&guard),
+                metrics: observers.fleet.as_deref(),
                 ..IngestOptions::default()
             };
             ingest_live(&machines, &fleet_cfg.engine, &sharded, options)
@@ -235,7 +272,15 @@ pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceR
                 // sandbox it injects the error into and searches.
                 let store = snapshot.clone();
                 scope.spawn(move || {
-                    run_user_session(config, user, scenario, store, catalog, session_pin)
+                    run_user_session(
+                        config,
+                        user,
+                        scenario,
+                        store,
+                        catalog,
+                        session_pin,
+                        service_metrics,
+                    )
                 })
             })
             .collect();
@@ -263,6 +308,7 @@ pub fn run_repair_service(config: &RepairServiceConfig) -> Result<RepairServiceR
 }
 
 /// One user: inject the scenario into the pinned snapshot, search, report.
+#[allow(clippy::too_many_arguments)]
 fn run_user_session(
     config: &RepairServiceConfig,
     user: usize,
@@ -270,7 +316,9 @@ fn run_user_session(
     mut store: Ttkv,
     catalog: ClusterCatalog,
     session_pin: Timestamp,
+    metrics: Option<&ServiceMetrics>,
 ) -> UserRepair {
+    let open_started = metrics.map(|_| Instant::now());
     let end = store.last_mutation_time().unwrap_or(Timestamp::EPOCH);
     // Stagger injections so concurrent users' errors are distinct events.
     let inject_at = end + TimeDelta::from_mins(5 * (user as u64 + 1));
@@ -287,18 +335,44 @@ fn run_user_session(
     // If the guard clamped our pin up (a sweep had already pruned deeper
     // before this run registered), history below the pin is gone
     // fleet-wide: bound the search to what provably exists.
-    search_config.start_time = search_config
-        .start_time
-        .map(|wanted| wanted.max(search_config.earliest_safe_start(session_pin)));
+    let clamped = search_config.start_time.map(|wanted| {
+        let safe = wanted.max(search_config.earliest_safe_start(session_pin));
+        let clamped = safe > wanted;
+        (safe, clamped)
+    });
+    if let Some((safe, was_clamped)) = clamped {
+        search_config.start_time = Some(safe);
+        if was_clamped {
+            if let Some(m) = metrics {
+                m.pin_clamps.inc();
+            }
+        }
+    }
     let session = RepairSession::new(format!("user{user:02}"), store, catalog, search_config)
         .with_threads(config.search_threads);
+    let step_started = metrics.map(|m| {
+        m.session_open
+            .record_duration(open_started.expect("paired with metrics").elapsed());
+        Instant::now()
+    });
     let report = session.run(&scenario.trial(), &scenario.oracle());
-    UserRepair {
+    let commit_started = metrics.map(|m| {
+        m.session_step
+            .record_duration(step_started.expect("paired with metrics").elapsed());
+        Instant::now()
+    });
+    let repair = UserRepair {
         scenario_id: scenario.id,
         description: scenario.description.to_owned(),
         fixed_cluster_size: report.outcome.fix.as_ref().map(|f| f.keys.len()),
         report,
+    };
+    if let Some(m) = metrics {
+        m.session_commit
+            .record_duration(commit_started.expect("paired with metrics").elapsed());
+        m.sessions.inc();
     }
+    repair
 }
 
 /// Resolves scenario ids against the Table III catalog, in the given order.

@@ -21,6 +21,8 @@
 //! `DESIGN.md §5.7`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use ocasta_cluster::WriteEvent;
 use ocasta_cluster::{cluster_correlations, IncrementalCorrelations};
@@ -29,6 +31,7 @@ use ocasta_repair::{CatalogHorizon, ClusterCatalog};
 use ocasta_trace::TraceOp;
 use ocasta_ttkv::{Key, Timestamp};
 
+use crate::metrics::StreamMetrics;
 use crate::pipeline::{Clustering, Ocasta};
 
 /// The event horizon a streamed clustering reflects.
@@ -96,6 +99,9 @@ pub struct OcastaStream {
     index: HashMap<Key, usize>,
     incremental: IncrementalCorrelations,
     epoch: u64,
+    /// Optional observer bundle; purely observational (see
+    /// `DESIGN.md §5.11`) — never read back by the pipeline.
+    metrics: Option<Arc<StreamMetrics>>,
 }
 
 impl OcastaStream {
@@ -109,7 +115,15 @@ impl OcastaStream {
             index: HashMap::new(),
             incremental: IncrementalCorrelations::new(engine.params().window_ms),
             epoch: 0,
+            metrics: None,
         }
+    }
+
+    /// Attaches a [`StreamMetrics`] bundle: absorb/query latencies, batch
+    /// and event counts, and the epoch gauge get recorded from here on.
+    /// Purely observational — answers are identical with or without it.
+    pub fn set_metrics(&mut self, metrics: Arc<StreamMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// The batch engine this stream mirrors.
@@ -164,6 +178,7 @@ impl OcastaStream {
     where
         I: IntoIterator<Item = (Key, Timestamp)>,
     {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let mut absorbed = 0;
         for (key, time) in batch {
             self.absorb_write(&key, time);
@@ -171,6 +186,12 @@ impl OcastaStream {
         }
         if absorbed > 0 {
             self.epoch += 1;
+            if let (Some(m), Some(started)) = (&self.metrics, started) {
+                m.absorb.record_duration(started.elapsed());
+                m.absorb_batches.inc();
+                m.absorb_events.add(absorbed as u64);
+                m.epoch.set(self.epoch);
+            }
         }
         absorbed
     }
@@ -210,6 +231,7 @@ impl OcastaStream {
     /// exact answer from the optimistic snapshot, paying O(events absorbed
     /// since the last seal) for it.
     pub fn clustering(&self) -> StreamClustering {
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         // Streaming discovered keys in arrival order; the batch pipeline
         // numbers them in sorted-name order. Relabel onto the batch index
         // space so HAC tie-breaking — and therefore the partition — is
@@ -224,10 +246,14 @@ impl OcastaStream {
 
         let correlations = self.incremental.snapshot().relabeled(&perm);
         let partition = cluster_correlations(&correlations, self.engine.params());
-        StreamClustering {
+        let served = StreamClustering {
             clustering: Clustering::new(sorted_keys, partition),
             horizon: self.horizon(),
+        };
+        if let (Some(m), Some(started)) = (&self.metrics, started) {
+            m.clustering.record_duration(started.elapsed());
         }
+        served
     }
 }
 

@@ -30,6 +30,7 @@ use std::time::{Duration, Instant};
 use ocasta_trace::{EventStream, GeneratorConfig, TraceOp, WorkloadSpec};
 use ocasta_ttkv::{HorizonGuard, Key, PruneStats, TimeDelta, TimePrecision, Timestamp, Ttkv};
 
+use crate::metrics::FleetMetrics;
 use crate::shard::ShardedTtkv;
 use crate::tap::IngestTap;
 use crate::wal::{quantized, Wal, WalError};
@@ -237,6 +238,11 @@ pub struct IngestOptions<'a> {
     /// Clamp retention sweeps to this registry's live pins. Without a
     /// guard, a configured [`RetentionPolicy`] sweeps unclamped.
     pub guard: Option<&'a HorizonGuard>,
+    /// Record ingest/WAL/sweep observations into these handles (see
+    /// [`FleetMetrics`]). Purely observational: an instrumented run
+    /// applies exactly the ops, in exactly the order, an uninstrumented
+    /// one does.
+    pub metrics: Option<&'a FleetMetrics>,
 }
 
 impl std::fmt::Debug for IngestOptions<'_> {
@@ -245,6 +251,7 @@ impl std::fmt::Debug for IngestOptions<'_> {
             .field("wal", &self.wal.is_some())
             .field("tap", &self.tap.is_some())
             .field("guard", &self.guard.is_some())
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -316,6 +323,24 @@ pub fn ingest_with_wal_and_tap(
         tap: Some(tap),
         ..IngestOptions::default()
     };
+    ingest_inner(machines, config, options)
+}
+
+/// The general merged-store entry point: bring your own [`IngestOptions`]
+/// (WAL lane, tap, horizon guard, metrics bundle — any combination),
+/// ingest, and merge the shards into one consistent store. The named
+/// convenience wrappers ([`ingest`], [`ingest_with_wal`], …) all route
+/// here.
+///
+/// # Errors
+///
+/// Same conditions as [`ingest_with_wal`] — only possible when a WAL lane
+/// was supplied.
+pub fn ingest_observed(
+    machines: &[MachineSpec],
+    config: &FleetConfig,
+    options: IngestOptions<'_>,
+) -> Result<(Ttkv, FleetReport), WalError> {
     ingest_inner(machines, config, options)
 }
 
@@ -408,7 +433,12 @@ pub fn ingest_live(
     sharded: &ShardedTtkv,
     options: IngestOptions<'_>,
 ) -> Result<FleetReport, WalError> {
-    let IngestOptions { wal, tap, guard } = options;
+    let IngestOptions {
+        wal,
+        tap,
+        guard,
+        metrics,
+    } = options;
     let threads = config.ingest_threads.max(1);
     let started = Instant::now();
 
@@ -433,18 +463,45 @@ pub fn ingest_live(
             let precision = config.precision;
             let appender = wal.map(|wal| {
                 scope.spawn(move || -> Result<(), WalError> {
+                    // Each lane operation is timed individually (when
+                    // instrumented) so the appender's stall profile —
+                    // cheap frame appends vs the occasional O(delta)
+                    // compaction vs the one O(window) rebase — reads
+                    // straight out of the histograms.
                     while let Ok(msg) = wal_rx.recv() {
+                        let started = metrics.map(|_| Instant::now());
                         match msg {
-                            WalMsg::Batch(batch) => wal.append(&batch)?,
+                            WalMsg::Batch(batch) => {
+                                wal.append(&batch)?;
+                                if let Some(m) = metrics {
+                                    m.wal_frames.inc();
+                                    m.wal_append
+                                        .record_duration(started.expect("timed").elapsed());
+                                }
+                            }
                             WalMsg::Compact(horizon) => {
                                 wal.compact_pruned(precision, horizon)?;
+                                if let Some(m) = metrics {
+                                    m.wal_compact
+                                        .record_duration(started.expect("timed").elapsed());
+                                }
                             }
                             WalMsg::Rebase(horizon) => {
                                 wal.compact_pruned_rebased(precision, horizon)?;
+                                if let Some(m) = metrics {
+                                    m.wal_rebase
+                                        .record_duration(started.expect("timed").elapsed());
+                                }
                             }
                         }
                     }
-                    wal.flush()
+                    let started = metrics.map(|_| Instant::now());
+                    let flushed = wal.flush();
+                    if let Some(m) = metrics {
+                        m.wal_flush
+                            .record_duration(started.expect("timed").elapsed());
+                    }
+                    flushed
                 })
             });
 
@@ -452,7 +509,7 @@ pub fn ingest_live(
                 let wal_tx = wal_tx.clone();
                 let ingest_done = &ingest_done;
                 scope.spawn(move || {
-                    run_retention_sweeper(policy, sharded, guard, wal_tx, ingest_done)
+                    run_retention_sweeper(policy, sharded, guard, wal_tx, ingest_done, metrics)
                 })
             });
 
@@ -505,11 +562,16 @@ pub fn ingest_live(
                                     // The WAL send happens under the shard
                                     // lock so the log's per-shard order
                                     // equals apply order.
-                                    sharded.append_batch_with(shard, batch, |b| {
-                                        if let Some(tx) = &wal_tx {
-                                            let _ = tx.send(WalMsg::Batch(b.to_vec()));
-                                        }
-                                    });
+                                    sharded.append_batch_observed(
+                                        shard,
+                                        batch,
+                                        |b| {
+                                            if let Some(tx) = &wal_tx {
+                                                let _ = tx.send(WalMsg::Batch(b.to_vec()));
+                                            }
+                                        },
+                                        metrics,
+                                    );
                                     if let (Some(tap), Some(batch)) = (tap, tapped) {
                                         tap.on_batch(shard, &batch);
                                     }
@@ -520,11 +582,16 @@ pub fn ingest_live(
                                     continue;
                                 }
                                 let tapped = tap.map(|_| batch.clone());
-                                sharded.append_batch_with(shard, batch, |b| {
-                                    if let Some(tx) = &wal_tx {
-                                        let _ = tx.send(WalMsg::Batch(b.to_vec()));
-                                    }
-                                });
+                                sharded.append_batch_observed(
+                                    shard,
+                                    batch,
+                                    |b| {
+                                        if let Some(tx) = &wal_tx {
+                                            let _ = tx.send(WalMsg::Batch(b.to_vec()));
+                                        }
+                                    },
+                                    metrics,
+                                );
                                 if let (Some(tap), Some(batch)) = (tap, tapped) {
                                     tap.on_batch(shard, &batch);
                                 }
@@ -587,6 +654,7 @@ fn run_retention_sweeper(
     guard: Option<&HorizonGuard>,
     wal_tx: Option<mpsc::Sender<WalMsg>>,
     ingest_done: &AtomicBool,
+    metrics: Option<&FleetMetrics>,
 ) -> RetentionReport {
     let mut report = RetentionReport::default();
     let mut last_horizon = Timestamp::EPOCH;
@@ -624,9 +692,21 @@ fn run_retention_sweeper(
             let horizon = guard.map_or(goal, |g| g.clamp(goal));
             if horizon < goal {
                 report.clamped += 1;
+                if let Some(m) = metrics {
+                    m.pin_clamps.inc();
+                }
             }
             if horizon > Timestamp::EPOCH && (horizon > last_horizon || finishing) {
-                report.reclaimed.absorb(sharded.prune_before(horizon));
+                let sweep_started = metrics.map(|_| Instant::now());
+                let stats = sharded.prune_before(horizon);
+                if let Some(m) = metrics {
+                    m.sweep_stall
+                        .record_duration(sweep_started.expect("timed").elapsed());
+                    m.sweeps.inc();
+                    m.sweep_reclaimed_versions.add(stats.pruned_versions);
+                    m.sweep_reclaimed_bytes.add(stats.reclaimed_bytes);
+                }
+                report.reclaimed.absorb(stats);
                 if let Some(tx) = &wal_tx {
                     // Mid-run sweeps layer a delta (O(delta) on the
                     // appender); the final sweep folds the whole chain so

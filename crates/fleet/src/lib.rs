@@ -23,7 +23,15 @@
 //! * [`RetentionPolicy`]/[`ShardedTtkv::prune_before`] — the bounded-memory
 //!   path: a retention sweeper prunes live shards and compacts the WAL to
 //!   a rolling horizon, clamped to [`ocasta_ttkv::HorizonGuard`] pins so
-//!   pinned repair sessions keep every version they registered for.
+//!   pinned repair sessions keep every version they registered for;
+//! * [`FleetMetrics`] — the observability hooks: pass a bundle through
+//!   [`IngestOptions::metrics`] and the engine records batch counts,
+//!   stripe-lock waits, WAL append/flush/compact timings and sweep stalls
+//!   into lock-free [`ocasta_obs`] primitives, without perturbing the
+//!   run;
+//! * [`diagnose`] — the offline `doctor` surface: inspects a WAL
+//!   directory's manifest chain, layers and framed log for corruption,
+//!   orphans and torn tails, reporting severity-ranked [`Finding`]s.
 //!
 //! ## Quick start
 //!
@@ -62,16 +70,20 @@
 pub mod codec;
 pub mod hash;
 
+mod doctor;
 mod engine;
+mod metrics;
 mod shard;
 mod tap;
 mod wal;
 
+pub use doctor::{diagnose, DoctorReport, Finding, Severity};
 pub use engine::{
-    ingest, ingest_into, ingest_live, ingest_sequential, ingest_tapped, ingest_with_wal,
-    ingest_with_wal_and_tap, FleetConfig, FleetReport, IngestOptions, KeyPlacement, MachineSpec,
-    RetentionPolicy, RetentionReport,
+    ingest, ingest_into, ingest_live, ingest_observed, ingest_sequential, ingest_tapped,
+    ingest_with_wal, ingest_with_wal_and_tap, FleetConfig, FleetReport, IngestOptions,
+    KeyPlacement, MachineSpec, RetentionPolicy, RetentionReport,
 };
+pub use metrics::FleetMetrics;
 pub use shard::{key_hash, ShardedTtkv};
 pub use tap::{IngestTap, LaneEvent, WriteLanes};
 pub use wal::{Wal, WalError, WalReader, WalWriter, WAL_MAGIC};

@@ -9,9 +9,12 @@
 //! shard at [`ShardedTtkv::into_ttkv`] time — in parallel across shards.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
 use ocasta_trace::TraceOp;
 use ocasta_ttkv::{PruneStats, Timestamp, Ttkv, TtkvBuilder};
+
+use crate::metrics::FleetMetrics;
 
 /// Stable key→shard hash (FNV-1a, 64-bit; see [`crate::hash`]).
 pub fn key_hash(key: &str) -> u64 {
@@ -81,13 +84,41 @@ impl ShardedTtkv {
         batch: Vec<TraceOp>,
         before_apply: F,
     ) {
+        self.append_batch_observed(shard, batch, before_apply, None);
+    }
+
+    /// [`ShardedTtkv::append_batch_with`] with optional instrumentation:
+    /// when `metrics` is set, the stripe-lock wait and the in-lock apply
+    /// (WAL send included) are timed into the fleet histograms. Timing is
+    /// observation-only — the lock discipline and apply order are
+    /// identical with metrics on or off.
+    pub(crate) fn append_batch_observed<F: FnOnce(&[TraceOp])>(
+        &self,
+        shard: usize,
+        batch: Vec<TraceOp>,
+        before_apply: F,
+        metrics: Option<&FleetMetrics>,
+    ) {
         debug_assert!(batch
             .iter()
             .all(|op| self.shard_of(op.key().as_str()) == shard));
+        let wait_started = metrics.map(|_| Instant::now());
         let mut builder = self.shards[shard].lock().expect("shard lock poisoned");
+        let apply_started = metrics.map(|m| {
+            m.lock_wait
+                .record_duration(wait_started.expect("paired with metrics").elapsed());
+            Instant::now()
+        });
         before_apply(&batch);
+        let ops = batch.len() as u64;
         for op in batch {
             op.buffer(&mut builder);
+        }
+        drop(builder);
+        if let (Some(m), Some(started)) = (metrics, apply_started) {
+            m.batch_apply.record_duration(started.elapsed());
+            m.ingest_batches.inc();
+            m.ingest_ops.add(ops);
         }
     }
 

@@ -380,8 +380,9 @@ pub struct Wal {
     rebase_layers: usize,
 }
 
-/// Magic first line of `wal.manifest`.
-const MANIFEST_MAGIC: &str = "ocasta-wal-manifest v1";
+/// Magic first line of `wal.manifest` (shared with the offline doctor,
+/// which parses manifests independently so it can localise damage).
+pub(crate) const MANIFEST_MAGIC: &str = "ocasta-wal-manifest v1";
 
 /// Delta layers tolerated before a compaction folds the whole chain into
 /// a fresh base (see [`Wal::set_rebase_layers`]).

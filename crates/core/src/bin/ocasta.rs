@@ -22,6 +22,7 @@
 //!                 [--start-bound-days <n>] [--strategy dfs|bfs]
 //!                 [--retain-days <n>] [--metrics-json <path>]
 //! ocasta doctor   <wal-dir>
+//! ocasta vopr     --scenario <name> [--seed <n>] | --list
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately keeps its
@@ -35,9 +36,10 @@ use std::sync::Arc;
 use ocasta::fleet::{fleet_machines, parse_placement, run_fleet_observed, FleetRunConfig};
 use ocasta::{
     diagnose, fleet_ingest_observed, generate, model_by_name, run_repair_service_observed,
-    ClusterParams, FleetMetrics, GeneratorConfig, IngestOptions, Key, Ocasta, OcastaStream,
-    Registry, RepairServiceConfig, RetentionPolicy, SearchStrategy, ServiceMetrics,
-    ServiceObservers, StreamMetrics, TimePrecision, Trace, Ttkv, TtkvStats, WriteLanes,
+    run_vopr, vopr_scenario_names, ClusterParams, FleetMetrics, GeneratorConfig, IngestOptions,
+    Key, Ocasta, OcastaStream, Registry, RepairServiceConfig, RetentionPolicy, SearchStrategy,
+    ServiceMetrics, ServiceObservers, StreamMetrics, TimePrecision, Trace, Ttkv, TtkvStats,
+    WriteLanes,
 };
 
 fn main() -> ExitCode {
@@ -86,6 +88,7 @@ usage:
                   [--start-bound-days <n>] [--strategy dfs|bfs]
                   [--retain-days <n>] [--metrics-json <path>]
   ocasta doctor   <wal-dir>
+  ocasta vopr     --scenario <name> [--seed <n>] | --list
 
 applications for `generate`, `fleet`, `stream` and `repair`: outlook
 evolution ie chrome word gedit eog paint acrobat explorer wmp";
@@ -137,6 +140,11 @@ enum Command {
     },
     Doctor {
         dir: String,
+    },
+    Vopr {
+        scenario: Option<String>,
+        seed: u64,
+        list: bool,
     },
 }
 
@@ -466,6 +474,29 @@ impl Command {
                 }),
                 _ => Err("doctor takes exactly one WAL directory".into()),
             },
+            "vopr" => {
+                let mut scenario = None;
+                let mut seed = 0u64;
+                let mut list = false;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--scenario" => scenario = Some(value_of(&rest, &mut i)?.to_owned()),
+                        "--seed" => seed = parse_num(value_of(&rest, &mut i)?)?,
+                        "--list" => list = true,
+                        other => return Err(format!("unknown argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                if !list && scenario.is_none() {
+                    return Err("vopr needs --scenario <name> (or --list)".into());
+                }
+                Ok(Command::Vopr {
+                    scenario,
+                    seed,
+                    list,
+                })
+            }
             "history" => match rest.as_slice() {
                 [store, key] => Ok(Command::History {
                     store: (*store).to_owned(),
@@ -761,6 +792,31 @@ impl Command {
                     out.push_str(&format!("wrote metrics {path}\n"));
                 }
                 Ok(out)
+            }
+            Command::Vopr {
+                scenario,
+                seed,
+                list,
+            } => {
+                if *list {
+                    let mut out = String::new();
+                    for name in vopr_scenario_names() {
+                        out.push_str(name);
+                        out.push('\n');
+                    }
+                    return Ok(out);
+                }
+                let name = scenario.as_deref().expect("parse enforced --scenario");
+                let outcome = run_vopr(name, *seed)?;
+                let report = outcome.report();
+                if outcome.passed() {
+                    Ok(report)
+                } else {
+                    // A failed invariant is the error: main's error path
+                    // prints the verdict and exits non-zero, so CI and
+                    // `failing_seeds/` replays can gate on exit status.
+                    Err(report)
+                }
             }
             Command::Doctor { dir } => {
                 let report = diagnose(dir);
@@ -1326,6 +1382,52 @@ mod tests {
                 dir: "waldir".into()
             }
         );
+    }
+
+    #[test]
+    fn parse_vopr() {
+        assert_eq!(
+            parse(&["vopr", "--scenario", "baseline", "--seed", "42"]).unwrap(),
+            Command::Vopr {
+                scenario: Some("baseline".into()),
+                seed: 42,
+                list: false,
+            }
+        );
+        assert_eq!(
+            parse(&["vopr", "--scenario", "clock-skew"]).unwrap(),
+            Command::Vopr {
+                scenario: Some("clock-skew".into()),
+                seed: 0,
+                list: false,
+            },
+            "seed defaults to 0"
+        );
+        assert_eq!(
+            parse(&["vopr", "--list"]).unwrap(),
+            Command::Vopr {
+                scenario: None,
+                seed: 0,
+                list: true,
+            }
+        );
+        assert!(parse(&["vopr"]).is_err(), "needs --scenario or --list");
+        assert!(parse(&["vopr", "--seed", "7"]).is_err());
+        assert!(parse(&["vopr", "--scenario"]).is_err(), "flag needs value");
+        assert!(parse(&["vopr", "--scenario", "baseline", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn vopr_list_names_every_scenario() {
+        let out = parse(&["vopr", "--list"]).unwrap().run().unwrap();
+        let names: Vec<&str> = out.lines().collect();
+        assert_eq!(names, ocasta::vopr_scenario_names().to_vec());
+    }
+
+    #[test]
+    fn vopr_rejects_unknown_scenarios_via_run() {
+        let err = parse(&["vopr", "--scenario", "nope"]).unwrap().run();
+        assert!(err.unwrap_err().contains("unknown scenario"));
     }
 
     /// Seed-determinism with observation attached: the same fleet run,

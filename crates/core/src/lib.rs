@@ -56,6 +56,7 @@ mod pipeline;
 mod scenario;
 mod service;
 mod stream;
+mod vopr;
 
 pub use accuracy::{evaluate_all, evaluate_model, score, AccuracySummary, AppAccuracy};
 pub use fleet::{run_fleet, run_fleet_observed, FleetRun, FleetRunConfig};
@@ -67,6 +68,11 @@ pub use service::{
     ServiceObservers, UserRepair,
 };
 pub use stream::{OcastaStream, StreamClustering, StreamHorizon};
+pub use vopr::{
+    check_parallel_equals_sequential, check_replay_matches_store, check_retention_equivalence,
+    check_stream_equals_batch, run_vopr, vopr_scenario_names, ReplayRelation, VoprCheck,
+    VoprOutcome,
+};
 
 // Re-export the pieces users need without adding every sub-crate to their
 // dependency list.
@@ -79,10 +85,10 @@ pub use ocasta_cluster::{
 pub use ocasta_fleet::{
     diagnose, ingest as fleet_ingest, ingest_into as fleet_ingest_into,
     ingest_live as fleet_ingest_live, ingest_observed as fleet_ingest_observed,
-    ingest_tapped as fleet_ingest_tapped, DoctorReport, Finding, FleetConfig, FleetMetrics,
-    FleetReport, IngestOptions, IngestTap, KeyPlacement, MachineSpec, RetentionPolicy,
-    RetentionReport, Severity, ShardedTtkv, Wal, WalError, WalReader, WalWriter, WriteLanes,
-    WAL_MAGIC,
+    ingest_tapped as fleet_ingest_tapped, DoctorReport, FaultPlan, Finding, FleetConfig,
+    FleetMetrics, FleetReport, IngestError, IngestOptions, IngestTap, KeyPlacement, MachineSpec,
+    RetentionPolicy, RetentionReport, Severity, ShardedTtkv, Wal, WalError, WalReader, WalWriter,
+    WriteLanes, WAL_MAGIC,
 };
 pub use ocasta_obs::{Counter, Gauge, Histogram, Registry};
 pub use ocasta_parsers::{

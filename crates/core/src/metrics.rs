@@ -32,6 +32,11 @@ pub struct ServiceMetrics {
     /// to the retention pin (history below it was already pruned
     /// fleet-wide before the session registered).
     pub pin_clamps: Arc<Counter>,
+    /// `service.pin_advances` — progress reports that fed the shared
+    /// retention pin: after each trial wave a session re-publishes the
+    /// oldest history its remaining plan needs, and the pin advances to
+    /// the minimum over all live sessions (`DESIGN.md §5.9`).
+    pub pin_advances: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -44,6 +49,7 @@ impl ServiceMetrics {
             session_commit: registry.histogram("service.session.commit_us"),
             sessions: registry.counter("service.sessions"),
             pin_clamps: registry.counter("service.pin_clamps"),
+            pin_advances: registry.counter("service.pin_advances"),
         }
     }
 }
@@ -97,6 +103,7 @@ mod tests {
             "service.session.commit_us",
             "service.sessions",
             "service.pin_clamps",
+            "service.pin_advances",
             "stream.absorb_us",
             "stream.clustering_us",
             "stream.absorb.batches",

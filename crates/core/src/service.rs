@@ -26,7 +26,7 @@
 //! parallel-search equivalence proof live in `DESIGN.md §5.8`; the
 //! retention ordering argument is `DESIGN.md §5.9`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ocasta_apps::{scenarios, ErrorScenario};
@@ -35,8 +35,8 @@ use ocasta_fleet::{
     ingest_live, FleetMetrics, FleetReport, IngestOptions, ShardedTtkv, WriteLanes,
 };
 use ocasta_repair::{
-    CatalogHorizon, ClusterCatalog, HorizonGuard, RepairSession, SearchConfig, SearchStrategy,
-    SessionReport,
+    CatalogHorizon, ClusterCatalog, HorizonGuard, HorizonPin, RepairSession, SearchConfig,
+    SearchStrategy, SessionReport,
 };
 use ocasta_ttkv::{TimeDelta, Timestamp, Ttkv, TtkvStats};
 
@@ -132,6 +132,12 @@ pub struct RepairServiceRun {
     /// the snapshot was taken so no concurrent retention sweep could prune
     /// past it (`DESIGN.md §5.9`). Epoch when the search is unbounded.
     pub session_pin: Timestamp,
+    /// Where the sessions' shared pin stood when it was released: as each
+    /// session's remaining search plan shrank, its progress reports
+    /// advanced the pin ([`ocasta_ttkv::HorizonPin::advance`]) to the
+    /// minimum bound any still-running session needed, so long sessions
+    /// stop starving fleet-wide retention. Always `>= session_pin`.
+    pub final_pin: Timestamp,
     /// Every user's session, in user order.
     pub sessions: Vec<UserRepair>,
 }
@@ -197,6 +203,16 @@ pub fn run_repair_service_observed(
     }
     let service_metrics = observers.service.as_deref();
 
+    // The pin-advance coordinator, shared by every session thread. Each
+    // session reports, after every trial wave, the oldest history its
+    // *remaining* plan still needs (`RepairSession::run_observed`); its
+    // slot records that bound, and the shared pin advances to the minimum
+    // over all slots — never past what any live session might still roll
+    // back to. Both live outside the thread scope so session threads can
+    // borrow them; the pin itself is parked here once registered.
+    let needs: Mutex<Vec<Timestamp>> = Mutex::new(Vec::new());
+    let shared_pin: Mutex<Option<HorizonPin<'_>>> = Mutex::new(None);
+
     let run = std::thread::scope(|scope| {
         let ingest_handle = scope.spawn(|| {
             let options = IngestOptions {
@@ -247,6 +263,15 @@ pub fn run_repair_service_observed(
         };
         let pin = guard.pin(oldest_needed);
         let session_pin = pin.timestamp();
+        // Arm the coordinator: slots start at the registration-time pin so
+        // an unreported session holds the line. Lock order everywhere is
+        // slots, then pin (slots guard dropped first).
+        *needs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = vec![session_pin; config.users];
+        *shared_pin
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(pin);
         let live = stream.clustering();
         let snapshot = sharded.snapshot_store();
         // Sampled *after* the snapshot, so "mid-ingest" is conservative:
@@ -271,6 +296,8 @@ pub fn run_repair_service_observed(
                 // Each session owns its copy of the pinned snapshot — the
                 // sandbox it injects the error into and searches.
                 let store = snapshot.clone();
+                let needs = &needs;
+                let shared_pin = &shared_pin;
                 scope.spawn(move || {
                     run_user_session(
                         config,
@@ -279,6 +306,8 @@ pub fn run_repair_service_observed(
                         store,
                         catalog,
                         session_pin,
+                        needs,
+                        shared_pin,
                         service_metrics,
                     )
                 })
@@ -288,9 +317,18 @@ pub fn run_repair_service_observed(
             .into_iter()
             .map(|h| h.join().expect("repair session panicked"))
             .collect();
-        // Sessions own their snapshots; the pin outlives them anyway so
-        // the retained window is stable for the whole service run.
-        drop(pin);
+        // Sessions own their snapshots; the (possibly advanced) pin is
+        // released only now, so the retained window never moves out from
+        // under a live search.
+        let final_pin = {
+            let pin = shared_pin
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take()
+                .expect("the pin is taken exactly once, after all sessions joined");
+            pin.timestamp()
+            // `pin` drops here: protection released.
+        };
         let ingest = ingest_handle.join().expect("ingest thread panicked");
 
         RepairServiceRun {
@@ -301,6 +339,7 @@ pub fn run_repair_service_observed(
             pinned_mid_ingest,
             snapshot_stats: snapshot.stats(),
             session_pin,
+            final_pin,
             sessions,
         }
     });
@@ -316,6 +355,8 @@ fn run_user_session(
     mut store: Ttkv,
     catalog: ClusterCatalog,
     session_pin: Timestamp,
+    needs: &Mutex<Vec<Timestamp>>,
+    shared_pin: &Mutex<Option<HorizonPin<'_>>>,
     metrics: Option<&ServiceMetrics>,
 ) -> UserRepair {
     let open_started = metrics.map(|_| Instant::now());
@@ -355,7 +396,31 @@ fn run_user_session(
             .record_duration(open_started.expect("paired with metrics").elapsed());
         Instant::now()
     });
-    let report = session.run(&scenario.trial(), &scenario.oracle());
+    let report = session.run_observed(&scenario.trial(), &scenario.oracle(), |needed| {
+        // Record this session's shrinking need, then advance the shared
+        // pin to the minimum over everyone — the oldest history any live
+        // session might still roll back to. Slots guard dropped before
+        // taking the pin lock (fixed lock order, no deadlock).
+        let target = {
+            let mut slots = needs
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            // Reports are monotone per session, but max() keeps the slot
+            // monotone even under a buggy or reordered observer.
+            slots[user] = slots[user].max(needed);
+            slots.iter().copied().min().expect("users >= 1")
+        };
+        if let Some(pin) = shared_pin
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .as_mut()
+        {
+            pin.advance(target);
+        }
+        if let Some(m) = metrics {
+            m.pin_advances.inc();
+        }
+    });
     let commit_started = metrics.map(|m| {
         m.session_step
             .record_duration(step_started.expect("paired with metrics").elapsed());
@@ -504,6 +569,12 @@ mod tests {
         assert!(
             run.session_pin > Timestamp::EPOCH,
             "bounded search pins late"
+        );
+        assert!(
+            run.final_pin >= run.session_pin,
+            "the shared pin only advances: {} vs {}",
+            run.final_pin,
+            run.session_pin,
         );
 
         // The pruned snapshot is strictly smaller in memory...

@@ -24,12 +24,13 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use ocasta_trace::{EventStream, GeneratorConfig, TraceOp, WorkloadSpec};
 use ocasta_ttkv::{HorizonGuard, Key, PruneStats, TimeDelta, TimePrecision, Timestamp, Ttkv};
 
+use crate::fault::{panic_message, FaultPlan, IngestError};
 use crate::metrics::FleetMetrics;
 use crate::shard::ShardedTtkv;
 use crate::tap::IngestTap;
@@ -155,6 +156,12 @@ pub struct RetentionReport {
     /// Sweep attempts (paced at the policy's `min_interval`, like sweeps
     /// themselves) whose target horizon was clamped back by a live pin.
     pub clamped: u64,
+    /// Dead counter-only key shells collected by the final sweep
+    /// ([`ocasta_ttkv::Ttkv::gc_dead_shells`]): keys whose entire history
+    /// was pruned away and whose last value was a tombstone. Collected
+    /// once, after the final sweep — mid-run sweeps leave shells in place
+    /// so a straggler rewrite keeps its lifetime counters.
+    pub shells: u64,
 }
 
 /// What one ingestion run did, and how fast.
@@ -210,13 +217,14 @@ impl std::fmt::Display for FleetReport {
         if let Some(retention) = &self.retention {
             write!(
                 f,
-                "; retention: {} sweeps ({} pin-clamped) to {}, {}",
+                "; retention: {} sweeps ({} pin-clamped) to {}, {}, {} dead shells collected",
                 retention.sweeps,
                 retention.clamped,
                 retention
                     .horizon
                     .map_or_else(|| "-".into(), |h| h.to_string()),
                 retention.reclaimed,
+                retention.shells,
             )?;
         }
         Ok(())
@@ -243,6 +251,10 @@ pub struct IngestOptions<'a> {
     /// applies exactly the ops, in exactly the order, an uninstrumented
     /// one does.
     pub metrics: Option<&'a FleetMetrics>,
+    /// Deterministic fault injection for the VOPR harness (see
+    /// [`FaultPlan`]). `None` — the default — injects nothing and costs
+    /// nothing: every hook is a field check on this option.
+    pub faults: Option<&'a FaultPlan>,
 }
 
 impl std::fmt::Debug for IngestOptions<'_> {
@@ -252,6 +264,7 @@ impl std::fmt::Debug for IngestOptions<'_> {
             .field("tap", &self.tap.is_some())
             .field("guard", &self.guard.is_some())
             .field("metrics", &self.metrics.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -261,7 +274,7 @@ impl std::fmt::Debug for IngestOptions<'_> {
 pub fn ingest(machines: &[MachineSpec], config: &FleetConfig) -> (Ttkv, FleetReport) {
     match ingest_inner(machines, config, IngestOptions::default()) {
         Ok(result) => result,
-        Err(_) => unreachable!("no WAL, no WAL errors"),
+        Err(e) => unreachable!("no WAL lane, no fault plan: {e}"),
     }
 }
 
@@ -284,7 +297,7 @@ pub fn ingest_tapped(
     };
     match ingest_inner(machines, config, options) {
         Ok(result) => result,
-        Err(_) => unreachable!("no WAL, no WAL errors"),
+        Err(e) => unreachable!("no WAL lane, no fault plan: {e}"),
     }
 }
 
@@ -293,13 +306,14 @@ pub fn ingest_tapped(
 ///
 /// # Errors
 ///
-/// Returns the first [`WalError`] the appender hits (ingestion still runs
-/// to completion so the store is usable; the WAL may be truncated).
+/// Returns the first [`IngestError`] the run hits: a WAL failure on the
+/// appender lane (ingestion still runs to completion so the store is
+/// usable; the WAL may be truncated), or a panicked ingest worker.
 pub fn ingest_with_wal(
     machines: &[MachineSpec],
     config: &FleetConfig,
     wal: &mut Wal,
-) -> Result<(Ttkv, FleetReport), WalError> {
+) -> Result<(Ttkv, FleetReport), IngestError> {
     let options = IngestOptions {
         wal: Some(wal),
         ..IngestOptions::default()
@@ -317,7 +331,7 @@ pub fn ingest_with_wal_and_tap(
     config: &FleetConfig,
     wal: &mut Wal,
     tap: &dyn IngestTap,
-) -> Result<(Ttkv, FleetReport), WalError> {
+) -> Result<(Ttkv, FleetReport), IngestError> {
     let options = IngestOptions {
         wal: Some(wal),
         tap: Some(tap),
@@ -335,12 +349,13 @@ pub fn ingest_with_wal_and_tap(
 /// # Errors
 ///
 /// Same conditions as [`ingest_with_wal`] — only possible when a WAL lane
-/// was supplied.
+/// or a fault plan was supplied (absent both, workers can still panic on a
+/// genuine engine bug, and that panic surfaces as an error here).
 pub fn ingest_observed(
     machines: &[MachineSpec],
     config: &FleetConfig,
     options: IngestOptions<'_>,
-) -> Result<(Ttkv, FleetReport), WalError> {
+) -> Result<(Ttkv, FleetReport), IngestError> {
     ingest_inner(machines, config, options)
 }
 
@@ -348,7 +363,7 @@ fn ingest_inner(
     machines: &[MachineSpec],
     config: &FleetConfig,
     options: IngestOptions<'_>,
-) -> Result<(Ttkv, FleetReport), WalError> {
+) -> Result<(Ttkv, FleetReport), IngestError> {
     let sharded = ShardedTtkv::new(config.shards);
     let mut report = ingest_live(machines, config, &sharded, options)?;
 
@@ -400,7 +415,7 @@ pub fn ingest_into(
     };
     match ingest_live(machines, config, sharded, options) {
         Ok(report) => report,
-        Err(_) => unreachable!("no WAL, no WAL errors"),
+        Err(e) => unreachable!("no WAL lane, no fault plan: {e}"),
     }
 }
 
@@ -425,19 +440,27 @@ enum WalMsg {
 ///
 /// # Errors
 ///
-/// Returns the first [`WalError`] the appender hits (ingestion still runs
-/// to completion so the store is usable; the WAL may be truncated).
+/// Returns the first [`IngestError`] the run hits. A WAL failure on the
+/// appender lane leaves the store usable (ingestion still runs to
+/// completion; the WAL may be truncated). A panicked worker — injected via
+/// [`FaultPlan::kill_worker_at_machine`] or a genuine bug — loses exactly
+/// that worker's current machine: the queue keeps draining on the
+/// surviving workers, stat locks tolerate the poison, the WAL lane and
+/// sweeper shut down in the normal order, and the first failure is
+/// returned as [`IngestError::WorkerPanicked`]. The caller-owned `sharded`
+/// store holds everything the surviving machines applied.
 pub fn ingest_live(
     machines: &[MachineSpec],
     config: &FleetConfig,
     sharded: &ShardedTtkv,
     options: IngestOptions<'_>,
-) -> Result<FleetReport, WalError> {
+) -> Result<FleetReport, IngestError> {
     let IngestOptions {
         wal,
         tap,
         guard,
         metrics,
+        faults,
     } = options;
     let threads = config.ingest_threads.max(1);
     let started = Instant::now();
@@ -445,10 +468,14 @@ pub fn ingest_live(
     // Work queue of machine indices.
     let (work_tx, work_rx) = mpsc::channel::<usize>();
     for idx in 0..machines.len() {
-        work_tx.send(idx).expect("queue open");
+        if work_tx.send(idx).is_err() {
+            break;
+        }
     }
     drop(work_tx);
     let work_rx = Mutex::new(work_rx);
+    // First failure wins; later ones (cascades of the first) are dropped.
+    let failure: Mutex<Option<IngestError>> = Mutex::new(None);
 
     // Optional WAL lane: workers send applied batches, one appender writes.
     let (wal_tx, wal_rx) = mpsc::channel::<WalMsg>();
@@ -462,17 +489,31 @@ pub fn ingest_live(
         std::thread::scope(|scope| {
             let precision = config.precision;
             let appender = wal.map(|wal| {
+                let crash_after = faults.and_then(|f| f.wal_crash_after_frames);
                 scope.spawn(move || -> Result<(), WalError> {
                     // Each lane operation is timed individually (when
                     // instrumented) so the appender's stall profile —
                     // cheap frame appends vs the occasional O(delta)
                     // compaction vs the one O(window) rebase — reads
                     // straight out of the histograms.
+                    let mut frames = 0u64;
                     while let Ok(msg) = wal_rx.recv() {
+                        if crash_after.is_some_and(|cap| frames >= cap) {
+                            // Injected dead lane: what was appended so far
+                            // is flushed and durable, everything after —
+                            // batches and compactions alike — is silently
+                            // dropped, exactly like a lane whose thread
+                            // died without anyone noticing.
+                            continue;
+                        }
                         let started = metrics.map(|_| Instant::now());
                         match msg {
                             WalMsg::Batch(batch) => {
                                 wal.append(&batch)?;
+                                frames += 1;
+                                if crash_after.is_some_and(|cap| frames >= cap) {
+                                    wal.flush()?;
+                                }
                                 if let Some(m) = metrics {
                                     m.wal_frames.inc();
                                     m.wal_append
@@ -495,6 +536,10 @@ pub fn ingest_live(
                             }
                         }
                     }
+                    if crash_after.is_some_and(|cap| frames >= cap) {
+                        // The dead lane never reaches the final flush.
+                        return Ok(());
+                    }
                     let started = metrics.map(|_| Instant::now());
                     let flushed = wal.flush();
                     if let Some(m) = metrics {
@@ -509,7 +554,15 @@ pub fn ingest_live(
                 let wal_tx = wal_tx.clone();
                 let ingest_done = &ingest_done;
                 scope.spawn(move || {
-                    run_retention_sweeper(policy, sharded, guard, wal_tx, ingest_done, metrics)
+                    run_retention_sweeper(
+                        policy,
+                        sharded,
+                        guard,
+                        wal_tx,
+                        ingest_done,
+                        metrics,
+                        faults,
+                    )
                 })
             });
 
@@ -518,110 +571,179 @@ pub fn ingest_live(
                     let work_rx = &work_rx;
                     let per_machine = &per_machine;
                     let total_reads = &total_reads;
+                    let failure = &failure;
                     let wal_tx = wal_tx.clone();
                     scope.spawn(move || {
                         let shard_count = sharded.shard_count();
                         loop {
                             let machine_idx = {
-                                let queue = work_rx.lock().expect("queue lock poisoned");
+                                let queue = lock_ignore_poison(work_rx);
                                 match queue.recv() {
                                     Ok(idx) => idx,
                                     Err(_) => break,
                                 }
                             };
                             let machine = &machines[machine_idx];
-                            let mut batches: Vec<Vec<TraceOp>> = (0..shard_count)
-                                .map(|_| Vec::with_capacity(config.batch_size))
-                                .collect();
-                            let mut mutations = 0u64;
-                            let mut reads = 0u64;
-                            for op in machine.stream() {
-                                let op = place(op, machine, config.placement);
-                                let op = quantized(op, config.precision);
-                                match &op {
-                                    TraceOp::Mutation(_) => mutations += 1,
-                                    TraceOp::Reads(_, count) => reads += count,
-                                }
-                                let shard = sharded.shard_of(op.key().as_str());
-                                batches[shard].push(op);
-                                if batches[shard].len() >= config.batch_size {
-                                    let batch = std::mem::replace(
-                                        &mut batches[shard],
-                                        Vec::with_capacity(config.batch_size),
-                                    );
-                                    // The tap fires outside the shard lock
-                                    // (it can slow this worker, never a
-                                    // stripe) and strictly *after* the
-                                    // apply: anything a tap consumer has
-                                    // observed is already readable in the
-                                    // store, so a live snapshot pinned
-                                    // after a lane drain always contains
-                                    // the drained events (§5.8). The clone
-                                    // is tap-path-only.
-                                    let tapped = tap.map(|_| batch.clone());
-                                    // The WAL send happens under the shard
-                                    // lock so the log's per-shard order
-                                    // equals apply order.
-                                    sharded.append_batch_observed(
-                                        shard,
-                                        batch,
-                                        |b| {
-                                            if let Some(tx) = &wal_tx {
-                                                let _ = tx.send(WalMsg::Batch(b.to_vec()));
-                                            }
-                                        },
-                                        metrics,
-                                    );
-                                    if let (Some(tap), Some(batch)) = (tap, tapped) {
-                                        tap.on_batch(shard, &batch);
+                            // One machine's span is a unit of failure: a
+                            // panic inside it (injected or real) loses that
+                            // machine's remaining ops and nothing else —
+                            // this worker records the failure and goes back
+                            // to the queue, so the rest of the fleet still
+                            // ingests and the caller gets a structured
+                            // error instead of a poisoned-lock cascade.
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if faults.and_then(|f| f.kill_worker_at_machine)
+                                        == Some(machine_idx)
+                                    {
+                                        panic!(
+                                            "fault injection: worker killed at machine index \
+                                             {machine_idx}"
+                                        );
                                     }
-                                }
-                            }
-                            for (shard, batch) in batches.into_iter().enumerate() {
-                                if batch.is_empty() {
-                                    continue;
-                                }
-                                let tapped = tap.map(|_| batch.clone());
-                                sharded.append_batch_observed(
-                                    shard,
-                                    batch,
-                                    |b| {
-                                        if let Some(tx) = &wal_tx {
-                                            let _ = tx.send(WalMsg::Batch(b.to_vec()));
+                                    let mut batches: Vec<Vec<TraceOp>> = (0..shard_count)
+                                        .map(|_| Vec::with_capacity(config.batch_size))
+                                        .collect();
+                                    let mut mutations = 0u64;
+                                    let mut reads = 0u64;
+                                    for op in machine.stream() {
+                                        let op = place(op, machine, config.placement);
+                                        let op = quantized(op, config.precision);
+                                        match &op {
+                                            TraceOp::Mutation(_) => mutations += 1,
+                                            TraceOp::Reads(_, count) => reads += count,
                                         }
-                                    },
-                                    metrics,
-                                );
-                                if let (Some(tap), Some(batch)) = (tap, tapped) {
-                                    tap.on_batch(shard, &batch);
+                                        let shard = sharded.shard_of(op.key().as_str());
+                                        batches[shard].push(op);
+                                        if batches[shard].len() >= config.batch_size {
+                                            let batch = std::mem::replace(
+                                                &mut batches[shard],
+                                                Vec::with_capacity(config.batch_size),
+                                            );
+                                            // The tap fires outside the shard lock
+                                            // (it can slow this worker, never a
+                                            // stripe) and strictly *after* the
+                                            // apply: anything a tap consumer has
+                                            // observed is already readable in the
+                                            // store, so a live snapshot pinned
+                                            // after a lane drain always contains
+                                            // the drained events (§5.8). The clone
+                                            // is tap-path-only.
+                                            let tapped = tap.map(|_| batch.clone());
+                                            // The WAL send happens under the shard
+                                            // lock so the log's per-shard order
+                                            // equals apply order.
+                                            sharded.append_batch_observed(
+                                                shard,
+                                                batch,
+                                                |b| {
+                                                    if let Some(tx) = &wal_tx {
+                                                        let _ = tx.send(WalMsg::Batch(b.to_vec()));
+                                                    }
+                                                },
+                                                metrics,
+                                            );
+                                            if let (Some(tap), Some(batch)) = (tap, tapped) {
+                                                tap.on_batch(shard, &batch);
+                                            }
+                                        }
+                                    }
+                                    for (shard, batch) in batches.into_iter().enumerate() {
+                                        if batch.is_empty() {
+                                            continue;
+                                        }
+                                        let tapped = tap.map(|_| batch.clone());
+                                        sharded.append_batch_observed(
+                                            shard,
+                                            batch,
+                                            |b| {
+                                                if let Some(tx) = &wal_tx {
+                                                    let _ = tx.send(WalMsg::Batch(b.to_vec()));
+                                                }
+                                            },
+                                            metrics,
+                                        );
+                                        if let (Some(tap), Some(batch)) = (tap, tapped) {
+                                            tap.on_batch(shard, &batch);
+                                        }
+                                    }
+                                    (mutations, reads)
+                                }));
+                            match outcome {
+                                Ok((mutations, reads)) => {
+                                    lock_ignore_poison(per_machine)[machine_idx] = mutations;
+                                    *lock_ignore_poison(total_reads) += reads;
                                 }
+                                Err(payload) => record_failure(
+                                    failure,
+                                    IngestError::WorkerPanicked {
+                                        machine: Some(machine.name.clone()),
+                                        message: panic_message(payload),
+                                    },
+                                ),
                             }
-                            per_machine.lock().expect("stats lock")[machine_idx] = mutations;
-                            *total_reads.lock().expect("stats lock") += reads;
                         }
                     })
                 })
                 .collect();
             for worker in workers {
-                worker.join().expect("ingest worker panicked");
+                if let Err(payload) = worker.join() {
+                    record_failure(
+                        &failure,
+                        IngestError::WorkerPanicked {
+                            machine: None,
+                            message: panic_message(payload),
+                        },
+                    );
+                }
             }
-            // Ingestion is complete: let the sweeper run its final sweep
-            // and exit, then close our WAL sender so the appender sees EOF
-            // after the last compaction instruction.
+            // Ingestion is complete (or as complete as the failures left
+            // it): let the sweeper run its final sweep and exit, then
+            // close our WAL sender so the appender sees EOF after the last
+            // compaction instruction — the same shutdown order whether or
+            // not a worker died.
             ingest_done.store(true, Ordering::Release);
-            let retention_report = sweeper.map(|s| s.join().expect("retention sweeper panicked"));
+            let retention_report = sweeper.and_then(|s| match s.join() {
+                Ok(report) => Some(report),
+                Err(payload) => {
+                    record_failure(
+                        &failure,
+                        IngestError::WorkerPanicked {
+                            machine: None,
+                            message: format!("retention sweeper: {}", panic_message(payload)),
+                        },
+                    );
+                    None
+                }
+            });
             drop(wal_tx);
             let wal_result = match appender {
-                Some(handle) => handle.join().expect("wal appender panicked"),
+                Some(handle) => match handle.join() {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        record_failure(
+                            &failure,
+                            IngestError::WorkerPanicked {
+                                machine: None,
+                                message: format!("wal appender: {}", panic_message(payload)),
+                            },
+                        );
+                        Ok(())
+                    }
+                },
                 None => Ok(()),
             };
             (wal_result, retention_report)
         });
 
     let ingest_elapsed = started.elapsed();
-    let per_machine_counts = per_machine.into_inner().expect("stats lock");
+    let per_machine_counts = per_machine
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let mutations: u64 = per_machine_counts.iter().sum();
-    let reads = total_reads.into_inner().expect("stats lock");
+    let reads = total_reads
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
 
     let report = FleetReport {
         machines: machines.len(),
@@ -638,8 +760,32 @@ pub fn ingest_live(
             .collect(),
         retention: retention_report,
     };
+    if let Some(error) = failure
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    {
+        return Err(error);
+    }
     wal_result?;
     Ok(report)
+}
+
+/// Locks a mutex, accepting a poisoned one: the panic that poisoned it is
+/// reported through the engine's failure slot, so the data (simple
+/// counters and an error slot) is still sound to read.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Stores `error` into the shared failure slot unless an earlier failure
+/// already claimed it — later failures are usually cascades of the first.
+fn record_failure(slot: &Mutex<Option<IngestError>>, error: IngestError) {
+    let mut slot = lock_ignore_poison(slot);
+    if slot.is_none() {
+        *slot = Some(error);
+    }
 }
 
 /// The retention sweep loop: while ingestion runs, watch the ingest
@@ -647,7 +793,10 @@ pub fn ingest_live(
 /// advanced by at least the policy's `min_interval` — always clamped to
 /// the guard's live pins. A final sweep runs once ingestion completes, so
 /// the post-run store is pruned to exactly `frontier − retain` (modulo
-/// pins) regardless of timing.
+/// pins) regardless of timing. The final sweep also collects dead
+/// counter-only shells ([`ShardedTtkv::gc_dead_shells`]) — mid-run sweeps
+/// deliberately leave shells in place so a straggler rewriting a pruned
+/// key keeps its lifetime counters.
 fn run_retention_sweeper(
     policy: RetentionPolicy,
     sharded: &ShardedTtkv,
@@ -655,6 +804,7 @@ fn run_retention_sweeper(
     wal_tx: Option<mpsc::Sender<WalMsg>>,
     ingest_done: &AtomicBool,
     metrics: Option<&FleetMetrics>,
+    faults: Option<&FaultPlan>,
 ) -> RetentionReport {
     let mut report = RetentionReport::default();
     let mut last_horizon = Timestamp::EPOCH;
@@ -664,6 +814,14 @@ fn run_retention_sweeper(
     // with the poll rate.
     let mut last_attempt = Timestamp::EPOCH;
     loop {
+        // Injected crash: stop before sweep N + 1 would run, skipping the
+        // finishing rebase-and-collect too — the store and WAL are left
+        // exactly as a sweeper that died mid-retention would leave them.
+        if let Some(stop) = faults.and_then(|f| f.sweeper_stop_after) {
+            if report.sweeps >= stop {
+                return report;
+            }
+        }
         let finishing = ingest_done.load(Ordering::Acquire);
         let target = sharded
             .last_mutation_time()
@@ -734,6 +892,13 @@ fn run_retention_sweeper(
                 if let Some(tx) = &wal_tx {
                     let _ = tx.send(WalMsg::Rebase(last_horizon));
                 }
+            }
+            // The run is over: nothing can rewrite a pruned key anymore,
+            // so counter-only shells are dead weight — collect them. The
+            // WAL side does the same inside its final forced rebase, which
+            // keeps replay == store.
+            if last_horizon > Timestamp::EPOCH {
+                report.shells = sharded.gc_dead_shells();
             }
             return report;
         }
@@ -922,9 +1087,8 @@ mod tests {
         let horizon = retention.horizon.expect("swept");
         assert_eq!(horizon, frontier.saturating_sub(TimeDelta::from_days(7)));
         assert!(pruned.approx_bytes() < reference.approx_bytes());
-        // Lifetime counters and every post-horizon query are intact.
-        assert_eq!(pruned.stats().writes, reference.stats().writes);
-        assert_eq!(pruned.stats().reads, reference.stats().reads);
+        // Every post-horizon query is intact. (A GC'd dead shell answers
+        // None on both sides: it was dead at the horizon by definition.)
         for key in reference.keys() {
             assert_eq!(
                 pruned.value_at(key.as_str(), horizon),
@@ -944,10 +1108,16 @@ mod tests {
         // Stronger: sweeps compose (prune(h1); prune(h2) == prune(h2)) and
         // commute with late appends, so the retained store is *exactly*
         // the reference pruned at the final horizon — regardless of how
-        // many sweeps ran or how they interleaved with ingestion.
+        // many sweeps ran or how they interleaved with ingestion. The
+        // final sweep also collects dead counter-only shells.
         let mut expected = reference.clone();
         expected.prune_before(horizon);
+        let shells = expected.gc_dead_shells();
         assert_eq!(pruned, expected);
+        assert_eq!(retention.shells, shells);
+        // Lifetime counters of surviving keys are intact.
+        assert_eq!(pruned.stats().writes, expected.stats().writes);
+        assert_eq!(pruned.stats().reads, expected.stats().reads);
         let text = report.to_string();
         assert!(text.contains("retention:"), "{text}");
     }

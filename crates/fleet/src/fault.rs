@@ -1,0 +1,173 @@
+//! Deterministic fault injection for the ingestion engine.
+//!
+//! The VOPR harness (`ocasta vopr`, `DESIGN.md §5.12`) drives the fleet
+//! through named adversarial scenarios. The faults that must fire *inside*
+//! the engine — a worker dying mid-queue, the WAL lane going dark, the
+//! retention sweeper stopping short of its final rebase — are described by
+//! a [`FaultPlan`] attached to [`crate::IngestOptions::faults`].
+//!
+//! The plan is zero-cost when absent: every hook is an `Option` check on a
+//! field that defaults to `None`, there is no background machinery, and an
+//! inert plan ([`FaultPlan::default`]) is bit-for-bit the no-plan path.
+//!
+//! Fault *handling* is part of the production surface, not the test
+//! surface: [`IngestError`] is what [`crate::ingest_live`] returns when a
+//! worker panics (injected or real) or the WAL fails, instead of the old
+//! poisoned-lock cascade where one panicked worker took the whole engine
+//! down with it.
+
+use std::fmt;
+
+use crate::wal::WalError;
+
+/// A deterministic fault-injection plan for one ingestion run.
+///
+/// All fields default to `None`, which injects nothing; the engine treats
+/// a missing plan and an inert plan identically.
+///
+/// # Examples
+///
+/// ```
+/// use ocasta_fleet::FaultPlan;
+///
+/// let plan = FaultPlan {
+///     kill_worker_at_machine: Some(1),
+///     ..FaultPlan::default()
+/// };
+/// assert!(!plan.is_inert());
+/// assert!(FaultPlan::default().is_inert());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Panic the ingest worker that picks up this machine index, at pickup
+    /// — before it processes a single op. The machine contributes nothing;
+    /// the other workers keep draining the queue, and the run returns
+    /// [`IngestError::WorkerPanicked`] after a clean shutdown.
+    pub kill_worker_at_machine: Option<usize>,
+    /// Silently stop the WAL appender lane after this many batch frames
+    /// have been appended: the frames so far are flushed, every later
+    /// message (batches *and* compactions) is drained and dropped, and no
+    /// error is reported — a dead durability lane, which is exactly the
+    /// failure a replay-vs-store divergence check must catch.
+    pub wal_crash_after_frames: Option<u64>,
+    /// Stop the retention sweeper before it would execute sweep `N + 1`
+    /// (`Some(0)` stops it before any sweep). The final
+    /// rebase-and-collect pass is skipped too — the on-disk WAL is left
+    /// mid-chain, as a crash during retention would leave it.
+    pub sweeper_stop_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// `true` if the plan injects nothing.
+    pub fn is_inert(&self) -> bool {
+        self == &FaultPlan::default()
+    }
+}
+
+/// Why an ingestion run failed.
+///
+/// Pre-dating this type, a panicked worker poisoned the shared stat locks
+/// and every other thread — including the caller — died on
+/// `expect("... poisoned")`. Now the first failure is captured, the
+/// remaining workers finish their queue, the WAL lane and sweeper shut
+/// down in the normal order, and the caller gets a value it can match on.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The write-ahead-log lane failed (I/O or corruption).
+    Wal(WalError),
+    /// An ingest worker panicked.
+    WorkerPanicked {
+        /// The machine being processed when the worker died, if the panic
+        /// happened inside a machine's span (a worker can also die between
+        /// machines, e.g. joining a thread that already unwound).
+        machine: Option<String>,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Wal(e) => write!(f, "wal lane failed: {e}"),
+            IngestError::WorkerPanicked { machine, message } => match machine {
+                Some(name) => write!(f, "ingest worker panicked on machine {name}: {message}"),
+                None => write!(f, "ingest worker panicked: {message}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Wal(e) => Some(e),
+            IngestError::WorkerPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<WalError> for IngestError {
+    fn from(e: WalError) -> Self {
+        IngestError::Wal(e)
+    }
+}
+
+/// Renders a caught panic payload as text (the two shapes `panic!` emits).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_is_default() {
+        assert!(FaultPlan::default().is_inert());
+        let plan = FaultPlan {
+            sweeper_stop_after: Some(0),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn errors_render_their_context() {
+        let err = IngestError::WorkerPanicked {
+            machine: Some("m003".into()),
+            message: "boom".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "ingest worker panicked on machine m003: boom"
+        );
+        let err = IngestError::WorkerPanicked {
+            machine: None,
+            message: "boom".into(),
+        };
+        assert_eq!(err.to_string(), "ingest worker panicked: boom");
+    }
+
+    #[test]
+    fn panic_payloads_stringify() {
+        assert_eq!(
+            panic_message(Box::new("static text")),
+            "static text".to_owned()
+        );
+        assert_eq!(
+            panic_message(Box::new(String::from("owned text"))),
+            "owned text".to_owned()
+        );
+        assert_eq!(
+            panic_message(Box::new(17u32)),
+            "non-string panic payload".to_owned()
+        );
+    }
+}

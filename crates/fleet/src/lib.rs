@@ -72,6 +72,7 @@ pub mod hash;
 
 mod doctor;
 mod engine;
+mod fault;
 mod metrics;
 mod shard;
 mod tap;
@@ -83,6 +84,7 @@ pub use engine::{
     ingest_with_wal, ingest_with_wal_and_tap, FleetConfig, FleetReport, IngestOptions,
     KeyPlacement, MachineSpec, RetentionPolicy, RetentionReport,
 };
+pub use fault::{FaultPlan, IngestError};
 pub use metrics::FleetMetrics;
 pub use shard::{key_hash, ShardedTtkv};
 pub use tap::{IngestTap, LaneEvent, WriteLanes};

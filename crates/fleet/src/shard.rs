@@ -187,6 +187,21 @@ impl ShardedTtkv {
         stats
     }
 
+    /// Collects dead counter-only shells from every shard, returning how
+    /// many keys were removed (see [`ocasta_ttkv::Ttkv::gc_dead_shells`]).
+    ///
+    /// Each shard is collected atomically under its own stripe lock, one
+    /// after another. The retention sweeper calls this **only on its final
+    /// sweep**: while ingestion can still deliver a straggler rewrite of a
+    /// pruned key, the shell's counters are that key's only memory of its
+    /// lifetime modification count.
+    pub fn gc_dead_shells(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").gc_dead_shells())
+            .sum()
+    }
+
     /// Takes a read-only snapshot of the live store **while ingestion
     /// continues**: each shard's buffered state is cloned under its lock (an
     /// O(buffered) copy — the expensive sort runs outside, via

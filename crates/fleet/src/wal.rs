@@ -958,6 +958,15 @@ impl Wal {
             delta.demote_baselines();
             store.absorb(delta);
             store.prune_before(horizon);
+            if force_rebase {
+                // The run is over (forced rebases are the sweeper's final
+                // message): collect dead counter-only shells, mirroring the
+                // store-side final sweep so replay == store. A mid-run
+                // chain-length rebase must NOT do this — the live store
+                // still holds those counters, and a straggler rewrite of a
+                // pruned key would diverge from replay.
+                store.gc_dead_shells();
+            }
             let base = format!("base-{}.ttkv", manifest.epoch);
             self.write_layer(&base, &store)?;
             manifest.base = Some(base);

@@ -60,6 +60,40 @@ pub fn parallel_search(
     config: &SearchConfig,
     threads: usize,
 ) -> SearchOutcome {
+    parallel_search_observed(ttkv, clusters, trial, oracle, config, threads, |_| {})
+}
+
+/// [`parallel_search`] with a progress observer: after each wave of trials
+/// completes, `on_progress` receives the oldest history timestamp the
+/// **remaining** plan can still touch (via
+/// [`SearchConfig::oldest_history_needed`] applied to the oldest surviving
+/// candidate version — the single owner of the window-plus-millisecond
+/// slack).
+///
+/// The reported bound is monotone non-decreasing across waves: the plan
+/// only shrinks, so its oldest remaining candidate only moves forward. A
+/// repair driver holding an [`ocasta_ttkv::HorizonPin`] can therefore feed
+/// each report straight into [`ocasta_ttkv::HorizonPin::advance`], letting
+/// retention follow the search instead of stalling at the session's
+/// starting window for its whole life (the pin-starvation fix,
+/// `DESIGN.md §5.9`). The observer runs on the coordinating thread, between
+/// waves; it does not perturb the search — outcomes equal
+/// [`parallel_search`]'s (and therefore the sequential search's) field for
+/// field.
+///
+/// When the final wave completes, the observer is *not* called with an
+/// "everything prunable" bound: releasing the last of the protection is the
+/// pin drop's job, and the driver may still read the pinned snapshot while
+/// assembling its report.
+pub fn parallel_search_observed(
+    ttkv: &Ttkv,
+    clusters: &[Vec<Key>],
+    trial: &Trial,
+    oracle: &FixOracle,
+    config: &SearchConfig,
+    threads: usize,
+    mut on_progress: impl FnMut(Timestamp),
+) -> SearchOutcome {
     let threads = threads.max(1);
     let infos = sorted_cluster_infos(
         ttkv,
@@ -73,6 +107,14 @@ pub fn parallel_search(
     let gallery = SyncGallery::with_baseline(baseline_shot);
 
     let visits = plan(&infos, config.strategy);
+    // Suffix minima over candidate version timestamps: `oldest_after[i]` is
+    // the oldest version any trial from position `i` onward can roll back
+    // to — what the remaining plan still needs from history.
+    let mut oldest_after: Vec<Option<Timestamp>> = vec![None; visits.len() + 1];
+    for i in (0..visits.len()).rev() {
+        let version = visits[i].1;
+        oldest_after[i] = Some(oldest_after[i + 1].map_or(version, |m| version.min(m)));
+    }
     let mut fix: Option<FixInfo> = None;
     let mut trials_to_fix = None;
     let mut screenshots_to_fix = 0;
@@ -120,6 +162,15 @@ pub fn parallel_search(
                 trials_to_fix = Some(trials);
                 screenshots_to_fix = gallery.len();
             }
+        }
+        // The wave's trials are folded: everything the *remaining* plan
+        // can touch starts at the suffix minimum past this wave.
+        if let Some(oldest) = oldest_after[trials] {
+            let remaining = SearchConfig {
+                start_time: Some(oldest),
+                ..config.clone()
+            };
+            on_progress(remaining.oldest_history_needed());
         }
     }
 
@@ -207,6 +258,48 @@ mod tests {
                 assert_eq!(parallel, sequential, "threads={threads} {strategy:?}");
             }
             assert!(sequential.is_fixed());
+        }
+    }
+
+    #[test]
+    fn progress_observer_reports_monotone_bounds_without_perturbing_outcome() {
+        let ttkv = dependent_store();
+        let clusters = vec![
+            vec![Key::new("app/enabled"), Key::new("app/mode")],
+            vec![Key::new("app/geometry")],
+        ];
+        let oracle = FixOracle::element_visible("panel");
+        let config = SearchConfig::default();
+        for threads in [1, 2, 4] {
+            let mut reports: Vec<Timestamp> = Vec::new();
+            let observed = parallel_search_observed(
+                &ttkv,
+                &clusters,
+                &panel_trial(),
+                &oracle,
+                &config,
+                threads,
+                |t| reports.push(t),
+            );
+            let plain =
+                parallel_search(&ttkv, &clusters, &panel_trial(), &oracle, &config, threads);
+            assert_eq!(observed, plain, "threads={threads}");
+            if threads < observed.total_trials {
+                assert!(!reports.is_empty(), "waves reported progress");
+            } else {
+                // The whole plan fit in one wave, and the final wave never
+                // reports: releasing protection is the pin drop's job.
+                assert!(reports.is_empty(), "threads={threads}: {reports:?}");
+            }
+            assert!(
+                reports.windows(2).all(|w| w[0] <= w[1]),
+                "bounds are monotone: {reports:?}"
+            );
+            // Every report is a bound the remaining plan honours: it never
+            // exceeds what the whole search needed at the start plus the
+            // full span of candidate versions.
+            let initial = config.oldest_history_needed();
+            assert!(reports.iter().all(|&t| t >= initial));
         }
     }
 

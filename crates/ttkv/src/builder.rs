@@ -212,6 +212,24 @@ impl TtkvBuilder {
         stats
     }
 
+    /// Collects dead counter-only shells from the builder, so that a later
+    /// [`TtkvBuilder::build`] equals `build().gc_dead_shells()` on the
+    /// pre-GC builder — see [`Ttkv::gc_dead_shells`]. Returns how many
+    /// keys were collected.
+    ///
+    /// The buffered tail is folded into the base first: a tail mutation can
+    /// resurrect a would-be shell (the rewritten key keeps its counters),
+    /// and folding makes that visible before the retain pass. Stale
+    /// `prune_index` entries for collected keys are tolerated by
+    /// construction — [`TtkvBuilder::prune_before`] re-checks every record
+    /// it pops, and a missing record is skipped.
+    pub fn gc_dead_shells(&mut self) -> u64 {
+        let mutations = std::mem::take(&mut self.mutations);
+        let reads = std::mem::take(&mut self.reads);
+        TtkvBuilder::apply_tail(&mut self.base, mutations, reads);
+        self.base.gc_dead_shells()
+    }
+
     /// Builds the store: one stable timestamp sort of the tail, applied in
     /// order onto the base store.
     pub fn build(self) -> Ttkv {

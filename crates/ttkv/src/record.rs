@@ -310,6 +310,24 @@ impl KeyRecord {
         }
     }
 
+    /// `true` if this record is a *dead shell*: it was mutated at some
+    /// point, but pruning reclaimed its whole history and left no live
+    /// baseline (either none at all, or a tombstone — the key was dead at
+    /// the horizon). Such a record answers `None`/absent to every query
+    /// ([`KeyRecord::value_at`], [`KeyRecord::current`],
+    /// [`crate::Ttkv::modified_keys`], snapshots) — only its lifetime
+    /// counters remain, and under key churn those shells accumulate without
+    /// bound. [`crate::Ttkv::gc_dead_shells`] collects them.
+    ///
+    /// Read-only records (`modifications() == 0`) are *not* shells: they
+    /// were never mutated, carry no history to reclaim, and their read
+    /// counters are live Table I data.
+    pub fn is_dead_shell(&self) -> bool {
+        self.modifications() > 0
+            && self.history.is_empty()
+            && self.baseline.as_ref().is_none_or(Version::is_tombstone)
+    }
+
     /// Demotes the prune baseline (if any) back into the mutation history
     /// as an ordinary version, **without touching the counters** — the
     /// collapsed mutation it stands for was already counted when it was

@@ -240,6 +240,41 @@ impl Ttkv {
         stats
     }
 
+    /// Collects *dead shells*: records whose mutations were all reclaimed
+    /// by pruning and whose baseline (if any) is a tombstone — see
+    /// [`KeyRecord::is_dead_shell`]. Returns how many keys were removed.
+    ///
+    /// A shell answers `None`/absent to every query and is excluded from
+    /// [`Ttkv::modified_keys`] already; only its lifetime counters remain.
+    /// Those counters *are* dropped from the store aggregates — a GC'd key
+    /// then rewritten behaves exactly like a fresh key (property-tested) —
+    /// which is what keeps the persist/replay round-trip exact: the load
+    /// path recomputes aggregates from the records actually present.
+    ///
+    /// When to call this is a policy decision that belongs to the caller:
+    /// while ingestion can still deliver a straggler rewrite of a pruned
+    /// key, the shell's counters are that key's only memory, so the fleet
+    /// sweeper GCs **only on its final sweep**, never mid-run.
+    pub fn gc_dead_shells(&mut self) -> u64 {
+        let mut collected = 0u64;
+        let (mut reads, mut writes, mut deletes) = (0u64, 0u64, 0u64);
+        self.records.retain(|_, record| {
+            if record.is_dead_shell() {
+                collected += 1;
+                reads += record.reads;
+                writes += record.writes;
+                deletes += record.deletes;
+                false
+            } else {
+                true
+            }
+        });
+        self.reads -= reads;
+        self.writes -= writes;
+        self.deletes -= deletes;
+        collected
+    }
+
     /// Demotes every record's prune baseline back into its mutation
     /// history as an ordinary version, without touching any counter.
     ///
@@ -539,6 +574,44 @@ mod tests {
         let dead = store.record("app/dead").unwrap();
         assert_eq!(dead.modifications(), 2);
         assert!(dead.history().is_empty());
+    }
+
+    #[test]
+    fn gc_collects_dead_shells_and_bounds_the_key_universe_under_churn() {
+        // Regression (dead-shell leak): before `gc_dead_shells`, every
+        // churned key — written, deleted, fully pruned — left a counter-
+        // only shell in the record map forever, so the key universe grew
+        // without bound under churn even though the store answered None
+        // for every one of them.
+        let mut store = Ttkv::new();
+        for i in 0..100u64 {
+            let key = Key::new(format!("churn/{i}"));
+            store.write(ts(i * 2), key.clone(), Value::from(i as i64));
+            store.read(key.clone());
+            store.delete(ts(i * 2 + 1), key);
+        }
+        store.write(ts(1_000), "app/live", Value::from(1));
+        store.read("app/readonly");
+        store.prune_before(ts(500));
+        // The shells linger until an explicit GC...
+        assert_eq!(store.len(), 102);
+        assert_eq!(store.modified_keys().count(), 1);
+        let collected = store.gc_dead_shells();
+        assert_eq!(collected, 100);
+        assert_eq!(store.len(), 2, "live + read-only keys survive");
+        assert!(store.record("app/live").is_some());
+        assert!(
+            store.record("app/readonly").is_some(),
+            "read-only records are not shells: their read counters are live data"
+        );
+        assert_eq!(store.modified_keys().count(), 1, "semantics preserved");
+        // Aggregates follow the collected records, so the persist load
+        // path (which recomputes them) round-trips exactly.
+        assert_eq!(store.stats().writes, 1);
+        assert_eq!(store.stats().deletes, 0);
+        assert_eq!(store.stats().reads, 1);
+        // Idempotent: nothing left to collect.
+        assert_eq!(store.gc_dead_shells(), 0);
     }
 
     #[test]

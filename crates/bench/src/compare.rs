@@ -62,12 +62,24 @@ pub fn gates_for(bench: &str) -> &'static [Gate] {
             max_ratio: 3.0,
             abs_slack: 1.0,
         }],
-        "repair" => &[Gate {
-            key: "best_parallel_ms",
-            direction: Direction::LowerIsBetter,
-            max_ratio: 3.0,
-            abs_slack: 50.0,
-        }],
+        "repair" => &[
+            Gate {
+                key: "best_parallel_ms",
+                direction: Direction::LowerIsBetter,
+                max_ratio: 3.0,
+                abs_slack: 50.0,
+            },
+            // Session open is the epoch-pin grab: O(shards), tens of
+            // microseconds. The gate keeps it from quietly regressing
+            // back to O(live state) — the clone yardstick at the same
+            // size runs orders of magnitude above this bound.
+            Gate {
+                key: "session_open_us",
+                direction: Direction::LowerIsBetter,
+                max_ratio: 3.0,
+                abs_slack: 500.0,
+            },
+        ],
         "retention" => &[
             Gate {
                 key: "final_store_ratio",
@@ -436,7 +448,7 @@ mod tests {
             let json = match bench {
                 "fleet" => "{\"best_events_per_sec\": 50000.0}",
                 "stream" => "{\"stream_amortized_us\": 2.5}",
-                "repair" => "{\"best_parallel_ms\": 120.0}",
+                "repair" => "{\"best_parallel_ms\": 120.0, \"session_open_us\": 40.0}",
                 _ => {
                     "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
                      \"median_sweep_stall_us\": 1500}"
@@ -493,11 +505,11 @@ mod tests {
         // Faster is never a regression for a cost metric.
         let results = compare(
             "repair",
-            "{\"best_parallel_ms\": 120.0}",
-            "{\"best_parallel_ms\": 12.0}",
+            "{\"best_parallel_ms\": 120.0, \"session_open_us\": 40.0}",
+            "{\"best_parallel_ms\": 12.0, \"session_open_us\": 35.0}",
         )
         .unwrap();
-        assert!(results[0].pass, "{results:?}");
+        assert!(results.iter().all(|r| r.pass), "{results:?}");
 
         // A near-zero baseline tolerates jitter through abs_slack.
         let results = compare(
@@ -545,13 +557,20 @@ mod tests {
             }],
             7,
         );
-        let repair_json = crate::repair::to_json(&[crate::repair::Sample {
-            days: 21,
-            events: 100,
-            trials: 5,
-            sequential_ms: 10.0,
-            parallel_ms: vec![6.0, 4.0],
-        }]);
+        let repair_json = crate::repair::to_json(
+            &[crate::repair::Sample {
+                days: 21,
+                events: 100,
+                trials: 5,
+                sequential_ms: 10.0,
+                parallel_ms: vec![6.0, 4.0],
+            }],
+            &[crate::repair::SessionSample {
+                ops: 10_000,
+                pin_us: 40.0,
+                clone_us: 900.0,
+            }],
+        );
         for (bench, json) in [
             ("fleet", fleet_json),
             ("stream", stream_json),

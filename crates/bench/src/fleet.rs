@@ -77,6 +77,7 @@ pub fn sweep(thread_counts: &[usize], shard_counts: &[usize]) -> Vec<Sample> {
                 precision: TimePrecision::Seconds,
                 placement: KeyPlacement::Merged,
                 retention: None,
+                ..FleetConfig::default()
             };
             let (_, report) = fleet_ingest(&machines, &config);
             samples.push(Sample {

@@ -12,6 +12,13 @@
 //! sweep doubles as an equivalence check (the same invariant the property
 //! suite in `crates/repair/tests/prop.rs` covers on random histories), so
 //! a regression cannot produce a plausible-looking table.
+//!
+//! A second sweep times *session open*: a repair session pins a
+//! consistent point-in-time store before searching, and since the
+//! sealed-segment refactor that pin is O(shards) (`pin_epoch`) instead of
+//! O(live state) (the clone-under-lock yardstick, kept for comparison and
+//! asserted equivalent at every size). The `session_open_us` figure is
+//! gated against `baselines/BENCH_repair.json` by `bench-compare`.
 
 use std::time::Instant;
 
@@ -29,6 +36,10 @@ pub const SCENARIO_ID: usize = 13;
 pub const DAYS: [u64; 4] = [21, 42, 63, 84];
 /// Trial-executor thread counts the sweep compares.
 pub const THREADS: [usize; 2] = [2, 4];
+/// Live-state sizes (mutations) the session-open sweep grows through.
+pub const SESSION_STATE_OPS: [usize; 3] = [10_000, 40_000, 160_000];
+/// Sessions opened (and timed) per state size.
+pub const SESSION_OPENS: usize = 64;
 
 /// One row of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,12 +125,92 @@ fn assert_outcomes_equal(sequential: &SearchOutcome, parallel: &SearchOutcome, d
     );
 }
 
+/// One session-open measurement at one live-state size: the epoch-pin
+/// open (`pin_epoch`, O(shards)) next to the clone-under-lock yardstick
+/// (`snapshot_store_cloned`, O(live state)) that repair sessions paid
+/// before epoch pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSample {
+    /// Mutations resident in the sharded store.
+    pub ops: usize,
+    /// Median epoch-pin session open, microseconds.
+    pub pin_us: f64,
+    /// Median clone-under-lock open, microseconds.
+    pub clone_us: f64,
+}
+
+/// Measures repair-session open latency against live-state size.
+///
+/// A repair session needs a consistent point-in-time store. The old path
+/// deep-cloned every shard under its lock (cost grows with live state);
+/// the epoch-pin path grabs `Arc`s to the sealed segments plus a small
+/// tail copy (cost grows with shard count only). The sweep times both on
+/// the same quiesced store, and double-checks at every size that the
+/// pinned epoch materializes into *exactly* the cloned store.
+///
+/// # Panics
+///
+/// Panics if an epoch pin and the clone yardstick ever disagree.
+pub fn session_open_sweep(sizes: &[usize], opens: usize) -> Vec<SessionSample> {
+    use ocasta::{AccessEvent, ShardedTtkv, Timestamp, TraceOp, Value};
+    let mut samples = Vec::new();
+    for &ops in sizes {
+        let sharded = ShardedTtkv::new(8);
+        let batch: Vec<TraceOp> = (0..ops)
+            .map(|i| {
+                TraceOp::Mutation(AccessEvent::write(
+                    Timestamp::from_millis(i as u64),
+                    format!("app/k{:05}", i % 4096),
+                    Value::from(i as i64),
+                ))
+            })
+            .collect();
+        sharded.append_routed(batch);
+
+        let mut pin_us: Vec<f64> = (0..opens)
+            .map(|_| {
+                let started = Instant::now();
+                let pin = sharded.pin_epoch();
+                let us = started.elapsed().as_secs_f64() * 1e6;
+                drop(pin);
+                us
+            })
+            .collect();
+        let mut clone_us: Vec<f64> = (0..opens)
+            .map(|_| {
+                let started = Instant::now();
+                let store = sharded.snapshot_store_cloned();
+                let us = started.elapsed().as_secs_f64() * 1e6;
+                drop(store);
+                us
+            })
+            .collect();
+        assert_eq!(
+            sharded.pin_epoch().materialize(),
+            sharded.snapshot_store_cloned(),
+            "epoch pin and clone yardstick disagree at {ops} ops"
+        );
+        samples.push(SessionSample {
+            ops,
+            pin_us: median(&mut pin_us),
+            clone_us: median(&mut clone_us),
+        });
+    }
+    samples
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
 /// Serialises the sweep as machine-readable JSON (`BENCH_repair.json`),
 /// flat top-level numbers for `bench-compare` to gate on. All figures come
 /// from the largest history (the last sample), where cost differences are
 /// most visible.
-pub fn to_json(samples: &[Sample]) -> String {
+pub fn to_json(samples: &[Sample], sessions: &[SessionSample]) -> String {
     let last = samples.last().expect("sweep is non-empty");
+    let open = sessions.last().expect("session sweep is non-empty");
     let best_parallel = last
         .parallel_ms
         .iter()
@@ -128,8 +219,16 @@ pub fn to_json(samples: &[Sample]) -> String {
     format!(
         "{{\n  \"bench\": \"repair\",\n  \"scenario_id\": {SCENARIO_ID},\n  \"days\": {},\n  \
          \"events\": {},\n  \"trials\": {},\n  \"sequential_ms\": {:.3},\n  \
-         \"best_parallel_ms\": {:.3}\n}}\n",
-        last.days, last.events, last.trials, last.sequential_ms, best_parallel,
+         \"best_parallel_ms\": {:.3},\n  \"session_state_ops\": {},\n  \
+         \"session_open_us\": {:.3},\n  \"session_clone_us\": {:.3}\n}}\n",
+        last.days,
+        last.events,
+        last.trials,
+        last.sequential_ms,
+        best_parallel,
+        open.ops,
+        open.pin_us,
+        open.clone_us,
     )
 }
 
@@ -211,7 +310,43 @@ pub fn run() -> (String, String) {
         max_threads,
         modeled_par.as_mmss(),
     ));
-    let json = to_json(&samples);
+
+    // Session-open latency: the epoch-pin open must stay flat while the
+    // clone-under-lock yardstick grows with live state.
+    let sessions = session_open_sweep(&SESSION_STATE_OPS, SESSION_OPENS);
+    out.push_str(&format!(
+        "\nRepair-session open vs live state (8 shards, {SESSION_OPENS} opens, medians)\n\n"
+    ));
+    let session_rows: Vec<Vec<String>> = sessions
+        .iter()
+        .map(|s| {
+            vec![
+                s.ops.to_string(),
+                format!("{:.1}", s.pin_us),
+                format!("{:.1}", s.clone_us),
+                format!("{:.1}x", s.clone_us / s.pin_us.max(f64::MIN_POSITIVE)),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["Live ops", "Pin us", "Clone us", "Clone/Pin"],
+        &session_rows,
+    ));
+    let (first_s, last_s) = (
+        sessions.first().expect("session sweep is non-empty"),
+        sessions.last().expect("session sweep is non-empty"),
+    );
+    out.push_str(&format!(
+        "\nepoch-pin open: {:.1} us -> {:.1} us across a {:.0}x state growth \
+         (clone yardstick: {:.1} us -> {:.1} us, {:.1}x)\n",
+        first_s.pin_us,
+        last_s.pin_us,
+        last_s.ops as f64 / first_s.ops.max(1) as f64,
+        first_s.clone_us,
+        last_s.clone_us,
+        last_s.clone_us / first_s.clone_us.max(f64::MIN_POSITIVE),
+    ));
+    let json = to_json(&samples, &sessions);
     (out, json)
 }
 
@@ -229,8 +364,14 @@ mod tests {
         assert!(samples.iter().all(|s| s.trials > 0));
         assert!(samples.iter().all(|s| s.parallel_ms.len() == 1));
 
-        let json = to_json(&samples);
+        let sessions = session_open_sweep(&[2_000, 8_000], 9);
+        assert_eq!(sessions.len(), 2);
+        assert!(sessions.iter().all(|s| s.pin_us > 0.0 && s.clone_us > 0.0));
+
+        let json = to_json(&samples, &sessions);
         assert!(json.contains("\"bench\": \"repair\""), "{json}");
         assert!(json.contains("\"best_parallel_ms\""), "{json}");
+        assert!(json.contains("\"session_open_us\""), "{json}");
+        assert!(json.contains("\"session_clone_us\""), "{json}");
     }
 }

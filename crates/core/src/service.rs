@@ -10,8 +10,9 @@
 //! 2. the streaming clustering absorbs the tapped event flow and serves a
 //!    cluster catalog at any moment;
 //! 3. each simulated user pins a session: the catalog (stamped with its
-//!    stream horizon) plus a per-shard-atomic history snapshot
-//!    ([`ShardedTtkv::snapshot_store`]) taken *at or after* that horizon;
+//!    stream horizon) plus a per-shard-atomic **epoch pin** of the history
+//!    ([`ShardedTtkv::pin_epoch`]) taken *at or after* that horizon — an
+//!    O(shards) grab of shared sealed segments, not a store copy;
 //! 4. an error scenario is injected into the user's pinned snapshot and
 //!    the parallel rollback search runs to exhaustion — N sessions
 //!    concurrently, each with its own trial-executor pool — while
@@ -32,13 +33,13 @@ use std::time::{Duration, Instant};
 use ocasta_apps::{scenarios, ErrorScenario};
 use ocasta_cluster::ClusterParams;
 use ocasta_fleet::{
-    ingest_live, FleetMetrics, FleetReport, IngestOptions, ShardedTtkv, WriteLanes,
+    ingest_live, EpochSnapshot, FleetMetrics, FleetReport, IngestOptions, ShardedTtkv, WriteLanes,
 };
 use ocasta_repair::{
     CatalogHorizon, ClusterCatalog, HorizonGuard, HorizonPin, RepairSession, SearchConfig,
     SearchStrategy, SessionReport,
 };
-use ocasta_ttkv::{TimeDelta, Timestamp, Ttkv, TtkvStats};
+use ocasta_ttkv::{TimeDelta, Timestamp, TtkvStats};
 
 use crate::fleet::{fleet_machines, FleetRunConfig};
 use crate::metrics::{ServiceMetrics, StreamMetrics};
@@ -194,7 +195,8 @@ pub fn run_repair_service_observed(
     }
     let machines = fleet_machines(&fleet_cfg)?;
     let engine = Ocasta::new(config.params);
-    let sharded = ShardedTtkv::new(fleet_cfg.engine.shards);
+    let sharded =
+        ShardedTtkv::with_seal_threshold(fleet_cfg.engine.shards, fleet_cfg.engine.seal_threshold);
     let lanes = WriteLanes::new(fleet_cfg.engine.shards);
     let guard = HorizonGuard::new();
     let mut stream = OcastaStream::new(&engine);
@@ -239,12 +241,12 @@ pub fn run_repair_service_observed(
             std::thread::sleep(Duration::from_millis(2));
         }
 
-        // Pin, in order: retention pin first, catalog second, snapshot
+        // Pin, in order: retention pin first, catalog second, epoch pin
         // third. The retention pin covers the oldest history any session's
         // bounded search can touch, so a concurrent retention sweep can
-        // never prune a version out from under the snapshot about to be
-        // taken; catalog-before-snapshot keeps the snapshot at or beyond
-        // the catalog's horizon (DESIGN.md §5.8, §5.9).
+        // never prune a version out from under the epoch about to be
+        // pinned; catalog-before-epoch-pin keeps the pinned history at or
+        // beyond the catalog's horizon (DESIGN.md §5.8, §5.9, §5.13).
         // The sessions' bound will be `inject_at − days`, and injections
         // happen after the snapshot's end, so a bound computed from the
         // current frontier is a safe (earlier) stand-in. The slack below
@@ -273,7 +275,14 @@ pub fn run_repair_service_observed(
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(pin);
         let live = stream.clustering();
-        let snapshot = sharded.snapshot_store();
+        // The epoch pin is O(shards + tails) under the stripe locks:
+        // sealed segments are shared by reference with every session, and
+        // later sweeps replace — never mutate — pinned segments, so the
+        // pin cannot observe them. One materialization here feeds the run
+        // report; each session folds its own copy of the pin in its own
+        // thread.
+        let pinned = sharded.pin_epoch();
+        let snapshot = pinned.materialize();
         // Sampled *after* the snapshot, so "mid-ingest" is conservative:
         // if ingestion is still running now, the pinned history was
         // certainly a prefix of a still-growing fleet.
@@ -293,9 +302,11 @@ pub fn run_repair_service_observed(
             .map(|user| {
                 let scenario = chosen[user % chosen.len()].clone();
                 let catalog = catalog.clone();
-                // Each session owns its copy of the pinned snapshot — the
-                // sandbox it injects the error into and searches.
-                let store = snapshot.clone();
+                // Each session holds its own clone of the epoch pin — an
+                // O(shards) Arc grab, not a store copy — and materializes
+                // its private sandbox (the store it injects the error
+                // into and searches) inside its own thread.
+                let pin = pinned.clone();
                 let needs = &needs;
                 let shared_pin = &shared_pin;
                 scope.spawn(move || {
@@ -303,7 +314,7 @@ pub fn run_repair_service_observed(
                         config,
                         user,
                         scenario,
-                        store,
+                        pin,
                         catalog,
                         session_pin,
                         needs,
@@ -346,13 +357,14 @@ pub fn run_repair_service_observed(
     Ok(run)
 }
 
-/// One user: inject the scenario into the pinned snapshot, search, report.
+/// One user: materialize the epoch pin, inject the scenario into the
+/// private store, search, report.
 #[allow(clippy::too_many_arguments)]
 fn run_user_session(
     config: &RepairServiceConfig,
     user: usize,
     scenario: ErrorScenario,
-    mut store: Ttkv,
+    pin: EpochSnapshot,
     catalog: ClusterCatalog,
     session_pin: Timestamp,
     needs: &Mutex<Vec<Timestamp>>,
@@ -360,6 +372,10 @@ fn run_user_session(
     metrics: Option<&ServiceMetrics>,
 ) -> UserRepair {
     let open_started = metrics.map(|_| Instant::now());
+    let mut store = pin.materialize();
+    // The sandbox is owned now; releasing the pin lets a later sweep's
+    // replaced segments free as soon as every other holder drops too.
+    drop(pin);
     let end = store.last_mutation_time().unwrap_or(Timestamp::EPOCH);
     // Stagger injections so concurrent users' errors are distinct events.
     let inject_at = end + TimeDelta::from_mins(5 * (user as u64 + 1));

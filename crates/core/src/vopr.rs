@@ -43,8 +43,8 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ocasta_fleet::{
-    ingest_live, ingest_sequential, FaultPlan, FleetConfig, IngestError, IngestOptions,
-    KeyPlacement, MachineSpec, RetentionPolicy, ShardedTtkv, Wal, WriteLanes,
+    ingest_live, ingest_sequential, EpochSnapshot, FaultPlan, FleetConfig, IngestError,
+    IngestOptions, KeyPlacement, MachineSpec, RetentionPolicy, ShardedTtkv, Wal, WriteLanes,
 };
 use ocasta_repair::{
     parallel_search, search, FixOracle, Screenshot, SearchConfig, SearchOutcome, SearchStrategy,
@@ -72,10 +72,12 @@ const SCENARIOS: &[&str] = &[
     "reorder-feed",
     "dead-shell-churn",
     "sweep-vs-pin",
+    "pin-churn",
     "kill-ingest-worker",
     "wal-appender-crash",
     "crash-mid-sweep",
     "crash-mid-rebase",
+    "killed-worker-amid-pin-churn",
 ];
 
 /// Every scenario name `vopr` accepts, in canonical order.
@@ -269,6 +271,53 @@ pub fn check_parallel_equals_sequential(
     }
 }
 
+/// Pin-churn invariant: an epoch-pinned snapshot equals the legacy
+/// clone-under-lock snapshot taken at the same quiescent moment, as exact
+/// [`Ttkv`] equality (`DESIGN.md §5.13`).
+pub fn check_epoch_equals_clone(epoch: &Ttkv, clone: &Ttkv) -> VoprCheck {
+    VoprCheck {
+        name: "epoch-matches-clone",
+        passed: epoch == clone,
+        detail: format!(
+            "epoch pin {} keys / {} writes vs clone {} keys / {} writes",
+            epoch.len(),
+            epoch.stats().writes,
+            clone.len(),
+            clone.stats().writes,
+        ),
+    }
+}
+
+/// Pin-churn invariant: every short-lived session's pinned view survived
+/// the sweeper unchanged. `checked` is how many sessions re-materialized
+/// their pin and compared it against the materialization taken at pin
+/// time; `diverged` is how many differed. The check demands at least one
+/// session actually churned (a scenario that never pins proves nothing).
+pub fn check_pin_churn_sessions(checked: u64, diverged: u64) -> VoprCheck {
+    VoprCheck {
+        name: "pins-survive-sweeps",
+        passed: checked > 0 && diverged == 0,
+        detail: format!("{checked} pinned sessions checked, {diverged} diverged"),
+    }
+}
+
+/// Pin-churn invariant: pins taken in sequence observe a non-decreasing
+/// mutation total — a later pin can never see *less* history than an
+/// earlier one. The detail reports only the pin count and inversion
+/// count, never the raw totals, so engine scenarios (where totals depend
+/// on thread timing) keep byte-deterministic reports.
+pub fn check_pin_monotonicity(mutation_totals: &[u64]) -> VoprCheck {
+    let inversions = mutation_totals.windows(2).filter(|w| w[1] < w[0]).count();
+    VoprCheck {
+        name: "pins-monotone",
+        passed: inversions == 0,
+        detail: format!(
+            "{} pins taken in sequence, {inversions} ordering inversions",
+            mutation_totals.len(),
+        ),
+    }
+}
+
 /// Runs one scenario under one seed and reports every check's verdict.
 ///
 /// Same scenario + same seed ⇒ the returned
@@ -293,9 +342,10 @@ pub fn run_vopr(scenario: &str, seed: u64) -> Result<VoprOutcome, String> {
     let dir = scratch_dir(scenario, seed);
     let _ = std::fs::remove_dir_all(&dir);
     let result = match scenario {
-        "kill-ingest-worker" | "wal-appender-crash" | "crash-mid-sweep" => {
-            run_engine_scenario(scenario, seed, &dir)
-        }
+        "kill-ingest-worker"
+        | "wal-appender-crash"
+        | "crash-mid-sweep"
+        | "killed-worker-amid-pin-churn" => run_engine_scenario(scenario, seed, &dir),
         _ => run_feed_scenario(scenario, seed, &dir),
     };
     let _ = std::fs::remove_dir_all(&dir);
@@ -510,12 +560,18 @@ fn run_feed_scenario(
 ) -> Result<VoprOutcome, String> {
     let (machines, days) = (3usize, 4u64);
     let chunks = feed_chunks(scenario, seed, machines, days)?;
-    let retain =
-        matches!(scenario, "dead-shell-churn" | "sweep-vs-pin").then(|| TimeDelta::from_days(1));
+    let retain = matches!(scenario, "dead-shell-churn" | "sweep-vs-pin" | "pin-churn")
+        .then(|| TimeDelta::from_days(1));
 
     let engine = Ocasta::default();
     let mut stream = OcastaStream::new(&engine);
-    let sharded = ShardedTtkv::new(4);
+    // pin-churn seals aggressively so the sessions' epoch pins reference
+    // real sealed segments, not just tail clones.
+    let sharded = if scenario == "pin-churn" {
+        ShardedTtkv::with_seal_threshold(4, 128)
+    } else {
+        ShardedTtkv::new(4)
+    };
     let mut reference = Ttkv::new();
     let guard = HorizonGuard::new();
     let mut wal = Wal::open(dir).map_err(|e| format!("open scratch wal: {e}"))?;
@@ -526,6 +582,29 @@ fn run_feed_scenario(
     let mut pin_at = Timestamp::EPOCH;
     let mut clamped_while_pinned = 0u64;
     let mut post_advance_horizon: Option<Timestamp> = None;
+
+    // pin-churn bookkeeping: short-lived sessions, each holding a
+    // retention pin (so sweeps clamp around it, composing with the
+    // HorizonGuard registry) plus an epoch pin with its pin-time
+    // materialization as the oracle. Sessions open every 5th chunk and
+    // close ~7 chunks later; a few stay open across the final
+    // sweep + shell-GC + rebase to prove a pinned generation outlives
+    // even the rebase.
+    let mut churn_sessions: Vec<(usize, HorizonPin<'_>, EpochSnapshot, Ttkv)> = Vec::new();
+    let mut sessions_checked = 0u64;
+    let mut sessions_diverged = 0u64;
+    fn close_session(
+        session: (usize, HorizonPin<'_>, EpochSnapshot, Ttkv),
+        checked: &mut u64,
+        diverged: &mut u64,
+    ) {
+        let (_, _retention_pin, epoch, oracle) = session;
+        *checked += 1;
+        if epoch.materialize() != oracle {
+            *diverged += 1;
+        }
+        // `_retention_pin` drops here: the sweeper may pass this point now.
+    }
 
     let total = chunks.len();
     for (i, chunk) in chunks.iter().enumerate() {
@@ -538,6 +617,31 @@ fn run_feed_scenario(
         stream.absorb_batch(chunk.iter().filter_map(lane_event));
         sharded.append_routed(chunk.clone());
 
+        if scenario == "pin-churn" {
+            if let Some(retain) = retain {
+                // Open a short session every 5th chunk: retention pin at
+                // frontier − retain, epoch pin, pin-time oracle.
+                if i % 5 == 2 {
+                    let frontier = sharded.last_mutation_time().unwrap_or(Timestamp::EPOCH);
+                    let retention_pin = guard.pin(frontier.saturating_sub(retain));
+                    let epoch = sharded.pin_epoch();
+                    let oracle = epoch.materialize();
+                    churn_sessions.push((i, retention_pin, epoch, oracle));
+                }
+                // Close (and verify) sessions open for ~7 chunks — except
+                // a straggler cohort held across the run's end.
+                while churn_sessions
+                    .first()
+                    .is_some_and(|(opened, ..)| i >= opened + 7 && churn_sessions.len() > 2)
+                {
+                    close_session(
+                        churn_sessions.remove(0),
+                        &mut sessions_checked,
+                        &mut sessions_diverged,
+                    );
+                }
+            }
+        }
         if scenario == "sweep-vs-pin" && pin.is_none() && i + 1 == total / 3 {
             // A repair session registers needing history from the current
             // sweep target onwards: as the frontier moves on, every later
@@ -601,6 +705,13 @@ fn run_feed_scenario(
     }
     wal.flush().map_err(|e| format!("wal flush: {e}"))?;
 
+    // pin-churn stragglers: their epochs were pinned *before* the final
+    // sweep, shell-GC and rebase — each must still materialize its
+    // pin-time oracle exactly.
+    for session in churn_sessions.drain(..) {
+        close_session(session, &mut sessions_checked, &mut sessions_diverged);
+    }
+
     let mut orphans_swept = true;
     if scenario == "crash-mid-rebase" {
         // Commit a manifest, then leave behind exactly what a compaction
@@ -661,6 +772,16 @@ fn run_feed_scenario(
                 ),
             });
         }
+        "pin-churn" => {
+            checks.push(check_pin_churn_sessions(
+                sessions_checked,
+                sessions_diverged,
+            ));
+            checks.push(check_epoch_equals_clone(
+                &snapshot,
+                &sharded.snapshot_store_cloned(),
+            ));
+        }
         "crash-mid-rebase" => {
             checks.push(VoprCheck {
                 name: "orphans-swept",
@@ -708,6 +829,7 @@ fn run_engine_scenario(
                 // visible in the store itself.
                 placement: KeyPlacement::PerMachine,
                 retention: None,
+                seal_threshold: 256,
             },
             FaultPlan {
                 kill_worker_at_machine: Some(1),
@@ -724,9 +846,31 @@ fn run_engine_scenario(
                 precision: PRECISION,
                 placement: KeyPlacement::Merged,
                 retention: None,
+                seal_threshold: 256,
             },
             FaultPlan {
                 wal_crash_after_frames: Some(5),
+                ..FaultPlan::default()
+            },
+        ),
+        "killed-worker-amid-pin-churn" => (
+            4usize,
+            3u64,
+            FleetConfig {
+                shards: 4,
+                ingest_threads: 2,
+                batch_size: 64,
+                precision: PRECISION,
+                // Per-machine keyspace so the killed machine's absence is
+                // visible in the store itself.
+                placement: KeyPlacement::PerMachine,
+                retention: None,
+                // Small enough that pins land mid-seal, not just between
+                // quiescent segments.
+                seal_threshold: 192,
+            },
+            FaultPlan {
+                kill_worker_at_machine: Some(1),
                 ..FaultPlan::default()
             },
         ),
@@ -740,6 +884,7 @@ fn run_engine_scenario(
                 precision: PRECISION,
                 placement: KeyPlacement::Merged,
                 retention: Some(RetentionPolicy::keep_days(2)),
+                seal_threshold: 256,
             },
             FaultPlan {
                 sweeper_stop_after: Some(0),
@@ -759,21 +904,52 @@ fn run_engine_scenario(
     let machines = fleet_machines(&run_config)?;
     let mut wal = Wal::open(dir).map_err(|e| format!("open scratch wal: {e}"))?;
     let engine = Ocasta::default();
-    let sharded = ShardedTtkv::new(config.shards);
+    let sharded = ShardedTtkv::with_seal_threshold(config.shards, config.seal_threshold);
     let lanes = WriteLanes::new(config.shards);
     let guard = HorizonGuard::new();
-    let result = ingest_live(
-        &machines,
-        &config,
-        &sharded,
-        IngestOptions {
-            wal: Some(&mut wal),
-            tap: Some(&lanes),
-            guard: Some(&guard),
-            metrics: None,
-            faults: Some(&faults),
-        },
-    );
+    // Epoch pins churned *while* the fault fires (killed-worker-amid-
+    // pin-churn only): each pin's immediate materialization is its own
+    // oracle, re-checked after ingestion settles.
+    let mut churned_pins: Vec<(EpochSnapshot, Ttkv)> = Vec::new();
+    let result = if scenario == "killed-worker-amid-pin-churn" {
+        let (wal_ref, pins_ref) = (&mut wal, &mut churned_pins);
+        std::thread::scope(|scope| {
+            let ingest = scope.spawn(|| {
+                ingest_live(
+                    &machines,
+                    &config,
+                    &sharded,
+                    IngestOptions {
+                        wal: Some(wal_ref),
+                        tap: Some(&lanes),
+                        guard: Some(&guard),
+                        metrics: None,
+                        faults: Some(&faults),
+                    },
+                )
+            });
+            for _ in 0..32 {
+                let pin = sharded.pin_epoch();
+                let oracle = pin.materialize();
+                pins_ref.push((pin, oracle));
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            ingest.join().expect("ingest driver panicked")
+        })
+    } else {
+        ingest_live(
+            &machines,
+            &config,
+            &sharded,
+            IngestOptions {
+                wal: Some(&mut wal),
+                tap: Some(&lanes),
+                guard: Some(&guard),
+                metrics: None,
+                faults: Some(&faults),
+            },
+        )
+    };
     let mut stream = OcastaStream::new(&engine);
     stream.drain_lanes(&lanes);
     stream.seal();
@@ -782,7 +958,7 @@ fn run_engine_scenario(
     // The unbounded deterministic reference: sequential ingestion of the
     // machines that actually contributed, retention off.
     let surviving: Vec<MachineSpec> = match scenario {
-        "kill-ingest-worker" => machines
+        "kill-ingest-worker" | "killed-worker-amid-pin-churn" => machines
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != 1)
@@ -816,7 +992,7 @@ fn run_engine_scenario(
         false,
     );
     match scenario {
-        "kill-ingest-worker" => {
+        "kill-ingest-worker" | "killed-worker-amid-pin-churn" => {
             let named_right = matches!(
                 &result,
                 Err(IngestError::WorkerPanicked {
@@ -835,6 +1011,28 @@ fn run_engine_scenario(
                      survivors present: {survivors_present}"
                 ),
             });
+            if scenario == "killed-worker-amid-pin-churn" {
+                let diverged = churned_pins
+                    .iter()
+                    .filter(|(pin, oracle)| &pin.materialize() != oracle)
+                    .count() as u64;
+                let totals: Vec<u64> = churned_pins
+                    .iter()
+                    .map(|(_, oracle)| {
+                        let s = oracle.stats();
+                        s.writes + s.deletes
+                    })
+                    .collect();
+                checks.push(check_pin_churn_sessions(
+                    churned_pins.len() as u64,
+                    diverged,
+                ));
+                checks.push(check_pin_monotonicity(&totals));
+                checks.push(check_epoch_equals_clone(
+                    &snapshot,
+                    &sharded.snapshot_store_cloned(),
+                ));
+            }
         }
         "wal-appender-crash" => {
             let (r, l) = (replayed.stats(), snapshot.stats());
@@ -947,7 +1145,9 @@ mod tests {
 
     #[test]
     fn scenario_names_are_stable_and_unknown_names_rejected() {
-        assert_eq!(vopr_scenario_names().len(), 11);
+        assert_eq!(vopr_scenario_names().len(), 13);
+        assert!(vopr_scenario_names().contains(&"pin-churn"));
+        assert!(vopr_scenario_names().contains(&"killed-worker-amid-pin-churn"));
         assert!(vopr_scenario_names().contains(&"baseline"));
         let err = run_vopr("warp-core-breach", 7).unwrap_err();
         assert!(err.contains("unknown scenario"), "{err}");
@@ -1034,6 +1234,42 @@ mod tests {
         assert!(
             !check_parallel_equals_sequential(&sequential, &skewed).passed,
             "one extra trial must fail the field-for-field comparison"
+        );
+    }
+
+    #[test]
+    fn epoch_clone_check_fails_on_divergence() {
+        let store = small_store();
+        assert!(check_epoch_equals_clone(&store, &store.clone()).passed);
+
+        let mut diverged = store.clone();
+        diverged.write(ts(99), "app/extra", Value::from(true));
+        assert!(
+            !check_epoch_equals_clone(&store, &diverged).passed,
+            "an epoch pin that drifted from the clone oracle must fail"
+        );
+    }
+
+    #[test]
+    fn pin_churn_check_fails_on_divergence_or_empty_run() {
+        assert!(check_pin_churn_sessions(12, 0).passed);
+        assert!(
+            !check_pin_churn_sessions(12, 1).passed,
+            "one diverged session must fail the check"
+        );
+        assert!(
+            !check_pin_churn_sessions(0, 0).passed,
+            "a run that opened no sessions proves nothing and must fail"
+        );
+    }
+
+    #[test]
+    fn pin_monotonicity_check_detects_inversions() {
+        assert!(check_pin_monotonicity(&[1, 5, 5, 9]).passed);
+        assert!(check_pin_monotonicity(&[]).passed, "vacuously monotone");
+        assert!(
+            !check_pin_monotonicity(&[1, 9, 5]).passed,
+            "a later pin with fewer mutations than an earlier one is an inversion"
         );
     }
 

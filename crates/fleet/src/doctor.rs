@@ -16,6 +16,13 @@
 //!   (a crash mid-append; recoverable by design, reported as a warning)
 //!   from a checksum mismatch on a complete frame (data corruption, an
 //!   error);
+//! * **segment lineage** — the base layer's embedded epoch sits strictly
+//!   below every delta's (`segment-generation`): generations seal
+//!   oldest-first, so an inversion means replay would fold layers out of
+//!   order. And an unreferenced layer *two or more* epochs past the
+//!   manifest (`segment-orphan`) is an error — a committed rebase failed
+//!   to sweep it — while the single-generation orphan a lone crash can
+//!   produce stays a warning;
 //! * **leftovers** — `*.tmp` files from interrupted commits, stale logs
 //!   and unreferenced layers a crashed compaction orphaned (all swept
 //!   automatically by the next `Wal::open`; warnings), and the legacy
@@ -380,6 +387,26 @@ fn diagnose_layered(
         });
     }
 
+    // Segment-generation monotonicity: the base layer is the *oldest*
+    // sealed generation, so its epoch must sit strictly below every
+    // delta's. A delta at or below the base means seal order and fold
+    // order disagree — replay would absorb layers out of generation.
+    if let Some(base_epoch) = manifest.base.as_deref().and_then(embedded_epoch) {
+        if let Some(&oldest_delta) = delta_epochs.iter().min() {
+            if oldest_delta <= base_epoch {
+                report.findings.push(Finding {
+                    severity: Severity::Error,
+                    check: "segment-generation",
+                    target: "wal.manifest".to_string(),
+                    detail: format!(
+                        "delta epoch {oldest_delta} is not strictly above the base \
+                         epoch {base_epoch}"
+                    ),
+                });
+            }
+        }
+    }
+
     // Horizon monotonicity: the chain's recorded horizons never decrease,
     // and the manifest horizon is their ceiling (replay re-prunes there).
     let delta_horizons: Vec<Timestamp> = manifest.deltas.iter().map(|(_, h)| *h).collect();
@@ -446,12 +473,34 @@ fn diagnose_layered(
                 detail: format!("superseded by {log_name} (swept on next open)"),
             });
         } else if is_layer && !referenced.contains(name.as_str()) {
-            report.findings.push(Finding {
-                severity: Severity::Warning,
-                check: "layer-orphan",
-                target: name.clone(),
-                detail: "not referenced by the manifest (swept on next open)".to_string(),
-            });
+            // A crash between a compaction's commit and its cleanup
+            // orphans at most one generation (manifest epoch + 1). An
+            // unreferenced sealed layer two or more generations ahead
+            // cannot come from a single crash: a later rebase committed
+            // past it without sweeping, so the sweep itself is suspect.
+            match embedded_epoch(name) {
+                Some(epoch) if epoch >= manifest.epoch + 2 => {
+                    report.findings.push(Finding {
+                        severity: Severity::Error,
+                        check: "segment-orphan",
+                        target: name.clone(),
+                        detail: format!(
+                            "unreferenced layer from epoch {epoch}, two or more \
+                             generations past the manifest epoch {}; a committed \
+                             rebase failed to sweep it",
+                            manifest.epoch
+                        ),
+                    });
+                }
+                _ => {
+                    report.findings.push(Finding {
+                        severity: Severity::Warning,
+                        check: "layer-orphan",
+                        target: name.clone(),
+                        detail: "not referenced by the manifest (swept on next open)".to_string(),
+                    });
+                }
+            }
         }
     }
 

@@ -129,6 +129,11 @@ pub struct FleetConfig {
     pub placement: KeyPlacement,
     /// Bounded-memory retention, or `None` to keep history forever.
     pub retention: Option<RetentionPolicy>,
+    /// Mutable-tail size at which a shard seals an immutable segment
+    /// (see [`crate::DEFAULT_SEAL_THRESHOLD`]); smaller values seal more
+    /// often, making epoch pins cheaper to copy at the cost of more
+    /// segment folds.
+    pub seal_threshold: usize,
 }
 
 impl Default for FleetConfig {
@@ -140,6 +145,7 @@ impl Default for FleetConfig {
             precision: TimePrecision::Seconds,
             placement: KeyPlacement::Merged,
             retention: None,
+            seal_threshold: crate::shard::DEFAULT_SEAL_THRESHOLD,
         }
     }
 }
@@ -364,7 +370,7 @@ fn ingest_inner(
     config: &FleetConfig,
     options: IngestOptions<'_>,
 ) -> Result<(Ttkv, FleetReport), IngestError> {
-    let sharded = ShardedTtkv::new(config.shards);
+    let sharded = ShardedTtkv::with_seal_threshold(config.shards, config.seal_threshold);
     let mut report = ingest_live(machines, config, &sharded, options)?;
 
     let merge_started = Instant::now();
@@ -856,7 +862,7 @@ fn run_retention_sweeper(
             }
             if horizon > Timestamp::EPOCH && (horizon > last_horizon || finishing) {
                 let sweep_started = metrics.map(|_| Instant::now());
-                let stats = sharded.prune_before(horizon);
+                let stats = sharded.prune_before_observed(horizon, metrics);
                 if let Some(m) = metrics {
                     m.sweep_stall
                         .record_duration(sweep_started.expect("timed").elapsed());
@@ -974,6 +980,7 @@ mod tests {
             precision: TimePrecision::Milliseconds,
             placement: KeyPlacement::PerMachine,
             retention: None,
+            seal_threshold: 64,
         };
         let (store, report) = ingest(&machines, &config);
         assert_eq!(report.machines, 6);

@@ -7,8 +7,9 @@
 //! hundreds of machines:
 //!
 //! * [`ShardedTtkv`] — the store side: TTKV shards striped by key hash,
-//!   each behind its own lock, merged into one consistent
-//!   [`ocasta_ttkv::Ttkv`] when ingestion completes;
+//!   each an immutable-sealed-segments + mutable-tail stack behind its own
+//!   lock, merged into one consistent [`ocasta_ttkv::Ttkv`] when ingestion
+//!   completes;
 //! * [`WalWriter`]/[`WalReader`]/[`Wal`] — an append-only write-ahead log
 //!   with a checksummed binary frame format (see [`codec`]), torn-tail
 //!   recovery and snapshot compaction;
@@ -16,10 +17,11 @@
 //!   machines, N ingest workers driving lazy
 //!   [`ocasta_trace::EventStream`]s, per-shard batching, and an optional
 //!   WAL appender lane;
-//! * [`ingest_into`]/[`ingest_live`]/[`ShardedTtkv::snapshot_store`] — the
+//! * [`ingest_into`]/[`ingest_live`]/[`ShardedTtkv::pin_epoch`] — the
 //!   live-store path: ingestion into a caller-owned sharded store that
-//!   stays readable, through per-shard-atomic snapshots, while workers
-//!   keep appending — what the repair service tier pins its sessions to;
+//!   stays readable, through O(shards) per-shard-atomic epoch pins
+//!   ([`EpochSnapshot`]), while workers keep appending — what the repair
+//!   service tier pins its sessions to;
 //! * [`RetentionPolicy`]/[`ShardedTtkv::prune_before`] — the bounded-memory
 //!   path: a retention sweeper prunes live shards and compacts the WAL to
 //!   a rolling horizon, clamped to [`ocasta_ttkv::HorizonGuard`] pins so
@@ -86,6 +88,6 @@ pub use engine::{
 };
 pub use fault::{FaultPlan, IngestError};
 pub use metrics::FleetMetrics;
-pub use shard::{key_hash, ShardedTtkv};
+pub use shard::{key_hash, EpochSnapshot, ShardedTtkv, DEFAULT_SEAL_THRESHOLD};
 pub use tap::{IngestTap, LaneEvent, WriteLanes};
 pub use wal::{Wal, WalError, WalReader, WalWriter, WAL_MAGIC};

@@ -56,6 +56,19 @@ pub struct FleetMetrics {
     /// Sweep attempts whose horizon a live pin clamped back
     /// (`fleet.sweep.pin_clamps`).
     pub pin_clamps: Arc<Counter>,
+    /// Shard tails frozen into sealed segments (`fleet.shard.seals`).
+    pub seals: Arc<Counter>,
+    /// Time spent sealing one tail under its stripe lock
+    /// (`fleet.shard.seal_us`).
+    pub seal_stall: Arc<Histogram>,
+    /// Epoch pins taken for snapshots (`fleet.snapshot.epoch_pins`).
+    pub epoch_pins: Arc<Counter>,
+    /// Time spent pinning one epoch across every shard
+    /// (`fleet.snapshot.pin_us`).
+    pub pin_stall: Arc<Histogram>,
+    /// Sealed segments rewritten copy-on-write by sweeps
+    /// (`fleet.sweep.cow_segments`).
+    pub cow_segments: Arc<Counter>,
 }
 
 impl FleetMetrics {
@@ -76,6 +89,11 @@ impl FleetMetrics {
             sweep_reclaimed_versions: registry.counter("fleet.sweep.reclaimed_versions"),
             sweep_reclaimed_bytes: registry.counter("fleet.sweep.reclaimed_bytes"),
             pin_clamps: registry.counter("fleet.sweep.pin_clamps"),
+            seals: registry.counter("fleet.shard.seals"),
+            seal_stall: registry.histogram("fleet.shard.seal_us"),
+            epoch_pins: registry.counter("fleet.snapshot.epoch_pins"),
+            pin_stall: registry.histogram("fleet.snapshot.pin_us"),
+            cow_segments: registry.counter("fleet.sweep.cow_segments"),
         }
     }
 }
@@ -110,6 +128,11 @@ mod tests {
             "fleet.sweep.reclaimed_versions",
             "fleet.sweep.reclaimed_bytes",
             "fleet.sweep.pin_clamps",
+            "fleet.shard.seals",
+            "fleet.shard.seal_us",
+            "fleet.snapshot.epoch_pins",
+            "fleet.snapshot.pin_us",
+            "fleet.sweep.cow_segments",
         ] {
             assert!(json.contains(name), "{name} missing from {json}");
         }

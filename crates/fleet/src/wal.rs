@@ -698,32 +698,29 @@ impl Wal {
                 Err(e) => Err(e.into()),
             };
         }
-        let mut store = match &self.manifest.base {
-            Some(name) => self.load_layer(name)?,
-            None => Ttkv::new(),
+        let Some(horizon) = self.manifest.horizon else {
+            // Only pruned compactions create deltas, so a horizon-less
+            // manifest has none (Manifest::decode enforces it; this
+            // guards manifests constructed in-process) — and its base is
+            // baseline-free, so it loads verbatim with nothing to fold.
+            if !self.manifest.deltas.is_empty() {
+                return Err(WalError::Manifest(
+                    "delta layers require a horizon".to_string(),
+                ));
+            }
+            return match &self.manifest.base {
+                Some(name) => self.load_layer(name),
+                None => Ok(Ttkv::new()),
+            };
         };
-        match self.manifest.horizon {
-            Some(horizon) => {
-                store.demote_baselines();
-                for (name, _) in &self.manifest.deltas {
-                    let mut delta = self.load_layer(name)?;
-                    delta.demote_baselines();
-                    store.absorb(delta);
-                }
-                store.prune_before(horizon);
-            }
-            None => {
-                // Only pruned compactions create deltas, so a horizon-less
-                // manifest has none (Manifest::decode enforces it; this
-                // guards manifests constructed in-process).
-                if !self.manifest.deltas.is_empty() {
-                    return Err(WalError::Manifest(
-                        "delta layers require a horizon".to_string(),
-                    ));
-                }
-            }
+        let mut layers = Vec::with_capacity(1 + self.manifest.deltas.len());
+        if let Some(name) = &self.manifest.base {
+            layers.push(self.load_layer(name)?);
         }
-        Ok(store)
+        for (name, _) in &self.manifest.deltas {
+            layers.push(self.load_layer(name)?);
+        }
+        Ok(Ttkv::fold_layers(layers, Some(horizon)))
     }
 
     /// Replays snapshot layers + log into a fresh store.

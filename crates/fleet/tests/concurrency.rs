@@ -61,6 +61,9 @@ fn threaded_ingestion_equals_sequential_disjoint_keys() {
                 precision: TimePrecision::Seconds,
                 placement: KeyPlacement::PerMachine,
                 retention: None,
+                // Small enough that shards seal mid-run: the equality
+                // below also covers the segment fold.
+                seal_threshold: 256,
             };
             let sequential = ingest_sequential(&machines, &config);
             let (parallel, report) = ingest(&machines, &config);
@@ -91,6 +94,7 @@ fn threaded_ingestion_equals_sequential_merged_keys() {
         precision: TimePrecision::Milliseconds,
         placement: KeyPlacement::Merged,
         retention: None,
+        seal_threshold: 128,
     };
 
     // Guard: verify the fixture has no cross-machine (key, ts) collisions.
@@ -134,6 +138,7 @@ fn wal_replay_matches_concurrent_ingestion() {
         precision: TimePrecision::Seconds,
         placement: KeyPlacement::PerMachine,
         retention: None,
+        seal_threshold: 192,
     };
     let mut wal = Wal::open(&dir).unwrap();
     let (store, report) = ingest_with_wal(&machines, &config, &mut wal).unwrap();

@@ -342,6 +342,52 @@ fn epoch_and_horizon_inversions_are_errors() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Segment-generation monotonicity: a manifest whose base layer sits at
+/// or above a delta's epoch is folding generations out of seal order.
+#[test]
+fn base_epoch_at_or_above_a_delta_epoch_is_a_segment_generation_error() {
+    let dir = scratch("segment-generation");
+    std::fs::write(
+        dir.join("wal.manifest"),
+        "ocasta-wal-manifest v1\nepoch 5\nhorizon 5000\n\
+         base base-3.ttkv\ndelta delta-3.ttkv 4000\ndelta delta-4.ttkv 5000\n",
+    )
+    .unwrap();
+    let report = diagnose(&dir);
+    assert!(report.has_errors(), "{report}");
+    assert!(
+        checks(&report, Severity::Error).contains(&"segment-generation"),
+        "{report}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An unreferenced sealed layer two generations past the manifest cannot
+/// be a single-crash orphan: a committed rebase failed to sweep it.
+#[test]
+fn orphan_two_generations_past_the_manifest_is_an_error() {
+    // The layered dir's manifest is at epoch 1; epoch 2 is the one
+    // generation a lone crash can orphan, epoch 3 is beyond it.
+    let dir = layered_dir("segment-orphan");
+    std::fs::write(dir.join("delta-3.ttkv"), b"whatever").unwrap();
+    let report = diagnose(&dir);
+    assert!(report.has_errors(), "{report}");
+    assert_eq!(checks(&report, Severity::Error), vec!["segment-orphan"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The single-crash window (manifest epoch + 1) stays a warning — the
+/// next `Wal::open` sweeps it, exactly as before.
+#[test]
+fn orphan_one_generation_past_the_manifest_stays_a_warning() {
+    let dir = layered_dir("crash-orphan");
+    std::fs::write(dir.join("delta-2.ttkv"), b"whatever").unwrap();
+    let report = diagnose(&dir);
+    assert!(!report.has_errors(), "{report}");
+    assert_eq!(checks(&report, Severity::Warning), vec!["layer-orphan"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn legacy_directory_with_epoch_named_leftovers_warns() {
     let dir = scratch("legacy-leftovers");

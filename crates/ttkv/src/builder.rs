@@ -251,8 +251,8 @@ impl TtkvBuilder {
     /// A builder that keeps accepting writes (a fleet shard) can be read at
     /// any moment by snapshotting: the result equals [`TtkvBuilder::build`]
     /// on a clone taken now, and the builder's buffered state is untouched.
-    /// `ocasta-fleet`'s `ShardedTtkv::snapshot_store` splits the same
-    /// operation into clone-under-the-shard-lock + build-outside, so the
+    /// `ocasta-fleet`'s epoch pins use the same split for a shard's
+    /// mutable tail — copy-under-the-shard-lock + build-outside — so the
     /// O(n log n) sort never runs inside a shard's critical section.
     ///
     /// # Examples

@@ -379,6 +379,36 @@ impl Ttkv {
         }
         merged
     }
+
+    /// Folds an **oldest→newest** chain of (possibly pruned) layers over
+    /// one key space into a single store, exactly equal to ingesting every
+    /// layer's accesses in arrival order and pruning once at `horizon`.
+    ///
+    /// This is the layered-fold recipe `DESIGN.md §5.10` proved for the
+    /// WAL's base + delta chain, lifted to a reusable primitive (the
+    /// fleet's sealed shard segments fold through it too, `§5.13`): each
+    /// layer's baselines are demoted back into its history first — a newer
+    /// layer's baseline must win timestamp ties against older layers'
+    /// history, the opposite of the in-store tie rule — the layers absorb
+    /// oldest-first (so [`Ttkv::absorb`]'s self-first tie rule reproduces
+    /// true arrival order), and one final [`Ttkv::prune_before`] at
+    /// `horizon` re-collapses every demoted version with ties ranked
+    /// correctly. A `None` (or epoch) horizon skips the re-prune, which is
+    /// only sound when no layer carries a baseline — unpruned layers, as
+    /// the callers' invariants guarantee.
+    pub fn fold_layers(layers: impl IntoIterator<Item = Ttkv>, horizon: Option<Timestamp>) -> Ttkv {
+        let mut store = Ttkv::new();
+        for mut layer in layers {
+            layer.demote_baselines();
+            store.absorb(layer);
+        }
+        if let Some(horizon) = horizon {
+            if horizon > Timestamp::EPOCH {
+                store.prune_before(horizon);
+            }
+        }
+        store
+    }
 }
 
 impl Extend<(Timestamp, Key, Value)> for Ttkv {
@@ -640,6 +670,54 @@ mod tests {
         other.merge(&pruned);
         assert_eq!(other.value_at("u/pref", ts(6)), Some(&Value::from("old")));
         assert_eq!(other.current("u/pref"), Some(&Value::from("new")));
+    }
+
+    #[test]
+    fn fold_layers_equals_sequential_ingestion_with_one_prune() {
+        // Three layers cut from one access sequence, the middle two pruned
+        // the way a sweep would leave them — including a cross-layer
+        // timestamp tie, where the newer layer's collapsed baseline must
+        // beat the older layer's history.
+        let mut layer0 = Ttkv::new();
+        layer0.write(ts(10), "app/k", Value::from(1));
+        layer0.write(ts(20), "app/k", Value::from(2));
+        layer0.prune_before(ts(25));
+        let mut layer1 = Ttkv::new();
+        layer1.write(ts(20), "app/k", Value::from(3)); // ties layer0's 20s
+        layer1.write(ts(40), "app/k", Value::from(4));
+        layer1.write(ts(15), "app/doomed", Value::from(9));
+        layer1.delete(ts(22), "app/doomed");
+        layer1.prune_before(ts(25));
+        let mut layer2 = Ttkv::new();
+        layer2.write(ts(50), "app/k", Value::from(5));
+        layer2.add_reads(Key::new("app/k"), 7);
+
+        let folded = Ttkv::fold_layers([layer0, layer1, layer2], Some(ts(25)));
+
+        let mut direct = Ttkv::new();
+        direct.write(ts(10), "app/k", Value::from(1));
+        direct.write(ts(20), "app/k", Value::from(2));
+        direct.write(ts(20), "app/k", Value::from(3));
+        direct.write(ts(40), "app/k", Value::from(4));
+        direct.write(ts(15), "app/doomed", Value::from(9));
+        direct.delete(ts(22), "app/doomed");
+        direct.write(ts(50), "app/k", Value::from(5));
+        direct.add_reads(Key::new("app/k"), 7);
+        direct.prune_before(ts(25));
+        assert_eq!(folded, direct);
+        // The tie went to the later arrival: the baseline carries value 3.
+        assert_eq!(folded.value_at("app/k", ts(21)), Some(&Value::from(3)));
+    }
+
+    #[test]
+    fn fold_layers_without_horizon_is_plain_ordered_absorb() {
+        let mut a = Ttkv::new();
+        a.write(ts(1), "k", Value::from(1));
+        let mut b = Ttkv::new();
+        b.write(ts(1), "k", Value::from(2)); // tie: b arrived later
+        let folded = Ttkv::fold_layers([a, b], None);
+        assert_eq!(folded.current("k"), Some(&Value::from(2)));
+        assert_eq!(folded.stats().writes, 2);
     }
 
     #[test]

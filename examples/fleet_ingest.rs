@@ -23,6 +23,7 @@ fn main() {
             precision: TimePrecision::Seconds,
             placement: KeyPlacement::Merged,
             retention: None,
+            ..FleetConfig::default()
         },
         wal_dir: Some(wal_dir.clone()),
     };

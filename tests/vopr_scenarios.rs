@@ -41,7 +41,9 @@ fn verdict_reports_are_byte_deterministic() {
         "reorder-feed",
         "dead-shell-churn",
         "sweep-vs-pin",
+        "pin-churn",
         "kill-ingest-worker",
+        "killed-worker-amid-pin-churn",
     ] {
         let first = run_vopr(scenario, 7).unwrap().report();
         let second = run_vopr(scenario, 7).unwrap().report();

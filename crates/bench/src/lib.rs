@@ -8,6 +8,10 @@
 //! top of the paper; `compare` gates their JSON artifacts against the
 //! tracked baselines in `baselines/` (the `bench-compare` binary).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
 pub mod compare;
 pub mod fig2;
 pub mod fig3;

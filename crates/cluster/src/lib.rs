@@ -41,7 +41,7 @@
 //! * `serde` — derive `Serialize`/`Deserialize` on the public data types.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod correlation;

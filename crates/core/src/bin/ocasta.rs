@@ -23,6 +23,7 @@
 //!                 [--retain-days <n>] [--metrics-json <path>]
 //! ocasta doctor   <wal-dir>
 //! ocasta vopr     --scenario <name> [--seed <n>] | --list
+//! ocasta lint     [--root <dir>] [--json]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace deliberately keeps its
@@ -89,6 +90,7 @@ usage:
                   [--retain-days <n>] [--metrics-json <path>]
   ocasta doctor   <wal-dir>
   ocasta vopr     --scenario <name> [--seed <n>] | --list
+  ocasta lint     [--root <dir>] [--json]
 
 applications for `generate`, `fleet`, `stream` and `repair`: outlook
 evolution ie chrome word gedit eog paint acrobat explorer wmp";
@@ -145,6 +147,10 @@ enum Command {
         scenario: Option<String>,
         seed: u64,
         list: bool,
+    },
+    Lint {
+        root: Option<String>,
+        json: bool,
     },
 }
 
@@ -497,6 +503,20 @@ impl Command {
                     list,
                 })
             }
+            "lint" => {
+                let mut root = None;
+                let mut json = false;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--root" => root = Some(value_of(&rest, &mut i)?.to_owned()),
+                        "--json" => json = true,
+                        other => return Err(format!("unknown argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                Ok(Command::Lint { root, json })
+            }
             "history" => match rest.as_slice() {
                 [store, key] => Ok(Command::History {
                     store: (*store).to_owned(),
@@ -827,6 +847,24 @@ impl Command {
                 }
                 Ok(format!("{report}\n"))
             }
+            Command::Lint { root, json } => {
+                let root = match root {
+                    Some(dir) => std::path::PathBuf::from(dir),
+                    None => find_lint_root()?,
+                };
+                let report = ocasta_lint::lint_workspace(&root)?;
+                let rendered = if *json {
+                    report.render_json()
+                } else {
+                    report.render_table()
+                };
+                if report.has_errors() {
+                    // Findings are the error: main's error path prints
+                    // the report and exits non-zero, like `doctor`.
+                    return Err(rendered);
+                }
+                Ok(rendered)
+            }
             Command::History { store, key } => {
                 let store = load_store(store)?;
                 let record = store
@@ -878,6 +916,28 @@ fn parse_days(flag: &str, text: &str) -> Result<u64, String> {
         ));
     }
     Ok(days)
+}
+
+/// Finds the workspace root for `ocasta lint`: the nearest ancestor of
+/// the current directory holding a `lint.toml`.
+fn find_lint_root() -> Result<std::path::PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read current dir: {e}"))?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no lint.toml found in {} or any parent — run from the \
+                     workspace or pass --root <dir>",
+                    start.display()
+                ));
+            }
+        }
+    }
 }
 
 fn load_trace(path: &str) -> Result<Trace, String> {
@@ -1415,6 +1475,36 @@ mod tests {
         assert!(parse(&["vopr", "--seed", "7"]).is_err());
         assert!(parse(&["vopr", "--scenario"]).is_err(), "flag needs value");
         assert!(parse(&["vopr", "--scenario", "baseline", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn parse_lint() {
+        assert_eq!(
+            parse(&["lint", "--root", "somewhere", "--json"]).unwrap(),
+            Command::Lint {
+                root: Some("somewhere".into()),
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&["lint"]).unwrap(),
+            Command::Lint {
+                root: None,
+                json: false,
+            }
+        );
+        assert!(parse(&["lint", "--root"]).is_err(), "flag needs value");
+        assert!(parse(&["lint", "bogus"]).is_err());
+    }
+
+    /// The CLI self-run: `ocasta lint` over this very workspace must be
+    /// clean — the same gate CI applies via `ocasta-lint --workspace`.
+    #[test]
+    fn lint_subcommand_is_clean_on_this_workspace() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let root = root.to_string_lossy().into_owned();
+        let out = parse(&["lint", "--root", &root]).unwrap().run().unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //! for the binaries that regenerate every table and figure of the paper.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod accuracy;

@@ -28,13 +28,14 @@
 //! retention ordering argument is `DESIGN.md §5.9`.
 
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ocasta_apps::{scenarios, ErrorScenario};
 use ocasta_cluster::ClusterParams;
 use ocasta_fleet::{
     ingest_live, EpochSnapshot, FleetMetrics, FleetReport, IngestOptions, ShardedTtkv, WriteLanes,
 };
+use ocasta_obs::Stopwatch;
 use ocasta_repair::{
     CatalogHorizon, ClusterCatalog, HorizonGuard, HorizonPin, RepairSession, SearchConfig,
     SearchStrategy, SessionReport,
@@ -371,7 +372,7 @@ fn run_user_session(
     shared_pin: &Mutex<Option<HorizonPin<'_>>>,
     metrics: Option<&ServiceMetrics>,
 ) -> UserRepair {
-    let open_started = metrics.map(|_| Instant::now());
+    let open_started = Stopwatch::start_if(metrics.is_some());
     let mut store = pin.materialize();
     // The sandbox is owned now; releasing the pin lets a later sweep's
     // replaced segments free as soon as every other holder drops too.
@@ -407,11 +408,10 @@ fn run_user_session(
     }
     let session = RepairSession::new(format!("user{user:02}"), store, catalog, search_config)
         .with_threads(config.search_threads);
-    let step_started = metrics.map(|m| {
-        m.session_open
-            .record_duration(open_started.expect("paired with metrics").elapsed());
-        Instant::now()
-    });
+    if let (Some(m), Some(sw)) = (metrics, open_started) {
+        m.session_open.record_duration(sw.elapsed());
+    }
+    let step_started = Stopwatch::start_if(metrics.is_some());
     let report = session.run_observed(&scenario.trial(), &scenario.oracle(), |needed| {
         // Record this session's shrinking need, then advance the shared
         // pin to the minimum over everyone — the oldest history any live
@@ -437,20 +437,18 @@ fn run_user_session(
             m.pin_advances.inc();
         }
     });
-    let commit_started = metrics.map(|m| {
-        m.session_step
-            .record_duration(step_started.expect("paired with metrics").elapsed());
-        Instant::now()
-    });
+    if let (Some(m), Some(sw)) = (metrics, step_started) {
+        m.session_step.record_duration(sw.elapsed());
+    }
+    let commit_started = Stopwatch::start_if(metrics.is_some());
     let repair = UserRepair {
         scenario_id: scenario.id,
         description: scenario.description.to_owned(),
         fixed_cluster_size: report.outcome.fix.as_ref().map(|f| f.keys.len()),
         report,
     };
-    if let Some(m) = metrics {
-        m.session_commit
-            .record_duration(commit_started.expect("paired with metrics").elapsed());
+    if let (Some(m), Some(sw)) = (metrics, commit_started) {
+        m.session_commit.record_duration(sw.elapsed());
         m.sessions.inc();
     }
     repair

@@ -22,11 +22,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 use ocasta_cluster::WriteEvent;
 use ocasta_cluster::{cluster_correlations, IncrementalCorrelations};
 use ocasta_fleet::WriteLanes;
+use ocasta_obs::Stopwatch;
 use ocasta_repair::{CatalogHorizon, ClusterCatalog};
 use ocasta_trace::TraceOp;
 use ocasta_ttkv::{Key, Timestamp};
@@ -178,7 +178,7 @@ impl OcastaStream {
     where
         I: IntoIterator<Item = (Key, Timestamp)>,
     {
-        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let started = Stopwatch::start_if(self.metrics.is_some());
         let mut absorbed = 0;
         for (key, time) in batch {
             self.absorb_write(&key, time);
@@ -231,7 +231,7 @@ impl OcastaStream {
     /// exact answer from the optimistic snapshot, paying O(events absorbed
     /// since the last seal) for it.
     pub fn clustering(&self) -> StreamClustering {
-        let started = self.metrics.as_ref().map(|_| Instant::now());
+        let started = Stopwatch::start_if(self.metrics.is_some());
         // Streaming discovered keys in arrival order; the batch pipeline
         // numbers them in sorted-name order. Relabel onto the batch index
         // space so HAC tie-breaking — and therefore the partition — is

@@ -205,7 +205,9 @@ fn take_bytes<'a>(input: &mut &'a [u8], len: usize) -> Result<&'a [u8], CodecErr
 
 fn take_array<const N: usize>(input: &mut &[u8]) -> Result<[u8; N], CodecError> {
     let bytes = take_bytes(input, N)?;
-    Ok(bytes.try_into().expect("length checked"))
+    bytes
+        .try_into()
+        .map_err(|_| CodecError(format!("need {N} bytes, have {}", bytes.len())))
 }
 
 fn take_u32(input: &mut &[u8]) -> Result<u32, CodecError> {
@@ -281,6 +283,25 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         let mut slice = buf.as_slice();
         assert!(decode_op(&mut slice).is_err());
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_op_errors_without_panicking() {
+        // Regression for the decode path's worker-safety contract: any
+        // prefix of a valid encoding must come back as a structured
+        // CodecError — never a panic — since the WAL reader runs these
+        // bytes on the appender/replay path.
+        let op = TraceOp::Mutation(AccessEvent::write(
+            Timestamp::from_millis(42),
+            "app/key",
+            Value::from(7),
+        ));
+        let mut buf = Vec::new();
+        encode_op(&op, &mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(decode_op(&mut slice).is_err(), "prefix of {cut} bytes");
+        }
     }
 
     #[test]

@@ -25,8 +25,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use ocasta_obs::Stopwatch;
 use ocasta_trace::{EventStream, GeneratorConfig, TraceOp, WorkloadSpec};
 use ocasta_ttkv::{HorizonGuard, Key, PruneStats, TimeDelta, TimePrecision, Timestamp, Ttkv};
 
@@ -280,6 +281,7 @@ impl std::fmt::Debug for IngestOptions<'_> {
 pub fn ingest(machines: &[MachineSpec], config: &FleetConfig) -> (Ttkv, FleetReport) {
     match ingest_inner(machines, config, IngestOptions::default()) {
         Ok(result) => result,
+        // lint:allow(panic-in-worker-path): caller-facing infallible wrapper — absent a WAL lane or fault plan only an engine bug reaches Err, and surfacing that bug as a caller panic (never on a worker thread) is the intent
         Err(e) => unreachable!("no WAL lane, no fault plan: {e}"),
     }
 }
@@ -303,6 +305,7 @@ pub fn ingest_tapped(
     };
     match ingest_inner(machines, config, options) {
         Ok(result) => result,
+        // lint:allow(panic-in-worker-path): caller-facing infallible wrapper — absent a WAL lane or fault plan only an engine bug reaches Err, and surfacing that bug as a caller panic (never on a worker thread) is the intent
         Err(e) => unreachable!("no WAL lane, no fault plan: {e}"),
     }
 }
@@ -373,7 +376,7 @@ fn ingest_inner(
     let sharded = ShardedTtkv::with_seal_threshold(config.shards, config.seal_threshold);
     let mut report = ingest_live(machines, config, &sharded, options)?;
 
-    let merge_started = Instant::now();
+    let merge_started = Stopwatch::start();
     let store = sharded.into_ttkv();
     report.merge_elapsed = merge_started.elapsed();
     Ok((store, report))
@@ -421,6 +424,7 @@ pub fn ingest_into(
     };
     match ingest_live(machines, config, sharded, options) {
         Ok(report) => report,
+        // lint:allow(panic-in-worker-path): caller-facing infallible wrapper — absent a WAL lane or fault plan only an engine bug reaches Err, and surfacing that bug as a caller panic (never on a worker thread) is the intent
         Err(e) => unreachable!("no WAL lane, no fault plan: {e}"),
     }
 }
@@ -469,7 +473,7 @@ pub fn ingest_live(
         faults,
     } = options;
     let threads = config.ingest_threads.max(1);
-    let started = Instant::now();
+    let started = Stopwatch::start();
 
     // Work queue of machine indices.
     let (work_tx, work_rx) = mpsc::channel::<usize>();
@@ -512,7 +516,7 @@ pub fn ingest_live(
                             // died without anyone noticing.
                             continue;
                         }
-                        let started = metrics.map(|_| Instant::now());
+                        let started = Stopwatch::start_if(metrics.is_some());
                         match msg {
                             WalMsg::Batch(batch) => {
                                 wal.append(&batch)?;
@@ -520,24 +524,21 @@ pub fn ingest_live(
                                 if crash_after.is_some_and(|cap| frames >= cap) {
                                     wal.flush()?;
                                 }
-                                if let Some(m) = metrics {
+                                if let (Some(m), Some(sw)) = (metrics, started) {
                                     m.wal_frames.inc();
-                                    m.wal_append
-                                        .record_duration(started.expect("timed").elapsed());
+                                    m.wal_append.record_duration(sw.elapsed());
                                 }
                             }
                             WalMsg::Compact(horizon) => {
                                 wal.compact_pruned(precision, horizon)?;
-                                if let Some(m) = metrics {
-                                    m.wal_compact
-                                        .record_duration(started.expect("timed").elapsed());
+                                if let (Some(m), Some(sw)) = (metrics, started) {
+                                    m.wal_compact.record_duration(sw.elapsed());
                                 }
                             }
                             WalMsg::Rebase(horizon) => {
                                 wal.compact_pruned_rebased(precision, horizon)?;
-                                if let Some(m) = metrics {
-                                    m.wal_rebase
-                                        .record_duration(started.expect("timed").elapsed());
+                                if let (Some(m), Some(sw)) = (metrics, started) {
+                                    m.wal_rebase.record_duration(sw.elapsed());
                                 }
                             }
                         }
@@ -546,11 +547,10 @@ pub fn ingest_live(
                         // The dead lane never reaches the final flush.
                         return Ok(());
                     }
-                    let started = metrics.map(|_| Instant::now());
+                    let started = Stopwatch::start_if(metrics.is_some());
                     let flushed = wal.flush();
-                    if let Some(m) = metrics {
-                        m.wal_flush
-                            .record_duration(started.expect("timed").elapsed());
+                    if let (Some(m), Some(sw)) = (metrics, started) {
+                        m.wal_flush.record_duration(sw.elapsed());
                     }
                     flushed
                 })
@@ -589,7 +589,19 @@ pub fn ingest_live(
                                     Err(_) => break,
                                 }
                             };
-                            let machine = &machines[machine_idx];
+                            let Some(machine) = machines.get(machine_idx) else {
+                                record_failure(
+                                    failure,
+                                    IngestError::InvariantViolated {
+                                        message: format!(
+                                            "work queue produced machine index {machine_idx}, \
+                                             but the fleet has {} machines",
+                                            machines.len()
+                                        ),
+                                    },
+                                );
+                                continue;
+                            };
                             // One machine's span is a unit of failure: a
                             // panic inside it (injected or real) loses that
                             // machine's remaining ops and nothing else —
@@ -597,11 +609,12 @@ pub fn ingest_live(
                             // to the queue, so the rest of the fleet still
                             // ingests and the caller gets a structured
                             // error instead of a poisoned-lock cascade.
-                            let outcome =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || -> Result<_, IngestError> {
                                     if faults.and_then(|f| f.kill_worker_at_machine)
                                         == Some(machine_idx)
                                     {
+                                        // lint:allow(panic-in-worker-path): deliberate fault injection — the VOPR worker-kill fault is a real panic by design
                                         panic!(
                                             "fault injection: worker killed at machine index \
                                              {machine_idx}"
@@ -620,10 +633,18 @@ pub fn ingest_live(
                                             TraceOp::Reads(_, count) => reads += count,
                                         }
                                         let shard = sharded.shard_of(op.key().as_str());
-                                        batches[shard].push(op);
-                                        if batches[shard].len() >= config.batch_size {
+                                        let Some(bucket) = batches.get_mut(shard) else {
+                                            return Err(IngestError::InvariantViolated {
+                                                message: format!(
+                                                    "shard_of returned {shard}, but the store \
+                                                     has {shard_count} shards"
+                                                ),
+                                            });
+                                        };
+                                        bucket.push(op);
+                                        if bucket.len() >= config.batch_size {
                                             let batch = std::mem::replace(
-                                                &mut batches[shard],
+                                                bucket,
                                                 Vec::with_capacity(config.batch_size),
                                             );
                                             // The tap fires outside the shard lock
@@ -673,13 +694,39 @@ pub fn ingest_live(
                                             tap.on_batch(shard, &batch);
                                         }
                                     }
-                                    (mutations, reads)
-                                }));
+                                    Ok((mutations, reads))
+                                },
+                            ));
                             match outcome {
-                                Ok((mutations, reads)) => {
-                                    lock_ignore_poison(per_machine)[machine_idx] = mutations;
+                                Ok(Ok((mutations, reads))) => {
+                                    // Scope the per-machine guard so it is
+                                    // released before the failure slot (or
+                                    // any other lock) can be taken.
+                                    let recorded = {
+                                        let mut slots = lock_ignore_poison(per_machine);
+                                        match slots.get_mut(machine_idx) {
+                                            Some(slot) => {
+                                                *slot = mutations;
+                                                true
+                                            }
+                                            None => false,
+                                        }
+                                    };
+                                    if !recorded {
+                                        record_failure(
+                                            failure,
+                                            IngestError::InvariantViolated {
+                                                message: format!(
+                                                    "per-machine slot {machine_idx} missing \
+                                                     ({} machines)",
+                                                    machines.len()
+                                                ),
+                                            },
+                                        );
+                                    }
                                     *lock_ignore_poison(total_reads) += reads;
                                 }
+                                Ok(Err(error)) => record_failure(failure, error),
                                 Err(payload) => record_failure(
                                     failure,
                                     IngestError::WorkerPanicked {
@@ -861,11 +908,10 @@ fn run_retention_sweeper(
                 }
             }
             if horizon > Timestamp::EPOCH && (horizon > last_horizon || finishing) {
-                let sweep_started = metrics.map(|_| Instant::now());
+                let sweep_started = Stopwatch::start_if(metrics.is_some());
                 let stats = sharded.prune_before_observed(horizon, metrics);
-                if let Some(m) = metrics {
-                    m.sweep_stall
-                        .record_duration(sweep_started.expect("timed").elapsed());
+                if let (Some(m), Some(sw)) = (metrics, sweep_started) {
+                    m.sweep_stall.record_duration(sw.elapsed());
                     m.sweeps.inc();
                     m.sweep_reclaimed_versions.add(stats.pruned_versions);
                     m.sweep_reclaimed_bytes.add(stats.reclaimed_bytes);

@@ -84,6 +84,13 @@ pub enum IngestError {
         /// The panic payload, stringified.
         message: String,
     },
+    /// An internal engine invariant did not hold (out-of-range shard or
+    /// machine index, and the like): an engine bug, reported as a value
+    /// instead of panicking a worker and poisoning the shared state.
+    InvariantViolated {
+        /// Which invariant, with the offending values.
+        message: String,
+    },
 }
 
 impl fmt::Display for IngestError {
@@ -94,6 +101,9 @@ impl fmt::Display for IngestError {
                 Some(name) => write!(f, "ingest worker panicked on machine {name}: {message}"),
                 None => write!(f, "ingest worker panicked: {message}"),
             },
+            IngestError::InvariantViolated { message } => {
+                write!(f, "engine invariant violated: {message}")
+            }
         }
     }
 }
@@ -102,7 +112,7 @@ impl std::error::Error for IngestError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IngestError::Wal(e) => Some(e),
-            IngestError::WorkerPanicked { .. } => None,
+            IngestError::WorkerPanicked { .. } | IngestError::InvariantViolated { .. } => None,
         }
     }
 }
@@ -153,6 +163,13 @@ mod tests {
             message: "boom".into(),
         };
         assert_eq!(err.to_string(), "ingest worker panicked: boom");
+        let err = IngestError::InvariantViolated {
+            message: "shard index 9 out of range (8 shards)".into(),
+        };
+        assert_eq!(
+            err.to_string(),
+            "engine invariant violated: shard index 9 out of range (8 shards)"
+        );
     }
 
     #[test]

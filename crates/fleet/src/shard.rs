@@ -19,9 +19,9 @@
 //! the same demote-baselines-then-fold-oldest→newest recipe the WAL layer
 //! chain proved exact ([`Ttkv::fold_layers`], `DESIGN.md §5.10`, `§5.13`).
 
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard};
 
+use ocasta_obs::Stopwatch;
 use ocasta_trace::TraceOp;
 use ocasta_ttkv::{PruneStats, Timestamp, Ttkv, TtkvBuilder};
 
@@ -138,13 +138,11 @@ impl ShardState {
     /// seal ever performed. Order is preserved, so the fold is unaffected.
     fn coalesce_collapsed(&mut self, horizon: Timestamp) {
         fn flush(out: &mut Vec<Arc<Segment>>, run: &mut Vec<Arc<Segment>>, horizon: Timestamp) {
-            match run.len() {
-                0 => {}
-                1 => out.push(run.pop().expect("len checked")),
-                _ => {
-                    let store = Ttkv::fold_layers(run.drain(..).map(segment_store), Some(horizon));
-                    out.push(Segment::seal(store, Some(horizon)));
-                }
+            if run.len() > 1 {
+                let store = Ttkv::fold_layers(run.drain(..).map(segment_store), Some(horizon));
+                out.push(Segment::seal(store, Some(horizon)));
+            } else if let Some(only) = run.pop() {
+                out.push(only);
             }
         }
         let mut out: Vec<Arc<Segment>> = Vec::with_capacity(self.segments.len());
@@ -195,6 +193,18 @@ impl ShardState {
         let layers: Vec<Ttkv> = segments.into_iter().map(segment_store).collect();
         fold_shard(layers, last_pruned, horizon, tail)
     }
+}
+
+/// Locks a shard stripe, propagating the panic if the stripe is
+/// poisoned: poison means a worker died mid-append, so the tail may hold
+/// a torn batch, and reading it would break per-key batch atomicity. On
+/// engine worker threads this panic is caught by the worker harness's
+/// `catch_unwind` and recorded as a cascade of the root failure
+/// (`DESIGN.md §5.12`); accepting the poison instead would silently
+/// expose torn history.
+fn lock_stripe(stripe: &Mutex<ShardState>) -> MutexGuard<'_, ShardState> {
+    // lint:allow(panic-in-worker-path): a poisoned stripe implies a possibly-torn tail batch — propagating the panic (caught and recorded by the engine's worker harness) is safer than exposing torn per-key history
+    stripe.lock().expect("stripe poisoned by a worker panic")
 }
 
 /// Unwraps a segment's store without cloning when this was the last `Arc`.
@@ -292,7 +302,12 @@ impl EpochSnapshot {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard fold panicked"))
+                .map(|h| match h.join() {
+                    Ok(store) => store,
+                    // Re-raise the fold thread's panic with its original
+                    // payload instead of wrapping it in a new expect.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect::<Vec<Ttkv>>()
         });
         Ttkv::from_shards(stores)
@@ -416,20 +431,21 @@ impl ShardedTtkv {
         debug_assert!(batch
             .iter()
             .all(|op| self.shard_of(op.key().as_str()) == shard));
-        let wait_started = metrics.map(|_| Instant::now());
-        let mut state = self.shards[shard].lock().expect("shard lock poisoned");
-        let apply_started = metrics.map(|m| {
-            m.lock_wait
-                .record_duration(wait_started.expect("paired with metrics").elapsed());
-            Instant::now()
-        });
+        // lint:allow(panic-in-worker-path): public-API caller contract — the engine worker path validates shard indices before reaching here, and an out-of-range index from an external caller is a programming error at the call site
+        let stripe = self.shards.get(shard).expect("shard index out of range");
+        let wait_started = Stopwatch::start_if(metrics.is_some());
+        let mut state = lock_stripe(stripe);
+        if let (Some(m), Some(sw)) = (metrics, wait_started) {
+            m.lock_wait.record_duration(sw.elapsed());
+        }
+        let apply_started = Stopwatch::start_if(metrics.is_some());
         before_apply(&batch);
         let ops = batch.len() as u64;
         for op in batch {
             op.buffer(&mut state.tail);
         }
         if state.tail.len() >= self.seal_threshold {
-            let seal_started = metrics.map(|_| Instant::now());
+            let seal_started = Stopwatch::start_if(metrics.is_some());
             state.seal_tail();
             if let (Some(m), Some(started)) = (metrics, seal_started) {
                 m.seal_stall.record_duration(started.elapsed());
@@ -449,7 +465,10 @@ impl ShardedTtkv {
         // Group locally first so each shard lock is taken at most once.
         let mut per_shard: Vec<Vec<TraceOp>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for op in batch {
-            per_shard[self.shard_of(op.key().as_str())].push(op);
+            let shard = self.shard_of(op.key().as_str());
+            if let Some(bucket) = per_shard.get_mut(shard) {
+                bucket.push(op);
+            }
         }
         for (shard, ops) in per_shard.into_iter().enumerate() {
             if !ops.is_empty() {
@@ -461,10 +480,7 @@ impl ShardedTtkv {
     /// Mutations buffered in mutable tails (not yet sealed) across all
     /// shards, for progress reporting; takes each shard lock briefly.
     pub fn buffered_mutations(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").tail.len())
-            .sum()
+        self.shards.iter().map(|s| lock_stripe(s).tail.len()).sum()
     }
 
     /// The latest applied-or-buffered mutation timestamp across all shards
@@ -476,7 +492,7 @@ impl ShardedTtkv {
         self.shards
             .iter()
             .filter_map(|s| {
-                let state = s.lock().expect("shard lock poisoned");
+                let state = lock_stripe(s);
                 match (state.last_time, state.tail.last_time()) {
                     (Some(a), Some(b)) => Some(a.max(b)),
                     (a, b) => a.or(b),
@@ -517,7 +533,7 @@ impl ShardedTtkv {
         let mut stats = PruneStats::default();
         let mut rewritten = 0u64;
         for shard in &self.shards {
-            let mut state = shard.lock().expect("shard lock poisoned");
+            let mut state = lock_stripe(shard);
             let (shard_stats, shard_rewritten) = state.sweep(horizon);
             stats.absorb(shard_stats);
             rewritten += shard_rewritten;
@@ -539,10 +555,7 @@ impl ShardedTtkv {
     /// counters are that key's only memory of its lifetime modification
     /// count.
     pub fn gc_dead_shells(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("shard lock poisoned").gc_rebase())
-            .sum()
+        self.shards.iter().map(|s| lock_stripe(s).gc_rebase()).sum()
     }
 
     /// Pins the current epoch of every shard in **O(shards + tails)**:
@@ -562,12 +575,12 @@ impl ShardedTtkv {
     /// [`ShardedTtkv::pin_epoch`] recording pin count and pin stall into
     /// the fleet metrics when `metrics` is set.
     pub(crate) fn pin_epoch_observed(&self, metrics: Option<&FleetMetrics>) -> EpochSnapshot {
-        let started = metrics.map(|_| Instant::now());
+        let started = Stopwatch::start_if(metrics.is_some());
         let shards = self
             .shards
             .iter()
             .map(|m| {
-                let state = m.lock().expect("shard lock poisoned");
+                let state = lock_stripe(m);
                 PinnedShard {
                     segments: state.segments.clone(),
                     tail: state.tail.clone(),
@@ -602,7 +615,7 @@ impl ShardedTtkv {
             .shards
             .iter()
             .map(|m| {
-                let state = m.lock().expect("shard lock poisoned");
+                let state = lock_stripe(m);
                 PinnedShard {
                     segments: state
                         .segments
@@ -625,7 +638,8 @@ impl ShardedTtkv {
         let states: Vec<ShardState> = self
             .shards
             .into_iter()
-            .map(|m| m.into_inner().expect("shard lock poisoned"))
+            // lint:allow(panic-in-worker-path): a poisoned stripe implies a possibly-torn tail batch — consuming it would bake torn per-key history into the folded store, so propagating the panic is the safe choice
+            .map(|m| m.into_inner().expect("stripe poisoned by a worker panic"))
             .collect();
         let stores = std::thread::scope(|scope| {
             let handles: Vec<_> = states
@@ -634,7 +648,10 @@ impl ShardedTtkv {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard fold panicked"))
+                .map(|h| match h.join() {
+                    Ok(store) => store,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect::<Vec<Ttkv>>()
         });
         Ttkv::from_shards(stores)

@@ -216,8 +216,9 @@ impl<R: Read> WalReader<R> {
                 return Ok(None);
             }
         }
-        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-        let checksum = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let [l0, l1, l2, l3, c0, c1, c2, c3] = header;
+        let len = u32::from_le_bytes([l0, l1, l2, l3]) as usize;
+        let checksum = u32::from_le_bytes([c0, c1, c2, c3]);
         let mut payload = vec![0u8; len];
         if read_chunk(&mut self.source, &mut payload)? != ReadStatus::Full {
             self.torn_tail = true;
@@ -235,7 +236,7 @@ impl<R: Read> WalReader<R> {
                 .get(..4)
                 .ok_or_else(|| CodecError("frame shorter than op count".into()))?,
         );
-        slice = &slice[4..];
+        slice = slice.get(4..).unwrap_or(&[]);
         let count = u32::from_le_bytes(count_bytes) as usize;
         let mut ops = Vec::with_capacity(count.min(slice.len()));
         for _ in 0..count {
@@ -337,8 +338,8 @@ enum ReadStatus {
 /// Like `read_exact`, but reports EOF position instead of erroring.
 fn read_chunk<R: Read>(source: &mut R, buf: &mut [u8]) -> Result<ReadStatus, WalError> {
     let mut filled = 0;
-    while filled < buf.len() {
-        let n = source.read(&mut buf[filled..])?;
+    while let Some(rest) = buf.get_mut(filled..).filter(|rest| !rest.is_empty()) {
+        let n = source.read(rest)?;
         if n == 0 {
             return Ok(if filled == 0 {
                 ReadStatus::Empty
@@ -473,7 +474,9 @@ impl Manifest {
                     manifest.deltas.push((name, Timestamp::from_millis(ms)));
                 }
                 Some(other) => return Err(bad(&format!("unknown record {other:?}"))),
-                None => unreachable!("split always yields a token"),
+                // `split` always yields at least one token, but a
+                // structured error beats asserting that here.
+                None => return Err(bad("empty manifest record")),
             }
         }
         if manifest.horizon.is_none() && !manifest.deltas.is_empty() {
@@ -615,40 +618,53 @@ impl Wal {
 
     fn writer(&mut self) -> Result<&mut WalWriter<BufWriter<File>>, WalError> {
         if self.writer.is_none() {
-            let path = self.log_path();
-            let log_len = match std::fs::metadata(&path) {
-                Ok(meta) => meta.len(),
-                Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
-                Err(e) => return Err(e.into()),
-            };
-            let mut existing_frames = 0;
-            if log_len > 0 && log_len < WAL_MAGIC.len() as u64 {
-                // Torn during the very first write: nothing recoverable.
-                OpenOptions::new().write(true).open(&path)?.set_len(0)?;
-            } else if log_len > 0 {
-                // Scan the log so a torn final write from a previous crash
-                // is truncated away before new frames go after it —
-                // otherwise every post-crash append would sit beyond the
-                // torn bytes and be unreachable on replay. A checksum
-                // failure on a *complete* frame still errors: that is data
-                // corruption, not a torn tail.
-                let mut scan = WalReader::new(BufReader::new(File::open(&path)?))?;
-                while scan.next_batch()?.is_some() {}
-                existing_frames = scan.frames_read();
-                if scan.clean_bytes() < log_len {
-                    let file = OpenOptions::new().write(true).open(&path)?;
-                    file.set_len(scan.clean_bytes())?;
-                }
-            }
-            let file = OpenOptions::new().create(true).append(true).open(&path)?;
-            let sink = BufWriter::new(file);
-            self.writer = Some(if log_len < WAL_MAGIC.len() as u64 {
-                WalWriter::new(sink)?
-            } else {
-                WalWriter::resume(sink, existing_frames)
-            });
+            self.writer = Some(self.open_writer()?);
         }
-        Ok(self.writer.as_mut().expect("just initialised"))
+        match self.writer.as_mut() {
+            Some(writer) => Ok(writer),
+            // Unreachable — assigned just above — but a structured error
+            // beats asserting it on the appender path.
+            None => Err(WalError::Io(io::Error::other(
+                "wal writer did not initialise",
+            ))),
+        }
+    }
+
+    /// Opens (and, after a crash, repairs) the current epoch's log file,
+    /// returning a writer positioned after the last complete frame.
+    fn open_writer(&mut self) -> Result<WalWriter<BufWriter<File>>, WalError> {
+        let path = self.log_path();
+        let log_len = match std::fs::metadata(&path) {
+            Ok(meta) => meta.len(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e.into()),
+        };
+        let mut existing_frames = 0;
+        if log_len > 0 && log_len < WAL_MAGIC.len() as u64 {
+            // Torn during the very first write: nothing recoverable.
+            OpenOptions::new().write(true).open(&path)?.set_len(0)?;
+        } else if log_len > 0 {
+            // Scan the log so a torn final write from a previous crash
+            // is truncated away before new frames go after it —
+            // otherwise every post-crash append would sit beyond the
+            // torn bytes and be unreachable on replay. A checksum
+            // failure on a *complete* frame still errors: that is data
+            // corruption, not a torn tail.
+            let mut scan = WalReader::new(BufReader::new(File::open(&path)?))?;
+            while scan.next_batch()?.is_some() {}
+            existing_frames = scan.frames_read();
+            if scan.clean_bytes() < log_len {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(scan.clean_bytes())?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let sink = BufWriter::new(file);
+        Ok(if log_len < WAL_MAGIC.len() as u64 {
+            WalWriter::new(sink)?
+        } else {
+            WalWriter::resume(sink, existing_frames)
+        })
     }
 
     /// Appends one batch as a frame.
@@ -1067,6 +1083,20 @@ mod tests {
             reader.next_batch(),
             Err(WalError::Corrupt { frame: 0 })
         ));
+    }
+
+    #[test]
+    fn undersized_frame_payload_is_a_codec_error() {
+        // Regression: a checksum-valid frame whose payload is shorter
+        // than its own op-count header must surface as a structured
+        // error on the replay path, not a slice panic.
+        let mut bytes = WAL_MAGIC.to_vec();
+        let payload = [0u8; 2]; // too short to hold the 4-byte op count
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let mut reader = WalReader::new(bytes.as_slice()).unwrap();
+        assert!(matches!(reader.next_batch(), Err(WalError::Codec(_))));
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! `ocasta-lint` — run the project-invariant lints over the workspace.
+//!
+//! ```text
+//! ocasta-lint --workspace [--root <dir>] [--json]
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 at least one Error finding,
+//! 2 usage or I/O problem.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ocasta_lint::lint_workspace;
+
+const USAGE: &str = "usage: ocasta-lint --workspace [--root <dir>] [--json]
+
+Checks the Ocasta project invariants (see lint.toml):
+  wallclock-in-deterministic-path  no Instant/SystemTime::now outside the allow list
+  panic-in-worker-path             no unwrap/expect/panic!/indexing on worker paths
+  lock-discipline                  no nested lock acquisition or I/O under a guard
+  crate-hygiene                    crate attributes + suppression hygiene
+";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_table());
+            }
+            if report.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(message) => {
+            eprintln!("ocasta-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The checked-in lint policy (`lint.toml`): which invariant applies
+//! where.
+//!
+//! The policy file is the contract between the rules and the codebase:
+//! the **wallclock** rule denies by default and the policy lists the few
+//! module trees allowed to read the clock; the **panic** and **lock**
+//! rules apply only to the call graphs the policy registers (the engine
+//! worker, WAL appender, and sweeper paths); lock receivers are grouped
+//! into named **families** so the nesting check can tell a stripe lock
+//! from the pin registry. Parsing is a hand-rolled TOML subset (sections,
+//! string values, string arrays) in the same spirit as the rest of the
+//! workspace's offline tooling — no dependency, no surprises, and any
+//! unknown section or key is a hard error so a typo cannot silently
+//! disable a rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named group of lock receivers (`stripe`, `pin-registry`, …): the
+/// identifiers that `.lock()` is called on in the registered files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockFamily {
+    /// Family name, used in findings.
+    pub name: String,
+    /// Receiver identifiers that acquire this family's locks.
+    pub receivers: Vec<String>,
+}
+
+/// The parsed policy: every rule's scope, as read from `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Policy {
+    /// Path prefixes (workspace-relative, `/`-separated) where direct
+    /// wall-clock reads are legitimate. Everything else is deterministic
+    /// territory.
+    pub wallclock_allow: Vec<String>,
+    /// Files on the engine worker / WAL appender / sweeper call graphs,
+    /// where panicking constructs must be structured errors instead.
+    pub panic_paths: Vec<String>,
+    /// Files whose lock usage is checked for nesting and held-across-I/O.
+    pub lock_paths: Vec<String>,
+    /// Registered lock families for the lock-discipline rule.
+    pub lock_families: Vec<LockFamily>,
+    /// Helper functions that acquire a lock on their first argument
+    /// (e.g. `lock_ignore_poison`) — tracked like `.lock()` calls.
+    pub acquire_fns: Vec<String>,
+    /// Token patterns treated as I/O calls by the lock-discipline rule:
+    /// `Type::` prefixes match qualified paths, bare names match method
+    /// calls (`.name(`).
+    pub io_calls: Vec<String>,
+}
+
+/// A policy-file syntax or schema problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyError {
+    /// 1-based line in `lint.toml` (0 for schema-level problems).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl Policy {
+    /// Parses a policy file's text.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError`] on syntax errors, unknown sections/keys, or a
+    /// malformed family spec — unknowns are errors precisely so a typo
+    /// cannot silently un-scope a rule.
+    pub fn parse(text: &str) -> Result<Policy, PolicyError> {
+        let raw = parse_toml_subset(text)?;
+        let mut policy = Policy::default();
+        for ((section, key), (line, values)) in raw {
+            match (section.as_str(), key.as_str()) {
+                ("rule.wallclock-in-deterministic-path", "allow") => {
+                    policy.wallclock_allow = values;
+                }
+                ("rule.panic-in-worker-path", "paths") => policy.panic_paths = values,
+                ("rule.lock-discipline", "paths") => policy.lock_paths = values,
+                ("rule.lock-discipline", "families") => {
+                    policy.lock_families = values
+                        .iter()
+                        .map(|spec| parse_family(spec, line))
+                        .collect::<Result<_, _>>()?;
+                }
+                ("rule.lock-discipline", "acquire") => policy.acquire_fns = values,
+                ("rule.lock-discipline", "io") => policy.io_calls = values,
+                _ => {
+                    return Err(PolicyError {
+                        line,
+                        message: format!("unknown policy entry `{key}` in `[{section}]`"),
+                    });
+                }
+            }
+        }
+        Ok(policy)
+    }
+
+    /// `true` if `path` starts with any prefix in `prefixes`.
+    pub fn path_matches(path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// The family a lock receiver identifier belongs to, if registered.
+    pub fn family_of(&self, receiver: &str) -> Option<&LockFamily> {
+        self.lock_families
+            .iter()
+            .find(|f| f.receivers.iter().any(|r| r == receiver))
+    }
+}
+
+/// `"name = recv, recv, …"` → a [`LockFamily`].
+fn parse_family(spec: &str, line: u32) -> Result<LockFamily, PolicyError> {
+    let (name, receivers) = spec.split_once('=').ok_or_else(|| PolicyError {
+        line,
+        message: format!("family spec `{spec}` must look like `name = receiver, receiver`"),
+    })?;
+    let receivers: Vec<String> = receivers
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if name.trim().is_empty() || receivers.is_empty() {
+        return Err(PolicyError {
+            line,
+            message: format!("family spec `{spec}` needs a name and at least one receiver"),
+        });
+    }
+    Ok(LockFamily {
+        name: name.trim().to_owned(),
+        receivers,
+    })
+}
+
+type RawEntries = BTreeMap<(String, String), (u32, Vec<String>)>;
+
+/// Parses the TOML subset the policy uses: `[section]` headers, `key =
+/// "string"`, and `key = [ "a", "b", … ]` arrays (single- or multi-line,
+/// `#` comments allowed). Returns `(section, key) → (line, values)`.
+fn parse_toml_subset(text: &str) -> Result<RawEntries, PolicyError> {
+    let mut entries = RawEntries::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header.strip_suffix(']').ok_or_else(|| PolicyError {
+                line: line_no,
+                message: "unterminated section header".into(),
+            })?;
+            section = header.trim().to_owned();
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| PolicyError {
+            line: line_no,
+            message: format!("expected `key = value`, got `{line}`"),
+        })?;
+        let key = key.trim().to_owned();
+        let mut value = value.trim().to_owned();
+        if value.starts_with('[') && !value.ends_with(']') {
+            // Multi-line array: keep consuming until the closing bracket.
+            loop {
+                let (_, next) = lines.next().ok_or_else(|| PolicyError {
+                    line: line_no,
+                    message: format!("unterminated array for key `{key}`"),
+                })?;
+                let next = strip_comment(next).trim().to_owned();
+                value.push(' ');
+                value.push_str(&next);
+                if next.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        let values = parse_value(&value, line_no)?;
+        entries.insert((section.clone(), key), (line_no, values));
+    }
+    Ok(entries)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `"x"` → `["x"]`; `[ "a", "b" ]` → `["a", "b"]`.
+fn parse_value(value: &str, line: u32) -> Result<Vec<String>, PolicyError> {
+    let unquote = |s: &str| -> Result<String, PolicyError> {
+        let s = s.trim();
+        s.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .map(str::to_owned)
+            .ok_or_else(|| PolicyError {
+                line,
+                message: format!("expected a quoted string, got `{s}`"),
+            })
+    };
+    if let Some(inner) = value.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| PolicyError {
+            line,
+            message: "unterminated array".into(),
+        })?;
+        split_elements(inner)
+            .into_iter()
+            .map(unquote)
+            .collect()
+    } else {
+        Ok(vec![unquote(value)?])
+    }
+}
+
+/// Splits an array body on commas, but not the commas inside quoted
+/// strings (`"stripe = shards, s"` is one element).
+fn split_elements(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut in_string = false;
+    let mut start = 0usize;
+    for (i, ch) in inner.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                out.push(inner[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(inner[start..].trim());
+    out.into_iter().filter(|s| !s.is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[rule.wallclock-in-deterministic-path]
+allow = [
+    "crates/obs/src", # trailing comment
+    "crates/bench/src",
+]
+
+[rule.panic-in-worker-path]
+paths = ["crates/fleet/src/engine.rs"]
+
+[rule.lock-discipline]
+paths = ["crates/fleet/src/shard.rs"]
+families = [
+    "stripe = shards, s, m",
+    "pin-registry = pins",
+]
+acquire = ["lock_ignore_poison"]
+io = ["File::", "flush"]
+"#;
+
+    #[test]
+    fn sample_policy_round_trips() {
+        let policy = Policy::parse(SAMPLE).expect("parses");
+        assert_eq!(
+            policy.wallclock_allow,
+            vec!["crates/obs/src", "crates/bench/src"]
+        );
+        assert_eq!(policy.panic_paths, vec!["crates/fleet/src/engine.rs"]);
+        assert_eq!(policy.lock_families.len(), 2);
+        assert_eq!(policy.acquire_fns, vec!["lock_ignore_poison"]);
+        assert_eq!(policy.family_of("m").expect("registered").name, "stripe");
+        assert_eq!(
+            policy.family_of("pins").expect("registered").name,
+            "pin-registry"
+        );
+        assert!(policy.family_of("other").is_none());
+        assert!(Policy::path_matches(
+            "crates/obs/src/lib.rs",
+            &policy.wallclock_allow
+        ));
+        assert!(!Policy::path_matches(
+            "crates/fleet/src/engine.rs",
+            &policy.wallclock_allow
+        ));
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_specs_are_errors() {
+        assert!(Policy::parse("[rule.wallclock-in-deterministic-path]\ndeny = [\"x\"]").is_err());
+        assert!(Policy::parse("[rule.nope]\nallow = [\"x\"]").is_err());
+        assert!(Policy::parse("[rule.lock-discipline]\nfamilies = [\"no-equals\"]").is_err());
+        assert!(Policy::parse("key = unquoted").is_err());
+        assert!(Policy::parse("[unterminated").is_err());
+    }
+}

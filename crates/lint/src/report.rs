@@ -1,0 +1,214 @@
+//! Findings, severities, and the human/machine renderings — the same
+//! severity model `ocasta doctor` uses (`DESIGN.md §5.11`): `Error` means
+//! the build must fail, `Warning` means someone should look.
+
+use std::fmt;
+
+/// How bad one finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth fixing, does not fail the build (e.g. an unregistered lock
+    /// receiver the policy should classify).
+    Warning,
+    /// A broken invariant: the lint run (and CI) exits non-zero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "ERROR"),
+        }
+    }
+}
+
+/// One rule violation at one source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (`wallclock-in-deterministic-path`, …).
+    pub rule: &'static str,
+    /// Workspace-relative, `/`-separated file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable specifics.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}:{}:{} — {}",
+            self.severity, self.rule, self.path, self.line, self.col, self.message
+        )
+    }
+}
+
+/// Everything one lint run produced, plus how much it scanned.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// Findings, sorted by path, then line, then column.
+    pub findings: Vec<Finding>,
+    /// Source files scanned.
+    pub files_scanned: usize,
+    /// Workspace crates whose hygiene (lint attributes) was checked.
+    pub crates_checked: usize,
+    /// Suppressions that matched at least one finding.
+    pub suppressions_used: usize,
+}
+
+impl LintReport {
+    /// Number of [`Severity::Error`] findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of [`Severity::Warning`] findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// `true` when the run should exit non-zero.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// The human rendering: one line per finding, then a summary line.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} files, {} crates checked: {} error(s), {} warning(s), {} suppression(s) honoured\n",
+            self.files_scanned,
+            self.crates_checked,
+            self.errors(),
+            self.warnings(),
+            self.suppressions_used,
+        ));
+        out
+    }
+
+    /// The machine rendering: a hand-rolled JSON document (the workspace
+    /// carries no serde), stable field order, findings pre-sorted.
+    pub fn render_json(&self) -> String {
+        let mut findings = String::new();
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                findings.push_str(",\n");
+            }
+            findings.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"severity\": \"{}\", \"message\": \"{}\"}}",
+                escape(f.rule),
+                escape(&f.path),
+                f.line,
+                f.col,
+                match f.severity {
+                    Severity::Warning => "warning",
+                    Severity::Error => "error",
+                },
+                escape(&f.message),
+            ));
+        }
+        format!(
+            "{{\n  \"files_scanned\": {},\n  \"crates_checked\": {},\n  \
+             \"errors\": {},\n  \"warnings\": {},\n  \"suppressions_used\": {},\n  \
+             \"findings\": [\n{}\n  ]\n}}\n",
+            self.files_scanned,
+            self.crates_checked,
+            self.errors(),
+            self.warnings(),
+            self.suppressions_used,
+            findings,
+        )
+    }
+
+    /// Sorts findings into the stable reporting order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![
+                Finding {
+                    rule: "panic-in-worker-path",
+                    path: "crates/fleet/src/engine.rs".into(),
+                    line: 3,
+                    col: 9,
+                    severity: Severity::Error,
+                    message: "`.unwrap()` on a registered panic path".into(),
+                },
+                Finding {
+                    rule: "lock-discipline",
+                    path: "crates/fleet/src/shard.rs".into(),
+                    line: 7,
+                    col: 1,
+                    severity: Severity::Warning,
+                    message: "unregistered lock receiver `x` — say \"which family\"".into(),
+                },
+            ],
+            files_scanned: 2,
+            crates_checked: 1,
+            suppressions_used: 1,
+        }
+    }
+
+    #[test]
+    fn table_and_counts() {
+        let report = sample();
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.warnings(), 1);
+        assert!(report.has_errors());
+        let table = report.render_table();
+        assert!(table.contains("ERROR [panic-in-worker-path]"), "{table}");
+        assert!(table.contains("engine.rs:3:9"), "{table}");
+        assert!(table.contains("1 error(s), 1 warning(s)"), "{table}");
+    }
+
+    #[test]
+    fn json_is_escaped_and_complete() {
+        let json = sample().render_json();
+        assert!(json.contains("\"errors\": 1"), "{json}");
+        assert!(json.contains("\\\"which family\\\""), "{json}");
+        assert!(json.contains("\"severity\": \"warning\""), "{json}");
+    }
+}

@@ -1,0 +1,865 @@
+//! The rule engine: token-sequence matchers for the four project
+//! invariants, plus the suppression mechanism.
+//!
+//! All matchers operate on the *significant* token stream — comments
+//! dropped, `#[cfg(test)]` items excised — so a lint can only fire on
+//! code that actually ships on the path the policy registered.
+//!
+//! Suppressions are deliberately expensive to write: the exact form is
+//! `// lint:allow(<rule>): <reason>`, the reason must be non-empty, the
+//! rule must exist, and a suppression that matches nothing is itself an
+//! Error. A suppression covers findings of its rule on its own line and
+//! on the next code line below it.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::policy::Policy;
+use crate::report::{Finding, Severity};
+
+/// Rule id: direct wall-clock reads outside the policy's allow list.
+pub const RULE_WALLCLOCK: &str = "wallclock-in-deterministic-path";
+/// Rule id: panicking constructs on registered worker/appender/sweeper
+/// paths.
+pub const RULE_PANIC: &str = "panic-in-worker-path";
+/// Rule id: nested lock acquisition and I/O under a live guard.
+pub const RULE_LOCK: &str = "lock-discipline";
+/// Rule id: crate attributes and suppression hygiene.
+pub const RULE_HYGIENE: &str = "crate-hygiene";
+
+/// Every rule id, for suppression validation.
+pub const RULES: [&str; 4] = [RULE_WALLCLOCK, RULE_PANIC, RULE_LOCK, RULE_HYGIENE];
+
+/// Keywords that can legitimately precede `[` without it being an index
+/// expression (slice patterns, array types behind `let`/`for`/…).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// Lints one source file against the policy. Returns the surviving
+/// findings and how many suppressions were honoured.
+pub fn lint_source(policy: &Policy, path: &str, source: &str) -> (Vec<Finding>, usize) {
+    let tokens = lex(source);
+    let linter = FileLinter::new(policy, path, &tokens);
+    linter.run()
+}
+
+/// Checks a crate root (`lib.rs`) for the workspace-wide attribute
+/// contract: `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]`.
+pub fn check_crate_hygiene(path: &str, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let sig: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::LineComment)
+        .collect();
+    let has = |outer: &str, inner: &str| {
+        sig.windows(4).any(|w| {
+            w[0].is_ident(outer) && w[1].is_punct('(') && w[2].is_ident(inner) && w[3].is_punct(')')
+        })
+    };
+    let mut findings = Vec::new();
+    let mut missing = |attr: &str, present: bool| {
+        if !present {
+            findings.push(Finding {
+                rule: RULE_HYGIENE,
+                path: path.to_owned(),
+                line: 1,
+                col: 1,
+                severity: Severity::Error,
+                message: format!("crate root is missing `#![{attr}]`"),
+            });
+        }
+    };
+    missing("forbid(unsafe_code)", has("forbid", "unsafe_code"));
+    missing("deny(missing_docs)", has("deny", "missing_docs"));
+    findings
+}
+
+/// One `// lint:allow(rule): reason` comment.
+struct Suppression {
+    line: u32,
+    col: u32,
+    rule: &'static str,
+    used: bool,
+}
+
+/// A live mutex guard being tracked by the lock-discipline scan.
+struct Guard {
+    name: Option<String>,
+    family: String,
+    depth: i32,
+    line: u32,
+    /// Not `let`-bound: dies at the end of its statement.
+    transient: bool,
+}
+
+struct FileLinter<'a> {
+    policy: &'a Policy,
+    path: &'a str,
+    tokens: &'a [Token],
+    /// Indices into `tokens` of significant (non-comment, non-test) tokens.
+    sig: Vec<usize>,
+    /// Sorted lines that carry at least one significant token.
+    code_lines: Vec<u32>,
+}
+
+impl<'a> FileLinter<'a> {
+    fn new(policy: &'a Policy, path: &'a str, tokens: &'a [Token]) -> Self {
+        let skip = test_ranges(tokens);
+        let sig: Vec<usize> = (0..tokens.len())
+            .filter(|&i| tokens[i].kind != TokenKind::LineComment && !skip[i])
+            .collect();
+        let mut code_lines: Vec<u32> = sig.iter().map(|&i| tokens[i].line).collect();
+        code_lines.dedup();
+        FileLinter {
+            policy,
+            path,
+            tokens,
+            sig,
+            code_lines,
+        }
+    }
+
+    fn run(&self) -> (Vec<Finding>, usize) {
+        let mut findings = Vec::new();
+        if !Policy::path_matches(self.path, &self.policy.wallclock_allow) {
+            self.scan_wallclock(&mut findings);
+        }
+        if Policy::path_matches(self.path, &self.policy.panic_paths) {
+            self.scan_panics(&mut findings);
+        }
+        if Policy::path_matches(self.path, &self.policy.lock_paths) {
+            self.scan_locks(&mut findings);
+        }
+        let mut suppressions = self.parse_suppressions(&mut findings);
+        findings.retain(|finding| {
+            let covered = suppressions.iter_mut().find(|s| {
+                s.rule == finding.rule
+                    && (s.line == finding.line || self.next_code_line(s.line) == Some(finding.line))
+            });
+            match covered {
+                Some(s) => {
+                    s.used = true;
+                    false
+                }
+                None => true,
+            }
+        });
+        let used = suppressions.iter().filter(|s| s.used).count();
+        for s in &suppressions {
+            if !s.used {
+                findings.push(self.finding(
+                    RULE_HYGIENE,
+                    s.line,
+                    s.col,
+                    format!("unused suppression for `{}` — remove it", s.rule),
+                ));
+            }
+        }
+        (findings, used)
+    }
+
+    fn tok(&self, j: usize) -> &Token {
+        &self.tokens[self.sig[j]]
+    }
+
+    fn finding(&self, rule: &'static str, line: u32, col: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: self.path.to_owned(),
+            line,
+            col,
+            severity: Severity::Error,
+            message,
+        }
+    }
+
+    /// The first line strictly below `line` that carries code.
+    fn next_code_line(&self, line: u32) -> Option<u32> {
+        let idx = self.code_lines.partition_point(|&l| l <= line);
+        self.code_lines.get(idx).copied()
+    }
+
+    /// Extracts and validates `lint:allow` comments; malformed ones
+    /// become findings directly.
+    fn parse_suppressions(&self, findings: &mut Vec<Finding>) -> Vec<Suppression> {
+        let mut out = Vec::new();
+        for token in self.tokens {
+            if token.kind != TokenKind::LineComment {
+                continue;
+            }
+            let body = token.text.trim();
+            let Some(rest) = body.strip_prefix("lint:allow(") else {
+                continue;
+            };
+            let Some((rule, tail)) = rest.split_once(')') else {
+                findings.push(self.finding(
+                    RULE_HYGIENE,
+                    token.line,
+                    token.col,
+                    "malformed suppression: expected `lint:allow(<rule>): <reason>`".into(),
+                ));
+                continue;
+            };
+            let Some(rule) = RULES.iter().find(|r| **r == rule.trim()) else {
+                findings.push(self.finding(
+                    RULE_HYGIENE,
+                    token.line,
+                    token.col,
+                    format!("suppression names unknown rule `{}`", rule.trim()),
+                ));
+                continue;
+            };
+            let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+            if reason.is_empty() {
+                findings.push(self.finding(
+                    RULE_HYGIENE,
+                    token.line,
+                    token.col,
+                    format!("suppression for `{rule}` has no reason — say why it is sound"),
+                ));
+                continue;
+            }
+            out.push(Suppression {
+                line: token.line,
+                col: token.col,
+                rule,
+                used: false,
+            });
+        }
+        out
+    }
+
+    fn scan_wallclock(&self, findings: &mut Vec<Finding>) {
+        for j in 0..self.sig.len().saturating_sub(3) {
+            let head = self.tok(j);
+            let clock = if head.is_ident("Instant") {
+                "Instant"
+            } else if head.is_ident("SystemTime") {
+                "SystemTime"
+            } else {
+                continue;
+            };
+            if self.tok(j + 1).is_punct(':')
+                && self.tok(j + 2).is_punct(':')
+                && self.tok(j + 3).is_ident("now")
+            {
+                findings.push(self.finding(
+                    RULE_WALLCLOCK,
+                    head.line,
+                    head.col,
+                    format!(
+                        "`{clock}::now()` in a deterministic path — route timing through \
+                         `ocasta_obs::Stopwatch` or allow this path in lint.toml"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn scan_panics(&self, findings: &mut Vec<Finding>) {
+        for j in 0..self.sig.len() {
+            let t = self.tok(j);
+            // `.unwrap(` / `.expect(`
+            if t.is_punct('.') && j + 2 < self.sig.len() {
+                let name = &self.tok(j + 1).text;
+                if (name == "unwrap" || name == "expect")
+                    && self.tok(j + 1).kind == TokenKind::Ident
+                    && self.tok(j + 2).is_punct('(')
+                {
+                    let at = self.tok(j + 1);
+                    findings.push(self.finding(
+                        RULE_PANIC,
+                        at.line,
+                        at.col,
+                        format!(
+                            "`.{name}()` on a registered panic path — return a structured \
+                             error instead"
+                        ),
+                    ));
+                }
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if t.kind == TokenKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && j + 1 < self.sig.len()
+                && self.tok(j + 1).is_punct('!')
+            {
+                findings.push(self.finding(
+                    RULE_PANIC,
+                    t.line,
+                    t.col,
+                    format!("`{}!` on a registered panic path", t.text),
+                ));
+            }
+            // `expr[index]`: `[` whose previous token ends an expression.
+            if t.is_punct('[') && j > 0 {
+                let prev = self.tok(j - 1);
+                let indexes_expr = match prev.kind {
+                    TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                    TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                    _ => false,
+                };
+                if indexes_expr {
+                    findings.push(
+                        self.finding(
+                            RULE_PANIC,
+                            t.line,
+                            t.col,
+                            "direct indexing on a registered panic path — use `.get()` and \
+                         handle the miss"
+                                .into(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn scan_locks(&self, findings: &mut Vec<Finding>) {
+        let mut depth: i32 = 0;
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut j = 0usize;
+        while j < self.sig.len() {
+            let t = self.tok(j);
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            } else if t.is_punct(';') {
+                guards.retain(|g| !(g.transient && g.depth == depth));
+            } else if t.is_ident("drop")
+                && j + 3 < self.sig.len()
+                && self.tok(j + 1).is_punct('(')
+                && self.tok(j + 2).kind == TokenKind::Ident
+                && self.tok(j + 3).is_punct(')')
+            {
+                let name = self.tok(j + 2).text.clone();
+                guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+            } else if let Some((receiver, at)) = self.lock_acquisition(j) {
+                self.on_acquire(&receiver, at, depth, &mut guards, findings, j);
+            } else if !guards.is_empty() {
+                if let Some(io) = self.io_call(j) {
+                    let g = guards.last().expect("guards is non-empty");
+                    findings.push(self.finding(
+                        RULE_LOCK,
+                        t.line,
+                        t.col,
+                        format!(
+                            "`{io}` I/O while a `{}` guard (line {}) is live — drop the \
+                             guard first",
+                            g.family, g.line
+                        ),
+                    ));
+                }
+            }
+            j += 1;
+        }
+    }
+
+    /// If the token at `j` starts a lock acquisition, returns the
+    /// receiver identifier and the token to report at.
+    fn lock_acquisition(&self, j: usize) -> Option<(String, &Token)> {
+        let t = self.tok(j);
+        // `receiver.lock(` — `j` at the `.`.
+        if t.is_punct('.')
+            && j + 2 < self.sig.len()
+            && self.tok(j + 1).is_ident("lock")
+            && self.tok(j + 2).is_punct('(')
+        {
+            return Some((self.receiver_before(j), self.tok(j + 1)));
+        }
+        // `lock_ignore_poison(receiver)` — helper registered via `acquire`.
+        if t.kind == TokenKind::Ident
+            && self.policy.acquire_fns.iter().any(|f| f == &t.text)
+            && j + 1 < self.sig.len()
+            && self.tok(j + 1).is_punct('(')
+            && !(j > 0 && self.tok(j - 1).is_ident("fn"))
+        {
+            return Some((self.receiver_in_call(j + 1), t));
+        }
+        None
+    }
+
+    /// The identifier the `.lock()` at `sig[dot]` is called on, walking
+    /// back over one `[…]`/`(…)` group (`self.shards[shard].lock()`).
+    fn receiver_before(&self, dot: usize) -> String {
+        let mut k = dot;
+        while k > 0 {
+            k -= 1;
+            let t = self.tok(k);
+            if t.is_punct(']') || t.is_punct(')') {
+                let close = if t.is_punct(']') { ']' } else { ')' };
+                let open = if close == ']' { '[' } else { '(' };
+                let mut nest = 1;
+                while k > 0 && nest > 0 {
+                    k -= 1;
+                    if self.tok(k).is_punct(close) {
+                        nest += 1;
+                    } else if self.tok(k).is_punct(open) {
+                        nest -= 1;
+                    }
+                }
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                return t.text.clone();
+            }
+            break;
+        }
+        "?".into()
+    }
+
+    /// The last identifier of the first argument in the call whose `(`
+    /// is at `sig[open]` (`lock_ignore_poison(&self.failure)` → `failure`).
+    fn receiver_in_call(&self, open: usize) -> String {
+        let mut k = open + 1;
+        let mut nest = 1;
+        let mut last = String::from("?");
+        while k < self.sig.len() && nest > 0 {
+            let t = self.tok(k);
+            if t.is_punct('(') || t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                nest -= 1;
+            } else if t.is_punct(',') && nest == 1 {
+                break;
+            } else if t.kind == TokenKind::Ident && nest == 1 {
+                last = t.text.clone();
+            }
+            k += 1;
+        }
+        last
+    }
+
+    fn on_acquire(
+        &self,
+        receiver: &str,
+        at: &Token,
+        depth: i32,
+        guards: &mut Vec<Guard>,
+        findings: &mut Vec<Finding>,
+        j: usize,
+    ) {
+        let Some(family) = self.policy.family_of(receiver) else {
+            findings.push(Finding {
+                rule: RULE_LOCK,
+                path: self.path.to_owned(),
+                line: at.line,
+                col: at.col,
+                severity: Severity::Warning,
+                message: format!(
+                    "lock receiver `{receiver}` is not registered with any family in \
+                     lint.toml"
+                ),
+            });
+            return;
+        };
+        if let Some(live) = guards.last() {
+            findings.push(self.finding(
+                RULE_LOCK,
+                at.line,
+                at.col,
+                format!(
+                    "nested lock acquisition: `{receiver}` ({}) taken while a `{}` guard \
+                     (line {}) is live",
+                    family.name, live.family, live.line
+                ),
+            ));
+        }
+        let (name, transient) = self.let_binding(j);
+        guards.push(Guard {
+            name,
+            family: family.name.clone(),
+            depth,
+            line: at.line,
+            transient,
+        });
+    }
+
+    /// Walks back from the acquisition at `sig[j]` looking for
+    /// `let [mut] <name> = …` — the guard binding, if any.
+    fn let_binding(&self, j: usize) -> (Option<String>, bool) {
+        let mut m = j;
+        while m > 0 {
+            let prev = self.tok(m - 1);
+            let chained = match prev.kind {
+                TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.is_punct('.') || prev.is_punct('&') || prev.is_punct('*'),
+                _ => false,
+            };
+            if !chained {
+                break;
+            }
+            m -= 1;
+        }
+        if m >= 3
+            && self.tok(m - 1).is_punct('=')
+            && self.tok(m - 2).kind == TokenKind::Ident
+            && (self.tok(m - 3).is_ident("let")
+                || (self.tok(m - 3).is_ident("mut") && m >= 4 && self.tok(m - 4).is_ident("let")))
+        {
+            (Some(self.tok(m - 2).text.clone()), false)
+        } else {
+            (None, true)
+        }
+    }
+
+    /// If the token at `j` is a registered I/O call, returns its display
+    /// name. Entries containing `::` match qualified paths; bare names
+    /// match `.name(` method calls.
+    fn io_call(&self, j: usize) -> Option<String> {
+        let t = self.tok(j);
+        for entry in &self.policy.io_calls {
+            if entry.contains("::") {
+                let segments: Vec<&str> = entry.split("::").filter(|s| !s.is_empty()).collect();
+                if self.matches_path(j, &segments, entry.ends_with("::")) {
+                    return Some(entry.trim_end_matches(':').to_owned());
+                }
+            } else if t.is_punct('.')
+                && j + 2 < self.sig.len()
+                && self.tok(j + 1).is_ident(entry)
+                && self.tok(j + 2).is_punct('(')
+            {
+                return Some(entry.clone());
+            }
+        }
+        None
+    }
+
+    /// `segments` joined by `::` starting at `sig[j]`; if
+    /// `trailing_sep`, a `::` must follow the last segment.
+    fn matches_path(&self, j: usize, segments: &[&str], trailing_sep: bool) -> bool {
+        let mut k = j;
+        for (i, seg) in segments.iter().enumerate() {
+            if k >= self.sig.len() || !self.tok(k).is_ident(seg) {
+                return false;
+            }
+            k += 1;
+            let need_sep = i + 1 < segments.len() || trailing_sep;
+            if need_sep {
+                if k + 1 < self.sig.len()
+                    && self.tok(k).is_punct(':')
+                    && self.tok(k + 1).is_punct(':')
+                {
+                    k += 2;
+                } else {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Marks token index ranges covered by `#[cfg(test)]` items (and the
+/// attribute itself), so test code is exempt from every rule.
+fn test_ranges(tokens: &[Token]) -> Vec<bool> {
+    let mut skip = vec![false; tokens.len()];
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].kind != TokenKind::LineComment)
+        .collect();
+    let mut j = 0usize;
+    while j < sig.len() {
+        if !(tokens[sig[j]].is_punct('#') && j + 1 < sig.len() && tokens[sig[j + 1]].is_punct('['))
+        {
+            j += 1;
+            continue;
+        }
+        // Scan the attribute body for `cfg` … `test`.
+        let attr_start = j;
+        let mut k = j + 2;
+        let mut nest = 1;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while k < sig.len() && nest > 0 {
+            let t = &tokens[sig[k]];
+            if t.is_punct('[') {
+                nest += 1;
+            } else if t.is_punct(']') {
+                nest -= 1;
+            } else if t.is_ident("cfg") {
+                saw_cfg = true;
+            } else if t.is_ident("test") {
+                saw_test = true;
+            }
+            k += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            j = k;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while k + 1 < sig.len() && tokens[sig[k]].is_punct('#') && tokens[sig[k + 1]].is_punct('[')
+        {
+            let mut nest = 1;
+            k += 2;
+            while k < sig.len() && nest > 0 {
+                if tokens[sig[k]].is_punct('[') {
+                    nest += 1;
+                } else if tokens[sig[k]].is_punct(']') {
+                    nest -= 1;
+                }
+                k += 1;
+            }
+        }
+        // The item: brace-delimited (mod/fn/impl) or `;`-terminated (use).
+        while k < sig.len() && !tokens[sig[k]].is_punct('{') && !tokens[sig[k]].is_punct(';') {
+            k += 1;
+        }
+        if k < sig.len() && tokens[sig[k]].is_punct('{') {
+            let mut braces = 1;
+            k += 1;
+            while k < sig.len() && braces > 0 {
+                if tokens[sig[k]].is_punct('{') {
+                    braces += 1;
+                } else if tokens[sig[k]].is_punct('}') {
+                    braces -= 1;
+                }
+                k += 1;
+            }
+        } else if k < sig.len() {
+            k += 1; // past the `;`
+        }
+        let from = sig[attr_start];
+        let to = if k < sig.len() {
+            sig[k - 1]
+        } else {
+            tokens.len() - 1
+        };
+        for slot in skip.iter_mut().take(to + 1).skip(from) {
+            *slot = true;
+        }
+        j = k;
+    }
+    skip
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> Policy {
+        Policy::parse(
+            r#"
+[rule.wallclock-in-deterministic-path]
+allow = ["src/allowed"]
+
+[rule.panic-in-worker-path]
+paths = ["src/worker.rs"]
+
+[rule.lock-discipline]
+paths = ["src/worker.rs"]
+families = ["stripe = shards, state", "registry = pins"]
+acquire = ["lock_ignore_poison"]
+io = ["File::", "std::fs", "flush"]
+"#,
+        )
+        .expect("test policy parses")
+    }
+
+    fn errors(path: &str, src: &str) -> Vec<Finding> {
+        let (findings, _) = lint_source(&policy(), path, src);
+        findings
+            .into_iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect()
+    }
+
+    #[test]
+    fn wallclock_denied_by_default_allowed_by_policy() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(errors("src/other.rs", src).len(), 1);
+        assert!(errors("src/allowed/lib.rs", src).is_empty());
+        let sys = "fn f() { let t = std::time::SystemTime::now(); }";
+        assert_eq!(errors("src/other.rs", sys).len(), 1);
+    }
+
+    #[test]
+    fn panic_constructs_fire_only_on_registered_paths() {
+        let src = "fn f(v: Vec<u32>) { v.get(0).unwrap(); v.first().expect(\"x\"); panic!(); }";
+        assert_eq!(errors("src/worker.rs", src).len(), 3);
+        assert!(errors("src/elsewhere.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_fires_but_slice_patterns_do_not() {
+        assert_eq!(
+            errors("src/worker.rs", "fn f(v: Vec<u32>, i: usize) { v[i]; }").len(),
+            1
+        );
+        assert!(errors(
+            "src/worker.rs",
+            "fn f(h: [u8; 2]) { let [a, b] = h; if let [x, y] = h {} }"
+        )
+        .is_empty());
+        assert!(errors("src/worker.rs", "fn f() { let v = vec![1, 2]; }").is_empty());
+        assert!(errors("src/worker.rs", "fn f(s: &[u8]) -> [u8; 4] { [0; 4] }").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        assert!(errors(
+            "src/worker.rs",
+            "fn f(m: M) { m.lock().unwrap_or_else(|p| p.into_inner()); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = r#"
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Vec::<u32>::new().pop().unwrap(); panic!(); }
+            }
+        "#;
+        assert!(errors("src/worker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_lock_is_an_error_sequential_is_not() {
+        let nested = r#"
+            fn f(a: M, b: M) {
+                let g = a.shards.lock().unwrap_or_else(|p| p.into_inner());
+                let h = b.pins.lock().unwrap_or_else(|p| p.into_inner());
+            }
+        "#;
+        let found = errors("src/worker.rs", nested);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("nested lock acquisition"));
+
+        let sequential = r#"
+            fn f(a: M, b: M) {
+                { let g = a.shards.lock().unwrap_or_else(|p| p.into_inner()); }
+                let h = b.pins.lock().unwrap_or_else(|p| p.into_inner());
+            }
+        "#;
+        assert!(errors("src/worker.rs", sequential).is_empty());
+    }
+
+    #[test]
+    fn drop_and_statement_end_release_guards() {
+        let dropped = r#"
+            fn f(a: M, b: M) {
+                let g = a.state.lock().unwrap_or_else(|p| p.into_inner());
+                drop(g);
+                let h = b.pins.lock().unwrap_or_else(|p| p.into_inner());
+            }
+        "#;
+        assert!(errors("src/worker.rs", dropped).is_empty());
+
+        let transient = r#"
+            fn f(a: M, b: M) {
+                *a.state.lock().unwrap_or_else(|p| p.into_inner()) = 1;
+                *b.pins.lock().unwrap_or_else(|p| p.into_inner()) = 2;
+            }
+        "#;
+        assert!(errors("src/worker.rs", transient).is_empty());
+    }
+
+    #[test]
+    fn acquire_helper_counts_as_a_lock() {
+        let src = r#"
+            fn f(a: M, b: M) {
+                let g = lock_ignore_poison(&a.shards);
+                let h = lock_ignore_poison(&b.pins);
+            }
+        "#;
+        assert_eq!(errors("src/worker.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn io_under_a_guard_is_an_error() {
+        let src = r#"
+            fn f(a: M, w: W) {
+                let g = a.state.lock().unwrap_or_else(|p| p.into_inner());
+                w.flush();
+            }
+        "#;
+        let found = errors("src/worker.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("I/O while"));
+
+        let qualified = r#"
+            fn f(a: M) {
+                let g = a.state.lock().unwrap_or_else(|p| p.into_inner());
+                let file = File::create("x");
+                let meta = std::fs::metadata("y");
+            }
+        "#;
+        assert_eq!(errors("src/worker.rs", qualified).len(), 2);
+    }
+
+    #[test]
+    fn unregistered_receiver_is_a_warning() {
+        let (findings, _) = lint_source(
+            &policy(),
+            "src/worker.rs",
+            "fn f(x: M) { let g = x.mystery.lock().unwrap_or_else(|p| p.into_inner()); }",
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Warning);
+        assert!(findings[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn suppression_with_reason_covers_next_code_line() {
+        let src = r#"
+            fn f(v: Vec<u32>) {
+                // lint:allow(panic-in-worker-path): index bounded by caller contract
+                v[0];
+            }
+        "#;
+        let (findings, used) = lint_source(&policy(), "src/worker.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn reasonless_unknown_and_unused_suppressions_are_errors() {
+        let no_reason = "// lint:allow(panic-in-worker-path):\nfn f(v: Vec<u32>) { v[0]; }";
+        let found = errors("src/worker.rs", no_reason);
+        assert!(found.iter().any(|f| f.message.contains("no reason")));
+
+        let unknown = "// lint:allow(not-a-rule): because\nfn f() {}";
+        let found = errors("src/worker.rs", unknown);
+        assert!(found.iter().any(|f| f.message.contains("unknown rule")));
+
+        let unused =
+            "// lint:allow(panic-in-worker-path): nothing here needs it\nfn f() { let x = 1; }";
+        let found = errors("src/worker.rs", unused);
+        assert!(found
+            .iter()
+            .any(|f| f.message.contains("unused suppression")));
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = r##"
+            fn f() {
+                let s = "Instant::now() v.unwrap() panic!";
+                let r = r#"SystemTime::now()"#;
+                // Instant::now() in prose
+            }
+        "##;
+        assert!(errors("src/worker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_hygiene_attrs() {
+        let good = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn x() {}";
+        assert!(check_crate_hygiene("src/lib.rs", good).is_empty());
+        let bad = "#![forbid(unsafe_code)]\npub fn x() {}";
+        let found = check_crate_hygiene("src/lib.rs", bad);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("deny(missing_docs)"));
+    }
+}

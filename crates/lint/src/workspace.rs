@@ -1,0 +1,169 @@
+//! Workspace discovery and the full lint run: find the members in the
+//! root `Cargo.toml`, walk each member's `src/` tree, lint every file,
+//! and check each crate root's hygiene attributes.
+//!
+//! `vendor/` members are skipped: the shims deliberately mirror external
+//! crates' APIs (including their panicking corners) and are not Ocasta
+//! code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::policy::Policy;
+use crate::report::LintReport;
+use crate::rules::{check_crate_hygiene, lint_source};
+
+/// A workspace member whose sources get linted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// Workspace-relative directory (`crates/fleet`, or `.` for the root
+    /// package).
+    pub rel_dir: String,
+}
+
+/// Reads the member list out of the root `Cargo.toml`, skipping
+/// `vendor/` shims. The root package itself (the `[package]` section the
+/// workspace manifest carries) is included as `.`.
+///
+/// # Errors
+///
+/// A message if the manifest cannot be read or has no `members` array.
+pub fn discover_members(root: &Path) -> Result<Vec<Member>, String> {
+    let manifest_path = root.join("Cargo.toml");
+    let manifest = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    let mut members = Vec::new();
+    if manifest.contains("[package]") {
+        members.push(Member {
+            rel_dir: ".".into(),
+        });
+    }
+    // Line-anchored so `default-members = [` (which contains the same
+    // substring) cannot match.
+    let after = manifest
+        .split_once("\nmembers = [")
+        .ok_or("Cargo.toml has no `members = [` array")?
+        .1;
+    let list = after
+        .split_once(']')
+        .ok_or("unterminated `members` array in Cargo.toml")?
+        .0;
+    for entry in list.split(',') {
+        let entry = entry.trim().trim_matches('"');
+        if entry.is_empty() || entry.starts_with('#') || entry.starts_with("vendor/") {
+            continue;
+        }
+        members.push(Member {
+            rel_dir: entry.to_owned(),
+        });
+    }
+    Ok(members)
+}
+
+/// Collects every `.rs` file under `dir`, recursively, sorted by path
+/// for deterministic reports.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Loads `lint.toml` from the workspace root and lints every member.
+///
+/// # Errors
+///
+/// A message when the policy file is missing/invalid or the workspace
+/// cannot be discovered; rule findings are *not* errors here — they come
+/// back inside the report.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let policy_path = root.join("lint.toml");
+    let policy_text = fs::read_to_string(&policy_path)
+        .map_err(|e| format!("cannot read {}: {e}", policy_path.display()))?;
+    let policy = Policy::parse(&policy_text).map_err(|e| e.to_string())?;
+    lint_members(root, &policy, &discover_members(root)?)
+}
+
+/// Lints the given members against an already-parsed policy.
+///
+/// # Errors
+///
+/// A message when a source file cannot be read.
+pub fn lint_members(
+    root: &Path,
+    policy: &Policy,
+    members: &[Member],
+) -> Result<LintReport, String> {
+    let mut report = LintReport::default();
+    for member in members {
+        let src_dir = root.join(&member.rel_dir).join("src");
+        let crate_root = src_dir.join("lib.rs");
+        let mut saw_crate_root = false;
+        for file in rust_files(&src_dir) {
+            let source = fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let rel = rel_path(root, &file);
+            let (findings, used) = lint_source(policy, &rel, &source);
+            report.findings.extend(findings);
+            report.suppressions_used += used;
+            report.files_scanned += 1;
+            if file == crate_root {
+                saw_crate_root = true;
+                report.findings.extend(check_crate_hygiene(&rel, &source));
+            }
+        }
+        if saw_crate_root {
+            report.crates_checked += 1;
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// `root`-relative, `/`-separated rendering of `path` (what the policy's
+/// prefixes match against).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let joined = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    joined.strip_prefix("./").unwrap_or(&joined).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_discovery_skips_vendor_and_keeps_root_package() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let members = discover_members(&root).expect("workspace manifest parses");
+        let dirs: Vec<&str> = members.iter().map(|m| m.rel_dir.as_str()).collect();
+        assert!(dirs.contains(&"."), "root package: {dirs:?}");
+        assert!(dirs.contains(&"crates/fleet"), "{dirs:?}");
+        assert!(dirs.contains(&"crates/lint"), "{dirs:?}");
+        assert!(!dirs.iter().any(|d| d.starts_with("vendor/")), "{dirs:?}");
+    }
+
+    #[test]
+    fn rel_paths_are_slash_separated_and_root_relative() {
+        let root = Path::new("/work/repo");
+        let file = Path::new("/work/repo/crates/fleet/src/engine.rs");
+        assert_eq!(rel_path(root, file), "crates/fleet/src/engine.rs");
+    }
+}

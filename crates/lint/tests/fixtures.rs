@@ -1,0 +1,117 @@
+//! Corpus tests: each fixture file under `tests/fixtures/` exercises one
+//! rule end-to-end through the public [`lint_source`] /
+//! [`check_crate_hygiene`] API against a fixtures-scoped policy.
+//!
+//! The fixtures are never compiled — they are data, read with
+//! `include_str!` — so they can reference undefined types and contain
+//! deliberate violations without touching the workspace build.
+
+use ocasta_lint::{check_crate_hygiene, lint_source, Finding, Policy, Severity};
+
+const POLICY: &str = r#"
+[rule.wallclock-in-deterministic-path]
+allow = ["fixtures/allowed"]
+
+[rule.panic-in-worker-path]
+paths = [
+    "fixtures/clean.rs",
+    "fixtures/panic_paths.rs",
+    "fixtures/suppressions.rs",
+]
+
+[rule.lock-discipline]
+paths = ["fixtures/clean.rs", "fixtures/lock_discipline.rs"]
+families = ["stripe = shards", "registry = pins"]
+io = ["flush", "File::"]
+"#;
+
+fn policy() -> Policy {
+    Policy::parse(POLICY).expect("fixture policy parses")
+}
+
+/// Lints one fixture, returning `(rule, line)` pairs of Error findings.
+fn error_sites(path: &str, source: &str) -> Vec<(&'static str, u32)> {
+    let (findings, _) = lint_source(&policy(), path, source);
+    findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let source = include_str!("fixtures/clean.rs");
+    let (findings, used) = lint_source(&policy(), "fixtures/clean.rs", source);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(used, 0, "nothing to suppress in a clean file");
+}
+
+#[test]
+fn wallclock_fixture_flags_both_clock_reads() {
+    let source = include_str!("fixtures/wallclock.rs");
+    assert_eq!(
+        error_sites("fixtures/wallclock.rs", source),
+        vec![
+            ("wallclock-in-deterministic-path", 5),
+            ("wallclock-in-deterministic-path", 6),
+        ]
+    );
+}
+
+#[test]
+fn panic_fixture_flags_each_construct_and_exempts_tests() {
+    let source = include_str!("fixtures/panic_paths.rs");
+    assert_eq!(
+        error_sites("fixtures/panic_paths.rs", source),
+        vec![
+            ("panic-in-worker-path", 5),  // .unwrap()
+            ("panic-in-worker-path", 6),  // .expect()
+            ("panic-in-worker-path", 8),  // panic!
+            ("panic-in-worker-path", 10), // v[i]
+        ]
+    );
+}
+
+#[test]
+fn panic_fixture_is_quiet_on_an_unregistered_path() {
+    let source = include_str!("fixtures/panic_paths.rs");
+    assert!(error_sites("fixtures/unregistered.rs", source).is_empty());
+}
+
+#[test]
+fn lock_fixture_flags_nesting_and_io_under_guard() {
+    let source = include_str!("fixtures/lock_discipline.rs");
+    let sites = error_sites("fixtures/lock_discipline.rs", source);
+    assert_eq!(
+        sites,
+        vec![("lock-discipline", 6), ("lock-discipline", 14)],
+        "nested acquisition and flush-under-guard"
+    );
+}
+
+#[test]
+fn suppression_fixture_honours_reasons_and_flags_hygiene() {
+    let source = include_str!("fixtures/suppressions.rs");
+    let (findings, used) = lint_source(&policy(), "fixtures/suppressions.rs", source);
+    assert_eq!(used, 1, "exactly the reasoned suppression is honoured");
+    let mut sites: Vec<(&str, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    sites.sort();
+    assert_eq!(
+        sites,
+        vec![
+            ("crate-hygiene", 11),        // unused suppression
+            ("crate-hygiene", 17),        // reasonless suppression
+            ("panic-in-worker-path", 18), // not covered by the reasonless one
+        ],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn hygiene_fixture_reports_the_missing_attribute() {
+    let source = include_str!("fixtures/hygiene.rs");
+    let findings: Vec<Finding> = check_crate_hygiene("fixtures/hygiene.rs", source);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("deny(missing_docs)"));
+}

@@ -1,0 +1,17 @@
+//! A file registered with every rule that violates none of them.
+
+/// Doubles a number on the worker path without panicking.
+pub fn double(x: u32) -> u32 {
+    x.saturating_mul(2)
+}
+
+/// Mentions the forbidden constructs only in prose and strings.
+pub fn prose() -> &'static str {
+    "Instant::now() and v.unwrap() are only text here"
+}
+
+/// Sequential (non-nested) lock use with a transient guard.
+pub fn sequential(a: &Stripes, b: &Registry) {
+    *a.shards.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+    *b.pins.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+}

@@ -1,0 +1,5 @@
+//! A crate root that forgot half of its hygiene attributes.
+#![forbid(unsafe_code)]
+
+/// Fine on its own; the missing `#![deny(missing_docs)]` is the finding.
+pub fn documented() {}

@@ -1,0 +1,16 @@
+//! Lock-discipline violations: nesting and I/O under a live guard.
+
+/// A `registry` lock taken while the `stripe` guard is live (line 6).
+pub fn nested(a: &Stripes, b: &Registry) {
+    let g = a.shards.lock().unwrap_or_else(|p| p.into_inner());
+    let h = b.pins.lock().unwrap_or_else(|p| p.into_inner());
+    drop(h);
+    drop(g);
+}
+
+/// A flush while the stripe guard is live (line 14).
+pub fn io_under_guard(a: &Stripes, w: &mut Sink) {
+    let g = a.shards.lock().unwrap_or_else(|p| p.into_inner());
+    w.flush();
+    drop(g);
+}

@@ -1,0 +1,20 @@
+//! Panicking constructs a registered worker path must not use.
+
+/// Four violations: unwrap (5), expect (6), panic! (8), indexing (10).
+pub fn bad(v: Vec<u32>, i: usize) -> u32 {
+    let first = v.first().unwrap();
+    let picked = v.get(i).expect("present");
+    if i > v.len() {
+        panic!("out of range");
+    }
+    first + picked + v[i]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Vec::<u32>::new().pop().unwrap();
+        unreachable!("never flagged");
+    }
+}

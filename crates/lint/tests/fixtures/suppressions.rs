@@ -1,0 +1,19 @@
+//! Suppression hygiene: one honoured, one unused, one reasonless.
+
+/// The indexing below is covered by a reasoned suppression.
+pub fn covered(v: &[u32]) -> u32 {
+    // lint:allow(panic-in-worker-path): index is bounded by the caller contract
+    v[0]
+}
+
+/// This suppression matches nothing — itself an error (line 11).
+pub fn stale() -> u32 {
+    // lint:allow(panic-in-worker-path): nothing below actually panics
+    7
+}
+
+/// A reasonless suppression is an error (line 17) and covers nothing.
+pub fn reasonless(v: &[u32]) -> u32 {
+    // lint:allow(panic-in-worker-path):
+    v[0]
+}

@@ -1,0 +1,8 @@
+//! Reads the wall clock where determinism is required.
+
+/// Two denied clock reads (lines 5 and 6).
+pub fn naughty() -> u128 {
+    let started = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    started.elapsed().as_nanos()
+}

@@ -351,6 +351,53 @@ impl Registry {
     }
 }
 
+/// A wall-clock stopwatch — the one sanctioned wall-clock read on
+/// deterministic paths.
+///
+/// The workspace invariant (`DESIGN.md §5.11`, enforced at the source
+/// level by `ocasta-lint`'s `wallclock-in-deterministic-path` rule) is
+/// that engine, store, and service code never calls `Instant::now()` or
+/// `SystemTime::now()` directly: wall-clock time flows *out* into
+/// observers — histograms, report fields — and never back into control
+/// flow, which is what keeps VOPR runs byte-deterministic with metrics on
+/// or off. `Stopwatch` packages that contract as a type: it can be
+/// started and its elapsed [`Duration`] read for an observer, but it
+/// exposes no absolute timestamp to steer by, and the only module allowed
+/// to construct one from the raw clock is this crate.
+///
+/// ```
+/// use ocasta_obs::Stopwatch;
+///
+/// let timer = Stopwatch::start();
+/// let _elapsed = timer.elapsed(); // destined for a histogram or report
+/// assert!(Stopwatch::start_if(false).is_none(), "disabled: no clock read");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Starts timing only when `enabled` — the instrumented-path pattern
+    /// (`Stopwatch::start_if(metrics.is_some())`), so an uninstrumented
+    /// run performs no clock read at all.
+    pub fn start_if(enabled: bool) -> Option<Self> {
+        enabled.then(Stopwatch::start)
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
 /// Appends one `"name": value` field, comma-separating from prior fields.
 fn push_field(out: &mut String, field: &str) {
     if !out.is_empty() {

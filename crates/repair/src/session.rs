@@ -11,8 +11,9 @@
 //! `ShardedTtkv` snapshots and `OcastaStream` clusterings; this module
 //! keeps the session machinery store-agnostic (see `DESIGN.md §5.8`).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use ocasta_obs::Stopwatch;
 use ocasta_ttkv::{Key, Ttkv};
 
 use crate::search::{SearchConfig, SearchOutcome};
@@ -204,7 +205,7 @@ impl RepairSession {
         oracle: &FixOracle,
         on_progress: impl FnMut(ocasta_ttkv::Timestamp),
     ) -> SessionReport {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let outcome = crate::parallel::parallel_search_observed(
             &self.store,
             self.catalog.clusters(),

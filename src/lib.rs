@@ -5,4 +5,7 @@
 //! lives in the `crates/` workspace members, re-exported here through the
 //! [`ocasta`] facade.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use ocasta;

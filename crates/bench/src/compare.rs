@@ -99,6 +99,23 @@ pub fn gates_for(bench: &str) -> &'static [Gate] {
                 max_ratio: 3.0,
                 abs_slack: 2000.0,
             },
+            // Snapshot bytes are deterministic for a fixed feed, so this
+            // gate is really an encoding-bloat tripwire; the slack absorbs
+            // small vocabulary shifts, not a format regression.
+            Gate {
+                key: "snapshot_v2_bytes",
+                direction: Direction::LowerIsBetter,
+                max_ratio: 1.5,
+                abs_slack: 4096.0,
+            },
+            // Load time of the settled v2 segment. Wide ratio + slack:
+            // this is a wall-clock reading on shared CI hardware.
+            Gate {
+                key: "replay_v2_us",
+                direction: Direction::LowerIsBetter,
+                max_ratio: 3.0,
+                abs_slack: 20_000.0,
+            },
         ],
         _ => &[],
     }
@@ -293,10 +310,14 @@ impl Cursor<'_> {
 ///
 /// # Errors
 ///
-/// Unknown bench name, malformed JSON, or a gated metric missing from
-/// either side — all of which the caller should treat as a failure, not
-/// a skip: a bench that stops emitting its gated metric would otherwise
-/// pass forever.
+/// Unknown bench name, malformed JSON, a gated metric missing from
+/// either side, or the two sides carrying different top-level key sets
+/// at all — all of which the caller should treat as a failure, not a
+/// skip. A bench that stops emitting its gated metric would otherwise
+/// pass forever, and a committed baseline that predates a schema change
+/// (keys added or removed) would otherwise sit stale forever; the error
+/// names the keys on each side of the diff so the fix — regenerate the
+/// stale artifact — is obvious.
 pub fn compare(
     bench: &str,
     baseline_json: &str,
@@ -309,6 +330,37 @@ pub fn compare(
     let baseline =
         top_level_numbers(baseline_json).map_err(|e| format!("baseline {bench}: {e}"))?;
     let fresh = top_level_numbers(fresh_json).map_err(|e| format!("fresh {bench}: {e}"))?;
+    // Schema drift check, both directions, before any gate math: the key
+    // sets must match exactly or one side is stale.
+    let missing_from_fresh: Vec<&str> = baseline
+        .keys()
+        .filter(|k| !fresh.contains_key(*k))
+        .map(String::as_str)
+        .collect();
+    let missing_from_baseline: Vec<&str> = fresh
+        .keys()
+        .filter(|k| !baseline.contains_key(*k))
+        .map(String::as_str)
+        .collect();
+    if !missing_from_fresh.is_empty() || !missing_from_baseline.is_empty() {
+        let mut diff = Vec::new();
+        if !missing_from_fresh.is_empty() {
+            diff.push(format!(
+                "missing from fresh: {}",
+                missing_from_fresh.join(", ")
+            ));
+        }
+        if !missing_from_baseline.is_empty() {
+            diff.push(format!(
+                "missing from baseline: {}",
+                missing_from_baseline.join(", ")
+            ));
+        }
+        return Err(format!(
+            "{bench} JSON schema drift ({}) — regenerate the stale artifact",
+            diff.join("; ")
+        ));
+    }
     gates
         .iter()
         .map(|gate| {
@@ -451,7 +503,8 @@ mod tests {
                 "repair" => "{\"best_parallel_ms\": 120.0, \"session_open_us\": 40.0}",
                 _ => {
                     "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
-                     \"median_sweep_stall_us\": 1500}"
+                     \"median_sweep_stall_us\": 1500, \"snapshot_v2_bytes\": 250000, \
+                     \"replay_v2_us\": 900}"
                 }
             };
             let results = compare(bench, json, json).unwrap();
@@ -484,9 +537,11 @@ mod tests {
         let results = compare(
             "retention",
             "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
-             \"median_sweep_stall_us\": 1500}",
+             \"median_sweep_stall_us\": 1500, \"snapshot_v2_bytes\": 250000, \
+             \"replay_v2_us\": 900}",
             "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.55, \
-             \"median_sweep_stall_us\": 1500}",
+             \"median_sweep_stall_us\": 1500, \"snapshot_v2_bytes\": 250000, \
+             \"replay_v2_us\": 900}",
         )
         .unwrap();
         assert_eq!(
@@ -515,9 +570,11 @@ mod tests {
         let results = compare(
             "retention",
             "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
-             \"median_sweep_stall_us\": 3}",
+             \"median_sweep_stall_us\": 3, \"snapshot_v2_bytes\": 250000, \
+             \"replay_v2_us\": 900}",
             "{\"final_store_ratio\": 0.31, \"final_disk_ratio\": 0.28, \
-             \"median_sweep_stall_us\": 800}",
+             \"median_sweep_stall_us\": 800, \"snapshot_v2_bytes\": 250000, \
+             \"replay_v2_us\": 900}",
         )
         .unwrap();
         assert!(results.iter().all(|r| r.pass), "{results:?}");
@@ -529,6 +586,33 @@ mod tests {
         assert!(err.contains("missing"), "{err}");
         let err = compare("nosuchbench", "{}", "{}").unwrap_err();
         assert!(err.contains("no gates"), "{err}");
+    }
+
+    #[test]
+    fn schema_drift_fails_in_both_directions() {
+        // A key the baseline carries but the fresh run dropped — a stale
+        // or broken emitter, even if the key isn't gated.
+        let err = compare(
+            "stream",
+            "{\"stream_amortized_us\": 2.5, \"batch_amortized_us\": 9.0}",
+            "{\"stream_amortized_us\": 2.5}",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing from fresh"), "{err}");
+        assert!(err.contains("batch_amortized_us"), "{err}");
+
+        // A key the fresh run added that the committed baseline predates —
+        // the direction that used to pass silently and leave the artifact
+        // stale forever.
+        let err = compare(
+            "stream",
+            "{\"stream_amortized_us\": 2.5}",
+            "{\"stream_amortized_us\": 2.5, \"snapshot_v2_bytes\": 1000}",
+        )
+        .unwrap_err();
+        assert!(err.contains("missing from baseline"), "{err}");
+        assert!(err.contains("snapshot_v2_bytes"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
     }
 
     #[test]
@@ -571,10 +655,35 @@ mod tests {
                 clone_us: 900.0,
             }],
         );
+        let retention_json = crate::retention::to_json(
+            &crate::retention::SweepOutcome {
+                samples: vec![crate::retention::Sample {
+                    day: 60.0,
+                    events: 1000,
+                    off_store_bytes: 1000,
+                    on_store_bytes: 300,
+                    off_disk_bytes: 2000,
+                    on_disk_bytes: 600,
+                    pruned_versions: 50,
+                    sweep_pruned_versions: 5,
+                    sweep_stall_us: 100,
+                    rebuild_stall_us: 200,
+                }],
+                settled_on_disk_bytes: 500,
+                settled_off_disk_bytes: 2000,
+                settle_stall_us: 300,
+                snapshot_v2_bytes: 400,
+                snapshot_v1_bytes: 900,
+                replay_v2_us: 50,
+                replay_v1_us: 120,
+            },
+            "equivalent",
+        );
         for (bench, json) in [
             ("fleet", fleet_json),
             ("stream", stream_json),
             ("repair", repair_json),
+            ("retention", retention_json),
         ] {
             let numbers = top_level_numbers(&json).unwrap();
             for gate in gates_for(bench) {

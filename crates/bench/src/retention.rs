@@ -21,7 +21,7 @@ use std::path::Path;
 use ocasta::fleet::{fleet_machines, FleetRunConfig};
 use ocasta::{
     PruneStats, RepairServiceConfig, RetentionPolicy, ShardedTtkv, TimeDelta, TimePrecision,
-    Timestamp, TraceOp, Wal,
+    Timestamp, TraceOp, Ttkv, Wal,
 };
 
 use crate::render_table;
@@ -113,6 +113,15 @@ pub struct SweepOutcome {
     pub settled_off_disk_bytes: u64,
     /// Wall-clock cost of the settling rebase, microseconds.
     pub settle_stall_us: u64,
+    /// The settled retained store serialised as an `ocasta-ttkv binary v2`
+    /// segment, bytes (the format snapshots and WAL layers actually use).
+    pub snapshot_v2_bytes: u64,
+    /// The same store serialised in the legacy text v1 format, bytes.
+    pub snapshot_v1_bytes: u64,
+    /// Time to load the v2 segment back into a store, microseconds.
+    pub replay_v2_us: u64,
+    /// Time to load the text v1 form back into a store, microseconds.
+    pub replay_v1_us: u64,
 }
 
 /// Drives the feed into both configurations, sweeping the retention side
@@ -125,7 +134,10 @@ pub struct SweepOutcome {
 /// # Panics
 ///
 /// Panics if any post-horizon query ever differs between the two sides,
-/// or if the retention side fails to stay below the unbounded side.
+/// if the retention side fails to stay below the unbounded side, or if
+/// the settled store's binary v2 serialisation fails to round-trip or to
+/// come in below its text v1 form (the format smoke assertion CI relies
+/// on).
 pub fn sweep(
     ops: &[TraceOp],
     retain: TimeDelta,
@@ -252,6 +264,29 @@ pub fn sweep(
     );
     let settled_on_disk_bytes = on_wal.log_bytes() + on_wal.snapshot_bytes();
     let settled_off_disk_bytes = off_wal.log_bytes() + off_wal.snapshot_bytes();
+
+    // Format yardstick: the settled retained store serialised both ways,
+    // with a timed load of each. Binary v2 is the live format; text v1 is
+    // the read-only import/export path — if v2 ever stops beating it on
+    // the bench feed, the format regressed.
+    let settled_store = on.snapshot_store();
+    let mut v2 = Vec::new();
+    settled_store.save(&mut v2).expect("serialise v2");
+    let v1 = settled_store.save_to_string();
+    let replay_started = std::time::Instant::now();
+    let from_v2 = Ttkv::load(v2.as_slice()).expect("v2 segment loads");
+    let replay_v2_us = replay_started.elapsed().as_micros() as u64;
+    let replay_started = std::time::Instant::now();
+    let from_v1 = Ttkv::load_from_str(&v1).expect("v1 text loads");
+    let replay_v1_us = replay_started.elapsed().as_micros() as u64;
+    assert_eq!(from_v2, settled_store, "v2 roundtrip diverged");
+    assert_eq!(from_v1, settled_store, "v1 roundtrip diverged");
+    assert!(
+        v2.len() < v1.len(),
+        "binary v2 snapshot must be smaller than text v1: {} vs {} bytes",
+        v2.len(),
+        v1.len()
+    );
     std::fs::remove_dir_all(scratch).ok();
 
     let last = samples.last().expect("checkpoints > 0");
@@ -271,6 +306,10 @@ pub fn sweep(
         settled_on_disk_bytes,
         settled_off_disk_bytes,
         settle_stall_us,
+        snapshot_v2_bytes: v2.len() as u64,
+        snapshot_v1_bytes: v1.len() as u64,
+        replay_v2_us,
+        replay_v1_us,
     }
 }
 
@@ -398,6 +437,8 @@ pub fn to_json(outcome: &SweepOutcome, session_note: &str) -> String {
          \"mid_run_disk_ratio\": {:.4},\n  \"settle_stall_us\": {},\n  \
          \"median_sweep_stall_us\": {},\n  \"median_rebuild_stall_us\": {},\n  \
          \"final_rebuild_stall_us\": {},\n  \
+         \"snapshot_v2_bytes\": {},\n  \"snapshot_v1_bytes\": {},\n  \
+         \"replay_v2_us\": {},\n  \"replay_v1_us\": {},\n  \
          \"pinned_session_equivalence\": \"{}\"\n}}\n",
         last.on_store_bytes as f64 / last.off_store_bytes as f64,
         outcome.settled_on_disk_bytes as f64 / outcome.settled_off_disk_bytes as f64,
@@ -406,6 +447,10 @@ pub fn to_json(outcome: &SweepOutcome, session_note: &str) -> String {
         median(samples.iter().map(|s| s.sweep_stall_us)),
         median(samples.iter().map(|s| s.rebuild_stall_us)),
         last.rebuild_stall_us,
+        outcome.snapshot_v2_bytes,
+        outcome.snapshot_v1_bytes,
+        outcome.replay_v2_us,
+        outcome.replay_v1_us,
         session_note.trim().replace('"', "'"),
     ));
     out
@@ -476,6 +521,15 @@ pub fn run() -> (String, String) {
         last.rebuild_stall_us,
         last.sweep_pruned_versions,
     ));
+    out.push_str(&format!(
+        "snapshot format: binary v2 {:.1} KB vs text v1 {:.1} KB \
+         ({:.0}% of text), loads in {} us vs {} us\n",
+        outcome.snapshot_v2_bytes as f64 / 1e3,
+        outcome.snapshot_v1_bytes as f64 / 1e3,
+        100.0 * outcome.snapshot_v2_bytes as f64 / outcome.snapshot_v1_bytes.max(1) as f64,
+        outcome.replay_v2_us,
+        outcome.replay_v1_us,
+    ));
     let session_note = pinned_session_equivalence();
     out.push_str(&session_note);
     let json = to_json(&outcome, &session_note);
@@ -507,10 +561,17 @@ mod tests {
         assert!(outcome.settled_on_disk_bytes <= last.on_disk_bytes);
         assert!(outcome.settled_on_disk_bytes < outcome.settled_off_disk_bytes);
 
+        // Binary v2 must beat the text form even on the small feed, and
+        // both loads must have been timed.
+        assert!(outcome.snapshot_v2_bytes < outcome.snapshot_v1_bytes);
+        assert!(outcome.snapshot_v2_bytes > 0);
+
         let json = to_json(&outcome, "ok");
         assert!(json.contains("\"bench\": \"retention\""), "{json}");
         assert!(json.contains("\"final_store_ratio\""), "{json}");
         assert!(json.contains("\"mid_run_disk_ratio\""), "{json}");
+        assert!(json.contains("\"snapshot_v2_bytes\""), "{json}");
+        assert!(json.contains("\"replay_v2_us\""), "{json}");
         assert_eq!(json.matches("{\"day\"").count(), 4, "{json}");
     }
 }

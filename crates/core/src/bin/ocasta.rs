@@ -70,6 +70,7 @@ usage:
   ocasta generate --app <name>... --days <n> [--seed <n>] -o <trace.txt>
   ocasta stats    <trace.txt>
   ocasta replay   <trace.txt> -o <store.ttkv>
+  ocasta export   <store.ttkv> -o <store.txt>
   ocasta clusters <store.ttkv> [--window <secs>] [--threshold <corr>]
                   [--app <prefix>] [--multi-only]
   ocasta history  <store.ttkv> <key>
@@ -109,6 +110,10 @@ enum Command {
     },
     Replay {
         trace: String,
+        output: String,
+    },
+    Export {
+        store: String,
         output: String,
     },
     Clusters {
@@ -210,6 +215,23 @@ impl Command {
                 Ok(Command::Replay {
                     trace: trace.ok_or("replay needs a trace file")?,
                     output: output.ok_or("replay needs -o <store.ttkv>")?,
+                })
+            }
+            "export" => {
+                let mut store = None;
+                let mut output = None;
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "-o" | "--output" => output = Some(value_of(&rest, &mut i)?.to_owned()),
+                        other if store.is_none() => store = Some(other.to_owned()),
+                        other => return Err(format!("unexpected argument `{other}`")),
+                    }
+                    i += 1;
+                }
+                Ok(Command::Export {
+                    store: store.ok_or("export needs a store file")?,
+                    output: output.ok_or("export needs -o <store.txt>")?,
                 })
             }
             "clusters" => {
@@ -577,6 +599,17 @@ impl Command {
                     .save(BufWriter::new(file))
                     .map_err(|e| e.to_string())?;
                 Ok(format!("wrote {output}: {}\n", store.stats()))
+            }
+            Command::Export { store, output } => {
+                // Loads either format (binary v2 or text v1) and writes the
+                // human-readable text v1 form — the explicit export path now
+                // that `save` defaults to binary segments.
+                let store = load_store(store)?;
+                let file = File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+                store
+                    .save_text(BufWriter::new(file))
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("exported {output} (text v1): {}\n", store.stats()))
             }
             Command::Clusters {
                 store,
@@ -1406,6 +1439,16 @@ mod tests {
         assert!(parse(&["stats"]).is_err());
         assert!(parse(&["stats", "a", "b"]).is_err());
         assert!(parse(&["history", "s"]).is_err());
+        assert!(parse(&["export"]).is_err(), "export needs a store");
+        assert!(parse(&["export", "s"]).is_err(), "export needs -o");
+        assert!(parse(&["export", "s", "t", "-o", "u"]).is_err());
+        assert_eq!(
+            parse(&["export", "s.ttkv", "-o", "s.txt"]).unwrap(),
+            Command::Export {
+                store: "s.ttkv".into(),
+                output: "s.txt".into(),
+            }
+        );
         assert!(parse(&["generate", "--app"]).is_err(), "flag without value");
         assert!(parse(&["doctor"]).is_err(), "doctor needs a directory");
         assert!(parse(&["doctor", "a", "b"]).is_err());
@@ -1642,6 +1685,23 @@ mod tests {
             .run()
             .unwrap();
         assert!(out.contains("wrote"));
+
+        // `replay -o` writes binary v2; `export` turns it back into text v1,
+        // and both load to the same store through magic sniffing.
+        let store_bytes = std::fs::read(&store_path).unwrap();
+        assert!(store_bytes.starts_with(ocasta_ttkv::BINARY_MAGIC));
+        let text_path = dir.join("store.txt").to_string_lossy().into_owned();
+        let out = parse(&["export", &store_path, "-o", &text_path])
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.contains("exported"), "{out}");
+        let text = std::fs::read_to_string(&text_path).unwrap();
+        assert!(text.starts_with("ocasta-ttkv v1"), "text v1 export");
+        assert_eq!(
+            Ttkv::load(store_bytes.as_slice()).unwrap(),
+            Ttkv::load_from_str(&text).unwrap(),
+        );
 
         let out = parse(&["clusters", &store_path, "--multi-only"])
             .unwrap()

@@ -1,9 +1,11 @@
 //! Binary codec for write-ahead-log records.
 //!
-//! The TTKV's own persistence format (`ocasta_ttkv::codec`) is line-oriented
-//! text: readable, diffable, fine for snapshots. A fleet-scale ingestion log
-//! is different — it is written on the hot path, millions of records per
-//! run — so the WAL uses a compact, allocation-light binary encoding:
+//! The WAL is written on the hot path, millions of records per run, so it
+//! uses a compact, allocation-light binary encoding. Snapshots used to be
+//! the odd one out (line-oriented text, `ocasta_ttkv::codec`); since
+//! `ocasta-ttkv binary v2` they use the same value-tag space (0x00–0x06)
+//! and the same FNV-1a checksum family as these frames — text survives
+//! only as the read-only import / explicit-export path:
 //!
 //! ```text
 //! op    := 0x01 u64:timestamp_ms key value      -- write

@@ -10,7 +10,12 @@
 //! * **layer integrity** — every referenced base/delta exists, parses as a
 //!   TTKV snapshot, and keeps its collapsed baselines at or below the
 //!   recorded horizon (the horizon-consistency invariant replay relies
-//!   on);
+//!   on). Binary v2 layers additionally get an independent structural
+//!   scan — magic, fixed section order, per-section FNV-1a checksums, a
+//!   strictly sorted intern table, the mandatory end marker, no trailing
+//!   bytes — and a text v1 layer inside a manifest chain is reported as
+//!   `layer-format` (informational: it loads read-only and is rewritten
+//!   as v2 by the next compaction);
 //! * **log integrity** — the framed log's magic and a checksum
 //!   verification of every complete frame, distinguishing a *torn tail*
 //!   (a crash mid-append; recoverable by design, reported as a warning)
@@ -103,6 +108,8 @@ pub struct DoctorReport {
     pub frames_verified: u64,
     /// Snapshot layers parsed and validated.
     pub layers_verified: usize,
+    /// Checksum-verified binary v2 sections across those layers.
+    pub sections_verified: u64,
 }
 
 impl DoctorReport {
@@ -138,14 +145,15 @@ impl std::fmt::Display for DoctorReport {
         if self.is_healthy() {
             write!(
                 f,
-                "healthy: {} frame(s) and {} layer(s) verified",
-                self.frames_verified, self.layers_verified
+                "healthy: {} frame(s), {} layer(s) and {} section(s) verified",
+                self.frames_verified, self.layers_verified, self.sections_verified
             )
         } else {
             write!(
                 f,
-                "{errors} error(s), {warnings} warning(s); {} frame(s) and {} layer(s) verified",
-                self.frames_verified, self.layers_verified
+                "{errors} error(s), {warnings} warning(s); {} frame(s), {} layer(s) and {} \
+                 section(s) verified",
+                self.frames_verified, self.layers_verified, self.sections_verified
             )
         }
     }
@@ -176,6 +184,7 @@ pub fn diagnose(dir: impl AsRef<Path>) -> DoctorReport {
         findings: Vec::new(),
         frames_verified: 0,
         layers_verified: 0,
+        sections_verified: 0,
     };
 
     let entries = match std::fs::read_dir(dir) {
@@ -554,12 +563,47 @@ fn diagnose_legacy(dir: &Path, entries: &BTreeSet<String>, report: &mut DoctorRe
     }
 }
 
-/// Parses one snapshot layer and validates its horizon consistency.
+/// Parses one snapshot layer and validates its format and horizon
+/// consistency.
 fn check_layer(dir: &Path, name: &str, horizon: Option<Timestamp>, report: &mut DoctorReport) {
-    let store = File::open(dir.join(name))
-        .map_err(|e| e.to_string())
-        .and_then(|file| Ttkv::load(BufReader::new(file)).map_err(|e| e.to_string()));
-    let store = match store {
+    let bytes = match std::fs::read(dir.join(name)) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                check: "layer-corrupt",
+                target: name.to_string(),
+                detail: format!("snapshot does not parse: {e}"),
+            });
+            return;
+        }
+    };
+    if bytes.starts_with(ocasta_ttkv::BINARY_MAGIC) {
+        // Independent structural scan (double-entry bookkeeping, like the
+        // manifest parser): frame walk, checksums, intern table, end marker.
+        match scan_v2_segment(&bytes) {
+            Ok(sections) => report.sections_verified += sections,
+            Err(detail) => {
+                report.findings.push(Finding {
+                    severity: Severity::Error,
+                    check: "layer-corrupt",
+                    target: name.to_string(),
+                    detail,
+                });
+                return;
+            }
+        }
+    } else if name != "snapshot.ttkv" {
+        // A text v1 layer inside a manifest chain predates the binary
+        // format; it loads read-only and the next compaction rewrites it.
+        report.findings.push(Finding {
+            severity: Severity::Info,
+            check: "layer-format",
+            target: name.to_string(),
+            detail: "text v1 layer; rewritten as binary v2 by the next compaction".to_string(),
+        });
+    }
+    let store = match Ttkv::load(bytes.as_slice()) {
         Ok(store) => store,
         Err(e) => {
             report.findings.push(Finding {
@@ -600,6 +644,104 @@ fn check_layer(dir: &Path, name: &str, horizon: Option<Timestamp>, report: &mut 
             }),
         }
     }
+}
+
+/// Structural scan of an `ocasta-ttkv binary v2` segment, independent of
+/// the ttkv decoder: magic, the fixed `'K'`/`'R'`/`'E'` section order,
+/// per-section FNV-1a checksums, a well-formed strictly-sorted intern
+/// table, an empty end marker, and nothing after it. Returns the number of
+/// checksum-verified sections.
+fn scan_v2_segment(bytes: &[u8]) -> Result<u64, String> {
+    /// Reads one LEB128 varint out of `buf` at `*pos` (bounded at 10 bytes).
+    fn varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *buf
+                .get(*pos)
+                .ok_or_else(|| format!("truncated varint at byte {pos}", pos = *pos))?;
+            *pos += 1;
+            if shift >= 64 {
+                return Err(format!("varint overflow at byte {pos}", pos = *pos));
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    let mut pos = ocasta_ttkv::BINARY_MAGIC.len();
+    let mut sections = 0u64;
+    for expected in [b'K', b'R', b'E'] {
+        let header = bytes
+            .get(pos..pos + 9)
+            .ok_or_else(|| format!("truncated section header at byte {pos}"))?;
+        let tag = header[0];
+        if tag != expected {
+            return Err(format!(
+                "expected section '{}' at byte {pos}, found 0x{tag:02x}",
+                expected as char
+            ));
+        }
+        let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+        let crc = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+        let payload_at = pos + 9;
+        let payload = bytes.get(payload_at..payload_at + len).ok_or_else(|| {
+            format!(
+                "truncated section '{}' payload at byte {payload_at}",
+                tag as char
+            )
+        })?;
+        let actual = crate::hash::fnv1a_32(payload);
+        if actual != crc {
+            return Err(format!(
+                "section '{}' checksum mismatch at byte {payload_at}: stored {crc:08x}, \
+                 computed {actual:08x}",
+                tag as char
+            ));
+        }
+        match tag {
+            b'K' => {
+                // Intern-table well-formedness: every id must later resolve,
+                // so the table itself has to be complete and sorted.
+                let mut at = 0usize;
+                let count = varint(payload, &mut at)?;
+                let mut prev: Option<&str> = None;
+                for _ in 0..count {
+                    let len = varint(payload, &mut at)? as usize;
+                    let raw = payload
+                        .get(at..at + len)
+                        .ok_or_else(|| format!("truncated intern key at byte {at}"))?;
+                    at += len;
+                    let name = std::str::from_utf8(raw)
+                        .map_err(|e| format!("intern key at byte {at} not UTF-8: {e}"))?;
+                    if prev.is_some_and(|p| name <= p) {
+                        return Err(format!("intern table not strictly sorted at byte {at}"));
+                    }
+                    prev = Some(name);
+                }
+                if at != payload.len() {
+                    return Err(format!(
+                        "{} trailing byte(s) in intern table",
+                        payload.len() - at
+                    ));
+                }
+            }
+            b'E' if len != 0 => return Err("end marker is not empty".to_string()),
+            _ => {}
+        }
+        pos = payload_at + len;
+        sections += 1;
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "{} trailing byte(s) after end marker",
+            bytes.len() - pos
+        ));
+    }
+    Ok(sections)
 }
 
 /// Scans one framed log end to end, verifying every checksum.

@@ -2,20 +2,11 @@
 //!
 //! Two subsystems need a fast, stable, dependency-free hash: the WAL frames
 //! checksum their payloads with the 32-bit variant, and the sharded store
-//! stripes keys with the 64-bit variant. Both use Fowler–Noll–Vo 1a —
-//! `hash = (hash ^ byte) * prime`, starting from the width's offset basis —
-//! with the parameters from the FNV reference specification. The unit tests
-//! pin the implementations to the reference test vectors, so neither WAL
-//! files nor shard layouts can silently change across releases.
-
-/// 32-bit FNV-1a offset basis.
-const BASIS_32: u32 = 0x811C_9DC5;
-/// 32-bit FNV prime.
-const PRIME_32: u32 = 0x0100_0193;
-/// 64-bit FNV-1a offset basis.
-const BASIS_64: u64 = 0xCBF2_9CE4_8422_2325;
-/// 64-bit FNV prime.
-const PRIME_64: u64 = 0x0000_0100_0000_01B3;
+//! stripes keys with the 64-bit variant. Since the `ocasta-ttkv binary v2`
+//! segment format landed, snapshots checksum with the same 32-bit FNV-1a as
+//! the WAL frames, so the implementation lives at the bottom of the
+//! dependency stack in [`ocasta_ttkv::hash`] and this module re-exports it —
+//! one hash, one implementation, one set of reference-vector pins.
 
 /// 32-bit FNV-1a over a byte slice (the WAL frame checksum).
 ///
@@ -25,14 +16,7 @@ const PRIME_64: u64 = 0x0000_0100_0000_01B3;
 /// assert_eq!(ocasta_fleet::hash::fnv1a_32(b""), 0x811C_9DC5);
 /// assert_eq!(ocasta_fleet::hash::fnv1a_32(b"a"), 0xE40C_292C);
 /// ```
-pub fn fnv1a_32(bytes: &[u8]) -> u32 {
-    let mut hash = BASIS_32;
-    for &b in bytes {
-        hash ^= u32::from(b);
-        hash = hash.wrapping_mul(PRIME_32);
-    }
-    hash
-}
+pub use ocasta_ttkv::hash::fnv1a_32;
 
 /// 64-bit FNV-1a over a byte slice (the key→shard stripe hash).
 ///
@@ -42,46 +26,18 @@ pub fn fnv1a_32(bytes: &[u8]) -> u32 {
 /// assert_eq!(ocasta_fleet::hash::fnv1a_64(b""), 0xCBF2_9CE4_8422_2325);
 /// assert_eq!(ocasta_fleet::hash::fnv1a_64(b"a"), 0xAF63_DC4C_8601_EC8C);
 /// ```
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash = BASIS_64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(PRIME_64);
-    }
-    hash
-}
+pub use ocasta_ttkv::hash::fnv1a_64;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Reference vectors from the FNV specification's test suite
-    /// (draft-eastlake-fnv, `fnv32a`/`fnv64a` columns).
-    const VECTORS: &[(&[u8], u32, u64)] = &[
-        (b"", 0x811C_9DC5, 0xCBF2_9CE4_8422_2325),
-        (b"a", 0xE40C_292C, 0xAF63_DC4C_8601_EC8C),
-        (b"b", 0xE70C_2DE5, 0xAF63_DF4C_8601_F1A5),
-        (b"c", 0xE60C_2C52, 0xAF63_DE4C_8601_EFF2),
-        (b"foobar", 0xBF9C_F968, 0x8594_4171_F739_67E8),
-    ];
-
+    /// The WAL frame format depends on these exact parameters; keep a pin
+    /// here too so a change in the shared implementation fails fleet tests
+    /// directly.
     #[test]
-    fn matches_reference_vectors_32() {
-        for &(input, want32, _) in VECTORS {
-            assert_eq!(fnv1a_32(input), want32, "{input:?}");
-        }
-    }
-
-    #[test]
-    fn matches_reference_vectors_64() {
-        for &(input, _, want64) in VECTORS {
-            assert_eq!(fnv1a_64(input), want64, "{input:?}");
-        }
-    }
-
-    #[test]
-    fn one_byte_difference_changes_both_widths() {
-        assert_ne!(fnv1a_32(b"app/key1"), fnv1a_32(b"app/key2"));
-        assert_ne!(fnv1a_64(b"app/key1"), fnv1a_64(b"app/key2"));
+    fn re_export_matches_reference_vectors() {
+        assert_eq!(fnv1a_32(b"foobar"), 0xBF9C_F968);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_F739_67E8);
     }
 }

@@ -37,6 +37,11 @@
 //! disk stays bounded by the retention window. Directories written before
 //! layering existed (a bare `snapshot.ttkv` + `wal.log`) still open and
 //! replay unchanged.
+//!
+//! Base and delta layers are `ocasta-ttkv binary v2` segments — the same
+//! length-prefixed, FNV-checksummed framing discipline as the log, one
+//! codec seam for everything the fleet persists. Text v1 layers from older
+//! directories load through [`Ttkv::load`]'s magic sniffing.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -804,6 +809,11 @@ impl Wal {
     /// Writes `store` as a layer file under `name` (directly: the file is
     /// unreferenced until the manifest commit, so a torn write is just an
     /// orphan for [`Wal::open`] to sweep).
+    ///
+    /// Layers are `ocasta-ttkv binary v2` segments ([`Ttkv::save`]) —
+    /// checksummed with the same FNV-1a as the log frames. Pre-v2 text
+    /// layers still load ([`Ttkv::load`] sniffs the magic) and are
+    /// rewritten in v2 by the next compaction that touches them.
     fn write_layer(&self, name: &str, store: &Ttkv) -> Result<(), WalError> {
         let file = File::create(self.dir.join(name))?;
         let mut writer = BufWriter::new(file);

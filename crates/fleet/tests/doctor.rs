@@ -401,3 +401,70 @@ fn legacy_directory_with_epoch_named_leftovers_warns() {
     assert_eq!(warnings, vec!["layer-orphan", "log-stale"], "{report}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn healthy_v2_layers_verify_sections() {
+    // Fresh layered directories write binary v2 layers; the doctor's
+    // independent structural scan must verify their sections (magic, frame
+    // walk, checksums, intern table, end marker) without a single finding.
+    let dir = layered_dir("v2-sections");
+    let layer = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .find(|n| n.ends_with(".ttkv"))
+        .expect("the layered dir has a snapshot layer");
+    let bytes = std::fs::read(dir.join(&layer)).unwrap();
+    assert!(
+        bytes.starts_with(ocasta_ttkv::BINARY_MAGIC),
+        "layers are binary v2 segments"
+    );
+    let report = diagnose(&dir);
+    assert!(report.findings.is_empty(), "{report}");
+    // 'K' + 'R' + 'E' per layer.
+    assert_eq!(report.sections_verified, 3 * report.layers_verified as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_byte_in_v2_layer_is_a_checksum_error() {
+    let dir = layered_dir("v2-flip");
+    let layer = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .find(|n| n.ends_with(".ttkv"))
+        .expect("the layered dir has a snapshot layer");
+    let mut bytes = std::fs::read(dir.join(&layer)).unwrap();
+    // Flip one payload byte past the magic and the first section header:
+    // the section checksum must catch it.
+    let at = ocasta_ttkv::BINARY_MAGIC.len() + 9;
+    bytes[at] ^= 0x40;
+    std::fs::write(dir.join(&layer), bytes).unwrap();
+    let report = diagnose(&dir);
+    assert!(report.has_errors(), "{report}");
+    assert_eq!(checks(&report, Severity::Error), vec!["layer-corrupt"]);
+    let finding = report.with_check("layer-corrupt").next().unwrap();
+    assert!(
+        finding.detail.contains("checksum mismatch"),
+        "{}",
+        finding.detail
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn text_v1_referenced_layer_is_a_format_info() {
+    // A manifest chain carrying a pre-v2 text layer still loads (read-only
+    // import path) but the doctor points it out as `layer-format`.
+    let dir = layered_dir("v1-layer");
+    let layer = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .find(|n| n.ends_with(".ttkv"))
+        .expect("the layered dir has a snapshot layer");
+    let store = Ttkv::load(std::fs::read(dir.join(&layer)).unwrap().as_slice()).unwrap();
+    std::fs::write(dir.join(&layer), store.save_to_string()).unwrap();
+    let report = diagnose(&dir);
+    assert!(report.is_healthy(), "a v1 layer is not damage: {report}");
+    assert_eq!(checks(&report, Severity::Info), vec!["layer-format"]);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -230,6 +230,12 @@ fn every_truncation_of_a_mid_write_delta_recovers_pre_or_post_state() {
     };
     let delta_bytes = std::fs::read(post.join(&delta_name)).unwrap();
     assert_ne!(pre_state, post_state, "the compaction must change state");
+    // Layers are `ocasta-ttkv binary v2` segments, so the byte-offset
+    // injection below is the tentpole crash-safety proof for that format.
+    assert!(
+        delta_bytes.starts_with(ocasta_ttkv::BINARY_MAGIC),
+        "delta layers must be binary v2 segments"
+    );
 
     let reopen = |dir: &std::path::Path| {
         Wal::open(dir)

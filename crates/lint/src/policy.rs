@@ -219,10 +219,7 @@ fn parse_value(value: &str, line: u32) -> Result<Vec<String>, PolicyError> {
             line,
             message: "unterminated array".into(),
         })?;
-        split_elements(inner)
-            .into_iter()
-            .map(unquote)
-            .collect()
+        split_elements(inner).into_iter().map(unquote).collect()
     } else {
         Ok(vec![unquote(value)?])
     }

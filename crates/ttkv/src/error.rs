@@ -8,10 +8,17 @@ use std::io;
 pub enum TtkvError {
     /// The underlying reader or writer failed.
     Io(io::Error),
-    /// The persisted representation was malformed.
+    /// The persisted text (v1) representation was malformed.
     Parse {
         /// 1-based line number where parsing failed.
         line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The persisted binary (v2) representation was malformed.
+    Corrupt {
+        /// Byte offset into the segment where decoding failed.
+        offset: usize,
         /// Description of the problem.
         message: String,
     },
@@ -24,6 +31,13 @@ impl TtkvError {
             message: message.into(),
         }
     }
+
+    pub(crate) fn corrupt(offset: usize, message: impl Into<String>) -> Self {
+        TtkvError::Corrupt {
+            offset,
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for TtkvError {
@@ -33,6 +47,9 @@ impl fmt::Display for TtkvError {
             TtkvError::Parse { line, message } => {
                 write!(f, "malformed ttkv data at line {line}: {message}")
             }
+            TtkvError::Corrupt { offset, message } => {
+                write!(f, "corrupt ttkv segment at byte {offset}: {message}")
+            }
         }
     }
 }
@@ -41,7 +58,7 @@ impl std::error::Error for TtkvError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TtkvError::Io(e) => Some(e),
-            TtkvError::Parse { .. } => None,
+            TtkvError::Parse { .. } | TtkvError::Corrupt { .. } => None,
         }
     }
 }
@@ -61,6 +78,11 @@ mod tests {
     fn display_is_informative() {
         let e = TtkvError::parse(3, "bad token");
         assert_eq!(e.to_string(), "malformed ttkv data at line 3: bad token");
+        let c = TtkvError::corrupt(17, "checksum mismatch");
+        assert_eq!(
+            c.to_string(),
+            "corrupt ttkv segment at byte 17: checksum mismatch"
+        );
         let io_err = TtkvError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert!(io_err.to_string().contains("gone"));
         assert!(io_err.source().is_some());

@@ -38,11 +38,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
+pub mod hash;
 
 mod builder;
 mod error;
 mod key;
 mod persist;
+mod persist_v2;
 mod record;
 mod retention;
 mod snapshot;
@@ -54,6 +56,7 @@ mod value;
 pub use builder::TtkvBuilder;
 pub use error::TtkvError;
 pub use key::Key;
+pub use persist_v2::BINARY_MAGIC;
 pub use record::{KeyRecord, Version};
 pub use retention::{HorizonGuard, HorizonPin};
 pub use snapshot::ConfigState;

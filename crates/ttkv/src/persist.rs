@@ -1,4 +1,11 @@
-//! Text persistence for the TTKV.
+//! Text (v1) persistence for the TTKV — a read-only import path plus an
+//! explicit export.
+//!
+//! Since the binary v2 format landed (`persist_v2.rs`), [`Ttkv::save`] writes
+//! checksummed binary segments and this module's writer is only reached
+//! through [`Ttkv::save_text`] / [`Ttkv::save_to_string`] (the `ocasta
+//! export` path). [`Ttkv::load`] sniffs the magic line and still accepts v1
+//! files, so stores written before v2 keep loading unchanged.
 //!
 //! The store serialises to a line-oriented UTF-8 format so recorded histories
 //! can be saved between sessions, shipped between machines (the paper merges
@@ -39,12 +46,15 @@ use crate::value::Value;
 const MAGIC: &str = "ocasta-ttkv v1";
 
 impl Ttkv {
-    /// Serialises the store to a writer.
+    /// Serialises the store to a writer in the line-oriented text v1 format.
+    ///
+    /// This is the human-readable export form (`ocasta export`); the default
+    /// on-disk form is the binary v2 segment written by [`Ttkv::save`].
     ///
     /// # Errors
     ///
     /// Returns [`TtkvError::Io`] if the writer fails.
-    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), TtkvError> {
+    pub fn save_text<W: Write>(&self, mut writer: W) -> Result<(), TtkvError> {
         writeln!(writer, "{MAGIC}")?;
         for (key, record) in self.iter() {
             writeln!(
@@ -80,23 +90,26 @@ impl Ttkv {
         Ok(())
     }
 
-    /// Serialises the store to an in-memory string.
+    /// Serialises the store to an in-memory string in the text v1 format.
     pub fn save_to_string(&self) -> String {
         let mut buf = Vec::new();
-        self.save(&mut buf).expect("writing to a Vec cannot fail");
-        String::from_utf8(buf).expect("persist format is UTF-8")
+        self.save_text(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("text persist format is UTF-8")
     }
 
-    /// Reads a store previously produced by [`Ttkv::save`].
+    /// Reads a store from the line-oriented text v1 format.
     ///
-    /// Reads are restored as counters on the key they belong to; per-read
-    /// timestamps are not persisted (matching what the deployed system kept).
+    /// Callers normally go through [`Ttkv::load`], which sniffs the magic and
+    /// dispatches here for v1 files. Reads are restored as counters on the
+    /// key they belong to; per-read timestamps are not persisted (matching
+    /// what the deployed system kept).
     ///
     /// # Errors
     ///
     /// Returns [`TtkvError::Io`] if the reader fails and [`TtkvError::Parse`]
-    /// if the content is not valid TTKV data.
-    pub fn load<R: BufRead>(reader: R) -> Result<Ttkv, TtkvError> {
+    /// if the content is not valid TTKV text data.
+    pub(crate) fn load_text<R: BufRead>(reader: R) -> Result<Ttkv, TtkvError> {
         /// One key's record being assembled from consecutive lines.
         struct Pending {
             key: crate::Key,
@@ -213,7 +226,8 @@ impl Ttkv {
         Ok(store)
     }
 
-    /// Reads a store from an in-memory string.
+    /// Reads a store from an in-memory string (text v1; binary v2 segments
+    /// are not valid UTF-8 and arrive as bytes via [`Ttkv::load`]).
     ///
     /// # Errors
     ///

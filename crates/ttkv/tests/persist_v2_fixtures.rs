@@ -1,0 +1,180 @@
+//! Fixtures pinning the `ocasta-ttkv binary v2` byte layout.
+//!
+//! The expected byte sequences here are built from the documented grammar
+//! with explicit literals for the magic, section tags, varints, flags and
+//! value encodings; only the section checksums are computed, via
+//! [`ocasta_ttkv::hash::fnv1a_32`], which is itself pinned to the FNV
+//! reference vectors. Any accidental change to the on-disk layout — tag
+//! values, field order, varint scheme, checksum scope — fails these tests
+//! loudly instead of silently orphaning every deployed segment.
+
+use ocasta_ttkv::hash::fnv1a_32;
+use ocasta_ttkv::{Timestamp, Ttkv, Value};
+
+/// Frames one section exactly as the writer does: tag, little-endian length,
+/// little-endian FNV-1a checksum of the payload, payload.
+fn section(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = vec![tag];
+    out.extend_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+    out.extend_from_slice(&fnv1a_32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+const MAGIC: &[u8] = b"ocasta-ttkv binary v2\n";
+
+#[test]
+fn exported_magic_is_pinned() {
+    assert_eq!(ocasta_ttkv::BINARY_MAGIC, MAGIC);
+}
+
+#[test]
+fn empty_store_layout_is_pinned() {
+    let mut bytes = Vec::new();
+    Ttkv::new().save(&mut bytes).unwrap();
+
+    let mut expected = MAGIC.to_vec();
+    expected.extend_from_slice(&section(b'K', &[0x00])); // zero keys
+    expected.extend_from_slice(&section(b'R', &[0x00])); // zero records
+    expected.extend_from_slice(&section(b'E', &[])); // end marker
+    assert_eq!(bytes, expected);
+    // 22-byte magic + three 9-byte section headers + two 1-byte counts.
+    assert_eq!(bytes.len(), 51);
+}
+
+#[test]
+fn live_store_layout_is_pinned() {
+    let mut store = Ttkv::new();
+    store.read("app/flag");
+    store.write(Timestamp::from_millis(1000), "app/flag", Value::from(true));
+    store.write(
+        Timestamp::from_millis(2000),
+        "zz",
+        Value::List(vec![
+            Value::Null,
+            Value::from(-3),
+            Value::Float(1.5),
+            Value::from("hi"),
+        ]),
+    );
+    store.delete(Timestamp::from_millis(3000), "app/flag");
+
+    let mut bytes = Vec::new();
+    store.save(&mut bytes).unwrap();
+
+    // 'K': intern table, keys in sorted order, ids are positions.
+    let mut keys = vec![0x02]; // key count
+    keys.push(0x08); // len("app/flag")
+    keys.extend_from_slice(b"app/flag"); // id 0
+    keys.push(0x02); // len("zz")
+    keys.extend_from_slice(b"zz"); // id 1
+
+    // 'R': records in the same order.
+    let mut recs = vec![0x02]; // record count
+                               // -- record 0: app/flag — reads=1 writes=1 deletes=1, no baseline,
+                               //    history = [write@1000 true, tombstone@3000].
+    recs.extend_from_slice(&[0x00, 0x01, 0x01, 0x01, 0x00]); // id r w d flags
+    recs.push(0x02); // history length
+    recs.push(0x00); // kind: write
+    recs.extend_from_slice(&[0xE8, 0x07]); // varint 1000
+    recs.push(0x02); // value: true
+    recs.push(0x01); // kind: tombstone
+    recs.extend_from_slice(&[0xB8, 0x17]); // varint 3000
+                                           // -- record 1: zz — reads=0 writes=1 deletes=0, no baseline,
+                                           //    history = [write@2000 [null, -3, 1.5, "hi"]].
+    recs.extend_from_slice(&[0x01, 0x00, 0x01, 0x00, 0x00]); // id r w d flags
+    recs.push(0x01); // history length
+    recs.push(0x00); // kind: write
+    recs.extend_from_slice(&[0xD0, 0x0F]); // varint 2000
+    recs.extend_from_slice(&[0x06, 0x04]); // list of 4
+    recs.push(0x00); // null
+    recs.extend_from_slice(&[0x03, 0x05]); // int, zigzag(-3) = 5
+    recs.push(0x04); // float tag
+    recs.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+    recs.extend_from_slice(&[0x05, 0x02]); // str, len 2
+    recs.extend_from_slice(b"hi");
+
+    let mut expected = MAGIC.to_vec();
+    expected.extend_from_slice(&section(b'K', &keys));
+    expected.extend_from_slice(&section(b'R', &recs));
+    expected.extend_from_slice(&section(b'E', &[]));
+    assert_eq!(bytes, expected);
+
+    // And the pinned bytes decode back to the exact store.
+    assert_eq!(Ttkv::load(expected.as_slice()).unwrap(), store);
+}
+
+#[test]
+fn pruned_store_layout_is_pinned() {
+    let mut store = Ttkv::new();
+    store.write(Timestamp::from_millis(1000), "k1", Value::from(1));
+    store.write(Timestamp::from_millis(2000), "k1", Value::from(2));
+    store.write(Timestamp::from_millis(1000), "k2", Value::from(1));
+    store.delete(Timestamp::from_millis(1500), "k2");
+    store.prune_before(Timestamp::from_millis(2500));
+
+    let mut bytes = Vec::new();
+    store.save(&mut bytes).unwrap();
+
+    let mut keys = vec![0x02];
+    keys.push(0x02);
+    keys.extend_from_slice(b"k1"); // id 0
+    keys.push(0x02);
+    keys.extend_from_slice(b"k2"); // id 1
+
+    let mut recs = vec![0x02];
+    // -- record 0: k1 — writes=2, live baseline write@2000 Int(2), flags
+    //    bit0 (baseline present), empty history.
+    recs.extend_from_slice(&[0x00, 0x00, 0x02, 0x00, 0x01]); // id r w d flags
+    recs.extend_from_slice(&[0xD0, 0x0F]); // baseline varint 2000
+    recs.extend_from_slice(&[0x03, 0x04]); // value: int, zigzag(2) = 4
+    recs.push(0x00); // history length
+                     // -- record 1: k2 — writes=1 deletes=1, dead baseline @1500, flags
+                     //    bit0|bit1 (baseline present and a tombstone: no value follows).
+    recs.extend_from_slice(&[0x01, 0x00, 0x01, 0x01, 0x03]); // id r w d flags
+    recs.extend_from_slice(&[0xDC, 0x0B]); // baseline varint 1500
+    recs.push(0x00); // history length
+
+    let mut expected = MAGIC.to_vec();
+    expected.extend_from_slice(&section(b'K', &keys));
+    expected.extend_from_slice(&section(b'R', &recs));
+    expected.extend_from_slice(&section(b'E', &[]));
+    assert_eq!(bytes, expected);
+    assert_eq!(Ttkv::load(expected.as_slice()).unwrap(), store);
+}
+
+#[test]
+fn value_tag_space_is_pinned() {
+    // One value of every tag, written through a single-key store; the
+    // encoded tail of the record section pins the full value tag space.
+    let values = Value::List(vec![
+        Value::Null,
+        Value::Bool(false),
+        Value::Bool(true),
+        Value::Int(0),
+        Value::Float(0.0),
+        Value::Str(String::new()),
+        Value::List(vec![]),
+    ]);
+    let mut store = Ttkv::new();
+    store.write(Timestamp::from_millis(0), "k", values);
+    let mut bytes = Vec::new();
+    store.save(&mut bytes).unwrap();
+
+    let encoded_value: &[u8] = &[
+        0x06, 0x07, // list of 7
+        0x00, // null
+        0x01, // false
+        0x02, // true
+        0x03, 0x00, // int, zigzag(0) = 0
+        0x04, 0, 0, 0, 0, 0, 0, 0, 0, // float, 0.0 bits LE
+        0x05, 0x00, // str, len 0
+        0x06, 0x00, // list, len 0
+    ];
+    let windows: Vec<_> = bytes
+        .windows(encoded_value.len())
+        .filter(|w| *w == encoded_value)
+        .collect();
+    assert_eq!(windows.len(), 1, "value encoding appears exactly once");
+    assert_eq!(Ttkv::load(bytes.as_slice()).unwrap(), store);
+}

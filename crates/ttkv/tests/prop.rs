@@ -84,6 +84,34 @@ proptest! {
         prop_assert_eq!(store, loaded);
     }
 
+    /// Text v1 and binary v2 persistence agree on arbitrary pruned stores:
+    /// random histories (both value precisions, tombstones, dead keys) pruned
+    /// at a random horizon load back identically through either format, and
+    /// the v1 → v2 migration is exact.
+    #[test]
+    fn text_and_binary_persist_agree(
+        ops in prop::collection::vec(op(), 0..60),
+        horizon in 0u64..120_000,
+    ) {
+        let mut store = apply(&ops);
+        // Pruning manufactures live and dead baselines plus lifetime
+        // counters that exceed the surviving history.
+        store.prune_before(Timestamp::from_millis(horizon));
+
+        let mut v2 = Vec::new();
+        store.save(&mut v2).unwrap();
+        let from_v2 = Ttkv::load(v2.as_slice()).unwrap();
+        prop_assert_eq!(&from_v2, &store);
+
+        let from_v1 = Ttkv::load_from_str(&store.save_to_string()).unwrap();
+        prop_assert_eq!(&from_v1, &store);
+
+        // v1 → v2 → store equals the v1 load exactly.
+        let mut migrated = Vec::new();
+        from_v1.save(&mut migrated).unwrap();
+        prop_assert_eq!(Ttkv::load(migrated.as_slice()).unwrap(), store);
+    }
+
     /// `value_at` at a key's own mutation timestamps replays the sequential
     /// history: at the time of a write (and before the next mutation), the
     /// visible value is that write's value.
